@@ -1,0 +1,39 @@
+//! Experiment E4 — the paper's §3.2 complexity claim: "Computing the
+//! counts for operators takes linear time on the size of the MEMO …
+//! In practice, the time needed for counting never exceeded 1 second
+//! even for large queries."
+//!
+//! Benchmarks the full post-processing pass (link materialization §3.1 +
+//! counting §3.2 = `PlanSpace::build`) on the TPC-H memos, including the
+//! largest one (Q8 with cross products, ~22k physical expressions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plansample::PlanSpace;
+use plansample_bench::prepare;
+
+fn bench_counting(c: &mut Criterion) {
+    let (catalog, _) = plansample_catalog::tpch::catalog();
+    let cases = [
+        ("Q5_noCP", plansample_query::tpch::q5(&catalog), false),
+        ("Q7_noCP", plansample_query::tpch::q7(&catalog), false),
+        ("Q9_noCP", plansample_query::tpch::q9(&catalog), false),
+        ("Q8_noCP", plansample_query::tpch::q8(&catalog), false),
+        ("Q8_CP", plansample_query::tpch::q8(&catalog), true),
+    ];
+
+    let mut group = c.benchmark_group("count_plans");
+    group.sample_size(20);
+    for (name, query, cp) in cases {
+        let prepared = prepare(&catalog, "bench", query, cp);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let space = PlanSpace::build(&prepared.memo, &prepared.query).unwrap();
+                std::hint::black_box(space.total().clone())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_counting);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Differential-testing execution throughput (§4): how fast sampled
+//! plans can be lowered and run against the micro TPC-H database —
+//! the inner loop of `validate_sampled`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plansample::lower::lower;
+use plansample_bench::prepare;
+use plansample_bignum::Nat;
+use plansample_datagen::MicroScale;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_execution(c: &mut Criterion) {
+    let (catalog, tables) = plansample_catalog::tpch::catalog();
+    let db = plansample_datagen::generate(&catalog, &tables, &MicroScale::tiny(), 42);
+    let q5 = plansample_query::tpch::q5(&catalog);
+    let prepared = prepare(&catalog, "Q5", q5, false);
+    let space = prepared.space();
+
+    // The optimizer's plan (rank of the cheapest root completion is not
+    // 0 in general; use plan 0 as a fixed representative and a mid-rank
+    // plan as a "weird" representative).
+    let plan0 = space.unrank(&Nat::zero()).unwrap();
+    let (mid, _) = space.total().div_rem(&Nat::from(2u64));
+    let plan_mid = space.unrank(&mid).unwrap();
+
+    c.bench_function("execute/Q5_plan0", |b| {
+        let exec = lower(&prepared.memo, &prepared.query, &catalog, &plan0);
+        b.iter(|| std::hint::black_box(exec.execute(&db).unwrap()))
+    });
+    c.bench_function("execute/Q5_mid_rank", |b| {
+        let exec = lower(&prepared.memo, &prepared.query, &catalog, &plan_mid);
+        b.iter(|| std::hint::black_box(exec.execute(&db).unwrap()))
+    });
+
+    // Full differential iteration: sample + lower + execute.
+    let mut group = c.benchmark_group("differential_iteration");
+    group.sample_size(20);
+    group.bench_function("Q5_sample_lower_execute", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| {
+            let plan = space.sample(&mut rng);
+            let exec = lower(&prepared.memo, &prepared.query, &catalog, &plan);
+            std::hint::black_box(exec.execute(&db).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_execution);
+criterion_main!(benches);

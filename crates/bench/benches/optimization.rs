@@ -1,0 +1,43 @@
+//! Context for the "negligible overhead" claim: the cost of regular
+//! optimization itself (exploration + implementation + enforcers +
+//! best-plan extraction), against which the counting post-processing
+//! pass (bench `counting`) is compared.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plansample_optimizer::{optimize, OptimizerConfig};
+
+fn bench_optimization(c: &mut Criterion) {
+    let (catalog, _) = plansample_catalog::tpch::catalog();
+    let mut group = c.benchmark_group("optimize");
+    group.sample_size(20);
+
+    for (name, cp) in [("noCP", false), ("CP", true)] {
+        let config = if cp {
+            OptimizerConfig::with_cross_products()
+        } else {
+            OptimizerConfig::default()
+        };
+        for (qname, query) in [
+            ("Q5", plansample_query::tpch::q5(&catalog)),
+            ("Q8", plansample_query::tpch::q8(&catalog)),
+        ] {
+            group.bench_function(format!("{qname}_{name}"), |b| {
+                b.iter(|| std::hint::black_box(optimize(&catalog, &query, &config).unwrap()))
+            });
+        }
+    }
+    group.finish();
+
+    // Transformation-rule explorer for comparison (DESIGN.md §4.5).
+    let q5 = plansample_query::tpch::q5(&catalog);
+    let config = OptimizerConfig {
+        explorer: plansample_optimizer::Explorer::Transform,
+        ..Default::default()
+    };
+    c.bench_function("optimize/Q5_noCP_transform", |b| {
+        b.iter(|| std::hint::black_box(optimize(&catalog, &q5, &config).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_optimization);
+criterion_main!(benches);

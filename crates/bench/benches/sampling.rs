@@ -1,0 +1,48 @@
+//! Uniform sampling throughput (rank draw + unranking), the §5
+//! experiment workhorse: each Table 1 row and Figure 4 panel draws
+//! 10 000 plans. Also measures the naive-walk baseline — the biased
+//! alternative is *faster*, which is exactly why its bias matters: speed
+//! is not the reason to prefer it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plansample_bench::prepare;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sampling(c: &mut Criterion) {
+    let (catalog, _) = plansample_catalog::tpch::catalog();
+    let cases = [
+        ("Q5_noCP", plansample_query::tpch::q5(&catalog), false),
+        ("Q8_CP", plansample_query::tpch::q8(&catalog), true),
+    ];
+
+    let mut group = c.benchmark_group("sample_plan");
+    for (name, query, cp) in cases {
+        let prepared = prepare(&catalog, "bench", query, cp);
+        let space = prepared.space();
+        group.bench_function(format!("uniform/{name}"), |b| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| std::hint::black_box(space.sample(&mut rng)))
+        });
+        group.bench_function(format!("naive_walk/{name}"), |b| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| std::hint::black_box(space.sample_naive_walk(&mut rng)))
+        });
+    }
+    group.finish();
+
+    // The full §5 unit of work: 10k samples with cost evaluation.
+    let q5 = plansample_query::tpch::q5(&catalog);
+    let prepared = prepare(&catalog, "Q5", q5, false);
+    let mut group = c.benchmark_group("sample_10k_costs");
+    group.sample_size(10);
+    group.bench_function("Q5_noCP", |b| {
+        b.iter(|| {
+            std::hint::black_box(plansample_bench::sample_scaled_costs(&prepared, 10_000, 1))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Experiment E4 — §3.3: "Unranking is in O(m) … In terms of running
+//! time, unranking takes only a small fraction of the time needed for
+//! counting and is thus negligible."
+//!
+//! Benchmarks unranking (and ranking, its inverse) of fixed mid-space
+//! ranks against pre-built plan spaces. Compare against the `counting`
+//! bench to verify the "small fraction" claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plansample_bench::prepare;
+use plansample_bignum::Nat;
+
+fn bench_unranking(c: &mut Criterion) {
+    let (catalog, _) = plansample_catalog::tpch::catalog();
+    let cases = [
+        ("Q5_noCP", plansample_query::tpch::q5(&catalog), false),
+        ("Q8_noCP", plansample_query::tpch::q8(&catalog), false),
+        ("Q8_CP", plansample_query::tpch::q8(&catalog), true),
+    ];
+
+    let mut group = c.benchmark_group("unrank_plan");
+    for (name, query, cp) in cases {
+        let prepared = prepare(&catalog, "bench", query, cp);
+        let space = prepared.space();
+        // A mid-space rank touches non-trivial prefix sums at every level.
+        let (rank, _) = space.total().div_rem(&Nat::from(2u64));
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(space.unrank(&rank).unwrap()))
+        });
+    }
+    group.finish();
+
+    // rank(unrank(r)) round trip on the largest space.
+    let q8 = plansample_query::tpch::q8(&catalog);
+    let prepared = prepare(&catalog, "Q8", q8, true);
+    let space = prepared.space();
+    let (rank, _) = space.total().div_rem(&Nat::from(3u64));
+    let plan = space.unrank(&rank).unwrap();
+    c.bench_function("rank_plan/Q8_CP", |b| {
+        b.iter(|| std::hint::black_box(space.rank(&plan).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_unranking);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Experiment E1 — regenerates **Table 1** of the paper:
+//! "Parameters of search spaces of TPC-H join queries".
+//!
+//! For each of Q5, Q7, Q8, Q9 — first without cross products, then with
+//! — this binary optimizes the query against SF-1 TPC-H statistics,
+//! counts the exact plan space, draws 10 000 uniform plans, and reports
+//! min/mean/max scaled cost plus the fractions within 2× and 10× of the
+//! optimum.
+//!
+//! ```text
+//! cargo run --release -p plansample-bench --bin table1
+//! ```
+
+use plansample_bench::{fmt_cost, join_queries, prepare, sample_scaled_costs, EXPERIMENT_SEED};
+use plansample_stats::Summary;
+use std::time::Instant;
+
+const SAMPLES: usize = 10_000;
+
+fn main() {
+    let (catalog, _) = plansample_catalog::tpch::catalog();
+
+    println!("Table 1: Parameters of search spaces of TPC-H join queries");
+    println!("({SAMPLES} uniform samples per row; costs scaled to the optimizer's plan = 1.0)");
+    println!();
+    println!(
+        "{:<6} {:>22} {:>8} {:>12} {:>12} {:>9} {:>9}",
+        "Query", "#Plans", "Min", "Mean", "Max", "costs<=2", "costs<=10"
+    );
+
+    for cross_products in [false, true] {
+        for (name, query) in join_queries(&catalog) {
+            let t0 = Instant::now();
+            let prepared = prepare(&catalog, name, query, cross_products);
+            let space = prepared.space();
+            let total = space.total().clone();
+            let costs = sample_scaled_costs(&prepared, SAMPLES, EXPERIMENT_SEED);
+            let s = Summary::of(&costs);
+            println!(
+                "{:<6} {:>22} {:>8} {:>12} {:>12} {:>8.2}% {:>8.2}%   [{:.1?}]",
+                name,
+                total.to_string(),
+                fmt_cost(s.min()),
+                fmt_cost(s.mean()),
+                fmt_cost(s.max()),
+                100.0 * s.fraction_below(2.0),
+                100.0 * s.fraction_below(10.0),
+                t0.elapsed(),
+            );
+        }
+        if !cross_products {
+            println!("{:-<90}", "");
+        }
+    }
+    println!();
+    println!("rows 1-4: no Cartesian products; rows 5-8: including Cartesian products");
+}

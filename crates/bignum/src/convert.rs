@@ -1,0 +1,210 @@
+//! Conversions: primitives, decimal strings, scientific notation for reports.
+
+use crate::Nat;
+use std::fmt;
+use std::str::FromStr;
+
+impl From<u64> for Nat {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            Nat::zero()
+        } else {
+            Nat { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u32> for Nat {
+    fn from(v: u32) -> Self {
+        Nat::from(v as u64)
+    }
+}
+
+impl From<usize> for Nat {
+    fn from(v: usize) -> Self {
+        Nat::from(v as u64)
+    }
+}
+
+impl From<u128> for Nat {
+    fn from(v: u128) -> Self {
+        Nat::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl Nat {
+    /// Exact conversion to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Exact conversion to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    /// Parses a decimal string (digits only; no sign, no separators).
+    pub fn from_decimal(s: &str) -> Result<Nat, ParseNatError> {
+        if s.is_empty() {
+            return Err(ParseNatError::Empty);
+        }
+        let mut out = Nat::zero();
+        // Consume 19 digits at a time (10^19 < 2^64).
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let end = (i + 19).min(bytes.len());
+            let chunk = &s[i..end];
+            let v: u64 = chunk
+                .parse()
+                .map_err(|_| ParseNatError::InvalidDigit { offset: i })?;
+            if chunk.bytes().any(|b| !b.is_ascii_digit()) {
+                return Err(ParseNatError::InvalidDigit { offset: i });
+            }
+            out.mul_u64_assign(10u64.pow(chunk.len() as u32));
+            out.add_u64_assign(v);
+            i = end;
+        }
+        Ok(out)
+    }
+
+    /// Decimal string (the `Display` impl delegates here).
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        // Peel off 19 digits at a time from the low end.
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(10u64.pow(19));
+            chunks.push(r);
+            cur = q;
+        }
+        let mut out = chunks.last().unwrap().to_string();
+        for chunk in chunks.iter().rev().skip(1) {
+            out.push_str(&format!("{chunk:019}"));
+        }
+        out
+    }
+
+    /// Compact scientific rendering like `4.43e12`, used in experiment
+    /// tables mirroring the paper's layout.
+    pub fn to_scientific(&self, precision: usize) -> String {
+        let digits = self.to_decimal();
+        if digits.len() <= precision + 1 {
+            return digits;
+        }
+        let exp = digits.len() - 1;
+        let mantissa_digits = &digits[..=precision];
+        let (head, tail) = mantissa_digits.split_at(1);
+        format!("{head}.{tail}e{exp}")
+    }
+}
+
+/// Error produced when parsing a decimal string into a [`Nat`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseNatError {
+    /// The input string was empty.
+    Empty,
+    /// A non-digit byte appeared at `offset`.
+    InvalidDigit {
+        /// Byte offset of the offending chunk.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for ParseNatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNatError::Empty => write!(f, "empty string is not a number"),
+            ParseNatError::InvalidDigit { offset } => {
+                write!(f, "invalid decimal digit near byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseNatError {}
+
+impl FromStr for Nat {
+    type Err = ParseNatError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Nat::from_decimal(s)
+    }
+}
+
+impl fmt::Display for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "", &self.to_decimal())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Nat;
+
+    #[test]
+    fn primitive_round_trips() {
+        for v in [0u128, 1, 42, u64::MAX as u128, u128::MAX, 1 << 64] {
+            assert_eq!(Nat::from(v).to_u128(), Some(v));
+        }
+        assert_eq!(Nat::from(7u64).to_u64(), Some(7));
+        assert_eq!(Nat::from(u128::MAX).to_u64(), None);
+        let three_limbs = Nat::from_limbs(vec![1, 1, 1]);
+        assert_eq!(three_limbs.to_u128(), None);
+    }
+
+    #[test]
+    fn decimal_round_trips() {
+        for s in [
+            "0",
+            "1",
+            "4432829940185",
+            "340282366920938463463374607431768211455",
+            "123456789012345678901234567890123456789012345678901234567890",
+        ] {
+            let n: Nat = s.parse().unwrap();
+            assert_eq!(n.to_decimal(), s);
+        }
+    }
+
+    #[test]
+    fn decimal_matches_u128_arithmetic() {
+        let v = 987654321987654321u128 * 1000000007;
+        assert_eq!(Nat::from(v).to_decimal(), v.to_string());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Nat::from_decimal("").is_err());
+        assert!(Nat::from_decimal("12a3").is_err());
+        assert!(Nat::from_decimal("-5").is_err());
+        assert!(Nat::from_decimal(" 5").is_err());
+    }
+
+    #[test]
+    fn scientific_rendering() {
+        assert_eq!(Nat::from(4432829940185u64).to_scientific(2), "4.43e12");
+        assert_eq!(Nat::from(999u64).to_scientific(2), "999");
+        assert_eq!(Nat::from(68572049u64).to_scientific(3), "6.857e7");
+        assert_eq!(Nat::zero().to_scientific(2), "0");
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let n = Nat::from(123u64);
+        assert_eq!(format!("{n}"), "123");
+        assert_eq!(format!("{n:?}"), "Nat(123)");
+        assert_eq!(format!("{n:>6}"), "   123");
+    }
+}

@@ -1,0 +1,219 @@
+//! Division with remainder (Knuth's Algorithm D) and bit shifts.
+//!
+//! Unranking decomposes a local rank into mixed-radix digits
+//! `s_v(i) = floor(R_v(i) / B_v(i-1))`, `R_v(i) = R_v(i+1) mod B_v(i)`
+//! (paper §3.3), so exact big÷big division is on the hot path of plan
+//! generation.
+
+use crate::Nat;
+
+impl Nat {
+    /// Returns `(self / divisor, self % divisor)`.
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &Nat) -> (Nat, Nat) {
+        assert!(!divisor.is_zero(), "Nat division by zero");
+        if self < divisor {
+            return (Nat::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(divisor.limbs[0]);
+            return (q, Nat::from(r));
+        }
+        self.div_rem_knuth(divisor)
+    }
+
+    /// Fast path: divide by a single limb.
+    pub fn div_rem_u64(&self, divisor: u64) -> (Nat, u64) {
+        assert!(divisor != 0, "Nat division by zero");
+        let mut quotient = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            quotient[i] = (cur / divisor as u128) as u64;
+            rem = cur % divisor as u128;
+        }
+        (Nat::from_limbs(quotient), rem as u64)
+    }
+
+    /// Knuth TAOCP vol. 2, 4.3.1 Algorithm D, with 64-bit limbs.
+    fn div_rem_knuth(&self, divisor: &Nat) -> (Nat, Nat) {
+        let n = divisor.limbs.len();
+        let m = self.limbs.len() - n;
+
+        // D1: normalize so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs[n - 1].leading_zeros();
+        let v = divisor.shl_bits(shift);
+        let mut u = self.shl_bits(shift).limbs;
+        u.resize(self.limbs.len() + 1, 0); // extra high limb u[m+n]
+
+        let v_hi = v.limbs[n - 1];
+        let v_lo = v.limbs[n - 2];
+        let mut q = vec![0u64; m + 1];
+
+        // D2..D7: main loop over quotient digits, most significant first.
+        for j in (0..=m).rev() {
+            // D3: estimate q_hat from the top two limbs of u and top of v.
+            let top = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+            let mut q_hat = top / v_hi as u128;
+            let mut r_hat = top % v_hi as u128;
+            // Refine: at most two corrections bring q_hat within 1 of truth.
+            while q_hat >> 64 != 0
+                || q_hat * v_lo as u128 > ((r_hat << 64) | u[j + n - 2] as u128)
+            {
+                q_hat -= 1;
+                r_hat += v_hi as u128;
+                if r_hat >> 64 != 0 {
+                    break;
+                }
+            }
+            let mut q_hat = q_hat as u64;
+
+            // D4: multiply-and-subtract u[j..j+n] -= q_hat * v.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = q_hat as u128 * v.limbs[i] as u128 + carry;
+                carry = p >> 64;
+                let t = u[i + j] as i128 - (p as u64) as i128 + borrow;
+                u[i + j] = t as u64;
+                borrow = t >> 64; // arithmetic shift: 0 or -1
+            }
+            let t = u[j + n] as i128 - carry as i128 + borrow;
+            u[j + n] = t as u64;
+
+            // D5/D6: if we subtracted too much (prob. ~2/2^64), add back.
+            if t < 0 {
+                q_hat -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let s = u[i + j] as u128 + v.limbs[i] as u128 + carry;
+                    u[i + j] = s as u64;
+                    carry = s >> 64;
+                }
+                u[j + n] = (u[j + n] as u128).wrapping_add(carry) as u64;
+            }
+            q[j] = q_hat;
+        }
+
+        // D8: denormalize the remainder.
+        let rem = Nat::from_limbs(u[..n].to_vec()).shr_bits(shift);
+        (Nat::from_limbs(q), rem)
+    }
+
+    /// Left shift by `shift < 64` bits (enough for normalization).
+    pub(crate) fn shl_bits(&self, shift: u32) -> Nat {
+        debug_assert!(shift < 64);
+        if shift == 0 || self.is_zero() {
+            return self.clone();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u64;
+        for &limb in &self.limbs {
+            out.push((limb << shift) | carry);
+            carry = limb >> (64 - shift);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        Nat::from_limbs(out)
+    }
+
+    /// Right shift by `shift < 64` bits.
+    pub(crate) fn shr_bits(&self, shift: u32) -> Nat {
+        debug_assert!(shift < 64);
+        if shift == 0 || self.is_zero() {
+            return self.clone();
+        }
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut carry = 0u64;
+        for i in (0..self.limbs.len()).rev() {
+            out[i] = (self.limbs[i] >> shift) | carry;
+            carry = self.limbs[i] << (64 - shift);
+        }
+        Nat::from_limbs(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Nat;
+
+    fn n(v: u128) -> Nat {
+        Nat::from(v)
+    }
+
+    fn check(a: u128, b: u128) {
+        let (q, r) = n(a).div_rem(&n(b));
+        assert_eq!(q, n(a / b), "quotient of {a}/{b}");
+        assert_eq!(r, n(a % b), "remainder of {a}/{b}");
+    }
+
+    #[test]
+    fn small_divisions() {
+        check(0, 1);
+        check(7, 3);
+        check(42, 42);
+        check(41, 42);
+        check(u64::MAX as u128, 2);
+    }
+
+    #[test]
+    fn u128_divisions_cross_limb() {
+        check(u128::MAX, 3);
+        check(u128::MAX, u64::MAX as u128);
+        check(u128::MAX, (u64::MAX as u128) + 1);
+        check(u128::MAX - 1, u128::MAX);
+        check(1u128 << 127, (1u128 << 64) | 12345);
+    }
+
+    #[test]
+    fn divisor_larger_than_dividend() {
+        let (q, r) = n(5).div_rem(&n(1 << 80));
+        assert!(q.is_zero());
+        assert_eq!(r, n(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        n(5).div_rem(&Nat::zero());
+    }
+
+    #[test]
+    fn single_limb_fast_path() {
+        let (q, r) = n(u128::MAX).div_rem_u64(10);
+        assert_eq!(q, n(u128::MAX / 10));
+        assert_eq!(r, (u128::MAX % 10) as u64);
+    }
+
+    #[test]
+    fn multi_limb_reconstruction() {
+        // (q * d + r) == a for a 4-limb / 2-limb case exercising Algorithm D.
+        let a = Nat::from_limbs(vec![0x0123456789abcdef, 0xfedcba9876543210, 0xdeadbeefcafebabe, 0x1]);
+        let d = Nat::from_limbs(vec![0xffffffff00000001, 0x8000000000000000]);
+        let (q, r) = a.div_rem(&d);
+        assert!(r < d);
+        assert_eq!(&q * &d + &r, a);
+    }
+
+    #[test]
+    fn add_back_case_d6() {
+        // A dividend/divisor pair crafted to force the rare D6 add-back
+        // branch: top limbs equal so the initial q_hat over-estimates.
+        let d = Nat::from_limbs(vec![0, 0xffffffffffffffff]);
+        let a = Nat::from_limbs(vec![u64::MAX, u64::MAX - 1, 0xfffffffffffffffe]);
+        let (q, r) = a.div_rem(&d);
+        assert!(r < d);
+        assert_eq!(&q * &d + &r, a);
+    }
+
+    #[test]
+    fn shifts_round_trip() {
+        let a = Nat::from_limbs(vec![0xdeadbeef, 0xcafebabe, 0x1234]);
+        for s in 0..64u32 {
+            assert_eq!(a.shl_bits(s).shr_bits(s), a, "shift {s}");
+        }
+    }
+}

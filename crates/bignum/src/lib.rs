@@ -1,0 +1,198 @@
+//! Arbitrary-precision unsigned integers for exact plan-space arithmetic.
+//!
+//! The plan-counting algorithm of Waas & Galindo-Legaria multiplies and sums
+//! alternative counts across a MEMO; for joins of 8+ relations the totals
+//! exceed `u64` (Table 1 of the paper already reports 4.4e12 plans, and the
+//! growth is super-exponential in the number of relations). Counting and the
+//! mixed-radix unranking decomposition must be *exact*, so this crate
+//! provides [`Nat`], a dependency-free natural-number type with exactly the
+//! operations the ranking machinery needs: addition, checked subtraction,
+//! multiplication, division with remainder, comparison, decimal conversion,
+//! and uniform random generation below a bound.
+//!
+//! Representation: little-endian `u64` limbs with no trailing zero limbs
+//! (zero is the empty limb vector). All arithmetic is schoolbook; plan
+//! counting touches numbers of a few dozen limbs at most, far below the
+//! sizes where Karatsuba or faster division would pay off.
+
+#![warn(missing_docs)]
+
+mod convert;
+mod div;
+mod ops;
+mod random;
+
+pub use convert::ParseNatError;
+
+/// An arbitrary-precision natural number (unsigned integer).
+///
+/// # Examples
+///
+/// ```
+/// use plansample_bignum::Nat;
+///
+/// let a = Nat::from(u64::MAX);
+/// let b = &a * &a;
+/// assert_eq!(b.to_string(), "340282366920938463426481119284349108225");
+/// let (q, r) = b.div_rem(&a);
+/// assert_eq!(q, a);
+/// assert!(r.is_zero());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Nat {
+    /// Little-endian limbs; invariant: `limbs.last() != Some(&0)`.
+    pub(crate) limbs: Vec<u64>,
+}
+
+impl Nat {
+    /// The value `0`.
+    pub const fn zero() -> Self {
+        Nat { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        Nat { limbs: vec![1] }
+    }
+
+    /// Builds a `Nat` from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Nat { limbs }
+    }
+
+    /// Read-only view of the little-endian limbs.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// `true` iff the value is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// `true` iff the value is `1`.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64),
+        }
+    }
+
+    pub(crate) fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Strictly increments the value in place.
+    pub fn incr(&mut self) {
+        let mut carry = true;
+        for limb in &mut self.limbs {
+            if carry {
+                let (v, c) = limb.overflowing_add(1);
+                *limb = v;
+                carry = c;
+            } else {
+                break;
+            }
+        }
+        if carry {
+            self.limbs.push(1);
+        }
+    }
+
+    /// Decrements in place; panics on zero (natural numbers only).
+    pub fn decr(&mut self) {
+        assert!(!self.is_zero(), "Nat::decr on zero");
+        for limb in &mut self.limbs {
+            let (v, borrow) = limb.overflowing_sub(1);
+            *limb = v;
+            if !borrow {
+                break;
+            }
+        }
+        self.normalize();
+    }
+
+    /// Lossy conversion to `f64` (saturates to `f64::INFINITY` far above
+    /// 2^1024). Used only for reporting, never for exact arithmetic.
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &limb in self.limbs.iter().rev() {
+            acc = acc * 1.8446744073709552e19 + limb as f64;
+        }
+        acc
+    }
+}
+
+impl std::fmt::Debug for Nat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Nat({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(Nat::zero().is_zero());
+        assert!(!Nat::one().is_zero());
+        assert!(Nat::one().is_one());
+        assert_eq!(Nat::zero().bits(), 0);
+        assert_eq!(Nat::one().bits(), 1);
+    }
+
+    #[test]
+    fn from_limbs_normalizes() {
+        let n = Nat::from_limbs(vec![5, 0, 0]);
+        assert_eq!(n.limbs(), &[5]);
+        assert_eq!(Nat::from_limbs(vec![0, 0]), Nat::zero());
+    }
+
+    #[test]
+    fn bits_counts_leading_limb() {
+        assert_eq!(Nat::from(1u64 << 63).bits(), 64);
+        assert_eq!(Nat::from(u64::MAX).bits(), 64);
+        assert_eq!(Nat::from(1u128 << 64).bits(), 65);
+        assert_eq!(Nat::from(3u64).bits(), 2);
+    }
+
+    #[test]
+    fn incr_carries_across_limbs() {
+        let mut n = Nat::from(u64::MAX);
+        n.incr();
+        assert_eq!(n, Nat::from(1u128 << 64));
+        n.decr();
+        assert_eq!(n, Nat::from(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "decr on zero")]
+    fn decr_zero_panics() {
+        Nat::zero().decr();
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Nat::default(), Nat::zero());
+    }
+
+    #[test]
+    fn to_f64_round_numbers() {
+        assert_eq!(Nat::zero().to_f64(), 0.0);
+        assert_eq!(Nat::from(12345u64).to_f64(), 12345.0);
+        let big = Nat::from(1u128 << 100);
+        let expect = (2f64).powi(100);
+        assert!((big.to_f64() - expect).abs() / expect < 1e-12);
+    }
+}

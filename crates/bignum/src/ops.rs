@@ -1,0 +1,317 @@
+//! Comparison, addition, subtraction, and multiplication for [`Nat`].
+
+use crate::Nat;
+use std::cmp::Ordering;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Rem, Sub, SubAssign};
+
+impl Ord for Nat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        // Same limb count: compare from most significant limb down.
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for Nat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Nat {
+    /// `self + other`.
+    pub fn add_nat(&self, other: &Nat) -> Nat {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for (i, &a) in long.iter().enumerate() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        Nat::from_limbs(out)
+    }
+
+    /// `self - other`, or `None` if the result would be negative.
+    pub fn checked_sub(&self, other: &Nat) -> Option<Nat> {
+        if self < other {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i];
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = a.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(Nat::from_limbs(out))
+    }
+
+    /// Schoolbook multiplication. Quadratic, which is fine at MEMO scales
+    /// (plan counts of a few dozen limbs).
+    pub fn mul_nat(&self, other: &Nat) -> Nat {
+        if self.is_zero() || other.is_zero() {
+            return Nat::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let t = out[k] as u128 + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        Nat::from_limbs(out)
+    }
+
+    /// Multiply in place by a single `u64`.
+    pub fn mul_u64_assign(&mut self, m: u64) {
+        if m == 0 {
+            self.limbs.clear();
+            return;
+        }
+        let mut carry = 0u128;
+        for limb in &mut self.limbs {
+            let t = (*limb as u128) * (m as u128) + carry;
+            *limb = t as u64;
+            carry = t >> 64;
+        }
+        while carry != 0 {
+            self.limbs.push(carry as u64);
+            carry >>= 64;
+        }
+    }
+
+    /// Add a single `u64` in place.
+    pub fn add_u64_assign(&mut self, a: u64) {
+        let mut carry = a;
+        for limb in &mut self.limbs {
+            if carry == 0 {
+                return;
+            }
+            let (v, c) = limb.overflowing_add(carry);
+            *limb = v;
+            carry = c as u64;
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $imp:ident) => {
+        impl $trait<&Nat> for &Nat {
+            type Output = Nat;
+            fn $method(self, rhs: &Nat) -> Nat {
+                self.$imp(rhs)
+            }
+        }
+        impl $trait<Nat> for Nat {
+            type Output = Nat;
+            fn $method(self, rhs: Nat) -> Nat {
+                (&self).$imp(&rhs)
+            }
+        }
+        impl $trait<&Nat> for Nat {
+            type Output = Nat;
+            fn $method(self, rhs: &Nat) -> Nat {
+                (&self).$imp(rhs)
+            }
+        }
+        impl $trait<Nat> for &Nat {
+            type Output = Nat;
+            fn $method(self, rhs: Nat) -> Nat {
+                self.$imp(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, add_nat);
+forward_binop!(Mul, mul, mul_nat);
+
+impl Sub<&Nat> for &Nat {
+    type Output = Nat;
+    fn sub(self, rhs: &Nat) -> Nat {
+        self.checked_sub(rhs).expect("Nat subtraction underflow")
+    }
+}
+impl Sub<Nat> for Nat {
+    type Output = Nat;
+    fn sub(self, rhs: Nat) -> Nat {
+        &self - &rhs
+    }
+}
+impl Sub<&Nat> for Nat {
+    type Output = Nat;
+    fn sub(self, rhs: &Nat) -> Nat {
+        &self - rhs
+    }
+}
+
+impl AddAssign<&Nat> for Nat {
+    fn add_assign(&mut self, rhs: &Nat) {
+        *self = self.add_nat(rhs);
+    }
+}
+impl AddAssign<Nat> for Nat {
+    fn add_assign(&mut self, rhs: Nat) {
+        *self = self.add_nat(&rhs);
+    }
+}
+impl SubAssign<&Nat> for Nat {
+    fn sub_assign(&mut self, rhs: &Nat) {
+        *self = &*self - rhs;
+    }
+}
+impl MulAssign<&Nat> for Nat {
+    fn mul_assign(&mut self, rhs: &Nat) {
+        *self = self.mul_nat(rhs);
+    }
+}
+
+impl Rem<&Nat> for &Nat {
+    type Output = Nat;
+    fn rem(self, rhs: &Nat) -> Nat {
+        self.div_rem(rhs).1
+    }
+}
+
+impl std::iter::Sum for Nat {
+    fn sum<I: Iterator<Item = Nat>>(iter: I) -> Nat {
+        iter.fold(Nat::zero(), |acc, x| acc + x)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a Nat> for Nat {
+    fn sum<I: Iterator<Item = &'a Nat>>(iter: I) -> Nat {
+        iter.fold(Nat::zero(), |acc, x| acc + x)
+    }
+}
+
+impl std::iter::Product for Nat {
+    fn product<I: Iterator<Item = Nat>>(iter: I) -> Nat {
+        iter.fold(Nat::one(), |acc, x| acc * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Nat;
+
+    fn n(v: u128) -> Nat {
+        Nat::from(v)
+    }
+
+    #[test]
+    fn ordering_by_length_then_limbs() {
+        assert!(n(1 << 70) > n(u64::MAX as u128));
+        assert!(n(5) < n(6));
+        assert!(n(6) > n(5));
+        assert_eq!(n(7).cmp(&n(7)), std::cmp::Ordering::Equal);
+        assert!(Nat::zero() < Nat::one());
+    }
+
+    #[test]
+    fn add_with_carry_chain() {
+        let a = n(u128::MAX);
+        let b = a.add_nat(&Nat::one());
+        assert_eq!(b.bits(), 129);
+        assert_eq!(b.limbs(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn add_asymmetric_lengths() {
+        assert_eq!(n(1 << 90) + n(3), n((1 << 90) + 3));
+        assert_eq!(n(3) + n(1 << 90), n((1 << 90) + 3));
+    }
+
+    #[test]
+    fn checked_sub_basics() {
+        assert_eq!(n(10).checked_sub(&n(4)), Some(n(6)));
+        assert_eq!(n(4).checked_sub(&n(10)), None);
+        assert_eq!(n(10).checked_sub(&n(10)), Some(Nat::zero()));
+        // borrow across a limb boundary
+        let big = n(1u128 << 64);
+        assert_eq!(big.checked_sub(&n(1)), Some(n((1u128 << 64) - 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = n(1) - n(2);
+    }
+
+    #[test]
+    fn mul_small_and_large() {
+        assert_eq!(n(0) * n(5), Nat::zero());
+        assert_eq!(n(7) * n(6), n(42));
+        let a = n(u64::MAX as u128);
+        assert_eq!(&a * &a, n((u64::MAX as u128) * (u64::MAX as u128)));
+    }
+
+    #[test]
+    fn mul_u64_assign_matches_mul() {
+        let mut a = n(u128::MAX / 5);
+        let b = a.clone() * n(1_000_003);
+        a.mul_u64_assign(1_000_003);
+        assert_eq!(a, b);
+        a.mul_u64_assign(0);
+        assert!(a.is_zero());
+    }
+
+    #[test]
+    fn add_u64_assign_carries() {
+        let mut a = n(u64::MAX as u128);
+        a.add_u64_assign(1);
+        assert_eq!(a, n(1u128 << 64));
+        a.add_u64_assign(0);
+        assert_eq!(a, n(1u128 << 64));
+    }
+
+    #[test]
+    fn sum_and_product_iters() {
+        let total: Nat = (1u64..=5).map(Nat::from).sum();
+        assert_eq!(total, n(15));
+        let prod: Nat = (1u64..=5).map(Nat::from).product();
+        assert_eq!(prod, n(120));
+        let empty_sum: Nat = std::iter::empty::<Nat>().sum();
+        assert!(empty_sum.is_zero());
+        let empty_prod: Nat = std::iter::empty::<Nat>().product();
+        assert!(empty_prod.is_one());
+    }
+}

@@ -1,0 +1,103 @@
+//! Uniform random generation of a `Nat` below a bound.
+//!
+//! Uniform plan sampling (paper §1, §3) reduces to drawing a uniform rank in
+//! `[0, N)` and unranking it. For multi-limb `N` we rejection-sample: draw
+//! `bits(N)` random bits (masking the top limb) and retry until the draw is
+//! `< N`. Each attempt succeeds with probability > 1/2, so the expected
+//! number of rounds is < 2 regardless of `N`.
+
+use crate::Nat;
+use rand::Rng;
+
+impl Nat {
+    /// Draws a uniformly distributed value in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero (the range is empty).
+    pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &Nat) -> Nat {
+        assert!(!bound.is_zero(), "random_below: empty range");
+        if let Some(b) = bound.to_u64() {
+            return Nat::from(rng.gen_range(0..b));
+        }
+        let limbs = bound.limbs.len();
+        let top = bound.limbs[limbs - 1];
+        // Mask covering the significant bits of the top limb.
+        let mask = if top.leading_zeros() == 0 {
+            u64::MAX
+        } else {
+            (1u64 << (64 - top.leading_zeros())) - 1
+        };
+        loop {
+            let mut draw = Vec::with_capacity(limbs);
+            for _ in 0..limbs - 1 {
+                draw.push(rng.gen::<u64>());
+            }
+            draw.push(rng.gen::<u64>() & mask);
+            let candidate = Nat::from_limbs(draw);
+            if &candidate < bound {
+                return candidate;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Nat;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn draws_stay_in_range_small() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let bound = Nat::from(10u64);
+        for _ in 0..1000 {
+            let d = Nat::random_below(&mut rng, &bound);
+            assert!(d < bound);
+        }
+    }
+
+    #[test]
+    fn draws_stay_in_range_multi_limb() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let bound: Nat = "123456789012345678901234567890123456789".parse().unwrap();
+        for _ in 0..500 {
+            let d = Nat::random_below(&mut rng, &bound);
+            assert!(d < bound);
+        }
+    }
+
+    #[test]
+    fn small_range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bound = Nat::from(5u64);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let d = Nat::random_below(&mut rng, &bound).to_u64().unwrap();
+            seen[d as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..5 should appear: {seen:?}");
+    }
+
+    #[test]
+    fn multi_limb_mean_is_centered() {
+        // For bound 2^80 the mean of uniform draws is ~2^79; check within 5%.
+        let mut rng = StdRng::seed_from_u64(99);
+        let bound = Nat::from(1u128 << 80);
+        let mut acc = 0.0f64;
+        let k = 4000;
+        for _ in 0..k {
+            acc += Nat::random_below(&mut rng, &bound).to_f64();
+        }
+        let mean = acc / k as f64;
+        let expect = (2f64).powi(79);
+        assert!((mean - expect).abs() / expect < 0.05, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn zero_bound_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        Nat::random_below(&mut rng, &Nat::zero());
+    }
+}

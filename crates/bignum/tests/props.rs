@@ -1,0 +1,105 @@
+//! Property tests: `Nat` arithmetic must agree with `u128` wherever the
+//! values fit, and algebraic laws must hold for arbitrary multi-limb values.
+
+use plansample_bignum::Nat;
+use proptest::prelude::*;
+
+fn arb_nat() -> impl Strategy<Value = Nat> {
+    // 0..=4 limbs covers zero, single-limb fast paths, and Algorithm D.
+    proptest::collection::vec(any::<u64>(), 0..5).prop_map(Nat::from_limbs)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let sum = Nat::from(a) + Nat::from(b);
+        prop_assert_eq!(sum.to_u128(), Some(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let prod = Nat::from(a) * Nat::from(b);
+        prop_assert_eq!(prod.to_u128(), Some(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn div_rem_matches_u128(a in any::<u128>(), b in 1..=u128::MAX) {
+        let (q, r) = Nat::from(a).div_rem(&Nat::from(b));
+        prop_assert_eq!(q.to_u128(), Some(a / b));
+        prop_assert_eq!(r.to_u128(), Some(a % b));
+    }
+
+    #[test]
+    fn sub_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        let d = Nat::from(hi) - Nat::from(lo);
+        prop_assert_eq!(d.to_u128(), Some(hi - lo));
+        prop_assert_eq!(Nat::from(lo).checked_sub(&Nat::from(hi)).is_none(), hi != lo);
+    }
+
+    #[test]
+    fn cmp_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        prop_assert_eq!(Nat::from(a).cmp(&Nat::from(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn division_reconstructs(a in arb_nat(), b in arb_nat()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&q * &b + &r, a);
+    }
+
+    #[test]
+    fn mul_commutes_and_associates(a in arb_nat(), b in arb_nat(), c in arb_nat()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!((&a * &b) * &c, &a * (&b * &c));
+    }
+
+    #[test]
+    fn add_commutes_and_associates(a in arb_nat(), b in arb_nat(), c in arb_nat()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!((&a + &b) + &c, &a + (&b + &c));
+    }
+
+    #[test]
+    fn distributive_law(a in arb_nat(), b in arb_nat(), c in arb_nat()) {
+        prop_assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
+    }
+
+    #[test]
+    fn decimal_round_trip(a in arb_nat()) {
+        let s = a.to_decimal();
+        let back: Nat = s.parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn decimal_matches_u128_display(a in any::<u128>()) {
+        prop_assert_eq!(Nat::from(a).to_decimal(), a.to_string());
+    }
+
+    #[test]
+    fn incr_decr_round_trip(a in arb_nat()) {
+        let mut b = a.clone();
+        b.incr();
+        prop_assert!(b > a);
+        b.decr();
+        prop_assert_eq!(b, a);
+    }
+
+    #[test]
+    fn mixed_radix_digits_recompose(r in any::<u64>(), b1 in 1u64..1000, b2 in 1u64..1000, b3 in 1u64..1000) {
+        // The exact decomposition the unranking step performs:
+        // digits d_i = (r / prod(b_j, j<i)) mod b_i, recomposed they must
+        // reproduce r when r < b1*b2*b3.
+        let total = b1 as u128 * b2 as u128 * b3 as u128;
+        let r = (r as u128 % total) as u64;
+        let rn = Nat::from(r);
+        let (q1, d1) = rn.div_rem(&Nat::from(b1));
+        let (q2, d2) = q1.div_rem(&Nat::from(b2));
+        let (_q3, d3) = q2.div_rem(&Nat::from(b3));
+        let recomposed = &d1 + &Nat::from(b1) * (&d2 + &Nat::from(b2) * &d3);
+        prop_assert_eq!(recomposed, rn);
+    }
+}

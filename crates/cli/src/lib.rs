@@ -1,0 +1,467 @@
+//! Implementation of the `plansample` command-line tool.
+//!
+//! The CLI wraps the full pipeline — SQL parsing, optimization, plan
+//! counting, USEPLAN execution, uniform sampling, and differential
+//! validation — over the built-in TPC-H catalog (SF-1 statistics) and a
+//! seeded synthetic micro database. It is the paper's §4 "scripting
+//! primitives" experience as a standalone binary:
+//!
+//! ```text
+//! plansample-cli count    "SELECT ... FROM ... WHERE ..."
+//! plansample-cli run      "SELECT ... OPTION (USEPLAN 8)"
+//! plansample-cli sample   1000 "SELECT ..."
+//! plansample-cli validate 200  "SELECT ..."
+//! plansample-cli enumerate 20  "SELECT ..."
+//! plansample-cli memo     "SELECT ..."
+//! ```
+//!
+//! Global flags: `--cross-products`, `--seed N`, `--orders N` (micro
+//! database size).
+
+#![warn(missing_docs)]
+
+use plansample::session::Session;
+use plansample::PlanSpace;
+use plansample_bignum::Nat;
+use plansample_datagen::MicroScale;
+use plansample_exec::render_table;
+use plansample_optimizer::{optimize, OptimizerConfig};
+use plansample_stats::{Histogram, Summary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The action to perform.
+    pub command: Command,
+    /// Allow Cartesian products in the plan space.
+    pub cross_products: bool,
+    /// Seed for data generation and sampling.
+    pub seed: u64,
+    /// Orders in the micro database (other tables scale along).
+    pub orders: usize,
+}
+
+/// CLI actions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Count the plans of a query.
+    Count(String),
+    /// Execute the optimizer's plan (or `OPTION (USEPLAN n)` if present).
+    Run(String),
+    /// Sample `k` plans and report the scaled-cost distribution.
+    Sample(usize, String),
+    /// Differentially validate `k` sampled plans.
+    Validate(usize, String),
+    /// List the first `k` plans with costs.
+    Enumerate(usize, String),
+    /// Dump the memo structure (Figure-2 style).
+    Memo(String),
+    /// Print usage.
+    Help,
+}
+
+/// Errors from argument parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}\n\n{}", self.0, USAGE)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+plansample-cli — count, enumerate, sample, and validate execution plans
+            (Waas & Galindo-Legaria, SIGMOD 2000)
+
+USAGE:
+  plansample-cli [FLAGS] count           \"SQL\"
+  plansample-cli [FLAGS] run             \"SQL [OPTION (USEPLAN n)]\"
+  plansample-cli [FLAGS] sample    K     \"SQL\"
+  plansample-cli [FLAGS] validate  K     \"SQL\"
+  plansample-cli [FLAGS] enumerate K     \"SQL\"
+  plansample-cli [FLAGS] memo            \"SQL\"
+
+FLAGS:
+  --cross-products   include Cartesian products in the space
+  --seed N           RNG seed (default 42)
+  --orders N         orders in the micro database (default 120)
+
+Queries run against the TPC-H schema (region, nation, supplier,
+customer, part, partsupp, orders, lineitem) with SF-1 statistics and a
+seeded synthetic micro database.";
+
+/// Parses command-line arguments (without the program name).
+pub fn parse_args<I, S>(args: I) -> Result<Cli, UsageError>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut cross_products = false;
+    let mut seed = 42u64;
+    let mut orders = 120usize;
+    let mut positional: Vec<String> = Vec::new();
+
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let arg = arg.as_ref();
+        match arg {
+            "--cross-products" => cross_products = true,
+            "--seed" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| UsageError("--seed needs a value".into()))?;
+                seed = v
+                    .as_ref()
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad --seed value `{}`", v.as_ref())))?;
+            }
+            "--orders" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| UsageError("--orders needs a value".into()))?;
+                orders = v
+                    .as_ref()
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad --orders value `{}`", v.as_ref())))?;
+            }
+            "--help" | "-h" => {
+                return Ok(Cli {
+                    command: Command::Help,
+                    cross_products,
+                    seed,
+                    orders,
+                })
+            }
+            flag if flag.starts_with("--") => {
+                return Err(UsageError(format!("unknown flag `{flag}`")))
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+
+    let command = match positional.first().map(String::as_str) {
+        None => Command::Help,
+        Some("count") => Command::Count(one_sql(&positional)?),
+        Some("run") => Command::Run(one_sql(&positional)?),
+        Some("memo") => Command::Memo(one_sql(&positional)?),
+        Some("sample") => {
+            let (k, sql) = k_and_sql(&positional)?;
+            Command::Sample(k, sql)
+        }
+        Some("validate") => {
+            let (k, sql) = k_and_sql(&positional)?;
+            Command::Validate(k, sql)
+        }
+        Some("enumerate") => {
+            let (k, sql) = k_and_sql(&positional)?;
+            Command::Enumerate(k, sql)
+        }
+        Some(other) => return Err(UsageError(format!("unknown command `{other}`"))),
+    };
+    Ok(Cli {
+        command,
+        cross_products,
+        seed,
+        orders,
+    })
+}
+
+fn one_sql(positional: &[String]) -> Result<String, UsageError> {
+    match positional {
+        [_, sql] => Ok(sql.clone()),
+        _ => Err(UsageError(format!(
+            "`{}` takes exactly one SQL argument",
+            positional[0]
+        ))),
+    }
+}
+
+fn k_and_sql(positional: &[String]) -> Result<(usize, String), UsageError> {
+    match positional {
+        [cmd, k, sql] => {
+            let k = k
+                .parse()
+                .map_err(|_| UsageError(format!("`{cmd}` needs a numeric count, got `{k}`")))?;
+            Ok((k, sql.clone()))
+        }
+        _ => Err(UsageError(format!(
+            "`{}` takes a count and one SQL argument",
+            positional[0]
+        ))),
+    }
+}
+
+/// Executes a parsed command, returning the text to print.
+pub fn run(cli: &Cli) -> Result<String, Box<dyn std::error::Error>> {
+    if cli.command == Command::Help {
+        return Ok(USAGE.to_string());
+    }
+    let (catalog, tables) = plansample_catalog::tpch::catalog();
+    let scale = MicroScale {
+        orders: cli.orders,
+        ..Default::default()
+    };
+    let db = plansample_datagen::generate(&catalog, &tables, &scale, cli.seed);
+    let config = if cli.cross_products {
+        OptimizerConfig::with_cross_products()
+    } else {
+        OptimizerConfig::default()
+    };
+
+    let sql = match &cli.command {
+        Command::Count(s)
+        | Command::Run(s)
+        | Command::Sample(_, s)
+        | Command::Validate(_, s)
+        | Command::Enumerate(_, s)
+        | Command::Memo(s) => s.clone(),
+        Command::Help => unreachable!("handled above"),
+    };
+    let parsed = plansample_sql::parse(&catalog, &sql).map_err(|e| e.render(&sql))?;
+    let query = parsed.spec;
+    let mut out = String::new();
+
+    match &cli.command {
+        Command::Help => unreachable!("handled above"),
+        Command::Count(_) => {
+            let optimized = optimize(&catalog, &query, &config)?;
+            let space = PlanSpace::build(&optimized.memo, &query)?;
+            let _ = writeln!(
+                out,
+                "{} groups, {} physical expressions",
+                optimized.memo.num_groups(),
+                optimized.memo.num_physical()
+            );
+            let _ = writeln!(out, "{} complete execution plans", space.total());
+        }
+        Command::Run(_) => {
+            let session = Session::with_config(catalog, db, config);
+            let outcome = match &parsed.useplan {
+                Some(rank) => session.execute_plan(&query, rank)?,
+                None => session.execute(&query)?,
+            };
+            match &outcome.rank {
+                Some(rank) => {
+                    let _ = writeln!(
+                        out,
+                        "plan {rank} of {} (scaled cost {:.2}):",
+                        outcome.space_size, outcome.scaled_cost
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "optimizer's plan (cost {:.0}, space of {} plans):",
+                        outcome.plan_cost, outcome.space_size
+                    );
+                }
+            }
+            let _ = writeln!(out, "{}", outcome.plan_text);
+            let _ = write!(out, "{}", render_table(&outcome.table, 20));
+        }
+        Command::Sample(k, _) => {
+            let optimized = optimize(&catalog, &query, &config)?;
+            let space = PlanSpace::build(&optimized.memo, &query)?;
+            let mut rng = StdRng::seed_from_u64(cli.seed);
+            let costs: Vec<f64> = (0..*k)
+                .map(|_| space.sample(&mut rng).total_cost(&optimized.memo) / optimized.best_cost)
+                .collect();
+            let s = Summary::of(&costs);
+            let _ = writeln!(out, "{k} uniform samples from {} plans", space.total());
+            let _ = writeln!(
+                out,
+                "scaled costs: min {:.2}  mean {:.1}  max {:.1}",
+                s.min(),
+                s.mean(),
+                s.max()
+            );
+            let _ = writeln!(
+                out,
+                "within 2x: {:.2}%   within 10x: {:.2}%",
+                100.0 * s.fraction_below(2.0),
+                100.0 * s.fraction_below(10.0)
+            );
+            let _ = writeln!(out, "\nlower 50% of sampled costs:");
+            let hist = Histogram::lower_fraction(&costs, 0.5, 16);
+            let _ = write!(out, "{}", hist.render(40));
+        }
+        Command::Validate(k, _) => {
+            let optimized = optimize(&catalog, &query, &config)?;
+            let space = PlanSpace::build(&optimized.memo, &query)?;
+            let mut rng = StdRng::seed_from_u64(cli.seed);
+            let report = space.validate_sampled(&catalog, &db, *k, &mut rng)?;
+            let _ = writeln!(out, "{report}");
+            for m in &report.mismatches {
+                let _ = writeln!(
+                    out,
+                    "  MISMATCH at plan {} ({} rows vs {} expected) — reproduce with OPTION (USEPLAN {})",
+                    m.rank, m.actual_rows, m.expected_rows, m.rank
+                );
+            }
+        }
+        Command::Enumerate(k, _) => {
+            let optimized = optimize(&catalog, &query, &config)?;
+            let space = PlanSpace::build(&optimized.memo, &query)?;
+            let _ = writeln!(out, "first {k} of {} plans:", space.total());
+            let mut rank = Nat::zero();
+            for plan in space.enumerate().take(*k) {
+                let ops: Vec<String> = plan
+                    .preorder_ids()
+                    .iter()
+                    .map(|id| format!("{}[{id}]", optimized.memo.phys(*id).op.name()))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "{rank:>6}  cost {:>12.0}  {}",
+                    plan.total_cost(&optimized.memo),
+                    ops.join(" ")
+                );
+                rank.incr();
+            }
+        }
+        Command::Memo(_) => {
+            let optimized = optimize(&catalog, &query, &config)?;
+            let _ = write!(
+                out,
+                "{}",
+                plansample_memo::render_memo(&optimized.memo, &query, &catalog)
+            );
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags_and_commands() {
+        let cli = parse_args(["--cross-products", "--seed", "7", "count", "SELECT * FROM nation"])
+            .unwrap();
+        assert!(cli.cross_products);
+        assert_eq!(cli.seed, 7);
+        assert_eq!(cli.command, Command::Count("SELECT * FROM nation".into()));
+
+        let cli = parse_args(["sample", "100", "SELECT * FROM nation"]).unwrap();
+        assert_eq!(cli.command, Command::Sample(100, "SELECT * FROM nation".into()));
+        assert_eq!(cli.seed, 42);
+    }
+
+    #[test]
+    fn rejects_malformed_invocations() {
+        assert!(parse_args(["bogus", "x"]).is_err());
+        assert!(parse_args(["--seed"]).is_err());
+        assert!(parse_args(["--seed", "abc", "count", "S"]).is_err());
+        assert!(parse_args(["count"]).is_err());
+        assert!(parse_args(["sample", "notanumber", "S"]).is_err());
+        assert!(parse_args(["--unknown-flag", "count", "S"]).is_err());
+        assert!(parse_args(["count", "a", "b"]).is_err());
+    }
+
+    #[test]
+    fn empty_args_and_help() {
+        assert_eq!(parse_args(Vec::<String>::new()).unwrap().command, Command::Help);
+        assert_eq!(parse_args(["--help"]).unwrap().command, Command::Help);
+        let text = run(&parse_args(["--help"]).unwrap()).unwrap();
+        assert!(text.contains("USAGE"));
+    }
+
+    fn cli(command: Command) -> Cli {
+        Cli {
+            command,
+            cross_products: false,
+            seed: 42,
+            orders: 60,
+        }
+    }
+
+    #[test]
+    fn count_command_end_to_end() {
+        let out = run(&cli(Command::Count(
+            "SELECT * FROM nation n, region r WHERE n.n_regionkey = r.r_regionkey".into(),
+        )))
+        .unwrap();
+        assert!(out.contains("complete execution plans"));
+    }
+
+    #[test]
+    fn run_command_with_useplan() {
+        let out = run(&cli(Command::Run(
+            "SELECT * FROM nation n, region r WHERE n.n_regionkey = r.r_regionkey \
+             OPTION (USEPLAN 5)"
+                .into(),
+        )))
+        .unwrap();
+        assert!(out.contains("plan 5 of"));
+        assert!(out.contains("rows)"));
+    }
+
+    #[test]
+    fn run_command_optimizer_plan() {
+        let out = run(&cli(Command::Run(
+            "SELECT COUNT(*) FROM supplier s, nation n WHERE s.s_nationkey = n.n_nationkey"
+                .into(),
+        )))
+        .unwrap();
+        assert!(out.contains("optimizer's plan"));
+    }
+
+    #[test]
+    fn sample_command_reports_distribution() {
+        let out = run(&cli(Command::Sample(
+            200,
+            "SELECT * FROM supplier s, nation n, region r \
+             WHERE s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey"
+                .into(),
+        )))
+        .unwrap();
+        assert!(out.contains("within 2x"));
+        assert!(out.contains('#'));
+    }
+
+    #[test]
+    fn validate_command_passes() {
+        let out = run(&cli(Command::Validate(
+            25,
+            "SELECT * FROM nation n, region r WHERE n.n_regionkey = r.r_regionkey".into(),
+        )))
+        .unwrap();
+        assert!(out.contains("all agree"), "{out}");
+    }
+
+    #[test]
+    fn enumerate_command_lists_plans() {
+        let out = run(&cli(Command::Enumerate(
+            5,
+            "SELECT * FROM nation n, region r WHERE n.n_regionkey = r.r_regionkey".into(),
+        )))
+        .unwrap();
+        assert_eq!(out.lines().count(), 6); // header + 5 plans
+        assert!(out.contains("cost"));
+    }
+
+    #[test]
+    fn memo_command_dumps_structure() {
+        let out = run(&cli(Command::Memo(
+            "SELECT * FROM nation n, region r WHERE n.n_regionkey = r.r_regionkey".into(),
+        )))
+        .unwrap();
+        assert!(out.contains("Group 0"));
+        assert!(out.contains("(root)"));
+        assert!(out.contains("HashJoin"));
+    }
+
+    #[test]
+    fn sql_errors_are_rendered_with_carets() {
+        let err = run(&cli(Command::Count("SELECT * FROM bogus".into()))).unwrap_err();
+        assert!(err.to_string().contains('^'));
+    }
+}

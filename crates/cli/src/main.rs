@@ -1,0 +1,19 @@
+//! `plansample` binary entry point; all logic lives in the library for
+//! testability.
+
+fn main() {
+    let cli = match plansample_cli::parse_args(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match plansample_cli::run(&cli) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

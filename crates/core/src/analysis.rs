@@ -1,0 +1,211 @@
+//! Analytical search-space statistics (an extension in the spirit of
+//! §5/§6: "a further use of our enumeration and sampling primitives is
+//! the study of the search space itself").
+//!
+//! Because the counts give every sub-space's exact size, the *expected
+//! operator mix of a uniformly drawn plan* is computable in closed form,
+//! no sampling needed: the root expression `v` appears with probability
+//! `N(v)/N`, and conditional on a parent appearing, a child `w` fills
+//! slot `s` with probability `N(w)/b(s)`. Propagating these top-down
+//! yields the expected number of occurrences of every memo expression —
+//! e.g. "a uniform Q5 plan contains 2.3 nested-loops joins on average",
+//! the kind of parameter the paper suggests could "predict the
+//! distribution analytically".
+
+use crate::PlanSpace;
+use plansample_memo::PhysId;
+
+impl PlanSpace<'_> {
+    /// Expected number of occurrences of each expression in one
+    /// uniformly sampled plan, indexed like the memo
+    /// (`[group][expr] -> E[occurrences]`).
+    ///
+    /// Occurrences rather than probabilities because an expression can
+    /// appear more than once in a plan only through enforcer stacking,
+    /// which this memo design rules out — so values are in `[0, 1]` and
+    /// are genuine probabilities; the method still sums contributions
+    /// defensively.
+    pub fn operator_frequencies(&self) -> Vec<Vec<f64>> {
+        let mut expected: Vec<Vec<f64>> = self
+            .memo
+            .groups()
+            .map(|g| vec![0.0; g.physical.len()])
+            .collect();
+        let total = self.total().to_f64();
+        if total == 0.0 {
+            return expected;
+        }
+
+        // Seed the roots with N(v)/N, then push accumulated mass down in
+        // a Kahn topological pass so every expression is processed
+        // exactly once (a naive worklist would re-expand shared
+        // sub-spaces exponentially often).
+        let root = self.memo.root();
+        for (id, _) in self.memo.group(root).phys_iter() {
+            expected[id.group.0 as usize][id.index] = self.count_rooted(id).to_f64() / total;
+        }
+
+        let mut in_deg: Vec<Vec<usize>> = self
+            .memo
+            .groups()
+            .map(|g| vec![0; g.physical.len()])
+            .collect();
+        let all_ids: Vec<PhysId> = self
+            .memo
+            .groups()
+            .flat_map(|g| g.phys_iter().map(|(id, _)| id))
+            .collect();
+        for &id in &all_ids {
+            for alternatives in self.links.children(id) {
+                for w in alternatives {
+                    in_deg[w.group.0 as usize][w.index] += 1;
+                }
+            }
+        }
+        let mut queue: Vec<PhysId> = all_ids
+            .iter()
+            .copied()
+            .filter(|id| in_deg[id.group.0 as usize][id.index] == 0)
+            .collect();
+        while let Some(id) = queue.pop() {
+            let mass = expected[id.group.0 as usize][id.index];
+            for alternatives in self.links.children(id) {
+                let b: f64 = alternatives
+                    .iter()
+                    .map(|&w| self.count_rooted(w).to_f64())
+                    .sum();
+                for &w in alternatives {
+                    if b > 0.0 {
+                        let share = self.count_rooted(w).to_f64() / b;
+                        expected[w.group.0 as usize][w.index] += mass * share;
+                    }
+                    in_deg[w.group.0 as usize][w.index] -= 1;
+                    if in_deg[w.group.0 as usize][w.index] == 0 {
+                        queue.push(w);
+                    }
+                }
+            }
+        }
+        expected
+    }
+
+    /// Expected plan size (operator count) of a uniform sample — the sum
+    /// of all expected occurrences.
+    pub fn expected_plan_size(&self) -> f64 {
+        self.operator_frequencies()
+            .iter()
+            .flat_map(|g| g.iter())
+            .sum()
+    }
+
+    /// Expected occurrences per *operator name* ("HashJoin" → 1.7, …),
+    /// sorted descending — the headline "operator mix" view.
+    pub fn operator_mix(&self) -> Vec<(&'static str, f64)> {
+        let freqs = self.operator_frequencies();
+        let mut by_name: std::collections::HashMap<&'static str, f64> =
+            std::collections::HashMap::new();
+        for group in self.memo.groups() {
+            for (id, expr) in group.phys_iter() {
+                *by_name.entry(expr.op.name()).or_default() +=
+                    freqs[id.group.0 as usize][id.index];
+            }
+        }
+        let mut out: Vec<(&'static str, f64)> = by_name.into_iter().collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::paper_example;
+    use crate::PlanSpace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn frequencies_match_hand_computed_values_on_the_fixture() {
+        let ex = paper_example::build();
+        let space = PlanSpace::build(&ex.memo, &ex.query).unwrap();
+        let f = space.operator_frequencies();
+        let get = |id: plansample_memo::PhysId| f[id.group.0 as usize][id.index];
+
+        // Roots: 16/32 each.
+        assert!((get(ex.root_c_ab) - 0.5).abs() < 1e-12);
+        assert!((get(ex.root_ab_c) - 0.5).abs() < 1e-12);
+        // Group AB feeds both roots with mass 1 in total; HashJoin takes
+        // 6/8 of it, MergeJoin 2/8.
+        assert!((get(ex.hash_join_ab) - 0.75).abs() < 1e-12);
+        assert!((get(ex.merge_join_ab) - 0.25).abs() < 1e-12);
+        // Group C also appears in every plan: TableScan_C and IdxScan_C
+        // split it 1/2 : 1/2.
+        assert!((get(ex.table_scan_c) - 0.5).abs() < 1e-12);
+        assert!((get(ex.idx_scan_c) - 0.5).abs() < 1e-12);
+        // Group A, direct children: HashJoin spreads 0.75 over three
+        // alternatives, MergeJoin spreads 0.25 over {IdxScan, Sort}.
+        assert!((get(ex.idx_scan_a) - (0.25 + 0.125)).abs() < 1e-12);
+        assert!((get(ex.sort_a) - (0.25 + 0.125)).abs() < 1e-12);
+        // TableScan_A occurs both as a direct join input (0.75/3) and as
+        // the Sort's input (full Sort mass): 0.25 + 0.375.
+        assert!((get(ex.table_scan_a) - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequencies_match_monte_carlo() {
+        let ex = paper_example::build();
+        let space = PlanSpace::build(&ex.memo, &ex.query).unwrap();
+        let f = space.operator_frequencies();
+
+        let draws = 60_000usize;
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut counts: Vec<Vec<usize>> = f.iter().map(|g| vec![0; g.len()]).collect();
+        for _ in 0..draws {
+            for id in space.sample(&mut rng).preorder_ids() {
+                counts[id.group.0 as usize][id.index] += 1;
+            }
+        }
+        for (gi, group) in f.iter().enumerate() {
+            for (ei, &expected) in group.iter().enumerate() {
+                let observed = counts[gi][ei] as f64 / draws as f64;
+                // 5-sigma binomial tolerance.
+                let sigma = (expected.max(1e-12) * (1.0 - expected.min(1.0)).max(0.0)
+                    / draws as f64)
+                    .sqrt();
+                assert!(
+                    (observed - expected).abs() <= 5.0 * sigma + 2e-3,
+                    "expr {gi}.{ei}: observed {observed:.4}, analytic {expected:.4}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expected_plan_size_is_exact_on_the_fixture() {
+        // Every plan of the fixture has 5 operators except hash-join
+        // plans whose A-side is the Sort (6 operators: the sort + scan).
+        // Count: plans containing Sort_A = (via hash join: 2 roots × 1 ×
+        // 2 B-choices × 2 C-choices = 8) + (via merge join left: 2 roots
+        // × 1 × 1 × 2 = 4) = 12 of 32.
+        let ex = paper_example::build();
+        let space = PlanSpace::build(&ex.memo, &ex.query).unwrap();
+        let expected = (32.0 * 5.0 + 12.0) / 32.0;
+        assert!(
+            (space.expected_plan_size() - expected).abs() < 1e-9,
+            "got {}",
+            space.expected_plan_size()
+        );
+    }
+
+    #[test]
+    fn operator_mix_sums_to_plan_size() {
+        let ex = paper_example::build();
+        let space = PlanSpace::build(&ex.memo, &ex.query).unwrap();
+        let mix = space.operator_mix();
+        let total: f64 = mix.iter().map(|(_, v)| v).sum();
+        assert!((total - space.expected_plan_size()).abs() < 1e-9);
+        // HashJoin appears in every plan at the root and in 3/4 of AB
+        // slots: 1.0 + 0.75.
+        let hj = mix.iter().find(|(n, _)| *n == "HashJoin").unwrap().1;
+        assert!((hj - 1.75).abs() < 1e-12);
+    }
+}

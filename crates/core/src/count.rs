@@ -1,0 +1,125 @@
+//! §3.2 — Counting query plans.
+//!
+//! Bottom-up over the materialized links:
+//!
+//! ```text
+//!   b_v(i) = Σ_j N(w_ij)            alternatives for child slot i
+//!   B_v(k) = Π_{i≤k} b_v(i)         combined choices of the first k slots
+//!   N(v)   = 1 if |v| = 0,  else B_v(|v|)
+//!   N      = Σ_{v ∈ G_root} N(v)
+//! ```
+//!
+//! Counts are exact [`Nat`]s: Table 1 of the paper reports spaces above
+//! 4·10^12, and counts overflow any fixed-width integer as queries grow.
+//! Each expression is visited once (memoized), so counting is linear in
+//! the size of the MEMO — the paper's complexity claim, benchmarked in
+//! `plansample-bench`.
+
+use crate::Links;
+use plansample_bignum::Nat;
+use plansample_memo::{Memo, PhysId};
+
+/// Exact plan counts for every expression plus the space total.
+#[derive(Debug, Clone)]
+pub struct Counts {
+    per_expr: Vec<Vec<Nat>>,
+    total: Nat,
+}
+
+impl Counts {
+    /// Computes all counts. `links` must come from the same memo.
+    pub fn compute(memo: &Memo, links: &Links) -> Counts {
+        let mut per_expr: Vec<Vec<Option<Nat>>> = memo
+            .groups()
+            .map(|g| vec![None; g.physical.len()])
+            .collect();
+        for group in memo.groups() {
+            for (id, _) in group.phys_iter() {
+                count_rec(links, id, &mut per_expr);
+            }
+        }
+        let per_expr: Vec<Vec<Nat>> = per_expr
+            .into_iter()
+            .map(|v| v.into_iter().map(|c| c.expect("all visited")).collect())
+            .collect();
+        let root = memo.root();
+        let total = per_expr[root.0 as usize].iter().sum();
+        Counts { per_expr, total }
+    }
+
+    /// `N(v)`: plans rooted in expression `id`.
+    pub fn rooted(&self, id: PhysId) -> &Nat {
+        &self.per_expr[id.group.0 as usize][id.index]
+    }
+
+    /// `N`: plans rooted in any root-group expression — the size of the
+    /// complete search space.
+    pub fn total(&self) -> &Nat {
+        &self.total
+    }
+
+    /// `b_v(i)`: total alternatives for one child slot (the sum of the
+    /// counts of its eligible children).
+    pub fn slot_total(&self, alternatives: &[PhysId]) -> Nat {
+        alternatives.iter().map(|&w| self.rooted(w)).sum()
+    }
+}
+
+fn count_rec(links: &Links, id: PhysId, cache: &mut [Vec<Option<Nat>>]) -> Nat {
+    if let Some(n) = &cache[id.group.0 as usize][id.index] {
+        return n.clone();
+    }
+    let slots = links.children(id);
+    let n = if slots.is_empty() {
+        Nat::one()
+    } else {
+        let mut product = Nat::one();
+        for alternatives in slots {
+            let b: Nat = alternatives
+                .iter()
+                .map(|&w| count_rec(links, w, cache))
+                .sum();
+            product = product * b; // b = 0 ⇒ no completable plan here
+        }
+        product
+    };
+    cache[id.group.0 as usize][id.index] = Some(n.clone());
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+
+    #[test]
+    fn paper_example_counts() {
+        let ex = paper_example::build();
+        let links = Links::build(&ex.memo, &ex.query).unwrap();
+        let counts = Counts::compute(&ex.memo, &links);
+
+        // Leaves count 1.
+        for id in [ex.table_scan_a, ex.idx_scan_a, ex.idx_scan_b, ex.idx_scan_c] {
+            assert_eq!(counts.rooted(id), &Nat::one(), "{id}");
+        }
+        // Sort_A has exactly one sortable input (the TableScan).
+        assert_eq!(counts.rooted(ex.sort_a).to_u64(), Some(1));
+        // HashJoin(A,B) = 3 × 2, MergeJoin(A,B) = 2 × 1.
+        assert_eq!(counts.rooted(ex.hash_join_ab).to_u64(), Some(6));
+        assert_eq!(counts.rooted(ex.merge_join_ab).to_u64(), Some(2));
+        // Roots: 2 × (6+2) = 16 each; space total 32.
+        assert_eq!(counts.rooted(ex.root_c_ab).to_u64(), Some(16));
+        assert_eq!(counts.rooted(ex.root_ab_c).to_u64(), Some(16));
+        assert_eq!(counts.total().to_u64(), Some(32));
+    }
+
+    #[test]
+    fn slot_totals_sum_alternative_counts() {
+        let ex = paper_example::build();
+        let links = Links::build(&ex.memo, &ex.query).unwrap();
+        let counts = Counts::compute(&ex.memo, &links);
+        let slots = links.children(ex.root_c_ab);
+        assert_eq!(counts.slot_total(&slots[0]).to_u64(), Some(2)); // group C
+        assert_eq!(counts.slot_total(&slots[1]).to_u64(), Some(8)); // group AB
+    }
+}

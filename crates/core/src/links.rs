@@ -1,0 +1,191 @@
+//! §3.1 — Preparatory steps: materializing the links between operators
+//! and their possible children.
+//!
+//! "In order to facilitate later operations we extract all physical
+//! operators and materialize the links between operators and their
+//! possible children." For every physical expression and every child
+//! slot, [`Links`] stores the concrete list of compatible child
+//! expressions (property-filtered through
+//! [`plansample_memo::eligible_children`]). The resulting structure
+//! describes all possible execution plans rooted in each operator and is
+//! what counting and unranking traverse.
+//!
+//! Building the links also verifies the plan graph is acyclic — a
+//! prerequisite for the bottom-up count to be well-defined. Memos
+//! produced by the optimizer are acyclic by construction (joins reference
+//! strictly smaller relation sets; enforcers never feed enforcers), but
+//! hand-built memos are checked defensively.
+
+use crate::SpaceError;
+use plansample_memo::{eligible_children, Memo, PhysId};
+use plansample_query::QuerySpec;
+
+/// Materialized parent→child links for every physical expression.
+#[derive(Debug, Clone)]
+pub struct Links {
+    /// `[group][expr][slot] -> eligible child expression ids`.
+    slots: Vec<Vec<Vec<Vec<PhysId>>>>,
+}
+
+impl Links {
+    /// Materializes all links and checks acyclicity.
+    pub fn build(memo: &Memo, query: &QuerySpec) -> Result<Links, SpaceError> {
+        let slots: Vec<Vec<Vec<Vec<PhysId>>>> = memo
+            .groups()
+            .map(|group| {
+                group
+                    .phys_iter()
+                    .map(|(id, expr)| {
+                        expr.child_slots(id.group)
+                            .iter()
+                            .map(|slot| eligible_children(memo, query, slot))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let links = Links { slots };
+        links.check_acyclic(memo)?;
+        Ok(links)
+    }
+
+    /// The alternatives for each child slot of `id`, in slot order.
+    pub fn children(&self, id: PhysId) -> &[Vec<PhysId>] {
+        &self.slots[id.group.0 as usize][id.index]
+    }
+
+    /// Iterates every expression id covered by these links.
+    pub fn all_ids<'a>(&'a self, memo: &'a Memo) -> impl Iterator<Item = PhysId> + 'a {
+        memo.groups().flat_map(|g| g.phys_iter().map(|(id, _)| id))
+    }
+
+    /// DFS three-colour cycle check over the materialized link graph.
+    fn check_acyclic(&self, memo: &Memo) -> Result<(), SpaceError> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let mut colour: Vec<Vec<Colour>> = memo
+            .groups()
+            .map(|g| vec![Colour::White; g.physical.len()])
+            .collect();
+
+        // Iterative DFS to avoid stack depth concerns on big memos.
+        for start in self.all_ids(memo).collect::<Vec<_>>() {
+            if colour[start.group.0 as usize][start.index] != Colour::White {
+                continue;
+            }
+            let mut stack: Vec<(PhysId, usize, usize)> = vec![(start, 0, 0)];
+            colour[start.group.0 as usize][start.index] = Colour::Grey;
+            while let Some(&mut (id, ref mut slot, ref mut alt)) = stack.last_mut() {
+                let slots = self.children(id);
+                if *slot >= slots.len() {
+                    colour[id.group.0 as usize][id.index] = Colour::Black;
+                    stack.pop();
+                    continue;
+                }
+                if *alt >= slots[*slot].len() {
+                    *slot += 1;
+                    *alt = 0;
+                    continue;
+                }
+                let child = slots[*slot][*alt];
+                *alt += 1;
+                match colour[child.group.0 as usize][child.index] {
+                    Colour::White => {
+                        colour[child.group.0 as usize][child.index] = Colour::Grey;
+                        stack.push((child, 0, 0));
+                    }
+                    Colour::Grey => return Err(SpaceError::CyclicMemo { at: child }),
+                    Colour::Black => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+    use plansample_memo::{
+        GroupKey, Memo, PhysicalExpr, PhysicalOp, SortOrder,
+    };
+    use plansample_query::RelSet;
+
+    #[test]
+    fn paper_example_links_match_figure3() {
+        let ex = paper_example::build();
+        let links = Links::build(&ex.memo, &ex.query).unwrap();
+
+        // Sort in group A: only the TableScan is a sortable input.
+        let sort_children = links.children(ex.sort_a);
+        assert_eq!(sort_children.len(), 1);
+        assert_eq!(sort_children[0], vec![ex.table_scan_a]);
+
+        // MergeJoin(A,B): left alternatives IdxScan_A and Sort_A; right
+        // only IdxScan_B — "operator 3.4 however can use only the
+        // darkened operators 2.3 and 1.3 or 1.4".
+        let mj = links.children(ex.merge_join_ab);
+        assert_eq!(mj[0], vec![ex.idx_scan_a, ex.sort_a]);
+        assert_eq!(mj[1], vec![ex.idx_scan_b]);
+
+        // HashJoin(A,B): any of group A (3) × any of group B (2).
+        let hj = links.children(ex.hash_join_ab);
+        assert_eq!(hj[0].len(), 3);
+        assert_eq!(hj[1].len(), 2);
+
+        // Root 7.7-analogue: any of group C (2) × any of group AB (2).
+        let root = links.children(ex.root_c_ab);
+        assert_eq!(root[0].len(), 2);
+        assert_eq!(root[1].len(), 2);
+    }
+
+    #[test]
+    fn leaves_have_no_slots() {
+        let ex = paper_example::build();
+        let links = Links::build(&ex.memo, &ex.query).unwrap();
+        assert!(links.children(ex.table_scan_a).is_empty());
+        assert!(links.children(ex.idx_scan_c).is_empty());
+    }
+
+    #[test]
+    fn cyclic_hand_built_memo_is_rejected() {
+        // Two mutually-referencing "joins" in the same group cannot occur
+        // via the optimizer, but a hand-built memo can express a cycle
+        // through a self-join of groups: g2.join(g0, g2) — child group
+        // equals own group with an always-satisfied requirement.
+        let ex = paper_example::build();
+        let mut memo = Memo::new();
+        let g0 = memo.add_group(GroupKey::Rels(RelSet::all(1)));
+        memo.add_physical(
+            g0,
+            PhysicalExpr::new(
+                PhysicalOp::TableScan { rel: plansample_query::RelId(0) },
+                SortOrder::unsorted(),
+                1.0,
+                1.0,
+            ),
+        )
+        .unwrap();
+        let g1 = memo.add_group(GroupKey::Rels(RelSet::all(2)));
+        memo.add_physical(
+            g1,
+            PhysicalExpr::new(
+                PhysicalOp::NestedLoopJoin { left: g0, right: g1 },
+                SortOrder::unsorted(),
+                1.0,
+                1.0,
+            ),
+        )
+        .unwrap();
+        memo.set_root(g1);
+        assert!(matches!(
+            Links::build(&memo, &ex.query),
+            Err(SpaceError::CyclicMemo { .. })
+        ));
+    }
+}

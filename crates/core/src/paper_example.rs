@@ -1,0 +1,289 @@
+//! The worked example of the paper's Figures 2/3 and appendix, as a
+//! hand-built MEMO fixture.
+//!
+//! Three relations A, B, C with an index on each key column. The memo
+//! reproduces the link structure the paper draws:
+//!
+//! ```text
+//! group A   : TableScan_A, SortedIdxScan_A, Sort_A        (paper 1.2/1.3/1.4)
+//! group B   : TableScan_B, SortedIdxScan_B                (paper 2.2/2.3)
+//! group C   : TableScan_C, SortedIdxScan_C                (paper 4.2/4.3)
+//! group A⋈B : HashJoin(A,B)  N=3·2=6                      (paper 3.3)
+//!             MergeJoin(A,B) N=2·1=2                      (paper 3.4)
+//! root      : HashJoin(C, A⋈B)  N=2·8=16                  (paper 7.7)
+//!             HashJoin(A⋈B, C)  N=8·2=16                  (paper 7.8)
+//! total: 32 plans
+//! ```
+//!
+//! The appendix unranks the pair `(13, root)` and obtains the operators
+//! `7.7, 4.3, 3.4, 2.3, 1.3`; in this fixture that corresponds to the
+//! root `HashJoin(C, A⋈B)` with `SortedIdxScan_C`, `MergeJoin(A,B)`,
+//! `SortedIdxScan_A`, `SortedIdxScan_B` — asserted by the crate tests.
+
+use plansample_catalog::{table, Catalog, ColType};
+use plansample_memo::{
+    GroupId, GroupKey, Memo, PhysId, PhysicalExpr, PhysicalOp, SortOrder,
+};
+use plansample_query::{ColRef, QueryBuilder, QuerySpec, RelId, RelSet};
+
+/// The fixture: catalog, query, memo, and named expression ids.
+#[derive(Debug)]
+pub struct PaperExample {
+    /// Catalog with tables A, B, C.
+    pub catalog: Catalog,
+    /// The three-relation query (edges `A.k = B.k`, `B.m = C.k`).
+    pub query: QuerySpec,
+    /// The hand-built memo.
+    pub memo: Memo,
+    /// Group of relation A.
+    pub group_a: GroupId,
+    /// Group of relation B.
+    pub group_b: GroupId,
+    /// Group of relation C.
+    pub group_c: GroupId,
+    /// Group of A⋈B.
+    pub group_ab: GroupId,
+    /// Root group (A⋈B⋈C).
+    pub group_root: GroupId,
+    /// Heap scan of A (paper 1.2).
+    pub table_scan_a: PhysId,
+    /// Index scan of A (paper 1.3).
+    pub idx_scan_a: PhysId,
+    /// Sort enforcer in group A (paper 1.4).
+    pub sort_a: PhysId,
+    /// Heap scan of B (paper 2.2).
+    pub table_scan_b: PhysId,
+    /// Index scan of B (paper 2.3).
+    pub idx_scan_b: PhysId,
+    /// Heap scan of C (paper 4.2).
+    pub table_scan_c: PhysId,
+    /// Index scan of C (paper 4.3).
+    pub idx_scan_c: PhysId,
+    /// Hash join A⋈B (paper 3.3).
+    pub hash_join_ab: PhysId,
+    /// Merge join A⋈B (paper 3.4).
+    pub merge_join_ab: PhysId,
+    /// Root hash join C ⋈ (A⋈B) (paper 7.7).
+    pub root_c_ab: PhysId,
+    /// Root hash join (A⋈B) ⋈ C (paper 7.8).
+    pub root_ab_c: PhysId,
+}
+
+/// Builds the fixture.
+pub fn build() -> PaperExample {
+    let mut catalog = Catalog::new();
+    catalog
+        .add_table(
+            table("a", 100)
+                .col("k", ColType::Int, 100)
+                .index_on(0)
+                .build(),
+        )
+        .expect("fresh catalog");
+    catalog
+        .add_table(
+            table("b", 200)
+                .col("k", ColType::Int, 100)
+                .col("m", ColType::Int, 50)
+                .index_on(0)
+                .build(),
+        )
+        .expect("fresh catalog");
+    catalog
+        .add_table(
+            table("c", 50)
+                .col("k", ColType::Int, 50)
+                .index_on(0)
+                .build(),
+        )
+        .expect("fresh catalog");
+
+    let mut qb = QueryBuilder::new(&catalog);
+    qb.rel("a", None).expect("table exists");
+    qb.rel("b", None).expect("table exists");
+    qb.rel("c", None).expect("table exists");
+    qb.join(("a", "k"), ("b", "k")).expect("columns exist");
+    qb.join(("b", "m"), ("c", "k")).expect("columns exist");
+    let query = qb.build().expect("valid query");
+
+    let (ra, rb, rc) = (RelId(0), RelId(1), RelId(2));
+    let a_k = ColRef { rel: ra, col: 0 };
+    let b_k = ColRef { rel: rb, col: 0 };
+    let c_k = ColRef { rel: rc, col: 0 };
+
+    let mut memo = Memo::new();
+    let group_a = memo.add_group(GroupKey::Rels(RelSet::singleton(ra)));
+    let group_b = memo.add_group(GroupKey::Rels(RelSet::singleton(rb)));
+    let group_c = memo.add_group(GroupKey::Rels(RelSet::singleton(rc)));
+    let group_ab =
+        memo.add_group(GroupKey::Rels(RelSet::from_iter([ra, rb])));
+    let group_root = memo.add_group(GroupKey::Rels(RelSet::all(3)));
+
+    let phys = |op: PhysicalOp, delivered: SortOrder, cost: f64, card: f64| {
+        PhysicalExpr::new(op, delivered, cost, card)
+    };
+
+    let table_scan_a = memo
+        .add_physical(
+            group_a,
+            phys(PhysicalOp::TableScan { rel: ra }, SortOrder::unsorted(), 100.0, 100.0),
+        )
+        .expect("new expression");
+    let idx_scan_a = memo
+        .add_physical(
+            group_a,
+            phys(
+                PhysicalOp::SortedIdxScan { rel: ra, col: a_k },
+                SortOrder::on_col(a_k),
+                120.0,
+                100.0,
+            ),
+        )
+        .expect("new expression");
+    let sort_a = memo
+        .add_physical(
+            group_a,
+            phys(
+                PhysicalOp::Sort { target: SortOrder::on_col(a_k) },
+                SortOrder::on_col(a_k),
+                80.0,
+                100.0,
+            ),
+        )
+        .expect("new expression");
+
+    let table_scan_b = memo
+        .add_physical(
+            group_b,
+            phys(PhysicalOp::TableScan { rel: rb }, SortOrder::unsorted(), 200.0, 200.0),
+        )
+        .expect("new expression");
+    let idx_scan_b = memo
+        .add_physical(
+            group_b,
+            phys(
+                PhysicalOp::SortedIdxScan { rel: rb, col: b_k },
+                SortOrder::on_col(b_k),
+                240.0,
+                200.0,
+            ),
+        )
+        .expect("new expression");
+
+    let table_scan_c = memo
+        .add_physical(
+            group_c,
+            phys(PhysicalOp::TableScan { rel: rc }, SortOrder::unsorted(), 50.0, 50.0),
+        )
+        .expect("new expression");
+    let idx_scan_c = memo
+        .add_physical(
+            group_c,
+            phys(
+                PhysicalOp::SortedIdxScan { rel: rc, col: c_k },
+                SortOrder::on_col(c_k),
+                60.0,
+                50.0,
+            ),
+        )
+        .expect("new expression");
+
+    let hash_join_ab = memo
+        .add_physical(
+            group_ab,
+            phys(
+                PhysicalOp::HashJoin { left: group_a, right: group_b },
+                SortOrder::unsorted(),
+                350.0,
+                200.0,
+            ),
+        )
+        .expect("new expression");
+    let merge_join_ab = memo
+        .add_physical(
+            group_ab,
+            phys(
+                PhysicalOp::MergeJoin {
+                    left: group_a,
+                    right: group_b,
+                    left_key: a_k,
+                    right_key: b_k,
+                },
+                SortOrder::on_col(a_k),
+                300.0,
+                200.0,
+            ),
+        )
+        .expect("new expression");
+
+    let root_c_ab = memo
+        .add_physical(
+            group_root,
+            phys(
+                PhysicalOp::HashJoin { left: group_c, right: group_ab },
+                SortOrder::unsorted(),
+                275.0,
+                200.0,
+            ),
+        )
+        .expect("new expression");
+    let root_ab_c = memo
+        .add_physical(
+            group_root,
+            phys(
+                PhysicalOp::HashJoin { left: group_ab, right: group_c },
+                SortOrder::unsorted(),
+                350.0,
+                200.0,
+            ),
+        )
+        .expect("new expression");
+
+    memo.set_root(group_root);
+
+    PaperExample {
+        catalog,
+        query,
+        memo,
+        group_a,
+        group_b,
+        group_c,
+        group_ab,
+        group_root,
+        table_scan_a,
+        idx_scan_a,
+        sort_a,
+        table_scan_b,
+        idx_scan_b,
+        table_scan_c,
+        idx_scan_c,
+        hash_join_ab,
+        merge_join_ab,
+        root_c_ab,
+        root_ab_c,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_shape() {
+        let ex = build();
+        assert_eq!(ex.memo.num_groups(), 5);
+        assert_eq!(ex.memo.num_physical(), 11);
+        assert_eq!(ex.memo.root(), ex.group_root);
+        assert_eq!(ex.memo.group(ex.group_a).physical.len(), 3);
+        assert_eq!(ex.memo.group(ex.group_ab).physical.len(), 2);
+    }
+
+    #[test]
+    fn ids_point_at_expected_operators() {
+        let ex = build();
+        assert_eq!(ex.memo.phys(ex.sort_a).op.name(), "Sort");
+        assert_eq!(ex.memo.phys(ex.merge_join_ab).op.name(), "MergeJoin");
+        assert_eq!(ex.memo.phys(ex.root_c_ab).op.name(), "HashJoin");
+        assert!(ex.memo.phys(ex.idx_scan_b).op.is_leaf());
+    }
+}

@@ -1,0 +1,140 @@
+//! Ranking: the inverse of unranking — finding a plan's number.
+//!
+//! The paper defines ranking as "finding [an execution plan's] number"
+//! (§1) and uses it implicitly to establish the bijection between
+//! `[0, N)` and the plan space. The computation mirrors unranking in
+//! reverse: at every node, sum the counts of the alternatives preceding
+//! the chosen operator (prefix), then recompose the local rank from the
+//! children's sub-ranks in the same mixed-radix system.
+//!
+//! `rank(unrank(r)) == r` for every `r` is the central bijection
+//! property, enforced by unit and property tests.
+
+use crate::{PlanSpace, SpaceError};
+use plansample_bignum::Nat;
+use plansample_memo::{PhysId, PlanNode};
+
+impl PlanSpace<'_> {
+    /// Computes the rank of `plan` within this space.
+    ///
+    /// Fails with [`SpaceError::ForeignPlan`] when the plan uses an
+    /// operator that is not among the eligible alternatives at its
+    /// position (e.g. a plan from a different memo, or one violating
+    /// physical-property requirements).
+    pub fn rank(&self, plan: &PlanNode) -> Result<Nat, SpaceError> {
+        let root_alternatives: Vec<PhysId> = self
+            .memo
+            .group(self.memo.root())
+            .phys_iter()
+            .map(|(id, _)| id)
+            .collect();
+        self.rank_in(&root_alternatives, plan)
+    }
+
+    /// Prefix-sum over the alternatives preceding the plan's operator,
+    /// plus its local rank.
+    fn rank_in(&self, alternatives: &[PhysId], plan: &PlanNode) -> Result<Nat, SpaceError> {
+        let mut prefix = Nat::zero();
+        for &v in alternatives {
+            if v == plan.id {
+                let local = self.rank_expr(plan)?;
+                return Ok(prefix + local);
+            }
+            prefix += self.counts.rooted(v);
+        }
+        Err(SpaceError::ForeignPlan { at: plan.id })
+    }
+
+    /// Recomposes the local rank from the children's sub-ranks:
+    /// `r_l = Σ_i s_v(i) · B_v(i−1)`.
+    pub(crate) fn rank_expr(&self, plan: &PlanNode) -> Result<Nat, SpaceError> {
+        let slots = self.links.children(plan.id);
+        if slots.len() != plan.children.len() {
+            return Err(SpaceError::ForeignPlan { at: plan.id });
+        }
+        let mut local = Nat::zero();
+        let mut multiplier = Nat::one();
+        for (alternatives, child) in slots.iter().zip(&plan.children) {
+            let s = self.rank_in(alternatives, child)?;
+            local += &s * &multiplier;
+            multiplier *= &self.counts.slot_total(alternatives);
+        }
+        Ok(local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+    use crate::PlanSpace;
+    use plansample_memo::PlanNode;
+
+    #[test]
+    fn rank_inverts_unrank_on_the_paper_example() {
+        let ex = paper_example::build();
+        let space = PlanSpace::build(&ex.memo, &ex.query).unwrap();
+        for r in 0..32u64 {
+            let plan = space.unrank(&Nat::from(r)).unwrap();
+            assert_eq!(space.rank(&plan).unwrap(), Nat::from(r), "round trip {r}");
+        }
+    }
+
+    #[test]
+    fn appendix_plan_ranks_to_13() {
+        let ex = paper_example::build();
+        let space = PlanSpace::build(&ex.memo, &ex.query).unwrap();
+        let plan = PlanNode {
+            id: ex.root_c_ab,
+            children: vec![
+                PlanNode::leaf(ex.idx_scan_c),
+                PlanNode {
+                    id: ex.merge_join_ab,
+                    children: vec![
+                        PlanNode::leaf(ex.idx_scan_a),
+                        PlanNode::leaf(ex.idx_scan_b),
+                    ],
+                },
+            ],
+        };
+        assert_eq!(space.rank(&plan).unwrap(), Nat::from(13u64));
+    }
+
+    #[test]
+    fn foreign_plan_is_rejected() {
+        let ex = paper_example::build();
+        let space = PlanSpace::build(&ex.memo, &ex.query).unwrap();
+        // A merge join fed by an unsorted table scan is not in the space.
+        let bogus = PlanNode {
+            id: ex.root_c_ab,
+            children: vec![
+                PlanNode::leaf(ex.idx_scan_c),
+                PlanNode {
+                    id: ex.merge_join_ab,
+                    children: vec![
+                        PlanNode::leaf(ex.table_scan_a),
+                        PlanNode::leaf(ex.idx_scan_b),
+                    ],
+                },
+            ],
+        };
+        assert!(matches!(
+            space.rank(&bogus),
+            Err(SpaceError::ForeignPlan { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let ex = paper_example::build();
+        let space = PlanSpace::build(&ex.memo, &ex.query).unwrap();
+        let truncated = PlanNode {
+            id: ex.root_c_ab,
+            children: vec![PlanNode::leaf(ex.idx_scan_c)],
+        };
+        assert!(matches!(
+            space.rank(&truncated),
+            Err(SpaceError::ForeignPlan { .. })
+        ));
+    }
+}

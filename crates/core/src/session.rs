@@ -1,0 +1,237 @@
+//! The `OPTION (USEPLAN n)` workflow as a library API (§4).
+//!
+//! A [`Session`] bundles a catalog, a database, and an optimizer
+//! configuration. [`Session::execute`] runs a query with the
+//! optimizer's plan; [`Session::execute_plan`] runs it with *plan
+//! number n* — the paper's SQL-level `OPTION (USEPLAN 8)` hook, which
+//! the `plansample-sql` crate exposes through actual SQL syntax.
+//! Every outcome reports the plan's cost scaled to the optimum (the
+//! paper's cost unit in §5).
+
+use crate::lower::lower;
+use crate::validate::ValidateError;
+use crate::{PlanSpace, SpaceError};
+use plansample_bignum::Nat;
+use plansample_catalog::Catalog;
+use plansample_exec::{Database, ExecError, Table};
+use plansample_memo::PlanNode;
+use plansample_optimizer::{optimize, OptError, Optimized, OptimizerConfig};
+use plansample_query::QuerySpec;
+use std::fmt;
+
+/// Errors from session operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// Optimization failed.
+    Opt(OptError),
+    /// Rank machinery failed (e.g. USEPLAN number out of range).
+    Space(SpaceError),
+    /// Execution failed.
+    Exec(ExecError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Opt(e) => write!(f, "{e}"),
+            SessionError::Space(e) => write!(f, "{e}"),
+            SessionError::Exec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<OptError> for SessionError {
+    fn from(e: OptError) -> Self {
+        SessionError::Opt(e)
+    }
+}
+
+impl From<SpaceError> for SessionError {
+    fn from(e: SpaceError) -> Self {
+        SessionError::Space(e)
+    }
+}
+
+impl From<ExecError> for SessionError {
+    fn from(e: ExecError) -> Self {
+        SessionError::Exec(e)
+    }
+}
+
+impl From<ValidateError> for SessionError {
+    fn from(e: ValidateError) -> Self {
+        match e {
+            ValidateError::Space(e) => SessionError::Space(e),
+            ValidateError::Exec(e) => SessionError::Exec(e),
+        }
+    }
+}
+
+/// Result of executing a query through a session.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The result rows.
+    pub table: Table,
+    /// Which plan ran: `None` = the optimizer's choice, `Some(rank)` =
+    /// `USEPLAN rank`.
+    pub rank: Option<Nat>,
+    /// Total number of plans in the query's space.
+    pub space_size: Nat,
+    /// The executed plan's total cost.
+    pub plan_cost: f64,
+    /// Cost scaled so the optimizer's plan is 1.0 (the paper's unit).
+    pub scaled_cost: f64,
+    /// Rendered plan tree for display.
+    pub plan_text: String,
+}
+
+/// A query-processing session: catalog + data + optimizer settings.
+#[derive(Debug)]
+pub struct Session {
+    catalog: Catalog,
+    db: Database,
+    config: OptimizerConfig,
+}
+
+impl Session {
+    /// Creates a session with default optimizer settings.
+    pub fn new(catalog: Catalog, db: Database) -> Self {
+        Session::with_config(catalog, db, OptimizerConfig::default())
+    }
+
+    /// Creates a session with explicit optimizer settings.
+    pub fn with_config(catalog: Catalog, db: Database, config: OptimizerConfig) -> Self {
+        Session {
+            catalog,
+            db,
+            config,
+        }
+    }
+
+    /// The session's catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The session's database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    fn optimize(&self, query: &QuerySpec) -> Result<Optimized, SessionError> {
+        Ok(optimize(&self.catalog, query, &self.config)?)
+    }
+
+    /// Counts the plans the optimizer considers for `query` — the
+    /// paper's "build the MEMO structure, count the possible plans".
+    pub fn count_plans(&self, query: &QuerySpec) -> Result<Nat, SessionError> {
+        let optimized = self.optimize(query)?;
+        let space = PlanSpace::build(&optimized.memo, query)?;
+        Ok(space.total().clone())
+    }
+
+    /// Executes `query` with the optimizer's chosen plan.
+    pub fn execute(&self, query: &QuerySpec) -> Result<QueryOutcome, SessionError> {
+        let optimized = self.optimize(query)?;
+        let space = PlanSpace::build(&optimized.memo, query)?;
+        self.run_plan(query, &optimized, &space, &optimized.best_plan, None)
+    }
+
+    /// Executes `query` with plan number `rank` — `OPTION (USEPLAN rank)`.
+    pub fn execute_plan(
+        &self,
+        query: &QuerySpec,
+        rank: &Nat,
+    ) -> Result<QueryOutcome, SessionError> {
+        let optimized = self.optimize(query)?;
+        let space = PlanSpace::build(&optimized.memo, query)?;
+        let plan = space.unrank(rank)?;
+        self.run_plan(query, &optimized, &space, &plan, Some(rank.clone()))
+    }
+
+    fn run_plan(
+        &self,
+        query: &QuerySpec,
+        optimized: &Optimized,
+        space: &PlanSpace<'_>,
+        plan: &PlanNode,
+        rank: Option<Nat>,
+    ) -> Result<QueryOutcome, SessionError> {
+        let exec = lower(&optimized.memo, query, &self.catalog, plan);
+        let table = exec.execute(&self.db)?;
+        let plan_cost = plan.total_cost(&optimized.memo);
+        Ok(QueryOutcome {
+            table,
+            rank,
+            space_size: space.total().clone(),
+            plan_cost,
+            scaled_cost: plan_cost / optimized.best_cost,
+            plan_text: plan.render(&optimized.memo),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plansample_catalog::tpch;
+    use plansample_datagen::MicroScale;
+
+    fn session() -> Session {
+        let (catalog, tables) = tpch::catalog();
+        let db = plansample_datagen::generate(&catalog, &tables, &MicroScale::tiny(), 11);
+        Session::new(catalog, db)
+    }
+
+    #[test]
+    fn optimizer_plan_executes_q5() {
+        let s = session();
+        let q = plansample_query::tpch::q5(s.catalog());
+        let out = s.execute(&q).unwrap();
+        assert!(out.rank.is_none());
+        assert!((out.scaled_cost - 1.0).abs() < 1e-9, "optimizer plan is the 1.0 reference");
+        assert!(out.plan_text.contains("Agg"));
+        assert!(out.space_size.to_f64() > 1e6);
+    }
+
+    #[test]
+    fn useplan_reproduces_specific_plans() {
+        let s = session();
+        let q = plansample_query::tpch::q5(s.catalog());
+        let reference = s.execute(&q).unwrap();
+        for rank in [0u64, 8, 12345] {
+            let out = s.execute_plan(&q, &Nat::from(rank)).unwrap();
+            assert_eq!(out.rank, Some(Nat::from(rank)));
+            assert!(
+                out.table.multiset_eq(&reference.table),
+                "USEPLAN {rank} must agree with the optimizer's plan"
+            );
+            assert!(out.scaled_cost >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn useplan_out_of_range_is_an_error() {
+        let s = session();
+        let q = plansample_query::tpch::q6(s.catalog());
+        let n = s.count_plans(&q).unwrap();
+        assert!(matches!(
+            s.execute_plan(&q, &n),
+            Err(SessionError::Space(SpaceError::RankOutOfRange { .. }))
+        ));
+        let mut last = n;
+        last.decr();
+        assert!(s.execute_plan(&q, &last).is_ok());
+    }
+
+    #[test]
+    fn count_plans_matches_space() {
+        let s = session();
+        let q = plansample_query::tpch::q6(s.catalog());
+        // Q6: lineitem scan (2 alternatives incl. sorts etc.) + agg pair.
+        let n = s.count_plans(&q).unwrap();
+        assert!(n.to_u64().unwrap() >= 4);
+    }
+}

@@ -1,0 +1,153 @@
+//! §3.3 — Unranking: constructing plan number `r`.
+//!
+//! Given `(r, G)`:
+//!
+//! 1. choose the operator `v_k` of `G` by prefix sums — the first
+//!    operator covers ranks `0 … N(v_1)-1`, the second
+//!    `N(v_1) … N(v_1)+N(v_2)-1`, and so on — and compute the local rank
+//!    `r_l = r − Σ_{i<k} N(v_i)`;
+//! 2. decompose `r_l` into per-slot sub-ranks. The paper writes this with
+//!    the recurrences `R_v(|v|) = r_l`, `R_v(i) = R_v(i+1) mod B_v(i)`,
+//!    `s_v(i) = ⌊R_v(i) / B_v(i−1)⌋` (and `s_v(1) = R_v(1)`); since
+//!    `B_v(i) = Π_{j≤i} b_v(j)`, these `s_v(i)` are exactly the digits of
+//!    `r_l` in the mixed-radix system with bases `b_v(1), b_v(2), …` —
+//!    which is how we compute them, one `div_rem` per slot;
+//! 3. recurse: sub-rank `s_v(i)` is unranked within slot `i`'s
+//!    alternative list.
+//!
+//! Unranking visits one operator per plan node and performs arithmetic
+//! linear in the plan size — "a small fraction of the time needed for
+//! counting", reproduced by the `unranking` bench.
+
+use crate::{PlanSpace, SpaceError};
+use plansample_bignum::Nat;
+use plansample_memo::{PhysId, PlanNode};
+
+impl PlanSpace<'_> {
+    /// Builds plan number `rank` (0-based, `rank < total()`).
+    pub fn unrank(&self, rank: &Nat) -> Result<PlanNode, SpaceError> {
+        if rank >= self.counts.total() {
+            return Err(SpaceError::RankOutOfRange {
+                rank: rank.clone(),
+                total: self.counts.total().clone(),
+            });
+        }
+        let root_alternatives: Vec<PhysId> = self
+            .memo
+            .group(self.memo.root())
+            .phys_iter()
+            .map(|(id, _)| id)
+            .collect();
+        Ok(self.unrank_in(&root_alternatives, rank.clone()))
+    }
+
+    /// Step 1: operator selection within an alternative list.
+    fn unrank_in(&self, alternatives: &[PhysId], mut rank: Nat) -> PlanNode {
+        for &v in alternatives {
+            let n = self.counts.rooted(v);
+            if &rank < n {
+                return self.unrank_expr(v, rank);
+            }
+            rank -= n;
+        }
+        unreachable!("rank below the alternative total by construction")
+    }
+
+    /// Steps 2–3: sub-rank decomposition and recursive assembly.
+    pub(crate) fn unrank_expr(&self, v: PhysId, local_rank: Nat) -> PlanNode {
+        let slots = self.links.children(v);
+        let mut children = Vec::with_capacity(slots.len());
+        let mut rest = local_rank;
+        for alternatives in slots {
+            let b = self.counts.slot_total(alternatives);
+            // digit s_v(i) = rest mod b_v(i); carry rest / b_v(i) onward.
+            let (q, s) = rest.div_rem(&b);
+            rest = q;
+            children.push(self.unrank_in(alternatives, s));
+        }
+        debug_assert!(rest.is_zero(), "local rank exceeded B_v(|v|)");
+        PlanNode { id: v, children }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+    use crate::PlanSpace;
+    use plansample_memo::validate_plan;
+
+    #[test]
+    fn appendix_example_rank_13() {
+        // The paper's appendix unranks (13, group 7) and obtains the
+        // operators 7.7, 4.3, 3.4, 2.3, 1.3. In fixture terms: the root
+        // HashJoin(C, A⋈B) over SortedIdxScan_C and MergeJoin(A,B) over
+        // SortedIdxScan_A / SortedIdxScan_B.
+        let ex = paper_example::build();
+        let space = PlanSpace::build(&ex.memo, &ex.query).unwrap();
+        let plan = space.unrank(&Nat::from(13u64)).unwrap();
+
+        assert_eq!(plan.id, ex.root_c_ab); // 7.7
+        assert_eq!(plan.children.len(), 2);
+        assert_eq!(plan.children[0].id, ex.idx_scan_c); // 4.3
+        let inner = &plan.children[1];
+        assert_eq!(inner.id, ex.merge_join_ab); // 3.4
+        assert_eq!(inner.children[0].id, ex.idx_scan_a); // 1.3
+        assert_eq!(inner.children[1].id, ex.idx_scan_b); // 2.3
+
+        let ids = plan.preorder_ids();
+        assert_eq!(
+            ids,
+            vec![ex.root_c_ab, ex.idx_scan_c, ex.merge_join_ab, ex.idx_scan_a, ex.idx_scan_b]
+        );
+    }
+
+    #[test]
+    fn every_rank_yields_a_distinct_valid_plan() {
+        let ex = paper_example::build();
+        let space = PlanSpace::build(&ex.memo, &ex.query).unwrap();
+        let total = space.total().to_u64().unwrap();
+        assert_eq!(total, 32);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..total {
+            let plan = space.unrank(&Nat::from(r)).unwrap();
+            assert!(
+                validate_plan(&ex.memo, &ex.query, &plan).is_empty(),
+                "rank {r} must be a valid plan"
+            );
+            assert!(
+                seen.insert(format!("{:?}", plan.preorder_ids())),
+                "rank {r} duplicated a plan"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_zero_picks_first_alternatives() {
+        let ex = paper_example::build();
+        let space = PlanSpace::build(&ex.memo, &ex.query).unwrap();
+        let plan = space.unrank(&Nat::zero()).unwrap();
+        assert_eq!(plan.id, ex.root_c_ab);
+        assert_eq!(plan.children[0].id, ex.table_scan_c);
+        assert_eq!(plan.children[1].id, ex.hash_join_ab);
+        assert_eq!(plan.children[1].children[0].id, ex.table_scan_a);
+        assert_eq!(plan.children[1].children[1].id, ex.table_scan_b);
+    }
+
+    #[test]
+    fn out_of_range_rank_is_rejected() {
+        let ex = paper_example::build();
+        let space = PlanSpace::build(&ex.memo, &ex.query).unwrap();
+        let err = space.unrank(&Nat::from(32u64)).unwrap_err();
+        assert!(matches!(err, SpaceError::RankOutOfRange { .. }));
+        assert!(space.unrank(&Nat::from(31u64)).is_ok());
+    }
+
+    #[test]
+    fn last_rank_uses_last_root_operator() {
+        let ex = paper_example::build();
+        let space = PlanSpace::build(&ex.memo, &ex.query).unwrap();
+        let plan = space.unrank(&Nat::from(31u64)).unwrap();
+        assert_eq!(plan.id, ex.root_ab_c); // 7.8-analogue covers 16..31
+    }
+}

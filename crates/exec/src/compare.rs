@@ -1,0 +1,68 @@
+//! Result rendering for reports and examples.
+
+use crate::Table;
+use std::fmt::Write as _;
+
+/// Renders a table as aligned text (at most `max_rows` rows, with a
+/// truncation marker). Rows are shown in canonical sorted order so two
+/// multiset-equal tables render identically.
+pub fn render_table(table: &Table, max_rows: usize) -> String {
+    let rows = table.sorted_rows();
+    let shown = rows.len().min(max_rows);
+    let mut cells: Vec<Vec<String>> = rows[..shown]
+        .iter()
+        .map(|r| r.iter().map(|d| d.to_string()).collect())
+        .collect();
+    let widths: Vec<usize> = (0..table.width())
+        .map(|c| cells.iter().map(|r| r[c].len()).max().unwrap_or(1))
+        .collect();
+    let mut out = String::new();
+    for row in &mut cells {
+        for (c, cell) in row.iter().enumerate() {
+            let _ = write!(out, "{:>width$}  ", cell, width = widths[c]);
+        }
+        out.pop();
+        out.pop();
+        out.push('\n');
+    }
+    if rows.len() > shown {
+        let _ = writeln!(out, "… {} more rows", rows.len() - shown);
+    }
+    let _ = writeln!(out, "({} rows)", rows.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plansample_catalog::Datum::Int;
+
+    #[test]
+    fn renders_sorted_and_aligned() {
+        let t = Table::from_rows(
+            2,
+            vec![vec![Int(100), Int(2)], vec![Int(3), Int(40)]],
+        )
+        .unwrap();
+        let s = render_table(&t, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "  3  40");
+        assert_eq!(lines[1], "100   2");
+        assert_eq!(lines[2], "(2 rows)");
+    }
+
+    #[test]
+    fn truncates_long_tables() {
+        let rows = (0..20).map(|i| vec![Int(i)]).collect();
+        let t = Table::from_rows(1, rows).unwrap();
+        let s = render_table(&t, 5);
+        assert!(s.contains("… 15 more rows"));
+        assert!(s.contains("(20 rows)"));
+    }
+
+    #[test]
+    fn empty_table_renders_count() {
+        let t = Table::new(3);
+        assert_eq!(render_table(&t, 5), "(0 rows)\n");
+    }
+}

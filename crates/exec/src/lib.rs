@@ -1,0 +1,271 @@
+//! A relational execution engine for differential plan testing.
+//!
+//! The paper's §4 methodology runs *many different plans of the same
+//! query* and compares their outputs: "if two candidate plans fail to
+//! produce the same results, then either the optimizer considered an
+//! invalid plan, or the execution code is faulty". This crate supplies
+//! the machinery: in-memory tables ([`Table`], [`Database`]), a
+//! self-contained physical plan tree ([`ExecNode`]) implementing every
+//! operator the optimizer can emit, and multiset result comparison.
+//!
+//! Execution is operator-at-a-time (each node materializes its output)
+//! rather than pipelined — a deliberate simplification documented in
+//! DESIGN.md: the engine's job is producing comparable results for
+//! arbitrary valid plans, not throughput. Crucially, operators do *not*
+//! repair bad plans: `StreamAgg` aggregates whatever run boundaries it
+//! sees and `MergeJoin` trusts its inputs to be sorted, so a plan that
+//! violates its physical-property obligations produces wrong answers —
+//! which is exactly what the differential tests are designed to catch.
+
+#![warn(missing_docs)]
+
+mod compare;
+mod iter;
+mod node;
+mod run;
+
+pub use compare::render_table;
+pub use iter::Operator;
+pub use node::{AggSpec, ColFilter, ExecNode, JoinSpec, Side};
+
+use plansample_catalog::{Datum, TableId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A row: one datum per column.
+pub type Row = Vec<Datum>;
+
+/// An in-memory table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    width: usize,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// An empty table with `width` columns.
+    pub fn new(width: usize) -> Self {
+        Table {
+            width,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Builds a table from rows, validating widths.
+    pub fn from_rows(width: usize, rows: Vec<Row>) -> Result<Self, ExecError> {
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != width {
+                return Err(ExecError::RowWidth {
+                    row: i,
+                    expected: width,
+                    actual: r.len(),
+                });
+            }
+        }
+        Ok(Table { width, rows })
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the row width mismatches the table.
+    pub fn push(&mut self, row: Row) {
+        assert_eq!(row.len(), self.width, "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Consumes into rows.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Multiset equality: same rows with the same multiplicities,
+    /// regardless of order — the §4 oracle ("all plans should deliver
+    /// the same outcome").
+    pub fn multiset_eq(&self, other: &Table) -> bool {
+        if self.width != other.width || self.rows.len() != other.rows.len() {
+            return false;
+        }
+        let mut a = self.rows.clone();
+        let mut b = other.rows.clone();
+        a.sort();
+        b.sort();
+        a == b
+    }
+
+    /// Rows sorted canonically (for display and hashing).
+    pub fn sorted_rows(&self) -> Vec<Row> {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        rows
+    }
+}
+
+/// The database: tables addressable by [`TableId`].
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: HashMap<TableId, Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Installs (or replaces) the contents of a table.
+    pub fn insert(&mut self, id: TableId, table: Table) {
+        self.tables.insert(id, table);
+    }
+
+    /// Fetches a table's contents.
+    pub fn table(&self, id: TableId) -> Result<&Table, ExecError> {
+        self.tables.get(&id).ok_or(ExecError::MissingTable(id))
+    }
+
+    /// Number of stored tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` when no tables are stored.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A plan references a table that has no stored contents.
+    MissingTable(TableId),
+    /// A row's width disagreed with its table.
+    RowWidth {
+        /// Index of the offending row.
+        row: usize,
+        /// Expected width.
+        expected: usize,
+        /// Actual width.
+        actual: usize,
+    },
+    /// An aggregate received a value of an unusable type
+    /// (e.g. `SUM` over strings).
+    BadAggregateInput {
+        /// The aggregate function name.
+        func: &'static str,
+        /// Display of the offending value.
+        value: String,
+    },
+    /// A column offset fell outside the row produced by a child.
+    OffsetOutOfRange {
+        /// The offset.
+        offset: usize,
+        /// The row width.
+        width: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::MissingTable(id) => write!(f, "no data loaded for table {id:?}"),
+            ExecError::RowWidth {
+                row,
+                expected,
+                actual,
+            } => write!(f, "row {row} has width {actual}, expected {expected}"),
+            ExecError::BadAggregateInput { func, value } => {
+                write!(f, "{func} cannot aggregate value {value}")
+            }
+            ExecError::OffsetOutOfRange { offset, width } => {
+                write!(f, "column offset {offset} outside row of width {width}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plansample_catalog::Datum::Int;
+
+    #[test]
+    fn table_construction_and_access() {
+        let mut t = Table::new(2);
+        t.push(vec![Int(1), Int(2)]);
+        t.push(vec![Int(3), Int(4)]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.width(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.rows()[1][0], Int(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn push_validates_width() {
+        let mut t = Table::new(2);
+        t.push(vec![Int(1)]);
+    }
+
+    #[test]
+    fn from_rows_validates() {
+        assert!(Table::from_rows(1, vec![vec![Int(1)], vec![Int(2)]]).is_ok());
+        assert!(matches!(
+            Table::from_rows(1, vec![vec![Int(1), Int(2)]]),
+            Err(ExecError::RowWidth { .. })
+        ));
+    }
+
+    #[test]
+    fn multiset_equality_ignores_order() {
+        let a = Table::from_rows(1, vec![vec![Int(1)], vec![Int(2)], vec![Int(2)]]).unwrap();
+        let b = Table::from_rows(1, vec![vec![Int(2)], vec![Int(1)], vec![Int(2)]]).unwrap();
+        let c = Table::from_rows(1, vec![vec![Int(2)], vec![Int(1)], vec![Int(1)]]).unwrap();
+        assert!(a.multiset_eq(&b));
+        assert!(!a.multiset_eq(&c));
+    }
+
+    #[test]
+    fn multiset_inequality_on_shape() {
+        let a = Table::from_rows(1, vec![vec![Int(1)]]).unwrap();
+        let b = Table::from_rows(2, vec![vec![Int(1), Int(1)]]).unwrap();
+        let c = Table::from_rows(1, vec![]).unwrap();
+        assert!(!a.multiset_eq(&b));
+        assert!(!a.multiset_eq(&c));
+    }
+
+    #[test]
+    fn database_lookup() {
+        let mut db = Database::new();
+        assert!(db.is_empty());
+        db.insert(TableId(0), Table::new(1));
+        assert_eq!(db.len(), 1);
+        assert!(db.table(TableId(0)).is_ok());
+        assert!(matches!(
+            db.table(TableId(9)),
+            Err(ExecError::MissingTable(_))
+        ));
+    }
+}

@@ -1,0 +1,372 @@
+//! Logical and physical expressions stored in MEMO groups.
+//!
+//! Logical operators describe *what* a group computes; physical operators
+//! describe *how*. Only physical operators appear in executable plans, so
+//! only they participate in counting/unranking (§3.1: "we extract all
+//! physical operators"). Each physical operator knows its child slots —
+//! which group each input comes from and what physical property that
+//! input must deliver — which is the information the materialized-links
+//! step consumes.
+
+use crate::{GroupId, SortOrder};
+use plansample_query::{ColRef, RelId};
+
+/// A logical (algebraic) operator. Children are group references.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LogicalOp {
+    /// Access one base relation instance (filters are implicit: every
+    /// access to `rel` applies that relation's local predicates).
+    Scan {
+        /// The relation instance.
+        rel: RelId,
+    },
+    /// Join two disjoint sub-goals; all join predicates crossing the two
+    /// relation sets are applied.
+    Join {
+        /// Left input goal.
+        left: GroupId,
+        /// Right input goal.
+        right: GroupId,
+    },
+    /// Final grouping/aggregation over the full join.
+    Agg {
+        /// Input goal (the group covering all relations).
+        input: GroupId,
+    },
+}
+
+/// A physical (executable) operator. Children are group references plus
+/// property requirements.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PhysicalOp {
+    /// Heap scan of a base relation; delivers no order.
+    TableScan {
+        /// The relation instance.
+        rel: RelId,
+    },
+    /// Ordered scan through an index; delivers order on the index column.
+    SortedIdxScan {
+        /// The relation instance.
+        rel: RelId,
+        /// The indexed column (also the delivered sort key).
+        col: ColRef,
+    },
+    /// Sort enforcer: same-group child, delivers `target`.
+    ///
+    /// Its valid children are the group's *non-enforcer* operators that do
+    /// **not** already satisfy `target` (sorting an already-sorted stream
+    /// is never generated, which also keeps the plan graph acyclic — this
+    /// is the `Sort 1.4 → TableScan 1.2` link structure of Figure 3).
+    Sort {
+        /// The order this enforcer produces.
+        target: SortOrder,
+    },
+    /// Tuple-at-a-time nested loops join; applies all crossing predicates;
+    /// delivers no order.
+    NestedLoopJoin {
+        /// Build (outer) side goal.
+        left: GroupId,
+        /// Probe (inner) side goal.
+        right: GroupId,
+    },
+    /// Hash join on the equality predicates crossing the inputs; delivers
+    /// no order. Requires at least one crossing equality predicate.
+    HashJoin {
+        /// Build side goal.
+        left: GroupId,
+        /// Probe side goal.
+        right: GroupId,
+    },
+    /// Sort-merge join on one crossing predicate (`left_key = right_key`),
+    /// remaining crossing predicates applied as residuals. Requires both
+    /// inputs sorted on their key; delivers the left key's order.
+    MergeJoin {
+        /// Left input goal.
+        left: GroupId,
+        /// Right input goal.
+        right: GroupId,
+        /// Sort/merge key on the left input.
+        left_key: ColRef,
+        /// Sort/merge key on the right input.
+        right_key: ColRef,
+    },
+    /// Hash-based grouping; no input requirement, delivers no order.
+    HashAgg {
+        /// Input goal.
+        input: GroupId,
+    },
+    /// Streaming grouping; requires the input sorted on the full group-by
+    /// key list and delivers that order.
+    StreamAgg {
+        /// Input goal.
+        input: GroupId,
+        /// Required (and delivered) grouping order.
+        group_order: SortOrder,
+    },
+}
+
+impl PhysicalOp {
+    /// Short operator name for plan rendering.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhysicalOp::TableScan { .. } => "TableScan",
+            PhysicalOp::SortedIdxScan { .. } => "SortedIdxScan",
+            PhysicalOp::Sort { .. } => "Sort",
+            PhysicalOp::NestedLoopJoin { .. } => "NestedLoopJoin",
+            PhysicalOp::HashJoin { .. } => "HashJoin",
+            PhysicalOp::MergeJoin { .. } => "MergeJoin",
+            PhysicalOp::HashAgg { .. } => "HashAgg",
+            PhysicalOp::StreamAgg { .. } => "StreamAgg",
+        }
+    }
+
+    /// `true` for property enforcers (operators whose child lives in their
+    /// own group).
+    pub fn is_enforcer(&self) -> bool {
+        matches!(self, PhysicalOp::Sort { .. })
+    }
+
+    /// `true` for leaf (zero-input) operators.
+    pub fn is_leaf(&self) -> bool {
+        matches!(
+            self,
+            PhysicalOp::TableScan { .. } | PhysicalOp::SortedIdxScan { .. }
+        )
+    }
+}
+
+/// What a child slot demands from the chosen child expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Requirement {
+    /// The child's delivered order must satisfy this order (the empty
+    /// order accepts anything — the paper's "any operator from group 1
+    /// and 2" case for hash joins).
+    Order(SortOrder),
+    /// Enforcer input: the child must be a non-enforcer of the *same*
+    /// group whose delivered order does not already satisfy `target`.
+    SortInput {
+        /// The order the enforcer will produce.
+        target: SortOrder,
+    },
+}
+
+/// One child position of a physical operator: where the input comes from
+/// and what it must provide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChildSlot {
+    /// The group supplying this input.
+    pub group: GroupId,
+    /// The property demanded of it.
+    pub requirement: Requirement,
+}
+
+/// A physical expression: the operator plus its derived properties and
+/// local cost.
+#[derive(Debug, Clone)]
+pub struct PhysicalExpr {
+    /// The operator.
+    pub op: PhysicalOp,
+    /// Sort order this operator guarantees on its output.
+    pub delivered: SortOrder,
+    /// Cost of this operator alone (excluding children). Because child
+    /// *cardinalities* are group-level estimates, the local cost is the
+    /// same for every choice of child expressions — a plan's cost is the
+    /// sum of its operators' local costs.
+    pub local_cost: f64,
+    /// Estimated output cardinality (a group-level property, duplicated
+    /// here for convenient cost reporting).
+    pub out_card: f64,
+}
+
+impl PhysicalExpr {
+    /// Bundles an operator with its properties.
+    pub fn new(op: PhysicalOp, delivered: SortOrder, local_cost: f64, out_card: f64) -> Self {
+        PhysicalExpr {
+            op,
+            delivered,
+            local_cost,
+            out_card,
+        }
+    }
+
+    /// The operator's child slots, in input order. `own_group` is the
+    /// group this expression lives in (needed by enforcers, whose child
+    /// is their own group).
+    pub fn child_slots(&self, own_group: GroupId) -> Vec<ChildSlot> {
+        match &self.op {
+            PhysicalOp::TableScan { .. } | PhysicalOp::SortedIdxScan { .. } => Vec::new(),
+            PhysicalOp::Sort { target } => vec![ChildSlot {
+                group: own_group,
+                requirement: Requirement::SortInput {
+                    target: target.clone(),
+                },
+            }],
+            PhysicalOp::NestedLoopJoin { left, right } | PhysicalOp::HashJoin { left, right } => {
+                vec![
+                    ChildSlot {
+                        group: *left,
+                        requirement: Requirement::Order(SortOrder::unsorted()),
+                    },
+                    ChildSlot {
+                        group: *right,
+                        requirement: Requirement::Order(SortOrder::unsorted()),
+                    },
+                ]
+            }
+            PhysicalOp::MergeJoin {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => vec![
+                ChildSlot {
+                    group: *left,
+                    requirement: Requirement::Order(SortOrder::on_col(*left_key)),
+                },
+                ChildSlot {
+                    group: *right,
+                    requirement: Requirement::Order(SortOrder::on_col(*right_key)),
+                },
+            ],
+            PhysicalOp::HashAgg { input } => vec![ChildSlot {
+                group: *input,
+                requirement: Requirement::Order(SortOrder::unsorted()),
+            }],
+            PhysicalOp::StreamAgg { input, group_order } => vec![ChildSlot {
+                group: *input,
+                requirement: Requirement::Order(group_order.clone()),
+            }],
+        }
+    }
+
+    /// Number of children (the paper's `|v|`).
+    pub fn arity(&self) -> usize {
+        match &self.op {
+            PhysicalOp::TableScan { .. } | PhysicalOp::SortedIdxScan { .. } => 0,
+            PhysicalOp::Sort { .. }
+            | PhysicalOp::HashAgg { .. }
+            | PhysicalOp::StreamAgg { .. } => 1,
+            PhysicalOp::NestedLoopJoin { .. }
+            | PhysicalOp::HashJoin { .. }
+            | PhysicalOp::MergeJoin { .. } => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(rel: usize, c: usize) -> ColRef {
+        ColRef {
+            rel: RelId(rel),
+            col: c,
+        }
+    }
+
+    #[test]
+    fn names_and_classification() {
+        let scan = PhysicalOp::TableScan { rel: RelId(0) };
+        assert_eq!(scan.name(), "TableScan");
+        assert!(scan.is_leaf());
+        assert!(!scan.is_enforcer());
+        let sort = PhysicalOp::Sort {
+            target: SortOrder::on_col(col(0, 0)),
+        };
+        assert!(sort.is_enforcer());
+        assert!(!sort.is_leaf());
+    }
+
+    #[test]
+    fn leaf_has_no_slots() {
+        let e = PhysicalExpr::new(
+            PhysicalOp::TableScan { rel: RelId(0) },
+            SortOrder::unsorted(),
+            1.0,
+            10.0,
+        );
+        assert!(e.child_slots(GroupId(0)).is_empty());
+        assert_eq!(e.arity(), 0);
+    }
+
+    #[test]
+    fn join_slots_accept_anything() {
+        let e = PhysicalExpr::new(
+            PhysicalOp::HashJoin {
+                left: GroupId(1),
+                right: GroupId(2),
+            },
+            SortOrder::unsorted(),
+            1.0,
+            10.0,
+        );
+        let slots = e.child_slots(GroupId(3));
+        assert_eq!(slots.len(), 2);
+        assert_eq!(slots[0].group, GroupId(1));
+        assert_eq!(slots[1].group, GroupId(2));
+        assert_eq!(
+            slots[0].requirement,
+            Requirement::Order(SortOrder::unsorted())
+        );
+        assert_eq!(e.arity(), 2);
+    }
+
+    #[test]
+    fn merge_join_requires_orders() {
+        let e = PhysicalExpr::new(
+            PhysicalOp::MergeJoin {
+                left: GroupId(1),
+                right: GroupId(2),
+                left_key: col(0, 0),
+                right_key: col(1, 0),
+            },
+            SortOrder::on_col(col(0, 0)),
+            1.0,
+            10.0,
+        );
+        let slots = e.child_slots(GroupId(3));
+        assert_eq!(
+            slots[0].requirement,
+            Requirement::Order(SortOrder::on_col(col(0, 0)))
+        );
+        assert_eq!(
+            slots[1].requirement,
+            Requirement::Order(SortOrder::on_col(col(1, 0)))
+        );
+    }
+
+    #[test]
+    fn sort_slot_points_at_own_group() {
+        let target = SortOrder::on_col(col(0, 0));
+        let e = PhysicalExpr::new(
+            PhysicalOp::Sort {
+                target: target.clone(),
+            },
+            target.clone(),
+            1.0,
+            10.0,
+        );
+        let slots = e.child_slots(GroupId(9));
+        assert_eq!(slots.len(), 1);
+        assert_eq!(slots[0].group, GroupId(9));
+        assert_eq!(slots[0].requirement, Requirement::SortInput { target });
+        assert_eq!(e.arity(), 1);
+    }
+
+    #[test]
+    fn stream_agg_requires_group_order() {
+        let order = SortOrder::on(vec![col(0, 0), col(1, 0)]);
+        let e = PhysicalExpr::new(
+            PhysicalOp::StreamAgg {
+                input: GroupId(4),
+                group_order: order.clone(),
+            },
+            order.clone(),
+            1.0,
+            5.0,
+        );
+        let slots = e.child_slots(GroupId(5));
+        assert_eq!(slots[0].group, GroupId(4));
+        assert_eq!(slots[0].requirement, Requirement::Order(order));
+    }
+}

@@ -1,0 +1,340 @@
+//! The MEMO structure (paper §2): a compact, shared encoding of every
+//! candidate plan the optimizer considered.
+//!
+//! A [`Memo`] manages a system of [`Group`]s; each group represents one
+//! optimization sub-goal (here: a set of base relations, or the final
+//! aggregation) and holds the *logical* expressions describing that goal
+//! plus the *physical* expressions that implement it. Expression children
+//! are references to groups, never to concrete expressions — that
+//! indirection is what makes the structure a compact product encoding of
+//! exponentially many plans, and it is exactly what the paper's counting
+//! and unranking algorithms exploit.
+//!
+//! Group identity is the set of base relations covered (plus a marker for
+//! the aggregation goal). For a single select-project-join block this is a
+//! sound key: the predicates applied inside a sub-plan are a function of
+//! its relation set, so two sub-plans over the same set are semantically
+//! interchangeable. Duplicate expressions within a group are detected
+//! structurally, mirroring the MEMO's "detect and eliminate duplicates"
+//! routines.
+//!
+//! The memo can be populated by the optimizer (crate
+//! `plansample-optimizer`) or built by hand — the latter is how the test
+//! suite reproduces the worked example of the paper's Figures 2/3 and
+//! appendix.
+
+#![warn(missing_docs)]
+
+mod expr;
+mod links;
+mod plan;
+mod props;
+mod render;
+
+pub use expr::{ChildSlot, LogicalOp, PhysicalExpr, PhysicalOp, Requirement};
+pub use links::eligible_children;
+pub use plan::{validate_plan, PlanNode, PlanViolation};
+pub use props::{satisfies, ColEquivalences, SortOrder};
+pub use render::render_memo;
+
+use plansample_query::RelSet;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a group within a [`Memo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub u32);
+
+/// Identifies a physical expression: group plus position within the
+/// group's physical expression list. Displayed `group.index` (1-based on
+/// the index, matching the paper's `7.7` style labels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhysId {
+    /// Owning group.
+    pub group: GroupId,
+    /// Position within [`Group::physical`].
+    pub index: usize,
+}
+
+impl fmt::Display for PhysId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.group.0, self.index + 1)
+    }
+}
+
+/// What a group stands for: the optimization sub-goal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GroupKey {
+    /// All plans producing the join of this relation set (a singleton set
+    /// is a base-table access goal).
+    Rels(RelSet),
+    /// The final aggregation over the full join (at most one per memo).
+    Agg,
+}
+
+impl GroupKey {
+    /// The relation set this goal covers; `None` for the aggregate goal
+    /// (which implicitly covers all relations).
+    pub fn rels(&self) -> Option<RelSet> {
+        match self {
+            GroupKey::Rels(s) => Some(*s),
+            GroupKey::Agg => None,
+        }
+    }
+}
+
+/// One optimization sub-goal and its alternative expressions.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// This group's id.
+    pub id: GroupId,
+    /// The sub-goal.
+    pub key: GroupKey,
+    /// Logical alternatives (used during exploration; not counted).
+    pub logical: Vec<LogicalOp>,
+    /// Physical alternatives — the operators the paper counts and samples.
+    pub physical: Vec<PhysicalExpr>,
+}
+
+impl Group {
+    /// The physical expression at `index`.
+    pub fn phys(&self, index: usize) -> &PhysicalExpr {
+        &self.physical[index]
+    }
+
+    /// The relation set sub-plans of this group cover (the aggregate goal
+    /// covers all relations of the query).
+    pub fn scope(&self, query: &plansample_query::QuerySpec) -> RelSet {
+        match self.key {
+            GroupKey::Rels(s) => s,
+            GroupKey::Agg => query.all_rels(),
+        }
+    }
+
+    /// Iterates `(PhysId, expr)` pairs.
+    pub fn phys_iter(&self) -> impl Iterator<Item = (PhysId, &PhysicalExpr)> {
+        let gid = self.id;
+        self.physical
+            .iter()
+            .enumerate()
+            .map(move |(index, e)| (PhysId { group: gid, index }, e))
+    }
+}
+
+/// The MEMO: groups, expression dedup, and a designated root group.
+#[derive(Debug, Clone, Default)]
+pub struct Memo {
+    groups: Vec<Group>,
+    by_key: HashMap<GroupKey, GroupId>,
+    root: Option<GroupId>,
+}
+
+impl Memo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Memo::default()
+    }
+
+    /// Returns the group for `key`, creating it on first use.
+    pub fn add_group(&mut self, key: GroupKey) -> GroupId {
+        if let Some(&id) = self.by_key.get(&key) {
+            return id;
+        }
+        let id = GroupId(self.groups.len() as u32);
+        self.groups.push(Group {
+            id,
+            key,
+            logical: Vec::new(),
+            physical: Vec::new(),
+        });
+        self.by_key.insert(key, id);
+        id
+    }
+
+    /// Looks up a group by key without creating it.
+    pub fn find_group(&self, key: GroupKey) -> Option<GroupId> {
+        self.by_key.get(&key).copied()
+    }
+
+    /// Immutable access to a group.
+    ///
+    /// # Panics
+    /// Panics when `id` was not issued by this memo.
+    pub fn group(&self, id: GroupId) -> &Group {
+        &self.groups[id.0 as usize]
+    }
+
+    /// All groups in creation order.
+    pub fn groups(&self) -> impl Iterator<Item = &Group> {
+        self.groups.iter()
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Marks `id` as the root group (the goal of the whole query).
+    pub fn set_root(&mut self, id: GroupId) {
+        assert!((id.0 as usize) < self.groups.len(), "root group not in memo");
+        self.root = Some(id);
+    }
+
+    /// The root group id.
+    ///
+    /// # Panics
+    /// Panics if no root was set.
+    pub fn root(&self) -> GroupId {
+        self.root.expect("memo root not set")
+    }
+
+    /// Adds a logical expression, returning `false` when an identical one
+    /// already exists in the group (duplicate elimination).
+    pub fn add_logical(&mut self, gid: GroupId, op: LogicalOp) -> bool {
+        let group = &mut self.groups[gid.0 as usize];
+        if group.logical.contains(&op) {
+            return false;
+        }
+        group.logical.push(op);
+        true
+    }
+
+    /// Adds a physical expression, returning its id, or `None` when a
+    /// structurally identical operator already exists in the group.
+    pub fn add_physical(&mut self, gid: GroupId, expr: PhysicalExpr) -> Option<PhysId> {
+        let group = &mut self.groups[gid.0 as usize];
+        if group.physical.iter().any(|e| e.op == expr.op) {
+            return None;
+        }
+        let index = group.physical.len();
+        group.physical.push(expr);
+        Some(PhysId { group: gid, index })
+    }
+
+    /// The physical expression behind `id`.
+    pub fn phys(&self, id: PhysId) -> &PhysicalExpr {
+        &self.groups[id.group.0 as usize].physical[id.index]
+    }
+
+    /// Total number of logical expressions across groups.
+    pub fn num_logical(&self) -> usize {
+        self.groups.iter().map(|g| g.logical.len()).sum()
+    }
+
+    /// Total number of physical expressions across groups — the paper's
+    /// "size of the MEMO" for the linear-time counting bound.
+    pub fn num_physical(&self) -> usize {
+        self.groups.iter().map(|g| g.physical.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plansample_query::{ColRef, RelId};
+
+    fn rs(ids: &[usize]) -> RelSet {
+        RelSet::from_iter(ids.iter().map(|&i| RelId(i)))
+    }
+
+    fn col(rel: usize, col: usize) -> ColRef {
+        ColRef { rel: RelId(rel), col }
+    }
+
+    #[test]
+    fn groups_are_keyed_and_deduplicated() {
+        let mut memo = Memo::new();
+        let a = memo.add_group(GroupKey::Rels(rs(&[0])));
+        let b = memo.add_group(GroupKey::Rels(rs(&[1])));
+        let a2 = memo.add_group(GroupKey::Rels(rs(&[0])));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(memo.num_groups(), 2);
+        assert_eq!(memo.find_group(GroupKey::Rels(rs(&[0]))), Some(a));
+        assert_eq!(memo.find_group(GroupKey::Agg), None);
+    }
+
+    #[test]
+    fn logical_dedup() {
+        let mut memo = Memo::new();
+        let g = memo.add_group(GroupKey::Rels(rs(&[0])));
+        assert!(memo.add_logical(g, LogicalOp::Scan { rel: RelId(0) }));
+        assert!(!memo.add_logical(g, LogicalOp::Scan { rel: RelId(0) }));
+        assert_eq!(memo.num_logical(), 1);
+    }
+
+    #[test]
+    fn physical_dedup_is_structural() {
+        let mut memo = Memo::new();
+        let g = memo.add_group(GroupKey::Rels(rs(&[0])));
+        let scan = PhysicalExpr::new(
+            PhysicalOp::TableScan { rel: RelId(0) },
+            SortOrder::unsorted(),
+            1.0,
+            100.0,
+        );
+        let id = memo.add_physical(g, scan.clone()).unwrap();
+        assert_eq!(id, PhysId { group: g, index: 0 });
+        // same op, different cost: still a duplicate (structure decides)
+        let dup = PhysicalExpr::new(
+            PhysicalOp::TableScan { rel: RelId(0) },
+            SortOrder::unsorted(),
+            99.0,
+            100.0,
+        );
+        assert!(memo.add_physical(g, dup).is_none());
+        let other = PhysicalExpr::new(
+            PhysicalOp::SortedIdxScan { rel: RelId(0), col: col(0, 0) },
+            SortOrder::on(vec![col(0, 0)]),
+            2.0,
+            100.0,
+        );
+        assert!(memo.add_physical(g, other).is_some());
+        assert_eq!(memo.num_physical(), 2);
+    }
+
+    #[test]
+    fn phys_id_display_is_one_based() {
+        let id = PhysId { group: GroupId(7), index: 6 };
+        assert_eq!(id.to_string(), "7.7");
+    }
+
+    #[test]
+    fn root_handling() {
+        let mut memo = Memo::new();
+        let g = memo.add_group(GroupKey::Agg);
+        memo.set_root(g);
+        assert_eq!(memo.root(), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "root not set")]
+    fn missing_root_panics() {
+        Memo::new().root();
+    }
+
+    #[test]
+    #[should_panic(expected = "root group not in memo")]
+    fn foreign_root_rejected() {
+        let mut memo = Memo::new();
+        memo.set_root(GroupId(3));
+    }
+
+    #[test]
+    fn group_iteration() {
+        let mut memo = Memo::new();
+        let g = memo.add_group(GroupKey::Rels(rs(&[0])));
+        let scan = PhysicalExpr::new(
+            PhysicalOp::TableScan { rel: RelId(0) },
+            SortOrder::unsorted(),
+            1.0,
+            10.0,
+        );
+        memo.add_physical(g, scan).unwrap();
+        let group = memo.group(g);
+        let items: Vec<_> = group.phys_iter().collect();
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].0, PhysId { group: g, index: 0 });
+        assert_eq!(memo.groups().count(), 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Child eligibility: which expressions of a group may fill a given child
+//! slot.
+//!
+//! This is the single source of truth for parent→child compatibility,
+//! consumed both by the optimizer's best-plan extraction and by the
+//! counting/unranking machinery when it materializes links (§3.1 of the
+//! paper: "Due to the differences in physical properties some operators
+//! of a group may qualify as potential children while others do not").
+//!
+//! Rules:
+//! - an [`Requirement::Order`] slot accepts every expression whose
+//!   delivered order satisfies the required one (the empty requirement
+//!   accepts *everything*, including enforcers — Figure 3's hash join
+//!   "can have any operator from group 1 and 2", and group 1 contains the
+//!   Sort 1.4);
+//! - a [`Requirement::SortInput`] slot (a Sort enforcer's own input)
+//!   accepts the group's non-enforcer expressions that do **not** already
+//!   satisfy the sort target. Excluding enforcers rules out Sort-over-Sort
+//!   chains, which keeps the plan graph finite and acyclic; excluding
+//!   already-satisfying children rules out redundant sorts.
+
+use crate::{satisfies, ChildSlot, Memo, PhysId, Requirement};
+use plansample_query::QuerySpec;
+
+/// All expressions of `slot.group` eligible to fill `slot`, in group
+/// order (the order that defines plan ranks).
+pub fn eligible_children(memo: &Memo, query: &QuerySpec, slot: &ChildSlot) -> Vec<PhysId> {
+    let group = memo.group(slot.group);
+    let scope = group.scope(query);
+    group
+        .phys_iter()
+        .filter(|(_, e)| match &slot.requirement {
+            Requirement::Order(req) => satisfies(query, scope, &e.delivered, req),
+            Requirement::SortInput { target } => {
+                !e.op.is_enforcer() && !satisfies(query, scope, &e.delivered, target)
+            }
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GroupKey, PhysicalExpr, PhysicalOp, SortOrder};
+    use plansample_catalog::{table, Catalog, ColType};
+    use plansample_query::{ColRef, QueryBuilder, RelId, RelSet};
+
+    /// One relation with an index on column 0; group holds TableScan,
+    /// SortedIdxScan, and a Sort enforcer targeting column 0 — the exact
+    /// shape of the paper's group 1 in Figures 2/3.
+    fn setup() -> (Catalog, QuerySpec, Memo, crate::GroupId) {
+        let mut cat = Catalog::new();
+        cat.add_table(
+            table("a", 100)
+                .col("x", ColType::Int, 100)
+                .col("y", ColType::Int, 10)
+                .index_on(0)
+                .build(),
+        )
+        .unwrap();
+        let mut qb = QueryBuilder::new(&cat);
+        qb.rel("a", None).unwrap();
+        let q = qb.build().unwrap();
+
+        let key = ColRef { rel: RelId(0), col: 0 };
+        let mut memo = Memo::new();
+        let g = memo.add_group(GroupKey::Rels(RelSet::singleton(RelId(0))));
+        memo.add_physical(
+            g,
+            PhysicalExpr::new(PhysicalOp::TableScan { rel: RelId(0) }, SortOrder::unsorted(), 100.0, 100.0),
+        )
+        .unwrap();
+        memo.add_physical(
+            g,
+            PhysicalExpr::new(
+                PhysicalOp::SortedIdxScan { rel: RelId(0), col: key },
+                SortOrder::on_col(key),
+                120.0,
+                100.0,
+            ),
+        )
+        .unwrap();
+        memo.add_physical(
+            g,
+            PhysicalExpr::new(
+                PhysicalOp::Sort { target: SortOrder::on_col(key) },
+                SortOrder::on_col(key),
+                50.0,
+                100.0,
+            ),
+        )
+        .unwrap();
+        memo.set_root(g);
+        (cat, q, memo, g)
+    }
+
+    #[test]
+    fn empty_requirement_accepts_everything_including_sorts() {
+        let (_cat, q, memo, g) = setup();
+        let slot = ChildSlot {
+            group: g,
+            requirement: Requirement::Order(SortOrder::unsorted()),
+        };
+        let kids = eligible_children(&memo, &q, &slot);
+        assert_eq!(kids.len(), 3, "TableScan, SortedIdxScan, Sort all qualify");
+    }
+
+    #[test]
+    fn order_requirement_selects_sorted_providers() {
+        let (_cat, q, memo, g) = setup();
+        let key = ColRef { rel: RelId(0), col: 0 };
+        let slot = ChildSlot {
+            group: g,
+            requirement: Requirement::Order(SortOrder::on_col(key)),
+        };
+        let kids = eligible_children(&memo, &q, &slot);
+        // SortedIdxScan (index 1) and Sort (index 2) deliver the order.
+        assert_eq!(kids.len(), 2);
+        assert!(kids.iter().all(|id| id.index != 0));
+    }
+
+    #[test]
+    fn unsatisfiable_order_yields_empty() {
+        let (_cat, q, memo, g) = setup();
+        let other = ColRef { rel: RelId(0), col: 1 };
+        let slot = ChildSlot {
+            group: g,
+            requirement: Requirement::Order(SortOrder::on_col(other)),
+        };
+        assert!(eligible_children(&memo, &q, &slot).is_empty());
+    }
+
+    #[test]
+    fn sort_input_excludes_enforcers_and_already_sorted() {
+        let (_cat, q, memo, g) = setup();
+        let key = ColRef { rel: RelId(0), col: 0 };
+        let slot = ChildSlot {
+            group: g,
+            requirement: Requirement::SortInput {
+                target: SortOrder::on_col(key),
+            },
+        };
+        let kids = eligible_children(&memo, &q, &slot);
+        // Only the TableScan: the idx scan already satisfies, the Sort is
+        // an enforcer.
+        assert_eq!(kids.len(), 1);
+        assert_eq!(kids[0].index, 0);
+    }
+
+    #[test]
+    fn sort_input_for_other_target_takes_differently_sorted() {
+        let (_cat, q, memo, g) = setup();
+        let other = ColRef { rel: RelId(0), col: 1 };
+        let slot = ChildSlot {
+            group: g,
+            requirement: Requirement::SortInput {
+                target: SortOrder::on_col(other),
+            },
+        };
+        let kids = eligible_children(&memo, &q, &slot);
+        // TableScan and the x-sorted idx scan both fail to satisfy a sort
+        // on y, so both are sortable inputs.
+        assert_eq!(kids.len(), 2);
+    }
+}

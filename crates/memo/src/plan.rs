@@ -1,0 +1,354 @@
+//! Complete execution plans extracted from the MEMO.
+//!
+//! A [`PlanNode`] tree references memo expressions by [`PhysId`]; it is
+//! what unranking assembles (§3.3) and what the executor lowers to a
+//! runnable pipeline. [`validate_plan`] checks the structural and
+//! physical-property invariants every extracted plan must satisfy — the
+//! paper's testing methodology ("are the alternatives considered really
+//! valid execution plans?") made machine-checkable.
+
+use crate::{satisfies, Memo, PhysId, Requirement};
+use plansample_query::QuerySpec;
+use std::fmt::Write as _;
+
+/// A node of a fully assembled physical plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanNode {
+    /// The memo expression this node instantiates.
+    pub id: PhysId,
+    /// Chosen children, one per child slot, in slot order.
+    pub children: Vec<PlanNode>,
+}
+
+impl PlanNode {
+    /// A leaf node.
+    pub fn leaf(id: PhysId) -> Self {
+        PlanNode {
+            id,
+            children: Vec::new(),
+        }
+    }
+
+    /// Number of operators in the plan.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(PlanNode::size).sum::<usize>()
+    }
+
+    /// Total plan cost: the sum of the local costs of all operators
+    /// (local costs are fixed per memo expression, see
+    /// [`crate::PhysicalExpr::local_cost`]).
+    pub fn total_cost(&self, memo: &Memo) -> f64 {
+        memo.phys(self.id).local_cost
+            + self
+                .children
+                .iter()
+                .map(|c| c.total_cost(memo))
+                .sum::<f64>()
+    }
+
+    /// All operator ids in pre-order (root first) — the paper's appendix
+    /// reports unranked plans this way ("we unranked the operators 7.7,
+    /// 4.3, 3.4, 2.3, and 1.3").
+    pub fn preorder_ids(&self) -> Vec<PhysId> {
+        let mut out = Vec::with_capacity(self.size());
+        self.collect_preorder(&mut out);
+        out
+    }
+
+    fn collect_preorder(&self, out: &mut Vec<PhysId>) {
+        out.push(self.id);
+        for c in &self.children {
+            c.collect_preorder(out);
+        }
+    }
+
+    /// Indented multi-line rendering, e.g. for examples and debugging.
+    pub fn render(&self, memo: &Memo) -> String {
+        let mut out = String::new();
+        self.render_into(memo, 0, &mut out);
+        out
+    }
+
+    fn render_into(&self, memo: &Memo, depth: usize, out: &mut String) {
+        let expr = memo.phys(self.id);
+        let _ = writeln!(
+            out,
+            "{:indent$}{} [{}] cost={:.1} rows={:.0}",
+            "",
+            expr.op.name(),
+            self.id,
+            expr.local_cost,
+            expr.out_card,
+            indent = depth * 2
+        );
+        for c in &self.children {
+            c.render_into(memo, depth + 1, out);
+        }
+    }
+}
+
+/// A violation found by [`validate_plan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanViolation {
+    /// A node's child count differs from its operator's slot count.
+    WrongArity {
+        /// Offending node.
+        node: PhysId,
+        /// Slots the operator declares.
+        expected: usize,
+        /// Children the node has.
+        actual: usize,
+    },
+    /// A child comes from a different group than its slot demands.
+    WrongChildGroup {
+        /// Offending node.
+        node: PhysId,
+        /// Slot position.
+        slot: usize,
+        /// Group the slot demands.
+        expected: crate::GroupId,
+        /// Group the child is from.
+        actual: crate::GroupId,
+    },
+    /// A child does not deliver the physical property its slot requires.
+    PropertyViolated {
+        /// Offending node.
+        node: PhysId,
+        /// Slot position.
+        slot: usize,
+    },
+    /// An enforcer's child is itself an enforcer, or already satisfies
+    /// the enforcer's target (a redundant sort the space must not contain).
+    RedundantEnforcerInput {
+        /// Offending enforcer node.
+        node: PhysId,
+    },
+}
+
+/// Checks that `plan` is a well-formed physical plan over `memo`:
+/// arities match, children come from the demanded groups, and every
+/// required physical property is delivered.
+pub fn validate_plan(memo: &Memo, query: &QuerySpec, plan: &PlanNode) -> Vec<PlanViolation> {
+    let mut violations = Vec::new();
+    validate_node(memo, query, plan, &mut violations);
+    violations
+}
+
+fn validate_node(
+    memo: &Memo,
+    query: &QuerySpec,
+    node: &PlanNode,
+    violations: &mut Vec<PlanViolation>,
+) {
+    let expr = memo.phys(node.id);
+    let slots = expr.child_slots(node.id.group);
+    if slots.len() != node.children.len() {
+        violations.push(PlanViolation::WrongArity {
+            node: node.id,
+            expected: slots.len(),
+            actual: node.children.len(),
+        });
+        return;
+    }
+    for (i, (slot, child)) in slots.iter().zip(&node.children).enumerate() {
+        if child.id.group != slot.group {
+            violations.push(PlanViolation::WrongChildGroup {
+                node: node.id,
+                slot: i,
+                expected: slot.group,
+                actual: child.id.group,
+            });
+            continue;
+        }
+        let child_expr = memo.phys(child.id);
+        let scope = memo.group(child.id.group).scope(query);
+        match &slot.requirement {
+            Requirement::Order(required) => {
+                if !satisfies(query, scope, &child_expr.delivered, required) {
+                    violations.push(PlanViolation::PropertyViolated {
+                        node: node.id,
+                        slot: i,
+                    });
+                }
+            }
+            Requirement::SortInput { target } => {
+                if child_expr.op.is_enforcer()
+                    || satisfies(query, scope, &child_expr.delivered, target)
+                {
+                    violations.push(PlanViolation::RedundantEnforcerInput { node: node.id });
+                }
+            }
+        }
+        validate_node(memo, query, child, violations);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GroupKey, PhysicalExpr, PhysicalOp, SortOrder};
+    use plansample_catalog::{table, Catalog, ColType};
+    use plansample_query::{ColRef, QueryBuilder, RelId, RelSet};
+
+    /// Two relations, one edge; groups {a}, {b}, {a,b}.
+    fn setup() -> (Catalog, QuerySpec, Memo) {
+        let mut cat = Catalog::new();
+        cat.add_table(table("a", 10).col("x", ColType::Int, 10).build())
+            .unwrap();
+        cat.add_table(table("b", 20).col("y", ColType::Int, 10).build())
+            .unwrap();
+        let mut qb = QueryBuilder::new(&cat);
+        qb.rel("a", None).unwrap();
+        qb.rel("b", None).unwrap();
+        qb.join(("a", "x"), ("b", "y")).unwrap();
+        let q = qb.build().unwrap();
+
+        let mut memo = Memo::new();
+        let ga = memo.add_group(GroupKey::Rels(RelSet::singleton(RelId(0))));
+        let gb = memo.add_group(GroupKey::Rels(RelSet::singleton(RelId(1))));
+        let gab = memo.add_group(GroupKey::Rels(RelSet::all(2)));
+        memo.add_physical(
+            ga,
+            PhysicalExpr::new(PhysicalOp::TableScan { rel: RelId(0) }, SortOrder::unsorted(), 10.0, 10.0),
+        )
+        .unwrap();
+        memo.add_physical(
+            gb,
+            PhysicalExpr::new(PhysicalOp::TableScan { rel: RelId(1) }, SortOrder::unsorted(), 20.0, 20.0),
+        )
+        .unwrap();
+        memo.add_physical(
+            gab,
+            PhysicalExpr::new(
+                PhysicalOp::HashJoin { left: ga, right: gb },
+                SortOrder::unsorted(),
+                35.0,
+                20.0,
+            ),
+        )
+        .unwrap();
+        memo.set_root(gab);
+        (cat, q, memo)
+    }
+
+    fn pid(g: u32, i: usize) -> PhysId {
+        PhysId { group: crate::GroupId(g), index: i }
+    }
+
+    #[test]
+    fn valid_plan_passes() {
+        let (_cat, q, memo) = setup();
+        let plan = PlanNode {
+            id: pid(2, 0),
+            children: vec![PlanNode::leaf(pid(0, 0)), PlanNode::leaf(pid(1, 0))],
+        };
+        assert!(validate_plan(&memo, &q, &plan).is_empty());
+        assert_eq!(plan.size(), 3);
+        assert_eq!(plan.total_cost(&memo), 65.0);
+        assert_eq!(plan.preorder_ids(), vec![pid(2, 0), pid(0, 0), pid(1, 0)]);
+    }
+
+    #[test]
+    fn wrong_arity_detected() {
+        let (_cat, q, memo) = setup();
+        let plan = PlanNode {
+            id: pid(2, 0),
+            children: vec![PlanNode::leaf(pid(0, 0))],
+        };
+        assert!(matches!(
+            validate_plan(&memo, &q, &plan)[0],
+            PlanViolation::WrongArity { expected: 2, actual: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn wrong_child_group_detected() {
+        let (_cat, q, memo) = setup();
+        let plan = PlanNode {
+            id: pid(2, 0),
+            children: vec![PlanNode::leaf(pid(1, 0)), PlanNode::leaf(pid(1, 0))],
+        };
+        assert!(matches!(
+            validate_plan(&memo, &q, &plan)[0],
+            PlanViolation::WrongChildGroup { slot: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn property_violation_detected() {
+        let (_cat, q, mut memo) = setup();
+        // Add a merge join requiring sorted inputs; table scans are not.
+        let ga = crate::GroupId(0);
+        let gb = crate::GroupId(1);
+        let key_a = ColRef { rel: RelId(0), col: 0 };
+        let key_b = ColRef { rel: RelId(1), col: 0 };
+        let mj = memo
+            .add_physical(
+                crate::GroupId(2),
+                PhysicalExpr::new(
+                    PhysicalOp::MergeJoin {
+                        left: ga,
+                        right: gb,
+                        left_key: key_a,
+                        right_key: key_b,
+                    },
+                    SortOrder::on_col(key_a),
+                    30.0,
+                    20.0,
+                ),
+            )
+            .unwrap();
+        let plan = PlanNode {
+            id: mj,
+            children: vec![PlanNode::leaf(pid(0, 0)), PlanNode::leaf(pid(1, 0))],
+        };
+        let violations = validate_plan(&memo, &q, &plan);
+        assert_eq!(violations.len(), 2, "both inputs unsorted: {violations:?}");
+        assert!(matches!(violations[0], PlanViolation::PropertyViolated { slot: 0, .. }));
+    }
+
+    #[test]
+    fn redundant_enforcer_input_detected() {
+        let (_cat, q, mut memo) = setup();
+        let ga = crate::GroupId(0);
+        let key_a = ColRef { rel: RelId(0), col: 0 };
+        let target = SortOrder::on_col(key_a);
+        let sort = memo
+            .add_physical(
+                ga,
+                PhysicalExpr::new(
+                    PhysicalOp::Sort { target: target.clone() },
+                    target.clone(),
+                    5.0,
+                    10.0,
+                ),
+            )
+            .unwrap();
+        // Sort over Sort: enforcer input is an enforcer.
+        let plan = PlanNode {
+            id: sort,
+            children: vec![PlanNode {
+                id: sort,
+                children: vec![PlanNode::leaf(pid(0, 0))],
+            }],
+        };
+        let violations = validate_plan(&memo, &q, &plan);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, PlanViolation::RedundantEnforcerInput { .. })));
+    }
+
+    #[test]
+    fn render_contains_operator_names() {
+        let (_cat, _q, memo) = setup();
+        let plan = PlanNode {
+            id: pid(2, 0),
+            children: vec![PlanNode::leaf(pid(0, 0)), PlanNode::leaf(pid(1, 0))],
+        };
+        let text = plan.render(&memo);
+        assert!(text.contains("HashJoin"));
+        assert!(text.contains("TableScan"));
+        // group ids are 0-based, expression indices 1-based (paper style)
+        assert!(text.contains("[2.1]"));
+    }
+}

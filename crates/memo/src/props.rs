@@ -1,0 +1,253 @@
+//! Physical properties: sort orders and property satisfaction.
+//!
+//! The paper (§2) stresses that "operators of the same group … may differ
+//! in physical properties. … In case the parent operator requires a sort
+//! order on a certain attribute, not all operators may be chosen as
+//! potential children." This module defines the delivered/required order
+//! model used everywhere: by the optimizer when costing, and by the
+//! counting/unranking machinery when materializing parent→child links
+//! (§3.1).
+//!
+//! Satisfaction is *equivalence-aware*: within a sub-plan covering
+//! relation set `S`, every join edge internal to `S` has been applied, so
+//! columns equated by those edges hold identical values on every row and
+//! are interchangeable as sort keys. This mirrors how industrial
+//! optimizers track column equivalence classes.
+
+use plansample_query::{ColRef, QuerySpec, RelSet};
+
+/// A (possibly empty) lexicographic sort order over columns.
+///
+/// The empty order means "no order" — as a *delivered* property it says
+/// the operator guarantees nothing; as a *requirement* it is satisfied by
+/// anything.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct SortOrder {
+    cols: Vec<ColRef>,
+}
+
+impl SortOrder {
+    /// No ordering guarantee / no requirement.
+    pub fn unsorted() -> Self {
+        SortOrder { cols: Vec::new() }
+    }
+
+    /// Order on the given columns, major first.
+    pub fn on(cols: Vec<ColRef>) -> Self {
+        SortOrder { cols }
+    }
+
+    /// Order on a single column.
+    pub fn on_col(col: ColRef) -> Self {
+        SortOrder { cols: vec![col] }
+    }
+
+    /// The key columns, major first.
+    pub fn cols(&self) -> &[ColRef] {
+        &self.cols
+    }
+
+    /// `true` iff this is the empty (no-op) order.
+    pub fn is_unsorted(&self) -> bool {
+        self.cols.is_empty()
+    }
+}
+
+/// Column equivalence classes induced by the join edges internal to one
+/// relation set (union-find over edge endpoints).
+#[derive(Debug)]
+pub struct ColEquivalences {
+    parent: std::collections::HashMap<ColRef, ColRef>,
+}
+
+impl ColEquivalences {
+    /// Builds the classes for sub-plans covering `scope`.
+    pub fn within(query: &QuerySpec, scope: RelSet) -> Self {
+        let mut eq = ColEquivalences {
+            parent: std::collections::HashMap::new(),
+        };
+        for edge in query.edges_within(scope) {
+            eq.union(edge.left, edge.right);
+        }
+        eq
+    }
+
+    fn find(&self, col: ColRef) -> ColRef {
+        let mut cur = col;
+        while let Some(&p) = self.parent.get(&cur) {
+            if p == cur {
+                break;
+            }
+            cur = p;
+        }
+        cur
+    }
+
+    fn union(&mut self, a: ColRef, b: ColRef) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+        // Ensure both appear in the map so `find` terminates uniformly.
+        self.parent.entry(a).or_insert(rb);
+        self.parent.entry(b).or_insert(rb);
+    }
+
+    /// `true` iff `a` and `b` are equated by predicates inside the scope
+    /// (or are the same column).
+    pub fn equivalent(&self, a: ColRef, b: ColRef) -> bool {
+        a == b || self.find(a) == self.find(b)
+    }
+}
+
+/// Does `delivered` satisfy `required` for a sub-plan covering `scope`?
+///
+/// `required` must be an (equivalence-aware) prefix of `delivered`: a
+/// stream that is sorted on `(a, b)` is also sorted on `(a)`, and sorted
+/// on `(a)` satisfies sorted on `(a')` when `a = a'` was applied inside
+/// the sub-plan.
+pub fn satisfies(
+    query: &QuerySpec,
+    scope: RelSet,
+    delivered: &SortOrder,
+    required: &SortOrder,
+) -> bool {
+    if required.is_unsorted() {
+        return true;
+    }
+    if delivered.cols().len() < required.cols().len() {
+        return false;
+    }
+    // Cheap syntactic check first; equivalence classes only when needed.
+    if delivered
+        .cols()
+        .iter()
+        .zip(required.cols())
+        .all(|(d, r)| d == r)
+    {
+        return true;
+    }
+    let eq = ColEquivalences::within(query, scope);
+    delivered
+        .cols()
+        .iter()
+        .zip(required.cols())
+        .all(|(&d, &r)| eq.equivalent(d, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plansample_catalog::{table, Catalog, ColType};
+    use plansample_query::{QueryBuilder, RelId};
+
+    fn chain_query() -> (Catalog, QuerySpec) {
+        // a(x) -- b(y,z) -- c(w): edges a.x=b.y, b.z=c.w
+        let mut cat = Catalog::new();
+        cat.add_table(table("a", 10).col("x", ColType::Int, 10).build())
+            .unwrap();
+        cat.add_table(
+            table("b", 10)
+                .col("y", ColType::Int, 10)
+                .col("z", ColType::Int, 10)
+                .build(),
+        )
+        .unwrap();
+        cat.add_table(table("c", 10).col("w", ColType::Int, 10).build())
+            .unwrap();
+        let mut qb = QueryBuilder::new(&cat);
+        qb.rel("a", None).unwrap();
+        qb.rel("b", None).unwrap();
+        qb.rel("c", None).unwrap();
+        qb.join(("a", "x"), ("b", "y")).unwrap();
+        qb.join(("b", "z"), ("c", "w")).unwrap();
+        let q = qb.build().unwrap();
+        (cat, q)
+    }
+
+    fn col(rel: usize, c: usize) -> ColRef {
+        ColRef { rel: RelId(rel), col: c }
+    }
+
+    fn rs(ids: &[usize]) -> RelSet {
+        RelSet::from_iter(ids.iter().map(|&i| RelId(i)))
+    }
+
+    #[test]
+    fn empty_requirement_always_satisfied() {
+        let (_cat, q) = chain_query();
+        assert!(satisfies(&q, rs(&[0]), &SortOrder::unsorted(), &SortOrder::unsorted()));
+        assert!(satisfies(
+            &q,
+            rs(&[0]),
+            &SortOrder::on_col(col(0, 0)),
+            &SortOrder::unsorted()
+        ));
+    }
+
+    #[test]
+    fn unsorted_never_satisfies_an_order() {
+        let (_cat, q) = chain_query();
+        assert!(!satisfies(
+            &q,
+            rs(&[0]),
+            &SortOrder::unsorted(),
+            &SortOrder::on_col(col(0, 0))
+        ));
+    }
+
+    #[test]
+    fn prefix_rule() {
+        let (_cat, q) = chain_query();
+        let ab = SortOrder::on(vec![col(0, 0), col(1, 1)]);
+        let a = SortOrder::on_col(col(0, 0));
+        assert!(satisfies(&q, rs(&[0, 1]), &ab, &a));
+        assert!(!satisfies(&q, rs(&[0, 1]), &a, &ab));
+        // order on a different column does not satisfy
+        assert!(!satisfies(&q, rs(&[0, 1]), &SortOrder::on_col(col(1, 1)), &a));
+    }
+
+    #[test]
+    fn equivalence_applies_only_within_scope() {
+        let (_cat, q) = chain_query();
+        let ax = SortOrder::on_col(col(0, 0)); // a.x
+        let by = SortOrder::on_col(col(1, 0)); // b.y (equated to a.x)
+        // In scope {a,b} the edge a.x=b.y is applied: orders interchange.
+        assert!(satisfies(&q, rs(&[0, 1]), &ax, &by));
+        assert!(satisfies(&q, rs(&[0, 1]), &by, &ax));
+        // In scope {a} alone the predicate has not been applied.
+        assert!(!satisfies(&q, rs(&[0]), &ax, &by));
+    }
+
+    #[test]
+    fn transitive_equivalence_through_chain() {
+        // With only edges a.x=b.y and b.z=c.w, a.x is NOT equivalent to
+        // b.z (different classes) even in full scope.
+        let (_cat, q) = chain_query();
+        let ax = SortOrder::on_col(col(0, 0));
+        let bz = SortOrder::on_col(col(1, 1));
+        assert!(!satisfies(&q, rs(&[0, 1, 2]), &ax, &bz));
+        // but b.z ~ c.w is.
+        let cw = SortOrder::on_col(col(2, 0));
+        assert!(satisfies(&q, rs(&[0, 1, 2]), &bz, &cw));
+    }
+
+    #[test]
+    fn equivalence_classes_direct() {
+        let (_cat, q) = chain_query();
+        let eq = ColEquivalences::within(&q, rs(&[0, 1, 2]));
+        assert!(eq.equivalent(col(0, 0), col(1, 0)));
+        assert!(eq.equivalent(col(1, 1), col(2, 0)));
+        assert!(!eq.equivalent(col(0, 0), col(2, 0)));
+        assert!(eq.equivalent(col(0, 0), col(0, 0)));
+    }
+
+    #[test]
+    fn sort_order_basics() {
+        assert!(SortOrder::unsorted().is_unsorted());
+        assert!(!SortOrder::on_col(col(0, 0)).is_unsorted());
+        assert_eq!(SortOrder::on_col(col(0, 0)).cols().len(), 1);
+        assert_eq!(SortOrder::default(), SortOrder::unsorted());
+    }
+}

@@ -1,0 +1,187 @@
+//! Figure-2-style textual rendering of a MEMO.
+//!
+//! Prints every group with its physical expressions, child-group
+//! references, delivered orders, and costs — the layout of the paper's
+//! Figure 2/3 diagrams, as text. Used by the CLI's `memo` command and
+//! handy when debugging rule changes.
+
+use crate::{GroupKey, Memo, PhysicalOp, SortOrder};
+use plansample_catalog::Catalog;
+use plansample_query::QuerySpec;
+use std::fmt::Write as _;
+
+fn order_text(query: &QuerySpec, catalog: &Catalog, order: &SortOrder) -> String {
+    if order.is_unsorted() {
+        "-".to_string()
+    } else {
+        order
+            .cols()
+            .iter()
+            .map(|&c| query.col_name(catalog, c))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// Renders the memo structure as text.
+pub fn render_memo(memo: &Memo, query: &QuerySpec, catalog: &Catalog) -> String {
+    let mut out = String::new();
+    for group in memo.groups() {
+        let goal = match group.key {
+            GroupKey::Rels(set) => {
+                let names: Vec<&str> = set
+                    .iter()
+                    .map(|r| query.relations[r.0].alias.as_str())
+                    .collect();
+                format!("{{{}}}", names.join(", "))
+            }
+            GroupKey::Agg => "aggregate".to_string(),
+        };
+        let root_marker = if group.id == memo.root() { "  (root)" } else { "" };
+        let _ = writeln!(out, "Group {} — {goal}{root_marker}", group.id.0);
+        for (id, expr) in group.phys_iter() {
+            let operands = match &expr.op {
+                PhysicalOp::TableScan { rel } | PhysicalOp::SortedIdxScan { rel, .. } => {
+                    query.relations[rel.0].alias.clone()
+                }
+                PhysicalOp::Sort { target } => {
+                    format!("g{} by {}", group.id.0, order_text(query, catalog, target))
+                }
+                PhysicalOp::NestedLoopJoin { left, right }
+                | PhysicalOp::HashJoin { left, right } => format!("g{}, g{}", left.0, right.0),
+                PhysicalOp::MergeJoin {
+                    left,
+                    right,
+                    left_key,
+                    right_key,
+                } => format!(
+                    "g{}, g{} on {} = {}",
+                    left.0,
+                    right.0,
+                    query.col_name(catalog, *left_key),
+                    query.col_name(catalog, *right_key)
+                ),
+                PhysicalOp::HashAgg { input } | PhysicalOp::StreamAgg { input, .. } => {
+                    format!("g{}", input.0)
+                }
+            };
+            let _ = writeln!(
+                out,
+                "  {id}  {:<15} [{operands}]  delivers: {:<12} cost: {:.0}  rows: {:.0}",
+                expr.op.name(),
+                order_text(query, catalog, &expr.delivered),
+                expr.local_cost,
+                expr.out_card
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PhysicalExpr;
+    use plansample_catalog::{table, ColType};
+    use plansample_query::{ColRef, QueryBuilder, RelId, RelSet};
+
+    #[test]
+    fn renders_groups_operators_and_properties() {
+        let mut catalog = Catalog::new();
+        catalog
+            .add_table(
+                table("a", 10)
+                    .col("k", ColType::Int, 10)
+                    .index_on(0)
+                    .build(),
+            )
+            .unwrap();
+        let mut qb = QueryBuilder::new(&catalog);
+        qb.rel("a", None).unwrap();
+        let query = qb.build().unwrap();
+
+        let mut memo = Memo::new();
+        let g = memo.add_group(GroupKey::Rels(RelSet::singleton(RelId(0))));
+        let k = ColRef { rel: RelId(0), col: 0 };
+        memo.add_physical(
+            g,
+            PhysicalExpr::new(
+                PhysicalOp::TableScan { rel: RelId(0) },
+                SortOrder::unsorted(),
+                10.0,
+                10.0,
+            ),
+        )
+        .unwrap();
+        memo.add_physical(
+            g,
+            PhysicalExpr::new(
+                PhysicalOp::SortedIdxScan { rel: RelId(0), col: k },
+                SortOrder::on_col(k),
+                12.0,
+                10.0,
+            ),
+        )
+        .unwrap();
+        memo.set_root(g);
+
+        let text = render_memo(&memo, &query, &catalog);
+        assert!(text.contains("Group 0 — {a}  (root)"));
+        assert!(text.contains("TableScan"));
+        assert!(text.contains("SortedIdxScan"));
+        assert!(text.contains("delivers: a.k"));
+        assert!(text.contains("0.1"), "paper-style expression ids");
+    }
+
+    #[test]
+    fn renders_joins_with_group_references() {
+        let ex = build_two_group_memo();
+        let text = render_memo(&ex.0, &ex.1, &ex.2);
+        assert!(text.contains("HashJoin"), "{text}");
+        assert!(text.contains("[g0, g1]"), "{text}");
+    }
+
+    fn build_two_group_memo() -> (Memo, QuerySpec, Catalog) {
+        let mut catalog = Catalog::new();
+        catalog
+            .add_table(table("a", 10).col("x", ColType::Int, 10).build())
+            .unwrap();
+        catalog
+            .add_table(table("b", 10).col("y", ColType::Int, 10).build())
+            .unwrap();
+        let mut qb = QueryBuilder::new(&catalog);
+        qb.rel("a", None).unwrap();
+        qb.rel("b", None).unwrap();
+        qb.join(("a", "x"), ("b", "y")).unwrap();
+        let query = qb.build().unwrap();
+
+        let mut memo = Memo::new();
+        let ga = memo.add_group(GroupKey::Rels(RelSet::singleton(RelId(0))));
+        let gb = memo.add_group(GroupKey::Rels(RelSet::singleton(RelId(1))));
+        let gab = memo.add_group(GroupKey::Rels(RelSet::all(2)));
+        for (g, rel) in [(ga, RelId(0)), (gb, RelId(1))] {
+            memo.add_physical(
+                g,
+                PhysicalExpr::new(
+                    PhysicalOp::TableScan { rel },
+                    SortOrder::unsorted(),
+                    10.0,
+                    10.0,
+                ),
+            )
+            .unwrap();
+        }
+        memo.add_physical(
+            gab,
+            PhysicalExpr::new(
+                PhysicalOp::HashJoin { left: ga, right: gb },
+                SortOrder::unsorted(),
+                25.0,
+                10.0,
+            ),
+        )
+        .unwrap();
+        memo.set_root(gab);
+        (memo, query, catalog)
+    }
+}

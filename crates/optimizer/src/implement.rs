@@ -1,0 +1,432 @@
+//! Implementation rules and enforcers: turning logical alternatives into
+//! costed physical operators.
+//!
+//! Mirrors the paper's rule classes (§2): "a physical operator in the
+//! same group, e.g. join → hash join", plus property enforcers (the
+//! `Sort` in group 1 of Figure 2 whose child is its own group). Every
+//! physical expression is costed at creation; local costs depend only on
+//! group-level cardinality estimates, so they are identical across child
+//! choices — the invariant that makes a plan's cost the sum of its
+//! operators' local costs.
+
+use crate::CostModel;
+use plansample_memo::{
+    satisfies, GroupId, GroupKey, LogicalOp, Memo, PhysicalExpr, PhysicalOp, SortOrder,
+};
+use plansample_catalog::Catalog;
+use plansample_query::{ColRef, QuerySpec, RelSet};
+
+/// Applies implementation rules to every logical expression of every
+/// group. Exploration must be complete beforehand.
+pub fn implement_all(
+    query: &QuerySpec,
+    catalog: &Catalog,
+    cost: &CostModel,
+    enable_merge_joins: bool,
+    enable_index_scans: bool,
+    memo: &mut Memo,
+) {
+    for gid in (0..memo.num_groups() as u32).map(GroupId) {
+        let key = memo.group(gid).key;
+        let logical = memo.group(gid).logical.clone();
+        for op in logical {
+            match op {
+                LogicalOp::Scan { rel } => {
+                    implement_scan(query, catalog, cost, enable_index_scans, memo, gid, rel)
+                }
+                LogicalOp::Join { left, right } => implement_join(
+                    query,
+                    catalog,
+                    cost,
+                    enable_merge_joins,
+                    memo,
+                    gid,
+                    key,
+                    left,
+                    right,
+                ),
+                LogicalOp::Agg { input } => implement_agg(query, catalog, cost, memo, gid, input),
+            }
+        }
+    }
+}
+
+fn rels_of(memo: &Memo, g: GroupId) -> RelSet {
+    memo.group(g)
+        .key
+        .rels()
+        .expect("join/scan inputs are relation-set groups")
+}
+
+fn implement_scan(
+    query: &QuerySpec,
+    catalog: &Catalog,
+    cost: &CostModel,
+    enable_index_scans: bool,
+    memo: &mut Memo,
+    gid: GroupId,
+    rel: plansample_query::RelId,
+) {
+    let table = catalog.table(query.relations[rel.0].table);
+    let stored_rows = table.row_count as f64;
+    let out_card = query.filtered_card(catalog, rel);
+
+    memo.add_physical(
+        gid,
+        PhysicalExpr::new(
+            PhysicalOp::TableScan { rel },
+            SortOrder::unsorted(),
+            cost.table_scan(stored_rows),
+            out_card,
+        ),
+    );
+    if enable_index_scans {
+        for ix in &table.indexes {
+            let col = ColRef {
+                rel,
+                col: ix.column,
+            };
+            memo.add_physical(
+                gid,
+                PhysicalExpr::new(
+                    PhysicalOp::SortedIdxScan { rel, col },
+                    SortOrder::on_col(col),
+                    cost.idx_scan(stored_rows),
+                    out_card,
+                ),
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn implement_join(
+    query: &QuerySpec,
+    catalog: &Catalog,
+    cost: &CostModel,
+    enable_merge_joins: bool,
+    memo: &mut Memo,
+    gid: GroupId,
+    key: GroupKey,
+    left: GroupId,
+    right: GroupId,
+) {
+    let (lset, rset) = (rels_of(memo, left), rels_of(memo, right));
+    let set = key.rels().expect("join group has a relation set");
+    debug_assert_eq!(lset.union(rset), set);
+    let (lcard, rcard) = (
+        query.set_card(catalog, lset),
+        query.set_card(catalog, rset),
+    );
+    let out_card = query.set_card(catalog, set);
+    let crossing = query.edges_crossing(lset, rset);
+
+    // Nested loops handle any predicate set, including pure cross products.
+    memo.add_physical(
+        gid,
+        PhysicalExpr::new(
+            PhysicalOp::NestedLoopJoin { left, right },
+            SortOrder::unsorted(),
+            cost.nested_loop_join(lcard, rcard),
+            out_card,
+        ),
+    );
+
+    if !crossing.is_empty() {
+        memo.add_physical(
+            gid,
+            PhysicalExpr::new(
+                PhysicalOp::HashJoin { left, right },
+                SortOrder::unsorted(),
+                cost.hash_join(lcard, rcard),
+                out_card,
+            ),
+        );
+        if enable_merge_joins {
+            // One merge-join alternative per crossing predicate: merge on
+            // that key, remaining crossing predicates become residuals.
+            for edge in crossing {
+                let (lk, rk) = if lset.contains(edge.left.rel) {
+                    (edge.left, edge.right)
+                } else {
+                    (edge.right, edge.left)
+                };
+                memo.add_physical(
+                    gid,
+                    PhysicalExpr::new(
+                        PhysicalOp::MergeJoin {
+                            left,
+                            right,
+                            left_key: lk,
+                            right_key: rk,
+                        },
+                        SortOrder::on_col(lk),
+                        cost.merge_join(lcard, rcard),
+                        out_card,
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn implement_agg(
+    query: &QuerySpec,
+    catalog: &Catalog,
+    cost: &CostModel,
+    memo: &mut Memo,
+    gid: GroupId,
+    input: GroupId,
+) {
+    let agg = query
+        .aggregate
+        .as_ref()
+        .expect("Agg logical expression implies an aggregate in the query");
+    let in_card = query.set_card(catalog, rels_of(memo, input));
+    let out_card = query.grouped_card(catalog, rels_of(memo, input), &agg.group_by);
+    let group_order = SortOrder::on(agg.group_by.clone());
+
+    memo.add_physical(
+        gid,
+        PhysicalExpr::new(
+            PhysicalOp::HashAgg { input },
+            SortOrder::unsorted(),
+            cost.hash_agg(in_card),
+            out_card,
+        ),
+    );
+    memo.add_physical(
+        gid,
+        PhysicalExpr::new(
+            PhysicalOp::StreamAgg {
+                input,
+                group_order: group_order.clone(),
+            },
+            group_order,
+            cost.stream_agg(in_card),
+            out_card,
+        ),
+    );
+}
+
+/// Adds `Sort` enforcers for every *interesting order* of every
+/// relation-set group: orders a parent might require, i.e. the local
+/// endpoint of each join edge leaving the group's relation set, plus the
+/// group-by order for the full set. Enforcers whose eligible child set
+/// would be empty (everything already sorted) are skipped.
+pub fn add_enforcers(query: &QuerySpec, catalog: &Catalog, cost: &CostModel, memo: &mut Memo) {
+    let all = query.all_rels();
+    for gid in (0..memo.num_groups() as u32).map(GroupId) {
+        let GroupKey::Rels(set) = memo.group(gid).key else {
+            continue; // nothing above the aggregate requires an order
+        };
+
+        let mut orders: Vec<SortOrder> = Vec::new();
+        for edge in &query.join_edges {
+            for col in [edge.left, edge.right] {
+                let other = if col == edge.left { edge.right } else { edge.left };
+                if set.contains(col.rel) && !set.contains(other.rel) {
+                    let ord = SortOrder::on_col(col);
+                    if !orders.contains(&ord) {
+                        orders.push(ord);
+                    }
+                }
+            }
+        }
+        if set == all {
+            if let Some(agg) = &query.aggregate {
+                if !agg.group_by.is_empty() {
+                    let ord = SortOrder::on(agg.group_by.clone());
+                    if !orders.contains(&ord) {
+                        orders.push(ord);
+                    }
+                }
+            }
+        }
+
+        let card = query.set_card(catalog, set);
+        for target in orders {
+            let has_sortable_input = memo.group(gid).physical.iter().any(|e| {
+                !e.op.is_enforcer() && !satisfies(query, set, &e.delivered, &target)
+            });
+            if has_sortable_input {
+                memo.add_physical(
+                    gid,
+                    PhysicalExpr::new(
+                        PhysicalOp::Sort {
+                            target: target.clone(),
+                        },
+                        target,
+                        cost.sort(card),
+                        card,
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore_bottom_up;
+    use plansample_catalog::{table, ColType};
+    use plansample_query::QueryBuilder;
+
+    /// a(k indexed, v) ⋈ b(k indexed) on a.k = b.k.
+    fn setup() -> (Catalog, QuerySpec, Memo) {
+        let mut cat = Catalog::new();
+        cat.add_table(
+            table("a", 1000)
+                .col("k", ColType::Int, 1000)
+                .col("v", ColType::Int, 10)
+                .index_on(0)
+                .build(),
+        )
+        .unwrap();
+        cat.add_table(
+            table("b", 500)
+                .col("k", ColType::Int, 500)
+                .index_on(0)
+                .build(),
+        )
+        .unwrap();
+        let mut qb = QueryBuilder::new(&cat);
+        qb.rel("a", None).unwrap();
+        qb.rel("b", None).unwrap();
+        qb.join(("a", "k"), ("b", "k")).unwrap();
+        let q = qb.build().unwrap();
+
+        let mut memo = Memo::new();
+        explore_bottom_up(&q, false, &mut memo).unwrap();
+        let cost = CostModel::default();
+        implement_all(&q, &cat, &cost, true, true, &mut memo);
+        add_enforcers(&q, &cat, &cost, &mut memo);
+        (cat, q, memo)
+    }
+
+    fn ops_of(memo: &Memo, gid: u32) -> Vec<&'static str> {
+        memo.group(GroupId(gid))
+            .physical
+            .iter()
+            .map(|e| e.op.name())
+            .collect()
+    }
+
+    #[test]
+    fn scan_group_contents_match_figure2_shape() {
+        let (_cat, _q, memo) = setup();
+        // Group {a}: TableScan, SortedIdxScan(k), Sort(k targeting the
+        // join order) — exactly the paper's group-1 shape.
+        let names = ops_of(&memo, 0);
+        assert_eq!(names, vec!["TableScan", "SortedIdxScan", "Sort"]);
+    }
+
+    #[test]
+    fn join_group_has_all_implementations_in_both_orders() {
+        let (_cat, _q, memo) = setup();
+        let names = ops_of(&memo, 2);
+        // Two logical orders × (NLJ, HashJoin, MergeJoin) = 6.
+        assert_eq!(names.len(), 6);
+        assert_eq!(names.iter().filter(|n| **n == "NestedLoopJoin").count(), 2);
+        assert_eq!(names.iter().filter(|n| **n == "HashJoin").count(), 2);
+        assert_eq!(names.iter().filter(|n| **n == "MergeJoin").count(), 2);
+    }
+
+    #[test]
+    fn costs_are_finite_and_positive() {
+        let (_cat, _q, memo) = setup();
+        for g in memo.groups() {
+            for e in &g.physical {
+                assert!(e.local_cost.is_finite() && e.local_cost > 0.0);
+                assert!(e.out_card >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn no_enforcer_above_join_without_outward_edges() {
+        let (_cat, _q, memo) = setup();
+        // Group {a,b} covers all relations and the query has no
+        // aggregate: no interesting orders, hence no Sort.
+        assert!(ops_of(&memo, 2).iter().all(|n| *n != "Sort"));
+    }
+
+    #[test]
+    fn cross_product_only_gets_nested_loops() {
+        let mut cat = Catalog::new();
+        cat.add_table(table("a", 10).col("x", ColType::Int, 10).build())
+            .unwrap();
+        cat.add_table(table("b", 10).col("y", ColType::Int, 10).build())
+            .unwrap();
+        let mut qb = QueryBuilder::new(&cat);
+        qb.rel("a", None).unwrap();
+        qb.rel("b", None).unwrap();
+        let q = qb.build().unwrap(); // no join edge
+        let mut memo = Memo::new();
+        explore_bottom_up(&q, true, &mut memo).unwrap();
+        let cost = CostModel::default();
+        implement_all(&q, &cat, &cost, true, true, &mut memo);
+        let names = ops_of(&memo, 2);
+        assert!(names.iter().all(|n| *n == "NestedLoopJoin"), "{names:?}");
+    }
+
+    #[test]
+    fn aggregate_group_gets_both_implementations() {
+        let (cat, _) = plansample_catalog::tpch::catalog();
+        let q = plansample_query::tpch::q5(&cat);
+        let mut memo = Memo::new();
+        explore_bottom_up(&q, false, &mut memo).unwrap();
+        let cost = CostModel::default();
+        implement_all(&q, &cat, &cost, true, true, &mut memo);
+        let agg_group = memo.group(memo.root());
+        let names: Vec<_> = agg_group.physical.iter().map(|e| e.op.name()).collect();
+        assert_eq!(names, vec!["HashAgg", "StreamAgg"]);
+    }
+
+    #[test]
+    fn merge_join_per_crossing_edge() {
+        // Two predicates between a and b -> two merge-join alternatives
+        // per logical order.
+        let mut cat = Catalog::new();
+        cat.add_table(
+            table("a", 100)
+                .col("x", ColType::Int, 100)
+                .col("y", ColType::Int, 100)
+                .build(),
+        )
+        .unwrap();
+        cat.add_table(
+            table("b", 100)
+                .col("x", ColType::Int, 100)
+                .col("y", ColType::Int, 100)
+                .build(),
+        )
+        .unwrap();
+        let mut qb = QueryBuilder::new(&cat);
+        qb.rel("a", None).unwrap();
+        qb.rel("b", None).unwrap();
+        qb.join(("a", "x"), ("b", "x")).unwrap();
+        qb.join(("a", "y"), ("b", "y")).unwrap();
+        let q = qb.build().unwrap();
+        let mut memo = Memo::new();
+        explore_bottom_up(&q, false, &mut memo).unwrap();
+        let cost = CostModel::default();
+        implement_all(&q, &cat, &cost, true, true, &mut memo);
+        let names = ops_of(&memo, 2);
+        assert_eq!(names.iter().filter(|n| **n == "MergeJoin").count(), 4);
+    }
+
+    #[test]
+    fn index_scans_can_be_disabled() {
+        let (cat, q, _) = setup();
+        let mut memo = Memo::new();
+        explore_bottom_up(&q, false, &mut memo).unwrap();
+        let cost = CostModel::default();
+        implement_all(&q, &cat, &cost, true, false, &mut memo);
+        assert!(memo
+            .groups()
+            .flat_map(|g| g.physical.iter())
+            .all(|e| !matches!(e.op, PhysicalOp::SortedIdxScan { .. })));
+    }
+}

@@ -1,0 +1,351 @@
+//! Ergonomic construction of [`QuerySpec`]s with name resolution and
+//! selectivity derivation.
+
+use crate::{
+    AggExpr, AggFunc, Aggregate, CmpOp, ColRef, Filter, JoinEdge, QuerySpec, RelId, RelRef,
+    RelSet,
+};
+use plansample_catalog::{Catalog, CatalogError, Datum};
+use std::collections::HashSet;
+use std::fmt;
+
+/// System-R's magic selectivity for range predicates without histograms.
+const RANGE_SELECTIVITY: f64 = 1.0 / 3.0;
+
+/// Errors raised while assembling a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Table/column lookup failed.
+    Catalog(CatalogError),
+    /// Two relations were given the same alias.
+    DuplicateAlias(String),
+    /// An alias used in a predicate is not declared in the FROM list.
+    UnknownAlias(String),
+    /// The query has more relations than [`RelSet::MAX_RELS`].
+    TooManyRelations(usize),
+    /// `COUNT(*)` aside, aggregate functions need an argument.
+    MissingAggregateArgument(AggFunc),
+    /// A selectivity outside `(0, 1]` was supplied.
+    BadSelectivity(f64),
+    /// The query has no relations.
+    NoRelations,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Catalog(e) => write!(f, "{e}"),
+            QueryError::DuplicateAlias(a) => write!(f, "duplicate alias `{a}`"),
+            QueryError::UnknownAlias(a) => write!(f, "unknown alias `{a}`"),
+            QueryError::TooManyRelations(n) => {
+                write!(f, "{n} relations exceed the {} limit", RelSet::MAX_RELS)
+            }
+            QueryError::MissingAggregateArgument(func) => {
+                write!(f, "{} requires an argument", func.name())
+            }
+            QueryError::BadSelectivity(s) => write!(f, "selectivity {s} outside (0, 1]"),
+            QueryError::NoRelations => write!(f, "query has no relations"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<CatalogError> for QueryError {
+    fn from(e: CatalogError) -> Self {
+        QueryError::Catalog(e)
+    }
+}
+
+/// Builder for [`QuerySpec`], carrying the catalog for name resolution.
+///
+/// ```
+/// use plansample_catalog::tpch;
+/// use plansample_query::QueryBuilder;
+///
+/// let (cat, _t) = tpch::catalog();
+/// let mut qb = QueryBuilder::new(&cat);
+/// qb.rel("nation", Some("n1")).unwrap();
+/// qb.rel("nation", Some("n2")).unwrap();
+/// qb.join(("n1", "n_regionkey"), ("n2", "n_regionkey")).unwrap();
+/// let spec = qb.build().unwrap();
+/// assert_eq!(spec.relations.len(), 2);
+/// ```
+pub struct QueryBuilder<'a> {
+    catalog: &'a Catalog,
+    spec: QuerySpec,
+}
+
+impl<'a> QueryBuilder<'a> {
+    /// Starts an empty query against `catalog`.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        QueryBuilder {
+            catalog,
+            spec: QuerySpec {
+                relations: Vec::new(),
+                join_edges: Vec::new(),
+                filters: Vec::new(),
+                aggregate: None,
+                projection: None,
+            },
+        }
+    }
+
+    /// Adds a relation instance; `alias` defaults to the table name.
+    pub fn rel(&mut self, table: &str, alias: Option<&str>) -> Result<RelId, QueryError> {
+        let (tid, _) = self.catalog.table_by_name(table)?;
+        let alias = alias.unwrap_or(table).to_string();
+        if self.spec.relations.iter().any(|r| r.alias == alias) {
+            return Err(QueryError::DuplicateAlias(alias));
+        }
+        if self.spec.relations.len() >= RelSet::MAX_RELS {
+            return Err(QueryError::TooManyRelations(self.spec.relations.len() + 1));
+        }
+        let id = RelId(self.spec.relations.len());
+        self.spec.relations.push(RelRef { table: tid, alias });
+        Ok(id)
+    }
+
+    fn resolve(&self, (alias, column): (&str, &str)) -> Result<ColRef, QueryError> {
+        let (i, rel) = self
+            .spec
+            .relations
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.alias == alias)
+            .ok_or_else(|| QueryError::UnknownAlias(alias.to_string()))?;
+        let col = self
+            .catalog
+            .table(rel.table)
+            .column_index(column)
+            .ok_or_else(|| CatalogError::UnknownColumn {
+                table: alias.to_string(),
+                column: column.to_string(),
+            })?;
+        Ok(ColRef { rel: RelId(i), col })
+    }
+
+    fn ndv(&self, col: ColRef) -> u64 {
+        let rel = &self.spec.relations[col.rel.0];
+        self.catalog.table(rel.table).column(col.col).ndv.max(1)
+    }
+
+    /// Adds an equality join edge; selectivity `1 / max(ndv_l, ndv_r)`.
+    pub fn join(&mut self, left: (&str, &str), right: (&str, &str)) -> Result<(), QueryError> {
+        let l = self.resolve(left)?;
+        let r = self.resolve(right)?;
+        let selectivity = 1.0 / self.ndv(l).max(self.ndv(r)) as f64;
+        self.spec.join_edges.push(JoinEdge {
+            left: l,
+            right: r,
+            selectivity,
+        });
+        Ok(())
+    }
+
+    /// Adds a filter with a derived selectivity: `1/ndv` for `=`,
+    /// `1 - 1/ndv` for `<>`, the System-R `1/3` for ranges.
+    pub fn filter(
+        &mut self,
+        col: (&str, &str),
+        op: CmpOp,
+        value: impl Into<Datum>,
+    ) -> Result<(), QueryError> {
+        let c = self.resolve(col)?;
+        let ndv = self.ndv(c) as f64;
+        let selectivity = match op {
+            CmpOp::Eq => 1.0 / ndv,
+            CmpOp::Ne => (1.0 - 1.0 / ndv).max(1.0 / ndv),
+            _ => RANGE_SELECTIVITY,
+        };
+        self.spec.filters.push(Filter {
+            col: c,
+            op,
+            value: value.into(),
+            selectivity,
+        });
+        Ok(())
+    }
+
+    /// Adds a filter with an explicit selectivity (e.g. a date range whose
+    /// fraction is known from the workload definition).
+    pub fn filter_sel(
+        &mut self,
+        col: (&str, &str),
+        op: CmpOp,
+        value: impl Into<Datum>,
+        selectivity: f64,
+    ) -> Result<(), QueryError> {
+        if !(selectivity > 0.0 && selectivity <= 1.0) {
+            return Err(QueryError::BadSelectivity(selectivity));
+        }
+        let c = self.resolve(col)?;
+        self.spec.filters.push(Filter {
+            col: c,
+            op,
+            value: value.into(),
+            selectivity,
+        });
+        Ok(())
+    }
+
+    /// Installs a group-by + aggregate list on top of the block.
+    pub fn aggregate(
+        &mut self,
+        group_by: &[(&str, &str)],
+        aggs: &[(AggFunc, Option<(&str, &str)>)],
+    ) -> Result<(), QueryError> {
+        let group_by = group_by
+            .iter()
+            .map(|&c| self.resolve(c))
+            .collect::<Result<Vec<_>, _>>()?;
+        let aggs = aggs
+            .iter()
+            .map(|&(func, arg)| {
+                let arg = match (func, arg) {
+                    (AggFunc::CountStar, _) => None,
+                    (f, None) => return Err(QueryError::MissingAggregateArgument(f)),
+                    (_, Some(c)) => Some(self.resolve(c)?),
+                };
+                Ok(AggExpr { func, arg })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        self.spec.aggregate = Some(Aggregate { group_by, aggs });
+        Ok(())
+    }
+
+    /// Installs an explicit output projection.
+    pub fn project(&mut self, cols: &[(&str, &str)]) -> Result<(), QueryError> {
+        let cols = cols
+            .iter()
+            .map(|&c| self.resolve(c))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.spec.projection = Some(cols);
+        Ok(())
+    }
+
+    /// Finalizes the spec, checking global invariants.
+    pub fn build(self) -> Result<QuerySpec, QueryError> {
+        if self.spec.relations.is_empty() {
+            return Err(QueryError::NoRelations);
+        }
+        let mut aliases = HashSet::new();
+        for r in &self.spec.relations {
+            if !aliases.insert(r.alias.as_str()) {
+                return Err(QueryError::DuplicateAlias(r.alias.clone()));
+            }
+        }
+        Ok(self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plansample_catalog::tpch;
+
+    #[test]
+    fn builds_self_join() {
+        let (cat, _) = tpch::catalog();
+        let mut qb = QueryBuilder::new(&cat);
+        qb.rel("nation", Some("n1")).unwrap();
+        qb.rel("nation", Some("n2")).unwrap();
+        qb.join(("n1", "n_regionkey"), ("n2", "n_regionkey")).unwrap();
+        let spec = qb.build().unwrap();
+        assert_eq!(spec.relations.len(), 2);
+        assert_eq!(spec.join_edges.len(), 1);
+        // both endpoints have ndv 5 -> selectivity 1/5
+        assert!((spec.join_edges[0].selectivity - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        let (cat, _) = tpch::catalog();
+        let mut qb = QueryBuilder::new(&cat);
+        qb.rel("nation", None).unwrap();
+        assert_eq!(
+            qb.rel("nation", None),
+            Err(QueryError::DuplicateAlias("nation".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        let (cat, _) = tpch::catalog();
+        let mut qb = QueryBuilder::new(&cat);
+        assert!(matches!(qb.rel("nope", None), Err(QueryError::Catalog(_))));
+        qb.rel("nation", None).unwrap();
+        assert!(matches!(
+            qb.join(("bogus", "x"), ("nation", "n_name")),
+            Err(QueryError::UnknownAlias(_))
+        ));
+        assert!(matches!(
+            qb.filter(("nation", "bogus_col"), CmpOp::Eq, 1i64),
+            Err(QueryError::Catalog(_))
+        ));
+    }
+
+    #[test]
+    fn filter_selectivities_derived_from_ndv() {
+        let (cat, _) = tpch::catalog();
+        let mut qb = QueryBuilder::new(&cat);
+        qb.rel("region", None).unwrap();
+        qb.filter(("region", "r_name"), CmpOp::Eq, "ASIA").unwrap();
+        qb.filter(("region", "r_regionkey"), CmpOp::Lt, 3i64).unwrap();
+        let spec = qb.build().unwrap();
+        assert!((spec.filters[0].selectivity - 0.2).abs() < 1e-12);
+        assert!((spec.filters[1].selectivity - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_selectivity_validated() {
+        let (cat, _) = tpch::catalog();
+        let mut qb = QueryBuilder::new(&cat);
+        qb.rel("orders", None).unwrap();
+        assert!(matches!(
+            qb.filter_sel(("orders", "o_orderdate"), CmpOp::Ge, 100i64, 1.5),
+            Err(QueryError::BadSelectivity(_))
+        ));
+        qb.filter_sel(("orders", "o_orderdate"), CmpOp::Ge, 100i64, 0.15)
+            .unwrap();
+        assert!((qb.build().unwrap().filters[0].selectivity - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_validation() {
+        let (cat, _) = tpch::catalog();
+        let mut qb = QueryBuilder::new(&cat);
+        qb.rel("lineitem", Some("l")).unwrap();
+        assert!(matches!(
+            qb.aggregate(&[], &[(AggFunc::Sum, None)]),
+            Err(QueryError::MissingAggregateArgument(AggFunc::Sum))
+        ));
+        qb.aggregate(
+            &[("l", "l_suppkey")],
+            &[(AggFunc::Sum, Some(("l", "l_extendedprice"))), (AggFunc::CountStar, None)],
+        )
+        .unwrap();
+        let spec = qb.build().unwrap();
+        let agg = spec.aggregate.unwrap();
+        assert_eq!(agg.group_by.len(), 1);
+        assert_eq!(agg.aggs.len(), 2);
+        assert!(agg.aggs[1].arg.is_none());
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        let (cat, _) = tpch::catalog();
+        let qb = QueryBuilder::new(&cat);
+        assert_eq!(qb.build().unwrap_err(), QueryError::NoRelations);
+    }
+
+    #[test]
+    fn projection_resolves() {
+        let (cat, _) = tpch::catalog();
+        let mut qb = QueryBuilder::new(&cat);
+        qb.rel("nation", None).unwrap();
+        qb.project(&[("nation", "n_name")]).unwrap();
+        let spec = qb.build().unwrap();
+        assert_eq!(spec.projection.unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! System-R style cardinality estimation over the join graph.
+//!
+//! The estimate for a set `S` of relations is
+//!
+//! ```text
+//!   card(S) = Π_{r ∈ S} (rows(r) · Π filters(r)) · Π_{e ⊆ S} sel(e)
+//! ```
+//!
+//! i.e. filtered base cardinalities times the selectivity of every join
+//! edge whose endpoints both lie in `S`. This is the estimate the cost
+//! model prices every MEMO group with; because it depends only on the
+//! *set* (not the join order), all plans for a group agree on their output
+//! cardinality — which is also what makes the set a sound group key.
+
+use crate::{ColRef, QuerySpec, RelId, RelSet};
+use plansample_catalog::Catalog;
+
+impl QuerySpec {
+    /// Base cardinality of `rel` after applying its local filters.
+    pub fn filtered_card(&self, catalog: &Catalog, rel: RelId) -> f64 {
+        let table = catalog.table(self.relations[rel.0].table);
+        let mut card = table.row_count as f64;
+        for f in self.filters_on(rel) {
+            card *= f.selectivity;
+        }
+        card.max(1.0)
+    }
+
+    /// Estimated cardinality of joining all relations of `set`.
+    ///
+    /// # Panics
+    /// Panics on the empty set (no meaningful cardinality).
+    pub fn set_card(&self, catalog: &Catalog, set: RelSet) -> f64 {
+        assert!(!set.is_empty(), "cardinality of the empty relation set");
+        let mut card: f64 = set
+            .iter()
+            .map(|r| self.filtered_card(catalog, r))
+            .product();
+        for edge in self.edges_within(set) {
+            card *= edge.selectivity;
+        }
+        card.max(1.0)
+    }
+
+    /// Distinct-value estimate for a column, capped by its relation's
+    /// filtered cardinality (you cannot have more distinct values than
+    /// rows).
+    pub fn col_ndv(&self, catalog: &Catalog, col: ColRef) -> f64 {
+        let table = catalog.table(self.relations[col.rel.0].table);
+        let ndv = table.column(col.col).ndv.max(1) as f64;
+        ndv.min(self.filtered_card(catalog, col.rel))
+    }
+
+    /// Output cardinality of grouping `set` by `group_by` columns: the
+    /// product of group-key NDVs capped by the input cardinality.
+    pub fn grouped_card(&self, catalog: &Catalog, set: RelSet, group_by: &[ColRef]) -> f64 {
+        let input = self.set_card(catalog, set);
+        if group_by.is_empty() {
+            return 1.0; // scalar aggregate
+        }
+        let keys: f64 = group_by.iter().map(|&c| self.col_ndv(catalog, c)).product();
+        keys.min(input).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CmpOp, QueryBuilder, RelId, RelSet};
+    use plansample_catalog::tpch;
+
+    #[test]
+    fn filtered_card_applies_selectivities() {
+        let (cat, _) = tpch::catalog();
+        let mut qb = QueryBuilder::new(&cat);
+        qb.rel("region", None).unwrap();
+        qb.filter(("region", "r_name"), CmpOp::Eq, "ASIA").unwrap();
+        let spec = qb.build().unwrap();
+        // 5 rows * 1/5 selectivity
+        assert!((spec.filtered_card(&cat, RelId(0)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn key_fk_join_card_equals_fk_side() {
+        // nation ⋈ region on regionkey: 25 * 5 * (1/5) = 25.
+        let (cat, _) = tpch::catalog();
+        let mut qb = QueryBuilder::new(&cat);
+        qb.rel("nation", None).unwrap();
+        qb.rel("region", None).unwrap();
+        qb.join(("nation", "n_regionkey"), ("region", "r_regionkey"))
+            .unwrap();
+        let spec = qb.build().unwrap();
+        let card = spec.set_card(&cat, RelSet::all(2));
+        assert!((card - 25.0).abs() < 1e-9, "got {card}");
+    }
+
+    #[test]
+    fn cross_product_card_is_product() {
+        let (cat, _) = tpch::catalog();
+        let mut qb = QueryBuilder::new(&cat);
+        qb.rel("nation", Some("n1")).unwrap();
+        qb.rel("nation", Some("n2")).unwrap();
+        let spec = qb.build().unwrap();
+        assert!((spec.set_card(&cat, RelSet::all(2)) - 625.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn card_never_below_one() {
+        let (cat, _) = tpch::catalog();
+        let mut qb = QueryBuilder::new(&cat);
+        qb.rel("region", None).unwrap();
+        qb.filter_sel(("region", "r_name"), CmpOp::Eq, "X", 1e-9).unwrap();
+        let spec = qb.build().unwrap();
+        assert_eq!(spec.filtered_card(&cat, RelId(0)), 1.0);
+    }
+
+    #[test]
+    fn ndv_capped_by_rows() {
+        let (cat, _) = tpch::catalog();
+        let mut qb = QueryBuilder::new(&cat);
+        qb.rel("region", None).unwrap();
+        qb.filter_sel(("region", "r_regionkey"), CmpOp::Lt, 2i64, 0.4).unwrap();
+        let spec = qb.build().unwrap();
+        let col = spec.resolve(&cat, "region", "r_regionkey").unwrap();
+        // 5 ndv but only 2 filtered rows
+        assert!((spec.col_ndv(&cat, col) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grouped_card_caps_at_input() {
+        let (cat, _) = tpch::catalog();
+        let mut qb = QueryBuilder::new(&cat);
+        qb.rel("nation", None).unwrap();
+        let spec = qb.build().unwrap();
+        let name = spec.resolve(&cat, "nation", "n_name").unwrap();
+        let g = spec.grouped_card(&cat, RelSet::all(1), &[name]);
+        assert!((g - 25.0).abs() < 1e-9);
+        // scalar aggregate -> 1 row
+        assert_eq!(spec.grouped_card(&cat, RelSet::all(1), &[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty relation set")]
+    fn empty_set_card_panics() {
+        let (cat, _) = tpch::catalog();
+        let mut qb = QueryBuilder::new(&cat);
+        qb.rel("nation", None).unwrap();
+        let spec = qb.build().unwrap();
+        spec.set_card(&cat, RelSet::EMPTY);
+    }
+}

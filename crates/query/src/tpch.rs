@@ -1,0 +1,313 @@
+//! The paper's workload: join graphs of TPC-H Q5, Q6, Q7, Q8, Q9.
+//!
+//! §5 studies the join-intensive queries Q5/Q7/Q8/Q9 ("which are the
+//! join-intensive queries of the benchmark, and have a larger search
+//! space") and mentions Q6 as a small-query control whose cost
+//! distribution is "only random noise". We model each query's FROM/WHERE
+//! join structure and its filter selectivities; scalar expressions inside
+//! aggregates are simplified to single-column aggregates (the plan space —
+//! what the paper studies — is untouched by this, since expressions do not
+//! add join alternatives).
+//!
+//! Date literals are encoded as `days since 1992-01-01` integers; the
+//! explicit range selectivities follow the TPC-H predicate definitions
+//! (e.g. one year out of the 7-year order interval ≈ 1/7).
+
+use crate::{AggFunc, CmpOp, QueryBuilder, QuerySpec};
+use plansample_catalog::Catalog;
+
+/// Day offset for a `(year, month)` start-of-month since 1992-01-01,
+/// with 30.4-day months — precise enough for synthetic date predicates.
+fn day(year: i64, month: i64) -> i64 {
+    (year - 1992) * 365 + ((month - 1) as f64 * 30.4) as i64
+}
+
+/// TPC-H Q3: shipping priority — `customer ⋈ orders ⋈ lineitem`, the
+/// smallest join-bearing query modelled (3 relations; useful for
+/// exhaustive validation).
+pub fn q3(catalog: &Catalog) -> QuerySpec {
+    let mut qb = QueryBuilder::new(catalog);
+    qb.rel("customer", Some("c")).unwrap();
+    qb.rel("orders", Some("o")).unwrap();
+    qb.rel("lineitem", Some("l")).unwrap();
+
+    qb.join(("c", "c_custkey"), ("o", "o_custkey")).unwrap();
+    qb.join(("l", "l_orderkey"), ("o", "o_orderkey")).unwrap();
+
+    qb.filter(("c", "c_mktsegment"), CmpOp::Eq, "BUILDING").unwrap();
+    // o_orderdate < 1995-03-15 ≈ first 3.2 of 7 years.
+    qb.filter_sel(("o", "o_orderdate"), CmpOp::Lt, day(1995, 3), 0.46)
+        .unwrap();
+    // l_shipdate > 1995-03-15.
+    qb.filter_sel(("l", "l_shipdate"), CmpOp::Gt, day(1995, 3), 0.54)
+        .unwrap();
+
+    qb.aggregate(
+        &[("l", "l_orderkey")],
+        &[(AggFunc::Sum, Some(("l", "l_extendedprice")))],
+    )
+    .unwrap();
+    qb.build().unwrap()
+}
+
+/// TPC-H Q5: `customer ⋈ orders ⋈ lineitem ⋈ supplier ⋈ nation ⋈ region`
+/// — 6 relations, a cycle through customer/supplier nationkeys.
+pub fn q5(catalog: &Catalog) -> QuerySpec {
+    let mut qb = QueryBuilder::new(catalog);
+    qb.rel("customer", Some("c")).unwrap();
+    qb.rel("orders", Some("o")).unwrap();
+    qb.rel("lineitem", Some("l")).unwrap();
+    qb.rel("supplier", Some("s")).unwrap();
+    qb.rel("nation", Some("n")).unwrap();
+    qb.rel("region", Some("r")).unwrap();
+
+    qb.join(("c", "c_custkey"), ("o", "o_custkey")).unwrap();
+    qb.join(("l", "l_orderkey"), ("o", "o_orderkey")).unwrap();
+    qb.join(("l", "l_suppkey"), ("s", "s_suppkey")).unwrap();
+    qb.join(("c", "c_nationkey"), ("s", "s_nationkey")).unwrap();
+    qb.join(("s", "s_nationkey"), ("n", "n_nationkey")).unwrap();
+    qb.join(("n", "n_regionkey"), ("r", "r_regionkey")).unwrap();
+
+    qb.filter(("r", "r_name"), CmpOp::Eq, "ASIA").unwrap();
+    // o_orderdate in [1994-01-01, 1995-01-01): one of seven years.
+    qb.filter_sel(("o", "o_orderdate"), CmpOp::Ge, day(1994, 1), 1.0 / 7.0)
+        .unwrap();
+
+    qb.aggregate(
+        &[("n", "n_name")],
+        &[(AggFunc::Sum, Some(("l", "l_extendedprice")))],
+    )
+    .unwrap();
+    qb.build().unwrap()
+}
+
+/// TPC-H Q6: single-table scan of `lineitem` — the control query whose
+/// plan space is tiny and whose cost distribution is pure noise (§5).
+pub fn q6(catalog: &Catalog) -> QuerySpec {
+    let mut qb = QueryBuilder::new(catalog);
+    qb.rel("lineitem", Some("l")).unwrap();
+    qb.filter_sel(("l", "l_shipdate"), CmpOp::Ge, day(1994, 1), 1.0 / 7.0)
+        .unwrap();
+    // l_discount between 5% and 7%: 3 of the 11 discount values
+    // (discounts are stored as integer percent).
+    qb.filter_sel(("l", "l_discount"), CmpOp::Ge, 5i64, 3.0 / 11.0)
+        .unwrap();
+    // l_quantity < 24: slightly under half of the 1..=50 domain.
+    qb.filter_sel(("l", "l_quantity"), CmpOp::Lt, 24i64, 23.0 / 50.0)
+        .unwrap();
+    qb.aggregate(&[], &[(AggFunc::Sum, Some(("l", "l_extendedprice")))])
+        .unwrap();
+    qb.build().unwrap()
+}
+
+/// TPC-H Q7: volume shipping — a self-join on `nation` (n1 supplier-side,
+/// n2 customer-side), 6 relations.
+pub fn q7(catalog: &Catalog) -> QuerySpec {
+    let mut qb = QueryBuilder::new(catalog);
+    qb.rel("supplier", Some("s")).unwrap();
+    qb.rel("lineitem", Some("l")).unwrap();
+    qb.rel("orders", Some("o")).unwrap();
+    qb.rel("customer", Some("c")).unwrap();
+    qb.rel("nation", Some("n1")).unwrap();
+    qb.rel("nation", Some("n2")).unwrap();
+
+    qb.join(("s", "s_suppkey"), ("l", "l_suppkey")).unwrap();
+    qb.join(("o", "o_orderkey"), ("l", "l_orderkey")).unwrap();
+    qb.join(("c", "c_custkey"), ("o", "o_custkey")).unwrap();
+    qb.join(("s", "s_nationkey"), ("n1", "n_nationkey")).unwrap();
+    qb.join(("c", "c_nationkey"), ("n2", "n_nationkey")).unwrap();
+
+    qb.filter(("n1", "n_name"), CmpOp::Eq, "FRANCE").unwrap();
+    qb.filter(("n2", "n_name"), CmpOp::Eq, "GERMANY").unwrap();
+    // l_shipdate in [1995-01-01, 1996-12-31]: two of seven years.
+    qb.filter_sel(("l", "l_shipdate"), CmpOp::Ge, day(1995, 1), 2.0 / 7.0)
+        .unwrap();
+
+    qb.aggregate(
+        &[("n1", "n_name"), ("n2", "n_name")],
+        &[(AggFunc::Sum, Some(("l", "l_extendedprice")))],
+    )
+    .unwrap();
+    qb.build().unwrap()
+}
+
+/// TPC-H Q8: national market share — the largest space studied in the
+/// paper: 8 relations including two `nation` instances and `region`.
+pub fn q8(catalog: &Catalog) -> QuerySpec {
+    let mut qb = QueryBuilder::new(catalog);
+    qb.rel("part", Some("p")).unwrap();
+    qb.rel("supplier", Some("s")).unwrap();
+    qb.rel("lineitem", Some("l")).unwrap();
+    qb.rel("orders", Some("o")).unwrap();
+    qb.rel("customer", Some("c")).unwrap();
+    qb.rel("nation", Some("n1")).unwrap();
+    qb.rel("nation", Some("n2")).unwrap();
+    qb.rel("region", Some("r")).unwrap();
+
+    qb.join(("p", "p_partkey"), ("l", "l_partkey")).unwrap();
+    qb.join(("s", "s_suppkey"), ("l", "l_suppkey")).unwrap();
+    qb.join(("l", "l_orderkey"), ("o", "o_orderkey")).unwrap();
+    qb.join(("o", "o_custkey"), ("c", "c_custkey")).unwrap();
+    qb.join(("c", "c_nationkey"), ("n1", "n_nationkey")).unwrap();
+    qb.join(("n1", "n_regionkey"), ("r", "r_regionkey")).unwrap();
+    qb.join(("s", "s_nationkey"), ("n2", "n_nationkey")).unwrap();
+
+    qb.filter(("r", "r_name"), CmpOp::Eq, "AMERICA").unwrap();
+    // o_orderdate in [1995-01-01, 1996-12-31].
+    qb.filter_sel(("o", "o_orderdate"), CmpOp::Ge, day(1995, 1), 2.0 / 7.0)
+        .unwrap();
+    qb.filter(("p", "p_type"), CmpOp::Eq, "ECONOMY ANODIZED STEEL")
+        .unwrap();
+
+    qb.aggregate(
+        &[("n2", "n_name")],
+        &[(AggFunc::Sum, Some(("l", "l_extendedprice")))],
+    )
+    .unwrap();
+    qb.build().unwrap()
+}
+
+/// TPC-H Q9: product type profit — 6 relations with a cyclic core
+/// (`lineitem` joined to `part`, `supplier` and `partsupp` on shared
+/// keys).
+pub fn q9(catalog: &Catalog) -> QuerySpec {
+    let mut qb = QueryBuilder::new(catalog);
+    qb.rel("part", Some("p")).unwrap();
+    qb.rel("supplier", Some("s")).unwrap();
+    qb.rel("lineitem", Some("l")).unwrap();
+    qb.rel("partsupp", Some("ps")).unwrap();
+    qb.rel("orders", Some("o")).unwrap();
+    qb.rel("nation", Some("n")).unwrap();
+
+    qb.join(("s", "s_suppkey"), ("l", "l_suppkey")).unwrap();
+    qb.join(("ps", "ps_suppkey"), ("l", "l_suppkey")).unwrap();
+    qb.join(("ps", "ps_partkey"), ("l", "l_partkey")).unwrap();
+    qb.join(("p", "p_partkey"), ("l", "l_partkey")).unwrap();
+    qb.join(("o", "o_orderkey"), ("l", "l_orderkey")).unwrap();
+    qb.join(("s", "s_nationkey"), ("n", "n_nationkey")).unwrap();
+
+    // p_name LIKE '%green%': roughly 1/18 of part names contain a given
+    // colour word (55 colour candidates, ~3 words per name).
+    qb.filter_sel(("p", "p_name"), CmpOp::Eq, "green", 0.055).unwrap();
+
+    qb.aggregate(
+        &[("n", "n_name")],
+        &[(AggFunc::Sum, Some(("l", "l_extendedprice")))],
+    )
+    .unwrap();
+    qb.build().unwrap()
+}
+
+/// TPC-H Q10: returned-item reporting, simplified to its join core —
+/// `customer ⋈ orders ⋈ lineitem ⋈ nation` grouped by nation (the
+/// official query groups by customer; the join graph, which is what the
+/// plan space depends on, is identical).
+pub fn q10(catalog: &Catalog) -> QuerySpec {
+    let mut qb = QueryBuilder::new(catalog);
+    qb.rel("customer", Some("c")).unwrap();
+    qb.rel("orders", Some("o")).unwrap();
+    qb.rel("lineitem", Some("l")).unwrap();
+    qb.rel("nation", Some("n")).unwrap();
+
+    qb.join(("c", "c_custkey"), ("o", "o_custkey")).unwrap();
+    qb.join(("l", "l_orderkey"), ("o", "o_orderkey")).unwrap();
+    qb.join(("c", "c_nationkey"), ("n", "n_nationkey")).unwrap();
+
+    // One quarter of the 7-year order interval.
+    qb.filter_sel(("o", "o_orderdate"), CmpOp::Ge, day(1993, 10), 1.0 / 28.0)
+        .unwrap();
+
+    qb.aggregate(
+        &[("n", "n_name")],
+        &[(AggFunc::Sum, Some(("l", "l_extendedprice")))],
+    )
+    .unwrap();
+    qb.build().unwrap()
+}
+
+/// All modelled queries, labelled. Q5/Q7/Q8/Q9 are the paper's Table 1
+/// rows; Q3/Q10 are smaller join queries for exhaustive-mode testing;
+/// Q6 is the single-table control.
+pub fn all(catalog: &Catalog) -> Vec<(&'static str, QuerySpec)> {
+    vec![
+        ("Q3", q3(catalog)),
+        ("Q5", q5(catalog)),
+        ("Q6", q6(catalog)),
+        ("Q7", q7(catalog)),
+        ("Q8", q8(catalog)),
+        ("Q9", q9(catalog)),
+        ("Q10", q10(catalog)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plansample_catalog::tpch;
+
+    #[test]
+    fn relation_counts_match_tpch() {
+        let (cat, _) = tpch::catalog();
+        assert_eq!(q3(&cat).relations.len(), 3);
+        assert_eq!(q5(&cat).relations.len(), 6);
+        assert_eq!(q6(&cat).relations.len(), 1);
+        assert_eq!(q7(&cat).relations.len(), 6);
+        assert_eq!(q8(&cat).relations.len(), 8);
+        assert_eq!(q9(&cat).relations.len(), 6);
+        assert_eq!(q10(&cat).relations.len(), 4);
+    }
+
+    #[test]
+    fn join_graphs_are_connected() {
+        let (cat, _) = tpch::catalog();
+        for (name, spec) in all(&cat) {
+            assert!(
+                spec.connected(spec.all_rels()),
+                "{name} join graph must be connected"
+            );
+        }
+    }
+
+    #[test]
+    fn q7_has_nation_self_join() {
+        let (cat, _) = tpch::catalog();
+        let spec = q7(&cat);
+        let n1 = &spec.relations[4];
+        let n2 = &spec.relations[5];
+        assert_eq!(n1.table, n2.table);
+        assert_ne!(n1.alias, n2.alias);
+    }
+
+    #[test]
+    fn q9_core_is_cyclic() {
+        // Removing any one edge of the ps/l/p triangle keeps it connected.
+        let (cat, _) = tpch::catalog();
+        let spec = q9(&cat);
+        assert_eq!(spec.join_edges.len(), 6);
+        assert!(spec.connected(spec.all_rels()));
+    }
+
+    #[test]
+    fn all_have_aggregates() {
+        let (cat, _) = tpch::catalog();
+        for (name, spec) in all(&cat) {
+            assert!(spec.aggregate.is_some(), "{name} should aggregate");
+        }
+    }
+
+    #[test]
+    fn estimated_cards_are_plausible() {
+        let (cat, _) = tpch::catalog();
+        let q5 = q5(&cat);
+        let card = q5.set_card(&cat, q5.all_rels());
+        // One region, one year, FK chains: order of 10^4..10^6 rows.
+        assert!(card > 1e3 && card < 1e7, "Q5 estimate {card}");
+    }
+
+    #[test]
+    fn day_encoding_is_monotone() {
+        assert!(day(1994, 1) < day(1995, 1));
+        assert!(day(1995, 1) < day(1995, 6));
+        assert_eq!(day(1992, 1), 0);
+    }
+}

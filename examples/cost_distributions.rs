@@ -1,0 +1,70 @@
+//! §5 workflow: the cost distribution of a real search space.
+//!
+//! Optimizes TPC-H Q5 against SF-1 statistics, draws uniform plan
+//! samples, scales costs to the optimum, and reports the Table 1
+//! statistics plus a Figure 4-style histogram of the lower 50% and a
+//! Gamma fit of the full distribution.
+//!
+//! ```text
+//! cargo run --release --example cost_distributions
+//! ```
+
+use plansample::PlanSpace;
+use plansample_optimizer::{optimize, OptimizerConfig};
+use plansample_stats::{fit_gamma, Histogram, Summary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SAMPLES: usize = 2_000;
+
+fn main() {
+    let (catalog, _) = plansample_catalog::tpch::catalog();
+    let query = plansample_query::tpch::q5(&catalog);
+    let optimized = optimize(&catalog, &query, &OptimizerConfig::default()).unwrap();
+    let space = PlanSpace::build(&optimized.memo, &query).unwrap();
+
+    println!(
+        "TPC-H Q5: {} relations, {} physical operators in the memo, {} complete plans",
+        query.relations.len(),
+        optimized.memo.num_physical(),
+        space.total()
+    );
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let costs: Vec<f64> = (0..SAMPLES)
+        .map(|_| space.sample(&mut rng).total_cost(&optimized.memo) / optimized.best_cost)
+        .collect();
+
+    let s = Summary::of(&costs);
+    println!("\n{SAMPLES} uniform samples, costs scaled to the optimum (1.0):");
+    println!("  min  {:>12.2}", s.min());
+    println!("  mean {:>12.1}", s.mean());
+    println!("  max  {:>12.1}", s.max());
+    println!("  within  2x of optimum: {:>6.2}%", 100.0 * s.fraction_below(2.0));
+    println!("  within 10x of optimum: {:>6.2}%", 100.0 * s.fraction_below(10.0));
+
+    println!("\nlower 50% of sampled costs (the paper's Figure 4 view):");
+    let hist = Histogram::lower_fraction(&costs, 0.5, 20);
+    print!("{}", hist.render(40));
+
+    let fit = fit_gamma(&costs);
+    println!(
+        "\ngamma fit over the full sample: shape k = {:.3}, scale = {:.1}",
+        fit.shape, fit.scale
+    );
+    println!(
+        "the paper observed asymmetric, exponential-resembling distributions \
+         (Gamma shape ≈ 1) concentrated near the optimum."
+    );
+
+    // Analytic operator mix of a uniform plan (no sampling involved):
+    // exact expected occurrences derived from the sub-space counts.
+    println!("\nexpected operator mix of one uniformly drawn plan (computed, not sampled):");
+    for (name, freq) in space.operator_mix() {
+        println!("  {name:<15} {freq:>6.3}");
+    }
+    println!(
+        "  total {:>17.3} operators per plan on average",
+        space.expected_plan_size()
+    );
+}

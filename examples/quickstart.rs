@@ -1,0 +1,80 @@
+//! Quickstart: count, enumerate, unrank, rank, and sample execution
+//! plans for a small join query.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use plansample::PlanSpace;
+use plansample_bignum::Nat;
+use plansample_catalog::{table, Catalog, ColType};
+use plansample_optimizer::{optimize, OptimizerConfig};
+use plansample_query::QueryBuilder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A catalog: two tables, an index on each key.
+    let mut catalog = Catalog::new();
+    catalog
+        .add_table(
+            table("orders", 10_000)
+                .col("o_id", ColType::Int, 10_000)
+                .col("o_customer", ColType::Int, 500)
+                .index_on(0)
+                .build(),
+        )
+        .unwrap();
+    catalog
+        .add_table(
+            table("items", 40_000)
+                .col("i_order", ColType::Int, 10_000)
+                .col("i_price", ColType::Int, 2_000)
+                .index_on(0)
+                .build(),
+        )
+        .unwrap();
+
+    // 2. A query: orders ⋈ items.
+    let mut qb = QueryBuilder::new(&catalog);
+    qb.rel("orders", Some("o")).unwrap();
+    qb.rel("items", Some("i")).unwrap();
+    qb.join(("o", "o_id"), ("i", "i_order")).unwrap();
+    let query = qb.build().unwrap();
+
+    // 3. Optimize: the memo now encodes EVERY plan the optimizer
+    //    considered, not just the winner.
+    let optimized = optimize(&catalog, &query, &OptimizerConfig::default()).unwrap();
+    println!("optimizer's plan (cost {:.0}):", optimized.best_cost);
+    println!("{}", optimized.best_plan.render(&optimized.memo));
+
+    // 4. Build the plan space: materialized links (§3.1) + counts (§3.2).
+    let space = PlanSpace::build(&optimized.memo, &query).unwrap();
+    println!("the memo encodes {} complete execution plans\n", space.total());
+
+    // 5. Enumerate the whole space (it is small here).
+    for (i, plan) in space.enumerate().enumerate() {
+        let cost = plan.total_cost(&optimized.memo);
+        let ops: Vec<String> = plan
+            .preorder_ids()
+            .iter()
+            .map(|id| format!("{}[{id}]", optimized.memo.phys(*id).op.name()))
+            .collect();
+        println!("plan {i:>2}: cost {cost:>8.0}  {}", ops.join(" "));
+    }
+
+    // 6. Unrank / rank are a bijection.
+    let plan7 = space.unrank(&Nat::from(7u64)).unwrap();
+    assert_eq!(space.rank(&plan7).unwrap(), Nat::from(7u64));
+    println!("\nplan number 7, reconstructed by unranking:");
+    println!("{}", plan7.render(&optimized.memo));
+
+    // 7. Uniform sampling: every plan with probability exactly 1/N.
+    let mut rng = StdRng::seed_from_u64(1);
+    let sample = space.sample(&mut rng);
+    println!(
+        "uniformly sampled plan: number {} of {}",
+        space.rank(&sample).unwrap(),
+        space.total()
+    );
+}

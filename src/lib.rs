@@ -1,0 +1,1 @@
+//! Workspace umbrella crate: exists to host the cross-crate integration tests in `tests/` and the runnable `examples/`.

@@ -1,0 +1,93 @@
+//! Statistical validation of the uniform sampler on a *real* optimizer
+//! memo (not the hand-built fixture): chi-square accepts uniformity for
+//! the unranking sampler and rejects the naive-walk baseline — the
+//! quantitative core of the paper's "unbiased testing" claim.
+
+use plansample::PlanSpace;
+use plansample_optimizer::{optimize, OptimizerConfig};
+use plansample_query::QueryBuilder;
+use plansample_stats::chi_square_uniform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn two_way_space_freqs(draws: usize, naive: bool) -> Vec<usize> {
+    let (catalog, _) = plansample_catalog::tpch::catalog();
+    let mut qb = QueryBuilder::new(&catalog);
+    qb.rel("nation", Some("n")).unwrap();
+    qb.rel("region", Some("r")).unwrap();
+    qb.join(("n", "n_regionkey"), ("r", "r_regionkey")).unwrap();
+    let query = qb.build().unwrap();
+    let optimized = optimize(&catalog, &query, &OptimizerConfig::default()).unwrap();
+    let space = PlanSpace::build(&optimized.memo, &query).unwrap();
+    let n = space.total().to_u64().unwrap() as usize;
+
+    let mut rng = StdRng::seed_from_u64(1234);
+    let mut freq = vec![0usize; n];
+    for _ in 0..draws {
+        let plan = if naive {
+            space.sample_naive_walk(&mut rng).unwrap()
+        } else {
+            space.sample(&mut rng)
+        };
+        let rank = space.rank(&plan).unwrap().to_u64().unwrap() as usize;
+        freq[rank] += 1;
+    }
+    freq
+}
+
+#[test]
+fn unranking_sampler_is_uniform_on_optimizer_memo() {
+    let freq = two_way_space_freqs(56_000, false);
+    assert!(freq.iter().all(|&f| f > 0), "every plan must be reachable");
+    let test = chi_square_uniform(&freq);
+    assert!(
+        test.p_value > 0.001,
+        "uniformity rejected: chi2={} p={}",
+        test.statistic,
+        test.p_value
+    );
+}
+
+#[test]
+fn naive_walk_is_biased_on_optimizer_memo() {
+    let freq = two_way_space_freqs(56_000, true);
+    let test = chi_square_uniform(&freq);
+    assert!(
+        test.p_value < 1e-6,
+        "naive walk unexpectedly uniform: chi2={} p={}",
+        test.statistic,
+        test.p_value
+    );
+}
+
+#[test]
+fn sample_frequencies_match_subspace_proportions() {
+    // Beyond global uniformity: the fraction of samples whose root is
+    // operator v must match N(v)/N — the structural property that makes
+    // stratified analysis of the space sound.
+    let (catalog, _) = plansample_catalog::tpch::catalog();
+    let query = plansample_query::tpch::q7(&catalog);
+    let optimized = optimize(&catalog, &query, &OptimizerConfig::default()).unwrap();
+    let space = PlanSpace::build(&optimized.memo, &query).unwrap();
+    let root = optimized.memo.root();
+
+    let draws = 20_000usize;
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut by_root: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for _ in 0..draws {
+        let plan = space.sample(&mut rng);
+        *by_root.entry(plan.id.index).or_default() += 1;
+    }
+
+    let total = space.total().to_f64();
+    for (id, _) in optimized.memo.group(root).phys_iter() {
+        let expected = space.count_rooted(id).to_f64() / total;
+        let observed = *by_root.get(&id.index).unwrap_or(&0) as f64 / draws as f64;
+        // 4-sigma binomial tolerance.
+        let sigma = (expected * (1.0 - expected) / draws as f64).sqrt();
+        assert!(
+            (observed - expected).abs() <= 4.0 * sigma + 1e-9,
+            "root {id}: observed {observed:.4} expected {expected:.4}"
+        );
+    }
+}
