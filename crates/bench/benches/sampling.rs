@@ -37,9 +37,7 @@ fn bench_sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("sample_10k_costs");
     group.sample_size(10);
     group.bench_function("Q5_noCP", |b| {
-        b.iter(|| {
-            std::hint::black_box(plansample_bench::sample_scaled_costs(&prepared, 10_000, 1))
-        })
+        b.iter(|| std::hint::black_box(plansample_bench::sample_scaled_costs(&prepared, 10_000, 1)))
     });
     group.finish();
 }

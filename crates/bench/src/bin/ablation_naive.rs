@@ -84,7 +84,10 @@ fn main() {
         println!("  plan {rank:>4}: {ratio:>6.2}x over-sampled");
     }
     for &(rank, ratio) in ratios.iter().rev().take(3).rev() {
-        println!("  plan {rank:>4}: {ratio:>6.2}x ({}under-sampled)", if ratio < 1.0 { "" } else { "not " });
+        println!(
+            "  plan {rank:>4}: {ratio:>6.2}x ({}under-sampled)",
+            if ratio < 1.0 { "" } else { "not " }
+        );
     }
     println!();
     println!(

@@ -38,7 +38,12 @@ impl Prepared {
 pub const EXPERIMENT_SEED: u64 = 20000; // SIGMOD 2000
 
 /// Optimizes one TPC-H query under the given cross-product policy.
-pub fn prepare(catalog: &Catalog, name: &'static str, query: QuerySpec, cross_products: bool) -> Prepared {
+pub fn prepare(
+    catalog: &Catalog,
+    name: &'static str,
+    query: QuerySpec,
+    cross_products: bool,
+) -> Prepared {
     let config = if cross_products {
         OptimizerConfig::with_cross_products()
     } else {
@@ -119,6 +124,9 @@ mod tests {
         let (catalog, _) = tpch::catalog();
         let q = plansample_query::tpch::q7(&catalog);
         let p = prepare(&catalog, "Q7", q, false);
-        assert_eq!(sample_scaled_costs(&p, 20, 5), sample_scaled_costs(&p, 20, 5));
+        assert_eq!(
+            sample_scaled_costs(&p, 20, 5),
+            sample_scaled_costs(&p, 20, 5)
+        );
     }
 }

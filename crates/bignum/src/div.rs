@@ -59,8 +59,7 @@ impl Nat {
             let mut q_hat = top / v_hi as u128;
             let mut r_hat = top % v_hi as u128;
             // Refine: at most two corrections bring q_hat within 1 of truth.
-            while q_hat >> 64 != 0
-                || q_hat * v_lo as u128 > ((r_hat << 64) | u[j + n - 2] as u128)
+            while q_hat >> 64 != 0 || q_hat * v_lo as u128 > ((r_hat << 64) | u[j + n - 2] as u128)
             {
                 q_hat -= 1;
                 r_hat += v_hi as u128;
@@ -191,7 +190,12 @@ mod tests {
     #[test]
     fn multi_limb_reconstruction() {
         // (q * d + r) == a for a 4-limb / 2-limb case exercising Algorithm D.
-        let a = Nat::from_limbs(vec![0x0123456789abcdef, 0xfedcba9876543210, 0xdeadbeefcafebabe, 0x1]);
+        let a = Nat::from_limbs(vec![
+            0x0123456789abcdef,
+            0xfedcba9876543210,
+            0xdeadbeefcafebabe,
+            0x1,
+        ]);
         let d = Nat::from_limbs(vec![0xffffffff00000001, 0x8000000000000000]);
         let (q, r) = a.div_rem(&d);
         assert!(r < d);

@@ -76,7 +76,10 @@ mod tests {
             let d = Nat::random_below(&mut rng, &bound).to_u64().unwrap();
             seen[d as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all of 0..5 should appear: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all of 0..5 should appear: {seen:?}"
+        );
     }
 
     #[test]
@@ -91,7 +94,10 @@ mod tests {
         }
         let mean = acc / k as f64;
         let expect = (2f64).powi(79);
-        assert!((mean - expect).abs() / expect < 0.05, "mean {mean} vs {expect}");
+        assert!(
+            (mean - expect).abs() / expect < 0.05,
+            "mean {mean} vs {expect}"
+        );
     }
 
     #[test]

@@ -121,7 +121,10 @@ impl fmt::Display for CatalogError {
                 write!(f, "duplicate column `{column}` in table `{table}`")
             }
             CatalogError::IndexOutOfRange { table, column } => {
-                write!(f, "index on out-of-range column ordinal {column} in table `{table}`")
+                write!(
+                    f,
+                    "index on out-of-range column ordinal {column} in table `{table}`"
+                )
             }
             CatalogError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
             CatalogError::UnknownColumn { table, column } => {
@@ -192,7 +195,11 @@ impl Catalog {
     }
 
     /// Resolves `table.column` names to ids.
-    pub fn resolve_column(&self, table: &str, column: &str) -> Result<(TableId, usize), CatalogError> {
+    pub fn resolve_column(
+        &self,
+        table: &str,
+        column: &str,
+    ) -> Result<(TableId, usize), CatalogError> {
         let (tid, def) = self.table_by_name(table)?;
         let col = def
             .column_index(column)

@@ -207,7 +207,10 @@ mod tests {
     fn key_ndvs_equal_referenced_cardinalities() {
         let (cat, t) = catalog();
         let li = cat.table(t.lineitem);
-        assert_eq!(li.column(li.column_index("l_orderkey").unwrap()).ndv, 1_500_000);
+        assert_eq!(
+            li.column(li.column_index("l_orderkey").unwrap()).ndv,
+            1_500_000
+        );
         assert_eq!(li.column(li.column_index("l_suppkey").unwrap()).ndv, 10_000);
         let nat = cat.table(t.nation);
         assert_eq!(nat.column(nat.column_index("n_regionkey").unwrap()).ndv, 5);

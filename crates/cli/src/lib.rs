@@ -344,14 +344,23 @@ mod tests {
 
     #[test]
     fn parses_flags_and_commands() {
-        let cli = parse_args(["--cross-products", "--seed", "7", "count", "SELECT * FROM nation"])
-            .unwrap();
+        let cli = parse_args([
+            "--cross-products",
+            "--seed",
+            "7",
+            "count",
+            "SELECT * FROM nation",
+        ])
+        .unwrap();
         assert!(cli.cross_products);
         assert_eq!(cli.seed, 7);
         assert_eq!(cli.command, Command::Count("SELECT * FROM nation".into()));
 
         let cli = parse_args(["sample", "100", "SELECT * FROM nation"]).unwrap();
-        assert_eq!(cli.command, Command::Sample(100, "SELECT * FROM nation".into()));
+        assert_eq!(
+            cli.command,
+            Command::Sample(100, "SELECT * FROM nation".into())
+        );
         assert_eq!(cli.seed, 42);
     }
 
@@ -368,7 +377,10 @@ mod tests {
 
     #[test]
     fn empty_args_and_help() {
-        assert_eq!(parse_args(Vec::<String>::new()).unwrap().command, Command::Help);
+        assert_eq!(
+            parse_args(Vec::<String>::new()).unwrap().command,
+            Command::Help
+        );
         assert_eq!(parse_args(["--help"]).unwrap().command, Command::Help);
         let text = run(&parse_args(["--help"]).unwrap()).unwrap();
         assert!(text.contains("USAGE"));
@@ -407,8 +419,7 @@ mod tests {
     #[test]
     fn run_command_optimizer_plan() {
         let out = run(&cli(Command::Run(
-            "SELECT COUNT(*) FROM supplier s, nation n WHERE s.s_nationkey = n.n_nationkey"
-                .into(),
+            "SELECT COUNT(*) FROM supplier s, nation n WHERE s.s_nationkey = n.n_nationkey".into(),
         )))
         .unwrap();
         assert!(out.contains("optimizer's plan"));

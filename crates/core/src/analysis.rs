@@ -106,8 +106,7 @@ impl PlanSpace<'_> {
             std::collections::HashMap::new();
         for group in self.memo.groups() {
             for (id, expr) in group.phys_iter() {
-                *by_name.entry(expr.op.name()).or_default() +=
-                    freqs[id.group.0 as usize][id.index];
+                *by_name.entry(expr.op.name()).or_default() += freqs[id.group.0 as usize][id.index];
             }
         }
         let mut out: Vec<(&'static str, f64)> = by_name.into_iter().collect();

@@ -24,9 +24,7 @@ impl PlanSpace<'_> {
             if next >= total {
                 return None;
             }
-            let plan = self
-                .unrank(&next)
-                .expect("ranks below the total are valid");
+            let plan = self.unrank(&next).expect("ranks below the total are valid");
             next.incr();
             Some(plan)
         })
@@ -116,8 +114,10 @@ mod tests {
         let space = PlanSpace::build(&ex.memo, &ex.query).unwrap();
         let plans: Vec<_> = space.enumerate().collect();
         assert_eq!(plans.len(), 32);
-        let distinct: std::collections::HashSet<String> =
-            plans.iter().map(|p| format!("{:?}", p.preorder_ids())).collect();
+        let distinct: std::collections::HashSet<String> = plans
+            .iter()
+            .map(|p| format!("{:?}", p.preorder_ids()))
+            .collect();
         assert_eq!(distinct.len(), 32);
         for p in &plans {
             assert!(validate_plan(&ex.memo, &ex.query, p).is_empty());

@@ -111,9 +111,7 @@ impl Links {
 mod tests {
     use super::*;
     use crate::paper_example;
-    use plansample_memo::{
-        GroupKey, Memo, PhysicalExpr, PhysicalOp, SortOrder,
-    };
+    use plansample_memo::{GroupKey, Memo, PhysicalExpr, PhysicalOp, SortOrder};
     use plansample_query::RelSet;
 
     #[test]
@@ -164,7 +162,9 @@ mod tests {
         memo.add_physical(
             g0,
             PhysicalExpr::new(
-                PhysicalOp::TableScan { rel: plansample_query::RelId(0) },
+                PhysicalOp::TableScan {
+                    rel: plansample_query::RelId(0),
+                },
                 SortOrder::unsorted(),
                 1.0,
                 1.0,
@@ -175,7 +175,10 @@ mod tests {
         memo.add_physical(
             g1,
             PhysicalExpr::new(
-                PhysicalOp::NestedLoopJoin { left: g0, right: g1 },
+                PhysicalOp::NestedLoopJoin {
+                    left: g0,
+                    right: g1,
+                },
                 SortOrder::unsorted(),
                 1.0,
                 1.0,

@@ -48,7 +48,10 @@ fn rel_width(query: &QuerySpec, catalog: &Catalog, rel: RelId) -> usize {
 
 /// Offset of `col` within the canonical layout of `scope`.
 fn offset_in_scope(query: &QuerySpec, catalog: &Catalog, scope: RelSet, col: ColRef) -> usize {
-    assert!(scope.contains(col.rel), "column {col:?} outside scope {scope:?}");
+    assert!(
+        scope.contains(col.rel),
+        "column {col:?} outside scope {scope:?}"
+    );
     let mut offset = 0;
     for rel in scope.iter() {
         if rel == col.rel {
@@ -103,9 +106,17 @@ fn join_spec(
         .map(|rel| {
             let width = rel_width(query, catalog, rel);
             if left_scope.contains(rel) {
-                (Side::Left, rel_offset_in_scope(query, catalog, left_scope, rel), width)
+                (
+                    Side::Left,
+                    rel_offset_in_scope(query, catalog, left_scope, rel),
+                    width,
+                )
             } else {
-                (Side::Right, rel_offset_in_scope(query, catalog, right_scope, rel), width)
+                (
+                    Side::Right,
+                    rel_offset_in_scope(query, catalog, right_scope, rel),
+                    width,
+                )
             }
         })
         .collect();
@@ -189,7 +200,9 @@ fn lower_node(memo: &Memo, query: &QuerySpec, catalog: &Catalog, plan: &PlanNode
                 .iter()
                 .map(|a| AggSpec {
                     func: a.func,
-                    arg: a.arg.map(|c| offset_in_scope(query, catalog, input_scope, c)),
+                    arg: a
+                        .arg
+                        .map(|c| offset_in_scope(query, catalog, input_scope, c)),
                 })
                 .collect();
             let input = Box::new(lower_node(memo, query, catalog, &plan.children[0]));
@@ -217,8 +230,11 @@ mod tests {
         let mut db = Database::new();
         db.insert(
             TableId(0),
-            Table::from_rows(1, vec![vec![Int(1)], vec![Int(2)], vec![Int(3)], vec![Int(2)]])
-                .unwrap(),
+            Table::from_rows(
+                1,
+                vec![vec![Int(1)], vec![Int(2)], vec![Int(3)], vec![Int(2)]],
+            )
+            .unwrap(),
         );
         db.insert(
             TableId(1),
@@ -248,9 +264,14 @@ mod tests {
         let space = PlanSpace::build(&ex.memo, &ex.query).unwrap();
         let db = micro_db();
 
-        let reference = lower(&ex.memo, &ex.query, &ex.catalog, &space.unrank(&Nat::zero()).unwrap())
-            .execute(&db)
-            .unwrap();
+        let reference = lower(
+            &ex.memo,
+            &ex.query,
+            &ex.catalog,
+            &space.unrank(&Nat::zero()).unwrap(),
+        )
+        .execute(&db)
+        .unwrap();
         assert!(!reference.is_empty(), "joined fixture data is non-empty");
 
         for plan in space.enumerate() {
@@ -269,8 +290,14 @@ mod tests {
         let ex = paper_example::build();
         // scope {a,b,c}: a has width 1, b width 2, c width 1.
         let scope = ex.query.all_rels();
-        let b_m = ColRef { rel: RelId(1), col: 1 };
-        let c_k = ColRef { rel: RelId(2), col: 0 };
+        let b_m = ColRef {
+            rel: RelId(1),
+            col: 1,
+        };
+        let c_k = ColRef {
+            rel: RelId(2),
+            col: 0,
+        };
         assert_eq!(offset_in_scope(&ex.query, &ex.catalog, scope, b_m), 2);
         assert_eq!(offset_in_scope(&ex.query, &ex.catalog, scope, c_k), 3);
         // scope {b,c} alone shifts offsets left by a's width.
@@ -283,7 +310,10 @@ mod tests {
     fn out_of_scope_column_panics() {
         let ex = paper_example::build();
         let a_only = RelSet::from_iter([RelId(0)]);
-        let b_k = ColRef { rel: RelId(1), col: 0 };
+        let b_k = ColRef {
+            rel: RelId(1),
+            col: 0,
+        };
         offset_in_scope(&ex.query, &ex.catalog, a_only, b_k);
     }
 

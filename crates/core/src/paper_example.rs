@@ -21,9 +21,7 @@
 //! `SortedIdxScan_A`, `SortedIdxScan_B` — asserted by the crate tests.
 
 use plansample_catalog::{table, Catalog, ColType};
-use plansample_memo::{
-    GroupId, GroupKey, Memo, PhysId, PhysicalExpr, PhysicalOp, SortOrder,
-};
+use plansample_memo::{GroupId, GroupKey, Memo, PhysId, PhysicalExpr, PhysicalOp, SortOrder};
 use plansample_query::{ColRef, QueryBuilder, QuerySpec, RelId, RelSet};
 
 /// The fixture: catalog, query, memo, and named expression ids.
@@ -115,8 +113,7 @@ pub fn build() -> PaperExample {
     let group_a = memo.add_group(GroupKey::Rels(RelSet::singleton(ra)));
     let group_b = memo.add_group(GroupKey::Rels(RelSet::singleton(rb)));
     let group_c = memo.add_group(GroupKey::Rels(RelSet::singleton(rc)));
-    let group_ab =
-        memo.add_group(GroupKey::Rels(RelSet::from_iter([ra, rb])));
+    let group_ab = memo.add_group(GroupKey::Rels(RelSet::from_iter([ra, rb])));
     let group_root = memo.add_group(GroupKey::Rels(RelSet::all(3)));
 
     let phys = |op: PhysicalOp, delivered: SortOrder, cost: f64, card: f64| {
@@ -126,7 +123,12 @@ pub fn build() -> PaperExample {
     let table_scan_a = memo
         .add_physical(
             group_a,
-            phys(PhysicalOp::TableScan { rel: ra }, SortOrder::unsorted(), 100.0, 100.0),
+            phys(
+                PhysicalOp::TableScan { rel: ra },
+                SortOrder::unsorted(),
+                100.0,
+                100.0,
+            ),
         )
         .expect("new expression");
     let idx_scan_a = memo
@@ -144,7 +146,9 @@ pub fn build() -> PaperExample {
         .add_physical(
             group_a,
             phys(
-                PhysicalOp::Sort { target: SortOrder::on_col(a_k) },
+                PhysicalOp::Sort {
+                    target: SortOrder::on_col(a_k),
+                },
                 SortOrder::on_col(a_k),
                 80.0,
                 100.0,
@@ -155,7 +159,12 @@ pub fn build() -> PaperExample {
     let table_scan_b = memo
         .add_physical(
             group_b,
-            phys(PhysicalOp::TableScan { rel: rb }, SortOrder::unsorted(), 200.0, 200.0),
+            phys(
+                PhysicalOp::TableScan { rel: rb },
+                SortOrder::unsorted(),
+                200.0,
+                200.0,
+            ),
         )
         .expect("new expression");
     let idx_scan_b = memo
@@ -173,7 +182,12 @@ pub fn build() -> PaperExample {
     let table_scan_c = memo
         .add_physical(
             group_c,
-            phys(PhysicalOp::TableScan { rel: rc }, SortOrder::unsorted(), 50.0, 50.0),
+            phys(
+                PhysicalOp::TableScan { rel: rc },
+                SortOrder::unsorted(),
+                50.0,
+                50.0,
+            ),
         )
         .expect("new expression");
     let idx_scan_c = memo
@@ -192,7 +206,10 @@ pub fn build() -> PaperExample {
         .add_physical(
             group_ab,
             phys(
-                PhysicalOp::HashJoin { left: group_a, right: group_b },
+                PhysicalOp::HashJoin {
+                    left: group_a,
+                    right: group_b,
+                },
                 SortOrder::unsorted(),
                 350.0,
                 200.0,
@@ -220,7 +237,10 @@ pub fn build() -> PaperExample {
         .add_physical(
             group_root,
             phys(
-                PhysicalOp::HashJoin { left: group_c, right: group_ab },
+                PhysicalOp::HashJoin {
+                    left: group_c,
+                    right: group_ab,
+                },
                 SortOrder::unsorted(),
                 275.0,
                 200.0,
@@ -231,7 +251,10 @@ pub fn build() -> PaperExample {
         .add_physical(
             group_root,
             phys(
-                PhysicalOp::HashJoin { left: group_ab, right: group_c },
+                PhysicalOp::HashJoin {
+                    left: group_ab,
+                    right: group_c,
+                },
                 SortOrder::unsorted(),
                 350.0,
                 200.0,

@@ -90,10 +90,7 @@ mod tests {
                 PlanNode::leaf(ex.idx_scan_c),
                 PlanNode {
                     id: ex.merge_join_ab,
-                    children: vec![
-                        PlanNode::leaf(ex.idx_scan_a),
-                        PlanNode::leaf(ex.idx_scan_b),
-                    ],
+                    children: vec![PlanNode::leaf(ex.idx_scan_a), PlanNode::leaf(ex.idx_scan_b)],
                 },
             ],
         };

@@ -191,7 +191,10 @@ mod tests {
         let q = plansample_query::tpch::q5(s.catalog());
         let out = s.execute(&q).unwrap();
         assert!(out.rank.is_none());
-        assert!((out.scaled_cost - 1.0).abs() < 1e-9, "optimizer plan is the 1.0 reference");
+        assert!(
+            (out.scaled_cost - 1.0).abs() < 1e-9,
+            "optimizer plan is the 1.0 reference"
+        );
         assert!(out.plan_text.contains("Agg"));
         assert!(out.space_size.to_f64() > 1e6);
     }

@@ -137,12 +137,22 @@ mod tests {
         let gab = memo.add_group(GroupKey::Rels(RelSet::all(2)));
         memo.add_physical(
             ga,
-            PhysicalExpr::new(PhysicalOp::TableScan { rel: RelId(0) }, SortOrder::unsorted(), 1.0, 5.0),
+            PhysicalExpr::new(
+                PhysicalOp::TableScan { rel: RelId(0) },
+                SortOrder::unsorted(),
+                1.0,
+                5.0,
+            ),
         )
         .unwrap();
         memo.add_physical(
             gb,
-            PhysicalExpr::new(PhysicalOp::TableScan { rel: RelId(1) }, SortOrder::unsorted(), 1.0, 5.0),
+            PhysicalExpr::new(
+                PhysicalOp::TableScan { rel: RelId(1) },
+                SortOrder::unsorted(),
+                1.0,
+                5.0,
+            ),
         )
         .unwrap();
         let dead = memo
@@ -152,8 +162,14 @@ mod tests {
                     PhysicalOp::MergeJoin {
                         left: ga,
                         right: gb,
-                        left_key: ColRef { rel: RelId(0), col: 0 },
-                        right_key: ColRef { rel: RelId(1), col: 0 },
+                        left_key: ColRef {
+                            rel: RelId(0),
+                            col: 0,
+                        },
+                        right_key: ColRef {
+                            rel: RelId(1),
+                            col: 0,
+                        },
                     },
                     SortOrder::unsorted(),
                     1.0,

@@ -98,7 +98,13 @@ mod tests {
         let ids = plan.preorder_ids();
         assert_eq!(
             ids,
-            vec![ex.root_c_ab, ex.idx_scan_c, ex.merge_join_ab, ex.idx_scan_a, ex.idx_scan_b]
+            vec![
+                ex.root_c_ab,
+                ex.idx_scan_c,
+                ex.merge_join_ab,
+                ex.idx_scan_a,
+                ex.idx_scan_b
+            ]
         );
     }
 

@@ -208,7 +208,11 @@ mod tests {
             TableId(1),
             Table::from_rows(
                 2,
-                vec![vec![Int(2), Int(10)], vec![Int(3), Int(10)], vec![Int(3), Int(11)]],
+                vec![
+                    vec![Int(2), Int(10)],
+                    vec![Int(3), Int(10)],
+                    vec![Int(3), Int(11)],
+                ],
             )
             .unwrap(),
         );
@@ -281,7 +285,11 @@ mod tests {
                 memo.add_logical(gid, op.clone());
             }
             for (id, expr) in group.phys_iter() {
-                let e = if id == ex.table_scan_a { lying.clone() } else { expr.clone() };
+                let e = if id == ex.table_scan_a {
+                    lying.clone()
+                } else {
+                    expr.clone()
+                };
                 memo.add_physical(gid, e);
             }
         }

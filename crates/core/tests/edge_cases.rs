@@ -5,9 +5,7 @@
 use plansample::{PlanSpace, SpaceError};
 use plansample_bignum::Nat;
 use plansample_catalog::{table, Catalog, ColType};
-use plansample_memo::{
-    validate_plan, GroupKey, Memo, PhysicalExpr, PhysicalOp, SortOrder,
-};
+use plansample_memo::{validate_plan, GroupKey, Memo, PhysicalExpr, PhysicalOp, SortOrder};
 use plansample_optimizer::{optimize, OptimizerConfig};
 use plansample_query::{ColRef, QueryBuilder, QuerySpec, RelId, RelSet};
 
@@ -39,12 +37,22 @@ fn dead_expressions_count_zero_and_are_skipped() {
     // Only unsorted table scans: no index, no enforcer.
     memo.add_physical(
         ga,
-        PhysicalExpr::new(PhysicalOp::TableScan { rel: ra }, SortOrder::unsorted(), 10.0, 10.0),
+        PhysicalExpr::new(
+            PhysicalOp::TableScan { rel: ra },
+            SortOrder::unsorted(),
+            10.0,
+            10.0,
+        ),
     )
     .unwrap();
     memo.add_physical(
         gb,
-        PhysicalExpr::new(PhysicalOp::TableScan { rel: rb }, SortOrder::unsorted(), 10.0, 10.0),
+        PhysicalExpr::new(
+            PhysicalOp::TableScan { rel: rb },
+            SortOrder::unsorted(),
+            10.0,
+            10.0,
+        ),
     )
     .unwrap();
     // A live hash join and a DEAD merge join (nothing delivers the order).
@@ -52,7 +60,10 @@ fn dead_expressions_count_zero_and_are_skipped() {
         .add_physical(
             gab,
             PhysicalExpr::new(
-                PhysicalOp::HashJoin { left: ga, right: gb },
+                PhysicalOp::HashJoin {
+                    left: ga,
+                    right: gb,
+                },
                 SortOrder::unsorted(),
                 25.0,
                 10.0,
@@ -80,7 +91,11 @@ fn dead_expressions_count_zero_and_are_skipped() {
     let space = PlanSpace::build(&memo, &query).unwrap();
     assert_eq!(space.count_rooted(dead), &Nat::zero());
     assert_eq!(space.count_rooted(hj).to_u64(), Some(1));
-    assert_eq!(space.total().to_u64(), Some(1), "dead expr contributes nothing");
+    assert_eq!(
+        space.total().to_u64(),
+        Some(1),
+        "dead expr contributes nothing"
+    );
 
     let plan = space.unrank(&Nat::zero()).unwrap();
     assert_eq!(plan.id, hj, "unranking must skip the dead expression");
@@ -157,13 +172,19 @@ fn deep_chain_extreme_ranks_round_trip() {
 fn restricted_configs_shrink_but_stay_consistent() {
     let (catalog, query) = chain_query(4);
     let full = optimize(&catalog, &query, &OptimizerConfig::default()).unwrap();
-    let full_n = PlanSpace::build(&full.memo, &query).unwrap().total().clone();
+    let full_n = PlanSpace::build(&full.memo, &query)
+        .unwrap()
+        .total()
+        .clone();
 
     let mut shrinking = vec![];
     for (label, config) in [
         (
             "no merge joins",
-            OptimizerConfig { enable_merge_joins: false, ..Default::default() },
+            OptimizerConfig {
+                enable_merge_joins: false,
+                ..Default::default()
+            },
         ),
         (
             "no merge, no index",
@@ -237,7 +258,10 @@ fn enforcers_enable_merge_joins_without_indexes() {
     let without = optimize(
         &catalog,
         &query,
-        &OptimizerConfig { enable_enforcers: false, ..Default::default() },
+        &OptimizerConfig {
+            enable_enforcers: false,
+            ..Default::default()
+        },
     )
     .unwrap();
     let without_space = PlanSpace::build(&without.memo, &query).unwrap();
@@ -253,7 +277,10 @@ fn enforcers_enable_merge_joins_without_indexes() {
     for group in without.memo.groups() {
         for (id, expr) in group.phys_iter() {
             if matches!(expr.op, PhysicalOp::MergeJoin { .. }) {
-                assert!(without_space.count_rooted(id).is_zero(), "{id} should be dead");
+                assert!(
+                    without_space.count_rooted(id).is_zero(),
+                    "{id} should be dead"
+                );
             }
         }
     }

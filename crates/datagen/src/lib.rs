@@ -17,8 +17,8 @@
 
 #![warn(missing_docs)]
 
-use plansample_catalog::{Catalog, Datum, TableId};
 use plansample_catalog::tpch::TpchTables;
+use plansample_catalog::{Catalog, Datum, TableId};
 use plansample_exec::{Database, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -100,7 +100,13 @@ pub const NATIONS: [(&str, i64); 25] = [
 ];
 
 /// Market segments.
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 
 fn int(v: i64) -> Datum {
     Datum::Int(v)
@@ -111,12 +117,7 @@ fn s(v: &str) -> Datum {
 }
 
 /// Generates the micro TPC-H database. Deterministic in `seed`.
-pub fn generate(
-    catalog: &Catalog,
-    tables: &TpchTables,
-    scale: &MicroScale,
-    seed: u64,
-) -> Database {
+pub fn generate(catalog: &Catalog, tables: &TpchTables, scale: &MicroScale, seed: u64) -> Database {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut db = Database::new();
 
@@ -191,8 +192,8 @@ pub fn generate(
     for p in 0..scale.parts {
         for k in 0..scale.partsupp_per_part {
             // distinct suppliers per part by striding
-            let supp = (p + k * (scale.suppliers / scale.partsupp_per_part).max(1))
-                % scale.suppliers;
+            let supp =
+                (p + k * (scale.suppliers / scale.partsupp_per_part).max(1)) % scale.suppliers;
             partsupp.push(vec![
                 int(p as i64 + 1),
                 int(supp as i64 + 1),
@@ -341,7 +342,10 @@ mod tests {
     fn money_columns_are_integer_cents() {
         let (_, t, db) = build();
         for row in db.table(t.lineitem).unwrap().rows() {
-            assert!(matches!(row[4], Datum::Int(_)), "l_extendedprice must be Int");
+            assert!(
+                matches!(row[4], Datum::Int(_)),
+                "l_extendedprice must be Int"
+            );
         }
     }
 
@@ -350,8 +354,6 @@ mod tests {
         let (cat, t) = tpch::catalog();
         let tiny = generate(&cat, &t, &MicroScale::tiny(), 1);
         let full = generate(&cat, &t, &MicroScale::default(), 1);
-        assert!(
-            tiny.table(t.lineitem).unwrap().len() < full.table(t.lineitem).unwrap().len()
-        );
+        assert!(tiny.table(t.lineitem).unwrap().len() < full.table(t.lineitem).unwrap().len());
     }
 }

@@ -39,11 +39,7 @@ mod tests {
 
     #[test]
     fn renders_sorted_and_aligned() {
-        let t = Table::from_rows(
-            2,
-            vec![vec![Int(100), Int(2)], vec![Int(3), Int(40)]],
-        )
-        .unwrap();
+        let t = Table::from_rows(2, vec![vec![Int(100), Int(2)], vec![Int(3), Int(40)]]).unwrap();
         let s = render_table(&t, 10);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines[0], "  3  40");

@@ -308,7 +308,8 @@ impl Operator for NestedLoopIter<'_> {
             while self.inner_pos < self.inner_buffer.len() {
                 let inner = &self.inner_buffer[self.inner_pos];
                 self.inner_pos += 1;
-                if check_pair_offsets(self.spec, outer, inner)? && self.spec.pairs_match(outer, inner)
+                if check_pair_offsets(self.spec, outer, inner)?
+                    && self.spec.pairs_match(outer, inner)
                 {
                     return Ok(Some(self.spec.assemble_row(outer, inner)));
                 }
@@ -447,12 +448,15 @@ impl MergeJoinIter<'_> {
     /// when either input is exhausted.
     fn advance_blocks(&mut self) -> Result<bool, ExecError> {
         loop {
-            let Some(lrow) = self.left_row.take().map(Ok).or_else(|| {
-                match self.left.next() {
+            let Some(lrow) = self
+                .left_row
+                .take()
+                .map(Ok)
+                .or_else(|| match self.left.next() {
                     Ok(v) => v.map(Ok),
                     Err(e) => Some(Err(e)),
-                }
-            }) else {
+                })
+            else {
                 return Ok(false);
             };
             let lrow = lrow?;
@@ -615,7 +619,10 @@ impl Operator for HashAggIter<'_> {
 }
 
 fn check_agg_offsets(group: &[usize], aggs: &[AggSpec], row: &[Datum]) -> Result<(), ExecError> {
-    for &g in group.iter().chain(aggs.iter().filter_map(|a| a.arg.as_ref())) {
+    for &g in group
+        .iter()
+        .chain(aggs.iter().filter_map(|a| a.arg.as_ref()))
+    {
         if g >= row.len() {
             return Err(ExecError::OffsetOutOfRange {
                 offset: g,
@@ -660,8 +667,7 @@ impl Operator for StreamAggIter<'_> {
                             accs.update(&row, self.aggs)?;
                         }
                         Some(_) => {
-                            let (k, accs) =
-                                self.current.take().expect("matched Some above");
+                            let (k, accs) = self.current.take().expect("matched Some above");
                             let mut fresh = Accumulators::new(self.aggs);
                             fresh.update(&row, self.aggs)?;
                             self.current = Some((key, fresh));
@@ -683,9 +689,7 @@ impl Operator for StreamAggIter<'_> {
                     }
                     // SQL scalar-aggregate semantics over empty input.
                     if self.group.is_empty() && !self.emitted_any {
-                        return Ok(Some(
-                            Accumulators::new(self.aggs).finish_into(Vec::new()),
-                        ));
+                        return Ok(Some(Accumulators::new(self.aggs).finish_into(Vec::new())));
                     }
                     return Ok(None);
                 }
@@ -737,7 +741,12 @@ mod tests {
     use plansample_catalog::TableId;
     use plansample_query::{AggFunc, CmpOp};
 
-    fn db_two(w0: usize, r0: Vec<Vec<plansample_catalog::Datum>>, w1: usize, r1: Vec<Vec<plansample_catalog::Datum>>) -> Database {
+    fn db_two(
+        w0: usize,
+        r0: Vec<Vec<plansample_catalog::Datum>>,
+        w1: usize,
+        r1: Vec<Vec<plansample_catalog::Datum>>,
+    ) -> Database {
         let mut db = Database::new();
         db.insert(TableId(0), Table::from_rows(w0, r0).unwrap());
         db.insert(TableId(1), Table::from_rows(w1, r1).unwrap());
@@ -745,7 +754,10 @@ mod tests {
     }
 
     fn scan(t: u32) -> Box<ExecNode> {
-        Box::new(ExecNode::TableScan { table: TableId(t), filters: vec![] })
+        Box::new(ExecNode::TableScan {
+            table: TableId(t),
+            filters: vec![],
+        })
     }
 
     fn spec(lw: usize, rw: usize, pairs: Vec<(usize, usize)>) -> JoinSpec {
@@ -771,19 +783,31 @@ mod tests {
     fn scans_and_filters_agree() {
         let db = db_two(
             2,
-            vec![vec![Int(3), Int(30)], vec![Int(1), Int(10)], vec![Int(2), Int(20)]],
+            vec![
+                vec![Int(3), Int(30)],
+                vec![Int(1), Int(10)],
+                vec![Int(2), Int(20)],
+            ],
             1,
             vec![],
         );
         assert_engines_agree(
             &ExecNode::TableScan {
                 table: TableId(0),
-                filters: vec![ColFilter { offset: 1, op: CmpOp::Gt, value: Int(15) }],
+                filters: vec![ColFilter {
+                    offset: 1,
+                    op: CmpOp::Gt,
+                    value: Int(15),
+                }],
             },
             &db,
         );
         assert_engines_agree(
-            &ExecNode::IndexScan { table: TableId(0), sort_col: 0, filters: vec![] },
+            &ExecNode::IndexScan {
+                table: TableId(0),
+                sort_col: 0,
+                filters: vec![],
+            },
             &db,
         );
     }
@@ -791,7 +815,11 @@ mod tests {
     #[test]
     fn index_scan_streams_in_key_order() {
         let db = db_two(1, vec![vec![Int(3)], vec![Int(1)], vec![Int(2)]], 1, vec![]);
-        let node = ExecNode::IndexScan { table: TableId(0), sort_col: 0, filters: vec![] };
+        let node = ExecNode::IndexScan {
+            table: TableId(0),
+            sort_col: 0,
+            filters: vec![],
+        };
         let out = node.execute_pipelined(&db).unwrap();
         assert_eq!(out.rows(), &[vec![Int(1)], vec![Int(2)], vec![Int(3)]]);
     }
@@ -811,17 +839,31 @@ mod tests {
         );
         let s = spec(1, 2, vec![(0, 0)]);
         assert_engines_agree(
-            &ExecNode::NestedLoopJoin { left: scan(0), right: scan(1), spec: s.clone() },
+            &ExecNode::NestedLoopJoin {
+                left: scan(0),
+                right: scan(1),
+                spec: s.clone(),
+            },
             &db,
         );
         assert_engines_agree(
-            &ExecNode::HashJoin { left: scan(0), right: scan(1), spec: s.clone() },
+            &ExecNode::HashJoin {
+                left: scan(0),
+                right: scan(1),
+                spec: s.clone(),
+            },
             &db,
         );
         assert_engines_agree(
             &ExecNode::MergeJoin {
-                left: Box::new(ExecNode::Sort { input: scan(0), keys: vec![0] }),
-                right: Box::new(ExecNode::Sort { input: scan(1), keys: vec![0] }),
+                left: Box::new(ExecNode::Sort {
+                    input: scan(0),
+                    keys: vec![0],
+                }),
+                right: Box::new(ExecNode::Sort {
+                    input: scan(1),
+                    keys: vec![0],
+                }),
                 left_key: 0,
                 right_key: 0,
                 spec: s,
@@ -862,24 +904,44 @@ mod tests {
     #[test]
     fn aggregations_agree_including_empty_input() {
         let aggs = vec![
-            AggSpec { func: AggFunc::Sum, arg: Some(1) },
-            AggSpec { func: AggFunc::CountStar, arg: None },
-            AggSpec { func: AggFunc::Avg, arg: Some(1) },
+            AggSpec {
+                func: AggFunc::Sum,
+                arg: Some(1),
+            },
+            AggSpec {
+                func: AggFunc::CountStar,
+                arg: None,
+            },
+            AggSpec {
+                func: AggFunc::Avg,
+                arg: Some(1),
+            },
         ];
         // Non-empty grouped.
         let db = db_two(
             2,
-            vec![vec![Int(1), Int(10)], vec![Int(1), Int(20)], vec![Int(2), Int(5)]],
+            vec![
+                vec![Int(1), Int(10)],
+                vec![Int(1), Int(20)],
+                vec![Int(2), Int(5)],
+            ],
             1,
             vec![],
         );
         assert_engines_agree(
-            &ExecNode::HashAgg { input: scan(0), group: vec![0], aggs: aggs.clone() },
+            &ExecNode::HashAgg {
+                input: scan(0),
+                group: vec![0],
+                aggs: aggs.clone(),
+            },
             &db,
         );
         assert_engines_agree(
             &ExecNode::StreamAgg {
-                input: Box::new(ExecNode::Sort { input: scan(0), keys: vec![0] }),
+                input: Box::new(ExecNode::Sort {
+                    input: scan(0),
+                    keys: vec![0],
+                }),
                 group: vec![0],
                 aggs: aggs.clone(),
             },
@@ -888,8 +950,16 @@ mod tests {
         // Empty input, scalar aggregate: both engines emit the SQL row.
         let empty = db_two(2, vec![], 1, vec![]);
         for node in [
-            ExecNode::HashAgg { input: scan(0), group: vec![], aggs: aggs.clone() },
-            ExecNode::StreamAgg { input: scan(0), group: vec![], aggs },
+            ExecNode::HashAgg {
+                input: scan(0),
+                group: vec![],
+                aggs: aggs.clone(),
+            },
+            ExecNode::StreamAgg {
+                input: scan(0),
+                group: vec![],
+                aggs,
+            },
         ] {
             let out = node.execute_pipelined(&empty).unwrap();
             assert_eq!(out.rows(), &[vec![Null, Int(0), Null]]);
@@ -900,7 +970,10 @@ mod tests {
     #[test]
     fn projection_streams() {
         let db = db_two(3, vec![vec![Int(1), Int(2), Int(3)]], 1, vec![]);
-        let node = ExecNode::Project { input: scan(0), cols: vec![2, 0] };
+        let node = ExecNode::Project {
+            input: scan(0),
+            cols: vec![2, 0],
+        };
         let out = node.execute_pipelined(&db).unwrap();
         assert_eq!(out.rows(), &[vec![Int(3), Int(1)]]);
         assert_engines_agree(&node, &db);
@@ -909,7 +982,10 @@ mod tests {
     #[test]
     fn offset_errors_surface_in_pipelined_mode() {
         let db = db_two(1, vec![vec![Int(1)]], 1, vec![]);
-        let node = ExecNode::Project { input: scan(0), cols: vec![9] };
+        let node = ExecNode::Project {
+            input: scan(0),
+            cols: vec![9],
+        };
         assert!(node.execute_pipelined(&db).is_err());
     }
 
@@ -920,7 +996,11 @@ mod tests {
             1,
             vec![vec![Int(1)], vec![Int(2)], vec![Int(2)]],
             2,
-            vec![vec![Int(1), Int(5)], vec![Int(2), Int(7)], vec![Int(2), Int(9)]],
+            vec![
+                vec![Int(1), Int(5)],
+                vec![Int(2), Int(7)],
+                vec![Int(2), Int(9)],
+            ],
         );
         let join = ExecNode::HashJoin {
             left: scan(0),
@@ -928,9 +1008,15 @@ mod tests {
             spec: spec(1, 2, vec![(0, 0)]),
         };
         let node = ExecNode::StreamAgg {
-            input: Box::new(ExecNode::Sort { input: Box::new(join), keys: vec![0] }),
+            input: Box::new(ExecNode::Sort {
+                input: Box::new(join),
+                keys: vec![0],
+            }),
             group: vec![0],
-            aggs: vec![AggSpec { func: AggFunc::Sum, arg: Some(2) }],
+            aggs: vec![AggSpec {
+                func: AggFunc::Sum,
+                arg: Some(2),
+            }],
         };
         assert_engines_agree(&node, &db);
         let out = node.execute_pipelined(&db).unwrap();

@@ -52,16 +52,12 @@ pub struct JoinSpec {
 impl JoinSpec {
     /// Do `left` and `right` rows satisfy all equality predicates?
     pub fn pairs_match(&self, left: &[Datum], right: &[Datum]) -> bool {
-        self.eq_pairs
-            .iter()
-            .all(|&(l, r)| left[l] == right[r])
+        self.eq_pairs.iter().all(|&(l, r)| left[l] == right[r])
     }
 
     /// Assembles the output row.
     pub fn assemble_row(&self, left: &[Datum], right: &[Datum]) -> Vec<Datum> {
-        let mut out = Vec::with_capacity(
-            self.assemble.iter().map(|&(_, _, len)| len).sum(),
-        );
+        let mut out = Vec::with_capacity(self.assemble.iter().map(|&(_, _, len)| len).sum());
         for &(side, offset, len) in &self.assemble {
             let src = match side {
                 Side::Left => left,

@@ -34,7 +34,10 @@ impl ExecNode {
                 filters,
             } => {
                 let src = db.table(*table)?;
-                check_offsets(filters.iter().map(|f| f.offset).chain([*sort_col]), src.width())?;
+                check_offsets(
+                    filters.iter().map(|f| f.offset).chain([*sort_col]),
+                    src.width(),
+                )?;
                 let mut rows: Vec<Row> = src
                     .rows()
                     .iter()
@@ -78,14 +81,20 @@ impl ExecNode {
                 check_join_offsets(spec, l.width(), r.width())?;
                 let mut build: HashMap<Vec<Datum>, Vec<&Row>> = HashMap::new();
                 for lrow in l.rows() {
-                    let key: Vec<Datum> =
-                        spec.eq_pairs.iter().map(|&(lo, _)| lrow[lo].clone()).collect();
+                    let key: Vec<Datum> = spec
+                        .eq_pairs
+                        .iter()
+                        .map(|&(lo, _)| lrow[lo].clone())
+                        .collect();
                     build.entry(key).or_default().push(lrow);
                 }
                 let mut out = Vec::new();
                 for rrow in r.rows() {
-                    let key: Vec<Datum> =
-                        spec.eq_pairs.iter().map(|&(_, ro)| rrow[ro].clone()).collect();
+                    let key: Vec<Datum> = spec
+                        .eq_pairs
+                        .iter()
+                        .map(|&(_, ro)| rrow[ro].clone())
+                        .collect();
                     if let Some(matches) = build.get(&key) {
                         for lrow in matches {
                             out.push(spec.assemble_row(lrow, rrow));
@@ -354,17 +363,13 @@ impl Acc {
             }
             Acc::Min(cur) => {
                 let v = &row[spec.arg.expect("MIN has an argument")];
-                if !matches!(v, Datum::Null)
-                    && cur.as_ref().is_none_or(|c| v < c)
-                {
+                if !matches!(v, Datum::Null) && cur.as_ref().is_none_or(|c| v < c) {
                     *cur = Some(v.clone());
                 }
             }
             Acc::Max(cur) => {
                 let v = &row[spec.arg.expect("MAX has an argument")];
-                if !matches!(v, Datum::Null)
-                    && cur.as_ref().is_none_or(|c| v > c)
-                {
+                if !matches!(v, Datum::Null) && cur.as_ref().is_none_or(|c| v > c) {
                     *cur = Some(v.clone());
                 }
             }
@@ -422,10 +427,21 @@ mod tests {
 
     #[test]
     fn table_scan_filters() {
-        let db = db_one(2, vec![vec![Int(1), Int(10)], vec![Int(2), Int(20)], vec![Int(3), Int(30)]]);
+        let db = db_one(
+            2,
+            vec![
+                vec![Int(1), Int(10)],
+                vec![Int(2), Int(20)],
+                vec![Int(3), Int(30)],
+            ],
+        );
         let node = ExecNode::TableScan {
             table: TableId(0),
-            filters: vec![ColFilter { offset: 1, op: CmpOp::Gt, value: Int(15) }],
+            filters: vec![ColFilter {
+                offset: 1,
+                op: CmpOp::Gt,
+                value: Int(15),
+            }],
         };
         let out = node.execute(&db).unwrap();
         assert_eq!(out.len(), 2);
@@ -435,19 +451,37 @@ mod tests {
     #[test]
     fn index_scan_sorts() {
         let db = db_one(1, vec![vec![Int(3)], vec![Int(1)], vec![Int(2)]]);
-        let node = ExecNode::IndexScan { table: TableId(0), sort_col: 0, filters: vec![] };
+        let node = ExecNode::IndexScan {
+            table: TableId(0),
+            sort_col: 0,
+            filters: vec![],
+        };
         let out = node.execute(&db).unwrap();
         assert_eq!(out.rows(), &[vec![Int(1)], vec![Int(2)], vec![Int(3)]]);
     }
 
     #[test]
     fn sort_is_lexicographic() {
-        let db = db_one(2, vec![vec![Int(2), Int(1)], vec![Int(1), Int(2)], vec![Int(1), Int(1)]]);
-        let node = ExecNode::Sort { input: scan(0), keys: vec![0, 1] };
+        let db = db_one(
+            2,
+            vec![
+                vec![Int(2), Int(1)],
+                vec![Int(1), Int(2)],
+                vec![Int(1), Int(1)],
+            ],
+        );
+        let node = ExecNode::Sort {
+            input: scan(0),
+            keys: vec![0, 1],
+        };
         let out = node.execute(&db).unwrap();
         assert_eq!(
             out.rows(),
-            &[vec![Int(1), Int(1)], vec![Int(1), Int(2)], vec![Int(2), Int(1)]]
+            &[
+                vec![Int(1), Int(1)],
+                vec![Int(1), Int(2)],
+                vec![Int(2), Int(1)]
+            ]
         );
     }
 
@@ -457,11 +491,23 @@ mod tests {
             1,
             vec![vec![Int(1)], vec![Int(2)], vec![Int(2)]],
             2,
-            vec![vec![Int(2), Int(20)], vec![Int(3), Int(30)], vec![Int(2), Int(21)]],
+            vec![
+                vec![Int(2), Int(20)],
+                vec![Int(3), Int(30)],
+                vec![Int(2), Int(21)],
+            ],
         );
         let spec = simple_spec(1, 2, vec![(0, 0)]);
-        let nlj = ExecNode::NestedLoopJoin { left: scan(0), right: scan(1), spec: spec.clone() };
-        let hj = ExecNode::HashJoin { left: scan(0), right: scan(1), spec };
+        let nlj = ExecNode::NestedLoopJoin {
+            left: scan(0),
+            right: scan(1),
+            spec: spec.clone(),
+        };
+        let hj = ExecNode::HashJoin {
+            left: scan(0),
+            right: scan(1),
+            spec,
+        };
         let a = nlj.execute(&db).unwrap();
         let b = hj.execute(&db).unwrap();
         assert_eq!(a.len(), 4); // 2 left dups × 2 right dups
@@ -478,13 +524,23 @@ mod tests {
         );
         let spec = simple_spec(1, 1, vec![(0, 0)]);
         let mj = ExecNode::MergeJoin {
-            left: Box::new(ExecNode::Sort { input: scan(0), keys: vec![0] }),
-            right: Box::new(ExecNode::Sort { input: scan(1), keys: vec![0] }),
+            left: Box::new(ExecNode::Sort {
+                input: scan(0),
+                keys: vec![0],
+            }),
+            right: Box::new(ExecNode::Sort {
+                input: scan(1),
+                keys: vec![0],
+            }),
             left_key: 0,
             right_key: 0,
             spec: spec.clone(),
         };
-        let nlj = ExecNode::NestedLoopJoin { left: scan(0), right: scan(1), spec };
+        let nlj = ExecNode::NestedLoopJoin {
+            left: scan(0),
+            right: scan(1),
+            spec,
+        };
         let a = mj.execute(&db).unwrap();
         assert_eq!(a.len(), 4); // 2×2 block
         assert!(a.multiset_eq(&nlj.execute(&db).unwrap()));
@@ -509,12 +565,21 @@ mod tests {
             spec,
         };
         let out = mj.execute(&db).unwrap();
-        assert!(out.len() < 2, "bad plan must corrupt the result, got {}", out.len());
+        assert!(
+            out.len() < 2,
+            "bad plan must corrupt the result, got {}",
+            out.len()
+        );
     }
 
     #[test]
     fn cross_product_via_nlj() {
-        let db = db_two(1, vec![vec![Int(1)], vec![Int(2)]], 1, vec![vec![Int(10)], vec![Int(20)]]);
+        let db = db_two(
+            1,
+            vec![vec![Int(1)], vec![Int(2)]],
+            1,
+            vec![vec![Int(10)], vec![Int(20)]],
+        );
         let nlj = ExecNode::NestedLoopJoin {
             left: scan(0),
             right: scan(1),
@@ -534,8 +599,14 @@ mod tests {
         );
         let spec = simple_spec(2, 2, vec![(0, 0), (1, 1)]);
         let mj = ExecNode::MergeJoin {
-            left: Box::new(ExecNode::Sort { input: scan(0), keys: vec![0] }),
-            right: Box::new(ExecNode::Sort { input: scan(1), keys: vec![0] }),
+            left: Box::new(ExecNode::Sort {
+                input: scan(0),
+                keys: vec![0],
+            }),
+            right: Box::new(ExecNode::Sort {
+                input: scan(1),
+                keys: vec![0],
+            }),
             left_key: 0,
             right_key: 0,
             spec,
@@ -548,17 +619,36 @@ mod tests {
     fn hash_agg_groups_and_aggregates() {
         let db = db_one(
             2,
-            vec![vec![Int(1), Int(10)], vec![Int(2), Int(5)], vec![Int(1), Int(30)]],
+            vec![
+                vec![Int(1), Int(10)],
+                vec![Int(2), Int(5)],
+                vec![Int(1), Int(30)],
+            ],
         );
         let agg = ExecNode::HashAgg {
             input: scan(0),
             group: vec![0],
             aggs: vec![
-                AggSpec { func: AggFunc::Sum, arg: Some(1) },
-                AggSpec { func: AggFunc::CountStar, arg: None },
-                AggSpec { func: AggFunc::Min, arg: Some(1) },
-                AggSpec { func: AggFunc::Max, arg: Some(1) },
-                AggSpec { func: AggFunc::Avg, arg: Some(1) },
+                AggSpec {
+                    func: AggFunc::Sum,
+                    arg: Some(1),
+                },
+                AggSpec {
+                    func: AggFunc::CountStar,
+                    arg: None,
+                },
+                AggSpec {
+                    func: AggFunc::Min,
+                    arg: Some(1),
+                },
+                AggSpec {
+                    func: AggFunc::Max,
+                    arg: Some(1),
+                },
+                AggSpec {
+                    func: AggFunc::Avg,
+                    arg: Some(1),
+                },
             ],
         };
         let out = agg.execute(&db).unwrap();
@@ -568,32 +658,63 @@ mod tests {
             rows[0],
             vec![Int(1), Int(40), Int(2), Int(10), Int(30), Float(20.0)]
         );
-        assert_eq!(rows[1], vec![Int(2), Int(5), Int(1), Int(5), Int(5), Float(5.0)]);
+        assert_eq!(
+            rows[1],
+            vec![Int(2), Int(5), Int(1), Int(5), Int(5), Float(5.0)]
+        );
     }
 
     #[test]
     fn stream_agg_matches_hash_agg_on_sorted_input() {
         let db = db_one(
             2,
-            vec![vec![Int(2), Int(1)], vec![Int(1), Int(2)], vec![Int(1), Int(3)], vec![Int(2), Int(9)]],
+            vec![
+                vec![Int(2), Int(1)],
+                vec![Int(1), Int(2)],
+                vec![Int(1), Int(3)],
+                vec![Int(2), Int(9)],
+            ],
         );
-        let aggs = vec![AggSpec { func: AggFunc::Sum, arg: Some(1) }];
-        let hash = ExecNode::HashAgg { input: scan(0), group: vec![0], aggs: aggs.clone() };
+        let aggs = vec![AggSpec {
+            func: AggFunc::Sum,
+            arg: Some(1),
+        }];
+        let hash = ExecNode::HashAgg {
+            input: scan(0),
+            group: vec![0],
+            aggs: aggs.clone(),
+        };
         let stream = ExecNode::StreamAgg {
-            input: Box::new(ExecNode::Sort { input: scan(0), keys: vec![0] }),
+            input: Box::new(ExecNode::Sort {
+                input: scan(0),
+                keys: vec![0],
+            }),
             group: vec![0],
             aggs,
         };
-        assert!(hash.execute(&db).unwrap().multiset_eq(&stream.execute(&db).unwrap()));
+        assert!(hash
+            .execute(&db)
+            .unwrap()
+            .multiset_eq(&stream.execute(&db).unwrap()));
     }
 
     #[test]
     fn stream_agg_on_unsorted_input_fragments_groups() {
-        let db = db_one(2, vec![vec![Int(1), Int(1)], vec![Int(2), Int(1)], vec![Int(1), Int(1)]]);
+        let db = db_one(
+            2,
+            vec![
+                vec![Int(1), Int(1)],
+                vec![Int(2), Int(1)],
+                vec![Int(1), Int(1)],
+            ],
+        );
         let stream = ExecNode::StreamAgg {
             input: scan(0),
             group: vec![0],
-            aggs: vec![AggSpec { func: AggFunc::CountStar, arg: None }],
+            aggs: vec![AggSpec {
+                func: AggFunc::CountStar,
+                arg: None,
+            }],
         };
         // group 1 appears twice (fragmented) -> 3 output rows, not 2.
         assert_eq!(stream.execute(&db).unwrap().len(), 3);
@@ -607,16 +728,28 @@ mod tests {
                 input: scan(0),
                 group: vec![],
                 aggs: vec![
-                    AggSpec { func: AggFunc::CountStar, arg: None },
-                    AggSpec { func: AggFunc::Sum, arg: Some(0) },
+                    AggSpec {
+                        func: AggFunc::CountStar,
+                        arg: None,
+                    },
+                    AggSpec {
+                        func: AggFunc::Sum,
+                        arg: Some(0),
+                    },
                 ],
             },
             ExecNode::StreamAgg {
                 input: scan(0),
                 group: vec![],
                 aggs: vec![
-                    AggSpec { func: AggFunc::CountStar, arg: None },
-                    AggSpec { func: AggFunc::Sum, arg: Some(0) },
+                    AggSpec {
+                        func: AggFunc::CountStar,
+                        arg: None,
+                    },
+                    AggSpec {
+                        func: AggFunc::Sum,
+                        arg: Some(0),
+                    },
                 ],
             },
         ] {
@@ -631,7 +764,10 @@ mod tests {
         let agg = ExecNode::HashAgg {
             input: scan(0),
             group: vec![0],
-            aggs: vec![AggSpec { func: AggFunc::CountStar, arg: None }],
+            aggs: vec![AggSpec {
+                func: AggFunc::CountStar,
+                arg: None,
+            }],
         };
         assert!(agg.execute(&db).unwrap().is_empty());
     }
@@ -642,7 +778,10 @@ mod tests {
         let agg = ExecNode::HashAgg {
             input: scan(0),
             group: vec![],
-            aggs: vec![AggSpec { func: AggFunc::Sum, arg: Some(0) }],
+            aggs: vec![AggSpec {
+                func: AggFunc::Sum,
+                arg: Some(0),
+            }],
         };
         assert!(matches!(
             agg.execute(&db),
@@ -657,9 +796,18 @@ mod tests {
             input: scan(0),
             group: vec![],
             aggs: vec![
-                AggSpec { func: AggFunc::Sum, arg: Some(0) },
-                AggSpec { func: AggFunc::Min, arg: Some(0) },
-                AggSpec { func: AggFunc::Avg, arg: Some(0) },
+                AggSpec {
+                    func: AggFunc::Sum,
+                    arg: Some(0),
+                },
+                AggSpec {
+                    func: AggFunc::Min,
+                    arg: Some(0),
+                },
+                AggSpec {
+                    func: AggFunc::Avg,
+                    arg: Some(0),
+                },
             ],
         };
         let out = agg.execute(&db).unwrap();
@@ -669,7 +817,10 @@ mod tests {
     #[test]
     fn project_selects_columns() {
         let db = db_one(3, vec![vec![Int(1), Int(2), Int(3)]]);
-        let p = ExecNode::Project { input: scan(0), cols: vec![2, 0] };
+        let p = ExecNode::Project {
+            input: scan(0),
+            cols: vec![2, 0],
+        };
         let out = p.execute(&db).unwrap();
         assert_eq!(out.rows(), &[vec![Int(3), Int(1)]]);
     }
@@ -677,10 +828,16 @@ mod tests {
     #[test]
     fn offsets_validated() {
         let db = db_one(1, vec![vec![Int(1)]]);
-        let p = ExecNode::Project { input: scan(0), cols: vec![5] };
+        let p = ExecNode::Project {
+            input: scan(0),
+            cols: vec![5],
+        };
         assert!(matches!(
             p.execute(&db),
-            Err(ExecError::OffsetOutOfRange { offset: 5, width: 1 })
+            Err(ExecError::OffsetOutOfRange {
+                offset: 5,
+                width: 1
+            })
         ));
     }
 
@@ -690,7 +847,10 @@ mod tests {
         let agg = ExecNode::HashAgg {
             input: scan(0),
             group: vec![],
-            aggs: vec![AggSpec { func: AggFunc::Sum, arg: Some(0) }],
+            aggs: vec![AggSpec {
+                func: AggFunc::Sum,
+                arg: Some(0),
+            }],
         };
         assert_eq!(agg.execute(&db).unwrap().rows()[0], vec![Float(1.5)]);
     }

@@ -8,7 +8,11 @@ use plansample_exec::{AggSpec, Database, ExecNode, JoinSpec, Side, Table};
 use plansample_query::AggFunc;
 use proptest::prelude::*;
 
-fn arb_table(width: usize, max_rows: usize, key_domain: i64) -> impl Strategy<Value = Vec<Vec<Datum>>> {
+fn arb_table(
+    width: usize,
+    max_rows: usize,
+    key_domain: i64,
+) -> impl Strategy<Value = Vec<Vec<Datum>>> {
     proptest::collection::vec(
         proptest::collection::vec((0..key_domain).prop_map(Int), width..=width),
         0..=max_rows,

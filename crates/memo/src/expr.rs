@@ -243,9 +243,9 @@ impl PhysicalExpr {
     pub fn arity(&self) -> usize {
         match &self.op {
             PhysicalOp::TableScan { .. } | PhysicalOp::SortedIdxScan { .. } => 0,
-            PhysicalOp::Sort { .. }
-            | PhysicalOp::HashAgg { .. }
-            | PhysicalOp::StreamAgg { .. } => 1,
+            PhysicalOp::Sort { .. } | PhysicalOp::HashAgg { .. } | PhysicalOp::StreamAgg { .. } => {
+                1
+            }
             PhysicalOp::NestedLoopJoin { .. }
             | PhysicalOp::HashJoin { .. }
             | PhysicalOp::MergeJoin { .. } => 2,

@@ -176,7 +176,10 @@ impl Memo {
 
     /// Marks `id` as the root group (the goal of the whole query).
     pub fn set_root(&mut self, id: GroupId) {
-        assert!((id.0 as usize) < self.groups.len(), "root group not in memo");
+        assert!(
+            (id.0 as usize) < self.groups.len(),
+            "root group not in memo"
+        );
         self.root = Some(id);
     }
 
@@ -238,7 +241,10 @@ mod tests {
     }
 
     fn col(rel: usize, col: usize) -> ColRef {
-        ColRef { rel: RelId(rel), col }
+        ColRef {
+            rel: RelId(rel),
+            col,
+        }
     }
 
     #[test]
@@ -284,7 +290,10 @@ mod tests {
         );
         assert!(memo.add_physical(g, dup).is_none());
         let other = PhysicalExpr::new(
-            PhysicalOp::SortedIdxScan { rel: RelId(0), col: col(0, 0) },
+            PhysicalOp::SortedIdxScan {
+                rel: RelId(0),
+                col: col(0, 0),
+            },
             SortOrder::on(vec![col(0, 0)]),
             2.0,
             100.0,
@@ -295,7 +304,10 @@ mod tests {
 
     #[test]
     fn phys_id_display_is_one_based() {
-        let id = PhysId { group: GroupId(7), index: 6 };
+        let id = PhysId {
+            group: GroupId(7),
+            index: 6,
+        };
         assert_eq!(id.to_string(), "7.7");
     }
 

@@ -63,18 +63,29 @@ mod tests {
         qb.rel("a", None).unwrap();
         let q = qb.build().unwrap();
 
-        let key = ColRef { rel: RelId(0), col: 0 };
+        let key = ColRef {
+            rel: RelId(0),
+            col: 0,
+        };
         let mut memo = Memo::new();
         let g = memo.add_group(GroupKey::Rels(RelSet::singleton(RelId(0))));
         memo.add_physical(
             g,
-            PhysicalExpr::new(PhysicalOp::TableScan { rel: RelId(0) }, SortOrder::unsorted(), 100.0, 100.0),
+            PhysicalExpr::new(
+                PhysicalOp::TableScan { rel: RelId(0) },
+                SortOrder::unsorted(),
+                100.0,
+                100.0,
+            ),
         )
         .unwrap();
         memo.add_physical(
             g,
             PhysicalExpr::new(
-                PhysicalOp::SortedIdxScan { rel: RelId(0), col: key },
+                PhysicalOp::SortedIdxScan {
+                    rel: RelId(0),
+                    col: key,
+                },
                 SortOrder::on_col(key),
                 120.0,
                 100.0,
@@ -84,7 +95,9 @@ mod tests {
         memo.add_physical(
             g,
             PhysicalExpr::new(
-                PhysicalOp::Sort { target: SortOrder::on_col(key) },
+                PhysicalOp::Sort {
+                    target: SortOrder::on_col(key),
+                },
                 SortOrder::on_col(key),
                 50.0,
                 100.0,
@@ -109,7 +122,10 @@ mod tests {
     #[test]
     fn order_requirement_selects_sorted_providers() {
         let (_cat, q, memo, g) = setup();
-        let key = ColRef { rel: RelId(0), col: 0 };
+        let key = ColRef {
+            rel: RelId(0),
+            col: 0,
+        };
         let slot = ChildSlot {
             group: g,
             requirement: Requirement::Order(SortOrder::on_col(key)),
@@ -123,7 +139,10 @@ mod tests {
     #[test]
     fn unsatisfiable_order_yields_empty() {
         let (_cat, q, memo, g) = setup();
-        let other = ColRef { rel: RelId(0), col: 1 };
+        let other = ColRef {
+            rel: RelId(0),
+            col: 1,
+        };
         let slot = ChildSlot {
             group: g,
             requirement: Requirement::Order(SortOrder::on_col(other)),
@@ -134,7 +153,10 @@ mod tests {
     #[test]
     fn sort_input_excludes_enforcers_and_already_sorted() {
         let (_cat, q, memo, g) = setup();
-        let key = ColRef { rel: RelId(0), col: 0 };
+        let key = ColRef {
+            rel: RelId(0),
+            col: 0,
+        };
         let slot = ChildSlot {
             group: g,
             requirement: Requirement::SortInput {
@@ -151,7 +173,10 @@ mod tests {
     #[test]
     fn sort_input_for_other_target_takes_differently_sorted() {
         let (_cat, q, memo, g) = setup();
-        let other = ColRef { rel: RelId(0), col: 1 };
+        let other = ColRef {
+            rel: RelId(0),
+            col: 1,
+        };
         let slot = ChildSlot {
             group: g,
             requirement: Requirement::SortInput {

@@ -209,18 +209,31 @@ mod tests {
         let gab = memo.add_group(GroupKey::Rels(RelSet::all(2)));
         memo.add_physical(
             ga,
-            PhysicalExpr::new(PhysicalOp::TableScan { rel: RelId(0) }, SortOrder::unsorted(), 10.0, 10.0),
+            PhysicalExpr::new(
+                PhysicalOp::TableScan { rel: RelId(0) },
+                SortOrder::unsorted(),
+                10.0,
+                10.0,
+            ),
         )
         .unwrap();
         memo.add_physical(
             gb,
-            PhysicalExpr::new(PhysicalOp::TableScan { rel: RelId(1) }, SortOrder::unsorted(), 20.0, 20.0),
+            PhysicalExpr::new(
+                PhysicalOp::TableScan { rel: RelId(1) },
+                SortOrder::unsorted(),
+                20.0,
+                20.0,
+            ),
         )
         .unwrap();
         memo.add_physical(
             gab,
             PhysicalExpr::new(
-                PhysicalOp::HashJoin { left: ga, right: gb },
+                PhysicalOp::HashJoin {
+                    left: ga,
+                    right: gb,
+                },
                 SortOrder::unsorted(),
                 35.0,
                 20.0,
@@ -232,7 +245,10 @@ mod tests {
     }
 
     fn pid(g: u32, i: usize) -> PhysId {
-        PhysId { group: crate::GroupId(g), index: i }
+        PhysId {
+            group: crate::GroupId(g),
+            index: i,
+        }
     }
 
     #[test]
@@ -257,7 +273,11 @@ mod tests {
         };
         assert!(matches!(
             validate_plan(&memo, &q, &plan)[0],
-            PlanViolation::WrongArity { expected: 2, actual: 1, .. }
+            PlanViolation::WrongArity {
+                expected: 2,
+                actual: 1,
+                ..
+            }
         ));
     }
 
@@ -280,8 +300,14 @@ mod tests {
         // Add a merge join requiring sorted inputs; table scans are not.
         let ga = crate::GroupId(0);
         let gb = crate::GroupId(1);
-        let key_a = ColRef { rel: RelId(0), col: 0 };
-        let key_b = ColRef { rel: RelId(1), col: 0 };
+        let key_a = ColRef {
+            rel: RelId(0),
+            col: 0,
+        };
+        let key_b = ColRef {
+            rel: RelId(1),
+            col: 0,
+        };
         let mj = memo
             .add_physical(
                 crate::GroupId(2),
@@ -304,20 +330,28 @@ mod tests {
         };
         let violations = validate_plan(&memo, &q, &plan);
         assert_eq!(violations.len(), 2, "both inputs unsorted: {violations:?}");
-        assert!(matches!(violations[0], PlanViolation::PropertyViolated { slot: 0, .. }));
+        assert!(matches!(
+            violations[0],
+            PlanViolation::PropertyViolated { slot: 0, .. }
+        ));
     }
 
     #[test]
     fn redundant_enforcer_input_detected() {
         let (_cat, q, mut memo) = setup();
         let ga = crate::GroupId(0);
-        let key_a = ColRef { rel: RelId(0), col: 0 };
+        let key_a = ColRef {
+            rel: RelId(0),
+            col: 0,
+        };
         let target = SortOrder::on_col(key_a);
         let sort = memo
             .add_physical(
                 ga,
                 PhysicalExpr::new(
-                    PhysicalOp::Sort { target: target.clone() },
+                    PhysicalOp::Sort {
+                        target: target.clone(),
+                    },
                     target.clone(),
                     5.0,
                     10.0,

@@ -167,7 +167,10 @@ mod tests {
     }
 
     fn col(rel: usize, c: usize) -> ColRef {
-        ColRef { rel: RelId(rel), col: c }
+        ColRef {
+            rel: RelId(rel),
+            col: c,
+        }
     }
 
     fn rs(ids: &[usize]) -> RelSet {
@@ -177,7 +180,12 @@ mod tests {
     #[test]
     fn empty_requirement_always_satisfied() {
         let (_cat, q) = chain_query();
-        assert!(satisfies(&q, rs(&[0]), &SortOrder::unsorted(), &SortOrder::unsorted()));
+        assert!(satisfies(
+            &q,
+            rs(&[0]),
+            &SortOrder::unsorted(),
+            &SortOrder::unsorted()
+        ));
         assert!(satisfies(
             &q,
             rs(&[0]),
@@ -205,7 +213,12 @@ mod tests {
         assert!(satisfies(&q, rs(&[0, 1]), &ab, &a));
         assert!(!satisfies(&q, rs(&[0, 1]), &a, &ab));
         // order on a different column does not satisfy
-        assert!(!satisfies(&q, rs(&[0, 1]), &SortOrder::on_col(col(1, 1)), &a));
+        assert!(!satisfies(
+            &q,
+            rs(&[0, 1]),
+            &SortOrder::on_col(col(1, 1)),
+            &a
+        ));
     }
 
     #[test]
@@ -213,6 +226,7 @@ mod tests {
         let (_cat, q) = chain_query();
         let ax = SortOrder::on_col(col(0, 0)); // a.x
         let by = SortOrder::on_col(col(1, 0)); // b.y (equated to a.x)
+
         // In scope {a,b} the edge a.x=b.y is applied: orders interchange.
         assert!(satisfies(&q, rs(&[0, 1]), &ax, &by));
         assert!(satisfies(&q, rs(&[0, 1]), &by, &ax));

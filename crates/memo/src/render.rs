@@ -37,7 +37,11 @@ pub fn render_memo(memo: &Memo, query: &QuerySpec, catalog: &Catalog) -> String 
             }
             GroupKey::Agg => "aggregate".to_string(),
         };
-        let root_marker = if group.id == memo.root() { "  (root)" } else { "" };
+        let root_marker = if group.id == memo.root() {
+            "  (root)"
+        } else {
+            ""
+        };
         let _ = writeln!(out, "Group {} — {goal}{root_marker}", group.id.0);
         for (id, expr) in group.phys_iter() {
             let operands = match &expr.op {
@@ -102,7 +106,10 @@ mod tests {
 
         let mut memo = Memo::new();
         let g = memo.add_group(GroupKey::Rels(RelSet::singleton(RelId(0))));
-        let k = ColRef { rel: RelId(0), col: 0 };
+        let k = ColRef {
+            rel: RelId(0),
+            col: 0,
+        };
         memo.add_physical(
             g,
             PhysicalExpr::new(
@@ -116,7 +123,10 @@ mod tests {
         memo.add_physical(
             g,
             PhysicalExpr::new(
-                PhysicalOp::SortedIdxScan { rel: RelId(0), col: k },
+                PhysicalOp::SortedIdxScan {
+                    rel: RelId(0),
+                    col: k,
+                },
                 SortOrder::on_col(k),
                 12.0,
                 10.0,
@@ -174,7 +184,10 @@ mod tests {
         memo.add_physical(
             gab,
             PhysicalExpr::new(
-                PhysicalOp::HashJoin { left: ga, right: gb },
+                PhysicalOp::HashJoin {
+                    left: ga,
+                    right: gb,
+                },
                 SortOrder::unsorted(),
                 25.0,
                 10.0,

@@ -52,12 +52,7 @@ pub fn compute_totals(memo: &Memo, query: &QuerySpec) -> Totals {
     }
 }
 
-fn total_rec(
-    memo: &Memo,
-    query: &QuerySpec,
-    id: PhysId,
-    cache: &mut [Vec<Option<f64>>],
-) -> f64 {
+fn total_rec(memo: &Memo, query: &QuerySpec, id: PhysId, cache: &mut [Vec<Option<f64>>]) -> f64 {
     if let Some(c) = cache[id.group.0 as usize][id.index] {
         return c;
     }
@@ -114,7 +109,10 @@ fn expand(memo: &Memo, query: &QuerySpec, totals: &Totals, id: PhysId) -> PlanNo
 /// paper describes (§2) — and motivates its advice that, for testing,
 /// "it is useful to have the optimizer keep each alternative generated".
 pub fn prune(memo: &Memo, query: &QuerySpec, keep_factor: f64) -> Memo {
-    assert!(keep_factor >= 1.0, "keep_factor below 1.0 would drop the best plan");
+    assert!(
+        keep_factor >= 1.0,
+        "keep_factor below 1.0 would drop the best plan"
+    );
     let totals = compute_totals(memo, query);
     let mut pruned = Memo::new();
     for group in memo.groups() {
@@ -165,12 +163,8 @@ mod tests {
                 .build(),
         )
         .unwrap();
-        cat.add_table(
-            table("b", 10)
-                .col("k", ColType::Int, 10)
-                .build(),
-        )
-        .unwrap();
+        cat.add_table(table("b", 10).col("k", ColType::Int, 10).build())
+            .unwrap();
         let mut qb = QueryBuilder::new(&cat);
         qb.rel("a", None).unwrap();
         qb.rel("b", None).unwrap();
@@ -186,10 +180,7 @@ mod tests {
         let totals = compute_totals(&memo, &q);
         for group in memo.groups() {
             for (id, _) in group.phys_iter() {
-                assert!(
-                    totals.total(id).is_finite(),
-                    "{id} should be completable"
-                );
+                assert!(totals.total(id).is_finite(), "{id} should be completable");
             }
         }
     }
@@ -244,7 +235,10 @@ mod tests {
         assert_eq!(pruned.num_groups(), memo.num_groups());
         let ptotals = compute_totals(&pruned, &q);
         let (pplan, pcost) = best_plan(&pruned, &q, &ptotals).unwrap();
-        assert!((pcost - best_cost).abs() < 1e-9, "pruning preserves the optimum");
+        assert!(
+            (pcost - best_cost).abs() < 1e-9,
+            "pruning preserves the optimum"
+        );
         assert!(validate_plan(&pruned, &q, &pplan).is_empty());
     }
 

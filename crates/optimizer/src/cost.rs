@@ -110,7 +110,10 @@ mod tests {
         let small = m.sort(1000.0);
         let big = m.sort(2000.0);
         assert!(big > 2.0 * small * 0.99, "n log n growth");
-        assert!(m.sort(1e6) > m.table_scan(1e6), "sorting beats scanning in cost");
+        assert!(
+            m.sort(1e6) > m.table_scan(1e6),
+            "sorting beats scanning in cost"
+        );
     }
 
     #[test]

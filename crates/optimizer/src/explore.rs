@@ -97,8 +97,20 @@ pub fn explore_bottom_up(
             let g = memo.add_group(GroupKey::Rels(set));
             // Both commutative orders, as in the paper's Figure 2 where
             // join(1,2) and join(2,1) are distinct expressions 3.1/3.2.
-            memo.add_logical(g, LogicalOp::Join { left: gl, right: gr });
-            memo.add_logical(g, LogicalOp::Join { left: gr, right: gl });
+            memo.add_logical(
+                g,
+                LogicalOp::Join {
+                    left: gl,
+                    right: gr,
+                },
+            );
+            memo.add_logical(
+                g,
+                LogicalOp::Join {
+                    left: gr,
+                    right: gl,
+                },
+            );
         }
     }
 
@@ -210,7 +222,13 @@ fn apply_rules_to_fixpoint(query: &QuerySpec, allow_cp: bool, memo: &mut Memo) {
                 let (b_set, c_set) = (rels_of(memo, b), rels_of(memo, *right));
                 if split_admissible(query, allow_cp, b_set, c_set) {
                     let bc = memo.add_group(GroupKey::Rels(b_set.union(c_set)));
-                    memo.add_logical(bc, LogicalOp::Join { left: b, right: *right });
+                    memo.add_logical(
+                        bc,
+                        LogicalOp::Join {
+                            left: b,
+                            right: *right,
+                        },
+                    );
                     new_exprs.push((*gid, LogicalOp::Join { left: a, right: bc }));
                 }
             }
@@ -222,7 +240,13 @@ fn apply_rules_to_fixpoint(query: &QuerySpec, allow_cp: bool, memo: &mut Memo) {
                 let (a_set, b_set) = (rels_of(memo, *left), rels_of(memo, b));
                 if split_admissible(query, allow_cp, a_set, b_set) {
                     let ab = memo.add_group(GroupKey::Rels(a_set.union(b_set)));
-                    memo.add_logical(ab, LogicalOp::Join { left: *left, right: b });
+                    memo.add_logical(
+                        ab,
+                        LogicalOp::Join {
+                            left: *left,
+                            right: b,
+                        },
+                    );
                     new_exprs.push((*gid, LogicalOp::Join { left: ab, right: c }));
                 }
             }

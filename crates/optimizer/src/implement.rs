@@ -10,10 +10,10 @@
 //! operators' local costs.
 
 use crate::CostModel;
+use plansample_catalog::Catalog;
 use plansample_memo::{
     satisfies, GroupId, GroupKey, LogicalOp, Memo, PhysicalExpr, PhysicalOp, SortOrder,
 };
-use plansample_catalog::Catalog;
 use plansample_query::{ColRef, QuerySpec, RelSet};
 
 /// Applies implementation rules to every logical expression of every
@@ -114,10 +114,7 @@ fn implement_join(
     let (lset, rset) = (rels_of(memo, left), rels_of(memo, right));
     let set = key.rels().expect("join group has a relation set");
     debug_assert_eq!(lset.union(rset), set);
-    let (lcard, rcard) = (
-        query.set_card(catalog, lset),
-        query.set_card(catalog, rset),
-    );
+    let (lcard, rcard) = (query.set_card(catalog, lset), query.set_card(catalog, rset));
     let out_card = query.set_card(catalog, set);
     let crossing = query.edges_crossing(lset, rset);
 
@@ -224,7 +221,11 @@ pub fn add_enforcers(query: &QuerySpec, catalog: &Catalog, cost: &CostModel, mem
         let mut orders: Vec<SortOrder> = Vec::new();
         for edge in &query.join_edges {
             for col in [edge.left, edge.right] {
-                let other = if col == edge.left { edge.right } else { edge.left };
+                let other = if col == edge.left {
+                    edge.right
+                } else {
+                    edge.left
+                };
                 if set.contains(col.rel) && !set.contains(other.rel) {
                     let ord = SortOrder::on_col(col);
                     if !orders.contains(&ord) {
@@ -246,9 +247,11 @@ pub fn add_enforcers(query: &QuerySpec, catalog: &Catalog, cost: &CostModel, mem
 
         let card = query.set_card(catalog, set);
         for target in orders {
-            let has_sortable_input = memo.group(gid).physical.iter().any(|e| {
-                !e.op.is_enforcer() && !satisfies(query, set, &e.delivered, &target)
-            });
+            let has_sortable_input = memo
+                .group(gid)
+                .physical
+                .iter()
+                .any(|e| !e.op.is_enforcer() && !satisfies(query, set, &e.delivered, &target));
             if has_sortable_input {
                 memo.add_physical(
                     gid,

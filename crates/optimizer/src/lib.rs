@@ -120,7 +120,10 @@ impl fmt::Display for OptError {
                 "join graph is disconnected; enable cross products to optimize this query"
             ),
             OptError::TooManyRelations { got, limit } => {
-                write!(f, "{got} relations exceed the exhaustive-enumeration limit of {limit}")
+                write!(
+                    f,
+                    "{got} relations exceed the exhaustive-enumeration limit of {limit}"
+                )
             }
             OptError::NoPlanFound => write!(f, "no complete finite-cost plan in the memo"),
         }
@@ -180,8 +183,7 @@ pub fn optimize(
     }
 
     let totals = compute_totals(&memo, query);
-    let (best_plan, best_cost) =
-        best_plan(&memo, query, &totals).ok_or(OptError::NoPlanFound)?;
+    let (best_plan, best_cost) = best_plan(&memo, query, &totals).ok_or(OptError::NoPlanFound)?;
     Ok(Optimized {
         memo,
         best_plan,

@@ -1,0 +1,28 @@
+//! Strategies for `Option`: [`of`].
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// Strategy yielding `Some` of the inner strategy's value half the time
+/// and `None` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy returned by [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        if runner.next_u64() & 1 == 1 {
+            Some(self.inner.generate(runner))
+        } else {
+            None
+        }
+    }
+}

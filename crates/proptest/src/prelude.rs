@@ -1,0 +1,6 @@
+//! The glob-import surface: `use proptest::prelude::*;` brings in
+//! everything the [`proptest!`](crate::proptest) macro and its bodies need.
+
+pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Map, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};

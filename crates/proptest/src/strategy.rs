@@ -1,0 +1,279 @@
+//! The [`Strategy`] trait and the primitive strategies the workspace uses:
+//! [`any`] over integer types, integer ranges, and [`Map`].
+
+use crate::test_runner::TestRunner;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of [`Strategy::Value`].
+///
+/// Unlike crates.io proptest, a strategy here produces plain values rather
+/// than shrinkable value trees.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Returns a strategy generating `f(v)` for `v` drawn from `self`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Returns a strategy drawing from the strategy `f(v)` built from a
+    /// fresh `v` drawn from `self`.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Type-erases the strategy (useful for heterogeneous collections).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy, as returned by [`Strategy::boxed`].
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        (**self).generate(runner)
+    }
+}
+
+/// Each element generates independently; the values come back in order.
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        self.iter().map(|s| s.generate(runner)).collect()
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(runner),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A);
+impl_strategy_tuple!(A, B);
+impl_strategy_tuple!(A, B, C);
+impl_strategy_tuple!(A, B, C, D);
+impl_strategy_tuple!(A, B, C, D, E);
+impl_strategy_tuple!(A, B, C, D, E, F);
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        (self.f)(self.source.generate(runner)).generate(runner)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        (**self).generate(runner)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.source.generate(runner))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy, usable with [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws a value uniformly from the type's whole domain.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+/// Returns the whole-domain strategy for `T` (`any::<u64>()` style).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> Self {
+                runner.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        ((runner.next_u64() as u128) << 64) | runner.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        u128::arbitrary(runner) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        runner.next_u64() & 1 == 1
+    }
+}
+
+/// Exactly uniform draw from `[lo, hi]` over the `u128` domain.
+pub(crate) fn uniform_u128_inclusive(runner: &mut TestRunner, lo: u128, hi: u128) -> u128 {
+    debug_assert!(lo <= hi);
+    if lo == 0 && hi == u128::MAX {
+        return u128::arbitrary(runner);
+    }
+    let span = hi - lo + 1;
+    let excess = (u128::MAX % span + 1) % span;
+    loop {
+        let r = u128::arbitrary(runner);
+        if excess == 0 || r < u128::MAX - excess + 1 {
+            return lo + r % span;
+        }
+    }
+}
+
+/// Integer types whose ranges act as strategies.
+pub trait RangeValue: Copy + PartialOrd {
+    /// Order-preserving map into the `u128` sampling domain.
+    fn to_u128_repr(self) -> u128;
+    /// Inverse of [`to_u128_repr`](Self::to_u128_repr).
+    fn from_u128_repr(repr: u128) -> Self;
+}
+
+macro_rules! impl_range_value_unsigned {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn to_u128_repr(self) -> u128 {
+                self as u128
+            }
+
+            fn from_u128_repr(repr: u128) -> Self {
+                repr as $t
+            }
+        }
+    )*};
+}
+
+impl_range_value_unsigned!(u8, u16, u32, u64, usize, u128);
+
+macro_rules! impl_range_value_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl RangeValue for $t {
+            fn to_u128_repr(self) -> u128 {
+                // Flip the sign bit: order-preserving bijection into $u.
+                ((self as $u) ^ (1 << (<$u>::BITS - 1))) as u128
+            }
+
+            fn from_u128_repr(repr: u128) -> Self {
+                ((repr as $u) ^ (1 << (<$u>::BITS - 1))) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_value_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize, i128 => u128);
+
+impl<T: RangeValue> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        assert!(self.start < self.end, "strategy range is empty");
+        let lo = self.start.to_u128_repr();
+        let hi = self.end.to_u128_repr() - 1;
+        T::from_u128_repr(uniform_u128_inclusive(runner, lo, hi))
+    }
+}
+
+impl<T: RangeValue> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        let (start, end) = (self.start(), self.end());
+        assert!(start <= end, "strategy range is empty");
+        let lo = start.to_u128_repr();
+        let hi = end.to_u128_repr();
+        T::from_u128_repr(uniform_u128_inclusive(runner, lo, hi))
+    }
+}

@@ -1,0 +1,121 @@
+//! Case generation and execution: [`ProptestConfig`], [`TestRunner`], and
+//! the [`run`] loop the [`proptest!`](crate::proptest) macro expands into.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration for one property test.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration requiring `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 256 cases, matching the crates.io proptest default.
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`; the runner draws another.
+    Reject(String),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds the rejection variant.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Source of randomness handed to strategies while generating one case.
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Runner drawing from the given seed.
+    pub fn new(seed: u64) -> Self {
+        TestRunner {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next 64 random bits for strategy implementations.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// FNV-1a, used to derive a per-test deterministic seed from its name.
+fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Executes `case` until `config.cases` successes, a failure, or too many
+/// rejections.
+///
+/// The seed is `fnv1a(name)` unless the `PROPTEST_SEED` environment
+/// variable overrides it, so failures reproduce deterministically.
+///
+/// # Panics
+/// Panics (failing the surrounding `#[test]`) on the first failing case or
+/// when more than ten times `config.cases` rejections accumulate.
+pub fn run<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRunner) -> Result<(), TestCaseError>,
+{
+    let seed = match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}")),
+        Err(_) => fnv1a(name),
+    };
+    let mut runner = TestRunner::new(seed);
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let max_rejects = config.cases.saturating_mul(10).max(1000);
+    while passed < config.cases {
+        match case(&mut runner) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(reason)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "property test `{name}`: {rejected} cases rejected \
+                     (last: {reason}); strategy too narrow"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property test `{name}` failed after {passed} passing cases \
+                     (seed {seed}): {msg}"
+                );
+            }
+        }
+    }
+}

@@ -2,8 +2,7 @@
 //! selectivity derivation.
 
 use crate::{
-    AggExpr, AggFunc, Aggregate, CmpOp, ColRef, Filter, JoinEdge, QuerySpec, RelId, RelRef,
-    RelSet,
+    AggExpr, AggFunc, Aggregate, CmpOp, ColRef, Filter, JoinEdge, QuerySpec, RelId, RelRef, RelSet,
 };
 use plansample_catalog::{Catalog, CatalogError, Datum};
 use std::collections::HashSet;
@@ -250,7 +249,8 @@ mod tests {
         let mut qb = QueryBuilder::new(&cat);
         qb.rel("nation", Some("n1")).unwrap();
         qb.rel("nation", Some("n2")).unwrap();
-        qb.join(("n1", "n_regionkey"), ("n2", "n_regionkey")).unwrap();
+        qb.join(("n1", "n_regionkey"), ("n2", "n_regionkey"))
+            .unwrap();
         let spec = qb.build().unwrap();
         assert_eq!(spec.relations.len(), 2);
         assert_eq!(spec.join_edges.len(), 1);
@@ -291,7 +291,8 @@ mod tests {
         let mut qb = QueryBuilder::new(&cat);
         qb.rel("region", None).unwrap();
         qb.filter(("region", "r_name"), CmpOp::Eq, "ASIA").unwrap();
-        qb.filter(("region", "r_regionkey"), CmpOp::Lt, 3i64).unwrap();
+        qb.filter(("region", "r_regionkey"), CmpOp::Lt, 3i64)
+            .unwrap();
         let spec = qb.build().unwrap();
         assert!((spec.filters[0].selectivity - 0.2).abs() < 1e-12);
         assert!((spec.filters[1].selectivity - 1.0 / 3.0).abs() < 1e-12);
@@ -322,7 +323,10 @@ mod tests {
         ));
         qb.aggregate(
             &[("l", "l_suppkey")],
-            &[(AggFunc::Sum, Some(("l", "l_extendedprice"))), (AggFunc::CountStar, None)],
+            &[
+                (AggFunc::Sum, Some(("l", "l_extendedprice"))),
+                (AggFunc::CountStar, None),
+            ],
         )
         .unwrap();
         let spec = qb.build().unwrap();

@@ -32,10 +32,7 @@ impl QuerySpec {
     /// Panics on the empty set (no meaningful cardinality).
     pub fn set_card(&self, catalog: &Catalog, set: RelSet) -> f64 {
         assert!(!set.is_empty(), "cardinality of the empty relation set");
-        let mut card: f64 = set
-            .iter()
-            .map(|r| self.filtered_card(catalog, r))
-            .product();
+        let mut card: f64 = set.iter().map(|r| self.filtered_card(catalog, r)).product();
         for edge in self.edges_within(set) {
             card *= edge.selectivity;
         }
@@ -108,7 +105,8 @@ mod tests {
         let (cat, _) = tpch::catalog();
         let mut qb = QueryBuilder::new(&cat);
         qb.rel("region", None).unwrap();
-        qb.filter_sel(("region", "r_name"), CmpOp::Eq, "X", 1e-9).unwrap();
+        qb.filter_sel(("region", "r_name"), CmpOp::Eq, "X", 1e-9)
+            .unwrap();
         let spec = qb.build().unwrap();
         assert_eq!(spec.filtered_card(&cat, RelId(0)), 1.0);
     }
@@ -118,7 +116,8 @@ mod tests {
         let (cat, _) = tpch::catalog();
         let mut qb = QueryBuilder::new(&cat);
         qb.rel("region", None).unwrap();
-        qb.filter_sel(("region", "r_regionkey"), CmpOp::Lt, 2i64, 0.4).unwrap();
+        qb.filter_sel(("region", "r_regionkey"), CmpOp::Lt, 2i64, 0.4)
+            .unwrap();
         let spec = qb.build().unwrap();
         let col = spec.resolve(&cat, "region", "r_regionkey").unwrap();
         // 5 ndv but only 2 filtered rows

@@ -333,7 +333,13 @@ mod tests {
     fn resolve_and_names() {
         let (cat, spec) = two_table_spec();
         let c = spec.resolve(&cat, "b", "y").unwrap();
-        assert_eq!(c, ColRef { rel: RelId(1), col: 0 });
+        assert_eq!(
+            c,
+            ColRef {
+                rel: RelId(1),
+                col: 0
+            }
+        );
         assert_eq!(spec.col_name(&cat, c), "b.y");
         assert!(spec.resolve(&cat, "z", "y").is_none());
         assert!(spec.resolve(&cat, "b", "nope").is_none());

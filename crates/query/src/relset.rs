@@ -22,7 +22,11 @@ impl RelSet {
 
     /// Singleton set `{rel}`.
     pub fn singleton(rel: RelId) -> Self {
-        assert!(rel.0 < Self::MAX_RELS, "relation index {} out of range", rel.0);
+        assert!(
+            rel.0 < Self::MAX_RELS,
+            "relation index {} out of range",
+            rel.0
+        );
         RelSet(1 << rel.0)
     }
 
@@ -230,7 +234,10 @@ mod tests {
         for (l, r) in &splits {
             assert!(l.is_disjoint(*r));
             assert_eq!(l.union(*r), rs(&[0, 1, 2]));
-            assert!(l.contains(RelId(0)), "canonical split keeps lowest member left");
+            assert!(
+                l.contains(RelId(0)),
+                "canonical split keeps lowest member left"
+            );
         }
         // n members -> 2^(n-1) - 1 unordered splits.
         assert_eq!(rs(&[0, 1, 2, 3]).splits().len(), 7);

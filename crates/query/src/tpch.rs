@@ -34,7 +34,8 @@ pub fn q3(catalog: &Catalog) -> QuerySpec {
     qb.join(("c", "c_custkey"), ("o", "o_custkey")).unwrap();
     qb.join(("l", "l_orderkey"), ("o", "o_orderkey")).unwrap();
 
-    qb.filter(("c", "c_mktsegment"), CmpOp::Eq, "BUILDING").unwrap();
+    qb.filter(("c", "c_mktsegment"), CmpOp::Eq, "BUILDING")
+        .unwrap();
     // o_orderdate < 1995-03-15 ≈ first 3.2 of 7 years.
     qb.filter_sel(("o", "o_orderdate"), CmpOp::Lt, day(1995, 3), 0.46)
         .unwrap();
@@ -114,8 +115,10 @@ pub fn q7(catalog: &Catalog) -> QuerySpec {
     qb.join(("s", "s_suppkey"), ("l", "l_suppkey")).unwrap();
     qb.join(("o", "o_orderkey"), ("l", "l_orderkey")).unwrap();
     qb.join(("c", "c_custkey"), ("o", "o_custkey")).unwrap();
-    qb.join(("s", "s_nationkey"), ("n1", "n_nationkey")).unwrap();
-    qb.join(("c", "c_nationkey"), ("n2", "n_nationkey")).unwrap();
+    qb.join(("s", "s_nationkey"), ("n1", "n_nationkey"))
+        .unwrap();
+    qb.join(("c", "c_nationkey"), ("n2", "n_nationkey"))
+        .unwrap();
 
     qb.filter(("n1", "n_name"), CmpOp::Eq, "FRANCE").unwrap();
     qb.filter(("n2", "n_name"), CmpOp::Eq, "GERMANY").unwrap();
@@ -148,9 +151,12 @@ pub fn q8(catalog: &Catalog) -> QuerySpec {
     qb.join(("s", "s_suppkey"), ("l", "l_suppkey")).unwrap();
     qb.join(("l", "l_orderkey"), ("o", "o_orderkey")).unwrap();
     qb.join(("o", "o_custkey"), ("c", "c_custkey")).unwrap();
-    qb.join(("c", "c_nationkey"), ("n1", "n_nationkey")).unwrap();
-    qb.join(("n1", "n_regionkey"), ("r", "r_regionkey")).unwrap();
-    qb.join(("s", "s_nationkey"), ("n2", "n_nationkey")).unwrap();
+    qb.join(("c", "c_nationkey"), ("n1", "n_nationkey"))
+        .unwrap();
+    qb.join(("n1", "n_regionkey"), ("r", "r_regionkey"))
+        .unwrap();
+    qb.join(("s", "s_nationkey"), ("n2", "n_nationkey"))
+        .unwrap();
 
     qb.filter(("r", "r_name"), CmpOp::Eq, "AMERICA").unwrap();
     // o_orderdate in [1995-01-01, 1996-12-31].
@@ -188,7 +194,8 @@ pub fn q9(catalog: &Catalog) -> QuerySpec {
 
     // p_name LIKE '%green%': roughly 1/18 of part names contain a given
     // colour word (55 colour candidates, ~3 words per name).
-    qb.filter_sel(("p", "p_name"), CmpOp::Eq, "green", 0.055).unwrap();
+    qb.filter_sel(("p", "p_name"), CmpOp::Eq, "green", 0.055)
+        .unwrap();
 
     qb.aggregate(
         &[("n", "n_name")],

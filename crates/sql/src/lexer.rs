@@ -92,57 +92,96 @@ pub fn lex(sql: &str) -> Result<Vec<Token>, LexError> {
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Dot, offset });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset,
+                });
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semi, offset });
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    offset,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, offset });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Eq, offset });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset,
+                });
                 i += 1;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Le, offset });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        offset,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(Token { kind: TokenKind::Ne, offset });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        offset,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, offset });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ge, offset });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        offset,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, offset });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset,
+                    });
                     i += 1;
                 }
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ne, offset });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        offset,
+                    });
                     i += 2;
                 } else {
                     return Err(LexError {
@@ -177,13 +216,14 @@ pub fn lex(sql: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(out), offset });
+                tokens.push(Token {
+                    kind: TokenKind::Str(out),
+                    offset,
+                });
             }
             c if c.is_ascii_digit() => {
                 let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
-                {
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
                     // A dot is part of the number only when followed by a
                     // digit (so `1.x` lexes as `1` `.` `x` — not needed
                     // for this subset, but keeps `t.c` unambiguous).
@@ -274,7 +314,10 @@ mod tests {
     fn string_literals_with_escapes() {
         assert_eq!(
             kinds("'hello' 'it''s'"),
-            vec![TokenKind::Str("hello".into()), TokenKind::Str("it's".into())]
+            vec![
+                TokenKind::Str("hello".into()),
+                TokenKind::Str("it's".into())
+            ]
         );
     }
 
@@ -295,7 +338,10 @@ mod tests {
     #[test]
     fn huge_useplan_numbers_survive() {
         let ks = kinds("4432829940185443282994018512345");
-        assert_eq!(ks, vec![TokenKind::Number("4432829940185443282994018512345".into())]);
+        assert_eq!(
+            ks,
+            vec![TokenKind::Number("4432829940185443282994018512345".into())]
+        );
     }
 
     #[test]

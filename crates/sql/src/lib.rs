@@ -206,7 +206,10 @@ mod tests {
         )
         .unwrap();
         let ops: Vec<CmpOp> = parsed.spec.filters.iter().map(|f| f.op).collect();
-        assert_eq!(ops, vec![CmpOp::Lt, CmpOp::Ge, CmpOp::Ne, CmpOp::Le, CmpOp::Gt]);
+        assert_eq!(
+            ops,
+            vec![CmpOp::Lt, CmpOp::Ge, CmpOp::Ne, CmpOp::Le, CmpOp::Gt]
+        );
     }
 
     #[test]
@@ -245,7 +248,8 @@ mod tests {
         let catalog = cat();
         assert!(parse(&catalog, "select * from NATION;").is_err()); // table names are case-sensitive
         assert!(parse(&catalog, "select * from nation;").is_ok());
-        assert!(parse(&catalog, "SeLeCt * FrOm nation GrOuP By nation.n_name").is_err()); // grouped col not selected is fine? -> actually ok
+        // Keywords are case-insensitive; the error is `SELECT *` with GROUP BY.
+        assert!(parse(&catalog, "SeLeCt * FrOm nation GrOuP By nation.n_name").is_err());
     }
 
     #[test]
@@ -265,7 +269,11 @@ mod tests {
         assert_eq!(err.offset, 14);
         let rendered = err.render(sql);
         assert!(rendered.contains('^'));
-        assert!(rendered.lines().last().unwrap().starts_with("              ^"));
+        assert!(rendered
+            .lines()
+            .last()
+            .unwrap()
+            .starts_with("              ^"));
     }
 
     #[test]

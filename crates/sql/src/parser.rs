@@ -153,8 +153,10 @@ impl Parser<'_> {
                 None
             };
             let alias = alias.unwrap_or_else(|| table.clone());
-            qb.rel(&table, Some(&alias))
-                .map_err(|e| ParseError { message: e.to_string(), offset })?;
+            qb.rel(&table, Some(&alias)).map_err(|e| ParseError {
+                message: e.to_string(),
+                offset,
+            })?;
             rels.push((alias, table));
             if matches!(self.peek(), Some(TokenKind::Comma)) {
                 self.pos += 1;
@@ -199,9 +201,10 @@ impl Parser<'_> {
         }
 
         self.shape_output(&mut qb, select, group_by, &rels)?;
-        let spec = qb
-            .build()
-            .map_err(|e| ParseError { message: e.to_string(), offset: 0 })?;
+        let spec = qb.build().map_err(|e| ParseError {
+            message: e.to_string(),
+            offset: 0,
+        })?;
         Ok(ParsedQuery { spec, useplan })
     }
 
@@ -231,7 +234,10 @@ impl Parser<'_> {
             ("COUNT", AggFunc::CountStar),
         ] {
             if self.at_keyword(name)
-                && matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind), Some(TokenKind::LParen))
+                && matches!(
+                    self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                    Some(TokenKind::LParen)
+                )
             {
                 self.pos += 1;
                 self.expect(&TokenKind::LParen)?;
@@ -334,14 +340,18 @@ impl Parser<'_> {
                         offset: op_offset,
                     });
                 }
-                qb.join((&la, &lc), (&ra, &rc))
-                    .map_err(|e| ParseError { message: e.to_string(), offset: roffset })
+                qb.join((&la, &lc), (&ra, &rc)).map_err(|e| ParseError {
+                    message: e.to_string(),
+                    offset: roffset,
+                })
             }
             _ => {
                 let offset = self.offset();
                 let value = self.literal()?;
-                qb.filter((&la, &lc), op, value)
-                    .map_err(|e| ParseError { message: e.to_string(), offset })
+                qb.filter((&la, &lc), op, value).map_err(|e| ParseError {
+                    message: e.to_string(),
+                    offset,
+                })
             }
         }
     }
@@ -351,15 +361,21 @@ impl Parser<'_> {
         match self.next() {
             Some(TokenKind::Number(digits)) => {
                 if digits.contains('.') {
-                    digits.parse::<f64>().map(Datum::Float).map_err(|_| ParseError {
-                        message: format!("invalid float literal `{digits}`"),
-                        offset,
-                    })
+                    digits
+                        .parse::<f64>()
+                        .map(Datum::Float)
+                        .map_err(|_| ParseError {
+                            message: format!("invalid float literal `{digits}`"),
+                            offset,
+                        })
                 } else {
-                    digits.parse::<i64>().map(Datum::Int).map_err(|_| ParseError {
-                        message: format!("integer literal `{digits}` out of range"),
-                        offset,
-                    })
+                    digits
+                        .parse::<i64>()
+                        .map(Datum::Int)
+                        .map_err(|_| ParseError {
+                            message: format!("integer literal `{digits}` out of range"),
+                            offset,
+                        })
                 }
             }
             Some(TokenKind::Str(s)) => Ok(Datum::Str(s)),
@@ -415,9 +431,7 @@ impl Parser<'_> {
         group_by: Vec<(String, String)>,
         rels: &[(String, String)],
     ) -> Result<(), ParseError> {
-        let has_aggs = select
-            .iter()
-            .any(|i| matches!(i, SelectItem::Agg(_, _)));
+        let has_aggs = select.iter().any(|i| matches!(i, SelectItem::Agg(_, _)));
         if !has_aggs && group_by.is_empty() {
             // plain projection (or SELECT *)
             let mut cols: Vec<(String, String)> = Vec::new();
@@ -432,8 +446,10 @@ impl Parser<'_> {
             }
             let refs: Vec<(&str, &str)> =
                 cols.iter().map(|(a, c)| (a.as_str(), c.as_str())).collect();
-            qb.project(&refs)
-                .map_err(|e| ParseError { message: e.to_string(), offset: 0 })?;
+            qb.project(&refs).map_err(|e| ParseError {
+                message: e.to_string(),
+                offset: 0,
+            })?;
             return Ok(());
         }
 
@@ -463,9 +479,7 @@ impl Parser<'_> {
                 SelectItem::Agg(func, arg) => {
                     let arg = match arg {
                         None => None,
-                        Some((alias, col, offset)) => {
-                            Some(self.resolve(alias, col, offset, rels)?)
-                        }
+                        Some((alias, col, offset)) => Some(self.resolve(alias, col, offset, rels)?),
                     };
                     aggs.push((func, arg));
                 }
@@ -480,7 +494,10 @@ impl Parser<'_> {
             .map(|(f, arg)| (*f, arg.as_ref().map(|(a, c)| (a.as_str(), c.as_str()))))
             .collect();
         qb.aggregate(&group_refs, &agg_refs)
-            .map_err(|e| ParseError { message: e.to_string(), offset: 0 })
+            .map_err(|e| ParseError {
+                message: e.to_string(),
+                offset: 0,
+            })
     }
 }
 

@@ -63,9 +63,9 @@ pub fn trigamma(x: f64) -> f64 {
     let inv2 = inv * inv;
     acc + inv
         * (1.0
-            + inv * (0.5
-                + inv * (1.0 / 6.0
-                    - inv2 * (1.0 / 30.0 - inv2 * (1.0 / 42.0 - inv2 / 30.0)))))
+            + inv
+                * (0.5
+                    + inv * (1.0 / 6.0 - inv2 * (1.0 / 30.0 - inv2 * (1.0 / 42.0 - inv2 / 30.0)))))
 }
 
 /// Regularized lower incomplete gamma `P(a, x) = γ(a,x)/Γ(a)`.
@@ -144,10 +144,7 @@ mod tests {
         // Γ(n) = (n-1)!
         let mut fact = 1.0f64;
         for n in 1..15 {
-            assert!(
-                close(ln_gamma(n as f64), fact.ln(), 1e-12),
-                "ln_gamma({n})"
-            );
+            assert!(close(ln_gamma(n as f64), fact.ln(), 1e-12), "ln_gamma({n})");
             fact *= n as f64;
         }
     }

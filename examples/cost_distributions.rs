@@ -40,8 +40,14 @@ fn main() {
     println!("  min  {:>12.2}", s.min());
     println!("  mean {:>12.1}", s.mean());
     println!("  max  {:>12.1}", s.max());
-    println!("  within  2x of optimum: {:>6.2}%", 100.0 * s.fraction_below(2.0));
-    println!("  within 10x of optimum: {:>6.2}%", 100.0 * s.fraction_below(10.0));
+    println!(
+        "  within  2x of optimum: {:>6.2}%",
+        100.0 * s.fraction_below(2.0)
+    );
+    println!(
+        "  within 10x of optimum: {:>6.2}%",
+        100.0 * s.fraction_below(10.0)
+    );
 
     println!("\nlower 50% of sampled costs (the paper's Figure 4 view):");
     let hist = Histogram::lower_fraction(&costs, 0.5, 20);

@@ -50,7 +50,10 @@ fn main() {
 
     // 4. Build the plan space: materialized links (§3.1) + counts (§3.2).
     let space = PlanSpace::build(&optimized.memo, &query).unwrap();
-    println!("the memo encodes {} complete execution plans\n", space.total());
+    println!(
+        "the memo encodes {} complete execution plans\n",
+        space.total()
+    );
 
     // 5. Enumerate the whole space (it is small here).
     for (i, plan) in space.enumerate().enumerate() {

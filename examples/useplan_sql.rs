@@ -57,13 +57,19 @@ fn main() {
         let useplan_sql = format!("{sql} OPTION (USEPLAN {n})");
         let parsed = plansample_sql::parse(session.catalog(), &useplan_sql).expect("valid SQL");
         let rank = parsed.useplan.expect("USEPLAN parsed");
-        let outcome = session.execute_plan(&parsed.spec, &rank).expect("plan runs");
+        let outcome = session
+            .execute_plan(&parsed.spec, &rank)
+            .expect("plan runs");
         let agrees = outcome.table.multiset_eq(&reference.table);
         println!(
             "USEPLAN {n:>14}: scaled cost {:>10.2}  rows {:>3}  {}",
             outcome.scaled_cost,
             outcome.table.len(),
-            if agrees { "agrees with optimizer's plan" } else { "MISMATCH!" }
+            if agrees {
+                "agrees with optimizer's plan"
+            } else {
+                "MISMATCH!"
+            }
         );
         assert!(agrees, "differential testing failure");
         n += &step;

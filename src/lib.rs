@@ -1,1 +1,22 @@
-//! Workspace umbrella crate: exists to host the cross-crate integration tests in `tests/` and the runnable `examples/`.
+//! Umbrella crate for the plansample workspace: the single `use
+//! plansample::...` surface downstream code imports, plus the home of the
+//! cross-crate integration tests in `tests/` and the runnable
+//! `examples/`.
+//!
+//! Everything here is a re-export of [`plansample_core`], which implements
+//! the paper's post-optimization machinery over the MEMO:
+//!
+//! * [`PlanSpace`] — counting, the rank/unrank bijection, enumeration,
+//!   and uniform sampling of execution plans;
+//! * [`session`] — the end-to-end pipeline (parse → optimize → count →
+//!   pick/sample → execute) behind the CLI and the `USEPLAN` SQL option;
+//! * [`lower`] — turning an unranked plan into an executable operator
+//!   tree;
+//! * [`validate`] — the paper's differential-testing application.
+//!
+//! See the workspace `README.md` for the crate map and
+//! `docs/ARCHITECTURE.md` for how the paper's concepts land in modules.
+
+#![warn(missing_docs)]
+
+pub use plansample_core::*;

@@ -18,7 +18,14 @@ fn setup() -> (Catalog, Database) {
     (catalog, db)
 }
 
-fn check_sampled(catalog: &Catalog, db: &Database, query: &QuerySpec, cp: bool, k: usize, seed: u64) {
+fn check_sampled(
+    catalog: &Catalog,
+    db: &Database,
+    query: &QuerySpec,
+    cp: bool,
+    k: usize,
+    seed: u64,
+) {
     let config = if cp {
         OptimizerConfig::with_cross_products()
     } else {
@@ -67,7 +74,9 @@ fn exhaustive_on_two_way_join_with_projection() {
 
     let optimized = optimize(&catalog, &query, &OptimizerConfig::default()).unwrap();
     let space = PlanSpace::build(&optimized.memo, &query).unwrap();
-    let report = space.validate_exhaustive(&catalog, &db, usize::MAX).unwrap();
+    let report = space
+        .validate_exhaustive(&catalog, &db, usize::MAX)
+        .unwrap();
     assert!(report.all_passed(), "{report}");
     assert_eq!(
         Some(report.plans_checked as u64),
@@ -97,7 +106,9 @@ fn exhaustive_on_grouped_aggregate() {
 
     let optimized = optimize(&catalog, &query, &OptimizerConfig::default()).unwrap();
     let space = PlanSpace::build(&optimized.memo, &query).unwrap();
-    let report = space.validate_exhaustive(&catalog, &db, usize::MAX).unwrap();
+    let report = space
+        .validate_exhaustive(&catalog, &db, usize::MAX)
+        .unwrap();
     assert!(report.all_passed(), "{report}");
     assert!(report.plans_checked > 50, "stream/hash agg × join space");
 }

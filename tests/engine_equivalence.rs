@@ -63,5 +63,8 @@ fn engines_agree_exhaustively_on_a_small_space() {
         checked += 1;
     }
     assert_eq!(Some(checked), space.total().to_u64());
-    assert!(checked > 50, "space covers aggregates and enforcers: {checked}");
+    assert!(
+        checked > 50,
+        "space covers aggregates and enforcers: {checked}"
+    );
 }
