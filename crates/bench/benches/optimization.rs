@@ -28,7 +28,7 @@ fn bench_optimization(c: &mut Criterion) {
     }
     group.finish();
 
-    // Transformation-rule explorer for comparison (DESIGN.md §4.5).
+    // Transformation-rule explorer for comparison (see docs/ARCHITECTURE.md).
     let q5 = plansample_query::tpch::q5(&catalog);
     let config = OptimizerConfig {
         explorer: plansample_optimizer::Explorer::Transform,

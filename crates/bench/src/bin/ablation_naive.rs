@@ -52,22 +52,28 @@ fn main() {
         naive_freq[rank] += 1;
     }
 
-    let t_uniform = chi_square_uniform(&uniform_freq);
-    let t_naive = chi_square_uniform(&naive_freq);
+    let t_uniform = chi_square_uniform(&uniform_freq).expect("non-degenerate table");
+    let t_naive = chi_square_uniform(&naive_freq).expect("non-degenerate table");
     println!();
     println!(
-        "unranking sampler: chi2 = {:>10.1} (dof {}), p = {:.4}  -> {}",
+        "unranking sampler: chi2 = {:>10.1} (dof {}), p = {:.4}, w = {:.3}  -> {}",
         t_uniform.statistic,
-        t_uniform.dof,
+        t_uniform.dof().unwrap(),
         t_uniform.p_value,
+        t_uniform.effect_size(),
         verdict(t_uniform.p_value)
     );
     println!(
-        "naive random walk: chi2 = {:>10.1} (dof {}), p = {:.4}  -> {}",
+        "naive random walk: chi2 = {:>10.1} (dof {}), p = {:.4}, w = {:.3}  -> {}",
         t_naive.statistic,
-        t_naive.dof,
+        t_naive.dof().unwrap(),
         t_naive.p_value,
+        t_naive.effect_size(),
         verdict(t_naive.p_value)
+    );
+    println!(
+        "  (w is Cohen's effect size √(χ²/n); the 0.1%-level rejection threshold is χ² > {:.0})",
+        t_naive.critical_value(0.001)
     );
 
     // Most distorted plans under the naive walk.

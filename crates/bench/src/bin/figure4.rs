@@ -9,7 +9,7 @@
 //! ```
 
 use plansample_bench::{join_queries, prepare, sample_scaled_costs, EXPERIMENT_SEED};
-use plansample_stats::{fit_exponential, fit_gamma, ks_statistic, Histogram, Summary};
+use plansample_stats::{fit_exponential, fit_gamma, Histogram, Summary};
 use std::io::Write as _;
 
 const SAMPLES: usize = 10_000;
@@ -48,8 +48,8 @@ fn main() {
             let s = Summary::of(&costs);
             let gamma = fit_gamma(&costs);
             let expo = fit_exponential(&costs);
-            let ks_g = ks_statistic(&costs, |x| gamma.cdf(x));
-            let ks_e = ks_statistic(&costs, |x| expo.cdf(x));
+            let gof_g = gamma.goodness_of_fit(&costs).expect("non-empty sample");
+            let gof_e = expo.goodness_of_fit(&costs).expect("non-empty sample");
             println!(
                 "  full-sample stats: min {:.2}  mean {:.1}  max {:.1}",
                 s.min(),
@@ -57,12 +57,12 @@ fn main() {
                 s.max()
             );
             println!(
-                "  gamma fit: shape k = {:.3} (paper: \"shape parameter close to 1\"), scale = {:.2}, KS = {:.3}",
-                gamma.shape, gamma.scale, ks_g
+                "  gamma fit: shape k = {:.3} (paper: \"shape parameter close to 1\"), scale = {:.2}, KS D = {:.3}",
+                gamma.shape, gamma.scale, gof_g.statistic
             );
             println!(
-                "  exponential fit: rate = {:.4}, KS = {:.3}",
-                expo.rate, ks_e
+                "  exponential fit: rate = {:.4}, KS D = {:.3}",
+                expo.rate, gof_e.statistic
             );
         }
 

@@ -1,8 +1,10 @@
 //! Shared harness for the experiment binaries and Criterion benches.
 //!
-//! See DESIGN.md §5 for the experiment index (which binary regenerates
-//! which table/figure of the paper) and EXPERIMENTS.md for recorded
-//! paper-vs-measured outcomes.
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (`table1` → Table 1, `figure4` → Figure 4 and the §5 shape
+//! analysis, `ablation_naive`/`ablation_pruning` → sampler and pruning
+//! ablations); `docs/EXPERIMENTS.md` records their measured outcomes
+//! against the paper's claims.
 
 #![warn(missing_docs)]
 

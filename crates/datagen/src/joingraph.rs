@@ -1,0 +1,242 @@
+//! Synthetic join-graph generator for statistical validation.
+//!
+//! The paper evaluates on four TPC-H queries; validating the sampler's
+//! *uniformity* on only two hand-picked spaces leaves most of the
+//! structural variety untested. This module manufactures join queries of
+//! the four canonical graph shapes at parameterized sizes:
+//!
+//! - **chain**: `r0 — r1 — … — r(n−1)`, the sparsest connected graph
+//!   (only contiguous sub-plans exist without Cartesian products);
+//! - **star**: a hub `r0` joined to every spoke, the data-warehouse
+//!   shape;
+//! - **cycle**: a chain closed back on itself, the smallest graph with
+//!   redundant join paths;
+//! - **clique**: every pair joined — join-order freedom like enabling
+//!   Cartesian products, so plan counts explode fastest (a 9-relation
+//!   clique already needs multiple `u64` limbs).
+//!
+//! Table statistics (row counts, distinct values, index availability)
+//! are drawn deterministically from a seed, so every generated space is
+//! reproducible yet structurally "random" — the property the
+//! rank/unrank bijection and uniform-sampling test suites quantify over.
+
+use plansample_catalog::{table, Catalog, ColType};
+use plansample_query::{QueryBuilder, QuerySpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a synthetic join graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// `r0 — r1 — … — r(n−1)`.
+    Chain,
+    /// Hub `r0` joined to every other relation.
+    Star,
+    /// Chain plus the closing edge `r(n−1) — r0`.
+    Cycle,
+    /// Every pair of relations joined.
+    Clique,
+}
+
+impl Topology {
+    /// All four shapes, for sweeps.
+    pub const ALL: [Topology; 4] = [
+        Topology::Chain,
+        Topology::Star,
+        Topology::Cycle,
+        Topology::Clique,
+    ];
+
+    /// Lower-case name for labels and test output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Topology::Chain => "chain",
+            Topology::Star => "star",
+            Topology::Cycle => "cycle",
+            Topology::Clique => "clique",
+        }
+    }
+
+    /// The join edges of this shape over `n` relations, as index pairs.
+    ///
+    /// # Panics
+    /// Panics when `n < 2` (no join graph) or on a cycle with `n < 3`
+    /// (a 2-cycle would duplicate the chain edge).
+    pub fn edges(self, n: usize) -> Vec<(usize, usize)> {
+        assert!(n >= 2, "a join graph needs at least 2 relations");
+        match self {
+            Topology::Chain => (0..n - 1).map(|i| (i, i + 1)).collect(),
+            Topology::Star => (1..n).map(|i| (0, i)).collect(),
+            Topology::Cycle => {
+                assert!(n >= 3, "a cycle needs at least 3 relations");
+                (0..n).map(|i| (i, (i + 1) % n)).collect()
+            }
+            Topology::Clique => (0..n)
+                .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
+                .collect(),
+        }
+    }
+}
+
+/// A reproducible synthetic join query: topology, size, and the seed
+/// that fixes all table statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JoinGraphSpec {
+    /// Graph shape.
+    pub topology: Topology,
+    /// Number of relations (`>= 2`; cycles need `>= 3`).
+    pub relations: usize,
+    /// Seed for row counts, NDVs, and index placement.
+    pub seed: u64,
+}
+
+impl JoinGraphSpec {
+    /// Convenience constructor.
+    pub fn new(topology: Topology, relations: usize, seed: u64) -> Self {
+        JoinGraphSpec {
+            topology,
+            relations,
+            seed,
+        }
+    }
+
+    /// A label like `"chain-6#42"` for test diagnostics.
+    pub fn label(&self) -> String {
+        format!("{}-{}#{}", self.topology.name(), self.relations, self.seed)
+    }
+
+    /// The join edges of this spec.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        self.topology.edges(self.relations)
+    }
+
+    /// Materializes the catalog (tables `r0 … r(n−1)`, each with a join
+    /// key `k` and payload `v`) and the join query. Deterministic in
+    /// every field of the spec.
+    pub fn build(&self) -> (Catalog, QuerySpec) {
+        // Mix the topology and size into the stream so specs differing
+        // only in shape do not share statistics.
+        let mix = (self.relations as u64) << 8 | self.topology as u64;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ mix.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut catalog = Catalog::new();
+        for i in 0..self.relations {
+            let rows = 10u64.pow(rng.gen_range(1..=5)) * rng.gen_range(1..=9);
+            let ndv = rows.div_ceil(rng.gen_range(1..=10)).max(1);
+            let mut b = table(&format!("r{i}"), rows)
+                .col("k", ColType::Int, ndv)
+                .col("v", ColType::Int, rows.div_ceil(2).max(1));
+            if rng.gen_bool(0.5) {
+                b = b.index_on(0);
+            }
+            catalog.add_table(b.build()).unwrap();
+        }
+        let query = {
+            let mut qb = QueryBuilder::new(&catalog);
+            for i in 0..self.relations {
+                qb.rel(&format!("r{i}"), None).unwrap();
+            }
+            for (a, b) in self.edges() {
+                qb.join((&format!("r{a}"), "k"), (&format!("r{b}"), "k"))
+                    .unwrap();
+            }
+            qb.build().unwrap()
+        };
+        (catalog, query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_counts_per_topology() {
+        for n in [3usize, 5, 8] {
+            assert_eq!(Topology::Chain.edges(n).len(), n - 1);
+            assert_eq!(Topology::Star.edges(n).len(), n - 1);
+            assert_eq!(Topology::Cycle.edges(n).len(), n);
+            assert_eq!(Topology::Clique.edges(n).len(), n * (n - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn edges_connect_the_graph() {
+        // Union-find-free connectivity check: BFS from 0 reaches all.
+        for topo in Topology::ALL {
+            let n = 6;
+            let edges = topo.edges(n);
+            let mut reached = vec![false; n];
+            reached[0] = true;
+            for _ in 0..n {
+                for &(a, b) in &edges {
+                    if reached[a] || reached[b] {
+                        reached[a] = true;
+                        reached[b] = true;
+                    }
+                }
+            }
+            assert!(reached.iter().all(|&r| r), "{} disconnected", topo.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn single_relation_graph_rejected() {
+        Topology::Chain.edges(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle needs at least 3")]
+    fn two_cycle_rejected() {
+        Topology::Cycle.edges(2);
+    }
+
+    #[test]
+    fn build_produces_resolved_query() {
+        let spec = JoinGraphSpec::new(Topology::Star, 5, 7);
+        let (catalog, query) = spec.build();
+        assert_eq!(query.relations.len(), 5);
+        assert_eq!(query.join_edges.len(), 4);
+        for edge in &query.join_edges {
+            assert!(edge.selectivity > 0.0 && edge.selectivity <= 1.0);
+        }
+        for rel in &query.relations {
+            assert!(catalog.table(rel.table).row_count >= 10);
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic_in_the_spec() {
+        let a = JoinGraphSpec::new(Topology::Cycle, 4, 99).build();
+        let b = JoinGraphSpec::new(Topology::Cycle, 4, 99).build();
+        assert_eq!(format!("{:?}", a.1), format!("{:?}", b.1));
+        let rows_a: Vec<u64> = (0..4)
+            .map(|i| a.0.table_by_name(&format!("r{i}")).unwrap().1.row_count)
+            .collect();
+        let rows_b: Vec<u64> = (0..4)
+            .map(|i| b.0.table_by_name(&format!("r{i}")).unwrap().1.row_count)
+            .collect();
+        assert_eq!(rows_a, rows_b);
+    }
+
+    #[test]
+    fn seed_and_topology_change_the_statistics() {
+        let rows = |spec: JoinGraphSpec| -> Vec<u64> {
+            let (cat, _) = spec.build();
+            (0..spec.relations)
+                .map(|i| cat.table_by_name(&format!("r{i}")).unwrap().1.row_count)
+                .collect()
+        };
+        let base = rows(JoinGraphSpec::new(Topology::Chain, 4, 1));
+        assert_ne!(base, rows(JoinGraphSpec::new(Topology::Chain, 4, 2)));
+        assert_ne!(base, rows(JoinGraphSpec::new(Topology::Star, 4, 1)));
+    }
+
+    #[test]
+    fn labels_are_unique_per_spec() {
+        let a = JoinGraphSpec::new(Topology::Chain, 4, 1).label();
+        let b = JoinGraphSpec::new(Topology::Star, 4, 1).label();
+        assert_eq!(a, "chain-4#1");
+        assert_ne!(a, b);
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! The paper runs its differential tests against a real TPC-H database;
 //! we substitute a seeded generator that produces foreign-key-consistent
-//! tables with the same schema and key structure (see DESIGN.md §2). The
+//! tables with the same schema and key structure (see
+//! `docs/ARCHITECTURE.md`). The
 //! generated *data volumes* are intentionally tiny — differential
 //! testing executes hundreds of sampled plans per query, including
 //! nested-loops-heavy ones, so rows must stay in the hundreds. The
@@ -16,6 +17,8 @@
 //! non-empty.
 
 #![warn(missing_docs)]
+
+pub mod joingraph;
 
 use plansample_catalog::tpch::TpchTables;
 use plansample_catalog::{Catalog, Datum, TableId};

@@ -9,9 +9,9 @@
 //! operator the optimizer can emit, and multiset result comparison.
 //!
 //! Execution is operator-at-a-time (each node materializes its output)
-//! rather than pipelined — a deliberate simplification documented in
-//! DESIGN.md: the engine's job is producing comparable results for
-//! arbitrary valid plans, not throughput. Crucially, operators do *not*
+//! rather than pipelined — a deliberate simplification (see
+//! `docs/ARCHITECTURE.md`): the engine's job is producing comparable
+//! results for arbitrary valid plans, not throughput. Crucially, operators do *not*
 //! repair bad plans: `StreamAgg` aggregates whatever run boundaries it
 //! sees and `MergeJoin` trusts its inputs to be sorted, so a plan that
 //! violates its physical-property obligations produces wrong answers —

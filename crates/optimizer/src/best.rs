@@ -100,7 +100,7 @@ fn expand(memo: &Memo, query: &QuerySpec, totals: &Totals, id: PhysId) -> PlanNo
     PlanNode { id, children }
 }
 
-/// Cost-bound pruning (the ablation of DESIGN.md §E7): returns a copy of
+/// Cost-bound pruning (the `ablation_pruning` experiment): returns a copy of
 /// the memo where each group keeps only expressions whose total cost is
 /// within `keep_factor` of the group's best. `keep_factor = 1.0` keeps
 /// only cost-optimal expressions; larger factors keep near-optimal ones.

@@ -1,0 +1,281 @@
+//! A small hypothesis-test framework.
+//!
+//! Every test in this crate — chi-square goodness-of-fit, one- and
+//! two-sample Kolmogorov–Smirnov — reports a [`TestOutcome`]: the
+//! statistic, a bound on the p-value under the null, the null
+//! distribution itself (so critical values at any significance level can
+//! be recovered), and an effect size. Degenerate inputs (empty samples,
+//! single-category tables, non-positive expectations) are typed
+//! [`StatsError`]s rather than NaNs or panics, so statistical test
+//! harnesses can assert on them.
+
+use crate::special::{gamma_q, kolmogorov_q};
+use std::fmt;
+
+/// Errors from constructing a statistical test on degenerate input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A chi-square table needs at least two categories to have any
+    /// degrees of freedom; `got` is the number supplied.
+    NotEnoughCategories {
+        /// Number of categories supplied.
+        got: usize,
+    },
+    /// Observed and expected tables differ in length.
+    LengthMismatch {
+        /// Length of the observed table.
+        observed: usize,
+        /// Length of the expected table.
+        expected: usize,
+    },
+    /// An expected count was zero or negative (the chi-square statistic
+    /// divides by it).
+    NonPositiveExpected {
+        /// Index of the offending category.
+        index: usize,
+        /// The offending expected count.
+        value: f64,
+    },
+    /// The sample contains no (finite) observations.
+    EmptySample,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::NotEnoughCategories { got } => {
+                write!(f, "chi-square needs at least 2 categories, got {got}")
+            }
+            StatsError::LengthMismatch { observed, expected } => {
+                write!(
+                    f,
+                    "observed ({observed}) and expected ({expected}) tables differ in length"
+                )
+            }
+            StatsError::NonPositiveExpected { index, value } => {
+                write!(
+                    f,
+                    "expected count {value} at category {index} is not positive"
+                )
+            }
+            StatsError::EmptySample => write!(f, "sample contains no observations"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// The distribution a test statistic is referred to under the null
+/// hypothesis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NullDistribution {
+    /// Chi-square with `dof` degrees of freedom.
+    ChiSquare {
+        /// Degrees of freedom.
+        dof: usize,
+    },
+    /// The Kolmogorov distribution of `√n_eff · D` (with Stephens'
+    /// finite-sample correction applied via `effective_n`).
+    Kolmogorov {
+        /// Effective sample size (`n` one-sample, `n·m/(n+m)` two-sample).
+        effective_n: f64,
+    },
+}
+
+/// Outcome of a hypothesis test.
+///
+/// Carries everything a harness needs to make and *explain* a decision:
+/// the statistic, an upper bound on `P[statistic ≥ observed | H₀]`, the
+/// null distribution for recovering critical values at any significance
+/// level, and the sample size for effect-size normalization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestOutcome {
+    /// Human-readable test name (`"chi-square"`, `"ks-1sample"`, …).
+    pub test: &'static str,
+    /// The test statistic.
+    pub statistic: f64,
+    /// Upper bound on `P[statistic ≥ observed]` under the null.
+    pub p_value: f64,
+    /// Total number of observations behind the statistic.
+    pub n: usize,
+    /// The statistic's null distribution.
+    pub null: NullDistribution,
+}
+
+impl TestOutcome {
+    /// `true` iff the null hypothesis is rejected at significance `alpha`.
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1)");
+        self.p_value < alpha
+    }
+
+    /// Degrees of freedom, for chi-square-distributed statistics.
+    pub fn dof(&self) -> Option<usize> {
+        match self.null {
+            NullDistribution::ChiSquare { dof } => Some(dof),
+            NullDistribution::Kolmogorov { .. } => None,
+        }
+    }
+
+    /// Survival function of the null distribution evaluated at `x`, in
+    /// the same units as [`statistic`](Self::statistic).
+    fn survival(&self, x: f64) -> f64 {
+        match self.null {
+            NullDistribution::ChiSquare { dof } => {
+                if x <= 0.0 {
+                    1.0
+                } else {
+                    gamma_q(dof as f64 / 2.0, x / 2.0)
+                }
+            }
+            NullDistribution::Kolmogorov { effective_n } => {
+                kolmogorov_q(scaled_ks(x.max(0.0), effective_n))
+            }
+        }
+    }
+
+    /// The critical value `c` with `P[statistic ≥ c | H₀] = alpha`:
+    /// the rejection threshold at significance `alpha`, recovered from
+    /// the null distribution by bisection.
+    pub fn critical_value(&self, alpha: f64) -> f64 {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha in (0,1)");
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        while self.survival(hi) > alpha {
+            hi *= 2.0;
+            if hi > 1e12 {
+                break;
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.survival(mid) > alpha {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// A sample-size-free effect size: Cohen's `w = √(χ²/n)` for
+    /// chi-square statistics (w ≈ 0.1 small, 0.3 medium, 0.5 large), and
+    /// the sup-distance `D` itself for KS statistics (already scale-free).
+    pub fn effect_size(&self) -> f64 {
+        match self.null {
+            NullDistribution::ChiSquare { .. } => (self.statistic / self.n as f64).sqrt(),
+            NullDistribution::Kolmogorov { .. } => self.statistic,
+        }
+    }
+}
+
+impl fmt::Display for TestOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: statistic {:.4}, p <= {:.3e}, effect size {:.3} (n = {})",
+            self.test,
+            self.statistic,
+            self.p_value,
+            self.effect_size(),
+            self.n
+        )
+    }
+}
+
+/// Stephens' finite-sample scaling `(√n_eff + 0.12 + 0.11/√n_eff) · D`
+/// that maps a KS statistic onto the asymptotic Kolmogorov distribution.
+pub(crate) fn scaled_ks(d: f64, effective_n: f64) -> f64 {
+    let root = effective_n.sqrt();
+    (root + 0.12 + 0.11 / root) * d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chi2_outcome(statistic: f64, dof: usize, n: usize) -> TestOutcome {
+        TestOutcome {
+            test: "chi-square",
+            statistic,
+            p_value: gamma_q(dof as f64 / 2.0, statistic / 2.0),
+            n,
+            null: NullDistribution::ChiSquare { dof },
+        }
+    }
+
+    #[test]
+    fn critical_value_inverts_chi_square_survival() {
+        // Table values: chi2(3 dof) upper 5% point = 7.815, 1% = 11.345;
+        // chi2(10) upper 5% = 18.307.
+        let t = chi2_outcome(1.0, 3, 100);
+        assert!((t.critical_value(0.05) - 7.815).abs() < 1e-2);
+        assert!((t.critical_value(0.01) - 11.345).abs() < 1e-2);
+        let t = chi2_outcome(1.0, 10, 100);
+        assert!((t.critical_value(0.05) - 18.307).abs() < 1e-2);
+    }
+
+    #[test]
+    fn critical_value_inverts_kolmogorov_survival() {
+        // For large n the KS 5% critical value is ≈ 1.358/√n.
+        let n = 10_000.0;
+        let t = TestOutcome {
+            test: "ks",
+            statistic: 0.0,
+            p_value: 1.0,
+            n: 10_000,
+            null: NullDistribution::Kolmogorov { effective_n: n },
+        };
+        let crit = t.critical_value(0.05);
+        assert!(
+            (crit - 1.3581 / n.sqrt()).abs() < 2e-4,
+            "crit {crit} vs {}",
+            1.3581 / n.sqrt()
+        );
+    }
+
+    #[test]
+    fn rejection_is_consistent_with_critical_value() {
+        let t = chi2_outcome(9.0, 3, 500);
+        // 9.0 is above the 5% point (7.815) but below the 1% point.
+        assert!(t.rejects_at(0.05));
+        assert!(!t.rejects_at(0.01));
+        assert!(t.statistic > t.critical_value(0.05));
+        assert!(t.statistic < t.critical_value(0.01));
+    }
+
+    #[test]
+    fn effect_size_is_cohens_w_for_chi_square() {
+        let t = chi2_outcome(45.0, 4, 500);
+        assert!((t.effect_size() - (45.0f64 / 500.0).sqrt()).abs() < 1e-12);
+        assert_eq!(t.dof(), Some(4));
+    }
+
+    #[test]
+    fn outcome_display_is_informative() {
+        let t = chi2_outcome(45.0, 4, 500);
+        let text = t.to_string();
+        assert!(text.contains("chi-square") && text.contains("n = 500"));
+    }
+
+    #[test]
+    fn stats_error_messages() {
+        assert!(StatsError::NotEnoughCategories { got: 1 }
+            .to_string()
+            .contains("at least 2"));
+        assert!(StatsError::EmptySample
+            .to_string()
+            .contains("no observations"));
+        assert!(StatsError::LengthMismatch {
+            observed: 3,
+            expected: 4
+        }
+        .to_string()
+        .contains("differ"));
+        assert!(StatsError::NonPositiveExpected {
+            index: 2,
+            value: 0.0
+        }
+        .to_string()
+        .contains("not positive"));
+    }
+}

@@ -6,18 +6,28 @@
 //!   columns plus the `costs ≤ 2`, `costs ≤ 10` fractions);
 //! - [`Histogram`]: fixed-width bucketing with the paper's "lower 50% of
 //!   sampled costs" zoom (Figure 4);
+//! - [`TestOutcome`]: the shared hypothesis-test result type — statistic,
+//!   p-bound, recoverable critical values, effect size — with degenerate
+//!   inputs reported as typed [`StatsError`]s;
 //! - [`chi_square_uniform`] / [`chi_square_gof`]: goodness-of-fit with
 //!   p-values via the regularized incomplete gamma function;
-//! - [`fit_exponential`] and [`fit_gamma`] (MLE with Newton refinement):
-//!   §5 observes distributions "resembling exponential distributions …
-//!   Gamma-distributions with shape parameter close to 1";
-//! - [`ks_statistic`]: distribution-distance diagnostics.
+//! - [`ks_test`] / [`ks_test_two_sample`]: Kolmogorov–Smirnov tests
+//!   against a model CDF or between two samples ([`ks_statistic`] gives
+//!   the raw sup-distance);
+//! - [`fit_exponential`] and [`fit_gamma`] (MLE with Newton refinement)
+//!   with KS goodness-of-fit: §5 observes distributions "resembling
+//!   exponential distributions … Gamma-distributions with shape
+//!   parameter close to 1".
 
 #![warn(missing_docs)]
 
+mod hypothesis;
 mod special;
 
-pub use special::{digamma, gamma_p, gamma_q, ln_gamma, trigamma};
+pub use hypothesis::{NullDistribution, StatsError, TestOutcome};
+pub use special::{digamma, gamma_p, gamma_q, kolmogorov_q, ln_gamma, trigamma};
+
+use hypothesis::scaled_ks;
 
 /// Order statistics and moments of a sample.
 #[derive(Debug, Clone)]
@@ -176,42 +186,58 @@ impl Histogram {
     }
 }
 
-/// Result of a chi-square test.
-#[derive(Debug, Clone, Copy)]
-pub struct ChiSquare {
-    /// The test statistic.
-    pub statistic: f64,
-    /// Degrees of freedom.
-    pub dof: usize,
-    /// `P[X² ≥ statistic]` under the null hypothesis.
-    pub p_value: f64,
-}
-
 /// Chi-square test of observed counts against uniform expectation.
-pub fn chi_square_uniform(observed: &[usize]) -> ChiSquare {
+///
+/// Degenerate inputs are typed errors: fewer than two categories is
+/// [`StatsError::NotEnoughCategories`] (no degrees of freedom), a table
+/// whose counts sum to zero is [`StatsError::EmptySample`].
+pub fn chi_square_uniform(observed: &[usize]) -> Result<TestOutcome, StatsError> {
+    if observed.len() < 2 {
+        return Err(StatsError::NotEnoughCategories {
+            got: observed.len(),
+        });
+    }
     let total: usize = observed.iter().sum();
+    if total == 0 {
+        return Err(StatsError::EmptySample);
+    }
     let expected = total as f64 / observed.len() as f64;
     chi_square_gof(observed, &vec![expected; observed.len()])
 }
 
 /// Chi-square goodness-of-fit against explicit expected counts.
-pub fn chi_square_gof(observed: &[usize], expected: &[f64]) -> ChiSquare {
-    assert_eq!(observed.len(), expected.len());
-    assert!(observed.len() > 1, "need at least two categories");
+pub fn chi_square_gof(observed: &[usize], expected: &[f64]) -> Result<TestOutcome, StatsError> {
+    if observed.len() != expected.len() {
+        return Err(StatsError::LengthMismatch {
+            observed: observed.len(),
+            expected: expected.len(),
+        });
+    }
+    if observed.len() < 2 {
+        return Err(StatsError::NotEnoughCategories {
+            got: observed.len(),
+        });
+    }
+    if let Some((index, &value)) = expected
+        .iter()
+        .enumerate()
+        .find(|(_, &e)| e <= 0.0 || e.is_nan())
+    {
+        return Err(StatsError::NonPositiveExpected { index, value });
+    }
     let statistic: f64 = observed
         .iter()
         .zip(expected)
-        .map(|(&o, &e)| {
-            assert!(e > 0.0, "expected counts must be positive");
-            (o as f64 - e).powi(2) / e
-        })
+        .map(|(&o, &e)| (o as f64 - e).powi(2) / e)
         .sum();
     let dof = observed.len() - 1;
-    ChiSquare {
+    Ok(TestOutcome {
+        test: "chi-square",
         statistic,
-        dof,
         p_value: gamma_q(dof as f64 / 2.0, statistic / 2.0),
-    }
+        n: observed.iter().sum(),
+        null: NullDistribution::ChiSquare { dof },
+    })
 }
 
 /// An exponential fit `f(x) = rate · exp(−rate·(x − shift))`.
@@ -231,6 +257,14 @@ impl ExponentialFit {
         } else {
             1.0 - (-(x - self.shift) * self.rate).exp()
         }
+    }
+
+    /// KS goodness-of-fit of `data` against this fit. Since the
+    /// parameters were estimated from the same data, the p-value is an
+    /// *optimistic* bound (the Lilliefors effect) — use it to compare
+    /// models and flag gross misfits, not for exact significance.
+    pub fn goodness_of_fit(&self, data: &[f64]) -> Result<TestOutcome, StatsError> {
+        ks_test(data, |x| self.cdf(x))
     }
 }
 
@@ -264,6 +298,14 @@ impl GammaFit {
         } else {
             gamma_p(self.shape, (x - self.shift) / self.scale)
         }
+    }
+
+    /// KS goodness-of-fit of `data` against this fit. Since the
+    /// parameters were estimated from the same data, the p-value is an
+    /// *optimistic* bound (the Lilliefors effect) — use it to compare
+    /// models and flag gross misfits, not for exact significance.
+    pub fn goodness_of_fit(&self, data: &[f64]) -> Result<TestOutcome, StatsError> {
+        ks_test(data, |x| self.cdf(x))
     }
 }
 
@@ -314,6 +356,62 @@ pub fn ks_statistic(data: &[f64], cdf: impl Fn(f64) -> f64) -> f64 {
             lo.max(hi)
         })
         .fold(0.0, f64::max)
+}
+
+/// One-sample Kolmogorov–Smirnov test of `data` against the model CDF.
+///
+/// The p-value uses the asymptotic Kolmogorov distribution with
+/// Stephens' finite-sample correction — accurate for `n ≳ 35` and a
+/// safe upper bound below that.
+pub fn ks_test(data: &[f64], cdf: impl Fn(f64) -> f64) -> Result<TestOutcome, StatsError> {
+    let finite = data.iter().filter(|v| !v.is_nan()).count();
+    if finite == 0 {
+        return Err(StatsError::EmptySample);
+    }
+    let d = ks_statistic(data, cdf);
+    let effective_n = finite as f64;
+    Ok(TestOutcome {
+        test: "ks-1sample",
+        statistic: d,
+        p_value: kolmogorov_q(scaled_ks(d, effective_n)),
+        n: finite,
+        null: NullDistribution::Kolmogorov { effective_n },
+    })
+}
+
+/// Two-sample Kolmogorov–Smirnov test: are `a` and `b` draws from the
+/// same distribution? The statistic is the sup-distance between the two
+/// empirical CDFs; the null uses the effective size `n·m/(n+m)`.
+pub fn ks_test_two_sample(a: &[f64], b: &[f64]) -> Result<TestOutcome, StatsError> {
+    let mut xs: Vec<f64> = a.iter().copied().filter(|v| !v.is_nan()).collect();
+    let mut ys: Vec<f64> = b.iter().copied().filter(|v| !v.is_nan()).collect();
+    if xs.is_empty() || ys.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    xs.sort_by(f64::total_cmp);
+    ys.sort_by(f64::total_cmp);
+    let (n, m) = (xs.len(), ys.len());
+    // Merge-walk the two sorted samples tracking the ECDF gap.
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    while i < n && j < m {
+        let x = if xs[i] <= ys[j] { xs[i] } else { ys[j] };
+        while i < n && xs[i] <= x {
+            i += 1;
+        }
+        while j < m && ys[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / n as f64 - j as f64 / m as f64).abs());
+    }
+    let effective_n = (n * m) as f64 / (n + m) as f64;
+    Ok(TestOutcome {
+        test: "ks-2sample",
+        statistic: d,
+        p_value: kolmogorov_q(scaled_ks(d, effective_n)),
+        n: n + m,
+        null: NullDistribution::Kolmogorov { effective_n },
+    })
 }
 
 #[cfg(test)]
@@ -386,24 +484,153 @@ mod tests {
 
     #[test]
     fn chi_square_uniform_accepts_uniform_counts() {
-        let t = chi_square_uniform(&[100, 103, 98, 99]);
+        let t = chi_square_uniform(&[100, 103, 98, 99]).unwrap();
         assert!(t.p_value > 0.5, "p={}", t.p_value);
-        assert_eq!(t.dof, 3);
+        assert_eq!(t.dof(), Some(3));
+        assert!(!t.rejects_at(0.05));
+        assert_eq!(t.n, 400);
     }
 
     #[test]
     fn chi_square_uniform_rejects_skewed_counts() {
-        let t = chi_square_uniform(&[400, 10, 10, 10]);
+        let t = chi_square_uniform(&[400, 10, 10, 10]).unwrap();
         assert!(t.p_value < 1e-6, "p={}", t.p_value);
         assert!(t.statistic > 100.0);
+        assert!(t.rejects_at(0.001));
+        // Cohen's w on a 93%-in-one-bucket table is a huge effect.
+        assert!(t.effect_size() > 1.0, "w = {}", t.effect_size());
     }
 
     #[test]
     fn chi_square_p_value_matches_tables() {
         // k=3 dof, x=7.815 -> p = 0.05.
-        let t = chi_square_gof(&[0, 0, 0, 0], &[1.0, 1.0, 1.0, 1.0]);
-        assert_eq!(t.dof, 3);
+        let t = chi_square_gof(&[0, 0, 0, 0], &[1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(t.dof(), Some(3));
         assert!((gamma_q(1.5, 7.815 / 2.0) - 0.05).abs() < 1e-3);
+    }
+
+    #[test]
+    fn chi_square_rejects_degenerate_inputs_with_typed_errors() {
+        // Empty table: no categories at all.
+        assert_eq!(
+            chi_square_uniform(&[]),
+            Err(StatsError::NotEnoughCategories { got: 0 })
+        );
+        // Single bucket: zero degrees of freedom (was a panic in
+        // gamma_q(0, ·) before).
+        assert_eq!(
+            chi_square_uniform(&[500]),
+            Err(StatsError::NotEnoughCategories { got: 1 })
+        );
+        // All-zero counts: nothing was observed (was NaN expectations).
+        assert_eq!(chi_square_uniform(&[0, 0, 0]), Err(StatsError::EmptySample));
+        // GOF-specific degeneracies.
+        assert_eq!(
+            chi_square_gof(&[1, 2], &[1.0]),
+            Err(StatsError::LengthMismatch {
+                observed: 2,
+                expected: 1
+            })
+        );
+        assert!(matches!(
+            chi_square_gof(&[1, 2], &[1.0, 0.0]),
+            Err(StatsError::NonPositiveExpected { index: 1, .. })
+        ));
+        assert!(matches!(
+            chi_square_gof(&[5], &[5.0]),
+            Err(StatsError::NotEnoughCategories { got: 1 })
+        ));
+    }
+
+    #[test]
+    fn ks_test_accepts_the_true_model() {
+        // Uniform grid sample against the uniform CDF: tiny D, p ≈ 1.
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64 + 0.5) / 1000.0).collect();
+        let t = ks_test(&data, |x| x.clamp(0.0, 1.0)).unwrap();
+        assert!(t.statistic < 0.01, "D = {}", t.statistic);
+        assert!(t.p_value > 0.99, "p = {}", t.p_value);
+        assert!(!t.rejects_at(0.05));
+    }
+
+    #[test]
+    fn ks_test_rejects_the_wrong_model() {
+        // Uniform sample against an exponential CDF.
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64 + 0.5) / 1000.0).collect();
+        let t = ks_test(&data, |x| 1.0 - (-x).exp()).unwrap();
+        assert!(t.rejects_at(1e-6), "p = {}", t.p_value);
+        // For KS, the effect size is D itself.
+        assert!((t.effect_size() - t.statistic).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ks_test_p_value_matches_critical_table() {
+        // Place D exactly at the asymptotic 5% critical point: p ≈ 0.05.
+        let n = 2500usize;
+        let data: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let crit = 1.3581 / (n as f64).sqrt();
+        // Shift the whole sample by `crit` relative to the model.
+        let t = ks_test(&data, |x| (x + crit).clamp(0.0, 1.0)).unwrap();
+        assert!((t.p_value - 0.05).abs() < 0.01, "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn ks_two_sample_accepts_same_distribution() {
+        let a: Vec<f64> = (0..800).map(|i| (i as f64 + 0.5) / 800.0).collect();
+        let b: Vec<f64> = (0..600).map(|i| (i as f64 + 0.25) / 600.0).collect();
+        let t = ks_test_two_sample(&a, &b).unwrap();
+        assert!(t.p_value > 0.5, "p = {}", t.p_value);
+        assert_eq!(t.n, 1400);
+    }
+
+    #[test]
+    fn ks_two_sample_rejects_shifted_distribution() {
+        let a: Vec<f64> = (0..800).map(|i| (i as f64 + 0.5) / 800.0).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 0.2).collect();
+        let t = ks_test_two_sample(&a, &b).unwrap();
+        assert!((t.statistic - 0.2).abs() < 0.01, "D = {}", t.statistic);
+        assert!(t.rejects_at(1e-6), "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn ks_two_sample_statistic_is_symmetric() {
+        let a = [0.1, 0.4, 0.4, 0.9];
+        let b = [0.2, 0.3, 0.8, 0.85, 0.95];
+        let ab = ks_test_two_sample(&a, &b).unwrap();
+        let ba = ks_test_two_sample(&b, &a).unwrap();
+        assert!((ab.statistic - ba.statistic).abs() < 1e-15);
+        assert!((ab.p_value - ba.p_value).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ks_tests_reject_empty_samples() {
+        assert_eq!(ks_test(&[], |x| x).unwrap_err(), StatsError::EmptySample);
+        assert_eq!(
+            ks_test(&[f64::NAN], |x| x).unwrap_err(),
+            StatsError::EmptySample
+        );
+        assert_eq!(
+            ks_test_two_sample(&[1.0], &[]).unwrap_err(),
+            StatsError::EmptySample
+        );
+    }
+
+    #[test]
+    fn gamma_goodness_of_fit_flags_misfit() {
+        // A gamma fit to its own (exponential-like) data passes …
+        let expo: Vec<f64> = (1..2000)
+            .map(|i| -(1.0 - i as f64 / 2000.0).ln() * 3.0)
+            .collect();
+        let fit = fit_gamma(&expo);
+        let good = fit.goodness_of_fit(&expo).unwrap();
+        assert!(!good.rejects_at(0.001), "{good}");
+        // … while bimodal data is flagged even by its own best fit.
+        let bimodal: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 100.0 })
+            .collect();
+        let bad_fit = fit_gamma(&bimodal);
+        let bad = bad_fit.goodness_of_fit(&bimodal).unwrap();
+        assert!(bad.rejects_at(0.001), "{bad}");
+        assert!(bad.statistic > good.statistic * 5.0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
-//! Special functions: log-gamma, digamma, trigamma, and the regularized
-//! incomplete gamma function. Self-contained implementations (no
-//! external math crates) sufficient for chi-square p-values and
-//! maximum-likelihood Gamma fitting.
+//! Special functions: log-gamma, digamma, trigamma, the regularized
+//! incomplete gamma function, and the Kolmogorov distribution.
+//! Self-contained implementations (no external math crates) sufficient
+//! for chi-square/KS p-values and maximum-likelihood Gamma fitting.
 
 /// Natural log of the Gamma function (Lanczos approximation, g=7, n=9).
 /// Absolute error below 1e-13 for positive arguments.
@@ -131,6 +131,30 @@ fn gamma_q_cf(a: f64, x: f64) -> f64 {
     h * (-x + a * x.ln() - ln_gamma(a)).exp()
 }
 
+/// Survival function of the Kolmogorov distribution,
+/// `Q(t) = P[K > t] = 2 Σ_{k≥1} (−1)^{k−1} exp(−2 k² t²)` — the
+/// asymptotic null distribution of `√n · D_n` for the KS statistic.
+///
+/// The alternating series converges extremely fast for `t ≳ 0.5`; below
+/// `t = 0.2` the survival probability is 1 to double precision.
+pub fn kolmogorov_q(t: f64) -> f64 {
+    assert!(t >= 0.0, "kolmogorov_q domain: t >= 0, got {t}");
+    if t < 0.2 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * t * t).exp();
+        sum += sign * term;
+        if term < 1e-16 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +240,29 @@ mod tests {
             prev = v;
         }
         assert!(prev > 0.999);
+    }
+
+    #[test]
+    fn kolmogorov_q_matches_tables() {
+        // Standard KS critical points: P[K > 1.3581] = 0.05,
+        // P[K > 1.2238] = 0.10, P[K > 1.6276] = 0.01.
+        assert!((kolmogorov_q(1.3581) - 0.05).abs() < 1e-3);
+        assert!((kolmogorov_q(1.2238) - 0.10).abs() < 1e-3);
+        assert!((kolmogorov_q(1.6276) - 0.01).abs() < 1e-3);
+    }
+
+    #[test]
+    fn kolmogorov_q_is_a_survival_function() {
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert_eq!(kolmogorov_q(0.1), 1.0);
+        let mut prev = 1.0;
+        for i in 1..80 {
+            let q = kolmogorov_q(i as f64 * 0.05);
+            assert!(q <= prev + 1e-15, "not monotone at t={}", i as f64 * 0.05);
+            assert!((0.0..=1.0).contains(&q));
+            prev = q;
+        }
+        assert!(kolmogorov_q(4.0) < 1e-12);
     }
 
     #[test]

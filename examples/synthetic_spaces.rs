@@ -1,0 +1,48 @@
+//! Survey of synthetic join-graph plan spaces.
+//!
+//! Builds the four canonical topologies (chain, star, cycle, clique) at
+//! growing sizes, optimizes each, and prints the exact plan count with
+//! its `u64`-limb footprint — the quick way to see where spaces outgrow
+//! machine integers and why the counting machinery uses bignums.
+//!
+//! ```text
+//! cargo run --release --example synthetic_spaces
+//! ```
+
+use plansample::PlanSpace;
+use plansample_datagen::joingraph::{JoinGraphSpec, Topology};
+use plansample_optimizer::{optimize, OptimizerConfig};
+
+fn main() {
+    println!(
+        "{:<12} {:>5} {:>28} {:>6} {:>10}",
+        "space", "rels", "#plans", "limbs", "exprs"
+    );
+    for topology in Topology::ALL {
+        for relations in [3usize, 4, 5, 6, 8, 9, 10] {
+            // Cliques explode fastest; stop before optimization gets slow.
+            if topology == Topology::Clique && relations > 9 {
+                continue;
+            }
+            let spec = JoinGraphSpec::new(topology, relations, 42);
+            let (catalog, query) = spec.build();
+            let optimized =
+                optimize(&catalog, &query, &OptimizerConfig::default()).expect("optimizes");
+            let space = PlanSpace::build(&optimized.memo, &query).expect("space builds");
+            let total = space.total();
+            println!(
+                "{:<12} {:>5} {:>28} {:>6} {:>10}",
+                spec.label(),
+                relations,
+                if total.bits() <= 93 {
+                    total.to_string()
+                } else {
+                    total.to_scientific(3)
+                },
+                total.limbs().len(),
+                optimized.memo.num_physical(),
+            );
+        }
+        println!();
+    }
+}

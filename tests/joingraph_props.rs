@@ -1,0 +1,80 @@
+//! Property tests over the synthetic join-graph generator: for random
+//! topologies, sizes, and statistics seeds, the optimizer must produce a
+//! space where `rank ∘ unrank` is the identity on sampled ranks, and —
+//! on spaces small enough to enumerate — the exact count `N` must equal
+//! the brute-force enumeration via the independent recursive oracle.
+
+mod common;
+
+use common::SynthSpace;
+use plansample_bignum::Nat;
+use plansample_datagen::joingraph::{JoinGraphSpec, Topology};
+use plansample_memo::validate_plan;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Cap for brute-force enumeration: spaces at or below this size are
+/// exhaustively cross-checked against the recursive oracle.
+const ENUM_CAP: u64 = 30_000;
+
+fn arb_spec() -> impl Strategy<Value = JoinGraphSpec> {
+    (0usize..4, 3usize..=5, 0u64..1_000_000).prop_map(|(t, n, seed)| {
+        let topology = Topology::ALL[t];
+        // Clique spaces explode fastest; cap their size so debug-mode
+        // optimization stays quick.
+        let n = if topology == Topology::Clique {
+            n.min(4)
+        } else {
+            n
+        };
+        JoinGraphSpec::new(topology, n, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn rank_unrank_is_the_identity_on_random_spaces(spec in arb_spec()) {
+        let synth = SynthSpace::build(spec);
+        let space = synth.space();
+        prop_assert!(!space.total().is_zero(), "{}: empty space", synth.label);
+
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xABCD);
+        for _ in 0..8 {
+            let r = Nat::random_below(&mut rng, space.total());
+            let plan = space.unrank(&r).expect("rank below total");
+            prop_assert!(
+                validate_plan(&synth.memo, &synth.query, &plan).is_empty(),
+                "{}: unranked plan invalid", synth.label
+            );
+            let back = space.rank(&plan).expect("member plan ranks");
+            prop_assert_eq!(&back, &r, "{}: rank(unrank(r)) != r", &synth.label);
+        }
+    }
+
+    #[test]
+    fn total_matches_brute_force_enumeration_on_small_spaces(spec in arb_spec()) {
+        let synth = SynthSpace::build(spec);
+        let space = synth.space();
+        let total = space.total().clone();
+        if let Some(n) = total.to_u64().filter(|&n| n <= ENUM_CAP) {
+            // The recursive oracle never touches rank arithmetic; its
+            // output size is an independent count of the space.
+            let all = space.enumerate_recursive(n as usize + 1);
+            prop_assert_eq!(
+                all.len() as u64, n,
+                "{}: enumeration disagrees with count", &synth.label
+            );
+        } else {
+            // Too large to enumerate: spot-check that the first and last
+            // ranks unrank (the bijection's boundary cases).
+            let mut last = total.clone();
+            last.decr();
+            prop_assert!(space.unrank(&Nat::zero()).is_ok());
+            prop_assert!(space.unrank(&last).is_ok());
+            prop_assert!(space.unrank(&total).is_err());
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! The pruning ablation (DESIGN.md E7) as invariants: cost-bound
+//! The pruning ablation (`ablation_pruning` binary) as invariants: cost-bound
 //! pruning shrinks the testable space monotonically, preserves the
 //! optimum, and the pruned space remains a *subset* — every plan of the
 //! pruned memo appears (with identical results) in the full space.

@@ -1,22 +1,33 @@
 //! Statistical validation of the uniform sampler on a *real* optimizer
 //! memo (not the hand-built fixture): chi-square accepts uniformity for
 //! the unranking sampler and rejects the naive-walk baseline — the
-//! quantitative core of the paper's "unbiased testing" claim.
+//! quantitative core of the paper's "unbiased testing" claim — both on
+//! the whole space and inside `sample_rooted` sub-spaces.
+//!
+//! The synthetic-topology counterparts live in
+//! `tests/synthetic_uniformity.rs` (fast) and `tests/statistical.rs`
+//! (large spaces, gated behind `PLANSAMPLE_STATISTICAL=1`).
+
+mod common;
 
 use plansample::PlanSpace;
 use plansample_optimizer::{optimize, OptimizerConfig};
-use plansample_query::QueryBuilder;
+use plansample_query::{QueryBuilder, QuerySpec};
 use plansample_stats::chi_square_uniform;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn two_way_space_freqs(draws: usize, naive: bool) -> Vec<usize> {
-    let (catalog, _) = plansample_catalog::tpch::catalog();
-    let mut qb = QueryBuilder::new(&catalog);
+fn two_way_query(catalog: &plansample_catalog::Catalog) -> QuerySpec {
+    let mut qb = QueryBuilder::new(catalog);
     qb.rel("nation", Some("n")).unwrap();
     qb.rel("region", Some("r")).unwrap();
     qb.join(("n", "n_regionkey"), ("r", "r_regionkey")).unwrap();
-    let query = qb.build().unwrap();
+    qb.build().unwrap()
+}
+
+fn two_way_space_freqs(draws: usize, naive: bool) -> Vec<usize> {
+    let (catalog, _) = plansample_catalog::tpch::catalog();
+    let query = two_way_query(&catalog);
     let optimized = optimize(&catalog, &query, &OptimizerConfig::default()).unwrap();
     let space = PlanSpace::build(&optimized.memo, &query).unwrap();
     let n = space.total().to_u64().unwrap() as usize;
@@ -39,24 +50,24 @@ fn two_way_space_freqs(draws: usize, naive: bool) -> Vec<usize> {
 fn unranking_sampler_is_uniform_on_optimizer_memo() {
     let freq = two_way_space_freqs(56_000, false);
     assert!(freq.iter().all(|&f| f > 0), "every plan must be reachable");
-    let test = chi_square_uniform(&freq);
-    assert!(
-        test.p_value > 0.001,
-        "uniformity rejected: chi2={} p={}",
-        test.statistic,
-        test.p_value
-    );
+    let test = chi_square_uniform(&freq).unwrap();
+    assert!(!test.rejects_at(0.001), "uniformity rejected: {test}");
 }
 
 #[test]
 fn naive_walk_is_biased_on_optimizer_memo() {
     let freq = two_way_space_freqs(56_000, true);
-    let test = chi_square_uniform(&freq);
+    let test = chi_square_uniform(&freq).unwrap();
     assert!(
-        test.p_value < 1e-6,
-        "naive walk unexpectedly uniform: chi2={} p={}",
-        test.statistic,
-        test.p_value
+        test.rejects_at(1e-6),
+        "naive walk unexpectedly uniform: {test}"
+    );
+    // Not merely detectable: the walk's bias is a large effect
+    // (Cohen's w ≥ 0.5) even on this 2-relation space.
+    assert!(
+        test.effect_size() > 0.5,
+        "naive-walk bias w = {} is not a large effect",
+        test.effect_size()
     );
 }
 
@@ -88,6 +99,47 @@ fn sample_frequencies_match_subspace_proportions() {
         assert!(
             (observed - expected).abs() <= 4.0 * sigma + 1e-9,
             "root {id}: observed {observed:.4} expected {expected:.4}"
+        );
+    }
+}
+
+/// Satellite coverage: sub-space sampling on a real TPC-H memo is
+/// chi-square-uniform for physical roots in the memo's root group *and*
+/// for an interior (non-root) join group — whole-space uniformity alone
+/// does not imply this, since `sample_rooted` runs its own
+/// `random_below(count_rooted)` draw.
+#[test]
+fn rooted_subspaces_are_uniform_on_optimizer_memo() {
+    let (catalog, _) = plansample_catalog::tpch::catalog();
+    // 3-way join so interior join groups exist.
+    let mut qb = QueryBuilder::new(&catalog);
+    qb.rel("nation", Some("n")).unwrap();
+    qb.rel("region", Some("r")).unwrap();
+    qb.rel("supplier", Some("s")).unwrap();
+    qb.join(("n", "n_regionkey"), ("r", "r_regionkey")).unwrap();
+    qb.join(("s", "s_nationkey"), ("n", "n_nationkey")).unwrap();
+    let query = qb.build().unwrap();
+    let optimized = optimize(&catalog, &query, &OptimizerConfig::default()).unwrap();
+    let space = PlanSpace::build(&optimized.memo, &query).unwrap();
+
+    // Two roots from the root group plus one from an interior
+    // 2-relation join group.
+    let roots =
+        common::pick_subspace_roots(&optimized.memo, &space, query.relations.len(), 6..=20_000);
+    assert!(
+        roots.len() >= 3,
+        "expected 2 root-group + 1 interior sub-space roots, got {}",
+        roots.len()
+    );
+
+    let mut rng = StdRng::seed_from_u64(4321);
+    for v in roots {
+        let count = space.count_rooted(v).to_u64().unwrap() as usize;
+        let freq = common::rooted_spectrum(&space, v, 8 * count, &mut rng);
+        let test = chi_square_uniform(&freq).unwrap();
+        assert!(
+            !test.rejects_at(0.001),
+            "sub-space at {v} ({count} plans) not uniform: {test}"
         );
     }
 }

@@ -3,7 +3,7 @@
 //! evaluation relies on.
 //!
 //! The absolute values are implementation-specific (they depend on the
-//! rule set, see EXPERIMENTS.md); pinning them catches accidental
+//! rule set, see `docs/EXPERIMENTS.md`); pinning them catches accidental
 //! changes to exploration, implementation rules, enforcer generation, or
 //! property handling.
 
