@@ -25,11 +25,11 @@ fn bench_execution(c: &mut Criterion) {
     let plan_mid = space.unrank(&mid).unwrap();
 
     c.bench_function("execute/Q5_plan0", |b| {
-        let exec = lower(&prepared.memo, &prepared.query, &catalog, &plan0);
+        let exec = lower(prepared.memo(), prepared.query(), &catalog, &plan0);
         b.iter(|| std::hint::black_box(exec.execute(&db).unwrap()))
     });
     c.bench_function("execute/Q5_mid_rank", |b| {
-        let exec = lower(&prepared.memo, &prepared.query, &catalog, &plan_mid);
+        let exec = lower(prepared.memo(), prepared.query(), &catalog, &plan_mid);
         b.iter(|| std::hint::black_box(exec.execute(&db).unwrap()))
     });
 
@@ -40,7 +40,7 @@ fn bench_execution(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(9);
         b.iter(|| {
             let plan = space.sample(&mut rng);
-            let exec = lower(&prepared.memo, &prepared.query, &catalog, &plan);
+            let exec = lower(prepared.memo(), prepared.query(), &catalog, &plan);
             std::hint::black_box(exec.execute(&db).unwrap())
         })
     });

@@ -1,0 +1,116 @@
+//! The prepared-query amortization claim, measured.
+//!
+//! The old API re-ran `optimize` + `PlanSpace::build` on every call
+//! (`Session::count_plans`, `execute_plan`, …). `Session::prepare` pays
+//! that cost once and serves every subsequent operation from the owned
+//! artifact. This bench quantifies the split on the paper's largest
+//! space (Q8 including Cartesian products, ~22k physical expressions)
+//! and a synthetic clique-6 join graph:
+//!
+//! * `prepare` — the one-time cost (optimize + links + counts);
+//! * `count_plans_per_call` — the old per-call rebuild path;
+//! * `sample_batch` — batched draws from the prepared artifact
+//!   (throughput in plans/sec is printed alongside);
+//! * an **asserted** acceptance check: the amortized per-sample cost of
+//!   1000 draws (including three resumed enumeration pages) must be at
+//!   least 100× cheaper than one `count_plans` rebuild.
+//!
+//! Measured numbers are recorded in `docs/EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plansample::session::Session;
+use plansample_bignum::Nat;
+use plansample_datagen::joingraph::{JoinGraphSpec, Topology};
+use plansample_datagen::MicroScale;
+use plansample_optimizer::OptimizerConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const BATCH: usize = 1000;
+
+fn q8_cp_session() -> (Session, plansample_query::QuerySpec) {
+    let (catalog, tables) = plansample_catalog::tpch::catalog();
+    let query = plansample_query::tpch::q8(&catalog);
+    let db = plansample_datagen::generate(&catalog, &tables, &MicroScale::tiny(), 11);
+    (
+        Session::with_config(catalog, db, OptimizerConfig::with_cross_products()),
+        query,
+    )
+}
+
+fn clique6_session() -> (Session, plansample_query::QuerySpec) {
+    let (catalog, query) = JoinGraphSpec::new(Topology::Clique, 6, 42).build();
+    (
+        Session::new(catalog, plansample_exec::Database::new()),
+        query,
+    )
+}
+
+fn bench_prepared(c: &mut Criterion) {
+    for (label, (session, query)) in [("Q8_CP", q8_cp_session()), ("clique6", clique6_session())] {
+        let mut group = c.benchmark_group(format!("prepared/{label}"));
+        group.sample_size(10);
+
+        // One-time cost of the artifact.
+        group.bench_function("prepare", |b| {
+            b.iter(|| std::hint::black_box(session.prepare(&query).unwrap()))
+        });
+
+        // The old path: every call rebuilds memo + links + counts.
+        group.bench_function("count_plans_per_call", |b| {
+            b.iter(|| std::hint::black_box(session.count_plans(&query).unwrap()))
+        });
+
+        // The serving path: batched sampling over one artifact.
+        let prepared = session.prepare(&query).unwrap();
+        group.bench_function(format!("sample_batch_{BATCH}"), |b| {
+            let mut rng = StdRng::seed_from_u64(20000);
+            b.iter(|| std::hint::black_box(prepared.sample_batch(&mut rng, BATCH)))
+        });
+        group.finish();
+
+        // Acceptance assertion (ISSUE 3): amortized per-sample cost of the
+        // prepared path ≥ 100× cheaper than the per-call rebuild path.
+        let t0 = Instant::now();
+        let per_call = session.count_plans(&query).unwrap();
+        let rebuild = t0.elapsed();
+
+        let before = plansample_optimizer::thread_optimizations_performed();
+        let t0 = Instant::now();
+        let prepared = session.prepare(&query).unwrap();
+        let mut rng = StdRng::seed_from_u64(20000);
+        let batch = prepared.sample_batch(&mut rng, BATCH);
+        let (third, _) = prepared.total().div_rem(&Nat::from(3u64));
+        let (half, _) = prepared.total().div_rem(&Nat::from(2u64));
+        for start in [Nat::zero(), third, half] {
+            let page: Vec<_> = prepared.enumerate_from(start).take(16).collect();
+            assert_eq!(page.len(), 16);
+        }
+        let amortized = t0.elapsed() / BATCH as u32;
+        assert_eq!(batch.len(), BATCH);
+        assert_eq!(
+            plansample_optimizer::thread_optimizations_performed() - before,
+            1,
+            "{label}: 1000 samples + 3 pages must optimize exactly once"
+        );
+        assert_eq!(per_call, *prepared.total());
+
+        let speedup = rebuild.as_secs_f64() / amortized.as_secs_f64().max(1e-12);
+        println!(
+            "prepared/{label}: per-call rebuild {:.2?} vs amortized per-sample {:.2?} \
+             ({speedup:.0}x; {:.0} plans/sec incl. one-time prepare)",
+            rebuild,
+            amortized,
+            1.0 / amortized.as_secs_f64().max(1e-12),
+        );
+        assert!(
+            speedup >= 100.0,
+            "{label}: amortized per-sample cost must be >= 100x cheaper than \
+             per-call count_plans; measured {speedup:.1}x"
+        );
+    }
+}
+
+criterion_group!(benches, bench_prepared);
+criterion_main!(benches);

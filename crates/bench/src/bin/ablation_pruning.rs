@@ -19,9 +19,10 @@ fn main() {
     let (catalog, _) = plansample_catalog::tpch::catalog();
     let query = plansample_query::tpch::q5(&catalog);
     let prepared = prepare(&catalog, "Q5", query.clone(), false);
+    let query_shared = std::sync::Arc::new(query.clone());
     let full_space = prepared.space();
     let full_total = full_space.total().clone();
-    let full_exprs = prepared.memo.num_physical();
+    let full_exprs = prepared.memo().num_physical();
 
     println!("Ablation: cost-bound pruning vs the testable plan space (TPC-H Q5)");
     println!();
@@ -38,14 +39,16 @@ fn main() {
     );
 
     for factor in [100.0, 10.0, 2.0, 1.5, 1.0] {
-        let pruned = prune(&prepared.memo, &query, factor);
-        let space = PlanSpace::build(&pruned, &query).expect("pruned memo stays well-formed");
+        let pruned = prune(prepared.memo(), &query, factor);
+        let n_exprs = pruned.num_physical();
+        let space = PlanSpace::build_shared(std::sync::Arc::new(pruned), query_shared.clone())
+            .expect("pruned memo stays well-formed");
         let total = space.total();
         let pct = 100.0 * total.to_f64() / full_total.to_f64();
         println!(
             "{:>12} {:>12} {:>26} {:>15.10}%",
             factor,
-            pruned.num_physical(),
+            n_exprs,
             total.to_string(),
             pct
         );

@@ -8,30 +8,27 @@
 
 #![warn(missing_docs)]
 
-use plansample::PlanSpace;
+use plansample::PreparedQuery;
 use plansample_catalog::Catalog;
-use plansample_memo::Memo;
-use plansample_optimizer::{optimize, OptimizerConfig};
+use plansample_optimizer::OptimizerConfig;
 use plansample_query::QuerySpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// A query optimized and ready for plan-space work.
+/// A labelled [`PreparedQuery`]: one optimization pass, reused by every
+/// measurement. Dereferences to the artifact, so all of its counting /
+/// enumerating / sampling surface is available directly.
 pub struct Prepared {
     /// Query label (`"Q5"` …).
     pub name: &'static str,
-    /// The query.
-    pub query: QuerySpec,
-    /// The fully populated memo.
-    pub memo: Memo,
-    /// Cost of the optimizer's plan (the 1.0 reference).
-    pub best_cost: f64,
+    prepared: PreparedQuery,
 }
 
-impl Prepared {
-    /// Builds the plan space over this memo.
-    pub fn space(&self) -> PlanSpace<'_> {
-        PlanSpace::build(&self.memo, &self.query).expect("optimizer memos are well-formed")
+impl std::ops::Deref for Prepared {
+    type Target = PreparedQuery;
+
+    fn deref(&self) -> &PreparedQuery {
+        &self.prepared
     }
 }
 
@@ -51,13 +48,9 @@ pub fn prepare(
     } else {
         OptimizerConfig::default()
     };
-    let optimized = optimize(catalog, &query, &config).expect("TPC-H queries optimize");
-    Prepared {
-        name,
-        query,
-        memo: optimized.memo,
-        best_cost: optimized.best_cost,
-    }
+    let prepared =
+        PreparedQuery::prepare(catalog, &query, &config).expect("TPC-H queries optimize");
+    Prepared { name, prepared }
 }
 
 /// The paper's four join-intensive queries (Table 1 rows), in order.
@@ -72,15 +65,14 @@ pub fn join_queries(catalog: &Catalog) -> Vec<(&'static str, QuerySpec)> {
 }
 
 /// Draws `k` uniform plans and returns their costs scaled to the
-/// optimum (cost 1.0 = the optimizer's plan), as in §5.
+/// optimum (cost 1.0 = the optimizer's plan), as in §5. One batched
+/// draw over the already-prepared artifact.
 pub fn sample_scaled_costs(prepared: &Prepared, k: usize, seed: u64) -> Vec<f64> {
-    let space = prepared.space();
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..k)
-        .map(|_| {
-            let plan = space.sample(&mut rng);
-            plan.total_cost(&prepared.memo) / prepared.best_cost
-        })
+    prepared
+        .sample_batch(&mut rng, k)
+        .iter()
+        .map(|plan| prepared.scaled_cost(plan))
         .collect()
 }
 
@@ -129,6 +121,20 @@ mod tests {
         assert_eq!(
             sample_scaled_costs(&p, 20, 5),
             sample_scaled_costs(&p, 20, 5)
+        );
+    }
+
+    #[test]
+    fn measurements_reuse_one_artifact() {
+        let (catalog, _) = tpch::catalog();
+        let q = plansample_query::tpch::q7(&catalog);
+        let before = plansample_optimizer::thread_optimizations_performed();
+        let p = prepare(&catalog, "Q7", q, false);
+        sample_scaled_costs(&p, 100, 5);
+        let _ = p.enumerate_from(plansample_bignum::Nat::from(10u64)).next();
+        assert_eq!(
+            plansample_optimizer::thread_optimizations_performed() - before,
+            1
         );
     }
 }

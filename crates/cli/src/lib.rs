@@ -1,10 +1,11 @@
 //! Implementation of the `plansample` command-line tool.
 //!
-//! The CLI wraps the full pipeline — SQL parsing, optimization, plan
-//! counting, USEPLAN execution, uniform sampling, and differential
-//! validation — over the built-in TPC-H catalog (SF-1 statistics) and a
-//! seeded synthetic micro database. It is the paper's §4 "scripting
-//! primitives" experience as a standalone binary:
+//! The CLI wraps the full pipeline — SQL parsing, one-shot query
+//! preparation, plan counting, USEPLAN execution, uniform sampling,
+//! plan ranking, and differential validation — over the built-in TPC-H
+//! catalog (SF-1 statistics) and a seeded synthetic micro database. It
+//! is the paper's §4 "scripting primitives" experience as a standalone
+//! binary:
 //!
 //! ```text
 //! plansample-cli count    "SELECT ... FROM ... WHERE ..."
@@ -12,8 +13,13 @@
 //! plansample-cli sample   1000 "SELECT ..."
 //! plansample-cli validate 200  "SELECT ..."
 //! plansample-cli enumerate 20  "SELECT ..."
+//! plansample-cli rank     "7.7 4.3 3.4 2.3 1.3" "SELECT ..."
 //! plansample-cli memo     "SELECT ..."
 //! ```
+//!
+//! Every invocation prepares the query **once** (`Session::prepare`) and
+//! serves all of its sub-steps — counting, sampling, paging, execution —
+//! from that one artifact.
 //!
 //! Global flags: `--cross-products`, `--seed N`, `--orders N` (micro
 //! database size).
@@ -21,11 +27,11 @@
 #![warn(missing_docs)]
 
 use plansample::session::Session;
-use plansample::PlanSpace;
-use plansample_bignum::Nat;
+use plansample::PreparedQuery;
 use plansample_datagen::MicroScale;
 use plansample_exec::render_table;
-use plansample_optimizer::{optimize, OptimizerConfig};
+use plansample_memo::{GroupId, PhysId, PlanNode};
+use plansample_optimizer::OptimizerConfig;
 use plansample_stats::{Histogram, Summary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -57,6 +63,8 @@ pub enum Command {
     Validate(usize, String),
     /// List the first `k` plans with costs.
     Enumerate(usize, String),
+    /// Rank a `USEPLAN`-style plan given as preorder expression ids.
+    Rank(String, String),
     /// Dump the memo structure (Figure-2 style).
     Memo(String),
     /// Print usage.
@@ -75,9 +83,58 @@ impl std::fmt::Display for UsageError {
 
 impl std::error::Error for UsageError {}
 
+/// Errors from executing a CLI command, with [`std::error::Error::source`]
+/// chains down to the failing layer (optimizer, plan space, executor).
+#[derive(Debug)]
+pub enum CliError {
+    /// SQL parsing failed; holds the rendered caret diagnostic.
+    Sql(String),
+    /// The plan argument of `rank` was malformed or not in the space.
+    Plan(String),
+    /// The pipeline failed (optimize / count / rank / execute).
+    Run(plansample::Error),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Sql(rendered) => write!(f, "{rendered}"),
+            CliError::Plan(msg) => write!(f, "invalid plan specification: {msg}"),
+            CliError::Run(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Sql(_) | CliError::Plan(_) => None,
+            CliError::Run(e) => e.source(),
+        }
+    }
+}
+
+impl From<plansample::Error> for CliError {
+    fn from(e: plansample::Error) -> Self {
+        CliError::Run(e)
+    }
+}
+
+impl From<plansample::SpaceError> for CliError {
+    fn from(e: plansample::SpaceError) -> Self {
+        CliError::Run(e.into())
+    }
+}
+
+impl From<plansample::validate::ValidateError> for CliError {
+    fn from(e: plansample::validate::ValidateError) -> Self {
+        CliError::Run(e.into())
+    }
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
-plansample-cli — count, enumerate, sample, and validate execution plans
+plansample-cli — count, enumerate, sample, rank, and validate execution plans
             (Waas & Galindo-Legaria, SIGMOD 2000)
 
 USAGE:
@@ -86,7 +143,14 @@ USAGE:
   plansample-cli [FLAGS] sample    K     \"SQL\"
   plansample-cli [FLAGS] validate  K     \"SQL\"
   plansample-cli [FLAGS] enumerate K     \"SQL\"
+  plansample-cli [FLAGS] rank     PLAN   \"SQL\"
   plansample-cli [FLAGS] memo            \"SQL\"
+
+  PLAN is a plan tree in preorder as space-separated expression ids
+  (`group.expr`, as printed by `memo` and `enumerate`), e.g.
+  \"7.7 4.3 3.4 2.3 1.3\". `rank` prints the plan's number within the
+  sub-space rooted at its root operator and, when the root lies in the
+  memo's root group, its whole-space USEPLAN number.
 
 FLAGS:
   --cross-products   include Cartesian products in the space
@@ -163,6 +227,14 @@ where
             let (k, sql) = k_and_sql(&positional)?;
             Command::Enumerate(k, sql)
         }
+        Some("rank") => match &positional[..] {
+            [_, plan, sql] => Command::Rank(plan.clone(), sql.clone()),
+            _ => {
+                return Err(UsageError(
+                    "`rank` takes a plan (preorder expression ids) and one SQL argument".into(),
+                ))
+            }
+        },
         Some(other) => return Err(UsageError(format!("unknown command `{other}`"))),
     };
     Ok(Cli {
@@ -198,8 +270,71 @@ fn k_and_sql(positional: &[String]) -> Result<(usize, String), UsageError> {
     }
 }
 
+/// Parses one `group.expr` token in the 1-based display form used by
+/// `memo` / `enumerate` output (e.g. `3.4` = group 3, expression 4).
+fn parse_phys_id(token: &str, prepared: &PreparedQuery) -> Result<PhysId, CliError> {
+    let bad = |what: &str| CliError::Plan(format!("{what} in expression id `{token}`"));
+    let (g, e) = token
+        .split_once('.')
+        .ok_or_else(|| bad("missing `.` separator"))?;
+    let group: u32 = g.parse().map_err(|_| bad("non-numeric group"))?;
+    let expr: usize = e.parse().map_err(|_| bad("non-numeric expression"))?;
+    let memo = prepared.memo();
+    if group as usize >= memo.num_groups() {
+        return Err(bad("unknown group"));
+    }
+    let n_exprs = memo.group(GroupId(group)).physical.len();
+    if expr == 0 || expr > n_exprs {
+        return Err(bad("unknown expression"));
+    }
+    Ok(PhysId {
+        group: GroupId(group),
+        index: expr - 1,
+    })
+}
+
+/// Reconstructs a plan tree from its preorder expression-id listing,
+/// using the prepared links for each operator's arity.
+fn parse_plan(spec: &str, prepared: &PreparedQuery) -> Result<PlanNode, CliError> {
+    let tokens: Vec<PhysId> = spec
+        .split_whitespace()
+        .map(|t| parse_phys_id(t, prepared))
+        .collect::<Result<_, _>>()?;
+    if tokens.is_empty() {
+        return Err(CliError::Plan("empty plan specification".into()));
+    }
+    fn build(
+        tokens: &[PhysId],
+        pos: &mut usize,
+        prepared: &PreparedQuery,
+    ) -> Result<PlanNode, CliError> {
+        let id = tokens[*pos];
+        *pos += 1;
+        let arity = prepared.space().links().children(id).len();
+        let mut children = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            if *pos >= tokens.len() {
+                return Err(CliError::Plan(format!(
+                    "plan ends early: operator {id} expects {arity} child(ren)"
+                )));
+            }
+            children.push(build(tokens, pos, prepared)?);
+        }
+        Ok(PlanNode { id, children })
+    }
+    let mut pos = 0;
+    let plan = build(&tokens, &mut pos, prepared)?;
+    if pos != tokens.len() {
+        return Err(CliError::Plan(format!(
+            "{} trailing expression id(s) after a complete plan",
+            tokens.len() - pos
+        )));
+    }
+    Ok(plan)
+}
+
 /// Executes a parsed command, returning the text to print.
-pub fn run(cli: &Cli) -> Result<String, Box<dyn std::error::Error>> {
+pub fn run(cli: &Cli) -> Result<String, CliError> {
     if cli.command == Command::Help {
         return Ok(USAGE.to_string());
     }
@@ -221,32 +356,32 @@ pub fn run(cli: &Cli) -> Result<String, Box<dyn std::error::Error>> {
         | Command::Sample(_, s)
         | Command::Validate(_, s)
         | Command::Enumerate(_, s)
+        | Command::Rank(_, s)
         | Command::Memo(s) => s.clone(),
         Command::Help => unreachable!("handled above"),
     };
-    let parsed = plansample_sql::parse(&catalog, &sql).map_err(|e| e.render(&sql))?;
+    let parsed =
+        plansample_sql::parse(&catalog, &sql).map_err(|e| CliError::Sql(e.render(&sql)))?;
     let query = parsed.spec;
+    let session = Session::with_config(catalog, db, config);
+    // One preparation serves every sub-step of every command below.
+    let prepared = session.prepare(&query)?;
     let mut out = String::new();
 
     match &cli.command {
         Command::Help => unreachable!("handled above"),
         Command::Count(_) => {
-            let optimized = optimize(&catalog, &query, &config)?;
-            let space = PlanSpace::build(&optimized.memo, &query)?;
+            let memo = prepared.memo();
             let _ = writeln!(
                 out,
                 "{} groups, {} physical expressions",
-                optimized.memo.num_groups(),
-                optimized.memo.num_physical()
+                memo.num_groups(),
+                memo.num_physical()
             );
-            let _ = writeln!(out, "{} complete execution plans", space.total());
+            let _ = writeln!(out, "{} complete execution plans", prepared.total());
         }
         Command::Run(_) => {
-            let session = Session::with_config(catalog, db, config);
-            let outcome = match &parsed.useplan {
-                Some(rank) => session.execute_plan(&query, rank)?,
-                None => session.execute(&query)?,
-            };
+            let outcome = session.execute_prepared(&prepared, parsed.useplan.as_ref())?;
             match &outcome.rank {
                 Some(rank) => {
                     let _ = writeln!(
@@ -267,14 +402,14 @@ pub fn run(cli: &Cli) -> Result<String, Box<dyn std::error::Error>> {
             let _ = write!(out, "{}", render_table(&outcome.table, 20));
         }
         Command::Sample(k, _) => {
-            let optimized = optimize(&catalog, &query, &config)?;
-            let space = PlanSpace::build(&optimized.memo, &query)?;
             let mut rng = StdRng::seed_from_u64(cli.seed);
-            let costs: Vec<f64> = (0..*k)
-                .map(|_| space.sample(&mut rng).total_cost(&optimized.memo) / optimized.best_cost)
+            let costs: Vec<f64> = prepared
+                .sample_batch(&mut rng, *k)
+                .iter()
+                .map(|plan| prepared.scaled_cost(plan))
                 .collect();
             let s = Summary::of(&costs);
-            let _ = writeln!(out, "{k} uniform samples from {} plans", space.total());
+            let _ = writeln!(out, "{k} uniform samples from {} plans", prepared.total());
             let _ = writeln!(
                 out,
                 "scaled costs: min {:.2}  mean {:.1}  max {:.1}",
@@ -293,10 +428,13 @@ pub fn run(cli: &Cli) -> Result<String, Box<dyn std::error::Error>> {
             let _ = write!(out, "{}", hist.render(40));
         }
         Command::Validate(k, _) => {
-            let optimized = optimize(&catalog, &query, &config)?;
-            let space = PlanSpace::build(&optimized.memo, &query)?;
             let mut rng = StdRng::seed_from_u64(cli.seed);
-            let report = space.validate_sampled(&catalog, &db, *k, &mut rng)?;
+            let report = prepared.space().validate_sampled(
+                session.catalog(),
+                session.database(),
+                *k,
+                &mut rng,
+            )?;
             let _ = writeln!(out, "{report}");
             for m in &report.mismatches {
                 let _ = writeln!(
@@ -307,31 +445,52 @@ pub fn run(cli: &Cli) -> Result<String, Box<dyn std::error::Error>> {
             }
         }
         Command::Enumerate(k, _) => {
-            let optimized = optimize(&catalog, &query, &config)?;
-            let space = PlanSpace::build(&optimized.memo, &query)?;
-            let _ = writeln!(out, "first {k} of {} plans:", space.total());
-            let mut rank = Nat::zero();
-            for plan in space.enumerate().take(*k) {
+            let _ = writeln!(out, "first {k} of {} plans:", prepared.total());
+            for (rank, plan) in prepared.enumerate().take(*k).enumerate() {
                 let ops: Vec<String> = plan
                     .preorder_ids()
                     .iter()
-                    .map(|id| format!("{}[{id}]", optimized.memo.phys(*id).op.name()))
+                    .map(|id| format!("{}[{id}]", prepared.memo().phys(*id).op.name()))
                     .collect();
                 let _ = writeln!(
                     out,
                     "{rank:>6}  cost {:>12.0}  {}",
-                    plan.total_cost(&optimized.memo),
+                    plan.total_cost(prepared.memo()),
                     ops.join(" ")
                 );
-                rank.incr();
+            }
+        }
+        Command::Rank(plan_spec, _) => {
+            let plan = parse_plan(plan_spec, &prepared)?;
+            let rooted = prepared.rank_rooted(&plan)?;
+            let _ = writeln!(
+                out,
+                "plan rooted at {}: rank {rooted} of the {}-plan sub-space",
+                plan.id,
+                prepared.count_rooted(plan.id)
+            );
+            if plan.id.group == prepared.memo().root() {
+                let whole = prepared.rank(&plan)?;
+                let _ = writeln!(
+                    out,
+                    "whole-space rank {whole} of {} — reproduce with OPTION (USEPLAN {whole})",
+                    prepared.total()
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "(root operator lies in group {}, not the memo root group {} — no \
+                     whole-space USEPLAN number)",
+                    plan.id.group.0,
+                    prepared.memo().root().0
+                );
             }
         }
         Command::Memo(_) => {
-            let optimized = optimize(&catalog, &query, &config)?;
             let _ = write!(
                 out,
                 "{}",
-                plansample_memo::render_memo(&optimized.memo, &query, &catalog)
+                plansample_memo::render_memo(prepared.memo(), prepared.query(), session.catalog())
             );
         }
     }
@@ -362,6 +521,12 @@ mod tests {
             Command::Sample(100, "SELECT * FROM nation".into())
         );
         assert_eq!(cli.seed, 42);
+
+        let cli = parse_args(["rank", "1.1 0.1", "SELECT * FROM nation"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Rank("1.1 0.1".into(), "SELECT * FROM nation".into())
+        );
     }
 
     #[test]
@@ -373,6 +538,7 @@ mod tests {
         assert!(parse_args(["sample", "notanumber", "S"]).is_err());
         assert!(parse_args(["--unknown-flag", "count", "S"]).is_err());
         assert!(parse_args(["count", "a", "b"]).is_err());
+        assert!(parse_args(["rank", "1.1"]).is_err());
     }
 
     #[test]
@@ -395,23 +561,17 @@ mod tests {
         }
     }
 
+    const TWO_WAY: &str = "SELECT * FROM nation n, region r WHERE n.n_regionkey = r.r_regionkey";
+
     #[test]
     fn count_command_end_to_end() {
-        let out = run(&cli(Command::Count(
-            "SELECT * FROM nation n, region r WHERE n.n_regionkey = r.r_regionkey".into(),
-        )))
-        .unwrap();
+        let out = run(&cli(Command::Count(TWO_WAY.into()))).unwrap();
         assert!(out.contains("complete execution plans"));
     }
 
     #[test]
     fn run_command_with_useplan() {
-        let out = run(&cli(Command::Run(
-            "SELECT * FROM nation n, region r WHERE n.n_regionkey = r.r_regionkey \
-             OPTION (USEPLAN 5)"
-                .into(),
-        )))
-        .unwrap();
+        let out = run(&cli(Command::Run(format!("{TWO_WAY} OPTION (USEPLAN 5)")))).unwrap();
         assert!(out.contains("plan 5 of"));
         assert!(out.contains("rows)"));
     }
@@ -440,31 +600,57 @@ mod tests {
 
     #[test]
     fn validate_command_passes() {
-        let out = run(&cli(Command::Validate(
-            25,
-            "SELECT * FROM nation n, region r WHERE n.n_regionkey = r.r_regionkey".into(),
-        )))
-        .unwrap();
+        let out = run(&cli(Command::Validate(25, TWO_WAY.into()))).unwrap();
         assert!(out.contains("all agree"), "{out}");
     }
 
     #[test]
     fn enumerate_command_lists_plans() {
-        let out = run(&cli(Command::Enumerate(
-            5,
-            "SELECT * FROM nation n, region r WHERE n.n_regionkey = r.r_regionkey".into(),
-        )))
-        .unwrap();
+        let out = run(&cli(Command::Enumerate(5, TWO_WAY.into()))).unwrap();
         assert_eq!(out.lines().count(), 6); // header + 5 plans
         assert!(out.contains("cost"));
     }
 
     #[test]
+    fn rank_command_inverts_enumerate_output() {
+        // Take plan 3 from `enumerate`'s listing and feed its preorder
+        // ids back through `rank`: the round trip must agree.
+        let listing = run(&cli(Command::Enumerate(5, TWO_WAY.into()))).unwrap();
+        let line = listing.lines().nth(4).unwrap(); // rank 3
+        let ids: Vec<&str> = line
+            .split_whitespace()
+            .filter(|w| w.contains('[')) // "HashJoin[2.1]" tokens
+            .map(|w| {
+                let open = w.find('[').unwrap();
+                &w[open + 1..w.len() - 1]
+            })
+            .collect();
+        let out = run(&cli(Command::Rank(ids.join(" "), TWO_WAY.into()))).unwrap();
+        assert!(out.contains("whole-space rank 3 of"), "{out}");
+        assert!(out.contains("OPTION (USEPLAN 3)"), "{out}");
+    }
+
+    #[test]
+    fn rank_command_rejects_malformed_plans() {
+        for (plan, msg) in [
+            ("", "empty plan"),
+            ("zebra", "missing `.` separator"),
+            ("9999.1", "unknown group"),
+            ("0.9999", "unknown expression"),
+            ("2.1", "ends early"),
+            ("0.1 0.1 0.1 0.1 0.1 0.1", "trailing"),
+        ] {
+            let err = run(&cli(Command::Rank(plan.into(), TWO_WAY.into()))).unwrap_err();
+            assert!(
+                err.to_string().contains(msg),
+                "`{plan}` should fail with `{msg}`, got: {err}"
+            );
+        }
+    }
+
+    #[test]
     fn memo_command_dumps_structure() {
-        let out = run(&cli(Command::Memo(
-            "SELECT * FROM nation n, region r WHERE n.n_regionkey = r.r_regionkey".into(),
-        )))
-        .unwrap();
+        let out = run(&cli(Command::Memo(TWO_WAY.into()))).unwrap();
         assert!(out.contains("Group 0"));
         assert!(out.contains("(root)"));
         assert!(out.contains("HashJoin"));
@@ -474,5 +660,17 @@ mod tests {
     fn sql_errors_are_rendered_with_carets() {
         let err = run(&cli(Command::Count("SELECT * FROM bogus".into()))).unwrap_err();
         assert!(err.to_string().contains('^'));
+    }
+
+    #[test]
+    fn run_errors_chain_to_the_failing_layer() {
+        use std::error::Error as _;
+        // USEPLAN far outside the space: CliError → SpaceError chain.
+        let err = run(&cli(Command::Run(format!(
+            "{TWO_WAY} OPTION (USEPLAN 99999999)"
+        ))))
+        .unwrap_err();
+        let source = err.source().expect("layer error attached");
+        assert!(source.to_string().contains("outside the plan space"));
     }
 }

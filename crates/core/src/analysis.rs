@@ -15,7 +15,7 @@
 use crate::PlanSpace;
 use plansample_memo::PhysId;
 
-impl PlanSpace<'_> {
+impl PlanSpace {
     /// Expected number of occurrences of each expression in one
     /// uniformly sampled plan, indexed like the memo
     /// (`[group][expr] -> E[occurrences]`).

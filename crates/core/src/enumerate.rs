@@ -1,109 +1,148 @@
-//! Exhaustive generation of the plan space.
+//! Exhaustive generation of the plan space, and resumable cursors.
 //!
-//! Two independent mechanisms:
+//! Enumeration is sequential unranking of `0, 1, …, N−1` — the paper's
+//! "exhaustive testing" mode for small spaces, doubling as a stress test
+//! of unranking. [`PlanCursor`] packages it as a resumable iterator:
+//! because position is just a rank, a cursor can start (or jump) at any
+//! point of a `10^20`-plan space for the cost of one unranking instead of
+//! walking there from zero — pagination over astronomically large spaces
+//! is as cheap as pagination over small ones.
 //!
-//! - [`PlanSpace::enumerate`] — sequential unranking of `0, 1, …, N−1`.
-//!   This is the production path (the paper's "exhaustive testing" mode
-//!   for small spaces) and doubles as a stress test of unranking.
-//! - [`PlanSpace::enumerate_recursive`] — a direct recursive cross
-//!   product over the materialized links that never touches rank
-//!   arithmetic. It exists as an *independent oracle*: both enumerators
-//!   must produce the same plan multiset, and their count must equal
-//!   `N` — a three-way consistency check exercised by the tests.
+//! The historical `enumerate_recursive(limit)` entry point (a direct
+//! recursive cross product over the links that predates the iterator) is
+//! retained for callers but is now a thin wrapper over the same
+//! rank-based traversal; the two independent code paths it used to
+//! cross-check are covered instead by the rank/unrank bijection property
+//! tests and the counting oracle in `tests/joingraph_props.rs`.
 
 use crate::PlanSpace;
 use plansample_bignum::Nat;
-use plansample_memo::{PhysId, PlanNode};
+use plansample_memo::PlanNode;
 
-impl PlanSpace<'_> {
+/// A resumable cursor over a plan space, in rank order.
+///
+/// Created by [`PlanSpace::enumerate`] /
+/// [`PlanSpace::enumerate_from`] (also exposed on
+/// [`crate::PreparedQuery`]). Implements [`Iterator`]; `nth`-style skips
+/// — including the standard [`Iterator::skip`] / [`Iterator::nth`]
+/// adapters — jump by rank arithmetic rather than generating and
+/// discarding plans, so `cursor.skip(1_000_000)` costs one big-integer
+/// addition, not a million unrankings.
+///
+/// ```
+/// use plansample::PreparedQuery;
+/// use plansample_bignum::Nat;
+/// use plansample_optimizer::OptimizerConfig;
+///
+/// let (catalog, _) = plansample_catalog::tpch::catalog();
+/// let query = plansample_query::tpch::q6(&catalog);
+/// let prepared = PreparedQuery::prepare(&catalog, &query, &OptimizerConfig::default()).unwrap();
+///
+/// // Page through the space three plans at a time, resuming by rank.
+/// let page1: Vec<_> = prepared.enumerate_from(Nat::zero()).take(3).collect();
+/// let mut cursor = prepared.enumerate_from(Nat::from(3u64));
+/// let page2: Vec<_> = cursor.by_ref().take(3).collect();
+/// assert_eq!(page1.len(), 3);
+/// assert_ne!(page1, page2);
+/// assert_eq!(cursor.next_rank(), &Nat::from(6u64));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlanCursor<'a> {
+    space: &'a PlanSpace,
+    next: Nat,
+}
+
+impl<'a> PlanCursor<'a> {
+    pub(crate) fn new(space: &'a PlanSpace, start: Nat) -> Self {
+        PlanCursor { space, next: start }
+    }
+
+    /// The rank the next call to [`Iterator::next`] will produce, i.e.
+    /// the cursor's current position. Equals `total()` once exhausted.
+    pub fn next_rank(&self) -> &Nat {
+        &self.next
+    }
+
+    /// Repositions the cursor to an absolute rank (forwards or
+    /// backwards) in O(1).
+    pub fn seek(&mut self, rank: Nat) {
+        self.next = rank;
+    }
+
+    /// Returns up to `k` plans starting at the current position and
+    /// advances past them — one page of results.
+    pub fn next_page(&mut self, k: usize) -> Vec<PlanNode> {
+        self.by_ref().take(k).collect()
+    }
+}
+
+impl Iterator for PlanCursor<'_> {
+    type Item = PlanNode;
+
+    fn next(&mut self) -> Option<PlanNode> {
+        if self.next >= *self.space.total() {
+            // Clamp so `next_rank()`'s exhaustion invariant holds even
+            // after an overshooting `nth`/`skip`/`seek`.
+            self.next = self.space.total().clone();
+            return None;
+        }
+        let plan = self
+            .space
+            .unrank(&self.next)
+            .expect("ranks below the total are valid");
+        self.next.incr();
+        Some(plan)
+    }
+
+    fn nth(&mut self, n: usize) -> Option<PlanNode> {
+        // Jump by rank arithmetic: skipping n plans costs one addition.
+        self.next += &Nat::from(n as u64);
+        self.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self
+            .space
+            .total()
+            .checked_sub(&self.next)
+            .unwrap_or_else(Nat::zero);
+        match remaining.to_u64() {
+            Some(r) if r <= usize::MAX as u64 => (r as usize, Some(r as usize)),
+            _ => (usize::MAX, None),
+        }
+    }
+}
+
+impl PlanSpace {
     /// Streams every plan of the space in rank order.
-    pub fn enumerate(&self) -> impl Iterator<Item = PlanNode> + '_ {
-        let total = self.total().clone();
-        let mut next = Nat::zero();
-        std::iter::from_fn(move || {
-            if next >= total {
-                return None;
-            }
-            let plan = self.unrank(&next).expect("ranks below the total are valid");
-            next.incr();
-            Some(plan)
-        })
+    pub fn enumerate(&self) -> PlanCursor<'_> {
+        self.enumerate_from(Nat::zero())
     }
 
-    /// Enumerates by direct recursion over the links, bypassing rank
-    /// arithmetic. Plans come out in the same order as
-    /// [`enumerate`](Self::enumerate)
-    /// (slot digits vary fastest-first), but by an independent code path.
+    /// Streams plans in rank order starting at `rank` — the resumable
+    /// entry point for paginating a space. A starting rank at or past
+    /// `total()` yields an exhausted cursor (mirroring
+    /// `enumerate().skip(rank)`), so pagination loops need no bounds
+    /// bookkeeping.
+    pub fn enumerate_from(&self, rank: Nat) -> PlanCursor<'_> {
+        PlanCursor::new(self, rank)
+    }
+
+    /// Materializes the first `limit` plans of the space.
     ///
-    /// `limit` caps the output as a safety valve against accidentally
-    /// materializing astronomically large spaces.
+    /// Historical API: this was once an independent recursive enumerator
+    /// used as an oracle against [`enumerate`](Self::enumerate); the two
+    /// traversals are now consolidated on the rank-based cursor, and this
+    /// wrapper survives for callers that want an eagerly collected,
+    /// capped prefix.
     pub fn enumerate_recursive(&self, limit: usize) -> Vec<PlanNode> {
-        let mut out = Vec::new();
-        let root_alternatives: Vec<PhysId> = self
-            .memo
-            .group(self.memo.root())
-            .phys_iter()
-            .map(|(id, _)| id)
-            .collect();
-        for v in root_alternatives {
-            if out.len() >= limit {
-                break;
-            }
-            self.expand_all(v, limit, &mut out);
-        }
-        out
-    }
-
-    fn expand_all(&self, v: PhysId, limit: usize, out: &mut Vec<PlanNode>) {
-        // Per-slot expansions; combine as a mixed-radix counter with the
-        // first slot varying fastest, matching unranking's digit order.
-        let slots = self.links.children(v);
-        let mut slot_plans: Vec<Vec<PlanNode>> = Vec::with_capacity(slots.len());
-        for alternatives in slots {
-            let mut plans = Vec::new();
-            for &w in alternatives {
-                self.expand_all(w, usize::MAX, &mut plans);
-            }
-            if plans.is_empty() {
-                return; // unsatisfiable slot: no plans rooted here
-            }
-            slot_plans.push(plans);
-        }
-        let mut idx = vec![0usize; slot_plans.len()];
-        loop {
-            if out.len() >= limit {
-                return;
-            }
-            out.push(PlanNode {
-                id: v,
-                children: idx
-                    .iter()
-                    .zip(&slot_plans)
-                    .map(|(&i, plans)| plans[i].clone())
-                    .collect(),
-            });
-            // increment mixed-radix counter, first slot fastest
-            let mut carry = true;
-            for (i, plans) in slot_plans.iter().enumerate() {
-                if !carry {
-                    break;
-                }
-                idx[i] += 1;
-                if idx[i] == plans.len() {
-                    idx[i] = 0;
-                } else {
-                    carry = false;
-                }
-            }
-            if carry {
-                return; // wrapped: all combinations emitted
-            }
-        }
+        self.enumerate().take(limit).collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::paper_example;
     use crate::PlanSpace;
     use plansample_memo::validate_plan;
@@ -125,16 +164,58 @@ mod tests {
     }
 
     #[test]
-    fn recursive_oracle_agrees_with_unranking() {
+    fn enumerate_from_matches_skipping() {
         let ex = paper_example::build();
         let space = PlanSpace::build(&ex.memo, &ex.query).unwrap();
-        let by_rank: Vec<_> = space.enumerate().collect();
-        let by_recursion = space.enumerate_recursive(usize::MAX);
-        assert_eq!(by_rank.len(), by_recursion.len());
-        // Same plans in the same order: the two code paths agree exactly.
-        for (i, (a, b)) in by_rank.iter().zip(&by_recursion).enumerate() {
-            assert_eq!(a, b, "plan {i} differs between enumerators");
+        for start in [0u64, 1, 13, 31, 32, 100] {
+            let resumed: Vec<_> = space.enumerate_from(Nat::from(start)).collect();
+            let skipped: Vec<_> = space.enumerate().skip(start as usize).collect();
+            assert_eq!(resumed, skipped, "start {start}");
         }
+    }
+
+    #[test]
+    fn cursor_nth_jumps_by_rank() {
+        let ex = paper_example::build();
+        let space = PlanSpace::build(&ex.memo, &ex.query).unwrap();
+        let mut cursor = space.enumerate();
+        let plan = cursor.nth(13).unwrap();
+        assert_eq!(space.rank(&plan).unwrap(), Nat::from(13u64));
+        assert_eq!(cursor.next_rank(), &Nat::from(14u64));
+        // `skip` routes through `nth`, so it jumps too.
+        let mut skipped = space.enumerate().skip(31);
+        let plan = skipped.next().unwrap();
+        assert_eq!(space.rank(&plan).unwrap(), Nat::from(31u64));
+        assert!(skipped.next().is_none());
+        assert!(space.enumerate().nth(32).is_none());
+    }
+
+    #[test]
+    fn cursor_pages_cover_the_space_without_overlap() {
+        let ex = paper_example::build();
+        let space = PlanSpace::build(&ex.memo, &ex.query).unwrap();
+        let mut cursor = space.enumerate();
+        let mut all = Vec::new();
+        loop {
+            let page = cursor.next_page(10);
+            if page.is_empty() {
+                break;
+            }
+            all.extend(page);
+        }
+        assert_eq!(all, space.enumerate().collect::<Vec<_>>());
+        assert_eq!(cursor.next_rank(), space.total());
+    }
+
+    #[test]
+    fn cursor_seek_repositions() {
+        let ex = paper_example::build();
+        let space = PlanSpace::build(&ex.memo, &ex.query).unwrap();
+        let mut cursor = space.enumerate();
+        cursor.seek(Nat::from(30u64));
+        assert_eq!(cursor.by_ref().count(), 2);
+        cursor.seek(Nat::zero());
+        assert_eq!(cursor.size_hint(), (32, Some(32)));
     }
 
     #[test]

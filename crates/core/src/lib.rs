@@ -10,8 +10,10 @@
 //! * **count** the exact number `N` of complete plans ([`PlanSpace::total`]),
 //! * establish a bijection between `0 … N−1` and the plans
 //!   ([`PlanSpace::unrank`] / [`PlanSpace::rank`]),
-//! * **enumerate** the whole space ([`PlanSpace::enumerate`]), and
-//! * draw **uniform random samples** ([`PlanSpace::sample`]),
+//! * **enumerate** the whole space ([`PlanSpace::enumerate`], resumable
+//!   at any rank via [`PlanSpace::enumerate_from`]), and
+//! * draw **uniform random samples** ([`PlanSpace::sample`],
+//!   [`PlanSpace::sample_batch`]),
 //!
 //! which enables the paper's two applications: differential testing of
 //! optimizer and execution engine (every plan of a query must produce
@@ -20,22 +22,32 @@
 //!
 //! # Quick start
 //!
+//! The paper's whole point is that these operations are cheap *once the
+//! MEMO is built*. The [`PreparedQuery`] artifact makes that explicit:
+//! optimize once, then count, enumerate, and sample as often as you like
+//! — from as many threads as you like (`PreparedQuery` is `Send + Sync`
+//! and cheap to share in an [`std::sync::Arc`]).
+//!
 //! ```
-//! use plansample::PlanSpace;
+//! use plansample::PreparedQuery;
 //! use plansample_bignum::Nat;
-//! use plansample_optimizer::{optimize, OptimizerConfig};
+//! use plansample_optimizer::OptimizerConfig;
 //!
 //! let (catalog, _) = plansample_catalog::tpch::catalog();
 //! let query = plansample_query::tpch::q5(&catalog);
-//! let optimized = optimize(&catalog, &query, &OptimizerConfig::default()).unwrap();
 //!
-//! let space = PlanSpace::build(&optimized.memo, &query).unwrap();
-//! println!("Q5 considers {} plans", space.total());
+//! // One optimization pass; everything below reuses its memo.
+//! let prepared = PreparedQuery::prepare(&catalog, &query, &OptimizerConfig::default()).unwrap();
+//! println!("Q5 considers {} plans", prepared.total());
 //!
-//! // USEPLAN-style: execute plan number 8.
-//! let plan8 = space.unrank(&Nat::from(8u64)).unwrap();
-//! assert_eq!(space.rank(&plan8).unwrap(), Nat::from(8u64));
+//! // USEPLAN-style: reconstruct plan number 8.
+//! let plan8 = prepared.unrank(&Nat::from(8u64)).unwrap();
+//! assert_eq!(prepared.rank(&plan8).unwrap(), Nat::from(8u64));
 //! ```
+//!
+//! For the end-to-end pipeline (data, execution, `OPTION (USEPLAN n)`)
+//! see [`session::Session`]; for a concurrent cache of prepared queries
+//! see [`service::PlanService`].
 
 #![warn(missing_docs)]
 
@@ -45,20 +57,28 @@ mod enumerate;
 mod links;
 pub mod lower;
 pub mod paper_example;
+mod prepared;
 mod rank;
 mod sample;
+pub mod service;
 pub mod session;
 mod subspace;
 mod unrank;
 pub mod validate;
 
 pub use count::Counts;
+pub use enumerate::PlanCursor;
 pub use links::Links;
+pub use prepared::PreparedQuery;
+pub use service::{PlanService, ServiceStats};
 
 use plansample_bignum::Nat;
+use plansample_exec::ExecError;
 use plansample_memo::{Memo, PhysId};
+use plansample_optimizer::OptError;
 use plansample_query::QuerySpec;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors from plan-space construction and rank operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,23 +121,124 @@ impl fmt::Display for SpaceError {
 
 impl std::error::Error for SpaceError {}
 
+/// Top-level error for the whole pipeline: optimization, plan-space
+/// construction, rank machinery, and plan execution.
+///
+/// Every layer's error converts into this type via `From`, and
+/// [`std::error::Error::source`] exposes the underlying layer error, so
+/// callers can both `?` across layers and walk the chain for diagnostics:
+///
+/// ```
+/// use plansample::Error;
+/// use std::error::Error as _;
+///
+/// let (catalog, _) = plansample_catalog::tpch::catalog();
+/// let mut qb = plansample_query::QueryBuilder::new(&catalog);
+/// qb.rel("nation", None).unwrap();
+/// qb.rel("region", None).unwrap(); // no join edge: disconnected
+/// let query = qb.build().unwrap();
+///
+/// let err = plansample::PreparedQuery::prepare(
+///     &catalog,
+///     &query,
+///     &plansample_optimizer::OptimizerConfig::default(),
+/// )
+/// .unwrap_err();
+/// assert!(matches!(err, Error::Opt(_)));
+/// assert!(err.source().unwrap().to_string().contains("disconnected"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Optimization failed.
+    Opt(OptError),
+    /// Plan-space construction or rank machinery failed (e.g. a USEPLAN
+    /// number out of range).
+    Space(SpaceError),
+    /// Plan execution failed.
+    Exec(ExecError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Opt(_) => write!(f, "query optimization failed"),
+            Error::Space(_) => write!(f, "plan-space operation failed"),
+            Error::Exec(_) => write!(f, "plan execution failed"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Opt(e) => Some(e),
+            Error::Space(e) => Some(e),
+            Error::Exec(e) => Some(e),
+        }
+    }
+}
+
+impl From<OptError> for Error {
+    fn from(e: OptError) -> Self {
+        Error::Opt(e)
+    }
+}
+
+impl From<SpaceError> for Error {
+    fn from(e: SpaceError) -> Self {
+        Error::Space(e)
+    }
+}
+
+impl From<ExecError> for Error {
+    fn from(e: ExecError) -> Self {
+        Error::Exec(e)
+    }
+}
+
+impl From<validate::ValidateError> for Error {
+    fn from(e: validate::ValidateError) -> Self {
+        match e {
+            validate::ValidateError::Space(e) => Error::Space(e),
+            validate::ValidateError::Exec(e) => Error::Exec(e),
+        }
+    }
+}
+
 /// A fully prepared plan space: the memo plus materialized links (§3.1)
 /// and exact counts (§3.2). All rank operations are methods on this type.
-#[derive(Debug)]
-pub struct PlanSpace<'a> {
-    pub(crate) memo: &'a Memo,
-    pub(crate) query: &'a QuerySpec,
+///
+/// The space *owns* its memo and query (shared via [`Arc`]), so it can be
+/// stored, cached, cloned cheaply-ish, and sent across threads — the
+/// foundation of [`PreparedQuery`]. Use [`PlanSpace::build`] when you
+/// hold borrowed inputs (they are cloned once), or
+/// [`PlanSpace::build_shared`] to hand over already-shared ownership
+/// without copying.
+#[derive(Debug, Clone)]
+pub struct PlanSpace {
+    pub(crate) memo: Arc<Memo>,
+    pub(crate) query: Arc<QuerySpec>,
     pub(crate) links: Links,
     pub(crate) counts: Counts,
 }
 
-impl<'a> PlanSpace<'a> {
+impl PlanSpace {
     /// Materializes links and computes counts — the paper's preparatory
     /// post-processing pass ("the overhead incurred by this kind of post
     /// processing is negligible", benchmarked in `plansample-bench`).
-    pub fn build(memo: &'a Memo, query: &'a QuerySpec) -> Result<Self, SpaceError> {
-        let links = Links::build(memo, query)?;
-        let counts = Counts::compute(memo, &links);
+    ///
+    /// Clones `memo` and `query` into shared ownership; callers that
+    /// already hold [`Arc`]s should prefer
+    /// [`build_shared`](Self::build_shared).
+    pub fn build(memo: &Memo, query: &QuerySpec) -> Result<Self, SpaceError> {
+        PlanSpace::build_shared(Arc::new(memo.clone()), Arc::new(query.clone()))
+    }
+
+    /// Like [`build`](Self::build) but takes shared ownership directly,
+    /// avoiding the memo copy — the path [`PreparedQuery::prepare`] uses.
+    pub fn build_shared(memo: Arc<Memo>, query: Arc<QuerySpec>) -> Result<Self, SpaceError> {
+        let links = Links::build(&memo, &query)?;
+        let counts = Counts::compute(&memo, &links);
         Ok(PlanSpace {
             memo,
             query,
@@ -138,12 +259,22 @@ impl<'a> PlanSpace<'a> {
 
     /// The underlying memo.
     pub fn memo(&self) -> &Memo {
-        self.memo
+        &self.memo
+    }
+
+    /// Shared handle to the underlying memo.
+    pub fn memo_shared(&self) -> &Arc<Memo> {
+        &self.memo
     }
 
     /// The query this space belongs to.
     pub fn query(&self) -> &QuerySpec {
-        self.query
+        &self.query
+    }
+
+    /// Shared handle to the query.
+    pub fn query_shared(&self) -> &Arc<QuerySpec> {
+        &self.query
     }
 
     /// The materialized links.
@@ -167,6 +298,19 @@ mod tests {
     }
 
     #[test]
+    fn build_shared_avoids_the_copy() {
+        let ex = paper_example::build();
+        let memo = Arc::new(ex.memo);
+        let query = Arc::new(ex.query);
+        let space = PlanSpace::build_shared(Arc::clone(&memo), Arc::clone(&query)).unwrap();
+        assert!(Arc::ptr_eq(space.memo_shared(), &memo));
+        assert!(Arc::ptr_eq(space.query_shared(), &query));
+        // A clone of the space shares the same memo allocation.
+        let cloned = space.clone();
+        assert!(Arc::ptr_eq(cloned.memo_shared(), &memo));
+    }
+
+    #[test]
     fn error_messages_are_informative() {
         let e = SpaceError::RankOutOfRange {
             rank: Nat::from(50u64),
@@ -174,5 +318,18 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains("50") && msg.contains("32"));
+    }
+
+    #[test]
+    fn error_sources_chain_to_the_failing_layer() {
+        use std::error::Error as _;
+        let e = Error::Space(SpaceError::RankOutOfRange {
+            rank: Nat::from(50u64),
+            total: Nat::from(32u64),
+        });
+        let source = e.source().expect("layer error attached");
+        assert!(source.to_string().contains("50"));
+        let opt = Error::Opt(plansample_optimizer::OptError::DisconnectedQuery);
+        assert!(opt.source().unwrap().to_string().contains("disconnected"));
     }
 }

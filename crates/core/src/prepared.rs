@@ -1,0 +1,278 @@
+//! The prepared-query artifact: optimize once, query forever.
+//!
+//! The paper's central observation is that counting, enumerating, and
+//! sampling are cheap *once the MEMO is built* — the expensive steps
+//! (optimization, link materialization, counting) happen exactly once.
+//! [`PreparedQuery`] reifies that split into the API: it bundles the
+//! optimized memo, the query, the materialized links and counts, and the
+//! optimizer's best plan into one owned, immutable, `Send + Sync`
+//! artifact. Wrap it in an [`std::sync::Arc`] and any number of threads
+//! can count, unrank, page, and sample concurrently with zero
+//! re-optimization and zero locking.
+
+use crate::{Error, PlanCursor, PlanSpace};
+use plansample_bignum::Nat;
+use plansample_catalog::Catalog;
+use plansample_memo::{Memo, PhysId, PlanNode};
+use plansample_optimizer::{optimize, Optimized, OptimizerConfig};
+use plansample_query::QuerySpec;
+use rand::Rng;
+use std::sync::Arc;
+
+/// An owned, shareable, fully prepared query: the complete paper surface
+/// (count / rank / unrank / enumerate / sample, whole-space and
+/// sub-space) without ever re-optimizing.
+///
+/// Produced by [`PreparedQuery::prepare`] or
+/// [`crate::session::Session::prepare`]. The artifact is immutable and
+/// `Send + Sync`; sampling takes the caller's RNG by `&mut`, so
+/// concurrent threads each bring their own RNG and share the artifact
+/// itself through an [`Arc`] (see `tests/concurrency.rs` and
+/// [`crate::service::PlanService`]).
+///
+/// ```
+/// use plansample::PreparedQuery;
+/// use plansample_bignum::Nat;
+/// use plansample_optimizer::OptimizerConfig;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let (catalog, _) = plansample_catalog::tpch::catalog();
+/// let query = plansample_query::tpch::q5(&catalog);
+/// let prepared = PreparedQuery::prepare(&catalog, &query, &OptimizerConfig::default()).unwrap();
+///
+/// // All of these reuse the one memo built above:
+/// assert!(prepared.total().to_f64() > 1e6);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let batch = prepared.sample_batch(&mut rng, 100);
+/// assert_eq!(batch.len(), 100);
+/// let (best, cost) = prepared.best();
+/// assert!((prepared.scaled_cost(best) - 1.0).abs() < 1e-9 && cost > 0.0);
+/// let page: Vec<_> = prepared.enumerate_from(Nat::from(1_000u64)).take(5).collect();
+/// assert_eq!(prepared.rank(&page[0]).unwrap(), Nat::from(1_000u64));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    space: PlanSpace,
+    best_plan: PlanNode,
+    best_cost: f64,
+    config: OptimizerConfig,
+}
+
+impl PreparedQuery {
+    /// Runs the optimizer once and post-processes its memo into the
+    /// owned artifact — the only expensive call in this type's API.
+    pub fn prepare(
+        catalog: &Catalog,
+        query: &QuerySpec,
+        config: &OptimizerConfig,
+    ) -> Result<Self, Error> {
+        let optimized = optimize(catalog, query, config)?;
+        PreparedQuery::from_optimized(optimized, Arc::new(query.clone()), config.clone())
+    }
+
+    /// Builds the artifact from an already-run optimization, taking
+    /// ownership of the memo without copying it.
+    pub fn from_optimized(
+        optimized: Optimized,
+        query: Arc<QuerySpec>,
+        config: OptimizerConfig,
+    ) -> Result<Self, Error> {
+        let Optimized {
+            memo,
+            best_plan,
+            best_cost,
+        } = optimized;
+        let space = PlanSpace::build_shared(Arc::new(memo), query)?;
+        Ok(PreparedQuery {
+            space,
+            best_plan,
+            best_cost,
+            config,
+        })
+    }
+
+    /// `N`: the exact number of complete execution plans.
+    pub fn total(&self) -> &Nat {
+        self.space.total()
+    }
+
+    /// `N(v)`: plans rooted in a particular expression.
+    pub fn count_rooted(&self, id: PhysId) -> &Nat {
+        self.space.count_rooted(id)
+    }
+
+    /// The optimizer's chosen plan and its total cost — the paper's
+    /// cost-1.0 reference point.
+    pub fn best(&self) -> (&PlanNode, f64) {
+        (&self.best_plan, self.best_cost)
+    }
+
+    /// Cost of the optimizer's plan.
+    pub fn best_cost(&self) -> f64 {
+        self.best_cost
+    }
+
+    /// A plan's total cost scaled so the optimizer's plan is 1.0 (the
+    /// paper's §5 cost unit).
+    pub fn scaled_cost(&self, plan: &PlanNode) -> f64 {
+        plan.total_cost(self.memo()) / self.best_cost
+    }
+
+    /// Builds plan number `rank` (0-based, `rank < total()`).
+    pub fn unrank(&self, rank: &Nat) -> Result<PlanNode, Error> {
+        Ok(self.space.unrank(rank)?)
+    }
+
+    /// The rank of `plan` within this space (inverse of
+    /// [`unrank`](Self::unrank)).
+    pub fn rank(&self, plan: &PlanNode) -> Result<Nat, Error> {
+        Ok(self.space.rank(plan)?)
+    }
+
+    /// Builds plan number `rank` within the sub-space rooted at `v`.
+    pub fn unrank_rooted(&self, v: PhysId, rank: &Nat) -> Result<PlanNode, Error> {
+        Ok(self.space.unrank_rooted(v, rank)?)
+    }
+
+    /// The rank of `plan` within the sub-space rooted at its own root
+    /// expression.
+    pub fn rank_rooted(&self, plan: &PlanNode) -> Result<Nat, Error> {
+        Ok(self.space.rank_rooted(plan)?)
+    }
+
+    /// Draws one plan uniformly from the space.
+    ///
+    /// # Panics
+    /// Panics if the space is empty.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> PlanNode {
+        self.space.sample(rng)
+    }
+
+    /// Draws `k` plans uniformly and independently (with replacement) —
+    /// the batched serving path.
+    ///
+    /// # Panics
+    /// Panics if `k > 0` and the space is empty.
+    pub fn sample_batch<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<PlanNode> {
+        self.space.sample_batch(rng, k)
+    }
+
+    /// Uniform sample from the sub-space rooted at `v`.
+    ///
+    /// # Panics
+    /// Panics when the sub-space is empty (`count_rooted(v) == 0`).
+    pub fn sample_rooted<R: Rng + ?Sized>(&self, rng: &mut R, v: PhysId) -> PlanNode {
+        self.space.sample_rooted(rng, v)
+    }
+
+    /// Streams every plan in rank order.
+    pub fn enumerate(&self) -> PlanCursor<'_> {
+        self.space.enumerate()
+    }
+
+    /// Streams plans in rank order starting at `rank` — resumable
+    /// pagination over the space (see [`PlanCursor`]).
+    pub fn enumerate_from(&self, rank: Nat) -> PlanCursor<'_> {
+        self.space.enumerate_from(rank)
+    }
+
+    /// The underlying plan space, for the full low-level surface
+    /// (analysis, validation, naive-walk baseline, …).
+    pub fn space(&self) -> &PlanSpace {
+        &self.space
+    }
+
+    /// The optimized memo.
+    pub fn memo(&self) -> &Memo {
+        self.space.memo()
+    }
+
+    /// The query this artifact was prepared for.
+    pub fn query(&self) -> &QuerySpec {
+        self.space.query()
+    }
+
+    /// Shared handle to the query.
+    pub fn query_shared(&self) -> &Arc<QuerySpec> {
+        self.space.query_shared()
+    }
+
+    /// The optimizer configuration the artifact was prepared under.
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn prepared_3way() -> PreparedQuery {
+        let (catalog, _) = plansample_catalog::tpch::catalog();
+        let mut qb = plansample_query::QueryBuilder::new(&catalog);
+        qb.rel("nation", Some("n")).unwrap();
+        qb.rel("region", Some("r")).unwrap();
+        qb.join(("n", "n_regionkey"), ("r", "r_regionkey")).unwrap();
+        let query = qb.build().unwrap();
+        PreparedQuery::prepare(&catalog, &query, &OptimizerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn prepare_exposes_the_full_surface_without_reoptimizing() {
+        let before = plansample_optimizer::thread_optimizations_performed();
+        let p = prepared_3way();
+        assert_eq!(
+            plansample_optimizer::thread_optimizations_performed() - before,
+            1,
+            "prepare optimizes exactly once"
+        );
+
+        let n = p.total().to_u64().unwrap();
+        assert!(n >= 4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let batch = p.sample_batch(&mut rng, 50);
+        assert_eq!(batch.len(), 50);
+        for plan in &batch {
+            let r = p.rank(plan).unwrap();
+            assert_eq!(p.unrank(&r).unwrap(), *plan);
+        }
+        let (best, cost) = p.best();
+        assert!(cost > 0.0);
+        assert!((p.scaled_cost(best) - 1.0).abs() < 1e-9);
+        assert_eq!(p.enumerate().count() as u64, n);
+        assert_eq!(
+            plansample_optimizer::thread_optimizations_performed() - before,
+            1,
+            "no serving operation re-optimizes"
+        );
+    }
+
+    #[test]
+    fn from_optimized_takes_ownership_without_copying() {
+        let (catalog, _) = plansample_catalog::tpch::catalog();
+        let query = Arc::new(plansample_query::tpch::q6(&catalog));
+        let config = OptimizerConfig::default();
+        let optimized = optimize(&catalog, &query, &config).unwrap();
+        let n_phys = optimized.memo.num_physical();
+        let p = PreparedQuery::from_optimized(optimized, Arc::clone(&query), config).unwrap();
+        assert_eq!(p.memo().num_physical(), n_phys);
+        assert!(Arc::ptr_eq(p.query_shared(), &query));
+    }
+
+    #[test]
+    fn rooted_operations_are_exposed() {
+        let p = prepared_3way();
+        let root = p.memo().root();
+        let (v, _) = p.memo().group(root).phys_iter().next().unwrap();
+        let nv = p.count_rooted(v).clone();
+        assert!(!nv.is_zero());
+        let plan = p.unrank_rooted(v, &Nat::zero()).unwrap();
+        assert_eq!(plan.id, v);
+        assert_eq!(p.rank_rooted(&plan).unwrap(), Nat::zero());
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(p.sample_rooted(&mut rng, v).id, v);
+    }
+}

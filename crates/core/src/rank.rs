@@ -14,7 +14,7 @@ use crate::{PlanSpace, SpaceError};
 use plansample_bignum::Nat;
 use plansample_memo::{PhysId, PlanNode};
 
-impl PlanSpace<'_> {
+impl PlanSpace {
     /// Computes the rank of `plan` within this space.
     ///
     /// Fails with [`SpaceError::ForeignPlan`] when the plan uses an

@@ -20,7 +20,7 @@ use plansample_bignum::Nat;
 use plansample_memo::{PhysId, PlanNode};
 use rand::Rng;
 
-impl PlanSpace<'_> {
+impl PlanSpace {
     /// Draws one plan uniformly from the space.
     ///
     /// # Panics
@@ -35,9 +35,20 @@ impl PlanSpace<'_> {
     }
 
     /// Draws `k` plans uniformly and independently (with replacement),
-    /// as in the paper's 10 000-plan experiments.
-    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<PlanNode> {
+    /// as in the paper's 10 000-plan experiments. The batched entry
+    /// point of the prepared-query serving surface: amortizes the memo
+    /// preparation over arbitrarily many draws.
+    ///
+    /// # Panics
+    /// Panics if `k > 0` and the space is empty.
+    pub fn sample_batch<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<PlanNode> {
         (0..k).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Alias of [`sample_batch`](Self::sample_batch), kept for the
+    /// pre-prepared-query API surface.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<PlanNode> {
+        self.sample_batch(rng, k)
     }
 
     /// Biased baseline: pick an operator uniformly among the group's (or

@@ -1,0 +1,351 @@
+//! A concurrent serving surface over prepared queries.
+//!
+//! [`PlanService`] is the piece the ROADMAP's "serve heavy traffic"
+//! north star asks for: a bounded, LRU-evicting cache of
+//! [`PreparedQuery`] artifacts keyed by the *normalized* query plus the
+//! optimizer configuration. The first request for a query pays the
+//! optimization + counting cost; every subsequent request — from any
+//! thread — gets an [`Arc`] handle to the same immutable artifact and
+//! serves counts, pages, and samples lock-free (the cache lock is held
+//! only for the key lookup, never during optimization or sampling).
+
+use crate::{Error, PreparedQuery};
+use plansample_catalog::Catalog;
+use plansample_optimizer::OptimizerConfig;
+use plansample_query::QuerySpec;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Snapshot of a service's cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that had to prepare (optimize + count) the query.
+    pub misses: u64,
+    /// Prepared artifacts evicted by the LRU policy.
+    pub evictions: u64,
+    /// Prepared artifacts currently cached.
+    pub entries: usize,
+    /// Maximum cached artifacts.
+    pub capacity: usize,
+}
+
+struct CacheEntry {
+    prepared: Arc<PreparedQuery>,
+    last_used: u64,
+}
+
+struct CacheState {
+    entries: HashMap<String, CacheEntry>,
+    tick: u64,
+    evictions: u64,
+}
+
+/// A bounded LRU cache of prepared queries, safe to share across
+/// threads, with a normalized-query + optimizer-config key.
+///
+/// ```
+/// use plansample::PlanService;
+/// use plansample_optimizer::OptimizerConfig;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use std::sync::Arc;
+///
+/// let (catalog, _) = plansample_catalog::tpch::catalog();
+/// let service = Arc::new(PlanService::new(catalog, OptimizerConfig::default(), 8));
+/// let query = plansample_query::tpch::q6(service.catalog());
+///
+/// // First call prepares; later calls (any thread) hit the cache.
+/// let p1 = service.get_or_prepare(&query).unwrap();
+/// let p2 = service.get_or_prepare(&query).unwrap();
+/// assert!(Arc::ptr_eq(&p1, &p2));
+/// assert_eq!(service.stats().misses, 1);
+/// assert_eq!(service.stats().hits, 1);
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// assert_eq!(p1.sample_batch(&mut rng, 10).len(), 10);
+/// ```
+pub struct PlanService {
+    catalog: Catalog,
+    config: OptimizerConfig,
+    capacity: usize,
+    state: Mutex<CacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for PlanService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("PlanService")
+            .field("capacity", &self.capacity)
+            .field("stats", &stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PlanService {
+    /// Creates a service over a catalog and optimizer configuration,
+    /// caching at most `capacity` prepared queries (at least 1).
+    pub fn new(catalog: Catalog, config: OptimizerConfig, capacity: usize) -> Self {
+        PlanService {
+            catalog,
+            config,
+            capacity: capacity.max(1),
+            state: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                tick: 0,
+                evictions: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The service's catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The optimizer configuration every cached artifact is prepared
+    /// under.
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.config
+    }
+
+    /// Returns the prepared artifact for `query`, preparing and caching
+    /// it on first request.
+    ///
+    /// The cache lock is *not* held while optimizing, so concurrent
+    /// misses on different queries prepare in parallel. Two threads
+    /// racing on the *same* fresh query may both prepare it; the first
+    /// insertion wins and later racers adopt it, so all callers still
+    /// end up sharing one artifact.
+    pub fn get_or_prepare(&self, query: &QuerySpec) -> Result<Arc<PreparedQuery>, Error> {
+        let key = cache_key(query, &self.config);
+        {
+            let mut state = self.state.lock().expect("service cache poisoned");
+            state.tick += 1;
+            let tick = state.tick;
+            if let Some(entry) = state.entries.get_mut(&key) {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&entry.prepared));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let prepared = Arc::new(PreparedQuery::prepare(&self.catalog, query, &self.config)?);
+
+        let mut state = self.state.lock().expect("service cache poisoned");
+        state.tick += 1;
+        let tick = state.tick;
+        let winner = match state.entries.get_mut(&key) {
+            // A racing thread inserted first: adopt its artifact so every
+            // caller shares one allocation.
+            Some(entry) => {
+                entry.last_used = tick;
+                Arc::clone(&entry.prepared)
+            }
+            None => {
+                state.entries.insert(
+                    key,
+                    CacheEntry {
+                        prepared: Arc::clone(&prepared),
+                        last_used: tick,
+                    },
+                );
+                prepared
+            }
+        };
+        while state.entries.len() > self.capacity {
+            let oldest = state
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("len > capacity >= 1 implies a candidate");
+            state.entries.remove(&oldest);
+            state.evictions += 1;
+        }
+        Ok(winner)
+    }
+
+    /// Current cache counters.
+    pub fn stats(&self) -> ServiceStats {
+        let state = self.state.lock().expect("service cache poisoned");
+        ServiceStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: state.evictions,
+            entries: state.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drops every cached artifact (outstanding [`Arc`] handles stay
+    /// valid — the artifacts are immutable).
+    pub fn clear(&self) {
+        self.state
+            .lock()
+            .expect("service cache poisoned")
+            .entries
+            .clear();
+    }
+}
+
+/// Normalized cache key: queries that differ only in the *order* their
+/// join predicates or filters were written hash to the same prepared
+/// artifact; the optimizer configuration participates because it changes
+/// the memo (and therefore every count and rank).
+fn cache_key(query: &QuerySpec, config: &OptimizerConfig) -> String {
+    let mut edges: Vec<String> = query.join_edges.iter().map(|e| format!("{e:?}")).collect();
+    edges.sort_unstable();
+    let mut filters: Vec<String> = query.filters.iter().map(|f| format!("{f:?}")).collect();
+    filters.sort_unstable();
+    format!(
+        "rels:{:?};edges:{:?};filters:{:?};agg:{:?};proj:{:?};cfg:{:?}",
+        query.relations, edges, filters, query.aggregate, query.projection, config
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn service(capacity: usize) -> PlanService {
+        let (catalog, _) = plansample_catalog::tpch::catalog();
+        PlanService::new(catalog, OptimizerConfig::default(), capacity)
+    }
+
+    fn two_rel_query(catalog: &Catalog, a: &str, b: &str, ak: &str, bk: &str) -> QuerySpec {
+        let mut qb = plansample_query::QueryBuilder::new(catalog);
+        qb.rel(a, None).unwrap();
+        qb.rel(b, None).unwrap();
+        qb.join((a, ak), (b, bk)).unwrap();
+        qb.build().unwrap()
+    }
+
+    #[test]
+    fn repeated_requests_share_one_artifact() {
+        let s = service(4);
+        let q = two_rel_query(
+            s.catalog(),
+            "nation",
+            "region",
+            "n_regionkey",
+            "r_regionkey",
+        );
+        let before = plansample_optimizer::thread_optimizations_performed();
+        let p1 = s.get_or_prepare(&q).unwrap();
+        let p2 = s.get_or_prepare(&q).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(
+            plansample_optimizer::thread_optimizations_performed() - before,
+            1
+        );
+        let stats = s.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn normalization_ignores_predicate_order() {
+        let (catalog, _) = plansample_catalog::tpch::catalog();
+        let build = |swap: bool| {
+            let mut qb = plansample_query::QueryBuilder::new(&catalog);
+            qb.rel("supplier", Some("s")).unwrap();
+            qb.rel("nation", Some("n")).unwrap();
+            qb.rel("region", Some("r")).unwrap();
+            if swap {
+                qb.join(("n", "n_regionkey"), ("r", "r_regionkey")).unwrap();
+                qb.join(("s", "s_nationkey"), ("n", "n_nationkey")).unwrap();
+            } else {
+                qb.join(("s", "s_nationkey"), ("n", "n_nationkey")).unwrap();
+                qb.join(("n", "n_regionkey"), ("r", "r_regionkey")).unwrap();
+            }
+            qb.build().unwrap()
+        };
+        let config = OptimizerConfig::default();
+        // Join edges end up in different vector orders…
+        assert_ne!(
+            format!("{:?}", build(false).join_edges),
+            format!("{:?}", build(true).join_edges)
+        );
+        // …but normalize to the same cache key.
+        assert_eq!(
+            cache_key(&build(false), &config),
+            cache_key(&build(true), &config)
+        );
+        let (q_a, q_b) = (build(false), build(true));
+        let s = PlanService::new(catalog, config, 4);
+        s.get_or_prepare(&q_a).unwrap();
+        s.get_or_prepare(&q_b).unwrap();
+        assert_eq!(s.stats().entries, 1, "one artifact for both spellings");
+    }
+
+    #[test]
+    fn config_participates_in_the_key() {
+        let (catalog, _) = plansample_catalog::tpch::catalog();
+        let q = two_rel_query(&catalog, "nation", "region", "n_regionkey", "r_regionkey");
+        assert_ne!(
+            cache_key(&q, &OptimizerConfig::default()),
+            cache_key(&q, &OptimizerConfig::with_cross_products())
+        );
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let s = service(2);
+        let q1 = two_rel_query(
+            s.catalog(),
+            "nation",
+            "region",
+            "n_regionkey",
+            "r_regionkey",
+        );
+        let q2 = two_rel_query(
+            s.catalog(),
+            "supplier",
+            "nation",
+            "s_nationkey",
+            "n_nationkey",
+        );
+        let q3 = two_rel_query(
+            s.catalog(),
+            "customer",
+            "nation",
+            "c_nationkey",
+            "n_nationkey",
+        );
+        s.get_or_prepare(&q1).unwrap();
+        s.get_or_prepare(&q2).unwrap();
+        s.get_or_prepare(&q1).unwrap(); // refresh q1: q2 is now coldest
+        s.get_or_prepare(&q3).unwrap(); // evicts q2
+        let stats = s.stats();
+        assert_eq!((stats.entries, stats.evictions), (2, 1));
+        s.get_or_prepare(&q1).unwrap();
+        assert_eq!(s.stats().misses, 3, "q1 survived the eviction");
+        s.get_or_prepare(&q2).unwrap();
+        assert_eq!(s.stats().misses, 4, "q2 was evicted and re-prepares");
+    }
+
+    #[test]
+    fn clear_empties_but_handles_stay_valid() {
+        let s = service(4);
+        let q = two_rel_query(
+            s.catalog(),
+            "nation",
+            "region",
+            "n_regionkey",
+            "r_regionkey",
+        );
+        let p = s.get_or_prepare(&q).unwrap();
+        s.clear();
+        assert_eq!(s.stats().entries, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(p.sample_batch(&mut rng, 5).len(), 5);
+    }
+}

@@ -1,73 +1,27 @@
 //! The `OPTION (USEPLAN n)` workflow as a library API (§4).
 //!
 //! A [`Session`] bundles a catalog, a database, and an optimizer
-//! configuration. [`Session::execute`] runs a query with the
-//! optimizer's plan; [`Session::execute_plan`] runs it with *plan
-//! number n* — the paper's SQL-level `OPTION (USEPLAN 8)` hook, which
-//! the `plansample-sql` crate exposes through actual SQL syntax.
-//! Every outcome reports the plan's cost scaled to the optimum (the
-//! paper's cost unit in §5).
+//! configuration. [`Session::prepare`] runs the optimizer *once* and
+//! returns an owned [`PreparedQuery`] artifact; every subsequent count,
+//! sample, page, or `USEPLAN` execution reuses it. The convenience
+//! one-shot methods ([`Session::execute`], [`Session::execute_plan`],
+//! [`Session::count_plans`]) are thin wrappers that prepare internally —
+//! fine for scripts, wasteful in loops; hold a [`PreparedQuery`] (or a
+//! [`crate::service::PlanService`]) when serving repeated requests.
 
 use crate::lower::lower;
-use crate::validate::ValidateError;
-use crate::{PlanSpace, SpaceError};
+use crate::{Error, PlanSpace, PreparedQuery};
 use plansample_bignum::Nat;
 use plansample_catalog::Catalog;
-use plansample_exec::{Database, ExecError, Table};
+use plansample_exec::{Database, Table};
 use plansample_memo::PlanNode;
-use plansample_optimizer::{optimize, OptError, Optimized, OptimizerConfig};
+use plansample_optimizer::OptimizerConfig;
 use plansample_query::QuerySpec;
-use std::fmt;
 
-/// Errors from session operations.
-#[derive(Debug, Clone, PartialEq)]
-pub enum SessionError {
-    /// Optimization failed.
-    Opt(OptError),
-    /// Rank machinery failed (e.g. USEPLAN number out of range).
-    Space(SpaceError),
-    /// Execution failed.
-    Exec(ExecError),
-}
-
-impl fmt::Display for SessionError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SessionError::Opt(e) => write!(f, "{e}"),
-            SessionError::Space(e) => write!(f, "{e}"),
-            SessionError::Exec(e) => write!(f, "{e}"),
-        }
-    }
-}
-
-impl std::error::Error for SessionError {}
-
-impl From<OptError> for SessionError {
-    fn from(e: OptError) -> Self {
-        SessionError::Opt(e)
-    }
-}
-
-impl From<SpaceError> for SessionError {
-    fn from(e: SpaceError) -> Self {
-        SessionError::Space(e)
-    }
-}
-
-impl From<ExecError> for SessionError {
-    fn from(e: ExecError) -> Self {
-        SessionError::Exec(e)
-    }
-}
-
-impl From<ValidateError> for SessionError {
-    fn from(e: ValidateError) -> Self {
-        match e {
-            ValidateError::Space(e) => SessionError::Space(e),
-            ValidateError::Exec(e) => SessionError::Exec(e),
-        }
-    }
-}
+/// Backwards-compatible name for the unified [`Error`] type: session
+/// operations were the original source of this error enum before it was
+/// promoted to the crate root.
+pub use crate::Error as SessionError;
 
 /// Result of executing a query through a session.
 #[derive(Debug, Clone)]
@@ -120,55 +74,110 @@ impl Session {
         &self.db
     }
 
-    fn optimize(&self, query: &QuerySpec) -> Result<Optimized, SessionError> {
-        Ok(optimize(&self.catalog, query, &self.config)?)
+    /// The session's optimizer configuration.
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.config
+    }
+
+    /// Optimizes `query` once and returns the owned, shareable artifact
+    /// exposing the full counting/enumerating/sampling surface — the
+    /// expensive step, paid exactly once per query.
+    ///
+    /// ```
+    /// use plansample::session::Session;
+    /// use plansample_bignum::Nat;
+    /// use plansample_datagen::MicroScale;
+    ///
+    /// let (catalog, tables) = plansample_catalog::tpch::catalog();
+    /// let db = plansample_datagen::generate(&catalog, &tables, &MicroScale::tiny(), 11);
+    /// let session = Session::new(catalog, db);
+    ///
+    /// let query = plansample_query::tpch::q6(session.catalog());
+    /// let prepared = session.prepare(&query).unwrap();
+    /// // Count, page, and execute — all against the one memo:
+    /// assert!(!prepared.total().is_zero());
+    /// let out = session.execute_prepared(&prepared, Some(&Nat::zero())).unwrap();
+    /// assert_eq!(out.rank, Some(Nat::zero()));
+    /// ```
+    pub fn prepare(&self, query: &QuerySpec) -> Result<PreparedQuery, Error> {
+        PreparedQuery::prepare(&self.catalog, query, &self.config)
+    }
+
+    /// Executes against an already prepared query: the optimizer's plan
+    /// when `rank` is `None`, otherwise `OPTION (USEPLAN rank)`. Never
+    /// re-optimizes.
+    ///
+    /// The artifact must have been prepared against this session's
+    /// catalog (or an identical clone of it — e.g. a
+    /// [`crate::service::PlanService`] sharing the same source): plan
+    /// lowering resolves the artifact's table ids and column offsets
+    /// through the *session's* catalog, so a mismatched catalog would
+    /// produce wrong results.
+    ///
+    /// # Panics
+    /// Panics when the artifact structurally cannot belong to this
+    /// catalog (a referenced table id is out of range). Catalogs of
+    /// matching shape but different contents are not detectable and
+    /// remain the caller's contract.
+    pub fn execute_prepared(
+        &self,
+        prepared: &PreparedQuery,
+        rank: Option<&Nat>,
+    ) -> Result<QueryOutcome, Error> {
+        for rel in &prepared.query().relations {
+            assert!(
+                (rel.table.0 as usize) < self.catalog.len(),
+                "prepared query references table id {} outside this session's {}-table \
+                 catalog — was it prepared against a different catalog?",
+                rel.table.0,
+                self.catalog.len()
+            );
+        }
+        let (plan, rank) = match rank {
+            Some(rank) => (prepared.unrank(rank)?, Some(rank.clone())),
+            None => (prepared.best().0.clone(), None),
+        };
+        self.run_plan(prepared, &plan, rank)
     }
 
     /// Counts the plans the optimizer considers for `query` — the
     /// paper's "build the MEMO structure, count the possible plans".
-    pub fn count_plans(&self, query: &QuerySpec) -> Result<Nat, SessionError> {
-        let optimized = self.optimize(query)?;
-        let space = PlanSpace::build(&optimized.memo, query)?;
-        Ok(space.total().clone())
+    /// One-shot convenience: prepares internally and throws the artifact
+    /// away.
+    pub fn count_plans(&self, query: &QuerySpec) -> Result<Nat, Error> {
+        Ok(self.prepare(query)?.total().clone())
     }
 
-    /// Executes `query` with the optimizer's chosen plan.
-    pub fn execute(&self, query: &QuerySpec) -> Result<QueryOutcome, SessionError> {
-        let optimized = self.optimize(query)?;
-        let space = PlanSpace::build(&optimized.memo, query)?;
-        self.run_plan(query, &optimized, &space, &optimized.best_plan, None)
+    /// Executes `query` with the optimizer's chosen plan (one-shot).
+    pub fn execute(&self, query: &QuerySpec) -> Result<QueryOutcome, Error> {
+        let prepared = self.prepare(query)?;
+        self.execute_prepared(&prepared, None)
     }
 
-    /// Executes `query` with plan number `rank` — `OPTION (USEPLAN rank)`.
-    pub fn execute_plan(
-        &self,
-        query: &QuerySpec,
-        rank: &Nat,
-    ) -> Result<QueryOutcome, SessionError> {
-        let optimized = self.optimize(query)?;
-        let space = PlanSpace::build(&optimized.memo, query)?;
-        let plan = space.unrank(rank)?;
-        self.run_plan(query, &optimized, &space, &plan, Some(rank.clone()))
+    /// Executes `query` with plan number `rank` — `OPTION (USEPLAN rank)`
+    /// (one-shot).
+    pub fn execute_plan(&self, query: &QuerySpec, rank: &Nat) -> Result<QueryOutcome, Error> {
+        let prepared = self.prepare(query)?;
+        self.execute_prepared(&prepared, Some(rank))
     }
 
     fn run_plan(
         &self,
-        query: &QuerySpec,
-        optimized: &Optimized,
-        space: &PlanSpace<'_>,
+        prepared: &PreparedQuery,
         plan: &PlanNode,
         rank: Option<Nat>,
-    ) -> Result<QueryOutcome, SessionError> {
-        let exec = lower(&optimized.memo, query, &self.catalog, plan);
+    ) -> Result<QueryOutcome, Error> {
+        let space: &PlanSpace = prepared.space();
+        let exec = lower(prepared.memo(), prepared.query(), &self.catalog, plan);
         let table = exec.execute(&self.db)?;
-        let plan_cost = plan.total_cost(&optimized.memo);
+        let plan_cost = plan.total_cost(prepared.memo());
         Ok(QueryOutcome {
             table,
             rank,
             space_size: space.total().clone(),
             plan_cost,
-            scaled_cost: plan_cost / optimized.best_cost,
-            plan_text: plan.render(&optimized.memo),
+            scaled_cost: plan_cost / prepared.best_cost(),
+            plan_text: plan.render(prepared.memo()),
         })
     }
 }
@@ -176,6 +185,7 @@ impl Session {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SpaceError;
     use plansample_catalog::tpch;
     use plansample_datagen::MicroScale;
 
@@ -203,9 +213,12 @@ mod tests {
     fn useplan_reproduces_specific_plans() {
         let s = session();
         let q = plansample_query::tpch::q5(s.catalog());
-        let reference = s.execute(&q).unwrap();
+        let prepared = s.prepare(&q).unwrap();
+        let reference = s.execute_prepared(&prepared, None).unwrap();
         for rank in [0u64, 8, 12345] {
-            let out = s.execute_plan(&q, &Nat::from(rank)).unwrap();
+            let out = s
+                .execute_prepared(&prepared, Some(&Nat::from(rank)))
+                .unwrap();
             assert_eq!(out.rank, Some(Nat::from(rank)));
             assert!(
                 out.table.multiset_eq(&reference.table),
@@ -213,6 +226,25 @@ mod tests {
             );
             assert!(out.scaled_cost >= 1.0 - 1e-9);
         }
+    }
+
+    #[test]
+    fn prepared_session_flow_optimizes_once() {
+        let s = session();
+        let q = plansample_query::tpch::q6(s.catalog());
+        let before = plansample_optimizer::thread_optimizations_performed();
+        let prepared = s.prepare(&q).unwrap();
+        let n = prepared.total().to_u64().unwrap();
+        for rank in 0..n.min(4) {
+            s.execute_prepared(&prepared, Some(&Nat::from(rank)))
+                .unwrap();
+        }
+        s.execute_prepared(&prepared, None).unwrap();
+        assert_eq!(
+            plansample_optimizer::thread_optimizations_performed() - before,
+            1,
+            "prepare once, serve many"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use plansample_bignum::Nat;
 use plansample_memo::{PhysId, PlanNode};
 use rand::Rng;
 
-impl PlanSpace<'_> {
+impl PlanSpace {
     /// Builds plan number `rank` *within the sub-space rooted at `v`*
     /// (`rank < count_rooted(v)`). The root of the result is always `v`.
     pub fn unrank_rooted(&self, v: PhysId, rank: &Nat) -> Result<PlanNode, SpaceError> {

@@ -23,7 +23,7 @@ use crate::{PlanSpace, SpaceError};
 use plansample_bignum::Nat;
 use plansample_memo::{PhysId, PlanNode};
 
-impl PlanSpace<'_> {
+impl PlanSpace {
     /// Builds plan number `rank` (0-based, `rank < total()`).
     pub fn unrank(&self, rank: &Nat) -> Result<PlanNode, SpaceError> {
         if rank >= self.counts.total() {

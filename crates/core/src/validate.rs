@@ -82,13 +82,20 @@ pub enum ValidateError {
 impl fmt::Display for ValidateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ValidateError::Space(e) => write!(f, "{e}"),
-            ValidateError::Exec(e) => write!(f, "{e}"),
+            ValidateError::Space(_) => write!(f, "rank machinery failed during validation"),
+            ValidateError::Exec(_) => write!(f, "plan execution failed during validation"),
         }
     }
 }
 
-impl std::error::Error for ValidateError {}
+impl std::error::Error for ValidateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ValidateError::Space(e) => Some(e),
+            ValidateError::Exec(e) => Some(e),
+        }
+    }
+}
 
 impl From<SpaceError> for ValidateError {
     fn from(e: SpaceError) -> Self {
@@ -102,7 +109,7 @@ impl From<ExecError> for ValidateError {
     }
 }
 
-impl PlanSpace<'_> {
+impl PlanSpace {
     /// Executes plan number `rank` against `db`.
     pub fn execute_rank(
         &self,
@@ -111,7 +118,7 @@ impl PlanSpace<'_> {
         rank: &Nat,
     ) -> Result<Table, ValidateError> {
         let plan = self.unrank(rank)?;
-        let exec = lower(self.memo, self.query, catalog, &plan);
+        let exec = lower(&self.memo, &self.query, catalog, &plan);
         Ok(exec.execute(db)?)
     }
 
@@ -171,7 +178,7 @@ impl PlanSpace<'_> {
         reference: &Table,
         report: &mut ValidationReport,
     ) -> Result<(), ValidateError> {
-        let exec = lower(self.memo, self.query, catalog, plan);
+        let exec = lower(&self.memo, &self.query, catalog, plan);
         let result = exec.execute(db)?;
         report.plans_checked += 1;
         if !result.multiset_eq(reference) {
@@ -179,7 +186,7 @@ impl PlanSpace<'_> {
                 rank: rank.clone(),
                 expected_rows: reference.len(),
                 actual_rows: result.len(),
-                violations: validate_plan(self.memo, self.query, plan),
+                violations: validate_plan(&self.memo, &self.query, plan),
             });
         }
         Ok(())

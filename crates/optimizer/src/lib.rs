@@ -39,6 +39,31 @@ use plansample_catalog::Catalog;
 use plansample_memo::{Memo, PlanNode};
 use plansample_query::QuerySpec;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of completed [`optimize`] runs.
+static OPTIMIZATIONS: AtomicU64 = AtomicU64::new(0);
+
+std::thread_local! {
+    /// Per-thread count of completed [`optimize`] runs.
+    static THREAD_OPTIMIZATIONS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of full [`optimize`] runs performed by this process so far —
+/// an observability hook for serving-path metrics.
+pub fn optimizations_performed() -> u64 {
+    OPTIMIZATIONS.load(Ordering::Relaxed)
+}
+
+/// Number of full [`optimize`] runs performed by the *calling thread* —
+/// the race-free variant for test assertions. Tests and benches take
+/// the delta around a code region to prove that prepared artifacts
+/// (`plansample::PreparedQuery`) serve counts, pages, and samples with
+/// **zero** re-optimizations, without interference from other test
+/// threads optimizing concurrently in the same process.
+pub fn thread_optimizations_performed() -> u64 {
+    THREAD_OPTIMIZATIONS.with(|c| c.get())
+}
 
 /// Which exploration strategy populates the memo.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -184,6 +209,10 @@ pub fn optimize(
 
     let totals = compute_totals(&memo, query);
     let (best_plan, best_cost) = best_plan(&memo, query, &totals).ok_or(OptError::NoPlanFound)?;
+    // Counted only on success, so the observability counters report
+    // *completed* optimizations as documented.
+    OPTIMIZATIONS.fetch_add(1, Ordering::Relaxed);
+    THREAD_OPTIMIZATIONS.with(|c| c.set(c.get() + 1));
     Ok(Optimized {
         memo,
         best_plan,
@@ -218,6 +247,29 @@ mod tests {
         assert!(cp.memo.num_physical() > no_cp.memo.num_physical());
         // The optimum never uses a cross product here, so it is unchanged.
         assert!((cp.best_cost - no_cp.best_cost).abs() < 1e-6 * no_cp.best_cost);
+    }
+
+    #[test]
+    fn failed_optimizations_are_not_counted() {
+        let mut cat = plansample_catalog::Catalog::new();
+        cat.add_table(table("a", 10).col("x", ColType::Int, 10).build())
+            .unwrap();
+        cat.add_table(table("b", 10).col("y", ColType::Int, 10).build())
+            .unwrap();
+        let mut qb = QueryBuilder::new(&cat);
+        qb.rel("a", None).unwrap();
+        qb.rel("b", None).unwrap();
+        let q = qb.build().unwrap();
+
+        let before = thread_optimizations_performed();
+        assert!(optimize(&cat, &q, &OptimizerConfig::default()).is_err());
+        assert_eq!(
+            thread_optimizations_performed(),
+            before,
+            "failed runs must not count as completed optimizations"
+        );
+        assert!(optimize(&cat, &q, &OptimizerConfig::with_cross_products()).is_ok());
+        assert_eq!(thread_optimizations_performed(), before + 1);
     }
 
     #[test]

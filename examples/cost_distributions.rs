@@ -1,16 +1,16 @@
 //! §5 workflow: the cost distribution of a real search space.
 //!
-//! Optimizes TPC-H Q5 against SF-1 statistics, draws uniform plan
-//! samples, scales costs to the optimum, and reports the Table 1
-//! statistics plus a Figure 4-style histogram of the lower 50% and a
-//! Gamma fit of the full distribution.
+//! Prepares TPC-H Q5 against SF-1 statistics once, draws a uniform
+//! batch of plan samples, scales costs to the optimum, and reports the
+//! Table 1 statistics plus a Figure 4-style histogram of the lower 50%
+//! and a Gamma fit of the full distribution.
 //!
 //! ```text
 //! cargo run --release --example cost_distributions
 //! ```
 
-use plansample::PlanSpace;
-use plansample_optimizer::{optimize, OptimizerConfig};
+use plansample::PreparedQuery;
+use plansample_optimizer::OptimizerConfig;
 use plansample_stats::{fit_gamma, Histogram, Summary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,19 +20,21 @@ const SAMPLES: usize = 2_000;
 fn main() {
     let (catalog, _) = plansample_catalog::tpch::catalog();
     let query = plansample_query::tpch::q5(&catalog);
-    let optimized = optimize(&catalog, &query, &OptimizerConfig::default()).unwrap();
-    let space = PlanSpace::build(&optimized.memo, &query).unwrap();
+    // One optimization pass; every measurement below reuses its memo.
+    let prepared = PreparedQuery::prepare(&catalog, &query, &OptimizerConfig::default()).unwrap();
 
     println!(
         "TPC-H Q5: {} relations, {} physical operators in the memo, {} complete plans",
         query.relations.len(),
-        optimized.memo.num_physical(),
-        space.total()
+        prepared.memo().num_physical(),
+        prepared.total()
     );
 
     let mut rng = StdRng::seed_from_u64(5);
-    let costs: Vec<f64> = (0..SAMPLES)
-        .map(|_| space.sample(&mut rng).total_cost(&optimized.memo) / optimized.best_cost)
+    let costs: Vec<f64> = prepared
+        .sample_batch(&mut rng, SAMPLES)
+        .iter()
+        .map(|plan| prepared.scaled_cost(plan))
         .collect();
 
     let s = Summary::of(&costs);
@@ -66,11 +68,11 @@ fn main() {
     // Analytic operator mix of a uniform plan (no sampling involved):
     // exact expected occurrences derived from the sub-space counts.
     println!("\nexpected operator mix of one uniformly drawn plan (computed, not sampled):");
-    for (name, freq) in space.operator_mix() {
+    for (name, freq) in prepared.space().operator_mix() {
         println!("  {name:<15} {freq:>6.3}");
     }
     println!(
         "  total {:>17.3} operators per plan on average",
-        space.expected_plan_size()
+        prepared.space().expected_plan_size()
     );
 }

@@ -10,9 +10,9 @@
 //! cargo run --release --example differential_testing
 //! ```
 
-use plansample::PlanSpace;
+use plansample::PreparedQuery;
 use plansample_datagen::MicroScale;
-use plansample_optimizer::{optimize, OptimizerConfig};
+use plansample_optimizer::OptimizerConfig;
 use plansample_query::QueryBuilder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -40,9 +40,9 @@ fn main() {
     qb.join(("n", "n_regionkey"), ("r", "r_regionkey")).unwrap();
     let small = qb.build().unwrap();
 
-    let optimized = optimize(&catalog, &small, &config).unwrap();
-    let space = PlanSpace::build(&optimized.memo, &small).unwrap();
-    let report = space
+    let prepared = PreparedQuery::prepare(&catalog, &small, &config).unwrap();
+    let report = prepared
+        .space()
         .validate_exhaustive(&catalog, &db, usize::MAX)
         .expect("execution succeeds");
     println!("nation ⋈ region (exhaustive): {report}");
@@ -50,14 +50,14 @@ fn main() {
 
     // --- sampled mode on the TPC-H Q5 space -----------------------------
     let q5 = plansample_query::tpch::q5(&catalog);
-    let optimized = optimize(&catalog, &q5, &config).unwrap();
-    let space = PlanSpace::build(&optimized.memo, &q5).unwrap();
+    let prepared = PreparedQuery::prepare(&catalog, &q5, &config).unwrap();
     println!(
         "\nTPC-H Q5: {} plans — far too many to enumerate; sampling instead",
-        space.total()
+        prepared.total()
     );
     let mut rng = StdRng::seed_from_u64(4);
-    let report = space
+    let report = prepared
+        .space()
         .validate_sampled(&catalog, &db, 200, &mut rng)
         .expect("execution succeeds");
     println!("TPC-H Q5 (200 uniform samples): {report}");

@@ -1,15 +1,14 @@
-//! Quickstart: count, enumerate, unrank, rank, and sample execution
-//! plans for a small join query.
+//! Quickstart: prepare a query once, then count, enumerate, page,
+//! unrank, rank, and sample execution plans from the one artifact.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use plansample::PlanSpace;
+use plansample::PreparedQuery;
 use plansample_bignum::Nat;
 use plansample_catalog::{table, Catalog, ColType};
-use plansample_optimizer::{optimize, OptimizerConfig};
-use plansample_query::QueryBuilder;
+use plansample_optimizer::OptimizerConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -36,48 +35,63 @@ fn main() {
         .unwrap();
 
     // 2. A query: orders ⋈ items.
-    let mut qb = QueryBuilder::new(&catalog);
+    let mut qb = plansample_query::QueryBuilder::new(&catalog);
     qb.rel("orders", Some("o")).unwrap();
     qb.rel("items", Some("i")).unwrap();
     qb.join(("o", "o_id"), ("i", "i_order")).unwrap();
     let query = qb.build().unwrap();
 
-    // 3. Optimize: the memo now encodes EVERY plan the optimizer
-    //    considered, not just the winner.
-    let optimized = optimize(&catalog, &query, &OptimizerConfig::default()).unwrap();
-    println!("optimizer's plan (cost {:.0}):", optimized.best_cost);
-    println!("{}", optimized.best_plan.render(&optimized.memo));
-
-    // 4. Build the plan space: materialized links (§3.1) + counts (§3.2).
-    let space = PlanSpace::build(&optimized.memo, &query).unwrap();
+    // 3. Prepare: ONE optimizer run builds a memo encoding EVERY plan
+    //    considered, post-processed into an owned artifact. Everything
+    //    below reuses it — no further optimization happens.
+    let prepared = PreparedQuery::prepare(&catalog, &query, &OptimizerConfig::default()).unwrap();
+    let (best, best_cost) = prepared.best();
+    println!("optimizer's plan (cost {best_cost:.0}):");
+    println!("{}", best.render(prepared.memo()));
     println!(
         "the memo encodes {} complete execution plans\n",
-        space.total()
+        prepared.total()
     );
 
-    // 5. Enumerate the whole space (it is small here).
-    for (i, plan) in space.enumerate().enumerate() {
-        let cost = plan.total_cost(&optimized.memo);
+    // 4. Enumerate the whole space (it is small here).
+    for (i, plan) in prepared.enumerate().enumerate() {
         let ops: Vec<String> = plan
             .preorder_ids()
             .iter()
-            .map(|id| format!("{}[{id}]", optimized.memo.phys(*id).op.name()))
+            .map(|id| format!("{}[{id}]", prepared.memo().phys(*id).op.name()))
             .collect();
-        println!("plan {i:>2}: cost {cost:>8.0}  {}", ops.join(" "));
+        println!(
+            "plan {i:>2}: cost {:>8.0}  {}",
+            plan.total_cost(prepared.memo()),
+            ops.join(" ")
+        );
     }
 
-    // 6. Unrank / rank are a bijection.
-    let plan7 = space.unrank(&Nat::from(7u64)).unwrap();
-    assert_eq!(space.rank(&plan7).unwrap(), Nat::from(7u64));
-    println!("\nplan number 7, reconstructed by unranking:");
-    println!("{}", plan7.render(&optimized.memo));
-
-    // 7. Uniform sampling: every plan with probability exactly 1/N.
-    let mut rng = StdRng::seed_from_u64(1);
-    let sample = space.sample(&mut rng);
+    // 5. Resume anywhere: a cursor is positioned by rank, so paging into
+    //    the middle of a space costs one unranking, not a walk from 0.
+    let mut cursor = prepared.enumerate_from(Nat::from(4u64));
+    let page = cursor.next_page(3);
     println!(
-        "uniformly sampled plan: number {} of {}",
-        space.rank(&sample).unwrap(),
-        space.total()
+        "\npage of {} plans resumed at rank 4 (cursor now at rank {})",
+        page.len(),
+        cursor.next_rank()
     );
+
+    // 6. Unrank / rank are a bijection.
+    let plan7 = prepared.unrank(&Nat::from(7u64)).unwrap();
+    assert_eq!(prepared.rank(&plan7).unwrap(), Nat::from(7u64));
+    println!("\nplan number 7, reconstructed by unranking:");
+    println!("{}", plan7.render(prepared.memo()));
+
+    // 7. Uniform sampling: every plan with probability exactly 1/N —
+    //    batched, and safe to run from many threads sharing the artifact.
+    let mut rng = StdRng::seed_from_u64(1);
+    for sample in prepared.sample_batch(&mut rng, 3) {
+        println!(
+            "uniformly sampled plan: number {} of {} (scaled cost {:.2})",
+            prepared.rank(&sample).unwrap(),
+            prepared.total(),
+            prepared.scaled_cost(&sample)
+        );
+    }
 }

@@ -9,9 +9,9 @@
 //! cargo run --release --example synthetic_spaces
 //! ```
 
-use plansample::PlanSpace;
+use plansample::PreparedQuery;
 use plansample_datagen::joingraph::{JoinGraphSpec, Topology};
-use plansample_optimizer::{optimize, OptimizerConfig};
+use plansample_optimizer::OptimizerConfig;
 
 fn main() {
     println!(
@@ -26,10 +26,9 @@ fn main() {
             }
             let spec = JoinGraphSpec::new(topology, relations, 42);
             let (catalog, query) = spec.build();
-            let optimized =
-                optimize(&catalog, &query, &OptimizerConfig::default()).expect("optimizes");
-            let space = PlanSpace::build(&optimized.memo, &query).expect("space builds");
-            let total = space.total();
+            let prepared = PreparedQuery::prepare(&catalog, &query, &OptimizerConfig::default())
+                .expect("optimizes");
+            let total = prepared.total();
             println!(
                 "{:<12} {:>5} {:>28} {:>6} {:>10}",
                 spec.label(),
@@ -40,7 +39,7 @@ fn main() {
                     total.to_scientific(3)
                 },
                 total.limbs().len(),
-                optimized.memo.num_physical(),
+                prepared.memo().num_physical(),
             );
         }
         println!();

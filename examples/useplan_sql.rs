@@ -30,9 +30,13 @@ fn main() {
                  AND r.r_name = 'ASIA' \
                GROUP BY n.n_name";
 
-    // Run with the optimizer's plan first.
+    // Prepare once: the optimizer runs a single time and the memo is
+    // reused by every USEPLAN execution in the loop below.
     let parsed = plansample_sql::parse(session.catalog(), sql).expect("valid SQL");
-    let reference = session.execute(&parsed.spec).expect("query runs");
+    let prepared = session.prepare(&parsed.spec).expect("query prepares");
+    let reference = session
+        .execute_prepared(&prepared, None)
+        .expect("query runs");
     println!("query:\n  {sql}\n");
     println!(
         "optimizer's plan (cost {:.0}, space of {} plans):",
@@ -58,7 +62,7 @@ fn main() {
         let parsed = plansample_sql::parse(session.catalog(), &useplan_sql).expect("valid SQL");
         let rank = parsed.useplan.expect("USEPLAN parsed");
         let outcome = session
-            .execute_plan(&parsed.spec, &rank)
+            .execute_prepared(&prepared, Some(&rank))
             .expect("plan runs");
         let agrees = outcome.table.multiset_eq(&reference.table);
         println!(

@@ -6,13 +6,20 @@
 //! Everything here is a re-export of [`plansample_core`], which implements
 //! the paper's post-optimization machinery over the MEMO:
 //!
-//! * [`PlanSpace`] — counting, the rank/unrank bijection, enumeration,
-//!   and uniform sampling of execution plans;
-//! * [`session`] — the end-to-end pipeline (parse → optimize → count →
-//!   pick/sample → execute) behind the CLI and the `USEPLAN` SQL option;
+//! * [`PreparedQuery`] — the owned, `Send + Sync` artifact produced once
+//!   per query: counting, the rank/unrank bijection, resumable
+//!   enumeration cursors ([`PlanCursor`]), and batched uniform sampling,
+//!   all with zero re-optimization;
+//! * [`PlanService`] — a bounded LRU of prepared queries keyed by
+//!   normalized query + optimizer config: the concurrent serving surface;
+//! * [`PlanSpace`] — the lower-level owned plan space the artifact wraps;
+//! * [`session`] — the end-to-end pipeline (parse → prepare → pick/sample
+//!   → execute) behind the CLI and the `USEPLAN` SQL option;
 //! * [`lower`] — turning an unranked plan into an executable operator
 //!   tree;
-//! * [`validate`] — the paper's differential-testing application.
+//! * [`validate`] — the paper's differential-testing application;
+//! * [`Error`] — the unified error type with `source()` chains across
+//!   every layer.
 //!
 //! See the workspace `README.md` for the crate map and
 //! `docs/ARCHITECTURE.md` for how the paper's concepts land in modules.

@@ -12,14 +12,16 @@ use plansample_optimizer::{optimize, OptimizerConfig};
 use plansample_query::QuerySpec;
 use rand::rngs::StdRng;
 
-/// A synthetic join-graph query optimized into a memo, owning everything
-/// a [`PlanSpace`] borrows.
+/// A synthetic join-graph query optimized into a memo, with the plan
+/// space built exactly once (the expensive counting pass is shared by
+/// every measurement on the fixture). The memo lives solely inside the
+/// space's `Arc` — no second copy.
 pub struct SynthSpace {
     pub catalog: Catalog,
     pub query: QuerySpec,
-    pub memo: Memo,
     pub best_cost: f64,
     pub label: String,
+    space: PlanSpace,
 }
 
 impl SynthSpace {
@@ -28,18 +30,29 @@ impl SynthSpace {
         let (catalog, query) = spec.build();
         let optimized = optimize(&catalog, &query, &OptimizerConfig::default())
             .expect("synthetic queries optimize");
+        let space = PlanSpace::build_shared(
+            std::sync::Arc::new(optimized.memo),
+            std::sync::Arc::new(query.clone()),
+        )
+        .expect("optimizer memos are acyclic");
         SynthSpace {
             catalog,
             query,
-            memo: optimized.memo,
             best_cost: optimized.best_cost,
             label: spec.label(),
+            space,
         }
     }
 
-    /// The plan space over this memo.
-    pub fn space(&self) -> PlanSpace<'_> {
-        PlanSpace::build(&self.memo, &self.query).expect("optimizer memos are acyclic")
+    /// The optimized memo (owned by the shared plan space).
+    pub fn memo(&self) -> &Memo {
+        self.space.memo()
+    }
+
+    /// The plan space over this memo, built once at fixture
+    /// construction.
+    pub fn space(&self) -> &PlanSpace {
+        &self.space
     }
 }
 
@@ -55,7 +68,7 @@ pub enum Sampler {
 /// Draws `draws` plans and tallies them per exact rank. Only for spaces
 /// whose total fits comfortably in memory as one bucket per plan.
 pub fn rank_spectrum(
-    space: &PlanSpace<'_>,
+    space: &PlanSpace,
     sampler: Sampler,
     draws: usize,
     rng: &mut StdRng,
@@ -75,7 +88,7 @@ pub fn rank_spectrum(
 /// One draw through the full sampler pipeline: both arms materialize a
 /// plan and rank it back, so `random_below`, `unrank`, and `rank` are
 /// all exercised (not just the RNG).
-fn sample_rank(space: &PlanSpace<'_>, sampler: Sampler, rng: &mut StdRng) -> Nat {
+fn sample_rank(space: &PlanSpace, sampler: Sampler, rng: &mut StdRng) -> Nat {
     let plan = match sampler {
         Sampler::Unranking => space.sample(rng),
         Sampler::NaiveWalk => space.sample_naive_walk(rng).expect("complete space"),
@@ -87,7 +100,7 @@ fn sample_rank(space: &PlanSpace<'_>, sampler: Sampler, rng: &mut StdRng) -> Nat
 /// intervals — the scalable spectrum for spaces too large to tally per
 /// plan (uniform ranks stay uniform over equal rank intervals).
 pub fn bucket_spectrum(
-    space: &PlanSpace<'_>,
+    space: &PlanSpace,
     sampler: Sampler,
     buckets: usize,
     draws: usize,
@@ -108,7 +121,7 @@ pub fn bucket_spectrum(
 /// (non-root) join group, all with rooted counts inside `range`.
 pub fn pick_subspace_roots(
     memo: &Memo,
-    space: &PlanSpace<'_>,
+    space: &PlanSpace,
     n_rels: usize,
     range: std::ops::RangeInclusive<u64>,
 ) -> Vec<plansample_memo::PhysId> {
@@ -144,7 +157,7 @@ pub fn pick_subspace_roots(
 /// Per-local-rank spectrum of the sub-space rooted at `v` under
 /// `sample_rooted`.
 pub fn rooted_spectrum(
-    space: &PlanSpace<'_>,
+    space: &PlanSpace,
     v: plansample_memo::PhysId,
     draws: usize,
     rng: &mut StdRng,
@@ -168,12 +181,12 @@ pub fn rooted_spectrum(
 /// expensive step on large memos, so it must not be repeated per call.
 pub fn sampled_scaled_costs(
     synth: &SynthSpace,
-    space: &PlanSpace<'_>,
+    space: &PlanSpace,
     draws: usize,
     rng: &mut StdRng,
 ) -> Vec<f64> {
     (0..draws)
-        .map(|_| space.sample(rng).total_cost(&synth.memo) / synth.best_cost)
+        .map(|_| space.sample(rng).total_cost(synth.memo()) / synth.best_cost)
         .collect()
 }
 

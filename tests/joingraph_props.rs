@@ -46,7 +46,7 @@ proptest! {
             let r = Nat::random_below(&mut rng, space.total());
             let plan = space.unrank(&r).expect("rank below total");
             prop_assert!(
-                validate_plan(&synth.memo, &synth.query, &plan).is_empty(),
+                validate_plan(synth.memo(), &synth.query, &plan).is_empty(),
                 "{}: unranked plan invalid", synth.label
             );
             let back = space.rank(&plan).expect("member plan ranks");
@@ -60,13 +60,18 @@ proptest! {
         let space = synth.space();
         let total = space.total().clone();
         if let Some(n) = total.to_u64().filter(|&n| n <= ENUM_CAP) {
-            // The recursive oracle never touches rank arithmetic; its
-            // output size is an independent count of the space.
-            let all = space.enumerate_recursive(n as usize + 1);
+            // Walk one past the count: every rank in [0, N) must unrank
+            // (no gaps) and rank N must not (no excess), and the plans
+            // must be pairwise distinct — together with rank∘unrank = id
+            // above this pins the bijection onto exactly N plans.
+            let all: Vec<_> = space.enumerate().take(n as usize + 1).collect();
             prop_assert_eq!(
                 all.len() as u64, n,
                 "{}: enumeration disagrees with count", &synth.label
             );
+            let distinct: std::collections::HashSet<String> =
+                all.iter().map(|p| format!("{:?}", p.preorder_ids())).collect();
+            prop_assert_eq!(distinct.len() as u64, n, "{}: duplicate plans", &synth.label);
         } else {
             // Too large to enumerate: spot-check that the first and last
             // ranks unrank (the bijection's boundary cases).

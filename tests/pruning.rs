@@ -6,6 +6,14 @@
 use plansample::PlanSpace;
 use plansample_datagen::MicroScale;
 use plansample_optimizer::{optimize, prune, OptimizerConfig};
+use std::sync::Arc;
+
+/// Zero-copy space construction: the pruned memo is owned and unused
+/// afterwards, so hand it straight to the space instead of letting
+/// `PlanSpace::build` clone it.
+fn shared_space(memo: plansample_memo::Memo, query: &plansample_query::QuerySpec) -> PlanSpace {
+    PlanSpace::build_shared(Arc::new(memo), Arc::new(query.clone())).unwrap()
+}
 
 #[test]
 fn pruning_is_monotone_and_preserves_the_optimum() {
@@ -18,7 +26,7 @@ fn pruning_is_monotone_and_preserves_the_optimum() {
     let mut previous = full_total.clone();
     for factor in [100.0, 10.0, 2.0, 1.0] {
         let pruned = prune(&optimized.memo, &query, factor);
-        let space = PlanSpace::build(&pruned, &query).unwrap();
+        let space = shared_space(pruned, &query);
         assert!(
             space.total() <= &previous,
             "factor {factor}: {} > previous {previous}",
@@ -27,16 +35,15 @@ fn pruning_is_monotone_and_preserves_the_optimum() {
         previous = space.total().clone();
 
         // The optimum survives every factor.
-        let totals = plansample_optimizer::compute_totals(&pruned, &query);
-        let (_, best) = plansample_optimizer::best_plan(&pruned, &query, &totals).unwrap();
+        let totals = plansample_optimizer::compute_totals(space.memo(), &query);
+        let (_, best) = plansample_optimizer::best_plan(space.memo(), &query, &totals).unwrap();
         assert!(
             (best - optimized.best_cost).abs() < 1e-9 * optimized.best_cost,
             "factor {factor} lost the optimum"
         );
     }
     // Keep-only-best leaves a drastically smaller space.
-    let tight = prune(&optimized.memo, &query, 1.0);
-    let tight_space = PlanSpace::build(&tight, &query).unwrap();
+    let tight_space = shared_space(prune(&optimized.memo, &query, 1.0), &query);
     assert!(tight_space.total().to_f64() < full_total.to_f64() * 1e-6);
 }
 
@@ -46,8 +53,7 @@ fn pruned_plans_still_execute_identically() {
     let db = plansample_datagen::generate(&catalog, &tables, &MicroScale::tiny(), 5);
     let query = plansample_query::tpch::q9(&catalog);
     let optimized = optimize(&catalog, &query, &OptimizerConfig::default()).unwrap();
-    let pruned = prune(&optimized.memo, &query, 2.0);
-    let space = PlanSpace::build(&pruned, &query).unwrap();
+    let space = shared_space(prune(&optimized.memo, &query, 2.0), &query);
 
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);

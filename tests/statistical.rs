@@ -36,7 +36,7 @@ fn six_relation_topologies_accept_unranking_and_reject_naive_walk() {
         let space = synth.space();
         let mut rng = seeded_rng(11);
 
-        let freq = bucket_spectrum(&space, Sampler::Unranking, BUCKETS, DRAWS, &mut rng);
+        let freq = bucket_spectrum(space, Sampler::Unranking, BUCKETS, DRAWS, &mut rng);
         let accept = chi_square_uniform(&freq).unwrap();
         assert!(
             !accept.rejects_at(0.001),
@@ -50,7 +50,7 @@ fn six_relation_topologies_accept_unranking_and_reject_naive_walk() {
             accept.effect_size()
         );
 
-        let freq = bucket_spectrum(&space, Sampler::NaiveWalk, BUCKETS, DRAWS, &mut rng);
+        let freq = bucket_spectrum(space, Sampler::NaiveWalk, BUCKETS, DRAWS, &mut rng);
         let reject = chi_square_uniform(&freq).unwrap();
         assert!(
             reject.rejects_at(1e-6),
@@ -87,7 +87,7 @@ fn multi_limb_clique_space_is_sampled_uniformly() {
     );
 
     let mut rng = seeded_rng(12);
-    let freq = bucket_spectrum(&space, Sampler::Unranking, BUCKETS, DRAWS, &mut rng);
+    let freq = bucket_spectrum(space, Sampler::Unranking, BUCKETS, DRAWS, &mut rng);
     let accept = chi_square_uniform(&freq).unwrap();
     assert!(
         !accept.rejects_at(0.001),
@@ -95,7 +95,7 @@ fn multi_limb_clique_space_is_sampled_uniformly() {
         space.total()
     );
 
-    let freq = bucket_spectrum(&space, Sampler::NaiveWalk, BUCKETS, DRAWS, &mut rng);
+    let freq = bucket_spectrum(space, Sampler::NaiveWalk, BUCKETS, DRAWS, &mut rng);
     let reject = chi_square_uniform(&freq).unwrap();
     assert!(
         reject.rejects_at(1e-6),
@@ -128,8 +128,8 @@ fn subspace_sampling_is_uniform_inside_a_large_space() {
     // expectations and falsely reject a uniform sampler.
     let floor = Nat::from((BUCKETS * BUCKETS) as u64);
     let roots: Vec<_> = synth
-        .memo
-        .group(synth.memo.root())
+        .memo()
+        .group(synth.memo().root())
         .phys_iter()
         .map(|(id, _)| id)
         .filter(|&id| *space.count_rooted(id) >= floor)
@@ -169,10 +169,10 @@ fn sampled_costs_ks_match_enumeration_on_74k_plan_space() {
 
     let exhaustive: Vec<f64> = space
         .enumerate()
-        .map(|p| p.total_cost(&synth.memo) / synth.best_cost)
+        .map(|p| p.total_cost(synth.memo()) / synth.best_cost)
         .collect();
     let mut rng = seeded_rng(14);
-    let sampled = sampled_scaled_costs(&synth, &space, 10_000, &mut rng);
+    let sampled = sampled_scaled_costs(&synth, space, 10_000, &mut rng);
     let test = ks_test_two_sample(&sampled, &exhaustive).unwrap();
     assert!(
         !test.rejects_at(0.001),
@@ -199,7 +199,7 @@ fn cost_distributions_fit_gamma_with_small_shape() {
         let synth = SynthSpace::build(JoinGraphSpec::new(topology, 6, 42));
         let space = synth.space();
         let mut rng = seeded_rng(15);
-        let costs = sampled_scaled_costs(&synth, &space, 10_000, &mut rng);
+        let costs = sampled_scaled_costs(&synth, space, 10_000, &mut rng);
         let s = Summary::of(&costs);
         assert!(s.min() >= 1.0 - 1e-9, "scaled costs start at the optimum");
 

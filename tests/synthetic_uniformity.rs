@@ -33,7 +33,7 @@ fn unranking_sampler_is_uniform_on_every_topology() {
         let space = synth.space();
         let n = space.total().to_u64().unwrap() as usize;
         let mut rng = seeded_rng(1);
-        let freq = rank_spectrum(&space, Sampler::Unranking, 8 * n, &mut rng);
+        let freq = rank_spectrum(space, Sampler::Unranking, 8 * n, &mut rng);
         let test = chi_square_uniform(&freq).unwrap();
         assert!(
             !test.rejects_at(0.001),
@@ -49,8 +49,8 @@ fn naive_walk_is_rejected_with_a_large_effect_size_on_every_topology() {
         let space = synth.space();
         let n = space.total().to_u64().unwrap() as usize;
         let mut rng = seeded_rng(2);
-        let naive = chi_square_uniform(&rank_spectrum(&space, Sampler::NaiveWalk, 8 * n, &mut rng))
-            .unwrap();
+        let naive =
+            chi_square_uniform(&rank_spectrum(space, Sampler::NaiveWalk, 8 * n, &mut rng)).unwrap();
         assert!(
             naive.rejects_at(1e-6),
             "{}: naive walk passed uniformity: {naive}",
@@ -86,7 +86,7 @@ fn rooted_subspace_sampling_is_uniform_at_root_and_interior_roots() {
 
         // 2 roots from the root group + 1 from an interior join group.
         let roots =
-            pick_subspace_roots(&synth.memo, &space, synth.query.relations.len(), 6..=20_000);
+            pick_subspace_roots(synth.memo(), space, synth.query.relations.len(), 6..=20_000);
         assert!(
             roots.len() >= 3,
             "{}: expected 2 root-group + 1 interior sub-space roots, got {}",
@@ -97,7 +97,7 @@ fn rooted_subspace_sampling_is_uniform_at_root_and_interior_roots() {
         for v in roots {
             let count = space.count_rooted(v).to_u64().unwrap() as usize;
             let mut rng = seeded_rng(3 + v.index as u64);
-            let freq = rooted_spectrum(&space, v, 8 * count, &mut rng);
+            let freq = rooted_spectrum(space, v, 8 * count, &mut rng);
             let test = chi_square_uniform(&freq).unwrap();
             assert!(
                 !test.rejects_at(0.001),
@@ -113,8 +113,8 @@ fn rooted_unranking_covers_exactly_the_subspace() {
     let synth = SynthSpace::build(JoinGraphSpec::new(Topology::Star, 3, 42));
     let space = synth.space();
     let (v, _) = synth
-        .memo
-        .group(synth.memo.root())
+        .memo()
+        .group(synth.memo().root())
         .phys_iter()
         .find(|(id, _)| {
             space
@@ -143,12 +143,12 @@ fn sampled_costs_ks_match_exhaustive_enumeration() {
     let space = synth.space();
     let exhaustive: Vec<f64> = space
         .enumerate()
-        .map(|p| p.total_cost(&synth.memo) / synth.best_cost)
+        .map(|p| p.total_cost(synth.memo()) / synth.best_cost)
         .collect();
     assert_eq!(exhaustive.len() as u64, space.total().to_u64().unwrap());
 
     let mut rng = seeded_rng(4);
-    let sampled = common::sampled_scaled_costs(&synth, &space, 4_000, &mut rng);
+    let sampled = common::sampled_scaled_costs(&synth, space, 4_000, &mut rng);
     let test = ks_test_two_sample(&sampled, &exhaustive).unwrap();
     assert!(
         !test.rejects_at(0.001),
