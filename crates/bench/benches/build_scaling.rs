@@ -1,0 +1,358 @@
+//! Experiment E10 — the flat plan-space layout, measured.
+//!
+//! `PlanSpace::build` (link materialization §3.1 + counting §3.2) was
+//! refactored from nested `Vec`s + recursive memoized counting onto a
+//! flat CSR arena with interned alternative lists, dense `u32`
+//! expression ids, and an iterative count over a precomputed topological
+//! order. This bench keeps the *pre-refactor layout alive as a reference
+//! implementation* (`legacy` module below, a faithful reconstruction of
+//! the old `Links`/`Counts` code) and measures both on the same memos:
+//!
+//! * the paper's largest space (Q8 + cross products, ~22k physical
+//!   expressions), and
+//! * directly synthesized 10–12-relation join graphs — the regime the
+//!   plan-enumeration literature treats as interesting — where counts
+//!   need multiple `u64` limbs.
+//!
+//! Two acceptance checks are **asserted** so layout regressions fail CI
+//! (the `bench-smoke` job runs this bench in release):
+//!
+//! 1. the flat build is ≥ 5× faster than the legacy layout on Q8+CP and
+//!    produces bit-identical totals;
+//! 2. a clique-10 synthetic space (≈190k expressions) builds, counts a
+//!    multi-limb total, and round-trips ranks at its boundaries.
+//!
+//! Measured numbers are recorded in `docs/EXPERIMENTS.md` §E10.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plansample::PlanSpace;
+use plansample_bench::prepare;
+use plansample_bignum::Nat;
+use plansample_datagen::joingraph::{JoinGraphSpec, Topology};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The pre-refactor plan-space layout: `[group][expr][slot] →
+/// alternatives` nested `Vec`s, a per-edge three-colour cycle check, and
+/// a recursive count that clones on every memo-cache hit. Kept verbatim
+/// (modulo the removed types) as the measured baseline.
+mod legacy {
+    use plansample_bignum::Nat;
+    use plansample_memo::{satisfies, ChildSlot, Memo, PhysId, Requirement};
+    use plansample_query::QuerySpec;
+
+    /// The old `eligible_children` shape: one `satisfies` call per
+    /// candidate, each rebuilding the scope's column-equivalence classes
+    /// when the syntactic check fails (the per-candidate cost the
+    /// refactor hoisted to once per slot — and interning then reduced to
+    /// once per *distinct* slot).
+    fn eligible_children(memo: &Memo, query: &QuerySpec, slot: &ChildSlot) -> Vec<PhysId> {
+        let group = memo.group(slot.group);
+        let scope = group.scope(query);
+        group
+            .phys_iter()
+            .filter(|(_, e)| match &slot.requirement {
+                Requirement::Order(req) => satisfies(query, scope, &e.delivered, req),
+                Requirement::SortInput { target } => {
+                    !e.op.is_enforcer() && !satisfies(query, scope, &e.delivered, target)
+                }
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    pub struct Links {
+        slots: Vec<Vec<Vec<Vec<PhysId>>>>,
+    }
+
+    impl Links {
+        pub fn build(memo: &Memo, query: &QuerySpec) -> Links {
+            let slots: Vec<Vec<Vec<Vec<PhysId>>>> = memo
+                .groups()
+                .map(|group| {
+                    group
+                        .phys_iter()
+                        .map(|(id, expr)| {
+                            expr.child_slots(id.group)
+                                .iter()
+                                .map(|slot| eligible_children(memo, query, slot))
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect();
+            let links = Links { slots };
+            links.check_acyclic(memo);
+            links
+        }
+
+        pub fn children(&self, id: PhysId) -> &[Vec<PhysId>] {
+            &self.slots[id.group.0 as usize][id.index]
+        }
+
+        fn check_acyclic(&self, memo: &Memo) {
+            #[derive(Clone, Copy, PartialEq)]
+            enum Colour {
+                White,
+                Grey,
+                Black,
+            }
+            let mut colour: Vec<Vec<Colour>> = memo
+                .groups()
+                .map(|g| vec![Colour::White; g.physical.len()])
+                .collect();
+            let all: Vec<PhysId> = memo
+                .groups()
+                .flat_map(|g| g.phys_iter().map(|(id, _)| id))
+                .collect();
+            for start in all {
+                if colour[start.group.0 as usize][start.index] != Colour::White {
+                    continue;
+                }
+                let mut stack: Vec<(PhysId, usize, usize)> = vec![(start, 0, 0)];
+                colour[start.group.0 as usize][start.index] = Colour::Grey;
+                while let Some(&mut (id, ref mut slot, ref mut alt)) = stack.last_mut() {
+                    let slots = self.children(id);
+                    if *slot >= slots.len() {
+                        colour[id.group.0 as usize][id.index] = Colour::Black;
+                        stack.pop();
+                        continue;
+                    }
+                    if *alt >= slots[*slot].len() {
+                        *slot += 1;
+                        *alt = 0;
+                        continue;
+                    }
+                    let child = slots[*slot][*alt];
+                    *alt += 1;
+                    match colour[child.group.0 as usize][child.index] {
+                        Colour::White => {
+                            colour[child.group.0 as usize][child.index] = Colour::Grey;
+                            stack.push((child, 0, 0));
+                        }
+                        Colour::Grey => panic!("cyclic memo in legacy baseline"),
+                        Colour::Black => {}
+                    }
+                }
+            }
+        }
+    }
+
+    pub struct Counts {
+        per_expr: Vec<Vec<Nat>>,
+        total: Nat,
+    }
+
+    impl Counts {
+        pub fn compute(memo: &Memo, links: &Links) -> Counts {
+            let mut per_expr: Vec<Vec<Option<Nat>>> = memo
+                .groups()
+                .map(|g| vec![None; g.physical.len()])
+                .collect();
+            for group in memo.groups() {
+                for (id, _) in group.phys_iter() {
+                    count_rec(links, id, &mut per_expr);
+                }
+            }
+            let per_expr: Vec<Vec<Nat>> = per_expr
+                .into_iter()
+                .map(|v| v.into_iter().map(|c| c.expect("all visited")).collect())
+                .collect();
+            let root = memo.root();
+            let total = per_expr[root.0 as usize].iter().sum();
+            Counts { per_expr, total }
+        }
+
+        pub fn total(&self) -> &Nat {
+            &self.total
+        }
+
+        pub fn rooted(&self, id: PhysId) -> &Nat {
+            &self.per_expr[id.group.0 as usize][id.index]
+        }
+    }
+
+    fn count_rec(links: &Links, id: PhysId, cache: &mut [Vec<Option<Nat>>]) -> Nat {
+        if let Some(n) = &cache[id.group.0 as usize][id.index] {
+            return n.clone();
+        }
+        let slots = links.children(id);
+        let n = if slots.is_empty() {
+            Nat::one()
+        } else {
+            let mut product = Nat::one();
+            for alternatives in slots {
+                let b: Nat = alternatives
+                    .iter()
+                    .map(|&w| count_rec(links, w, cache))
+                    .sum();
+                product = product * b;
+            }
+            product
+        };
+        cache[id.group.0 as usize][id.index] = Some(n.clone());
+        n
+    }
+}
+
+fn median_secs(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn bench_build_scaling(c: &mut Criterion) {
+    // --- Q8 + cross products (the paper's largest memo) and clique-6. ---
+    let (catalog, _) = plansample_catalog::tpch::catalog();
+    let q8 = prepare(
+        &catalog,
+        "Q8_CP",
+        plansample_query::tpch::q8(&catalog),
+        true,
+    );
+    let memo = Arc::clone(q8.space().memo_shared());
+    let query = Arc::clone(q8.space().query_shared());
+
+    let clique6 = {
+        let (catalog, query) = JoinGraphSpec::new(Topology::Clique, 6, 42).build();
+        plansample::PreparedQuery::prepare(
+            &catalog,
+            &query,
+            &plansample_optimizer::OptimizerConfig::default(),
+        )
+        .expect("clique-6 optimizes")
+    };
+
+    for (label, memo, query) in [
+        ("Q8_CP", &memo, &query),
+        (
+            "clique6",
+            clique6.space().memo_shared(),
+            clique6.space().query_shared(),
+        ),
+    ] {
+        let mut group = c.benchmark_group(format!("build_layout/{label}"));
+        group.sample_size(10);
+        group.bench_function("flat", |b| {
+            b.iter(|| {
+                let space = PlanSpace::build_shared(Arc::clone(memo), Arc::clone(query)).unwrap();
+                std::hint::black_box(space.total().clone())
+            })
+        });
+        group.bench_function("legacy", |b| {
+            b.iter(|| {
+                let links = legacy::Links::build(memo, query);
+                let counts = legacy::Counts::compute(memo, &links);
+                std::hint::black_box(counts.total().clone())
+            })
+        });
+        group.finish();
+    }
+
+    // --- Synthetic 10–12-relation join graphs, built directly. ----------
+    let mut group = c.benchmark_group("build_scaling/synthetic");
+    group.sample_size(10);
+    for spec in [
+        JoinGraphSpec::new(Topology::Cycle, 12, 20000),
+        JoinGraphSpec::new(Topology::Star, 11, 20000),
+        JoinGraphSpec::new(Topology::Clique, 10, 20000),
+    ] {
+        let (_, query, memo) = spec.build_memo();
+        let (memo, query) = (Arc::new(memo), Arc::new(query));
+        group.bench_function(
+            format!("{} ({} exprs)", spec.label(), memo.num_physical()),
+            |b| {
+                b.iter(|| {
+                    let space =
+                        PlanSpace::build_shared(Arc::clone(&memo), Arc::clone(&query)).unwrap();
+                    std::hint::black_box(space.total().clone())
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // --- Acceptance assertion 1: ≥ 5× on Q8+CP, identical results. ------
+    let runs = 7;
+    let flat_secs = median_secs(
+        (0..runs)
+            .map(|_| {
+                let t = Instant::now();
+                let space = PlanSpace::build_shared(Arc::clone(&memo), Arc::clone(&query)).unwrap();
+                std::hint::black_box(space.total().clone());
+                t.elapsed().as_secs_f64()
+            })
+            .collect(),
+    );
+    let legacy_secs = median_secs(
+        (0..runs)
+            .map(|_| {
+                let t = Instant::now();
+                let links = legacy::Links::build(&memo, &query);
+                let counts = legacy::Counts::compute(&memo, &links);
+                std::hint::black_box(counts.total().clone());
+                t.elapsed().as_secs_f64()
+            })
+            .collect(),
+    );
+    let space = PlanSpace::build_shared(Arc::clone(&memo), Arc::clone(&query)).unwrap();
+    let legacy_links = legacy::Links::build(&memo, &query);
+    let legacy_counts = legacy::Counts::compute(&memo, &legacy_links);
+    assert_eq!(
+        space.total(),
+        legacy_counts.total(),
+        "flat and legacy layouts must count identically"
+    );
+    for id in space.links().all_ids() {
+        assert_eq!(
+            space.count_rooted(id),
+            legacy_counts.rooted(id),
+            "count of {id} diverged"
+        );
+    }
+    let speedup = legacy_secs / flat_secs.max(1e-12);
+    let per_expr = flat_secs * 1e9 / memo.num_physical() as f64;
+    println!(
+        "build_layout/Q8_CP: flat {:.2} ms vs legacy {:.2} ms ({speedup:.1}x, {per_expr:.0} ns/expr, \
+         {} bytes, {:.1} bytes/expr)",
+        flat_secs * 1e3,
+        legacy_secs * 1e3,
+        space.size_bytes(),
+        space.size_bytes() as f64 / memo.num_physical() as f64,
+    );
+    assert!(
+        speedup >= 5.0,
+        "flat layout must build >= 5x faster than the legacy layout on Q8+CP; \
+         measured {speedup:.1}x"
+    );
+
+    // --- Acceptance assertion 2: clique-10 multi-limb round trip. -------
+    let spec = JoinGraphSpec::new(Topology::Clique, 10, 20000);
+    let t = Instant::now();
+    let (_, query, memo) = spec.build_memo();
+    let synth_memo = t.elapsed();
+    let t = Instant::now();
+    let space = PlanSpace::build_shared(Arc::new(memo), Arc::new(query)).unwrap();
+    let synth_build = t.elapsed();
+    assert!(
+        space.total().limbs().len() >= 2,
+        "clique-10 total must exceed u64: {}",
+        space.total()
+    );
+    let mut last = space.total().clone();
+    last.decr();
+    for rank in [Nat::zero(), last] {
+        let plan = space.unrank(&rank).unwrap();
+        assert_eq!(&space.rank(&plan).unwrap(), &rank, "clique-10 round trip");
+    }
+    println!(
+        "build_scaling/clique-10: {} exprs, N = {} ({} limbs), memo {synth_memo:.2?}, \
+         space {synth_build:.2?}, {:.1} bytes/expr",
+        space.memo().num_physical(),
+        space.total(),
+        space.total().limbs().len(),
+        space.size_bytes() as f64 / space.memo().num_physical() as f64,
+    );
+}
+
+criterion_group!(benches, bench_build_scaling);
+criterion_main!(benches);

@@ -78,6 +78,13 @@ impl Nat {
         self.limbs == [1]
     }
 
+    /// Bytes of memory held by this number: the inline struct plus the
+    /// limb buffer at its allocated capacity. Used by the plan-space
+    /// size accounting that drives memory-bounded cache eviction.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.limbs.capacity() * std::mem::size_of::<u64>()
+    }
+
     /// Number of significant bits (`0` for zero).
     pub fn bits(&self) -> u64 {
         match self.limbs.last() {

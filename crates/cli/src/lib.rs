@@ -310,7 +310,7 @@ fn parse_plan(spec: &str, prepared: &PreparedQuery) -> Result<PlanNode, CliError
     ) -> Result<PlanNode, CliError> {
         let id = tokens[*pos];
         *pos += 1;
-        let arity = prepared.space().links().children(id).len();
+        let arity = prepared.space().links().arity_of(id);
         let mut children = Vec::with_capacity(arity);
         for _ in 0..arity {
             if *pos >= tokens.len() {

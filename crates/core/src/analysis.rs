@@ -13,7 +13,6 @@
 //! distribution analytically".
 
 use crate::PlanSpace;
-use plansample_memo::PhysId;
 
 impl PlanSpace {
     /// Expected number of occurrences of each expression in one
@@ -26,67 +25,46 @@ impl PlanSpace {
     /// are genuine probabilities; the method still sums contributions
     /// defensively.
     pub fn operator_frequencies(&self) -> Vec<Vec<f64>> {
-        let mut expected: Vec<Vec<f64>> = self
-            .memo
-            .groups()
-            .map(|g| vec![0.0; g.physical.len()])
-            .collect();
+        let nest = |flat: &[f64]| -> Vec<Vec<f64>> {
+            self.memo
+                .groups()
+                .map(|g| {
+                    g.phys_iter()
+                        .map(|(id, _)| flat[self.links.ids().dense(id).idx()])
+                        .collect()
+                })
+                .collect()
+        };
+        let mut expected = vec![0.0f64; self.links.num_exprs()];
         let total = self.total().to_f64();
         if total == 0.0 {
-            return expected;
+            return nest(&expected);
         }
 
-        // Seed the roots with N(v)/N, then push accumulated mass down in
-        // a Kahn topological pass so every expression is processed
-        // exactly once (a naive worklist would re-expand shared
-        // sub-spaces exponentially often).
-        let root = self.memo.root();
-        for (id, _) in self.memo.group(root).phys_iter() {
-            expected[id.group.0 as usize][id.index] = self.count_rooted(id).to_f64() / total;
+        // Seed the roots with N(v)/N, then push accumulated mass down the
+        // links' precomputed topological order in reverse (parents before
+        // children), so every expression is processed exactly once — a
+        // naive worklist would re-expand shared sub-spaces exponentially
+        // often.
+        for &d in self.links.list(self.links.root_list()) {
+            expected[d.idx()] = self.counts.rooted(d).to_f64() / total;
         }
-
-        let mut in_deg: Vec<Vec<usize>> = self
-            .memo
-            .groups()
-            .map(|g| vec![0; g.physical.len()])
-            .collect();
-        let all_ids: Vec<PhysId> = self
-            .memo
-            .groups()
-            .flat_map(|g| g.phys_iter().map(|(id, _)| id))
-            .collect();
-        for &id in &all_ids {
-            for alternatives in self.links.children(id) {
-                for w in alternatives {
-                    in_deg[w.group.0 as usize][w.index] += 1;
+        for &d in self.links.topo().iter().rev() {
+            let mass = expected[d.idx()];
+            if mass == 0.0 {
+                continue;
+            }
+            for &l in self.links.slot_lists(d) {
+                let b = self.counts.list_total(l).to_f64();
+                if b == 0.0 {
+                    continue;
+                }
+                for &w in self.links.list(l) {
+                    expected[w.idx()] += mass * self.counts.rooted(w).to_f64() / b;
                 }
             }
         }
-        let mut queue: Vec<PhysId> = all_ids
-            .iter()
-            .copied()
-            .filter(|id| in_deg[id.group.0 as usize][id.index] == 0)
-            .collect();
-        while let Some(id) = queue.pop() {
-            let mass = expected[id.group.0 as usize][id.index];
-            for alternatives in self.links.children(id) {
-                let b: f64 = alternatives
-                    .iter()
-                    .map(|&w| self.count_rooted(w).to_f64())
-                    .sum();
-                for &w in alternatives {
-                    if b > 0.0 {
-                        let share = self.count_rooted(w).to_f64() / b;
-                        expected[w.group.0 as usize][w.index] += mass * share;
-                    }
-                    in_deg[w.group.0 as usize][w.index] -= 1;
-                    if in_deg[w.group.0 as usize][w.index] == 0 {
-                        queue.push(w);
-                    }
-                }
-            }
-        }
-        expected
+        nest(&expected)
     }
 
     /// Expected plan size (operator count) of a uniform sample — the sum

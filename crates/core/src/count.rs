@@ -11,45 +11,86 @@
 //!
 //! Counts are exact [`Nat`]s: Table 1 of the paper reports spaces above
 //! 4·10^12, and counts overflow any fixed-width integer as queries grow.
-//! Each expression is visited once (memoized), so counting is linear in
-//! the size of the MEMO — the paper's complexity claim, benchmarked in
-//! `plansample-bench`.
+//!
+//! The pass is a single iterative walk over the topological order the
+//! links precomputed (children before parents), filling one flat
+//! `Vec<Nat>` indexed by [`DenseId`] — no recursion, no memo-cache
+//! clones. The per-slot totals `b_v(i)` are computed once per *interned*
+//! alternative list and kept ([`Counts::list_total`]), so unranking,
+//! ranking, and sampling read them instead of re-summing alternatives on
+//! every mixed-radix step. Each expression and each list entry is
+//! visited exactly once — the paper's linear-time claim, benchmarked in
+//! `plansample-bench` (`build_scaling`).
 
-use crate::Links;
+use crate::{links::ListId, Links};
 use plansample_bignum::Nat;
-use plansample_memo::{Memo, PhysId};
+use plansample_memo::DenseId;
 
-/// Exact plan counts for every expression plus the space total.
+/// Exact plan counts for every expression plus the space total and the
+/// precomputed per-list slot totals, all in flat dense-indexed buffers.
 #[derive(Debug, Clone)]
 pub struct Counts {
-    per_expr: Vec<Vec<Nat>>,
+    /// `N(v)` by dense id.
+    per_expr: Vec<Nat>,
+    /// `b` of each interned alternative list (the slot totals).
+    list_totals: Vec<Nat>,
+    /// `N`: the whole-space total.
     total: Nat,
 }
 
 impl Counts {
-    /// Computes all counts. `links` must come from the same memo.
-    pub fn compute(memo: &Memo, links: &Links) -> Counts {
-        let mut per_expr: Vec<Vec<Option<Nat>>> = memo
-            .groups()
-            .map(|g| vec![None; g.physical.len()])
-            .collect();
-        for group in memo.groups() {
-            for (id, _) in group.phys_iter() {
-                count_rec(links, id, &mut per_expr);
-            }
+    /// Computes all counts in one pass over `links.topo()`.
+    pub fn compute(links: &Links) -> Counts {
+        let mut per_expr: Vec<Nat> = vec![Nat::zero(); links.num_exprs()];
+        let mut list_totals: Vec<Nat> = vec![Nat::zero(); links.num_lists()];
+        let mut list_done = vec![false; links.num_lists()];
+
+        for &d in links.topo() {
+            let lists = links.slot_lists(d);
+            let n = if lists.is_empty() {
+                Nat::one()
+            } else {
+                let mut product = Nat::one();
+                for &l in lists {
+                    // First parent to reference a list computes its b;
+                    // its children are already counted (topo order) and
+                    // every later slot sharing the list reuses it.
+                    if !list_done[l.idx()] {
+                        list_totals[l.idx()] =
+                            links.list(l).iter().map(|&w| &per_expr[w.idx()]).sum();
+                        list_done[l.idx()] = true;
+                    }
+                    product *= &list_totals[l.idx()]; // b = 0 ⇒ no completable plan here
+                }
+                product
+            };
+            per_expr[d.idx()] = n;
         }
-        let per_expr: Vec<Vec<Nat>> = per_expr
-            .into_iter()
-            .map(|v| v.into_iter().map(|c| c.expect("all visited")).collect())
-            .collect();
-        let root = memo.root();
-        let total = per_expr[root.0 as usize].iter().sum();
-        Counts { per_expr, total }
+
+        let root = links.root_list();
+        if !list_done[root.idx()] {
+            list_totals[root.idx()] = links.list(root).iter().map(|&w| &per_expr[w.idx()]).sum();
+        }
+        let total = list_totals[root.idx()].clone();
+        Counts {
+            per_expr,
+            list_totals,
+            total,
+        }
     }
 
-    /// `N(v)`: plans rooted in expression `id`.
-    pub fn rooted(&self, id: PhysId) -> &Nat {
-        &self.per_expr[id.group.0 as usize][id.index]
+    /// `N(v)`: plans rooted in expression `d`.
+    #[inline]
+    pub fn rooted(&self, d: DenseId) -> &Nat {
+        &self.per_expr[d.idx()]
+    }
+
+    /// `b_v(i)`: total alternatives of one interned child list (the sum
+    /// of the counts of its eligible children), precomputed at build
+    /// time.
+    #[inline]
+    pub fn list_total(&self, l: ListId) -> &Nat {
+        &self.list_totals[l.idx()]
     }
 
     /// `N`: plans rooted in any root-group expression — the size of the
@@ -58,33 +99,16 @@ impl Counts {
         &self.total
     }
 
-    /// `b_v(i)`: total alternatives for one child slot (the sum of the
-    /// counts of its eligible children).
-    pub fn slot_total(&self, alternatives: &[PhysId]) -> Nat {
-        alternatives.iter().map(|&w| self.rooted(w)).sum()
+    /// Bytes of memory held by the count buffers, including every limb
+    /// allocation, capacity-accurate.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.per_expr.iter().map(Nat::size_bytes).sum::<usize>()
+            + self.list_totals.iter().map(Nat::size_bytes).sum::<usize>()
+            + (self.per_expr.capacity() - self.per_expr.len()) * std::mem::size_of::<Nat>()
+            + (self.list_totals.capacity() - self.list_totals.len()) * std::mem::size_of::<Nat>()
+            + self.total.size_bytes()
     }
-}
-
-fn count_rec(links: &Links, id: PhysId, cache: &mut [Vec<Option<Nat>>]) -> Nat {
-    if let Some(n) = &cache[id.group.0 as usize][id.index] {
-        return n.clone();
-    }
-    let slots = links.children(id);
-    let n = if slots.is_empty() {
-        Nat::one()
-    } else {
-        let mut product = Nat::one();
-        for alternatives in slots {
-            let b: Nat = alternatives
-                .iter()
-                .map(|&w| count_rec(links, w, cache))
-                .sum();
-            product = product * b; // b = 0 ⇒ no completable plan here
-        }
-        product
-    };
-    cache[id.group.0 as usize][id.index] = Some(n.clone());
-    n
 }
 
 #[cfg(test)]
@@ -96,30 +120,46 @@ mod tests {
     fn paper_example_counts() {
         let ex = paper_example::build();
         let links = Links::build(&ex.memo, &ex.query).unwrap();
-        let counts = Counts::compute(&ex.memo, &links);
+        let counts = Counts::compute(&links);
+        let rooted = |id| counts.rooted(links.ids().dense(id));
 
         // Leaves count 1.
         for id in [ex.table_scan_a, ex.idx_scan_a, ex.idx_scan_b, ex.idx_scan_c] {
-            assert_eq!(counts.rooted(id), &Nat::one(), "{id}");
+            assert_eq!(rooted(id), &Nat::one(), "{id}");
         }
         // Sort_A has exactly one sortable input (the TableScan).
-        assert_eq!(counts.rooted(ex.sort_a).to_u64(), Some(1));
+        assert_eq!(rooted(ex.sort_a).to_u64(), Some(1));
         // HashJoin(A,B) = 3 × 2, MergeJoin(A,B) = 2 × 1.
-        assert_eq!(counts.rooted(ex.hash_join_ab).to_u64(), Some(6));
-        assert_eq!(counts.rooted(ex.merge_join_ab).to_u64(), Some(2));
+        assert_eq!(rooted(ex.hash_join_ab).to_u64(), Some(6));
+        assert_eq!(rooted(ex.merge_join_ab).to_u64(), Some(2));
         // Roots: 2 × (6+2) = 16 each; space total 32.
-        assert_eq!(counts.rooted(ex.root_c_ab).to_u64(), Some(16));
-        assert_eq!(counts.rooted(ex.root_ab_c).to_u64(), Some(16));
+        assert_eq!(rooted(ex.root_c_ab).to_u64(), Some(16));
+        assert_eq!(rooted(ex.root_ab_c).to_u64(), Some(16));
         assert_eq!(counts.total().to_u64(), Some(32));
     }
 
     #[test]
-    fn slot_totals_sum_alternative_counts() {
+    fn slot_totals_are_precomputed_per_list() {
         let ex = paper_example::build();
         let links = Links::build(&ex.memo, &ex.query).unwrap();
-        let counts = Counts::compute(&ex.memo, &links);
-        let slots = links.children(ex.root_c_ab);
-        assert_eq!(counts.slot_total(&slots[0]).to_u64(), Some(2)); // group C
-        assert_eq!(counts.slot_total(&slots[1]).to_u64(), Some(8)); // group AB
+        let counts = Counts::compute(&links);
+        let slots = links.slot_lists(links.ids().dense(ex.root_c_ab));
+        assert_eq!(counts.list_total(slots[0]).to_u64(), Some(2)); // group C
+        assert_eq!(counts.list_total(slots[1]).to_u64(), Some(8)); // group AB
+                                                                   // Every precomputed total matches a fresh sum over its list.
+        for (d, _) in links.ids().iter() {
+            for &l in links.slot_lists(d) {
+                let fresh: Nat = links.list(l).iter().map(|&w| counts.rooted(w)).sum();
+                assert_eq!(&fresh, counts.list_total(l));
+            }
+        }
+    }
+
+    #[test]
+    fn size_bytes_counts_every_nat() {
+        let ex = paper_example::build();
+        let links = Links::build(&ex.memo, &ex.query).unwrap();
+        let counts = Counts::compute(&links);
+        assert!(counts.size_bytes() >= links.num_exprs() * std::mem::size_of::<Nat>());
     }
 }

@@ -68,7 +68,7 @@ pub mod validate;
 
 pub use count::Counts;
 pub use enumerate::PlanCursor;
-pub use links::Links;
+pub use links::{Links, ListId};
 pub use prepared::PreparedQuery;
 pub use service::{PlanService, ServiceStats};
 
@@ -238,7 +238,7 @@ impl PlanSpace {
     /// avoiding the memo copy — the path [`PreparedQuery::prepare`] uses.
     pub fn build_shared(memo: Arc<Memo>, query: Arc<QuerySpec>) -> Result<Self, SpaceError> {
         let links = Links::build(&memo, &query)?;
-        let counts = Counts::compute(&memo, &links);
+        let counts = Counts::compute(&links);
         Ok(PlanSpace {
             memo,
             query,
@@ -253,8 +253,24 @@ impl PlanSpace {
     }
 
     /// `N(v)`: plans rooted in a particular expression.
+    ///
+    /// # Panics
+    /// Panics when `id` is not part of the underlying memo.
     pub fn count_rooted(&self, id: PhysId) -> &Nat {
-        self.counts.rooted(id)
+        self.counts.rooted(self.links.ids().dense(id))
+    }
+
+    /// Bytes of memory held by this plan space: the flat link and count
+    /// buffers (exact, capacity-accurate) plus the shared memo and query.
+    ///
+    /// This is the size accounting [`service::PlanService`]'s
+    /// byte-budget eviction charges against; the shared memo is included
+    /// because the space keeps it alive.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.links.size_bytes()
+            + self.counts.size_bytes()
+            + self.memo.size_bytes()
     }
 
     /// The underlying memo.
@@ -280,6 +296,12 @@ impl PlanSpace {
     /// The materialized links.
     pub fn links(&self) -> &Links {
         &self.links
+    }
+
+    /// The flat count tables (per-expression counts and per-list slot
+    /// totals).
+    pub fn counts(&self) -> &Counts {
+        &self.counts
     }
 }
 

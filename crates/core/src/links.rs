@@ -4,106 +4,327 @@
 //! "In order to facilitate later operations we extract all physical
 //! operators and materialize the links between operators and their
 //! possible children." For every physical expression and every child
-//! slot, [`Links`] stores the concrete list of compatible child
-//! expressions (property-filtered through
-//! [`plansample_memo::eligible_children`]). The resulting structure
-//! describes all possible execution plans rooted in each operator and is
-//! what counting and unranking traverse.
+//! slot, [`Links`] records the list of compatible child expressions
+//! (property-filtered through [`plansample_memo::eligible_children`]).
+//! The resulting structure describes all possible execution plans rooted
+//! in each operator and is what counting and unranking traverse.
 //!
-//! Building the links also verifies the plan graph is acyclic — a
-//! prerequisite for the bottom-up count to be well-defined. Memos
-//! produced by the optimizer are acyclic by construction (joins reference
+//! # Flat layout
+//!
+//! Expressions are addressed by [`DenseId`] (a memo-wide contiguous
+//! `u32`, see [`DenseIdMap`]) and the links are stored CSR-style in four
+//! flat buffers:
+//!
+//! ```text
+//!   pool:        [DenseId]   all alternative lists, concatenated
+//!   list_bounds: [u32]       list l = pool[list_bounds[l] .. list_bounds[l+1]]
+//!   slot_lists:  [ListId]    per-expression slot → list, concatenated
+//!   slot_bounds: [u32]       expr d's slots = slot_lists[slot_bounds[d] .. slot_bounds[d+1]]
+//! ```
+//!
+//! Alternative lists are *interned*: two slots demanding the same
+//! `(group, requirement)` — or even different requirements that filter
+//! down to the same child set — share one [`ListId`]. Sibling joins over
+//! the same input groups share most of their lists, which collapses both
+//! the memory footprint and the number of `eligible_children` property
+//! scans from "once per slot" to "once per distinct slot". The per-list
+//! slot totals `b_v(i)` of §3.2 are likewise computed once per distinct
+//! list (see [`crate::Counts`]).
+//!
+//! Building the links also computes a topological order of the plan
+//! graph (children before parents) in the same pass that verifies
+//! acyclicity — a prerequisite for the bottom-up count. Memos produced
+//! by the optimizer are acyclic by construction (joins reference
 //! strictly smaller relation sets; enforcers never feed enforcers), but
 //! hand-built memos are checked defensively.
 
 use crate::SpaceError;
-use plansample_memo::{eligible_children, Memo, PhysId};
+use plansample_memo::{eligible_children, ChildSlot, DenseId, DenseIdMap, Memo, PhysId};
 use plansample_query::QuerySpec;
+use std::collections::HashMap;
 
-/// Materialized parent→child links for every physical expression.
+/// Identifies one interned child-alternative list within a [`Links`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ListId(u32);
+
+impl ListId {
+    /// The id as a usize array index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Materialized parent→child links for every physical expression, in the
+/// flat CSR layout described in the module docs above.
 #[derive(Debug, Clone)]
 pub struct Links {
-    /// `[group][expr][slot] -> eligible child expression ids`.
-    slots: Vec<Vec<Vec<Vec<PhysId>>>>,
+    ids: DenseIdMap,
+    /// All interned alternative lists, concatenated.
+    pool: Vec<DenseId>,
+    /// `list_bounds[l]..list_bounds[l+1]` bounds list `l` in `pool`.
+    list_bounds: Vec<u32>,
+    /// Per-expression slot → interned list, concatenated in slot order.
+    slot_lists: Vec<ListId>,
+    /// `slot_bounds[d]..slot_bounds[d+1]` bounds expr `d` in `slot_lists`.
+    slot_bounds: Vec<u32>,
+    /// Every expression, children before parents (also proves acyclicity).
+    topo: Vec<DenseId>,
+    /// The root group's expressions as an interned list — the alternative
+    /// list the whole-space operations start from.
+    root_list: ListId,
 }
 
 impl Links {
-    /// Materializes all links and checks acyclicity.
+    /// Materializes all links, interning duplicate alternative lists, and
+    /// computes the topological order (failing on cyclic hand-built
+    /// memos).
     pub fn build(memo: &Memo, query: &QuerySpec) -> Result<Links, SpaceError> {
-        let slots: Vec<Vec<Vec<Vec<PhysId>>>> = memo
-            .groups()
-            .map(|group| {
-                group
-                    .phys_iter()
-                    .map(|(id, expr)| {
-                        expr.child_slots(id.group)
-                            .iter()
-                            .map(|slot| eligible_children(memo, query, slot))
-                            .collect()
-                    })
-                    .collect()
-            })
-            .collect();
-        let links = Links { slots };
-        links.check_acyclic(memo)?;
+        let ids = DenseIdMap::build(memo);
+        let n = ids.len();
+
+        let mut pool: Vec<DenseId> = Vec::new();
+        let mut list_bounds: Vec<u32> = vec![0];
+        let mut slot_lists: Vec<ListId> = Vec::new();
+        let mut slot_bounds: Vec<u32> = Vec::with_capacity(n + 1);
+        slot_bounds.push(0);
+
+        // Two-level interning: by slot (skips the eligible_children scan
+        // entirely on repeats) and by content (collapses distinct slots
+        // that filter to the same alternatives).
+        let mut by_slot: HashMap<ChildSlot, ListId> = HashMap::new();
+        let mut by_content: HashMap<Vec<DenseId>, ListId> = HashMap::new();
+        let mut intern =
+            |kids: Vec<DenseId>, pool: &mut Vec<DenseId>, bounds: &mut Vec<u32>| match by_content
+                .get(&kids)
+            {
+                Some(&l) => l,
+                None => {
+                    pool.extend_from_slice(&kids);
+                    bounds.push(pool.len() as u32);
+                    let l = ListId(bounds.len() as u32 - 2);
+                    by_content.insert(kids, l);
+                    l
+                }
+            };
+
+        for group in memo.groups() {
+            for (id, expr) in group.phys_iter() {
+                for slot in expr.child_slots(id.group) {
+                    let lid = match by_slot.get(&slot) {
+                        Some(&l) => l,
+                        None => {
+                            let kids: Vec<DenseId> = eligible_children(memo, query, &slot)
+                                .iter()
+                                .map(|&k| ids.dense(k))
+                                .collect();
+                            let l = intern(kids, &mut pool, &mut list_bounds);
+                            by_slot.insert(slot, l);
+                            l
+                        }
+                    };
+                    slot_lists.push(lid);
+                }
+                slot_bounds.push(slot_lists.len() as u32);
+            }
+        }
+
+        let root_members: Vec<DenseId> = ids.group_range(memo.root()).map(DenseId).collect();
+        let root_list = intern(root_members, &mut pool, &mut list_bounds);
+
+        let mut links = Links {
+            ids,
+            pool,
+            list_bounds,
+            slot_lists,
+            slot_bounds,
+            topo: Vec::new(),
+            root_list,
+        };
+        links.topo = links.topo_sort()?;
         Ok(links)
     }
 
-    /// The alternatives for each child slot of `id`, in slot order.
-    pub fn children(&self, id: PhysId) -> &[Vec<PhysId>] {
-        &self.slots[id.group.0 as usize][id.index]
+    /// The dense-id table shared by everything built on these links.
+    pub fn ids(&self) -> &DenseIdMap {
+        &self.ids
     }
 
-    /// Iterates every expression id covered by these links.
-    pub fn all_ids<'a>(&'a self, memo: &'a Memo) -> impl Iterator<Item = PhysId> + 'a {
-        memo.groups().flat_map(|g| g.phys_iter().map(|(id, _)| id))
+    /// Number of physical expressions covered.
+    pub fn num_exprs(&self) -> usize {
+        self.ids.len()
     }
 
-    /// DFS three-colour cycle check over the materialized link graph.
-    fn check_acyclic(&self, memo: &Memo) -> Result<(), SpaceError> {
-        #[derive(Clone, Copy, PartialEq)]
-        enum Colour {
-            White,
-            Grey,
-            Black,
-        }
-        let mut colour: Vec<Vec<Colour>> = memo
-            .groups()
-            .map(|g| vec![Colour::White; g.physical.len()])
-            .collect();
+    /// Number of distinct (interned) alternative lists.
+    pub fn num_lists(&self) -> usize {
+        self.list_bounds.len() - 1
+    }
 
-        // Iterative DFS to avoid stack depth concerns on big memos.
-        for start in self.all_ids(memo).collect::<Vec<_>>() {
-            if colour[start.group.0 as usize][start.index] != Colour::White {
+    /// Total entries across the interned lists (the arena size; without
+    /// interning this would be the full link count).
+    pub fn num_pooled_links(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// The alternatives of one interned list.
+    #[inline]
+    pub fn list(&self, l: ListId) -> &[DenseId] {
+        &self.pool[self.list_bounds[l.idx()] as usize..self.list_bounds[l.idx() + 1] as usize]
+    }
+
+    /// The interned list of each child slot of `d`, in slot order.
+    #[inline]
+    pub fn slot_lists(&self, d: DenseId) -> &[ListId] {
+        &self.slot_lists[self.slot_bounds[d.idx()] as usize..self.slot_bounds[d.idx() + 1] as usize]
+    }
+
+    /// Number of child slots of `d` (the paper's `|v|`).
+    #[inline]
+    pub fn arity(&self, d: DenseId) -> usize {
+        (self.slot_bounds[d.idx() + 1] - self.slot_bounds[d.idx()]) as usize
+    }
+
+    /// Number of child slots of an expression, by nominal id.
+    ///
+    /// # Panics
+    /// Panics when `id` is not part of the linked memo.
+    pub fn arity_of(&self, id: PhysId) -> usize {
+        self.arity(self.ids.dense(id))
+    }
+
+    /// The list every whole-space operation starts from: the root group's
+    /// expressions.
+    pub fn root_list(&self) -> ListId {
+        self.root_list
+    }
+
+    /// Every expression in a children-before-parents order. Computed once
+    /// at build time; the iterative count and the analytical passes walk
+    /// it instead of recursing.
+    pub fn topo(&self) -> &[DenseId] {
+        &self.topo
+    }
+
+    /// Iterates every expression id covered by these links, in dense
+    /// order. (Self-contained: the links carry their own id table.)
+    pub fn all_ids(&self) -> impl Iterator<Item = PhysId> + '_ {
+        self.ids.iter().map(|(_, id)| id)
+    }
+
+    /// The alternatives for each child slot of `id`, materialized as
+    /// nominal ids — the nested view tests and diagnostics read; hot
+    /// paths use [`slot_lists`](Self::slot_lists)/[`list`](Self::list)
+    /// directly.
+    pub fn children_of(&self, id: PhysId) -> Vec<Vec<PhysId>> {
+        self.slot_lists(self.ids.dense(id))
+            .iter()
+            .map(|&l| self.list(l).iter().map(|&d| self.ids.phys(d)).collect())
+            .collect()
+    }
+
+    /// Bytes of memory held by the links: the id table plus the four flat
+    /// buffers, capacity-accurate.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() - std::mem::size_of::<DenseIdMap>()
+            + self.ids.size_bytes()
+            + self.pool.capacity() * std::mem::size_of::<DenseId>()
+            + self.list_bounds.capacity() * std::mem::size_of::<u32>()
+            + self.slot_lists.capacity() * std::mem::size_of::<ListId>()
+            + self.slot_bounds.capacity() * std::mem::size_of::<u32>()
+            + self.topo.capacity() * std::mem::size_of::<DenseId>()
+    }
+
+    /// Iterative three-colour DFS producing the children-before-parents
+    /// post-order; a grey hit is a cycle.
+    ///
+    /// The walk runs over the *condensed bipartite graph* — an expression
+    /// points at its interned lists, a list at its member expressions —
+    /// so the edge count is `slots + pooled entries`, not the full
+    /// (interning-free) link count the naive link graph would force it
+    /// to visit. On Q8+CP that is ~80k edges instead of several million.
+    fn topo_sort(&self) -> Result<Vec<DenseId>, SpaceError> {
+        const WHITE: u8 = 0;
+        const GREY: u8 = 1;
+        const BLACK: u8 = 2;
+        /// Tag bit distinguishing list nodes from expression nodes.
+        const LIST: u32 = 1 << 31;
+        let n = self.num_exprs();
+        let mut expr_colour = vec![WHITE; n];
+        let mut list_colour = vec![WHITE; self.num_lists()];
+        let mut topo = Vec::with_capacity(n);
+        // Frame: (tagged node, cursor) — the cursor is an absolute index
+        // into `slot_lists` for expression nodes and into `pool` for list
+        // nodes.
+        let mut stack: Vec<(u32, u32)> = Vec::new();
+        for start in 0..n as u32 {
+            if expr_colour[start as usize] != WHITE {
                 continue;
             }
-            let mut stack: Vec<(PhysId, usize, usize)> = vec![(start, 0, 0)];
-            colour[start.group.0 as usize][start.index] = Colour::Grey;
-            while let Some(&mut (id, ref mut slot, ref mut alt)) = stack.last_mut() {
-                let slots = self.children(id);
-                if *slot >= slots.len() {
-                    colour[id.group.0 as usize][id.index] = Colour::Black;
-                    stack.pop();
-                    continue;
-                }
-                if *alt >= slots[*slot].len() {
-                    *slot += 1;
-                    *alt = 0;
-                    continue;
-                }
-                let child = slots[*slot][*alt];
-                *alt += 1;
-                match colour[child.group.0 as usize][child.index] {
-                    Colour::White => {
-                        colour[child.group.0 as usize][child.index] = Colour::Grey;
-                        stack.push((child, 0, 0));
+            expr_colour[start as usize] = GREY;
+            stack.push((start, self.slot_bounds[start as usize]));
+            while let Some(&mut (node, ref mut cursor)) = stack.last_mut() {
+                // The next successor: a list for expressions, a member
+                // expression for lists. `None` once the node is done.
+                let next = if node & LIST == 0 {
+                    if *cursor == self.slot_bounds[(node + 1) as usize] {
+                        expr_colour[node as usize] = BLACK;
+                        topo.push(DenseId(node));
+                        stack.pop();
+                        continue;
                     }
-                    Colour::Grey => return Err(SpaceError::CyclicMemo { at: child }),
-                    Colour::Black => {}
+                    let l = self.slot_lists[*cursor as usize];
+                    *cursor += 1;
+                    (l.0 | LIST, self.list_bounds[l.idx()], list_colour[l.idx()])
+                } else {
+                    let l = (node & !LIST) as usize;
+                    if *cursor == self.list_bounds[l + 1] {
+                        list_colour[l] = BLACK;
+                        stack.pop();
+                        continue;
+                    }
+                    let child = self.pool[*cursor as usize];
+                    *cursor += 1;
+                    (
+                        child.0,
+                        self.slot_bounds[child.idx()],
+                        expr_colour[child.idx()],
+                    )
+                };
+                let (succ, succ_cursor, succ_colour) = next;
+                match succ_colour {
+                    WHITE => {
+                        if succ & LIST == 0 {
+                            expr_colour[succ as usize] = GREY;
+                        } else {
+                            list_colour[(succ & !LIST) as usize] = GREY;
+                        }
+                        stack.push((succ, succ_cursor));
+                    }
+                    GREY => {
+                        // A grey list means the cycle runs through one of
+                        // its member expressions; report the nearest
+                        // expression on the stack for a nominal id.
+                        let at = if succ & LIST == 0 {
+                            DenseId(succ)
+                        } else {
+                            DenseId(
+                                stack
+                                    .iter()
+                                    .rev()
+                                    .map(|&(n, _)| n)
+                                    .find(|&n| n & LIST == 0)
+                                    .expect("a grey list implies an expression beneath it"),
+                            )
+                        };
+                        return Err(SpaceError::CyclicMemo {
+                            at: self.ids.phys(at),
+                        });
+                    }
+                    _ => {}
                 }
             }
         }
-        Ok(())
+        Ok(topo)
     }
 }
 
@@ -120,24 +341,24 @@ mod tests {
         let links = Links::build(&ex.memo, &ex.query).unwrap();
 
         // Sort in group A: only the TableScan is a sortable input.
-        let sort_children = links.children(ex.sort_a);
+        let sort_children = links.children_of(ex.sort_a);
         assert_eq!(sort_children.len(), 1);
         assert_eq!(sort_children[0], vec![ex.table_scan_a]);
 
         // MergeJoin(A,B): left alternatives IdxScan_A and Sort_A; right
         // only IdxScan_B — "operator 3.4 however can use only the
         // darkened operators 2.3 and 1.3 or 1.4".
-        let mj = links.children(ex.merge_join_ab);
+        let mj = links.children_of(ex.merge_join_ab);
         assert_eq!(mj[0], vec![ex.idx_scan_a, ex.sort_a]);
         assert_eq!(mj[1], vec![ex.idx_scan_b]);
 
         // HashJoin(A,B): any of group A (3) × any of group B (2).
-        let hj = links.children(ex.hash_join_ab);
+        let hj = links.children_of(ex.hash_join_ab);
         assert_eq!(hj[0].len(), 3);
         assert_eq!(hj[1].len(), 2);
 
         // Root 7.7-analogue: any of group C (2) × any of group AB (2).
-        let root = links.children(ex.root_c_ab);
+        let root = links.children_of(ex.root_c_ab);
         assert_eq!(root[0].len(), 2);
         assert_eq!(root[1].len(), 2);
     }
@@ -146,8 +367,76 @@ mod tests {
     fn leaves_have_no_slots() {
         let ex = paper_example::build();
         let links = Links::build(&ex.memo, &ex.query).unwrap();
-        assert!(links.children(ex.table_scan_a).is_empty());
-        assert!(links.children(ex.idx_scan_c).is_empty());
+        assert!(links.children_of(ex.table_scan_a).is_empty());
+        assert!(links.children_of(ex.idx_scan_c).is_empty());
+        assert_eq!(links.arity_of(ex.table_scan_a), 0);
+        assert_eq!(links.arity_of(ex.root_c_ab), 2);
+    }
+
+    #[test]
+    fn identical_slots_intern_to_one_list() {
+        // The two roots HashJoin(C, AB) and HashJoin(AB, C) both have an
+        // unconstrained slot on group C and one on group AB; the sibling
+        // hash join in group AB shares the unconstrained A and B lists
+        // with nothing else, but the roots' four slots intern to two
+        // lists.
+        let ex = paper_example::build();
+        let links = Links::build(&ex.memo, &ex.query).unwrap();
+        let a = links.slot_lists(links.ids().dense(ex.root_c_ab));
+        let b = links.slot_lists(links.ids().dense(ex.root_ab_c));
+        assert_eq!(a[0], b[1], "group-C slots share one interned list");
+        assert_eq!(a[1], b[0], "group-AB slots share one interned list");
+        // Interning keeps the arena strictly smaller than the sum of all
+        // per-slot list lengths.
+        let flat: usize = links
+            .all_ids()
+            .map(|id| links.children_of(id).iter().map(Vec::len).sum::<usize>())
+            .sum();
+        assert!(links.num_pooled_links() < flat);
+    }
+
+    #[test]
+    fn topo_orders_children_before_parents() {
+        let ex = paper_example::build();
+        let links = Links::build(&ex.memo, &ex.query).unwrap();
+        assert_eq!(links.topo().len(), links.num_exprs());
+        let mut position = vec![usize::MAX; links.num_exprs()];
+        for (i, &d) in links.topo().iter().enumerate() {
+            position[d.idx()] = i;
+        }
+        for (d, _) in links.ids().iter() {
+            for &l in links.slot_lists(d) {
+                for &child in links.list(l) {
+                    assert!(
+                        position[child.idx()] < position[d.idx()],
+                        "child {child:?} must precede parent {d:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_ids_needs_no_memo_and_covers_everything() {
+        let ex = paper_example::build();
+        let links = Links::build(&ex.memo, &ex.query).unwrap();
+        let ids: Vec<PhysId> = links.all_ids().collect();
+        assert_eq!(ids.len(), ex.memo.num_physical());
+        let from_memo: Vec<PhysId> = ex
+            .memo
+            .groups()
+            .flat_map(|g| g.phys_iter().map(|(id, _)| id))
+            .collect();
+        assert_eq!(ids, from_memo);
+    }
+
+    #[test]
+    fn size_bytes_tracks_the_flat_buffers() {
+        let ex = paper_example::build();
+        let links = Links::build(&ex.memo, &ex.query).unwrap();
+        let floor = links.num_pooled_links() * std::mem::size_of::<DenseId>()
+            + links.num_exprs() * std::mem::size_of::<u32>();
+        assert!(links.size_bytes() >= floor);
     }
 
     #[test]

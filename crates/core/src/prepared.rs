@@ -177,6 +177,17 @@ impl PreparedQuery {
         self.space.enumerate_from(rank)
     }
 
+    /// Bytes of memory held by this artifact: the plan space's flat link
+    /// and count buffers, the shared memo, and the best plan.
+    ///
+    /// The value the serving layer's byte-budget eviction charges per
+    /// cached entry (see [`crate::service::PlanService`]).
+    pub fn size_bytes(&self) -> usize {
+        self.space.size_bytes() + self.best_plan.size_bytes() + std::mem::size_of::<Self>()
+            - std::mem::size_of::<PlanSpace>()
+            - std::mem::size_of::<PlanNode>()
+    }
+
     /// The underlying plan space, for the full low-level surface
     /// (analysis, validation, naive-walk baseline, …).
     pub fn space(&self) -> &PlanSpace {

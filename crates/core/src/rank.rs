@@ -12,7 +12,7 @@
 
 use crate::{PlanSpace, SpaceError};
 use plansample_bignum::Nat;
-use plansample_memo::{PhysId, PlanNode};
+use plansample_memo::{DenseId, PlanNode};
 
 impl PlanSpace {
     /// Computes the rank of `plan` within this space.
@@ -22,22 +22,21 @@ impl PlanSpace {
     /// position (e.g. a plan from a different memo, or one violating
     /// physical-property requirements).
     pub fn rank(&self, plan: &PlanNode) -> Result<Nat, SpaceError> {
-        let root_alternatives: Vec<PhysId> = self
-            .memo
-            .group(self.memo.root())
-            .phys_iter()
-            .map(|(id, _)| id)
-            .collect();
-        self.rank_in(&root_alternatives, plan)
+        self.rank_in(self.links.list(self.links.root_list()), plan)
     }
 
     /// Prefix-sum over the alternatives preceding the plan's operator,
     /// plus its local rank.
-    fn rank_in(&self, alternatives: &[PhysId], plan: &PlanNode) -> Result<Nat, SpaceError> {
+    fn rank_in(&self, alternatives: &[DenseId], plan: &PlanNode) -> Result<Nat, SpaceError> {
+        let target = self
+            .links
+            .ids()
+            .dense_checked(plan.id)
+            .ok_or(SpaceError::ForeignPlan { at: plan.id })?;
         let mut prefix = Nat::zero();
         for &v in alternatives {
-            if v == plan.id {
-                let local = self.rank_expr(plan)?;
+            if v == target {
+                let local = self.rank_expr_at(target, plan)?;
                 return Ok(prefix + local);
             }
             prefix += self.counts.rooted(v);
@@ -45,19 +44,30 @@ impl PlanSpace {
         Err(SpaceError::ForeignPlan { at: plan.id })
     }
 
+    /// [`rank_expr_at`](Self::rank_expr_at) with the dense lookup (and
+    /// its foreign-plan check) included — the sub-space entry point.
+    pub(crate) fn rank_expr(&self, plan: &PlanNode) -> Result<Nat, SpaceError> {
+        let d = self
+            .links
+            .ids()
+            .dense_checked(plan.id)
+            .ok_or(SpaceError::ForeignPlan { at: plan.id })?;
+        self.rank_expr_at(d, plan)
+    }
+
     /// Recomposes the local rank from the children's sub-ranks:
     /// `r_l = Σ_i s_v(i) · B_v(i−1)`.
-    pub(crate) fn rank_expr(&self, plan: &PlanNode) -> Result<Nat, SpaceError> {
-        let slots = self.links.children(plan.id);
-        if slots.len() != plan.children.len() {
+    fn rank_expr_at(&self, d: DenseId, plan: &PlanNode) -> Result<Nat, SpaceError> {
+        let lists = self.links.slot_lists(d);
+        if lists.len() != plan.children.len() {
             return Err(SpaceError::ForeignPlan { at: plan.id });
         }
         let mut local = Nat::zero();
         let mut multiplier = Nat::one();
-        for (alternatives, child) in slots.iter().zip(&plan.children) {
-            let s = self.rank_in(alternatives, child)?;
+        for (&l, child) in lists.iter().zip(&plan.children) {
+            let s = self.rank_in(self.links.list(l), child)?;
             local += &s * &multiplier;
-            multiplier *= &self.counts.slot_total(alternatives);
+            multiplier *= self.counts.list_total(l);
         }
         Ok(local)
     }

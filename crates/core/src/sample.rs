@@ -17,7 +17,7 @@
 
 use crate::PlanSpace;
 use plansample_bignum::Nat;
-use plansample_memo::{PhysId, PlanNode};
+use plansample_memo::{DenseId, PlanNode};
 use rand::Rng;
 
 impl PlanSpace {
@@ -56,19 +56,13 @@ impl PlanSpace {
     /// Returns `None` if the walk reaches an operator with an
     /// unsatisfiable slot (possible in pruned memos).
     pub fn sample_naive_walk<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<PlanNode> {
-        let root_alternatives: Vec<PhysId> = self
-            .memo
-            .group(self.memo.root())
-            .phys_iter()
-            .map(|(id, _)| id)
-            .collect();
-        self.naive_pick(rng, &root_alternatives)
+        self.naive_pick(rng, self.links.list(self.links.root_list()))
     }
 
     fn naive_pick<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
-        alternatives: &[PhysId],
+        alternatives: &[DenseId],
     ) -> Option<PlanNode> {
         if alternatives.is_empty() {
             return None;
@@ -76,11 +70,14 @@ impl PlanSpace {
         let v = alternatives[rng.gen_range(0..alternatives.len())];
         let children = self
             .links
-            .children(v)
+            .slot_lists(v)
             .iter()
-            .map(|alts| self.naive_pick(rng, alts))
+            .map(|&l| self.naive_pick(rng, self.links.list(l)))
             .collect::<Option<Vec<_>>>()?;
-        Some(PlanNode { id: v, children })
+        Some(PlanNode {
+            id: self.links.ids().phys(v),
+            children,
+        })
     }
 }
 

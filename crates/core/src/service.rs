@@ -8,6 +8,23 @@
 //! thread — gets an [`Arc`] handle to the same immutable artifact and
 //! serves counts, pages, and samples lock-free (the cache lock is held
 //! only for the key lookup, never during optimization or sampling).
+//!
+//! Two bounds are supported, separately or together:
+//!
+//! * an **entry capacity** (classic LRU count), and
+//! * a **byte budget**: entries are charged their real
+//!   [`PreparedQuery::size_bytes`] (the flat link/count buffers plus the
+//!   memo) and the LRU tail is evicted until the resident total fits.
+//!   A single artifact larger than the whole budget is still admitted —
+//!   the cache then holds exactly that one entry — so pathological
+//!   queries degrade to "no caching" rather than a livelock.
+//!
+//! Racing first preparations of the same key are *single-flighted*: the
+//! first thread optimizes, every concurrent requester for the same key
+//! blocks on that flight and adopts its artifact, so a thundering herd
+//! performs one optimization in total (observable via
+//! [`ServiceStats::coalesced`] and the optimizer's
+//! `thread_optimizations_performed` counter).
 
 use crate::{Error, PreparedQuery};
 use plansample_catalog::Catalog;
@@ -15,7 +32,7 @@ use plansample_optimizer::OptimizerConfig;
 use plansample_query::QuerySpec;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Snapshot of a service's cache counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,23 +41,79 @@ pub struct ServiceStats {
     pub hits: u64,
     /// Requests that had to prepare (optimize + count) the query.
     pub misses: u64,
-    /// Prepared artifacts evicted by the LRU policy.
+    /// Requests that joined another thread's in-flight preparation
+    /// instead of optimizing themselves (singleflight adoptions).
+    pub coalesced: u64,
+    /// Prepared artifacts evicted by the LRU policy (count or byte
+    /// bound).
     pub evictions: u64,
     /// Prepared artifacts currently cached.
     pub entries: usize,
-    /// Maximum cached artifacts.
+    /// Bytes held by the cached artifacts
+    /// (Σ [`PreparedQuery::size_bytes`]).
+    pub resident_bytes: usize,
+    /// Maximum cached artifacts (`usize::MAX` when only byte-bounded).
     pub capacity: usize,
+    /// Byte budget, if the service is byte-bounded.
+    pub byte_budget: Option<usize>,
 }
 
 struct CacheEntry {
     prepared: Arc<PreparedQuery>,
+    size_bytes: usize,
     last_used: u64,
+}
+
+/// One in-flight first preparation, shared by the leader and any
+/// requesters that arrive while it runs.
+struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+enum FlightState {
+    Pending,
+    Done(Result<Arc<PreparedQuery>, Error>),
+    /// The leader unwound without a result (a panic inside `prepare`);
+    /// waiters retry from scratch.
+    Abandoned,
 }
 
 struct CacheState {
     entries: HashMap<String, CacheEntry>,
+    inflight: HashMap<String, Arc<Flight>>,
+    resident_bytes: usize,
     tick: u64,
     evictions: u64,
+}
+
+impl CacheState {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Evicts LRU entries until both bounds hold. At least one entry is
+    /// always kept, so an artifact larger than the byte budget does not
+    /// evict itself (the cache degrades to single-entry, not to a
+    /// livelock).
+    fn enforce_bounds(&mut self, capacity: usize, byte_budget: Option<usize>) {
+        let over = |s: &CacheState| {
+            s.entries.len() > capacity
+                || byte_budget.is_some_and(|b| s.resident_bytes > b && s.entries.len() > 1)
+        };
+        while over(self) {
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("over-bound cache is non-empty");
+            let removed = self.entries.remove(&oldest).expect("key just observed");
+            self.resident_bytes -= removed.size_bytes;
+            self.evictions += 1;
+        }
+    }
 }
 
 /// A bounded LRU cache of prepared queries, safe to share across
@@ -63,6 +136,7 @@ struct CacheState {
 /// assert!(Arc::ptr_eq(&p1, &p2));
 /// assert_eq!(service.stats().misses, 1);
 /// assert_eq!(service.stats().hits, 1);
+/// assert_eq!(service.stats().resident_bytes, p1.size_bytes());
 ///
 /// let mut rng = StdRng::seed_from_u64(1);
 /// assert_eq!(p1.sample_batch(&mut rng, 10).len(), 10);
@@ -71,9 +145,11 @@ pub struct PlanService {
     catalog: Catalog,
     config: OptimizerConfig,
     capacity: usize,
+    byte_budget: Option<usize>,
     state: Mutex<CacheState>,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl std::fmt::Debug for PlanService {
@@ -81,6 +157,7 @@ impl std::fmt::Debug for PlanService {
         let stats = self.stats();
         f.debug_struct("PlanService")
             .field("capacity", &self.capacity)
+            .field("byte_budget", &self.byte_budget)
             .field("stats", &stats)
             .finish_non_exhaustive()
     }
@@ -88,19 +165,44 @@ impl std::fmt::Debug for PlanService {
 
 impl PlanService {
     /// Creates a service over a catalog and optimizer configuration,
-    /// caching at most `capacity` prepared queries (at least 1).
+    /// caching at most `capacity` prepared queries (at least 1), with no
+    /// byte bound.
     pub fn new(catalog: Catalog, config: OptimizerConfig, capacity: usize) -> Self {
+        Self::bounded(catalog, config, capacity.max(1), None)
+    }
+
+    /// Creates a service bounded by resident *bytes* instead of entry
+    /// count: entries are charged their [`PreparedQuery::size_bytes`]
+    /// and the LRU tail is evicted once the total exceeds `max_bytes`.
+    /// (One entry is always retained, even if alone it exceeds the
+    /// budget.)
+    pub fn with_byte_budget(catalog: Catalog, config: OptimizerConfig, max_bytes: usize) -> Self {
+        Self::bounded(catalog, config, usize::MAX, Some(max_bytes))
+    }
+
+    /// Creates a service with both bounds: at most `capacity` entries
+    /// *and* (when given) at most `max_bytes` resident.
+    pub fn bounded(
+        catalog: Catalog,
+        config: OptimizerConfig,
+        capacity: usize,
+        max_bytes: Option<usize>,
+    ) -> Self {
         PlanService {
             catalog,
             config,
             capacity: capacity.max(1),
+            byte_budget: max_bytes,
             state: Mutex::new(CacheState {
                 entries: HashMap::new(),
+                inflight: HashMap::new(),
+                resident_bytes: 0,
                 tick: 0,
                 evictions: 0,
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         }
     }
 
@@ -119,57 +221,114 @@ impl PlanService {
     /// it on first request.
     ///
     /// The cache lock is *not* held while optimizing, so concurrent
-    /// misses on different queries prepare in parallel. Two threads
-    /// racing on the *same* fresh query may both prepare it; the first
-    /// insertion wins and later racers adopt it, so all callers still
-    /// end up sharing one artifact.
+    /// misses on different queries prepare in parallel. Concurrent
+    /// requests for the *same* fresh query are single-flighted: exactly
+    /// one thread optimizes, the rest block on its flight and adopt the
+    /// shared artifact (or its error).
     pub fn get_or_prepare(&self, query: &QuerySpec) -> Result<Arc<PreparedQuery>, Error> {
         let key = cache_key(query, &self.config);
-        {
-            let mut state = self.state.lock().expect("service cache poisoned");
-            state.tick += 1;
-            let tick = state.tick;
-            if let Some(entry) = state.entries.get_mut(&key) {
-                entry.last_used = tick;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(Arc::clone(&entry.prepared));
-            }
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let prepared = Arc::new(PreparedQuery::prepare(&self.catalog, query, &self.config)?);
+        loop {
+            let flight = {
+                let mut state = self.state.lock().expect("service cache poisoned");
+                let tick = state.next_tick();
+                if let Some(entry) = state.entries.get_mut(&key) {
+                    entry.last_used = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(&entry.prepared));
+                }
+                match state.inflight.get(&key) {
+                    Some(flight) => Some(Arc::clone(flight)),
+                    None => {
+                        state.inflight.insert(
+                            key.clone(),
+                            Arc::new(Flight {
+                                state: Mutex::new(FlightState::Pending),
+                                done: Condvar::new(),
+                            }),
+                        );
+                        None
+                    }
+                }
+            };
 
-        let mut state = self.state.lock().expect("service cache poisoned");
-        state.tick += 1;
-        let tick = state.tick;
-        let winner = match state.entries.get_mut(&key) {
-            // A racing thread inserted first: adopt its artifact so every
-            // caller shares one allocation.
-            Some(entry) => {
-                entry.last_used = tick;
-                Arc::clone(&entry.prepared)
+            match flight {
+                // Someone else is preparing this key: wait and adopt.
+                Some(flight) => {
+                    let mut fs = flight.state.lock().expect("flight poisoned");
+                    loop {
+                        match &*fs {
+                            FlightState::Pending => {
+                                fs = flight.done.wait(fs).expect("flight poisoned");
+                            }
+                            FlightState::Done(result) => {
+                                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                                return result.clone();
+                            }
+                            // Leader unwound without a result: retry from
+                            // the top (cache may or may not hold the key).
+                            FlightState::Abandoned => break,
+                        }
+                    }
+                }
+                // This thread is the leader: prepare outside every lock.
+                None => return self.lead_flight(&key, query),
             }
-            None => {
-                state.entries.insert(
-                    key,
-                    CacheEntry {
-                        prepared: Arc::clone(&prepared),
-                        last_used: tick,
-                    },
-                );
-                prepared
-            }
-        };
-        while state.entries.len() > self.capacity {
-            let oldest = state
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-                .expect("len > capacity >= 1 implies a candidate");
-            state.entries.remove(&oldest);
-            state.evictions += 1;
         }
-        Ok(winner)
+    }
+
+    /// Leader path of one flight: optimize, publish the result to both
+    /// the cache and the flight, wake waiters. The guard marks the
+    /// flight abandoned if `prepare` unwinds, so waiters never hang.
+    fn lead_flight(&self, key: &str, query: &QuerySpec) -> Result<Arc<PreparedQuery>, Error> {
+        struct FlightGuard<'a> {
+            service: &'a PlanService,
+            key: &'a str,
+            result: Option<Result<Arc<PreparedQuery>, Error>>,
+        }
+        impl Drop for FlightGuard<'_> {
+            fn drop(&mut self) {
+                let mut state = self.service.state.lock().expect("service cache poisoned");
+                if let Some(Ok(prepared)) = &self.result {
+                    let tick = state.next_tick();
+                    let size_bytes = prepared.size_bytes();
+                    // A racing insert cannot exist: the flight owned the
+                    // key from registration to here.
+                    state.entries.insert(
+                        self.key.to_string(),
+                        CacheEntry {
+                            prepared: Arc::clone(prepared),
+                            size_bytes,
+                            last_used: tick,
+                        },
+                    );
+                    state.resident_bytes += size_bytes;
+                    state.enforce_bounds(self.service.capacity, self.service.byte_budget);
+                }
+                let flight = state
+                    .inflight
+                    .remove(self.key)
+                    .expect("leader owns the in-flight marker");
+                drop(state);
+                let mut fs = flight.state.lock().expect("flight poisoned");
+                *fs = match self.result.take() {
+                    Some(result) => FlightState::Done(result),
+                    None => FlightState::Abandoned,
+                };
+                drop(fs);
+                flight.done.notify_all();
+            }
+        }
+
+        let mut guard = FlightGuard {
+            service: self,
+            key,
+            result: None,
+        };
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = PreparedQuery::prepare(&self.catalog, query, &self.config).map(Arc::new);
+        guard.result = Some(result.clone());
+        drop(guard); // publish + wake before returning
+        result
     }
 
     /// Current cache counters.
@@ -178,20 +337,22 @@ impl PlanService {
         ServiceStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
             evictions: state.evictions,
             entries: state.entries.len(),
+            resident_bytes: state.resident_bytes,
             capacity: self.capacity,
+            byte_budget: self.byte_budget,
         }
     }
 
     /// Drops every cached artifact (outstanding [`Arc`] handles stay
-    /// valid — the artifacts are immutable).
+    /// valid — the artifacts are immutable). In-flight preparations are
+    /// unaffected.
     pub fn clear(&self) {
-        self.state
-            .lock()
-            .expect("service cache poisoned")
-            .entries
-            .clear();
+        let mut state = self.state.lock().expect("service cache poisoned");
+        state.entries.clear();
+        state.resident_bytes = 0;
     }
 }
 
@@ -249,6 +410,8 @@ mod tests {
         );
         let stats = s.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.resident_bytes, p1.size_bytes());
+        assert_eq!(stats.coalesced, 0);
     }
 
     #[test]
@@ -330,6 +493,145 @@ mod tests {
         assert_eq!(s.stats().misses, 3, "q1 survived the eviction");
         s.get_or_prepare(&q2).unwrap();
         assert_eq!(s.stats().misses, 4, "q2 was evicted and re-prepares");
+    }
+
+    #[test]
+    fn byte_budget_bounds_resident_bytes() {
+        let (catalog, _) = plansample_catalog::tpch::catalog();
+        // Size one artifact, then budget for roughly two.
+        let probe = {
+            let s = PlanService::new(catalog.clone(), OptimizerConfig::default(), 1);
+            let q = two_rel_query(&catalog, "nation", "region", "n_regionkey", "r_regionkey");
+            s.get_or_prepare(&q).unwrap().size_bytes()
+        };
+        let budget = probe * 5 / 2;
+        let s = PlanService::with_byte_budget(catalog, OptimizerConfig::default(), budget);
+        let queries = [
+            ("nation", "region", "n_regionkey", "r_regionkey"),
+            ("supplier", "nation", "s_nationkey", "n_nationkey"),
+            ("customer", "nation", "c_nationkey", "n_nationkey"),
+            ("orders", "customer", "o_custkey", "c_custkey"),
+        ];
+        for (a, b, ak, bk) in queries {
+            let q = two_rel_query(s.catalog(), a, b, ak, bk);
+            s.get_or_prepare(&q).unwrap();
+            let stats = s.stats();
+            assert!(
+                stats.resident_bytes <= budget,
+                "resident {} exceeds budget {budget}",
+                stats.resident_bytes
+            );
+        }
+        let stats = s.stats();
+        assert_eq!(stats.byte_budget, Some(budget));
+        assert!(stats.evictions >= 1, "the budget forced evictions");
+        assert!(stats.entries >= 1 && stats.entries < queries.len());
+        // Resident bytes stay consistent with the surviving entries.
+        assert!(stats.resident_bytes > 0);
+        s.clear();
+        assert_eq!(s.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn oversized_artifact_is_admitted_alone() {
+        let (catalog, _) = plansample_catalog::tpch::catalog();
+        // Budget far below any artifact: every insert evicts the
+        // previous entry but keeps itself.
+        let s = PlanService::with_byte_budget(catalog, OptimizerConfig::default(), 1);
+        let q1 = two_rel_query(
+            s.catalog(),
+            "nation",
+            "region",
+            "n_regionkey",
+            "r_regionkey",
+        );
+        let q2 = two_rel_query(
+            s.catalog(),
+            "supplier",
+            "nation",
+            "s_nationkey",
+            "n_nationkey",
+        );
+        s.get_or_prepare(&q1).unwrap();
+        assert_eq!(s.stats().entries, 1, "single oversized entry is kept");
+        s.get_or_prepare(&q2).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 1);
+    }
+
+    #[test]
+    fn racing_first_preparations_single_flight() {
+        let (catalog, _) = plansample_catalog::tpch::catalog();
+        let s = Arc::new(PlanService::new(catalog, OptimizerConfig::default(), 4));
+        let q = Arc::new(two_rel_query(
+            s.catalog(),
+            "lineitem",
+            "orders",
+            "l_orderkey",
+            "o_orderkey",
+        ));
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let (s, q, barrier) = (Arc::clone(&s), Arc::clone(&q), Arc::clone(&barrier));
+                std::thread::spawn(move || {
+                    let before = plansample_optimizer::thread_optimizations_performed();
+                    barrier.wait();
+                    let prepared = s.get_or_prepare(&q).unwrap();
+                    let delta = plansample_optimizer::thread_optimizations_performed() - before;
+                    (prepared, delta)
+                })
+            })
+            .collect();
+        let results: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+        let total_optimizations: u64 = results.iter().map(|(_, d)| d).sum();
+        assert_eq!(
+            total_optimizations, 1,
+            "racing threads must perform exactly one optimization in total"
+        );
+        assert!(
+            Arc::ptr_eq(&results[0].0, &results[1].0),
+            "both racers share one artifact"
+        );
+        let stats = s.stats();
+        assert_eq!(stats.misses, 1, "one leader");
+        assert_eq!(
+            stats.hits + stats.coalesced,
+            1,
+            "the other racer adopted via the cache or the flight"
+        );
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn failed_preparation_propagates_to_all_racers_and_caches_nothing() {
+        let (catalog, _) = plansample_catalog::tpch::catalog();
+        let s = Arc::new(PlanService::new(catalog, OptimizerConfig::default(), 4));
+        // Disconnected query: optimization fails.
+        let q = {
+            let mut qb = plansample_query::QueryBuilder::new(s.catalog());
+            qb.rel("nation", None).unwrap();
+            qb.rel("region", None).unwrap();
+            Arc::new(qb.build().unwrap())
+        };
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let (s, q, barrier) = (Arc::clone(&s), Arc::clone(&q), Arc::clone(&barrier));
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    s.get_or_prepare(&q)
+                })
+            })
+            .collect();
+        for w in workers {
+            assert!(matches!(w.join().unwrap(), Err(Error::Opt(_))));
+        }
+        assert_eq!(s.stats().entries, 0, "failures are not cached");
+        // A later retry attempts preparation again (and fails again).
+        assert!(s.get_or_prepare(&q).is_err());
+        assert!(s.stats().misses >= 2);
     }
 
     #[test]

@@ -17,11 +17,14 @@
 //!
 //! Unranking visits one operator per plan node and performs arithmetic
 //! linear in the plan size — "a small fraction of the time needed for
-//! counting", reproduced by the `unranking` bench.
+//! counting", reproduced by the `unranking` bench. Every `b_v(i)` the
+//! mixed-radix decomposition divides by is precomputed per interned
+//! alternative list ([`crate::Counts::list_total`]), so no step re-sums
+//! alternative counts.
 
 use crate::{PlanSpace, SpaceError};
 use plansample_bignum::Nat;
-use plansample_memo::{PhysId, PlanNode};
+use plansample_memo::{DenseId, PlanNode};
 
 impl PlanSpace {
     /// Builds plan number `rank` (0-based, `rank < total()`).
@@ -32,17 +35,11 @@ impl PlanSpace {
                 total: self.counts.total().clone(),
             });
         }
-        let root_alternatives: Vec<PhysId> = self
-            .memo
-            .group(self.memo.root())
-            .phys_iter()
-            .map(|(id, _)| id)
-            .collect();
-        Ok(self.unrank_in(&root_alternatives, rank.clone()))
+        Ok(self.unrank_in(self.links.list(self.links.root_list()), rank.clone()))
     }
 
     /// Step 1: operator selection within an alternative list.
-    fn unrank_in(&self, alternatives: &[PhysId], mut rank: Nat) -> PlanNode {
+    fn unrank_in(&self, alternatives: &[DenseId], mut rank: Nat) -> PlanNode {
         for &v in alternatives {
             let n = self.counts.rooted(v);
             if &rank < n {
@@ -54,19 +51,21 @@ impl PlanSpace {
     }
 
     /// Steps 2–3: sub-rank decomposition and recursive assembly.
-    pub(crate) fn unrank_expr(&self, v: PhysId, local_rank: Nat) -> PlanNode {
-        let slots = self.links.children(v);
-        let mut children = Vec::with_capacity(slots.len());
+    pub(crate) fn unrank_expr(&self, v: DenseId, local_rank: Nat) -> PlanNode {
+        let lists = self.links.slot_lists(v);
+        let mut children = Vec::with_capacity(lists.len());
         let mut rest = local_rank;
-        for alternatives in slots {
-            let b = self.counts.slot_total(alternatives);
+        for &l in lists {
             // digit s_v(i) = rest mod b_v(i); carry rest / b_v(i) onward.
-            let (q, s) = rest.div_rem(&b);
+            let (q, s) = rest.div_rem(self.counts.list_total(l));
             rest = q;
-            children.push(self.unrank_in(alternatives, s));
+            children.push(self.unrank_in(self.links.list(l), s));
         }
         debug_assert!(rest.is_zero(), "local rank exceeded B_v(|v|)");
-        PlanNode { id: v, children }
+        PlanNode {
+            id: self.links.ids().phys(v),
+            children,
+        }
     }
 }
 

@@ -21,7 +21,8 @@
 //! rank/unrank bijection and uniform-sampling test suites quantify over.
 
 use plansample_catalog::{table, Catalog, ColType};
-use plansample_query::{QueryBuilder, QuerySpec};
+use plansample_memo::{satisfies, GroupId, GroupKey, Memo, PhysicalExpr, PhysicalOp, SortOrder};
+use plansample_query::{ColRef, QueryBuilder, QuerySpec, RelId, RelSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -143,6 +144,229 @@ impl JoinGraphSpec {
         };
         (catalog, query)
     }
+
+    /// Materializes the *complete* memo for this spec directly — the
+    /// dynamic program the optimizer's exploration + implementation
+    /// phases would produce (every connected sub-graph becomes a group;
+    /// scans, both join orientations with all three join
+    /// implementations, and Sort enforcers for interesting orders) —
+    /// without paying for cost-based search.
+    ///
+    /// This is how the layout benchmarks reach the 10–12-relation
+    /// synthetic spaces the plan-enumeration literature treats as the
+    /// interesting regime: a clique-10 memo (~200k physical expressions,
+    /// multi-limb plan counts) builds in milliseconds, where running the
+    /// full optimizer takes minutes. Deterministic in every field of the
+    /// spec.
+    ///
+    /// # Panics
+    /// Panics when `relations >= 32` (the DP enumerates subsets of a
+    /// `u32` relation bitmask; larger cliques would be astronomically
+    /// big anyway).
+    pub fn build_memo(&self) -> (Catalog, QuerySpec, Memo) {
+        let n = self.relations;
+        assert!(n < 32, "build_memo supports fewer than 32 relations");
+        let (catalog, query) = self.build();
+
+        // Adjacency bitmask per relation, for connectivity tests.
+        let mut adj = vec![0u32; n];
+        for (a, b) in self.edges() {
+            adj[a] |= 1 << b;
+            adj[b] |= 1 << a;
+        }
+        let connected = |mask: u32| -> bool {
+            let mut seen = 1u32 << mask.trailing_zeros();
+            loop {
+                let neighbours = (0..n)
+                    .filter(|&i| seen & (1 << i) != 0)
+                    .fold(0, |acc, i| acc | adj[i]);
+                let grown = seen | (neighbours & mask);
+                if grown == seen {
+                    return seen == mask;
+                }
+                seen = grown;
+            }
+        };
+        let relset = |mask: u32| -> RelSet {
+            RelSet::from_iter((0..n).filter(|&i| mask & (1 << i) != 0).map(RelId))
+        };
+
+        // Groups in subset-size order: children before parents, like the
+        // optimizer's bottom-up exploration.
+        let mut masks: Vec<u32> = (1..(1u32 << n)).filter(|&m| connected(m)).collect();
+        masks.sort_by_key(|m| m.count_ones());
+
+        let mut memo = Memo::new();
+        for &mask in &masks {
+            let set = relset(mask);
+            let gid = memo.add_group(GroupKey::Rels(set));
+            if mask.count_ones() == 1 {
+                self.add_scans(&catalog, &query, &mut memo, gid, set.sole_member());
+            } else {
+                self.add_joins(&catalog, &query, &mut memo, gid, set, connected);
+            }
+        }
+        add_interesting_order_enforcers(&catalog, &query, &mut memo);
+        let root = memo
+            .find_group(GroupKey::Rels(relset((1u32 << n) - 1)))
+            .expect("the full relation set is connected");
+        memo.set_root(root);
+        (catalog, query, memo)
+    }
+
+    fn add_scans(
+        &self,
+        catalog: &Catalog,
+        query: &QuerySpec,
+        memo: &mut Memo,
+        gid: GroupId,
+        rel: RelId,
+    ) {
+        let table = catalog.table(query.relations[rel.0].table);
+        let rows = table.row_count as f64;
+        let out = query.filtered_card(catalog, rel);
+        memo.add_physical(
+            gid,
+            PhysicalExpr::new(
+                PhysicalOp::TableScan { rel },
+                SortOrder::unsorted(),
+                rows,
+                out,
+            ),
+        );
+        for ix in &table.indexes {
+            let col = ColRef {
+                rel,
+                col: ix.column,
+            };
+            memo.add_physical(
+                gid,
+                PhysicalExpr::new(
+                    PhysicalOp::SortedIdxScan { rel, col },
+                    SortOrder::on_col(col),
+                    rows * 1.2,
+                    out,
+                ),
+            );
+        }
+    }
+
+    fn add_joins(
+        &self,
+        catalog: &Catalog,
+        query: &QuerySpec,
+        memo: &mut Memo,
+        gid: GroupId,
+        set: RelSet,
+        connected: impl Fn(u32) -> bool,
+    ) {
+        let out = query.set_card(catalog, set);
+        for (a, b) in set.splits() {
+            if !connected(a.mask() as u32) || !connected(b.mask() as u32) {
+                continue;
+            }
+            // Both orientations, like the optimizer's commuted logical
+            // joins.
+            for (lset, rset) in [(a, b), (b, a)] {
+                let crossing = query.edges_crossing(lset, rset);
+                if crossing.is_empty() {
+                    continue; // no cross products in synthetic memos
+                }
+                let left = memo
+                    .find_group(GroupKey::Rels(lset))
+                    .expect("connected halves precede their union");
+                let right = memo.find_group(GroupKey::Rels(rset)).expect("see above");
+                let (lcard, rcard) = (query.set_card(catalog, lset), query.set_card(catalog, rset));
+                memo.add_physical(
+                    gid,
+                    PhysicalExpr::new(
+                        PhysicalOp::NestedLoopJoin { left, right },
+                        SortOrder::unsorted(),
+                        lcard * rcard * 0.01 + out,
+                        out,
+                    ),
+                );
+                memo.add_physical(
+                    gid,
+                    PhysicalExpr::new(
+                        PhysicalOp::HashJoin { left, right },
+                        SortOrder::unsorted(),
+                        lcard + rcard + out,
+                        out,
+                    ),
+                );
+                for edge in crossing {
+                    let (lk, rk) = if lset.contains(edge.left.rel) {
+                        (edge.left, edge.right)
+                    } else {
+                        (edge.right, edge.left)
+                    };
+                    memo.add_physical(
+                        gid,
+                        PhysicalExpr::new(
+                            PhysicalOp::MergeJoin {
+                                left,
+                                right,
+                                left_key: lk,
+                                right_key: rk,
+                            },
+                            SortOrder::on_col(lk),
+                            lcard + rcard + out * 1.1,
+                            out,
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Mirrors the optimizer's enforcer rule: a `Sort` per interesting order
+/// (the local endpoint of every join edge leaving the group's relation
+/// set), skipped when nothing in the group is a sortable input.
+fn add_interesting_order_enforcers(catalog: &Catalog, query: &QuerySpec, memo: &mut Memo) {
+    for gid in (0..memo.num_groups() as u32).map(GroupId) {
+        let GroupKey::Rels(set) = memo.group(gid).key else {
+            continue;
+        };
+        let mut targets: Vec<SortOrder> = Vec::new();
+        for edge in &query.join_edges {
+            for col in [edge.left, edge.right] {
+                let other = if col == edge.left {
+                    edge.right
+                } else {
+                    edge.left
+                };
+                if set.contains(col.rel) && !set.contains(other.rel) {
+                    let ord = SortOrder::on_col(col);
+                    if !targets.contains(&ord) {
+                        targets.push(ord);
+                    }
+                }
+            }
+        }
+        let card = query.set_card(catalog, set);
+        for target in targets {
+            let sortable = memo
+                .group(gid)
+                .physical
+                .iter()
+                .any(|e| !e.op.is_enforcer() && !satisfies(query, set, &e.delivered, &target));
+            if sortable {
+                memo.add_physical(
+                    gid,
+                    PhysicalExpr::new(
+                        PhysicalOp::Sort {
+                            target: target.clone(),
+                        },
+                        target,
+                        card * 1.5,
+                        card,
+                    ),
+                );
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -238,5 +462,63 @@ mod tests {
         let b = JoinGraphSpec::new(Topology::Star, 4, 1).label();
         assert_eq!(a, "chain-4#1");
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn build_memo_groups_are_the_connected_subsets() {
+        // A chain's connected subsets are exactly the contiguous ranges:
+        // n·(n+1)/2 of them.
+        let (_, _, memo) = JoinGraphSpec::new(Topology::Chain, 5, 3).build_memo();
+        assert_eq!(memo.num_groups(), 5 * 6 / 2);
+        // A clique's connected subsets are all non-empty subsets.
+        let (_, _, memo) = JoinGraphSpec::new(Topology::Clique, 5, 3).build_memo();
+        assert_eq!(memo.num_groups(), (1 << 5) - 1);
+        assert_eq!(memo.root().0 as usize, memo.num_groups() - 1);
+    }
+
+    #[test]
+    fn build_memo_expressions_are_well_formed() {
+        let (_, query, memo) = JoinGraphSpec::new(Topology::Cycle, 6, 11).build_memo();
+        assert!(memo.num_physical() > memo.num_groups());
+        for group in memo.groups() {
+            for expr in &group.physical {
+                assert!(expr.local_cost.is_finite() && expr.local_cost > 0.0);
+                assert!(expr.out_card >= 1.0);
+                // Join children are strictly smaller relation sets.
+                if let plansample_memo::PhysicalOp::HashJoin { left, right }
+                | plansample_memo::PhysicalOp::NestedLoopJoin { left, right } = &expr.op
+                {
+                    let own = group.scope(&query);
+                    let l = memo.group(*left).scope(&query);
+                    let r = memo.group(*right).scope(&query);
+                    assert_eq!(l.union(r), own);
+                    assert!(l.is_disjoint(r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_memo_is_deterministic() {
+        let spec = JoinGraphSpec::new(Topology::Star, 6, 21);
+        let (_, _, a) = spec.build_memo();
+        let (_, _, b) = spec.build_memo();
+        assert_eq!(a.num_groups(), b.num_groups());
+        assert_eq!(a.num_physical(), b.num_physical());
+        let render = |m: &plansample_memo::Memo| {
+            m.groups()
+                .map(|g| format!("{:?}", g.physical.iter().map(|e| &e.op).collect::<Vec<_>>()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(render(&a), render(&b));
+    }
+
+    #[test]
+    fn build_memo_scales_to_ten_plus_relations() {
+        let (_, _, memo) = JoinGraphSpec::new(Topology::Cycle, 12, 7).build_memo();
+        // Cycle-n connected subsets: the full set plus n·(n−1) proper
+        // arcs.
+        assert_eq!(memo.num_groups(), 12 * 11 + 1);
+        assert!(memo.num_physical() > 1000);
     }
 }

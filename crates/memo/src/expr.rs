@@ -136,7 +136,7 @@ impl PhysicalOp {
 }
 
 /// What a child slot demands from the chosen child expression.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Requirement {
     /// The child's delivered order must satisfy this order (the empty
     /// order accepts anything — the paper's "any operator from group 1
@@ -152,7 +152,7 @@ pub enum Requirement {
 
 /// One child position of a physical operator: where the input comes from
 /// and what it must provide.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ChildSlot {
     /// The group supplying this input.
     pub group: GroupId,
@@ -237,6 +237,17 @@ impl PhysicalExpr {
                 requirement: Requirement::Order(group_order.clone()),
             }],
         }
+    }
+
+    /// Heap bytes owned by this expression beyond its inline size (the
+    /// sort-order key vectors of the operator and the delivered order).
+    pub fn heap_bytes(&self) -> usize {
+        let op_heap = match &self.op {
+            PhysicalOp::Sort { target } => target.heap_bytes(),
+            PhysicalOp::StreamAgg { group_order, .. } => group_order.heap_bytes(),
+            _ => 0,
+        };
+        op_heap + self.delivered.heap_bytes()
     }
 
     /// Number of children (the paper's `|v|`).

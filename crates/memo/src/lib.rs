@@ -25,16 +25,18 @@
 
 #![warn(missing_docs)]
 
+mod dense;
 mod expr;
 mod links;
 mod plan;
 mod props;
 mod render;
 
+pub use dense::{DenseId, DenseIdMap};
 pub use expr::{ChildSlot, LogicalOp, PhysicalExpr, PhysicalOp, Requirement};
 pub use links::eligible_children;
 pub use plan::{validate_plan, PlanNode, PlanViolation};
-pub use props::{satisfies, ColEquivalences, SortOrder};
+pub use props::{satisfies, ColEquivalences, OrderSatisfier, SortOrder};
 pub use render::render_memo;
 
 use plansample_query::RelSet;
@@ -228,6 +230,33 @@ impl Memo {
     /// "size of the MEMO" for the linear-time counting bound.
     pub fn num_physical(&self) -> usize {
         self.groups.iter().map(|g| g.physical.len()).sum()
+    }
+
+    /// Bytes of memory held by this memo: the struct itself plus the
+    /// heap behind every group, expression, and the group-key index.
+    ///
+    /// Vector buffers are accounted at capacity (what the allocator
+    /// actually holds); the `by_key` hash table is accounted per bucket
+    /// at the standard hashbrown load factor (8/7 of the entry count),
+    /// the closest observable bound to its real allocation.
+    pub fn size_bytes(&self) -> usize {
+        let groups_heap: usize = self
+            .groups
+            .iter()
+            .map(|g| {
+                g.logical.capacity() * std::mem::size_of::<LogicalOp>()
+                    + g.physical.capacity() * std::mem::size_of::<PhysicalExpr>()
+                    + g.physical
+                        .iter()
+                        .map(PhysicalExpr::heap_bytes)
+                        .sum::<usize>()
+            })
+            .sum();
+        let by_key = self.by_key.len() * (std::mem::size_of::<(GroupKey, GroupId)>() + 1) * 8 / 7;
+        std::mem::size_of::<Self>()
+            + self.groups.capacity() * std::mem::size_of::<Group>()
+            + groups_heap
+            + by_key
     }
 }
 

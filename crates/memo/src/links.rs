@@ -19,20 +19,22 @@
 //!   chains, which keeps the plan graph finite and acyclic; excluding
 //!   already-satisfying children rules out redundant sorts.
 
-use crate::{satisfies, ChildSlot, Memo, PhysId, Requirement};
+use crate::{ChildSlot, Memo, OrderSatisfier, PhysId, Requirement};
 use plansample_query::QuerySpec;
 
 /// All expressions of `slot.group` eligible to fill `slot`, in group
 /// order (the order that defines plan ranks).
 pub fn eligible_children(memo: &Memo, query: &QuerySpec, slot: &ChildSlot) -> Vec<PhysId> {
     let group = memo.group(slot.group);
-    let scope = group.scope(query);
+    // One satisfier for the whole scan: the scope's equivalence classes
+    // are built at most once, not per candidate expression.
+    let mut sat = OrderSatisfier::new(query, group.scope(query));
     group
         .phys_iter()
         .filter(|(_, e)| match &slot.requirement {
-            Requirement::Order(req) => satisfies(query, scope, &e.delivered, req),
+            Requirement::Order(req) => sat.satisfies(&e.delivered, req),
             Requirement::SortInput { target } => {
-                !e.op.is_enforcer() && !satisfies(query, scope, &e.delivered, target)
+                !e.op.is_enforcer() && !sat.satisfies(&e.delivered, target)
             }
         })
         .map(|(id, _)| id)

@@ -46,6 +46,23 @@ impl PlanNode {
                 .sum::<f64>()
     }
 
+    /// Bytes of memory held by this plan tree (inline node plus the heap
+    /// behind every child vector, capacity-accurate). The root node's own
+    /// inline size is included, so the result is the full footprint of an
+    /// owned plan.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.heap_bytes()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.children.capacity() * std::mem::size_of::<Self>()
+            + self
+                .children
+                .iter()
+                .map(PlanNode::heap_bytes)
+                .sum::<usize>()
+    }
+
     /// All operator ids in pre-order (root first) — the paper's appendix
     /// reports unranked plans this way ("we unranked the operators 7.7,
     /// 4.3, 3.4, 2.3, and 1.3").

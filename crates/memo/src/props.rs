@@ -51,6 +51,11 @@ impl SortOrder {
     pub fn is_unsorted(&self) -> bool {
         self.cols.is_empty()
     }
+
+    /// Heap bytes behind the key vector (capacity-accurate).
+    pub fn heap_bytes(&self) -> usize {
+        self.cols.capacity() * std::mem::size_of::<ColRef>()
+    }
 }
 
 /// Column equivalence classes induced by the join edges internal to one
@@ -107,33 +112,71 @@ impl ColEquivalences {
 /// stream that is sorted on `(a, b)` is also sorted on `(a)`, and sorted
 /// on `(a)` satisfies sorted on `(a')` when `a = a'` was applied inside
 /// the sub-plan.
+///
+/// One-shot convenience over [`OrderSatisfier`]; callers that test many
+/// candidates against the same scope (link materialization checks every
+/// expression of a group) should hold an `OrderSatisfier` instead so the
+/// equivalence classes are built at most once.
 pub fn satisfies(
     query: &QuerySpec,
     scope: RelSet,
     delivered: &SortOrder,
     required: &SortOrder,
 ) -> bool {
-    if required.is_unsorted() {
-        return true;
+    OrderSatisfier::new(query, scope).satisfies(delivered, required)
+}
+
+/// A reusable order-satisfaction checker for one relation-set scope.
+///
+/// The syntactic prefix check needs no preparation; the equivalence-
+/// aware fallback needs the scope's column equivalence classes, which
+/// cost a union-find build over the internal join edges. This type
+/// builds them lazily and at most once, however many candidates are
+/// tested — the difference between O(edges) per *slot* and O(edges) per
+/// *candidate* on the link-materialization hot path.
+pub struct OrderSatisfier<'q> {
+    query: &'q QuerySpec,
+    scope: RelSet,
+    eq: Option<ColEquivalences>,
+}
+
+impl<'q> OrderSatisfier<'q> {
+    /// A checker for sub-plans covering `scope`.
+    pub fn new(query: &'q QuerySpec, scope: RelSet) -> Self {
+        OrderSatisfier {
+            query,
+            scope,
+            eq: None,
+        }
     }
-    if delivered.cols().len() < required.cols().len() {
-        return false;
+
+    /// Does `delivered` satisfy `required` within this scope?
+    pub fn satisfies(&mut self, delivered: &SortOrder, required: &SortOrder) -> bool {
+        if required.is_unsorted() {
+            return true;
+        }
+        if delivered.cols().len() < required.cols().len() {
+            return false;
+        }
+        // Cheap syntactic check first; equivalence classes only when
+        // needed, and then only built once per scope.
+        if delivered
+            .cols()
+            .iter()
+            .zip(required.cols())
+            .all(|(d, r)| d == r)
+        {
+            return true;
+        }
+        let eq = self
+            .eq
+            .get_or_insert_with(|| ColEquivalences::within(self.query, self.scope));
+        delivered
+            .cols()
+            .iter()
+            .zip(required.cols())
+            .all(|(&d, &r)| eq.equivalent(d, r))
     }
-    // Cheap syntactic check first; equivalence classes only when needed.
-    if delivered
-        .cols()
-        .iter()
-        .zip(required.cols())
-        .all(|(d, r)| d == r)
-    {
-        return true;
-    }
-    let eq = ColEquivalences::within(query, scope);
-    delivered
-        .cols()
-        .iter()
-        .zip(required.cols())
-        .all(|(&d, &r)| eq.equivalent(d, r))
 }
 
 #[cfg(test)]
