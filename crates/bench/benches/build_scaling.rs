@@ -14,13 +14,20 @@
 //!   plan-enumeration literature treats as interesting — where counts
 //!   need multiple `u64` limbs.
 //!
-//! Two acceptance checks are **asserted** so layout regressions fail CI
-//! (the `bench-smoke` job runs this bench in release):
+//! Four acceptance checks are **asserted** so layout regressions fail CI
+//! (the `bench-smoke` job runs this bench in release, at both
+//! `PLANSAMPLE_THREADS=1` and `=4`):
 //!
 //! 1. the flat build is ≥ 5× faster than the legacy layout on Q8+CP and
 //!    produces bit-identical totals;
-//! 2. a clique-10 synthetic space (≈190k expressions) builds, counts a
-//!    multi-limb total, and round-trips ranks at its boundaries.
+//! 2. the prepared Q8+CP space fits in ≤ 120 bytes per physical
+//!    expression (inline-`Nat` counts + derived delivered orders +
+//!    shrunken memo; was 216 bytes/expr before the memory refactor);
+//! 3. a clique-10 synthetic space (~700k expressions) builds, counts a
+//!    multi-limb total, and round-trips ranks at its boundaries;
+//! 4. on machines with ≥ 4 cores, the parallel build is ≥ 2× faster at
+//!    4 threads than at 1 thread on that clique-10 memo (skipped — with
+//!    a notice — where the hardware cannot exhibit a speedup).
 //!
 //! Measured numbers are recorded in `docs/EXPERIMENTS.md` §E10.
 
@@ -38,7 +45,7 @@ use std::time::Instant;
 /// (modulo the removed types) as the measured baseline.
 mod legacy {
     use plansample_bignum::Nat;
-    use plansample_memo::{satisfies, ChildSlot, Memo, PhysId, Requirement};
+    use plansample_memo::{satisfies_cols, ChildSlot, Memo, PhysId, Requirement};
     use plansample_query::QuerySpec;
 
     /// The old `eligible_children` shape: one `satisfies` call per
@@ -52,9 +59,9 @@ mod legacy {
         group
             .phys_iter()
             .filter(|(_, e)| match &slot.requirement {
-                Requirement::Order(req) => satisfies(query, scope, &e.delivered, req),
+                Requirement::Order(req) => satisfies_cols(query, scope, e.delivered_cols(), req),
                 Requirement::SortInput { target } => {
-                    !e.op.is_enforcer() && !satisfies(query, scope, &e.delivered, target)
+                    !e.op.is_enforcer() && !satisfies_cols(query, scope, e.delivered_cols(), target)
                 }
             })
             .map(|(id, _)| id)
@@ -325,13 +332,25 @@ fn bench_build_scaling(c: &mut Criterion) {
          measured {speedup:.1}x"
     );
 
-    // --- Acceptance assertion 2: clique-10 multi-limb round trip. -------
+    // --- Acceptance assertion 2: <= 120 bytes/expr on Q8+CP. ------------
+    // The memory refactor's contract: inline-`Nat` counts, derived
+    // delivered orders, and the shrunken memo bring the whole prepared
+    // space (links + counts + memo) under 120 bytes per physical
+    // expression (216 before; docs/EXPERIMENTS.md §E10).
+    let bytes_per_expr = space.size_bytes() as f64 / memo.num_physical() as f64;
+    assert!(
+        bytes_per_expr <= 120.0,
+        "prepared Q8+CP space must stay <= 120 bytes/expr; measured {bytes_per_expr:.1}"
+    );
+
+    // --- Acceptance assertion 3: clique-10 multi-limb round trip. -------
     let spec = JoinGraphSpec::new(Topology::Clique, 10, 20000);
     let t = Instant::now();
     let (_, query, memo) = spec.build_memo();
     let synth_memo = t.elapsed();
+    let (memo, query) = (Arc::new(memo), Arc::new(query));
     let t = Instant::now();
-    let space = PlanSpace::build_shared(Arc::new(memo), Arc::new(query)).unwrap();
+    let space = PlanSpace::build_shared(Arc::clone(&memo), Arc::clone(&query)).unwrap();
     let synth_build = t.elapsed();
     assert!(
         space.total().limbs().len() >= 2,
@@ -352,6 +371,66 @@ fn bench_build_scaling(c: &mut Criterion) {
         space.total().limbs().len(),
         space.size_bytes() as f64 / space.memo().num_physical() as f64,
     );
+
+    // --- Acceptance assertion 4: parallel build speedup on clique-10. ---
+    // 1-thread vs 4-thread wall time over the same memo (median of 3;
+    // totals re-checked bit-identical). `with_threads` pins the counts
+    // explicitly, overriding PLANSAMPLE_THREADS — so when CI runs this
+    // bench twice (env=1 and env=4), the expensive speedup measurement
+    // runs only in the env=4 job instead of duplicating in both. The
+    // >= 2x bar additionally applies only where the hardware can express
+    // it — on < 4 cores the measurement is printed but the assertion is
+    // skipped with a notice instead of failing vacuously.
+    if std::env::var("PLANSAMPLE_THREADS").as_deref() == Ok("1") {
+        println!(
+            "build_scaling/clique-10: PLANSAMPLE_THREADS=1 — sequential-pool job; \
+             the parallel-speedup measurement runs in the multi-thread job"
+        );
+        return;
+    }
+    let timed_build = |threads: usize| {
+        let secs = median_secs(
+            (0..3)
+                .map(|_| {
+                    let t = Instant::now();
+                    let s = threadpool::with_threads(threads, || {
+                        PlanSpace::build_shared(Arc::clone(&memo), Arc::clone(&query)).unwrap()
+                    });
+                    assert_eq!(
+                        s.total(),
+                        space.total(),
+                        "{threads}-thread build must count identically"
+                    );
+                    t.elapsed().as_secs_f64()
+                })
+                .collect(),
+        );
+        println!(
+            "build_scaling/clique-10 threads={threads}: {:.0} ms",
+            secs * 1e3
+        );
+        secs
+    };
+    let one = timed_build(1);
+    let four = timed_build(4);
+    let parallel_speedup = one / four.max(1e-12);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "build_scaling/clique-10: parallel speedup {parallel_speedup:.2}x at 4 threads \
+         ({cores} core(s) available)"
+    );
+    if cores >= 4 {
+        assert!(
+            parallel_speedup >= 2.0,
+            "parallel build must be >= 2x faster at 4 threads on clique-10; \
+             measured {parallel_speedup:.2}x on {cores} cores"
+        );
+    } else {
+        println!(
+            "build_scaling/clique-10: SKIPPING the >= 2x assertion — only {cores} core(s); \
+             a parallel speedup is not physically observable here"
+        );
+    }
 }
 
 criterion_group!(benches, bench_build_scaling);

@@ -6,11 +6,7 @@ use std::str::FromStr;
 
 impl From<u64> for Nat {
     fn from(v: u64) -> Self {
-        if v == 0 {
-            Nat::zero()
-        } else {
-            Nat { limbs: vec![v] }
-        }
+        Nat::small(v)
     }
 }
 
@@ -28,26 +24,26 @@ impl From<usize> for Nat {
 
 impl From<u128> for Nat {
     fn from(v: u128) -> Self {
-        Nat::from_limbs(vec![v as u64, (v >> 64) as u64])
+        if v <= u64::MAX as u128 {
+            Nat::small(v as u64)
+        } else {
+            Nat::from_limbs(vec![v as u64, (v >> 64) as u64])
+        }
     }
 }
 
 impl Nat {
     /// Exact conversion to `u64` if the value fits.
     pub fn to_u64(&self) -> Option<u64> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => Some(self.limbs[0]),
-            _ => None,
-        }
+        self.as_small()
     }
 
     /// Exact conversion to `u128` if the value fits.
     pub fn to_u128(&self) -> Option<u128> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => Some(self.limbs[0] as u128),
-            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+        match self.limbs() {
+            [] => Some(0),
+            &[lo] => Some(lo as u128),
+            &[lo, hi] => Some(lo as u128 | (hi as u128) << 64),
             _ => None,
         }
     }

@@ -3,7 +3,8 @@
 //! Unranking decomposes a local rank into mixed-radix digits
 //! `s_v(i) = floor(R_v(i) / B_v(i-1))`, `R_v(i) = R_v(i+1) mod B_v(i)`
 //! (paper §3.3), so exact big÷big division is on the hot path of plan
-//! generation.
+//! generation. Inline (single-limb) operands — the common case — divide
+//! with one machine instruction pair and never allocate.
 
 use crate::Nat;
 
@@ -14,11 +15,14 @@ impl Nat {
     /// Panics if `divisor` is zero.
     pub fn div_rem(&self, divisor: &Nat) -> (Nat, Nat) {
         assert!(!divisor.is_zero(), "Nat division by zero");
+        if let (Some(a), Some(b)) = (self.as_small(), divisor.as_small()) {
+            return (Nat::small(a / b), Nat::small(a % b));
+        }
         if self < divisor {
             return (Nat::zero(), self.clone());
         }
-        if divisor.limbs.len() == 1 {
-            let (q, r) = self.div_rem_u64(divisor.limbs[0]);
+        if let Some(d) = divisor.as_small() {
+            let (q, r) = self.div_rem_u64(d);
             return (q, Nat::from(r));
         }
         self.div_rem_knuth(divisor)
@@ -27,29 +31,36 @@ impl Nat {
     /// Fast path: divide by a single limb.
     pub fn div_rem_u64(&self, divisor: u64) -> (Nat, u64) {
         assert!(divisor != 0, "Nat division by zero");
-        let mut quotient = vec![0u64; self.limbs.len()];
+        if let Some(v) = self.as_small() {
+            return (Nat::small(v / divisor), v % divisor);
+        }
+        let limbs = self.limbs();
+        let mut quotient = vec![0u64; limbs.len()];
         let mut rem = 0u128;
-        for i in (0..self.limbs.len()).rev() {
-            let cur = (rem << 64) | self.limbs[i] as u128;
+        for i in (0..limbs.len()).rev() {
+            let cur = (rem << 64) | limbs[i] as u128;
             quotient[i] = (cur / divisor as u128) as u64;
             rem = cur % divisor as u128;
         }
         (Nat::from_limbs(quotient), rem as u64)
     }
 
-    /// Knuth TAOCP vol. 2, 4.3.1 Algorithm D, with 64-bit limbs.
+    /// Knuth TAOCP vol. 2, 4.3.1 Algorithm D, with 64-bit limbs. Both
+    /// operands have at least two limbs here (single-limb divisors take
+    /// [`div_rem_u64`](Self::div_rem_u64)).
     fn div_rem_knuth(&self, divisor: &Nat) -> (Nat, Nat) {
-        let n = divisor.limbs.len();
-        let m = self.limbs.len() - n;
+        let n = divisor.len();
+        let m = self.len() - n;
 
         // D1: normalize so the divisor's top limb has its high bit set.
-        let shift = divisor.limbs[n - 1].leading_zeros();
+        let shift = divisor.limbs()[n - 1].leading_zeros();
         let v = divisor.shl_bits(shift);
-        let mut u = self.shl_bits(shift).limbs;
-        u.resize(self.limbs.len() + 1, 0); // extra high limb u[m+n]
+        let mut u = self.shl_bits(shift).limbs().to_vec();
+        u.resize(self.len() + 1, 0); // extra high limb u[m+n]
 
-        let v_hi = v.limbs[n - 1];
-        let v_lo = v.limbs[n - 2];
+        let v = v.limbs();
+        let v_hi = v[n - 1];
+        let v_lo = v[n - 2];
         let mut q = vec![0u64; m + 1];
 
         // D2..D7: main loop over quotient digits, most significant first.
@@ -73,7 +84,7 @@ impl Nat {
             let mut borrow = 0i128;
             let mut carry = 0u128;
             for i in 0..n {
-                let p = q_hat as u128 * v.limbs[i] as u128 + carry;
+                let p = q_hat as u128 * v[i] as u128 + carry;
                 carry = p >> 64;
                 let t = u[i + j] as i128 - (p as u64) as i128 + borrow;
                 u[i + j] = t as u64;
@@ -87,7 +98,7 @@ impl Nat {
                 q_hat -= 1;
                 let mut carry = 0u128;
                 for i in 0..n {
-                    let s = u[i + j] as u128 + v.limbs[i] as u128 + carry;
+                    let s = u[i + j] as u128 + v[i] as u128 + carry;
                     u[i + j] = s as u64;
                     carry = s >> 64;
                 }
@@ -107,9 +118,10 @@ impl Nat {
         if shift == 0 || self.is_zero() {
             return self.clone();
         }
-        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let limbs = self.limbs();
+        let mut out = Vec::with_capacity(limbs.len() + 1);
         let mut carry = 0u64;
-        for &limb in &self.limbs {
+        for &limb in limbs {
             out.push((limb << shift) | carry);
             carry = limb >> (64 - shift);
         }
@@ -125,11 +137,12 @@ impl Nat {
         if shift == 0 || self.is_zero() {
             return self.clone();
         }
-        let mut out = vec![0u64; self.limbs.len()];
+        let limbs = self.limbs();
+        let mut out = vec![0u64; limbs.len()];
         let mut carry = 0u64;
-        for i in (0..self.limbs.len()).rev() {
-            out[i] = (self.limbs[i] >> shift) | carry;
-            carry = self.limbs[i] << (64 - shift);
+        for i in (0..limbs.len()).rev() {
+            out[i] = (limbs[i] >> shift) | carry;
+            carry = limbs[i] << (64 - shift);
         }
         Nat::from_limbs(out)
     }
@@ -156,6 +169,14 @@ mod tests {
         check(42, 42);
         check(41, 42);
         check(u64::MAX as u128, 2);
+    }
+
+    #[test]
+    fn inline_division_allocates_nothing() {
+        let (q, r) = n(41).div_rem(&n(7));
+        assert_eq!(q.size_bytes(), std::mem::size_of::<Nat>());
+        assert_eq!(r.size_bytes(), std::mem::size_of::<Nat>());
+        assert_eq!((q, r), (n(5), n(6)));
     }
 
     #[test]

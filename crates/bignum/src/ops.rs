@@ -1,4 +1,9 @@
 //! Comparison, addition, subtraction, and multiplication for [`Nat`].
+//!
+//! Every operation has a fast path for inline (single-limb) operands —
+//! plain `u64`/`u128` machine arithmetic with no allocation unless the
+//! result genuinely spills past 64 bits — and a schoolbook slice-based
+//! general path for multi-limb values.
 
 use crate::Nat;
 use std::cmp::Ordering;
@@ -6,13 +11,14 @@ use std::ops::{Add, AddAssign, Mul, MulAssign, Rem, Sub, SubAssign};
 
 impl Ord for Nat {
     fn cmp(&self, other: &Self) -> Ordering {
-        match self.limbs.len().cmp(&other.limbs.len()) {
+        let (a, b) = (self.limbs(), other.limbs());
+        match a.len().cmp(&b.len()) {
             Ordering::Equal => {}
             ord => return ord,
         }
         // Same limb count: compare from most significant limb down.
-        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
-            match a.cmp(b) {
+        for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+            match x.cmp(y) {
                 Ordering::Equal => {}
                 ord => return ord,
             }
@@ -27,40 +33,51 @@ impl PartialOrd for Nat {
     }
 }
 
+/// Slice addition: `long + short` with `long.len() >= short.len()`.
+fn add_slices(long: &[u64], short: &[u64]) -> Nat {
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for (i, &a) in long.iter().enumerate() {
+        let b = short.get(i).copied().unwrap_or(0);
+        let (s1, c1) = a.overflowing_add(b);
+        let (s2, c2) = s1.overflowing_add(carry);
+        out.push(s2);
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    Nat::from_limbs(out)
+}
+
 impl Nat {
     /// `self + other`.
     pub fn add_nat(&self, other: &Nat) -> Nat {
-        let (long, short) = if self.limbs.len() >= other.limbs.len() {
-            (&self.limbs, &other.limbs)
+        if let (Some(a), Some(b)) = (self.as_small(), other.as_small()) {
+            return Nat::from(a as u128 + b as u128);
+        }
+        let (a, b) = (self.limbs(), other.limbs());
+        if a.len() >= b.len() {
+            add_slices(a, b)
         } else {
-            (&other.limbs, &self.limbs)
-        };
-        let mut out = Vec::with_capacity(long.len() + 1);
-        let mut carry = 0u64;
-        for (i, &a) in long.iter().enumerate() {
-            let b = short.get(i).copied().unwrap_or(0);
-            let (s1, c1) = a.overflowing_add(b);
-            let (s2, c2) = s1.overflowing_add(carry);
-            out.push(s2);
-            carry = (c1 as u64) + (c2 as u64);
+            add_slices(b, a)
         }
-        if carry != 0 {
-            out.push(carry);
-        }
-        Nat::from_limbs(out)
     }
 
     /// `self - other`, or `None` if the result would be negative.
     pub fn checked_sub(&self, other: &Nat) -> Option<Nat> {
+        if let (Some(a), Some(b)) = (self.as_small(), other.as_small()) {
+            return a.checked_sub(b).map(Nat::small);
+        }
         if self < other {
             return None;
         }
-        let mut out = Vec::with_capacity(self.limbs.len());
+        let (a, b) = (self.limbs(), other.limbs());
+        let mut out = Vec::with_capacity(a.len());
         let mut borrow = 0u64;
-        for i in 0..self.limbs.len() {
-            let a = self.limbs[i];
-            let b = other.limbs.get(i).copied().unwrap_or(0);
-            let (d1, b1) = a.overflowing_sub(b);
+        for (i, &x) in a.iter().enumerate() {
+            let y = b.get(i).copied().unwrap_or(0);
+            let (d1, b1) = x.overflowing_sub(y);
             let (d2, b2) = d1.overflowing_sub(borrow);
             out.push(d2);
             borrow = (b1 as u64) + (b2 as u64);
@@ -72,21 +89,25 @@ impl Nat {
     /// Schoolbook multiplication. Quadratic, which is fine at MEMO scales
     /// (plan counts of a few dozen limbs).
     pub fn mul_nat(&self, other: &Nat) -> Nat {
+        if let (Some(a), Some(b)) = (self.as_small(), other.as_small()) {
+            return Nat::from(a as u128 * b as u128);
+        }
         if self.is_zero() || other.is_zero() {
             return Nat::zero();
         }
-        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
-        for (i, &a) in self.limbs.iter().enumerate() {
-            if a == 0 {
+        let (a, b) = (self.limbs(), other.limbs());
+        let mut out = vec![0u64; a.len() + b.len()];
+        for (i, &x) in a.iter().enumerate() {
+            if x == 0 {
                 continue;
             }
             let mut carry = 0u128;
-            for (j, &b) in other.limbs.iter().enumerate() {
-                let t = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+            for (j, &y) in b.iter().enumerate() {
+                let t = out[i + j] as u128 + (x as u128) * (y as u128) + carry;
                 out[i + j] = t as u64;
                 carry = t >> 64;
             }
-            let mut k = i + other.limbs.len();
+            let mut k = i + b.len();
             while carry != 0 {
                 let t = out[k] as u128 + carry;
                 out[k] = t as u64;
@@ -99,26 +120,41 @@ impl Nat {
 
     /// Multiply in place by a single `u64`.
     pub fn mul_u64_assign(&mut self, m: u64) {
-        if m == 0 {
-            self.limbs.clear();
+        if let Some(v) = self.as_small() {
+            *self = Nat::from(v as u128 * m as u128);
             return;
         }
+        if m == 0 {
+            *self = Nat::zero();
+            return;
+        }
+        let spill = self.spill.as_mut().expect("inline handled above");
         let mut carry = 0u128;
-        for limb in &mut self.limbs {
+        for limb in spill.iter_mut() {
             let t = (*limb as u128) * (m as u128) + carry;
             *limb = t as u64;
             carry = t >> 64;
         }
-        while carry != 0 {
-            self.limbs.push(carry as u64);
-            carry >>= 64;
+        if carry != 0 {
+            // Carry past the top limb: grow the spill buffer.
+            let mut grown = std::mem::take(spill).into_vec();
+            while carry != 0 {
+                grown.push(carry as u64);
+                carry >>= 64;
+            }
+            *spill = grown.into_boxed_slice();
         }
     }
 
     /// Add a single `u64` in place.
     pub fn add_u64_assign(&mut self, a: u64) {
+        if let Some(v) = self.as_small() {
+            *self = Nat::from(v as u128 + a as u128);
+            return;
+        }
+        let spill = self.spill.as_mut().expect("inline handled above");
         let mut carry = a;
-        for limb in &mut self.limbs {
+        for limb in spill.iter_mut() {
             if carry == 0 {
                 return;
             }
@@ -127,7 +163,9 @@ impl Nat {
             carry = c as u64;
         }
         if carry != 0 {
-            self.limbs.push(carry);
+            let mut grown = std::mem::take(spill).into_vec();
+            grown.push(carry);
+            *spill = grown.into_boxed_slice();
         }
     }
 }
@@ -261,6 +299,17 @@ mod tests {
     }
 
     #[test]
+    fn add_inline_operands_spill_exactly_at_the_boundary() {
+        // u64::MAX + 1: smallest sum that no longer fits inline.
+        let sum = n(u64::MAX as u128) + n(1);
+        assert_eq!(sum, n(1u128 << 64));
+        assert_eq!(sum.limbs().len(), 2);
+        // u64::MAX + 0 stays inline.
+        let stay = n(u64::MAX as u128) + n(0);
+        assert_eq!(stay.size_bytes(), std::mem::size_of::<Nat>());
+    }
+
+    #[test]
     fn checked_sub_basics() {
         assert_eq!(n(10).checked_sub(&n(4)), Some(n(6)));
         assert_eq!(n(4).checked_sub(&n(10)), None);
@@ -268,6 +317,14 @@ mod tests {
         // borrow across a limb boundary
         let big = n(1u128 << 64);
         assert_eq!(big.checked_sub(&n(1)), Some(n((1u128 << 64) - 1)));
+    }
+
+    #[test]
+    fn sub_re_inlines_across_the_spill_boundary() {
+        // (2^64) - 1 fits one limb again: the result must be inline.
+        let d = n(1u128 << 64).checked_sub(&n(1)).unwrap();
+        assert_eq!(d.size_bytes(), std::mem::size_of::<Nat>());
+        assert_eq!(d, n(u64::MAX as u128));
     }
 
     #[test]
@@ -292,6 +349,10 @@ mod tests {
         assert_eq!(a, b);
         a.mul_u64_assign(0);
         assert!(a.is_zero());
+        // Inline × inline spilling into two limbs.
+        let mut c = n(u64::MAX as u128);
+        c.mul_u64_assign(u64::MAX);
+        assert_eq!(c, n((u64::MAX as u128) * (u64::MAX as u128)));
     }
 
     #[test]
@@ -301,6 +362,10 @@ mod tests {
         assert_eq!(a, n(1u128 << 64));
         a.add_u64_assign(0);
         assert_eq!(a, n(1u128 << 64));
+        // Carry growing a full spill buffer.
+        let mut b = n(u128::MAX);
+        b.add_u64_assign(1);
+        assert_eq!(b.limbs(), &[0, 0, 1]);
     }
 
     #[test]

@@ -19,8 +19,9 @@ impl Nat {
         if let Some(b) = bound.to_u64() {
             return Nat::from(rng.gen_range(0..b));
         }
-        let limbs = bound.limbs.len();
-        let top = bound.limbs[limbs - 1];
+        let bound_limbs = bound.limbs();
+        let limbs = bound_limbs.len();
+        let top = bound_limbs[limbs - 1];
         // Mask covering the significant bits of the top limb.
         let mask = if top.leading_zeros() == 0 {
             u64::MAX

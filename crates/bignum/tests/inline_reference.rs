@@ -1,0 +1,210 @@
+//! Differential property tests for the small-value-inline `Nat`
+//! representation: every operation must agree with a naive, obviously
+//! correct `Vec<u64>` reference implementation, with the generator
+//! biased hard toward the inline↔spill boundary (values around
+//! `u64::MAX`, sums that carry into a second limb, products that
+//! overflow into 2+ limbs) where a representation bug would hide.
+//!
+//! The reference below is the pre-refactor heap representation in
+//! miniature: little-endian limb vectors, schoolbook carry/borrow
+//! arithmetic, no inline fast paths — so any divergence isolates the
+//! inline representation, not the algorithms.
+
+use plansample_bignum::Nat;
+use proptest::prelude::*;
+
+/// Naive little-endian limb arithmetic (normalized: no trailing zeros).
+mod reference {
+    pub fn norm(mut v: Vec<u64>) -> Vec<u64> {
+        while v.last() == Some(&0) {
+            v.pop();
+        }
+        v
+    }
+
+    pub fn add(a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut carry = 0u128;
+        for i in 0..a.len().max(b.len()) {
+            let t = carry + *a.get(i).unwrap_or(&0) as u128 + *b.get(i).unwrap_or(&0) as u128;
+            out.push(t as u64);
+            carry = t >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        norm(out)
+    }
+
+    /// `a - b`; caller guarantees `a >= b`.
+    pub fn sub(a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut borrow = 0i128;
+        for i in 0..a.len() {
+            let t = *a.get(i).unwrap_or(&0) as i128 - *b.get(i).unwrap_or(&0) as i128 + borrow;
+            out.push(t as u64);
+            borrow = t >> 64;
+        }
+        assert_eq!(borrow, 0, "reference sub underflow");
+        norm(out)
+    }
+
+    pub fn mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u64; a.len() + b.len()];
+        for (i, &x) in a.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &y) in b.iter().enumerate() {
+                let t = out[i + j] as u128 + x as u128 * y as u128 + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            out[i + b.len()] = carry as u64;
+        }
+        norm(out)
+    }
+
+    pub fn cmp(a: &[u64], b: &[u64]) -> std::cmp::Ordering {
+        a.len()
+            .cmp(&b.len())
+            .then_with(|| a.iter().rev().cmp(b.iter().rev()))
+    }
+}
+
+/// A limb biased toward the carry-critical neighbourhood of `u64::MAX`
+/// (and of 0), where inline arithmetic overflows into the spill.
+fn boundary_limb() -> impl Strategy<Value = u64> {
+    (0u32..8, 0u64..8, any::<u64>()).prop_map(|(sel, d, r)| match sel {
+        0..=2 => u64::MAX - d, // carry neighbourhood
+        3..=4 => d,            // borrow neighbourhood
+        5 => 1u64 << 63,       // sign-bit edge of the top limb
+        _ => r,                // anywhere
+    })
+}
+
+/// Limb vectors spanning the boundary: mostly 0–2 limbs (inline and
+/// just-spilled values), occasionally longer.
+fn boundary_limbs() -> impl Strategy<Value = Vec<u64>> {
+    (0u32..5, proptest::collection::vec(boundary_limb(), 0..6)).prop_map(|(sel, mut v)| {
+        if sel < 4 {
+            v.truncate(2);
+        }
+        v
+    })
+}
+
+/// The invariant every constructed value must satisfy: single-limb
+/// values are inline (no heap), larger ones spill exactly.
+fn assert_true_footprint(n: &Nat) {
+    let expected = if n.limbs().len() <= 1 {
+        std::mem::size_of::<Nat>()
+    } else {
+        std::mem::size_of::<Nat>() + std::mem::size_of_val(n.limbs())
+    };
+    assert_eq!(n.size_bytes(), expected, "footprint of {n}");
+}
+
+proptest! {
+    #[test]
+    fn add_agrees_with_reference(a in boundary_limbs(), b in boundary_limbs()) {
+        let (na, nb) = (Nat::from_limbs(a.clone()), Nat::from_limbs(b.clone()));
+        let sum = &na + &nb;
+        prop_assert_eq!(sum.limbs(), &reference::add(&reference::norm(a), &reference::norm(b))[..]);
+        assert_true_footprint(&sum);
+    }
+
+    #[test]
+    fn sub_agrees_with_reference(a in boundary_limbs(), b in boundary_limbs()) {
+        let (a, b) = (reference::norm(a), reference::norm(b));
+        let (hi, lo) = if reference::cmp(&a, &b).is_ge() { (a, b) } else { (b, a) };
+        let d = Nat::from_limbs(hi.clone()) - Nat::from_limbs(lo.clone());
+        prop_assert_eq!(d.limbs(), &reference::sub(&hi, &lo)[..]);
+        assert_true_footprint(&d);
+    }
+
+    #[test]
+    fn mul_agrees_with_reference(a in boundary_limbs(), b in boundary_limbs()) {
+        let (na, nb) = (Nat::from_limbs(a.clone()), Nat::from_limbs(b.clone()));
+        let prod = &na * &nb;
+        prop_assert_eq!(prod.limbs(), &reference::mul(&reference::norm(a), &reference::norm(b))[..]);
+        assert_true_footprint(&prod);
+    }
+
+    #[test]
+    fn cmp_agrees_with_reference(a in boundary_limbs(), b in boundary_limbs()) {
+        let (a, b) = (reference::norm(a), reference::norm(b));
+        prop_assert_eq!(
+            Nat::from_limbs(a.clone()).cmp(&Nat::from_limbs(b.clone())),
+            reference::cmp(&a, &b)
+        );
+    }
+
+    #[test]
+    fn in_place_ops_agree_with_reference(a in boundary_limbs(), m in boundary_limb(), s in boundary_limb()) {
+        let a = reference::norm(a);
+        let mut n = Nat::from_limbs(a.clone());
+        n.mul_u64_assign(m);
+        n.add_u64_assign(s);
+        let expect = reference::add(&reference::mul(&a, &reference::norm(vec![m])), &reference::norm(vec![s]));
+        prop_assert_eq!(n.limbs(), &expect[..]);
+        assert_true_footprint(&n);
+    }
+
+    #[test]
+    fn incr_carries_like_the_reference(a in boundary_limbs()) {
+        let a = reference::norm(a);
+        let mut n = Nat::from_limbs(a.clone());
+        n.incr();
+        prop_assert_eq!(n.limbs(), &reference::add(&a, &[1])[..]);
+        n.decr();
+        prop_assert_eq!(n.limbs(), &a[..]);
+        assert_true_footprint(&n);
+    }
+
+    #[test]
+    fn division_reconstructs_at_the_boundary(a in boundary_limbs(), b in boundary_limbs()) {
+        let (na, nb) = (Nat::from_limbs(a), Nat::from_limbs(b));
+        prop_assume!(!nb.is_zero());
+        let (q, r) = na.div_rem(&nb);
+        prop_assert!(r < nb);
+        prop_assert_eq!(&q * &nb + &r, na);
+        assert_true_footprint(&q);
+        assert_true_footprint(&r);
+    }
+}
+
+/// The exact boundary cases the satellite task names, pinned (not left
+/// to the generator): carry at `u64::MAX` and multiplication overflow
+/// into 2+ limbs.
+#[test]
+fn pinned_spill_boundaries() {
+    // u64::MAX + 1 crosses inline → spill.
+    let sum = Nat::from(u64::MAX) + Nat::one();
+    assert_eq!(sum.limbs(), &[0, 1]);
+    assert_eq!(
+        sum.size_bytes(),
+        std::mem::size_of::<Nat>() + 2 * std::mem::size_of::<u64>()
+    );
+    // … and dividing back re-inlines.
+    let (q, r) = sum.div_rem(&Nat::from(2u64));
+    assert_eq!(q.size_bytes(), std::mem::size_of::<Nat>());
+    assert_eq!(q, Nat::from(1u64 << 63));
+    assert!(r.is_zero());
+
+    // Products overflowing into exactly 2 limbs and beyond.
+    let max = Nat::from(u64::MAX);
+    let sq = &max * &max; // 2 limbs
+    assert_eq!(sq.limbs().len(), 2);
+    let quad = &sq * &sq; // 4 limbs
+    assert_eq!(quad.limbs().len(), 4);
+    assert_eq!(
+        quad.size_bytes(),
+        std::mem::size_of::<Nat>() + 4 * std::mem::size_of::<u64>()
+    );
+    // (max^2)^2 / max^2 = max^2 exactly.
+    let (q, r) = quad.div_rem(&sq);
+    assert_eq!(q, sq);
+    assert!(r.is_zero());
+}

@@ -19,10 +19,13 @@
 //!
 //! Every invocation prepares the query **once** (`Session::prepare`) and
 //! serves all of its sub-steps — counting, sampling, paging, execution —
-//! from that one artifact.
+//! from that one artifact. `stats` instead routes through a
+//! [`plansample::PlanService`] and reports the cache counters plus the
+//! prepared artifact's exact byte footprint (links / counts / memo).
 //!
 //! Global flags: `--cross-products`, `--seed N`, `--orders N` (micro
-//! database size).
+//! database size), `--threads N` (plan-space build / batched-sampling
+//! parallelism; default `PLANSAMPLE_THREADS` or all cores).
 
 #![warn(missing_docs)]
 
@@ -48,6 +51,9 @@ pub struct Cli {
     pub seed: u64,
     /// Orders in the micro database (other tables scale along).
     pub orders: usize,
+    /// Worker threads for plan-space construction and batched sampling
+    /// (`None`: `PLANSAMPLE_THREADS` or all cores).
+    pub threads: Option<usize>,
 }
 
 /// CLI actions.
@@ -67,6 +73,8 @@ pub enum Command {
     Rank(String, String),
     /// Dump the memo structure (Figure-2 style).
     Memo(String),
+    /// Report serving-cache stats and the artifact's byte footprint.
+    Stats(String),
     /// Print usage.
     Help,
 }
@@ -145,6 +153,7 @@ USAGE:
   plansample-cli [FLAGS] enumerate K     \"SQL\"
   plansample-cli [FLAGS] rank     PLAN   \"SQL\"
   plansample-cli [FLAGS] memo            \"SQL\"
+  plansample-cli [FLAGS] stats           \"SQL\"
 
   PLAN is a plan tree in preorder as space-separated expression ids
   (`group.expr`, as printed by `memo` and `enumerate`), e.g.
@@ -152,10 +161,17 @@ USAGE:
   sub-space rooted at its root operator and, when the root lies in the
   memo's root group, its whole-space USEPLAN number.
 
+  `stats` prepares the query through the serving cache and prints the
+  cache counters plus the artifact's exact byte footprint (links,
+  counts, memo — the size the byte-budgeted cache charges).
+
 FLAGS:
   --cross-products   include Cartesian products in the space
   --seed N           RNG seed (default 42)
   --orders N         orders in the micro database (default 120)
+  --threads N        worker threads for plan-space construction and
+                     batched sampling (default: PLANSAMPLE_THREADS,
+                     else all cores)
 
 Queries run against the TPC-H schema (region, nation, supplier,
 customer, part, partsupp, orders, lineitem) with SF-1 statistics and a
@@ -170,6 +186,7 @@ where
     let mut cross_products = false;
     let mut seed = 42u64;
     let mut orders = 120usize;
+    let mut threads: Option<usize> = None;
     let mut positional: Vec<String> = Vec::new();
 
     let mut iter = args.into_iter();
@@ -177,6 +194,19 @@ where
         let arg = arg.as_ref();
         match arg {
             "--cross-products" => cross_products = true,
+            "--threads" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| UsageError("--threads needs a value".into()))?;
+                let n: usize = v
+                    .as_ref()
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad --threads value `{}`", v.as_ref())))?;
+                if n == 0 {
+                    return Err(UsageError("--threads needs at least 1".into()));
+                }
+                threads = Some(n);
+            }
             "--seed" => {
                 let v = iter
                     .next()
@@ -201,6 +231,7 @@ where
                     cross_products,
                     seed,
                     orders,
+                    threads,
                 })
             }
             flag if flag.starts_with("--") => {
@@ -215,6 +246,7 @@ where
         Some("count") => Command::Count(one_sql(&positional)?),
         Some("run") => Command::Run(one_sql(&positional)?),
         Some("memo") => Command::Memo(one_sql(&positional)?),
+        Some("stats") => Command::Stats(one_sql(&positional)?),
         Some("sample") => {
             let (k, sql) = k_and_sql(&positional)?;
             Command::Sample(k, sql)
@@ -242,6 +274,7 @@ where
         cross_products,
         seed,
         orders,
+        threads,
     })
 }
 
@@ -338,12 +371,10 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
     if cli.command == Command::Help {
         return Ok(USAGE.to_string());
     }
+    if let Some(n) = cli.threads {
+        threadpool::set_num_threads(n);
+    }
     let (catalog, tables) = plansample_catalog::tpch::catalog();
-    let scale = MicroScale {
-        orders: cli.orders,
-        ..Default::default()
-    };
-    let db = plansample_datagen::generate(&catalog, &tables, &scale, cli.seed);
     let config = if cli.cross_products {
         OptimizerConfig::with_cross_products()
     } else {
@@ -357,19 +388,32 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
         | Command::Validate(_, s)
         | Command::Enumerate(_, s)
         | Command::Rank(_, s)
-        | Command::Memo(s) => s.clone(),
+        | Command::Memo(s)
+        | Command::Stats(s) => s.clone(),
         Command::Help => unreachable!("handled above"),
     };
     let parsed =
         plansample_sql::parse(&catalog, &sql).map_err(|e| CliError::Sql(e.render(&sql)))?;
     let query = parsed.spec;
+
+    // `stats` routes through the serving cache instead of a one-shot
+    // session (it reports the cache's own counters) and needs no data.
+    if let Command::Stats(_) = &cli.command {
+        return run_stats(catalog, config, &query);
+    }
+
+    let scale = MicroScale {
+        orders: cli.orders,
+        ..Default::default()
+    };
+    let db = plansample_datagen::generate(&catalog, &tables, &scale, cli.seed);
     let session = Session::with_config(catalog, db, config);
     // One preparation serves every sub-step of every command below.
     let prepared = session.prepare(&query)?;
     let mut out = String::new();
 
     match &cli.command {
-        Command::Help => unreachable!("handled above"),
+        Command::Help | Command::Stats(_) => unreachable!("handled above"),
         Command::Count(_) => {
             let memo = prepared.memo();
             let _ = writeln!(
@@ -497,6 +541,82 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// The `stats` command: prepare through a [`plansample::PlanService`],
+/// touch the cache a second time to demonstrate a hit, and print the
+/// service counters plus the artifact's exact byte breakdown — the
+/// command-line view of the memory accounting the byte-budgeted cache
+/// charges (inline-`Nat` counts, CSR links, shrunken memo).
+fn run_stats(
+    catalog: plansample_catalog::Catalog,
+    config: OptimizerConfig,
+    query: &plansample_query::QuerySpec,
+) -> Result<String, CliError> {
+    let service = plansample::PlanService::new(catalog, config, 4);
+    let prepared = service.get_or_prepare(query)?;
+    let _hit = service.get_or_prepare(query)?;
+
+    let space = prepared.space();
+    let memo = prepared.memo();
+    let exprs = memo.num_physical().max(1);
+    let per = |bytes: usize| bytes as f64 / exprs as f64;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} complete execution plans over {} groups / {} physical expressions",
+        prepared.total(),
+        memo.num_groups(),
+        memo.num_physical()
+    );
+    let _ = writeln!(out, "\nprepared artifact footprint:");
+    let links = space.links();
+    let _ = writeln!(
+        out,
+        "  links   {:>10} bytes  ({:>6.1}/expr)  {} interned lists, {} pooled refs",
+        links.size_bytes(),
+        per(links.size_bytes()),
+        links.num_lists(),
+        links.num_pooled_links()
+    );
+    let _ = writeln!(
+        out,
+        "  counts  {:>10} bytes  ({:>6.1}/expr)  total N is {} limb(s)",
+        space.counts().size_bytes(),
+        per(space.counts().size_bytes()),
+        prepared.total().limbs().len().max(1)
+    );
+    let _ = writeln!(
+        out,
+        "  memo    {:>10} bytes  ({:>6.1}/expr)",
+        memo.size_bytes(),
+        per(memo.size_bytes())
+    );
+    let _ = writeln!(
+        out,
+        "  total   {:>10} bytes  ({:>6.1}/expr)  <- charged by byte-budgeted caches",
+        prepared.size_bytes(),
+        per(prepared.size_bytes())
+    );
+
+    let stats = service.stats();
+    let _ = writeln!(
+        out,
+        "\nservice: {} hit(s), {} miss(es), {} coalesced, {} eviction(s); \
+         {} cached artifact(s), {} resident bytes",
+        stats.hits,
+        stats.misses,
+        stats.coalesced,
+        stats.evictions,
+        stats.entries,
+        stats.resident_bytes
+    );
+    let _ = writeln!(
+        out,
+        "build threads: {} (override with --threads N or PLANSAMPLE_THREADS)",
+        threadpool::num_threads()
+    );
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -530,9 +650,33 @@ mod tests {
     }
 
     #[test]
+    fn parses_threads_flag_and_stats_command() {
+        let cli = parse_args(["--threads", "3", "stats", "SELECT * FROM nation"]).unwrap();
+        assert_eq!(cli.threads, Some(3));
+        assert_eq!(cli.command, Command::Stats("SELECT * FROM nation".into()));
+        assert_eq!(parse_args(["count", "S"]).unwrap().threads, None);
+    }
+
+    #[test]
+    fn stats_command_reports_footprint_and_cache_counters() {
+        let out = run(&cli(Command::Stats(TWO_WAY.into()))).unwrap();
+        assert!(out.contains("complete execution plans"), "{out}");
+        for section in ["links", "counts", "memo", "total", "/expr"] {
+            assert!(out.contains(section), "missing `{section}` in:\n{out}");
+        }
+        assert!(out.contains("1 hit(s), 1 miss(es)"), "{out}");
+        assert!(out.contains("resident bytes"), "{out}");
+        assert!(out.contains("build threads:"), "{out}");
+    }
+
+    #[test]
     fn rejects_malformed_invocations() {
         assert!(parse_args(["bogus", "x"]).is_err());
         assert!(parse_args(["--seed"]).is_err());
+        assert!(parse_args(["--threads"]).is_err());
+        assert!(parse_args(["--threads", "zero", "count", "S"]).is_err());
+        assert!(parse_args(["--threads", "0", "count", "S"]).is_err());
+        assert!(parse_args(["stats"]).is_err());
         assert!(parse_args(["--seed", "abc", "count", "S"]).is_err());
         assert!(parse_args(["count"]).is_err());
         assert!(parse_args(["sample", "notanumber", "S"]).is_err());
@@ -558,6 +702,7 @@ mod tests {
             cross_products: false,
             seed: 42,
             orders: 60,
+            threads: None,
         }
     }
 

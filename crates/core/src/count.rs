@@ -12,15 +12,17 @@
 //! Counts are exact [`Nat`]s: Table 1 of the paper reports spaces above
 //! 4·10^12, and counts overflow any fixed-width integer as queries grow.
 //!
-//! The pass is a single iterative walk over the topological order the
-//! links precomputed (children before parents), filling one flat
-//! `Vec<Nat>` indexed by [`DenseId`] — no recursion, no memo-cache
-//! clones. The per-slot totals `b_v(i)` are computed once per *interned*
-//! alternative list and kept ([`Counts::list_total`]), so unranking,
-//! ranking, and sampling read them instead of re-summing alternatives on
-//! every mixed-radix step. Each expression and each list entry is
-//! visited exactly once — the paper's linear-time claim, benchmarked in
-//! `plansample-bench` (`build_scaling`).
+//! The pass is an iterative walk over the topological order the links
+//! precomputed (children before parents), filling one flat `Vec<Nat>`
+//! indexed by [`DenseId`] — no recursion, no memo-cache clones — and it
+//! runs the order's independent *levels* in parallel with a
+//! deterministic merge (see [`Counts::compute`]). The per-slot totals
+//! `b_v(i)` are computed once per *interned* alternative list and kept
+//! ([`Counts::list_total`]), so unranking, ranking, and sampling read
+//! them instead of re-summing alternatives on every mixed-radix step.
+//! Each expression and each list entry is visited exactly once — the
+//! paper's linear-time claim, benchmarked in `plansample-bench`
+//! (`build_scaling`).
 
 use crate::{links::ListId, Links};
 use plansample_bignum::Nat;
@@ -39,38 +41,103 @@ pub struct Counts {
 }
 
 impl Counts {
-    /// Computes all counts in one pass over `links.topo()`.
+    /// Smallest number of same-level expressions (or lists) worth a
+    /// worker thread; below this a stratum is filled inline.
+    const PAR_MIN_NODES: usize = 512;
+
+    /// Computes all counts over `links.topo()`.
+    ///
+    /// The fill processes the topological order in *levels* — independent
+    /// strata of the condensed expr↔list DAG, where
+    /// `level(list) = 1 + max level(member)` and
+    /// `level(expr) = max level(its lists)`. Everything a node reads was
+    /// computed in a strictly earlier stratum, so each stratum's sums and
+    /// products fan out across the `threadpool` workers; results are
+    /// merged back in index order. Every value is produced by exactly one
+    /// task using the same operand order as the sequential walk, so
+    /// counts are **bit-identical at every thread count** (asserted by
+    /// `tests/build_determinism.rs` and the bijection suites).
     pub fn compute(links: &Links) -> Counts {
         let mut per_expr: Vec<Nat> = vec![Nat::zero(); links.num_exprs()];
         let mut list_totals: Vec<Nat> = vec![Nat::zero(); links.num_lists()];
-        let mut list_done = vec![false; links.num_lists()];
 
+        // One linear pass assigns strata (children before parents, so
+        // every referenced node is already levelled).
+        let mut expr_level: Vec<u32> = vec![0; links.num_exprs()];
+        let mut list_level: Vec<u32> = vec![u32::MAX; links.num_lists()];
+        let level_of_list = |l: ListId, expr_level: &[u32], list_level: &mut Vec<u32>| {
+            if list_level[l.idx()] == u32::MAX {
+                list_level[l.idx()] = 1 + links
+                    .list(l)
+                    .iter()
+                    .map(|&w| expr_level[w.idx()])
+                    .max()
+                    .unwrap_or(0);
+            }
+            list_level[l.idx()]
+        };
+        let mut max_level = 0u32;
         for &d in links.topo() {
-            let lists = links.slot_lists(d);
-            let n = if lists.is_empty() {
-                Nat::one()
-            } else {
-                let mut product = Nat::one();
-                for &l in lists {
-                    // First parent to reference a list computes its b;
-                    // its children are already counted (topo order) and
-                    // every later slot sharing the list reuses it.
-                    if !list_done[l.idx()] {
-                        list_totals[l.idx()] =
-                            links.list(l).iter().map(|&w| &per_expr[w.idx()]).sum();
-                        list_done[l.idx()] = true;
-                    }
-                    product *= &list_totals[l.idx()]; // b = 0 ⇒ no completable plan here
-                }
-                product
-            };
-            per_expr[d.idx()] = n;
+            let level = links
+                .slot_lists(d)
+                .iter()
+                .map(|&l| level_of_list(l, &expr_level, &mut list_level))
+                .max()
+                .unwrap_or(0);
+            expr_level[d.idx()] = level;
+            max_level = max_level.max(level);
+        }
+        // The root list is interned like any other but need not be any
+        // slot's list; level it too so the stratum loop computes it.
+        let root = links.root_list();
+        max_level = max_level.max(level_of_list(root, &expr_level, &mut list_level));
+
+        // Bucket nodes by stratum.
+        let mut exprs_at = vec![Vec::new(); max_level as usize + 1];
+        for &d in links.topo() {
+            exprs_at[expr_level[d.idx()] as usize].push(d);
+        }
+        let mut lists_at = vec![Vec::new(); max_level as usize + 1];
+        for l in 0..links.num_lists() as u32 {
+            if list_level[l as usize] != u32::MAX {
+                lists_at[list_level[l as usize] as usize].push(ListId::new(l));
+            }
         }
 
-        let root = links.root_list();
-        if !list_done[root.idx()] {
-            list_totals[root.idx()] = links.list(root).iter().map(|&w| &per_expr[w.idx()]).sum();
+        // Fill stratum by stratum: first each level's list totals b (sums
+        // of already-counted members), then its expression counts N
+        // (products of already-computed b's).
+        for level in 0..=max_level as usize {
+            let lists = &lists_at[level];
+            let totals = threadpool::parallel_map(lists.len(), Self::PAR_MIN_NODES, |i| {
+                links
+                    .list(lists[i])
+                    .iter()
+                    .map(|&w| &per_expr[w.idx()])
+                    .sum::<Nat>()
+            });
+            for (&l, b) in lists.iter().zip(totals) {
+                list_totals[l.idx()] = b;
+            }
+
+            let exprs = &exprs_at[level];
+            let counts = threadpool::parallel_map(exprs.len(), Self::PAR_MIN_NODES, |i| {
+                let slots = links.slot_lists(exprs[i]);
+                if slots.is_empty() {
+                    Nat::one()
+                } else {
+                    let mut product = Nat::one();
+                    for &l in slots {
+                        product *= &list_totals[l.idx()]; // b = 0 ⇒ no completable plan here
+                    }
+                    product
+                }
+            });
+            for (&d, n) in exprs.iter().zip(counts) {
+                per_expr[d.idx()] = n;
+            }
         }
+
         let total = list_totals[root.idx()].clone();
         Counts {
             per_expr,

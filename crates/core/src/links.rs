@@ -53,6 +53,13 @@ impl ListId {
     pub fn idx(self) -> usize {
         self.0 as usize
     }
+
+    /// Constructs from a raw index (crate-internal: ids are only issued
+    /// by [`Links::build`]'s interner).
+    #[inline]
+    pub(crate) fn new(raw: u32) -> Self {
+        ListId(raw)
+    }
 }
 
 /// Materialized parent→child links for every physical expression, in the
@@ -76,23 +83,70 @@ pub struct Links {
 }
 
 impl Links {
+    /// Smallest number of distinct slots worth a worker thread: each
+    /// slot costs one `eligible_children` scan over its group.
+    const PAR_MIN_SLOTS: usize = 16;
+
     /// Materializes all links, interning duplicate alternative lists, and
     /// computes the topological order (failing on cyclic hand-built
     /// memos).
+    ///
+    /// The build is parallel in its hot phase and *deterministic*: the
+    /// output is bit-identical at every thread count (see
+    /// `tests/build_determinism.rs`). Three passes:
+    ///
+    /// 1. **Gather** (sequential, cheap): walk every expression's child
+    ///    slots, assigning each *distinct* slot an index in
+    ///    first-encounter order — no property scans yet.
+    /// 2. **Scan** (parallel): one `eligible_children` property scan per
+    ///    distinct slot, fanned out over the `threadpool` workers. The
+    ///    scans are independent and their outputs are a pure function of
+    ///    the slot, so the fan-out cannot perturb the result.
+    /// 3. **Intern** (sequential, cheap): content-intern the per-slot
+    ///    child lists *in distinct-slot order* — the same first-encounter
+    ///    order the sequential build used, which pins pool layout and
+    ///    [`ListId`] assignment.
     pub fn build(memo: &Memo, query: &QuerySpec) -> Result<Links, SpaceError> {
         let ids = DenseIdMap::build(memo);
         let n = ids.len();
 
-        let mut pool: Vec<DenseId> = Vec::new();
-        let mut list_bounds: Vec<u32> = vec![0];
-        let mut slot_lists: Vec<ListId> = Vec::new();
+        // Pass 1: gather slots; distinct slots in first-encounter order.
+        let mut slot_of: Vec<u32> = Vec::new();
         let mut slot_bounds: Vec<u32> = Vec::with_capacity(n + 1);
         slot_bounds.push(0);
+        let mut by_slot: HashMap<ChildSlot, u32> = HashMap::new();
+        let mut distinct: Vec<ChildSlot> = Vec::new();
+        for group in memo.groups() {
+            for (id, expr) in group.phys_iter() {
+                for slot in expr.child_slots(id.group) {
+                    let next = distinct.len() as u32;
+                    let idx = match by_slot.entry(slot) {
+                        std::collections::hash_map::Entry::Occupied(o) => *o.get(),
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            distinct.push(v.key().clone());
+                            v.insert(next);
+                            next
+                        }
+                    };
+                    slot_of.push(idx);
+                }
+                slot_bounds.push(slot_of.len() as u32);
+            }
+        }
 
-        // Two-level interning: by slot (skips the eligible_children scan
-        // entirely on repeats) and by content (collapses distinct slots
-        // that filter to the same alternatives).
-        let mut by_slot: HashMap<ChildSlot, ListId> = HashMap::new();
+        // Pass 2: the property scans — the expensive part — in parallel.
+        let kid_lists: Vec<Vec<DenseId>> =
+            threadpool::parallel_map(distinct.len(), Self::PAR_MIN_SLOTS, |i| {
+                eligible_children(memo, query, &distinct[i])
+                    .iter()
+                    .map(|&k| ids.dense(k))
+                    .collect()
+            });
+
+        // Pass 3: content-intern (collapses distinct slots that filter to
+        // the same alternatives) and resolve per-slot list ids.
+        let mut pool: Vec<DenseId> = Vec::new();
+        let mut list_bounds: Vec<u32> = vec![0];
         let mut by_content: HashMap<Vec<DenseId>, ListId> = HashMap::new();
         let mut intern =
             |kids: Vec<DenseId>, pool: &mut Vec<DenseId>, bounds: &mut Vec<u32>| match by_content
@@ -107,30 +161,21 @@ impl Links {
                     l
                 }
             };
-
-        for group in memo.groups() {
-            for (id, expr) in group.phys_iter() {
-                for slot in expr.child_slots(id.group) {
-                    let lid = match by_slot.get(&slot) {
-                        Some(&l) => l,
-                        None => {
-                            let kids: Vec<DenseId> = eligible_children(memo, query, &slot)
-                                .iter()
-                                .map(|&k| ids.dense(k))
-                                .collect();
-                            let l = intern(kids, &mut pool, &mut list_bounds);
-                            by_slot.insert(slot, l);
-                            l
-                        }
-                    };
-                    slot_lists.push(lid);
-                }
-                slot_bounds.push(slot_lists.len() as u32);
-            }
+        let mut list_of_slot: Vec<ListId> = Vec::with_capacity(distinct.len());
+        for kids in kid_lists {
+            list_of_slot.push(intern(kids, &mut pool, &mut list_bounds));
         }
+        let mut slot_lists: Vec<ListId> =
+            slot_of.iter().map(|&i| list_of_slot[i as usize]).collect();
 
         let root_members: Vec<DenseId> = ids.group_range(memo.root()).map(DenseId).collect();
         let root_list = intern(root_members, &mut pool, &mut list_bounds);
+
+        // The links back a long-lived, byte-budgeted artifact: drop the
+        // growth slack the pushes above left in the flat buffers.
+        pool.shrink_to_fit();
+        list_bounds.shrink_to_fit();
+        slot_lists.shrink_to_fit();
 
         let mut links = Links {
             ids,
@@ -332,7 +377,7 @@ impl Links {
 mod tests {
     use super::*;
     use crate::paper_example;
-    use plansample_memo::{GroupKey, Memo, PhysicalExpr, PhysicalOp, SortOrder};
+    use plansample_memo::{GroupKey, Memo, PhysicalExpr, PhysicalOp};
     use plansample_query::RelSet;
 
     #[test]
@@ -454,7 +499,6 @@ mod tests {
                 PhysicalOp::TableScan {
                     rel: plansample_query::RelId(0),
                 },
-                SortOrder::unsorted(),
                 1.0,
                 1.0,
             ),
@@ -468,7 +512,6 @@ mod tests {
                     left: g0,
                     right: g1,
                 },
-                SortOrder::unsorted(),
                 1.0,
                 1.0,
             ),

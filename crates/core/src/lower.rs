@@ -43,7 +43,10 @@ pub fn lower(memo: &Memo, query: &QuerySpec, catalog: &Catalog, plan: &PlanNode)
 
 /// Width (column count) of one relation instance.
 fn rel_width(query: &QuerySpec, catalog: &Catalog, rel: RelId) -> usize {
-    catalog.table(query.relations[rel.0].table).columns.len()
+    catalog
+        .table(query.relations[rel.idx()].table)
+        .columns
+        .len()
 }
 
 /// Offset of `col` within the canonical layout of `scope`.
@@ -55,7 +58,7 @@ fn offset_in_scope(query: &QuerySpec, catalog: &Catalog, scope: RelSet, col: Col
     let mut offset = 0;
     for rel in scope.iter() {
         if rel == col.rel {
-            return offset + col.col;
+            return offset + col.col_idx();
         }
         offset += rel_width(query, catalog, rel);
     }
@@ -71,7 +74,7 @@ fn compiled_filters(query: &QuerySpec, rel: RelId) -> Vec<ColFilter> {
     query
         .filters_on(rel)
         .map(|f| ColFilter {
-            offset: f.col.col,
+            offset: f.col.col_idx(),
             op: f.op,
             value: f.value.clone(),
         })
@@ -128,12 +131,12 @@ fn lower_node(memo: &Memo, query: &QuerySpec, catalog: &Catalog, plan: &PlanNode
     let scope = memo.group(plan.id.group).scope(query);
     match &expr.op {
         PhysicalOp::TableScan { rel } => ExecNode::TableScan {
-            table: query.relations[rel.0].table,
+            table: query.relations[rel.idx()].table,
             filters: compiled_filters(query, *rel),
         },
         PhysicalOp::SortedIdxScan { rel, col } => ExecNode::IndexScan {
-            table: query.relations[rel.0].table,
-            sort_col: col.col,
+            table: query.relations[rel.idx()].table,
+            sort_col: col.col_idx(),
             filters: compiled_filters(query, *rel),
         },
         PhysicalOp::Sort { target } => ExecNode::Sort {

@@ -116,19 +116,12 @@ pub fn build() -> PaperExample {
     let group_ab = memo.add_group(GroupKey::Rels(RelSet::from_iter([ra, rb])));
     let group_root = memo.add_group(GroupKey::Rels(RelSet::all(3)));
 
-    let phys = |op: PhysicalOp, delivered: SortOrder, cost: f64, card: f64| {
-        PhysicalExpr::new(op, delivered, cost, card)
-    };
+    let phys = |op: PhysicalOp, cost: f64, card: f64| PhysicalExpr::new(op, cost, card);
 
     let table_scan_a = memo
         .add_physical(
             group_a,
-            phys(
-                PhysicalOp::TableScan { rel: ra },
-                SortOrder::unsorted(),
-                100.0,
-                100.0,
-            ),
+            phys(PhysicalOp::TableScan { rel: ra }, 100.0, 100.0),
         )
         .expect("new expression");
     let idx_scan_a = memo
@@ -136,7 +129,6 @@ pub fn build() -> PaperExample {
             group_a,
             phys(
                 PhysicalOp::SortedIdxScan { rel: ra, col: a_k },
-                SortOrder::on_col(a_k),
                 120.0,
                 100.0,
             ),
@@ -149,7 +141,6 @@ pub fn build() -> PaperExample {
                 PhysicalOp::Sort {
                     target: SortOrder::on_col(a_k),
                 },
-                SortOrder::on_col(a_k),
                 80.0,
                 100.0,
             ),
@@ -159,12 +150,7 @@ pub fn build() -> PaperExample {
     let table_scan_b = memo
         .add_physical(
             group_b,
-            phys(
-                PhysicalOp::TableScan { rel: rb },
-                SortOrder::unsorted(),
-                200.0,
-                200.0,
-            ),
+            phys(PhysicalOp::TableScan { rel: rb }, 200.0, 200.0),
         )
         .expect("new expression");
     let idx_scan_b = memo
@@ -172,7 +158,6 @@ pub fn build() -> PaperExample {
             group_b,
             phys(
                 PhysicalOp::SortedIdxScan { rel: rb, col: b_k },
-                SortOrder::on_col(b_k),
                 240.0,
                 200.0,
             ),
@@ -180,25 +165,12 @@ pub fn build() -> PaperExample {
         .expect("new expression");
 
     let table_scan_c = memo
-        .add_physical(
-            group_c,
-            phys(
-                PhysicalOp::TableScan { rel: rc },
-                SortOrder::unsorted(),
-                50.0,
-                50.0,
-            ),
-        )
+        .add_physical(group_c, phys(PhysicalOp::TableScan { rel: rc }, 50.0, 50.0))
         .expect("new expression");
     let idx_scan_c = memo
         .add_physical(
             group_c,
-            phys(
-                PhysicalOp::SortedIdxScan { rel: rc, col: c_k },
-                SortOrder::on_col(c_k),
-                60.0,
-                50.0,
-            ),
+            phys(PhysicalOp::SortedIdxScan { rel: rc, col: c_k }, 60.0, 50.0),
         )
         .expect("new expression");
 
@@ -210,7 +182,6 @@ pub fn build() -> PaperExample {
                     left: group_a,
                     right: group_b,
                 },
-                SortOrder::unsorted(),
                 350.0,
                 200.0,
             ),
@@ -226,7 +197,6 @@ pub fn build() -> PaperExample {
                     left_key: a_k,
                     right_key: b_k,
                 },
-                SortOrder::on_col(a_k),
                 300.0,
                 200.0,
             ),
@@ -241,7 +211,6 @@ pub fn build() -> PaperExample {
                     left: group_c,
                     right: group_ab,
                 },
-                SortOrder::unsorted(),
                 275.0,
                 200.0,
             ),
@@ -255,7 +224,6 @@ pub fn build() -> PaperExample {
                     left: group_ab,
                     right: group_c,
                 },
-                SortOrder::unsorted(),
                 350.0,
                 200.0,
             ),

@@ -34,15 +34,34 @@ impl PlanSpace {
         self.unrank(&rank).expect("rank drawn below the total")
     }
 
+    /// Smallest number of draws per worker thread worth forking the
+    /// unranking across the pool.
+    const PAR_MIN_DRAWS: usize = 256;
+
     /// Draws `k` plans uniformly and independently (with replacement),
     /// as in the paper's 10 000-plan experiments. The batched entry
     /// point of the prepared-query serving surface: amortizes the memo
     /// preparation over arbitrarily many draws.
     ///
+    /// Large batches unrank in parallel over the `threadpool` workers.
+    /// The caller's RNG is consumed exactly as the sequential loop
+    /// consumes it — all `k` ranks are drawn up front, then unranked
+    /// (the deterministic, side-effect-free part) concurrently — so the
+    /// returned batch is identical at every thread count.
+    ///
     /// # Panics
     /// Panics if `k > 0` and the space is empty.
     pub fn sample_batch<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<PlanNode> {
-        (0..k).map(|_| self.sample(rng)).collect()
+        assert!(
+            k == 0 || !self.total().is_zero(),
+            "cannot sample from an empty plan space"
+        );
+        let ranks: Vec<Nat> = (0..k)
+            .map(|_| Nat::random_below(rng, self.total()))
+            .collect();
+        threadpool::parallel_map(k, Self::PAR_MIN_DRAWS, |i| {
+            self.unrank(&ranks[i]).expect("rank drawn below the total")
+        })
     }
 
     /// Alias of [`sample_batch`](Self::sample_batch), kept for the

@@ -115,7 +115,7 @@ mod tests {
     fn sampling_a_dead_subspace_panics() {
         // Build a memo where a merge join is dead (no sorted providers).
         use plansample_catalog::{table, ColType};
-        use plansample_memo::{GroupKey, Memo, PhysicalExpr, PhysicalOp, SortOrder};
+        use plansample_memo::{GroupKey, Memo, PhysicalExpr, PhysicalOp};
         use plansample_query::{ColRef, QueryBuilder, RelId, RelSet};
 
         let mut catalog = plansample_catalog::Catalog::new();
@@ -137,22 +137,12 @@ mod tests {
         let gab = memo.add_group(GroupKey::Rels(RelSet::all(2)));
         memo.add_physical(
             ga,
-            PhysicalExpr::new(
-                PhysicalOp::TableScan { rel: RelId(0) },
-                SortOrder::unsorted(),
-                1.0,
-                5.0,
-            ),
+            PhysicalExpr::new(PhysicalOp::TableScan { rel: RelId(0) }, 1.0, 5.0),
         )
         .unwrap();
         memo.add_physical(
             gb,
-            PhysicalExpr::new(
-                PhysicalOp::TableScan { rel: RelId(1) },
-                SortOrder::unsorted(),
-                1.0,
-                5.0,
-            ),
+            PhysicalExpr::new(PhysicalOp::TableScan { rel: RelId(1) }, 1.0, 5.0),
         )
         .unwrap();
         let dead = memo
@@ -171,7 +161,6 @@ mod tests {
                             col: 0,
                         },
                     },
-                    SortOrder::unsorted(),
                     1.0,
                     5.0,
                 ),

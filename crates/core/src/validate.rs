@@ -267,50 +267,40 @@ mod tests {
     }
 
     #[test]
-    fn injected_executor_fault_is_detected() {
-        // Corrupt the database between reference and checks? Simpler:
-        // corrupt one table so different join orders see consistent data
-        // but a *deliberately broken* memo expression (MergeJoin whose
-        // delivered order lies) yields divergent output. We emulate the
-        // fault by declaring the unsorted TableScan of A as delivering
-        // the sort order — the classic "optimizer considered an invalid
-        // plan" failure.
+    fn injected_optimizer_fault_is_detected() {
+        // The paper's first failure class: "the optimizer considered an
+        // invalid alternative". Delivered orders are derived from the
+        // operator, so a memo whose *claimed* order lies is no longer
+        // representable; the representable fault is an alternative that
+        // computes the wrong thing. Inject a scan of relation C into
+        // group A (same column count, different rows): every plan
+        // choosing it produces divergent results, which differential
+        // validation must catch and pin to a reproducible rank.
         let mut ex = paper_example::build();
-        // Lie about the table scan's delivered order.
-        let g = ex.group_a;
-        let lying = {
-            let group = ex.memo.group(g).clone();
-            let mut e = group.physical[0].clone();
-            e.delivered = ex.memo.phys(ex.idx_scan_a).delivered.clone();
-            e
-        };
-        // Rebuild group A with the lying scan replacing the honest one.
-        let mut memo = plansample_memo::Memo::new();
-        for group in ex.memo.groups() {
-            let gid = memo.add_group(group.key);
-            for op in &group.logical {
-                memo.add_logical(gid, op.clone());
-            }
-            for (id, expr) in group.phys_iter() {
-                let e = if id == ex.table_scan_a {
-                    lying.clone()
-                } else {
-                    expr.clone()
-                };
-                memo.add_physical(gid, e);
-            }
-        }
-        memo.set_root(ex.memo.root());
-        ex.memo = memo;
+        let rc = ex.query.join_edges[1].right.rel; // relation c
+        ex.memo
+            .add_physical(
+                ex.group_a,
+                plansample_memo::PhysicalExpr::new(
+                    plansample_memo::PhysicalOp::TableScan { rel: rc },
+                    100.0,
+                    100.0,
+                ),
+            )
+            .expect("distinct operator admitted");
 
         let space = PlanSpace::build(&ex.memo, &ex.query).unwrap();
         let db = fixture_db();
+        assert!(
+            space.total().to_u64().unwrap() > 32,
+            "the invalid alternative enlarges the space"
+        );
         let report = space
             .validate_exhaustive(&ex.catalog, &db, usize::MAX)
             .unwrap();
         assert!(
             !report.all_passed(),
-            "a lying delivered-order must be caught by differential testing"
+            "an invalid alternative must be caught by differential testing"
         );
         // The mismatching plans must be reproducible by rank.
         let first = &report.mismatches[0];

@@ -5,7 +5,7 @@
 use plansample::{PlanSpace, SpaceError};
 use plansample_bignum::Nat;
 use plansample_catalog::{table, Catalog, ColType};
-use plansample_memo::{validate_plan, GroupKey, Memo, PhysicalExpr, PhysicalOp, SortOrder};
+use plansample_memo::{validate_plan, GroupKey, Memo, PhysicalExpr, PhysicalOp};
 use plansample_optimizer::{optimize, OptimizerConfig};
 use plansample_query::{ColRef, QueryBuilder, QuerySpec, RelId, RelSet};
 
@@ -37,22 +37,12 @@ fn dead_expressions_count_zero_and_are_skipped() {
     // Only unsorted table scans: no index, no enforcer.
     memo.add_physical(
         ga,
-        PhysicalExpr::new(
-            PhysicalOp::TableScan { rel: ra },
-            SortOrder::unsorted(),
-            10.0,
-            10.0,
-        ),
+        PhysicalExpr::new(PhysicalOp::TableScan { rel: ra }, 10.0, 10.0),
     )
     .unwrap();
     memo.add_physical(
         gb,
-        PhysicalExpr::new(
-            PhysicalOp::TableScan { rel: rb },
-            SortOrder::unsorted(),
-            10.0,
-            10.0,
-        ),
+        PhysicalExpr::new(PhysicalOp::TableScan { rel: rb }, 10.0, 10.0),
     )
     .unwrap();
     // A live hash join and a DEAD merge join (nothing delivers the order).
@@ -64,7 +54,6 @@ fn dead_expressions_count_zero_and_are_skipped() {
                     left: ga,
                     right: gb,
                 },
-                SortOrder::unsorted(),
                 25.0,
                 10.0,
             ),
@@ -80,7 +69,6 @@ fn dead_expressions_count_zero_and_are_skipped() {
                     left_key: a_k,
                     right_key: b_k,
                 },
-                SortOrder::on_col(a_k),
                 20.0,
                 10.0,
             ),

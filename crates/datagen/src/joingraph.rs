@@ -18,10 +18,16 @@
 //! Table statistics (row counts, distinct values, index availability)
 //! are drawn deterministically from a seed, so every generated space is
 //! reproducible yet structurally "random" — the property the
-//! rank/unrank bijection and uniform-sampling test suites quantify over.
+//! rank/unrank bijection and uniform-sampling test suites quantify over
+//! (`docs/DESIGN.md` §8). [`JoinGraphSpec::build_memo`] is also the
+//! benchmark workload for the parallel plan-space build (`docs/DESIGN.md`
+//! §5): clique-10/12 memos synthesized directly, without optimizer
+//! search, reach the multi-limb 700k-expression regime in seconds.
 
 use plansample_catalog::{table, Catalog, ColType};
-use plansample_memo::{satisfies, GroupId, GroupKey, Memo, PhysicalExpr, PhysicalOp, SortOrder};
+use plansample_memo::{
+    satisfies_cols, GroupId, GroupKey, Memo, PhysicalExpr, PhysicalOp, SortOrder,
+};
 use plansample_query::{ColRef, QueryBuilder, QuerySpec, RelId, RelSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -154,8 +160,8 @@ impl JoinGraphSpec {
     ///
     /// This is how the layout benchmarks reach the 10–12-relation
     /// synthetic spaces the plan-enumeration literature treats as the
-    /// interesting regime: a clique-10 memo (~200k physical expressions,
-    /// multi-limb plan counts) builds in milliseconds, where running the
+    /// interesting regime: a clique-10 memo (~709k physical expressions,
+    /// multi-limb plan counts) synthesizes in seconds, where running the
     /// full optimizer takes minutes. Deterministic in every field of the
     /// spec.
     ///
@@ -188,7 +194,11 @@ impl JoinGraphSpec {
             }
         };
         let relset = |mask: u32| -> RelSet {
-            RelSet::from_iter((0..n).filter(|&i| mask & (1 << i) != 0).map(RelId))
+            RelSet::from_iter(
+                (0..n)
+                    .filter(|&i| mask & (1 << i) != 0)
+                    .map(|i| RelId(i as u32)),
+            )
         };
 
         // Groups in subset-size order: children before parents, like the
@@ -207,6 +217,10 @@ impl JoinGraphSpec {
             }
         }
         add_interesting_order_enforcers(&catalog, &query, &mut memo);
+        // Like optimizer-produced memos, synthesized ones are read-only
+        // from here on (and byte-accounted by the benchmarks): release
+        // the growth slack so size_bytes() is the true footprint.
+        memo.shrink_to_fit();
         let root = memo
             .find_group(GroupKey::Rels(relset((1u32 << n) - 1)))
             .expect("the full relation set is connected");
@@ -222,31 +236,21 @@ impl JoinGraphSpec {
         gid: GroupId,
         rel: RelId,
     ) {
-        let table = catalog.table(query.relations[rel.0].table);
+        let table = catalog.table(query.relations[rel.idx()].table);
         let rows = table.row_count as f64;
         let out = query.filtered_card(catalog, rel);
         memo.add_physical(
             gid,
-            PhysicalExpr::new(
-                PhysicalOp::TableScan { rel },
-                SortOrder::unsorted(),
-                rows,
-                out,
-            ),
+            PhysicalExpr::new(PhysicalOp::TableScan { rel }, rows, out),
         );
         for ix in &table.indexes {
             let col = ColRef {
                 rel,
-                col: ix.column,
+                col: ix.column as u32,
             };
             memo.add_physical(
                 gid,
-                PhysicalExpr::new(
-                    PhysicalOp::SortedIdxScan { rel, col },
-                    SortOrder::on_col(col),
-                    rows * 1.2,
-                    out,
-                ),
+                PhysicalExpr::new(PhysicalOp::SortedIdxScan { rel, col }, rows * 1.2, out),
             );
         }
     }
@@ -281,7 +285,6 @@ impl JoinGraphSpec {
                     gid,
                     PhysicalExpr::new(
                         PhysicalOp::NestedLoopJoin { left, right },
-                        SortOrder::unsorted(),
                         lcard * rcard * 0.01 + out,
                         out,
                     ),
@@ -290,7 +293,6 @@ impl JoinGraphSpec {
                     gid,
                     PhysicalExpr::new(
                         PhysicalOp::HashJoin { left, right },
-                        SortOrder::unsorted(),
                         lcard + rcard + out,
                         out,
                     ),
@@ -310,7 +312,6 @@ impl JoinGraphSpec {
                                 left_key: lk,
                                 right_key: rk,
                             },
-                            SortOrder::on_col(lk),
                             lcard + rcard + out * 1.1,
                             out,
                         ),
@@ -347,11 +348,9 @@ fn add_interesting_order_enforcers(catalog: &Catalog, query: &QuerySpec, memo: &
         }
         let card = query.set_card(catalog, set);
         for target in targets {
-            let sortable = memo
-                .group(gid)
-                .physical
-                .iter()
-                .any(|e| !e.op.is_enforcer() && !satisfies(query, set, &e.delivered, &target));
+            let sortable = memo.group(gid).physical.iter().any(|e| {
+                !e.op.is_enforcer() && !satisfies_cols(query, set, e.delivered_cols(), &target)
+            });
             if sortable {
                 memo.add_physical(
                     gid,
@@ -359,7 +358,6 @@ fn add_interesting_order_enforcers(catalog: &Catalog, query: &QuerySpec, memo: &
                         PhysicalOp::Sort {
                             target: target.clone(),
                         },
-                        target,
                         card * 1.5,
                         card,
                     ),

@@ -3,7 +3,8 @@
 //! The paper runs its differential tests against a real TPC-H database;
 //! we substitute a seeded generator that produces foreign-key-consistent
 //! tables with the same schema and key structure (see
-//! `docs/ARCHITECTURE.md`). The
+//! `docs/ARCHITECTURE.md`; the role this data plays in the validation
+//! strategy is `docs/DESIGN.md` §8). The
 //! generated *data volumes* are intentionally tiny — differential
 //! testing executes hundreds of sampled plans per query, including
 //! nested-loops-heavy ones, so rows must stay in the hundreds. The

@@ -15,7 +15,9 @@
 //! repair bad plans: `StreamAgg` aggregates whatever run boundaries it
 //! sees and `MergeJoin` trusts its inputs to be sorted, so a plan that
 //! violates its physical-property obligations produces wrong answers —
-//! which is exactly what the differential tests are designed to catch.
+//! which is exactly what the differential tests are designed to catch
+//! (the validation strategy this engine anchors is `docs/DESIGN.md`
+//! §8).
 
 #![warn(missing_docs)]
 

@@ -134,19 +134,14 @@ impl DenseIdMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{GroupKey, PhysicalExpr, PhysicalOp, SortOrder};
+    use crate::{GroupKey, PhysicalExpr, PhysicalOp};
     use plansample_query::{RelId, RelSet};
 
-    fn scan(rel: usize) -> PhysicalExpr {
-        PhysicalExpr::new(
-            PhysicalOp::TableScan { rel: RelId(rel) },
-            SortOrder::unsorted(),
-            1.0,
-            1.0,
-        )
+    fn scan(rel: u32) -> PhysicalExpr {
+        PhysicalExpr::new(PhysicalOp::TableScan { rel: RelId(rel) }, 1.0, 1.0)
     }
 
-    fn idx(rel: usize) -> PhysicalExpr {
+    fn idx(rel: u32) -> PhysicalExpr {
         let col = plansample_query::ColRef {
             rel: RelId(rel),
             col: 0,
@@ -156,7 +151,6 @@ mod tests {
                 rel: RelId(rel),
                 col,
             },
-            SortOrder::on_col(col),
             1.0,
             1.0,
         )

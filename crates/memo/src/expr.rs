@@ -162,12 +162,20 @@ pub struct ChildSlot {
 
 /// A physical expression: the operator plus its derived properties and
 /// local cost.
+///
+/// The sort order an operator delivers is a function of the operator
+/// itself (a table scan delivers nothing, an index scan its index
+/// column, a sort its target, a merge join its left key …), so it is
+/// *derived on demand* ([`delivered_cols`](Self::delivered_cols) /
+/// [`delivered`](Self::delivered)) rather than stored. That keeps the
+/// expression at `op + two f64s` — the MEMO stores one of these per
+/// physical alternative, and on large memos the struct size dominates
+/// the resident footprint (docs/DESIGN.md §6) — and makes a memo whose
+/// *claimed* order disagrees with its operator unrepresentable.
 #[derive(Debug, Clone)]
 pub struct PhysicalExpr {
     /// The operator.
     pub op: PhysicalOp,
-    /// Sort order this operator guarantees on its output.
-    pub delivered: SortOrder,
     /// Cost of this operator alone (excluding children). Because child
     /// *cardinalities* are group-level estimates, the local cost is the
     /// same for every choice of child expressions — a plan's cost is the
@@ -179,14 +187,38 @@ pub struct PhysicalExpr {
 }
 
 impl PhysicalExpr {
-    /// Bundles an operator with its properties.
-    pub fn new(op: PhysicalOp, delivered: SortOrder, local_cost: f64, out_card: f64) -> Self {
+    /// Bundles an operator with its cost properties.
+    pub fn new(op: PhysicalOp, local_cost: f64, out_card: f64) -> Self {
         PhysicalExpr {
             op,
-            delivered,
             local_cost,
             out_card,
         }
+    }
+
+    /// The key columns of the sort order this operator guarantees on its
+    /// output, major first (empty = no guarantee) — borrowed straight
+    /// from the operator, so property checks on the link-materialization
+    /// hot path allocate nothing.
+    #[inline]
+    pub fn delivered_cols(&self) -> &[ColRef] {
+        match &self.op {
+            PhysicalOp::TableScan { .. }
+            | PhysicalOp::NestedLoopJoin { .. }
+            | PhysicalOp::HashJoin { .. }
+            | PhysicalOp::HashAgg { .. } => &[],
+            PhysicalOp::SortedIdxScan { col, .. } => std::slice::from_ref(col),
+            PhysicalOp::Sort { target } => target.cols(),
+            PhysicalOp::MergeJoin { left_key, .. } => std::slice::from_ref(left_key),
+            PhysicalOp::StreamAgg { group_order, .. } => group_order.cols(),
+        }
+    }
+
+    /// The delivered order as an owned [`SortOrder`] (allocates for
+    /// sorted operators; rendering/diagnostic convenience over
+    /// [`delivered_cols`](Self::delivered_cols)).
+    pub fn delivered(&self) -> SortOrder {
+        SortOrder::on(self.delivered_cols().to_vec())
     }
 
     /// The operator's child slots, in input order. `own_group` is the
@@ -240,14 +272,14 @@ impl PhysicalExpr {
     }
 
     /// Heap bytes owned by this expression beyond its inline size (the
-    /// sort-order key vectors of the operator and the delivered order).
+    /// sort-order key vectors of enforcer/stream-agg operators; every
+    /// other operator owns no heap at all).
     pub fn heap_bytes(&self) -> usize {
-        let op_heap = match &self.op {
+        match &self.op {
             PhysicalOp::Sort { target } => target.heap_bytes(),
             PhysicalOp::StreamAgg { group_order, .. } => group_order.heap_bytes(),
             _ => 0,
-        };
-        op_heap + self.delivered.heap_bytes()
+        }
     }
 
     /// Number of children (the paper's `|v|`).
@@ -268,7 +300,7 @@ impl PhysicalExpr {
 mod tests {
     use super::*;
 
-    fn col(rel: usize, c: usize) -> ColRef {
+    fn col(rel: u32, c: u32) -> ColRef {
         ColRef {
             rel: RelId(rel),
             col: c,
@@ -290,12 +322,7 @@ mod tests {
 
     #[test]
     fn leaf_has_no_slots() {
-        let e = PhysicalExpr::new(
-            PhysicalOp::TableScan { rel: RelId(0) },
-            SortOrder::unsorted(),
-            1.0,
-            10.0,
-        );
+        let e = PhysicalExpr::new(PhysicalOp::TableScan { rel: RelId(0) }, 1.0, 10.0);
         assert!(e.child_slots(GroupId(0)).is_empty());
         assert_eq!(e.arity(), 0);
     }
@@ -307,7 +334,6 @@ mod tests {
                 left: GroupId(1),
                 right: GroupId(2),
             },
-            SortOrder::unsorted(),
             1.0,
             10.0,
         );
@@ -331,7 +357,6 @@ mod tests {
                 left_key: col(0, 0),
                 right_key: col(1, 0),
             },
-            SortOrder::on_col(col(0, 0)),
             1.0,
             10.0,
         );
@@ -353,7 +378,6 @@ mod tests {
             PhysicalOp::Sort {
                 target: target.clone(),
             },
-            target.clone(),
             1.0,
             10.0,
         );
@@ -372,7 +396,6 @@ mod tests {
                 input: GroupId(4),
                 group_order: order.clone(),
             },
-            order.clone(),
             1.0,
             5.0,
         );

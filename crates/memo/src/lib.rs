@@ -36,7 +36,7 @@ pub use dense::{DenseId, DenseIdMap};
 pub use expr::{ChildSlot, LogicalOp, PhysicalExpr, PhysicalOp, Requirement};
 pub use links::eligible_children;
 pub use plan::{validate_plan, PlanNode, PlanViolation};
-pub use props::{satisfies, ColEquivalences, OrderSatisfier, SortOrder};
+pub use props::{satisfies, satisfies_cols, ColEquivalences, OrderSatisfier, SortOrder};
 pub use render::render_memo;
 
 use plansample_query::RelSet;
@@ -232,6 +232,26 @@ impl Memo {
         self.groups.iter().map(|g| g.physical.len()).sum()
     }
 
+    /// Releases the spare capacity `add_group`/`add_physical`'s amortized
+    /// growth left behind in every per-group vector.
+    ///
+    /// A memo is built once (exploration + implementation) and then read
+    /// forever by the plan-space machinery, which also keeps it resident
+    /// for as long as a [`PreparedQuery`] lives — so the optimizer calls
+    /// this when optimization finishes. On large memos the doubling
+    /// slack is ~40% of the expression storage (docs/EXPERIMENTS.md
+    /// §E10), all of it charged to cache byte budgets via
+    /// [`size_bytes`](Self::size_bytes).
+    ///
+    /// [`PreparedQuery`]: https://docs.rs/plansample
+    pub fn shrink_to_fit(&mut self) {
+        self.groups.shrink_to_fit();
+        for group in &mut self.groups {
+            group.logical.shrink_to_fit();
+            group.physical.shrink_to_fit();
+        }
+    }
+
     /// Bytes of memory held by this memo: the struct itself plus the
     /// heap behind every group, expression, and the group-key index.
     ///
@@ -265,11 +285,11 @@ mod tests {
     use super::*;
     use plansample_query::{ColRef, RelId};
 
-    fn rs(ids: &[usize]) -> RelSet {
+    fn rs(ids: &[u32]) -> RelSet {
         RelSet::from_iter(ids.iter().map(|&i| RelId(i)))
     }
 
-    fn col(rel: usize, col: usize) -> ColRef {
+    fn col(rel: u32, col: u32) -> ColRef {
         ColRef {
             rel: RelId(rel),
             col,
@@ -302,28 +322,17 @@ mod tests {
     fn physical_dedup_is_structural() {
         let mut memo = Memo::new();
         let g = memo.add_group(GroupKey::Rels(rs(&[0])));
-        let scan = PhysicalExpr::new(
-            PhysicalOp::TableScan { rel: RelId(0) },
-            SortOrder::unsorted(),
-            1.0,
-            100.0,
-        );
+        let scan = PhysicalExpr::new(PhysicalOp::TableScan { rel: RelId(0) }, 1.0, 100.0);
         let id = memo.add_physical(g, scan.clone()).unwrap();
         assert_eq!(id, PhysId { group: g, index: 0 });
         // same op, different cost: still a duplicate (structure decides)
-        let dup = PhysicalExpr::new(
-            PhysicalOp::TableScan { rel: RelId(0) },
-            SortOrder::unsorted(),
-            99.0,
-            100.0,
-        );
+        let dup = PhysicalExpr::new(PhysicalOp::TableScan { rel: RelId(0) }, 99.0, 100.0);
         assert!(memo.add_physical(g, dup).is_none());
         let other = PhysicalExpr::new(
             PhysicalOp::SortedIdxScan {
                 rel: RelId(0),
                 col: col(0, 0),
             },
-            SortOrder::on(vec![col(0, 0)]),
             2.0,
             100.0,
         );
@@ -365,12 +374,7 @@ mod tests {
     fn group_iteration() {
         let mut memo = Memo::new();
         let g = memo.add_group(GroupKey::Rels(rs(&[0])));
-        let scan = PhysicalExpr::new(
-            PhysicalOp::TableScan { rel: RelId(0) },
-            SortOrder::unsorted(),
-            1.0,
-            10.0,
-        );
+        let scan = PhysicalExpr::new(PhysicalOp::TableScan { rel: RelId(0) }, 1.0, 10.0);
         memo.add_physical(g, scan).unwrap();
         let group = memo.group(g);
         let items: Vec<_> = group.phys_iter().collect();

@@ -32,9 +32,9 @@ pub fn eligible_children(memo: &Memo, query: &QuerySpec, slot: &ChildSlot) -> Ve
     group
         .phys_iter()
         .filter(|(_, e)| match &slot.requirement {
-            Requirement::Order(req) => sat.satisfies(&e.delivered, req),
+            Requirement::Order(req) => sat.satisfies_cols(e.delivered_cols(), req),
             Requirement::SortInput { target } => {
-                !e.op.is_enforcer() && !sat.satisfies(&e.delivered, target)
+                !e.op.is_enforcer() && !sat.satisfies_cols(e.delivered_cols(), target)
             }
         })
         .map(|(id, _)| id)
@@ -73,12 +73,7 @@ mod tests {
         let g = memo.add_group(GroupKey::Rels(RelSet::singleton(RelId(0))));
         memo.add_physical(
             g,
-            PhysicalExpr::new(
-                PhysicalOp::TableScan { rel: RelId(0) },
-                SortOrder::unsorted(),
-                100.0,
-                100.0,
-            ),
+            PhysicalExpr::new(PhysicalOp::TableScan { rel: RelId(0) }, 100.0, 100.0),
         )
         .unwrap();
         memo.add_physical(
@@ -88,7 +83,6 @@ mod tests {
                     rel: RelId(0),
                     col: key,
                 },
-                SortOrder::on_col(key),
                 120.0,
                 100.0,
             ),
@@ -100,7 +94,6 @@ mod tests {
                 PhysicalOp::Sort {
                     target: SortOrder::on_col(key),
                 },
-                SortOrder::on_col(key),
                 50.0,
                 100.0,
             ),

@@ -7,7 +7,7 @@
 //! paper's testing methodology ("are the alternatives considered really
 //! valid execution plans?") made machine-checkable.
 
-use crate::{satisfies, Memo, PhysId, Requirement};
+use crate::{satisfies_cols, Memo, PhysId, Requirement};
 use plansample_query::QuerySpec;
 use std::fmt::Write as _;
 
@@ -181,7 +181,7 @@ fn validate_node(
         let scope = memo.group(child.id.group).scope(query);
         match &slot.requirement {
             Requirement::Order(required) => {
-                if !satisfies(query, scope, &child_expr.delivered, required) {
+                if !satisfies_cols(query, scope, child_expr.delivered_cols(), required) {
                     violations.push(PlanViolation::PropertyViolated {
                         node: node.id,
                         slot: i,
@@ -190,7 +190,7 @@ fn validate_node(
             }
             Requirement::SortInput { target } => {
                 if child_expr.op.is_enforcer()
-                    || satisfies(query, scope, &child_expr.delivered, target)
+                    || satisfies_cols(query, scope, child_expr.delivered_cols(), target)
                 {
                     violations.push(PlanViolation::RedundantEnforcerInput { node: node.id });
                 }
@@ -226,22 +226,12 @@ mod tests {
         let gab = memo.add_group(GroupKey::Rels(RelSet::all(2)));
         memo.add_physical(
             ga,
-            PhysicalExpr::new(
-                PhysicalOp::TableScan { rel: RelId(0) },
-                SortOrder::unsorted(),
-                10.0,
-                10.0,
-            ),
+            PhysicalExpr::new(PhysicalOp::TableScan { rel: RelId(0) }, 10.0, 10.0),
         )
         .unwrap();
         memo.add_physical(
             gb,
-            PhysicalExpr::new(
-                PhysicalOp::TableScan { rel: RelId(1) },
-                SortOrder::unsorted(),
-                20.0,
-                20.0,
-            ),
+            PhysicalExpr::new(PhysicalOp::TableScan { rel: RelId(1) }, 20.0, 20.0),
         )
         .unwrap();
         memo.add_physical(
@@ -251,7 +241,6 @@ mod tests {
                     left: ga,
                     right: gb,
                 },
-                SortOrder::unsorted(),
                 35.0,
                 20.0,
             ),
@@ -335,7 +324,6 @@ mod tests {
                         left_key: key_a,
                         right_key: key_b,
                     },
-                    SortOrder::on_col(key_a),
                     30.0,
                     20.0,
                 ),
@@ -369,7 +357,6 @@ mod tests {
                     PhysicalOp::Sort {
                         target: target.clone(),
                     },
-                    target.clone(),
                     5.0,
                     10.0,
                 ),

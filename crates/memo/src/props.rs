@@ -126,6 +126,20 @@ pub fn satisfies(
     OrderSatisfier::new(query, scope).satisfies(delivered, required)
 }
 
+/// [`satisfies`] over a borrowed delivered key-column slice — the form
+/// property checks use with
+/// [`PhysicalExpr::delivered_cols`](crate::PhysicalExpr::delivered_cols),
+/// which borrows from the operator instead of materializing a
+/// [`SortOrder`].
+pub fn satisfies_cols(
+    query: &QuerySpec,
+    scope: RelSet,
+    delivered: &[ColRef],
+    required: &SortOrder,
+) -> bool {
+    OrderSatisfier::new(query, scope).satisfies_cols(delivered, required)
+}
+
 /// A reusable order-satisfaction checker for one relation-set scope.
 ///
 /// The syntactic prefix check needs no preparation; the equivalence-
@@ -152,27 +166,27 @@ impl<'q> OrderSatisfier<'q> {
 
     /// Does `delivered` satisfy `required` within this scope?
     pub fn satisfies(&mut self, delivered: &SortOrder, required: &SortOrder) -> bool {
+        self.satisfies_cols(delivered.cols(), required)
+    }
+
+    /// [`satisfies`](Self::satisfies) over a borrowed delivered
+    /// key-column slice (see [`satisfies_cols`]).
+    pub fn satisfies_cols(&mut self, delivered: &[ColRef], required: &SortOrder) -> bool {
         if required.is_unsorted() {
             return true;
         }
-        if delivered.cols().len() < required.cols().len() {
+        if delivered.len() < required.cols().len() {
             return false;
         }
         // Cheap syntactic check first; equivalence classes only when
         // needed, and then only built once per scope.
-        if delivered
-            .cols()
-            .iter()
-            .zip(required.cols())
-            .all(|(d, r)| d == r)
-        {
+        if delivered.iter().zip(required.cols()).all(|(d, r)| d == r) {
             return true;
         }
         let eq = self
             .eq
             .get_or_insert_with(|| ColEquivalences::within(self.query, self.scope));
         delivered
-            .cols()
             .iter()
             .zip(required.cols())
             .all(|(&d, &r)| eq.equivalent(d, r))
@@ -209,14 +223,14 @@ mod tests {
         (cat, q)
     }
 
-    fn col(rel: usize, c: usize) -> ColRef {
+    fn col(rel: u32, c: u32) -> ColRef {
         ColRef {
             rel: RelId(rel),
             col: c,
         }
     }
 
-    fn rs(ids: &[usize]) -> RelSet {
+    fn rs(ids: &[u32]) -> RelSet {
         RelSet::from_iter(ids.iter().map(|&i| RelId(i)))
     }
 

@@ -31,7 +31,7 @@ pub fn render_memo(memo: &Memo, query: &QuerySpec, catalog: &Catalog) -> String 
             GroupKey::Rels(set) => {
                 let names: Vec<&str> = set
                     .iter()
-                    .map(|r| query.relations[r.0].alias.as_str())
+                    .map(|r| query.relations[r.idx()].alias.as_str())
                     .collect();
                 format!("{{{}}}", names.join(", "))
             }
@@ -46,7 +46,7 @@ pub fn render_memo(memo: &Memo, query: &QuerySpec, catalog: &Catalog) -> String 
         for (id, expr) in group.phys_iter() {
             let operands = match &expr.op {
                 PhysicalOp::TableScan { rel } | PhysicalOp::SortedIdxScan { rel, .. } => {
-                    query.relations[rel.0].alias.clone()
+                    query.relations[rel.idx()].alias.clone()
                 }
                 PhysicalOp::Sort { target } => {
                     format!("g{} by {}", group.id.0, order_text(query, catalog, target))
@@ -73,7 +73,7 @@ pub fn render_memo(memo: &Memo, query: &QuerySpec, catalog: &Catalog) -> String 
                 out,
                 "  {id}  {:<15} [{operands}]  delivers: {:<12} cost: {:.0}  rows: {:.0}",
                 expr.op.name(),
-                order_text(query, catalog, &expr.delivered),
+                order_text(query, catalog, &expr.delivered()),
                 expr.local_cost,
                 expr.out_card
             );
@@ -112,12 +112,7 @@ mod tests {
         };
         memo.add_physical(
             g,
-            PhysicalExpr::new(
-                PhysicalOp::TableScan { rel: RelId(0) },
-                SortOrder::unsorted(),
-                10.0,
-                10.0,
-            ),
+            PhysicalExpr::new(PhysicalOp::TableScan { rel: RelId(0) }, 10.0, 10.0),
         )
         .unwrap();
         memo.add_physical(
@@ -127,7 +122,6 @@ mod tests {
                     rel: RelId(0),
                     col: k,
                 },
-                SortOrder::on_col(k),
                 12.0,
                 10.0,
             ),
@@ -172,12 +166,7 @@ mod tests {
         for (g, rel) in [(ga, RelId(0)), (gb, RelId(1))] {
             memo.add_physical(
                 g,
-                PhysicalExpr::new(
-                    PhysicalOp::TableScan { rel },
-                    SortOrder::unsorted(),
-                    10.0,
-                    10.0,
-                ),
+                PhysicalExpr::new(PhysicalOp::TableScan { rel }, 10.0, 10.0),
             )
             .unwrap();
         }
@@ -188,7 +177,6 @@ mod tests {
                     left: ga,
                     right: gb,
                 },
-                SortOrder::unsorted(),
                 25.0,
                 10.0,
             ),

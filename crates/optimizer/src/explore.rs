@@ -26,7 +26,7 @@ use plansample_query::{QuerySpec, RelId, RelSet};
 fn add_scan_groups(query: &QuerySpec, memo: &mut Memo) -> Vec<GroupId> {
     (0..query.relations.len())
         .map(|i| {
-            let rel = RelId(i);
+            let rel = RelId(i as u32);
             let g = memo.add_group(GroupKey::Rels(RelSet::singleton(rel)));
             memo.add_logical(g, LogicalOp::Scan { rel });
             g
@@ -80,7 +80,11 @@ pub fn explore_bottom_up(
     subsets.sort_by_key(|m| m.count_ones());
 
     for mask in subsets {
-        let set = RelSet::from_iter((0..n).filter(|i| mask & (1 << i) != 0).map(RelId));
+        let set = RelSet::from_iter(
+            (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| RelId(i as u32)),
+        );
         if !allow_cp && !query.connected(set) {
             continue;
         }
@@ -134,21 +138,25 @@ fn copy_in_initial_plan(query: &QuerySpec, memo: &mut Memo) -> GroupId {
     let mut covered = RelSet::singleton(RelId(0));
     while order.len() < n {
         let next = (0..n)
-            .map(RelId)
+            .map(|i| RelId(i as u32))
             .find(|&r| {
                 !covered.contains(r)
                     && !query
                         .edges_crossing(covered, RelSet::singleton(r))
                         .is_empty()
             })
-            .or_else(|| (0..n).map(RelId).find(|&r| !covered.contains(r)))
+            .or_else(|| {
+                (0..n)
+                    .map(|i| RelId(i as u32))
+                    .find(|&r| !covered.contains(r))
+            })
             .expect("n relations to place");
         order.push(next);
         covered.insert(next);
     }
 
     let mut cur_set = RelSet::singleton(order[0]);
-    let mut cur_group = scans[order[0].0];
+    let mut cur_group = scans[order[0].idx()];
     for &rel in &order[1..] {
         let next_set = cur_set.union(RelSet::singleton(rel));
         let g = memo.add_group(GroupKey::Rels(next_set));
@@ -156,7 +164,7 @@ fn copy_in_initial_plan(query: &QuerySpec, memo: &mut Memo) -> GroupId {
             g,
             LogicalOp::Join {
                 left: cur_group,
-                right: scans[rel.0],
+                right: scans[rel.idx()],
             },
         );
         cur_set = next_set;

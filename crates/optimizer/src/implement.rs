@@ -12,7 +12,7 @@
 use crate::CostModel;
 use plansample_catalog::Catalog;
 use plansample_memo::{
-    satisfies, GroupId, GroupKey, LogicalOp, Memo, PhysicalExpr, PhysicalOp, SortOrder,
+    satisfies_cols, GroupId, GroupKey, LogicalOp, Memo, PhysicalExpr, PhysicalOp, SortOrder,
 };
 use plansample_query::{ColRef, QuerySpec, RelSet};
 
@@ -67,7 +67,7 @@ fn implement_scan(
     gid: GroupId,
     rel: plansample_query::RelId,
 ) {
-    let table = catalog.table(query.relations[rel.0].table);
+    let table = catalog.table(query.relations[rel.idx()].table);
     let stored_rows = table.row_count as f64;
     let out_card = query.filtered_card(catalog, rel);
 
@@ -75,7 +75,6 @@ fn implement_scan(
         gid,
         PhysicalExpr::new(
             PhysicalOp::TableScan { rel },
-            SortOrder::unsorted(),
             cost.table_scan(stored_rows),
             out_card,
         ),
@@ -84,13 +83,12 @@ fn implement_scan(
         for ix in &table.indexes {
             let col = ColRef {
                 rel,
-                col: ix.column,
+                col: ix.column as u32,
             };
             memo.add_physical(
                 gid,
                 PhysicalExpr::new(
                     PhysicalOp::SortedIdxScan { rel, col },
-                    SortOrder::on_col(col),
                     cost.idx_scan(stored_rows),
                     out_card,
                 ),
@@ -123,7 +121,6 @@ fn implement_join(
         gid,
         PhysicalExpr::new(
             PhysicalOp::NestedLoopJoin { left, right },
-            SortOrder::unsorted(),
             cost.nested_loop_join(lcard, rcard),
             out_card,
         ),
@@ -134,7 +131,6 @@ fn implement_join(
             gid,
             PhysicalExpr::new(
                 PhysicalOp::HashJoin { left, right },
-                SortOrder::unsorted(),
                 cost.hash_join(lcard, rcard),
                 out_card,
             ),
@@ -157,7 +153,6 @@ fn implement_join(
                             left_key: lk,
                             right_key: rk,
                         },
-                        SortOrder::on_col(lk),
                         cost.merge_join(lcard, rcard),
                         out_card,
                     ),
@@ -187,7 +182,6 @@ fn implement_agg(
         gid,
         PhysicalExpr::new(
             PhysicalOp::HashAgg { input },
-            SortOrder::unsorted(),
             cost.hash_agg(in_card),
             out_card,
         ),
@@ -199,7 +193,6 @@ fn implement_agg(
                 input,
                 group_order: group_order.clone(),
             },
-            group_order,
             cost.stream_agg(in_card),
             out_card,
         ),
@@ -247,11 +240,9 @@ pub fn add_enforcers(query: &QuerySpec, catalog: &Catalog, cost: &CostModel, mem
 
         let card = query.set_card(catalog, set);
         for target in orders {
-            let has_sortable_input = memo
-                .group(gid)
-                .physical
-                .iter()
-                .any(|e| !e.op.is_enforcer() && !satisfies(query, set, &e.delivered, &target));
+            let has_sortable_input = memo.group(gid).physical.iter().any(|e| {
+                !e.op.is_enforcer() && !satisfies_cols(query, set, e.delivered_cols(), &target)
+            });
             if has_sortable_input {
                 memo.add_physical(
                     gid,
@@ -259,7 +250,6 @@ pub fn add_enforcers(query: &QuerySpec, catalog: &Catalog, cost: &CostModel, mem
                         PhysicalOp::Sort {
                             target: target.clone(),
                         },
-                        target,
                         cost.sort(card),
                         card,
                     ),

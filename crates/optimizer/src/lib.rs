@@ -207,6 +207,11 @@ pub fn optimize(
         add_enforcers(query, catalog, &config.cost_model, &mut memo);
     }
 
+    // The memo is now read-only for the rest of its life (it backs the
+    // prepared-query serving surface): release the growth slack so the
+    // resident footprint — and the byte-budget charge — is the true size.
+    memo.shrink_to_fit();
+
     let totals = compute_totals(&memo, query);
     let (best_plan, best_cost) = best_plan(&memo, query, &totals).ok_or(OptError::NoPlanFound)?;
     // Counted only on success, so the observability counters report

@@ -100,7 +100,7 @@ impl<'a> QueryBuilder<'a> {
         if self.spec.relations.len() >= RelSet::MAX_RELS {
             return Err(QueryError::TooManyRelations(self.spec.relations.len() + 1));
         }
-        let id = RelId(self.spec.relations.len());
+        let id = RelId(self.spec.relations.len() as u32);
         self.spec.relations.push(RelRef { table: tid, alias });
         Ok(id)
     }
@@ -121,12 +121,19 @@ impl<'a> QueryBuilder<'a> {
                 table: alias.to_string(),
                 column: column.to_string(),
             })?;
-        Ok(ColRef { rel: RelId(i), col })
+        Ok(ColRef {
+            rel: RelId(i as u32),
+            col: col as u32,
+        })
     }
 
     fn ndv(&self, col: ColRef) -> u64 {
-        let rel = &self.spec.relations[col.rel.0];
-        self.catalog.table(rel.table).column(col.col).ndv.max(1)
+        let rel = &self.spec.relations[col.rel.idx()];
+        self.catalog
+            .table(rel.table)
+            .column(col.col_idx())
+            .ndv
+            .max(1)
     }
 
     /// Adds an equality join edge; selectivity `1 / max(ndv_l, ndv_r)`.

@@ -18,7 +18,7 @@ use plansample_catalog::Catalog;
 impl QuerySpec {
     /// Base cardinality of `rel` after applying its local filters.
     pub fn filtered_card(&self, catalog: &Catalog, rel: RelId) -> f64 {
-        let table = catalog.table(self.relations[rel.0].table);
+        let table = catalog.table(self.relations[rel.idx()].table);
         let mut card = table.row_count as f64;
         for f in self.filters_on(rel) {
             card *= f.selectivity;
@@ -43,8 +43,8 @@ impl QuerySpec {
     /// filtered cardinality (you cannot have more distinct values than
     /// rows).
     pub fn col_ndv(&self, catalog: &Catalog, col: ColRef) -> f64 {
-        let table = catalog.table(self.relations[col.rel.0].table);
-        let ndv = table.column(col.col).ndv.max(1) as f64;
+        let table = catalog.table(self.relations[col.rel.idx()].table);
+        let ndv = table.column(col.col_idx()).ndv.max(1) as f64;
         ndv.min(self.filtered_card(catalog, col.rel))
     }
 

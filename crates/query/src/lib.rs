@@ -24,8 +24,22 @@ use plansample_catalog::{Catalog, Datum, TableId};
 
 /// Index of a relation instance within one query (not a table id — the same
 /// table may appear several times under different aliases).
+///
+/// Stored as a `u32` so a [`ColRef`] packs into 8 bytes: column
+/// references appear in every join/scan operator of the MEMO, and their
+/// size directly sets the per-expression memory footprint of a prepared
+/// plan space (docs/DESIGN.md §6). Queries are limited to
+/// [`RelSet::MAX_RELS`] = 64 relations anyway.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct RelId(pub usize);
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The id as a usize array index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// A reference to one relation instance of the query.
 #[derive(Debug, Clone)]
@@ -36,13 +50,22 @@ pub struct RelRef {
     pub alias: String,
 }
 
-/// A column of a relation instance.
+/// A column of a relation instance. Packs into 8 bytes (two `u32`s) —
+/// see [`RelId`] for why that matters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ColRef {
     /// Which relation instance.
     pub rel: RelId,
     /// Column ordinal within that relation's table.
-    pub col: usize,
+    pub col: u32,
+}
+
+impl ColRef {
+    /// The column ordinal as a usize array index.
+    #[inline]
+    pub fn col_idx(self) -> usize {
+        self.col as usize
+    }
 }
 
 /// Comparison operators for filters.
@@ -255,16 +278,19 @@ impl QuerySpec {
             .enumerate()
             .find(|(_, r)| r.alias == alias)?;
         let col = catalog.table(rel.table).column_index(column)?;
-        Some(ColRef { rel: RelId(i), col })
+        Some(ColRef {
+            rel: RelId(i as u32),
+            col: col as u32,
+        })
     }
 
     /// Human-readable name `alias.column` for diagnostics.
     pub fn col_name(&self, catalog: &Catalog, col: ColRef) -> String {
-        let rel = &self.relations[col.rel.0];
+        let rel = &self.relations[col.rel.idx()];
         format!(
             "{}.{}",
             rel.alias,
-            catalog.table(rel.table).column(col.col).name
+            catalog.table(rel.table).column(col.col_idx()).name
         )
     }
 }

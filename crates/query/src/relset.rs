@@ -23,7 +23,7 @@ impl RelSet {
     /// Singleton set `{rel}`.
     pub fn singleton(rel: RelId) -> Self {
         assert!(
-            rel.0 < Self::MAX_RELS,
+            rel.idx() < Self::MAX_RELS,
             "relation index {} out of range",
             rel.0
         );
@@ -57,7 +57,7 @@ impl RelSet {
 
     /// Membership test.
     pub fn contains(&self, rel: RelId) -> bool {
-        rel.0 < Self::MAX_RELS && self.0 & (1 << rel.0) != 0
+        rel.idx() < Self::MAX_RELS && self.0 & (1 << rel.0) != 0
     }
 
     /// `true` iff `other` is a subset of `self`.
@@ -97,7 +97,7 @@ impl RelSet {
             if bits == 0 {
                 None
             } else {
-                let i = bits.trailing_zeros() as usize;
+                let i = bits.trailing_zeros();
                 bits &= bits - 1;
                 Some(RelId(i))
             }
@@ -110,7 +110,7 @@ impl RelSet {
     /// Panics unless `len() == 1`.
     pub fn sole_member(&self) -> RelId {
         assert_eq!(self.len(), 1, "sole_member on non-singleton {self:?}");
-        RelId(self.0.trailing_zeros() as usize)
+        RelId(self.0.trailing_zeros())
     }
 
     /// Enumerates every way to split this set into an unordered pair of
@@ -167,7 +167,7 @@ impl fmt::Debug for RelSet {
 mod tests {
     use super::*;
 
-    fn rs(ids: &[usize]) -> RelSet {
+    fn rs(ids: &[u32]) -> RelSet {
         RelSet::from_iter(ids.iter().map(|&i| RelId(i)))
     }
 
@@ -198,7 +198,7 @@ mod tests {
     #[test]
     fn iteration_is_sorted() {
         let a = rs(&[5, 1, 9]);
-        let v: Vec<usize> = a.iter().map(|r| r.0).collect();
+        let v: Vec<u32> = a.iter().map(|r| r.0).collect();
         assert_eq!(v, vec![1, 5, 9]);
     }
 

@@ -1,0 +1,326 @@
+//! Lilliefors-corrected goodness-of-fit via a seeded parametric
+//! bootstrap.
+//!
+//! The plain KS p-value assumes the model CDF was fixed *before* seeing
+//! the data. Our gamma/exponential fits estimate their parameters from
+//! the very sample being tested, which pulls the fitted CDF toward the
+//! empirical one and makes the classical Kolmogorov bound *optimistic*
+//! (the Lilliefors effect): real rejection thresholds are much smaller
+//! than `1.358/√n`. The exact null distribution of the KS statistic
+//! with estimated parameters has no closed form for the gamma family,
+//! so [`ks_gamma_fit`] / [`ks_exponential_fit`] recover it empirically:
+//!
+//! 1. fit the model to the data and compute the observed statistic `D`;
+//! 2. repeatedly draw a synthetic sample of the same size **from the
+//!    fitted model**, *re-fit on the synthetic sample* (re-estimating
+//!    every parameter, including the location shift), and record its
+//!    statistic `D_b` — the exact procedure applied to data where H₀ is
+//!    true by construction;
+//! 3. report `p = (1 + #{D_b ≥ D}) / (B + 1)`, the standard
+//!    add-one Monte-Carlo p-value (never exactly zero, exact under the
+//!    null for any `B`).
+//!
+//! Everything is deterministic in the caller's seed, so the statistical
+//! CI job reproduces bit-identical p-values run-to-run.
+
+use crate::{fit_exponential, fit_gamma, ks_statistic, StatsError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Outcome of a parametric-bootstrap goodness-of-fit test.
+///
+/// Unlike [`crate::TestOutcome`], the null distribution here is an
+/// *empirical sample* of replicate statistics, so critical values are
+/// quantiles of that sample rather than an analytic survival function.
+#[derive(Debug, Clone)]
+pub struct BootstrapOutcome {
+    /// Human-readable test name (`"ks-gamma-bootstrap"`, …).
+    pub test: &'static str,
+    /// The observed KS statistic `D` of the data against its own fit.
+    pub statistic: f64,
+    /// Monte-Carlo p-value `(1 + #{D_b ≥ D}) / (B + 1)`.
+    pub p_value: f64,
+    /// Sample size the statistic was computed on.
+    pub n: usize,
+    /// The replicate statistics `D_b`, sorted ascending — the empirical
+    /// null of "KS distance of a true-model sample against its own
+    /// re-fit".
+    pub null_statistics: Vec<f64>,
+}
+
+impl BootstrapOutcome {
+    /// `true` iff the fit is rejected at significance `alpha`.
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha in (0,1)");
+        self.p_value < alpha
+    }
+
+    /// The empirical rejection threshold at significance `alpha`: the
+    /// `(1-alpha)` quantile of the replicate statistics.
+    pub fn critical_value(&self, alpha: f64) -> f64 {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha in (0,1)");
+        let idx = ((1.0 - alpha) * (self.null_statistics.len() - 1) as f64).round() as usize;
+        self.null_statistics[idx]
+    }
+}
+
+impl std::fmt::Display for BootstrapOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: statistic {:.4}, bootstrap p = {:.4} ({} replicates, n = {})",
+            self.test,
+            self.statistic,
+            self.p_value,
+            self.null_statistics.len(),
+            self.n
+        )
+    }
+}
+
+/// A standard normal variate (Box–Muller; the second value of each pair
+/// is discarded for simplicity — the bootstrap draws are not on any hot
+/// path).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 > 0.0 {
+            let u2: f64 = rng.gen();
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// A `Gamma(shape, 1)` variate by Marsaglia–Tsang squeeze (2000), with
+/// the `shape < 1` boost `Gamma(k) = Gamma(k+1) · U^{1/k}`.
+fn standard_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    debug_assert!(shape > 0.0);
+    if shape < 1.0 {
+        let boost: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE).powf(1.0 / shape);
+        return standard_gamma(rng, shape + 1.0) * boost;
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen();
+        // Cheap squeeze first, exact log check second.
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// One replicate-generating draw per family.
+trait FittedModel: Sized {
+    const TEST_NAME: &'static str;
+    fn fit(data: &[f64]) -> Self;
+    fn cdf(&self, x: f64) -> f64;
+    fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+}
+
+struct GammaModel(crate::GammaFit);
+
+impl FittedModel for GammaModel {
+    const TEST_NAME: &'static str = "ks-gamma-bootstrap";
+    fn fit(data: &[f64]) -> Self {
+        GammaModel(fit_gamma(data))
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        self.0.cdf(x)
+    }
+    fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.0.shift + standard_gamma(rng, self.0.shape) * self.0.scale
+    }
+}
+
+struct ExponentialModel(crate::ExponentialFit);
+
+impl FittedModel for ExponentialModel {
+    const TEST_NAME: &'static str = "ks-exponential-bootstrap";
+    fn fit(data: &[f64]) -> Self {
+        ExponentialModel(fit_exponential(data))
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        self.0.cdf(x)
+    }
+    fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        self.0.shift - u.ln() / self.0.rate
+    }
+}
+
+fn bootstrap_fit<M: FittedModel>(
+    data: &[f64],
+    replicates: usize,
+    seed: u64,
+) -> Result<BootstrapOutcome, StatsError> {
+    let clean: Vec<f64> = data.iter().copied().filter(|v| !v.is_nan()).collect();
+    if clean.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    assert!(replicates > 0, "bootstrap needs at least one replicate");
+    let model = M::fit(&clean);
+    let observed = ks_statistic(&clean, |x| model.cdf(x));
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut null_statistics: Vec<f64> = (0..replicates)
+        .map(|_| {
+            let synthetic: Vec<f64> = (0..clean.len()).map(|_| model.draw(&mut rng)).collect();
+            let refit = M::fit(&synthetic);
+            ks_statistic(&synthetic, |x| refit.cdf(x))
+        })
+        .collect();
+    null_statistics.sort_by(f64::total_cmp);
+    let exceed = null_statistics
+        .iter()
+        .filter(|&&d| d >= observed - 1e-15)
+        .count();
+    Ok(BootstrapOutcome {
+        test: M::TEST_NAME,
+        statistic: observed,
+        p_value: (1 + exceed) as f64 / (replicates + 1) as f64,
+        n: clean.len(),
+        null_statistics,
+    })
+}
+
+/// Lilliefors-corrected KS goodness-of-fit of `data` against its own
+/// maximum-likelihood gamma fit (shape, scale, *and* shift
+/// re-estimated per replicate), via `replicates` parametric-bootstrap
+/// draws seeded by `seed`.
+pub fn ks_gamma_fit(
+    data: &[f64],
+    replicates: usize,
+    seed: u64,
+) -> Result<BootstrapOutcome, StatsError> {
+    bootstrap_fit::<GammaModel>(data, replicates, seed)
+}
+
+/// Lilliefors-corrected KS goodness-of-fit of `data` against its own
+/// maximum-likelihood exponential fit (rate and shift re-estimated per
+/// replicate), via `replicates` parametric-bootstrap draws seeded by
+/// `seed`.
+pub fn ks_exponential_fit(
+    data: &[f64],
+    replicates: usize,
+    seed: u64,
+) -> Result<BootstrapOutcome, StatsError> {
+    bootstrap_fit::<ExponentialModel>(data, replicates, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Summary;
+
+    fn gamma_sample(shape: f64, scale: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| standard_gamma(&mut rng, shape) * scale)
+            .collect()
+    }
+
+    #[test]
+    fn gamma_sampler_matches_moments() {
+        for (shape, scale) in [(0.5, 2.0), (1.0, 1.0), (4.5, 0.25)] {
+            let s = Summary::of(&gamma_sample(shape, scale, 40_000, 7));
+            let (mean, var) = (shape * scale, shape * scale * scale);
+            assert!(
+                (s.mean() - mean).abs() / mean < 0.05,
+                "shape {shape}: mean {} vs {mean}",
+                s.mean()
+            );
+            assert!(
+                (s.variance() - var).abs() / var < 0.1,
+                "shape {shape}: var {} vs {var}",
+                s.variance()
+            );
+        }
+    }
+
+    #[test]
+    fn true_model_data_is_not_rejected() {
+        // Data genuinely drawn from a gamma: the Lilliefors-corrected
+        // test must accept (this is the calibration property the
+        // optimistic bound cannot provide a converse for).
+        let data = gamma_sample(2.5, 3.0, 600, 11);
+        let out = ks_gamma_fit(&data, 199, 42).unwrap();
+        assert!(!out.rejects_at(0.01), "{out}");
+
+        let expo: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(13);
+            (0..600)
+                .map(|_| 1.0 - (rng.gen::<f64>().max(f64::MIN_POSITIVE)).ln() / 0.7)
+                .collect()
+        };
+        let out = ks_exponential_fit(&expo, 199, 42).unwrap();
+        assert!(!out.rejects_at(0.01), "{out}");
+    }
+
+    #[test]
+    fn wrong_model_data_is_rejected() {
+        // A uniform sample is not exponential: with n = 800 the
+        // corrected test must reject decisively.
+        let uniform: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..800).map(|_| rng.gen::<f64>()).collect()
+        };
+        let out = ks_exponential_fit(&uniform, 199, 42).unwrap();
+        assert!(out.rejects_at(0.01), "{out}");
+        assert!(out.p_value <= 0.01, "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn corrected_threshold_is_stricter_than_kolmogorov() {
+        // The whole point of the correction: with parameters estimated
+        // from the data, the 5% rejection threshold sits well below the
+        // classical 1.358/sqrt(n).
+        let data = gamma_sample(2.0, 1.0, 400, 5);
+        let out = ks_gamma_fit(&data, 399, 42).unwrap();
+        let kolmogorov_crit = 1.3581 / (data.len() as f64).sqrt();
+        assert!(
+            out.critical_value(0.05) < kolmogorov_crit,
+            "bootstrap crit {} vs kolmogorov {kolmogorov_crit}",
+            out.critical_value(0.05)
+        );
+    }
+
+    #[test]
+    fn p_values_are_deterministic_in_the_seed() {
+        let data = gamma_sample(1.5, 2.0, 300, 17);
+        let a = ks_gamma_fit(&data, 99, 1234).unwrap();
+        let b = ks_gamma_fit(&data, 99, 1234).unwrap();
+        assert_eq!(a.p_value, b.p_value);
+        assert_eq!(a.null_statistics, b.null_statistics);
+        let c = ks_gamma_fit(&data, 99, 5678).unwrap();
+        assert!((a.p_value - c.p_value).abs() < 0.2, "seeds agree loosely");
+    }
+
+    #[test]
+    fn degenerate_inputs_error() {
+        assert!(matches!(
+            ks_gamma_fit(&[], 99, 1),
+            Err(StatsError::EmptySample)
+        ));
+        assert!(matches!(
+            ks_exponential_fit(&[f64::NAN], 99, 1),
+            Err(StatsError::EmptySample)
+        ));
+    }
+
+    #[test]
+    fn outcome_reporting_surface() {
+        let data = gamma_sample(2.0, 1.0, 200, 23);
+        let out = ks_gamma_fit(&data, 99, 7).unwrap();
+        assert_eq!(out.null_statistics.len(), 99);
+        assert!(out.p_value > 0.0 && out.p_value <= 1.0);
+        assert!(out.to_string().contains("bootstrap p"));
+        // The MC p-value can never be exactly zero.
+        assert!(out.p_value >= 1.0 / 100.0);
+    }
+}

@@ -17,13 +17,19 @@
 //! - [`fit_exponential`] and [`fit_gamma`] (MLE with Newton refinement)
 //!   with KS goodness-of-fit: §5 observes distributions "resembling
 //!   exponential distributions … Gamma-distributions with shape
-//!   parameter close to 1".
+//!   parameter close to 1";
+//! - [`ks_gamma_fit`] / [`ks_exponential_fit`]: Lilliefors-corrected
+//!   p-values for those *fitted-parameter* KS tests via a seeded
+//!   parametric bootstrap (the classical Kolmogorov bound is optimistic
+//!   once parameters are estimated from the tested sample).
 
 #![warn(missing_docs)]
 
+mod bootstrap;
 mod hypothesis;
 mod special;
 
+pub use bootstrap::{ks_exponential_fit, ks_gamma_fit, BootstrapOutcome};
 pub use hypothesis::{NullDistribution, StatsError, TestOutcome};
 pub use special::{digamma, gamma_p, gamma_q, kolmogorov_q, ln_gamma, trigamma};
 
@@ -262,7 +268,9 @@ impl ExponentialFit {
     /// KS goodness-of-fit of `data` against this fit. Since the
     /// parameters were estimated from the same data, the p-value is an
     /// *optimistic* bound (the Lilliefors effect) — use it to compare
-    /// models and flag gross misfits, not for exact significance.
+    /// models and flag gross misfits; for calibrated significance use
+    /// the parametric-bootstrap correction ([`ks_exponential_fit`] /
+    /// [`ks_gamma_fit`]).
     pub fn goodness_of_fit(&self, data: &[f64]) -> Result<TestOutcome, StatsError> {
         ks_test(data, |x| self.cdf(x))
     }
@@ -303,7 +311,9 @@ impl GammaFit {
     /// KS goodness-of-fit of `data` against this fit. Since the
     /// parameters were estimated from the same data, the p-value is an
     /// *optimistic* bound (the Lilliefors effect) — use it to compare
-    /// models and flag gross misfits, not for exact significance.
+    /// models and flag gross misfits; for calibrated significance use
+    /// the parametric-bootstrap correction ([`ks_exponential_fit`] /
+    /// [`ks_gamma_fit`]).
     pub fn goodness_of_fit(&self, data: &[f64]) -> Result<TestOutcome, StatsError> {
         ks_test(data, |x| self.cdf(x))
     }

@@ -250,7 +250,7 @@ fn naive_walk_on_pruned_memos_fails_cleanly_or_yields_members() {
 #[test]
 fn naive_walk_failure_rate_matches_the_dead_alternative_share() {
     use plansample_catalog::{table, ColType};
-    use plansample_memo::{GroupKey, PhysicalExpr, PhysicalOp, SortOrder};
+    use plansample_memo::{GroupKey, PhysicalExpr, PhysicalOp};
     use plansample_query::{ColRef, QueryBuilder, RelId, RelSet};
 
     let mut catalog = plansample_catalog::Catalog::new();
@@ -273,12 +273,7 @@ fn naive_walk_failure_rate_matches_the_dead_alternative_share() {
     for (g, rel) in [(ga, ra), (gb, rb)] {
         memo.add_physical(
             g,
-            PhysicalExpr::new(
-                PhysicalOp::TableScan { rel },
-                SortOrder::unsorted(),
-                10.0,
-                10.0,
-            ),
+            PhysicalExpr::new(PhysicalOp::TableScan { rel }, 10.0, 10.0),
         )
         .unwrap();
     }
@@ -290,7 +285,6 @@ fn naive_walk_failure_rate_matches_the_dead_alternative_share() {
                     left: ga,
                     right: gb,
                 },
-                SortOrder::unsorted(),
                 25.0,
                 10.0,
             ),
@@ -305,7 +299,6 @@ fn naive_walk_failure_rate_matches_the_dead_alternative_share() {
                 left_key: ColRef { rel: ra, col: 0 },
                 right_key: ColRef { rel: rb, col: 0 },
             },
-            SortOrder::on_col(ColRef { rel: ra, col: 0 }),
             20.0,
             10.0,
         ),
