@@ -75,6 +75,11 @@ pub enum Command {
     Memo(String),
     /// Report serving-cache stats and the artifact's byte footprint.
     Stats(String),
+    /// Serve the plan service over TCP at the given address (blocks).
+    Serve(String),
+    /// Load-test a server: connections, requests per connection, and
+    /// the target address (`None` starts a throwaway in-process server).
+    Loadgen(usize, usize, Option<String>),
     /// Print usage.
     Help,
 }
@@ -101,6 +106,8 @@ pub enum CliError {
     Plan(String),
     /// The pipeline failed (optimize / count / rank / execute).
     Run(plansample::Error),
+    /// The network server or load generator failed.
+    Serve(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -109,6 +116,7 @@ impl std::fmt::Display for CliError {
             CliError::Sql(rendered) => write!(f, "{rendered}"),
             CliError::Plan(msg) => write!(f, "invalid plan specification: {msg}"),
             CliError::Run(e) => write!(f, "{e}"),
+            CliError::Serve(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -116,7 +124,7 @@ impl std::fmt::Display for CliError {
 impl std::error::Error for CliError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            CliError::Sql(_) | CliError::Plan(_) => None,
+            CliError::Sql(_) | CliError::Plan(_) | CliError::Serve(_) => None,
             CliError::Run(e) => e.source(),
         }
     }
@@ -154,6 +162,8 @@ USAGE:
   plansample-cli [FLAGS] rank     PLAN   \"SQL\"
   plansample-cli [FLAGS] memo            \"SQL\"
   plansample-cli [FLAGS] stats           \"SQL\"
+  plansample-cli [FLAGS] serve           [ADDR]
+  plansample-cli [FLAGS] loadgen         [CONNS REQS [ADDR]]
 
   PLAN is a plan tree in preorder as space-separated expression ids
   (`group.expr`, as printed by `memo` and `enumerate`), e.g.
@@ -164,6 +174,14 @@ USAGE:
   `stats` prepares the query through the serving cache and prints the
   cache counters plus the artifact's exact byte footprint (links,
   counts, memo — the size the byte-budgeted cache charges).
+
+  `serve` exposes the plan service over TCP (default 127.0.0.1:4141;
+  `--threads` sets the worker count) and blocks until killed. `loadgen`
+  drives a mixed TPC-H + synthetic workload — CONNS concurrent
+  connections, REQS requests each (default 100 x 50) — against ADDR,
+  or against a throwaway in-process server when ADDR is omitted. The
+  standalone `plansample-loadgen` binary adds report output and
+  validation (`--out` / `--validate`).
 
 FLAGS:
   --cross-products   include Cartesian products in the space
@@ -264,6 +282,31 @@ where
             _ => {
                 return Err(UsageError(
                     "`rank` takes a plan (preorder expression ids) and one SQL argument".into(),
+                ))
+            }
+        },
+        Some("serve") => match &positional[..] {
+            [_] => Command::Serve("127.0.0.1:4141".into()),
+            [_, addr] => Command::Serve(addr.clone()),
+            _ => return Err(UsageError("`serve` takes at most an ADDR argument".into())),
+        },
+        Some("loadgen") => match &positional[..] {
+            [_] => Command::Loadgen(100, 50, None),
+            [_, conns, reqs] | [_, conns, reqs, _] => {
+                let parse_count = |name: &str, v: &str| {
+                    v.parse::<usize>().ok().filter(|n| *n > 0).ok_or_else(|| {
+                        UsageError(format!("`loadgen` needs a positive {name}, got `{v}`"))
+                    })
+                };
+                Command::Loadgen(
+                    parse_count("CONNS", conns)?,
+                    parse_count("REQS", reqs)?,
+                    positional.get(3).cloned(),
+                )
+            }
+            _ => {
+                return Err(UsageError(
+                    "`loadgen` takes CONNS REQS and an optional ADDR".into(),
                 ))
             }
         },
@@ -374,6 +417,14 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
     if let Some(n) = cli.threads {
         threadpool::set_num_threads(n);
     }
+    // The network commands take no SQL; they branch before the parse.
+    match &cli.command {
+        Command::Serve(addr) => return run_serve(cli, addr),
+        Command::Loadgen(conns, reqs, addr) => {
+            return run_loadgen(cli, *conns, *reqs, addr.as_deref())
+        }
+        _ => {}
+    }
     let (catalog, tables) = plansample_catalog::tpch::catalog();
     let config = if cli.cross_products {
         OptimizerConfig::with_cross_products()
@@ -390,7 +441,9 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
         | Command::Rank(_, s)
         | Command::Memo(s)
         | Command::Stats(s) => s.clone(),
-        Command::Help => unreachable!("handled above"),
+        Command::Help | Command::Serve(_) | Command::Loadgen(..) => {
+            unreachable!("handled above")
+        }
     };
     let parsed =
         plansample_sql::parse(&catalog, &sql).map_err(|e| CliError::Sql(e.render(&sql)))?;
@@ -413,7 +466,9 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
     let mut out = String::new();
 
     match &cli.command {
-        Command::Help | Command::Stats(_) => unreachable!("handled above"),
+        Command::Help | Command::Stats(_) | Command::Serve(_) | Command::Loadgen(..) => {
+            unreachable!("handled above")
+        }
         Command::Count(_) => {
             let memo = prepared.memo();
             let _ = writeln!(
@@ -537,6 +592,90 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
                 plansample_memo::render_memo(prepared.memo(), prepared.query(), session.catalog())
             );
         }
+    }
+    Ok(out)
+}
+
+/// The `serve` command: expose the plan service over TCP and block
+/// until the process is killed. Listens on `addr`; `--threads` sets the
+/// worker pool, `--cross-products` widens the plan spaces served.
+fn run_serve(cli: &Cli, addr: &str) -> Result<String, CliError> {
+    let config = plansample_serve::ServerConfig {
+        addr: addr.to_string(),
+        workers: cli.threads.unwrap_or(4),
+        cross_products: cli.cross_products,
+        ..Default::default()
+    };
+    let handle = plansample_serve::server::start(config)
+        .map_err(|e| CliError::Serve(format!("cannot listen on {addr}: {e}")))?;
+    eprintln!("plansample serving on {}", handle.addr());
+    handle.join();
+    Ok(String::new())
+}
+
+/// The `loadgen` command: a thin wrapper over
+/// [`plansample_serve::loadgen`] returning the human summary (the
+/// standalone binary adds JSON output and validation).
+fn run_loadgen(
+    cli: &Cli,
+    connections: usize,
+    requests: usize,
+    addr: Option<&str>,
+) -> Result<String, CliError> {
+    let mut inline = None;
+    let target = match addr {
+        Some(addr) => addr
+            .parse()
+            .map_err(|e| CliError::Serve(format!("bad address {addr:?}: {e}")))?,
+        None => {
+            let handle = plansample_serve::server::start(plansample_serve::ServerConfig {
+                workers: cli.threads.unwrap_or(4),
+                cross_products: cli.cross_products,
+                ..Default::default()
+            })
+            .map_err(|e| CliError::Serve(format!("cannot start inline server: {e}")))?;
+            let addr = handle.addr();
+            inline = Some(handle);
+            addr
+        }
+    };
+    let report = plansample_serve::loadgen::run(
+        target,
+        &plansample_serve::LoadgenConfig {
+            connections,
+            requests_per_connection: requests,
+            seed: cli.seed,
+            ..Default::default()
+        },
+    );
+    if let Some(handle) = inline {
+        handle.stop();
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} connections x {requests} requests against {target}",
+        report.connections
+    );
+    let _ = writeln!(
+        out,
+        "sent {}  ok {}  overloaded {}  app_errors {}  protocol_errors {}",
+        report.sent, report.ok, report.overloaded, report.app_errors, report.protocol_errors
+    );
+    let _ = writeln!(
+        out,
+        "elapsed {:.3}s  throughput {:.0} req/s  latency us p50 {} p99 {} p999 {}",
+        report.elapsed.as_secs_f64(),
+        report.throughput(),
+        report.latency_us(0.50),
+        report.latency_us(0.99),
+        report.latency_us(0.999),
+    );
+    if report.protocol_errors > 0 {
+        return Err(CliError::Serve(format!(
+            "{} protocol error(s) during the run:\n{out}",
+            report.protocol_errors
+        )));
     }
     Ok(out)
 }
@@ -667,6 +806,49 @@ mod tests {
         assert!(out.contains("1 hit(s), 1 miss(es)"), "{out}");
         assert!(out.contains("resident bytes"), "{out}");
         assert!(out.contains("build threads:"), "{out}");
+    }
+
+    #[test]
+    fn parses_network_commands() {
+        assert_eq!(
+            parse_args(["serve"]).unwrap().command,
+            Command::Serve("127.0.0.1:4141".into())
+        );
+        assert_eq!(
+            parse_args(["serve", "0.0.0.0:9000"]).unwrap().command,
+            Command::Serve("0.0.0.0:9000".into())
+        );
+        assert_eq!(
+            parse_args(["loadgen"]).unwrap().command,
+            Command::Loadgen(100, 50, None)
+        );
+        assert_eq!(
+            parse_args(["loadgen", "8", "5"]).unwrap().command,
+            Command::Loadgen(8, 5, None)
+        );
+        assert_eq!(
+            parse_args(["loadgen", "8", "5", "127.0.0.1:4141"])
+                .unwrap()
+                .command,
+            Command::Loadgen(8, 5, Some("127.0.0.1:4141".into()))
+        );
+        assert!(parse_args(["serve", "a", "b"]).is_err());
+        assert!(parse_args(["loadgen", "0", "5"]).is_err());
+        assert!(parse_args(["loadgen", "8", "none"]).is_err());
+    }
+
+    #[test]
+    fn loadgen_command_runs_inline_cleanly() {
+        let out = run(&cli(Command::Loadgen(3, 4, None))).unwrap();
+        assert!(out.contains("sent 12  ok"), "{out}");
+        assert!(out.contains("protocol_errors 0"), "{out}");
+        assert!(out.contains("p999"), "{out}");
+    }
+
+    #[test]
+    fn loadgen_command_rejects_bad_address() {
+        let err = run(&cli(Command::Loadgen(1, 1, Some("not-an-addr".into())))).unwrap_err();
+        assert!(err.to_string().contains("bad address"), "{err}");
     }
 
     #[test]

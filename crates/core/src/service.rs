@@ -49,6 +49,10 @@ pub struct ServiceStats {
     pub evictions: u64,
     /// Prepared artifacts currently cached.
     pub entries: usize,
+    /// First preparations currently in flight (leader optimizing,
+    /// possibly with waiters coalesced onto it). The admission-control
+    /// signal a serving front-end sheds new preparations on.
+    pub inflight: usize,
     /// Bytes held by the cached artifacts
     /// (Σ [`PreparedQuery::size_bytes`]).
     pub resident_bytes: usize,
@@ -217,6 +221,21 @@ impl PlanService {
         &self.config
     }
 
+    /// Whether `query` is already cached, without touching the LRU
+    /// order or the hit/miss counters.
+    ///
+    /// This is the admission-control probe for serving front-ends: a
+    /// request whose query is cached is cheap to serve no matter how
+    /// loaded the service is, while an uncached one will optimize —
+    /// work a server may prefer to shed (with a typed overload reply)
+    /// when the byte budget is already saturated or too many
+    /// preparations are in flight (see [`ServiceStats::inflight`]).
+    pub fn is_cached(&self, query: &QuerySpec) -> bool {
+        let key = cache_key(query, &self.config);
+        let state = self.state.lock().expect("service cache poisoned");
+        state.entries.contains_key(&key)
+    }
+
     /// Returns the prepared artifact for `query`, preparing and caching
     /// it on first request.
     ///
@@ -340,6 +359,7 @@ impl PlanService {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             evictions: state.evictions,
             entries: state.entries.len(),
+            inflight: state.inflight.len(),
             resident_bytes: state.resident_bytes,
             capacity: self.capacity,
             byte_budget: self.byte_budget,
@@ -632,6 +652,29 @@ mod tests {
         // A later retry attempts preparation again (and fails again).
         assert!(s.get_or_prepare(&q).is_err());
         assert!(s.stats().misses >= 2);
+    }
+
+    #[test]
+    fn is_cached_probes_without_bumping_stats() {
+        let s = service(4);
+        let q = two_rel_query(
+            s.catalog(),
+            "nation",
+            "region",
+            "n_regionkey",
+            "r_regionkey",
+        );
+        assert!(!s.is_cached(&q));
+        assert_eq!(s.stats().inflight, 0);
+        s.get_or_prepare(&q).unwrap();
+        assert!(s.is_cached(&q));
+        let stats = s.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1), "probe counted nothing");
+        assert_eq!(stats.inflight, 0, "no preparation left in flight");
+        // The probe respects normalization: a reordered spelling of the
+        // same query reports cached too.
+        s.clear();
+        assert!(!s.is_cached(&q));
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! `plansample-loadgen` — drive a plan server with a concurrent mixed
+//! workload and write a latency/throughput report.
+//!
+//! Two modes:
+//!
+//! * `--inline` (default) starts a server in-process on a loopback
+//!   port, runs the load against it, and shuts it down; or
+//! * `--addr HOST:PORT` targets an already-running server
+//!   (`plansample-cli serve`).
+//!
+//! `--validate FILE` instead checks an existing report against the
+//! `BENCH_serving.json` schema and exits nonzero if it is malformed or
+//! records protocol errors.
+
+use plansample_serve::loadgen::{self, LoadgenConfig};
+use plansample_serve::server::{self, ServerConfig};
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+plansample-loadgen: load-test a plan server
+
+USAGE:
+    plansample-loadgen [OPTIONS]
+    plansample-loadgen --validate FILE
+
+OPTIONS:
+    --inline              start a server in-process (default when --addr absent)
+    --addr HOST:PORT      target an already-running server
+    --connections N       concurrent connections        [default: 100]
+    --requests N          requests per connection       [default: 50]
+    --seed S              workload seed                 [default: 42]
+    --workers N           inline server worker threads  [default: 4]
+    --out FILE            write the JSON report here
+    --validate FILE       validate an existing report and exit
+    --help                print this help
+";
+
+struct Args {
+    addr: Option<SocketAddr>,
+    config: LoadgenConfig,
+    workers: usize,
+    out: Option<String>,
+    validate: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        config: LoadgenConfig::default(),
+        workers: 4,
+        out: None,
+        validate: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--inline" => args.addr = None,
+            "--addr" => {
+                let v = value("--addr")?;
+                args.addr = Some(v.parse().map_err(|e| format!("bad --addr {v:?}: {e}"))?);
+            }
+            "--connections" => {
+                let v = value("--connections")?;
+                args.config.connections = v
+                    .parse()
+                    .map_err(|e| format!("bad --connections {v:?}: {e}"))?;
+            }
+            "--requests" => {
+                let v = value("--requests")?;
+                args.config.requests_per_connection = v
+                    .parse()
+                    .map_err(|e| format!("bad --requests {v:?}: {e}"))?;
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                args.config.seed = v.parse().map_err(|e| format!("bad --seed {v:?}: {e}"))?;
+            }
+            "--workers" => {
+                let v = value("--workers")?;
+                args.workers = v.parse().map_err(|e| format!("bad --workers {v:?}: {e}"))?;
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--validate" => args.validate = Some(value("--validate")?),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    if args.config.connections == 0 || args.config.requests_per_connection == 0 {
+        return Err("--connections and --requests must be positive".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("plansample-loadgen: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &args.validate {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("plansample-loadgen: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match loadgen::validate_report(&text) {
+            Ok(()) => {
+                println!("{path}: valid serving report");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // Resolve the target: an external server, or an inline one.
+    let mut inline = None;
+    let addr = match args.addr {
+        Some(addr) => addr,
+        None => {
+            let handle = match server::start(ServerConfig {
+                workers: args.workers,
+                ..ServerConfig::default()
+            }) {
+                Ok(handle) => handle,
+                Err(e) => {
+                    eprintln!("plansample-loadgen: failed to start inline server: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let addr = handle.addr();
+            inline = Some(handle);
+            addr
+        }
+    };
+
+    eprintln!(
+        "driving {} connections x {} requests against {addr} (seed {})",
+        args.config.connections, args.config.requests_per_connection, args.config.seed
+    );
+    let report = loadgen::run(addr, &args.config);
+    if let Some(handle) = inline {
+        handle.stop();
+    }
+
+    println!(
+        "requests {}  ok {}  overloaded {}  app_errors {}  protocol_errors {}",
+        report.sent, report.ok, report.overloaded, report.app_errors, report.protocol_errors
+    );
+    println!(
+        "elapsed {:.3}s  throughput {:.0} req/s",
+        report.elapsed.as_secs_f64(),
+        report.throughput()
+    );
+    println!(
+        "latency us  p50 {}  p90 {}  p99 {}  p999 {}  max {}",
+        report.latency_us(0.50),
+        report.latency_us(0.90),
+        report.latency_us(0.99),
+        report.latency_us(0.999),
+        report.latencies_us.last().copied().unwrap_or(0),
+    );
+    if let Some(s) = &report.server {
+        println!(
+            "server      hits {}  misses {}  coalesced {}  shed_queue {}  shed_prepare {}  wire_errors {}",
+            s.hits, s.misses, s.coalesced, s.shed_queue, s.shed_prepare, s.wire_errors
+        );
+    }
+
+    let json = loadgen::report_json(&report);
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("plansample-loadgen: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("report written to {path}");
+    }
+
+    if report.protocol_errors > 0 || report.app_errors > 0 {
+        eprintln!("plansample-loadgen: run was not clean");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,131 @@
+//! A small blocking client for the wire protocol.
+//!
+//! Used by the load generator and the test suites; also the reference
+//! for third-party implementations (the protocol is fully specified by
+//! `wire.rs` + `docs/DESIGN.md` §9). The client supports both
+//! call/response ([`Client::call`]) and explicit pipelining
+//! ([`Client::send`] / [`Client::recv`]); responses are matched to
+//! requests by id.
+
+use crate::wire::{self, Request, Response, WireError};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Errors a client call can produce.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server's bytes did not decode.
+    Wire(WireError),
+    /// The connection closed before a full response arrived.
+    Closed,
+    /// A response arrived for an id this client never sent (protocol
+    /// confusion; gives up rather than guessing).
+    UnexpectedId(u64),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Wire(e) => write!(f, "protocol error: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::UnexpectedId(id) => write!(f, "response for unknown request id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// One blocking connection to a plan server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            rbuf: Vec::new(),
+            next_id: 1,
+        })
+    }
+
+    /// Bounds how long [`Client::recv`] blocks waiting for bytes.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one request and returns its id (pipelining half).
+    pub fn send(&mut self, request: &Request) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let payload = request.encode(id);
+        self.stream.write_all(&wire::frame(&payload))?;
+        Ok(id)
+    }
+
+    /// Receives the next response frame `(request_id, response)`.
+    pub fn recv(&mut self) -> Result<(u64, Response), ClientError> {
+        loop {
+            match wire::split_frame(&self.rbuf)? {
+                Some((payload, consumed)) => {
+                    let decoded = Response::decode(payload)?;
+                    self.rbuf.drain(..consumed);
+                    return Ok(decoded);
+                }
+                None => {
+                    let mut chunk = [0u8; 16 * 1024];
+                    match self.stream.read(&mut chunk) {
+                        Ok(0) => return Err(ClientError::Closed),
+                        Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) => return Err(ClientError::Io(e)),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// Responses for other ids arriving first (from earlier pipelined
+    /// sends whose replies were not collected) are an error — `call`
+    /// and `send`/`recv` are not meant to be interleaved.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let id = self.send(request)?;
+        let (got, response) = self.recv()?;
+        if got != id {
+            return Err(ClientError::UnexpectedId(got));
+        }
+        Ok(response)
+    }
+}

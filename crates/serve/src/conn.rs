@@ -1,0 +1,188 @@
+//! The per-connection state machine.
+//!
+//! Each connection owns a nonblocking [`TcpStream`], an input buffer
+//! accumulating partially-received frames, and an output buffer holding
+//! partially-sent replies. The event loop drives it with three calls:
+//! [`Conn::fill`] (drain readable bytes), [`Conn::flush`] (push
+//! writable bytes), and the deadline probe [`Conn::frame_deadline`].
+//! The connection itself performs no protocol work beyond framing —
+//! decoding and execution happen in the event loop and the worker pool
+//! — so its invariants stay small:
+//!
+//! * reply order per connection is *not* required — each frame carries
+//!   its request id, so clients match replies by id, and the buffer
+//!   simply appends frames as they complete;
+//! * a connection with [`ConnPhase::Draining`] set has a poisoned input
+//!   stream (fatal wire error): its remaining output flushes, then it
+//!   closes — input is discarded;
+//! * slow-loris defense: [`Conn::frame_deadline`] reports when the
+//!   currently-buffered *partial* frame started; trickling one byte at
+//!   a time never resets it, so the event loop can close any connection
+//!   whose frame has been incomplete longer than the configured window.
+
+use crate::wire;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Cap on bytes drained per readable event, so one firehose connection
+/// cannot starve the rest of the loop.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Lifecycle of a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnPhase {
+    /// Reading requests and writing replies.
+    Open,
+    /// Input is poisoned or the peer half-closed: flush output, then
+    /// close.
+    Draining,
+    /// To be dropped by the event loop.
+    Closed,
+}
+
+/// One client connection.
+#[derive(Debug)]
+pub struct Conn {
+    stream: TcpStream,
+    /// Unparsed input (suffix of the stream read so far).
+    rbuf: Vec<u8>,
+    /// Encoded reply frames not yet fully written.
+    wbuf: Vec<u8>,
+    /// Bytes of `wbuf` already written.
+    wpos: usize,
+    /// When the partial frame at the head of `rbuf` started arriving.
+    frame_started: Option<Instant>,
+    /// Requests handed to the worker pool, not yet answered.
+    pub inflight: usize,
+    /// Lifecycle phase.
+    pub phase: ConnPhase,
+}
+
+impl Conn {
+    /// Wraps an accepted stream (made nonblocking here).
+    pub fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        Ok(Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            frame_started: None,
+            inflight: 0,
+            phase: ConnPhase::Open,
+        })
+    }
+
+    /// The underlying stream (for fd registration).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Whether unsent reply bytes remain.
+    pub fn wants_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+
+    /// Whether the loop should poll this connection for input: open,
+    /// and not so far ahead of the workers that parsing more would
+    /// queue unboundedly (`max_pipeline` bounds decoded-but-unanswered
+    /// requests per connection; TCP backpressure does the rest).
+    pub fn wants_read(&self, max_pipeline: usize) -> bool {
+        self.phase == ConnPhase::Open && self.inflight < max_pipeline
+    }
+
+    /// Deadline for the currently-incomplete frame, if one is pending.
+    pub fn frame_deadline(&self) -> Option<Instant> {
+        self.frame_started
+    }
+
+    /// Queues one encoded payload as a frame on the write buffer.
+    pub fn queue_reply(&mut self, payload: &[u8]) {
+        // Compact the buffer opportunistically once everything queued
+        // before has been flushed.
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        }
+        self.wbuf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.wbuf.extend_from_slice(payload);
+    }
+
+    /// Reads until `WouldBlock`, EOF, or the per-event cap, appending to
+    /// the input buffer. Returns `false` when the connection reached EOF
+    /// or errored (the caller transitions the phase).
+    pub fn fill(&mut self) -> bool {
+        let mut chunk = [0u8; 4096];
+        let mut read_total = 0;
+        loop {
+            if read_total >= READ_CHUNK {
+                return true; // come back next tick
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                    read_total += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Splits the next complete frame payload out of the input buffer.
+    ///
+    /// `Ok(None)`: no complete frame yet (a partial frame arms the
+    /// slow-loris deadline). `Err`: the stream is unrecoverable
+    /// (oversized prefix) — the caller replies and drains.
+    pub fn next_frame(&mut self, now: Instant) -> Result<Option<Vec<u8>>, wire::WireError> {
+        match wire::split_frame(&self.rbuf)? {
+            Some((payload, consumed)) => {
+                let payload = payload.to_vec();
+                self.rbuf.drain(..consumed);
+                self.frame_started = if self.rbuf.is_empty() {
+                    None
+                } else {
+                    Some(now)
+                };
+                Ok(Some(payload))
+            }
+            None => {
+                if self.rbuf.is_empty() {
+                    self.frame_started = None;
+                } else if self.frame_started.is_none() {
+                    self.frame_started = Some(now);
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Writes buffered replies until `WouldBlock` or the buffer drains.
+    /// Returns `false` when the connection errored.
+    pub fn flush(&mut self) -> bool {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return false,
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        }
+        true
+    }
+
+    /// Whether the connection has fully shut down its work: draining
+    /// with nothing left to write and nothing in flight.
+    pub fn drained(&self) -> bool {
+        self.phase == ConnPhase::Draining && !self.wants_write() && self.inflight == 0
+    }
+}

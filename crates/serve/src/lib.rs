@@ -1,0 +1,55 @@
+//! An asynchronous network front end for plan counting, unranking, and
+//! sampling.
+//!
+//! The paper's artifact — a prepared plan space that answers count /
+//! unrank / sample queries in microseconds — only pays for itself when
+//! many consumers share it. This crate puts [`plansample_core`]'s
+//! `PlanService` behind a TCP server so that sharing crosses process
+//! boundaries: one resident MEMO per distinct query, any number of
+//! clients.
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`wire`] — the length-prefixed binary protocol: versioned frames,
+//!   request ids, typed errors. Decoding is total (never panics) and
+//!   encoding is deterministic, which is what makes the network path
+//!   byte-for-byte reproducible.
+//! * [`reactor`] — a minimal readiness poller over `poll(2)`, vendored
+//!   so the event loop needs nothing beyond `std`.
+//! * [`conn`] — the per-connection state machine: partial-frame
+//!   reassembly, partial-write buffering, slow-loris deadlines.
+//! * [`state`] — workload resolution (TPC-H SQL and synthetic join
+//!   graphs), request execution, and the two-layer admission control
+//!   that sheds with a typed `Overloaded` reply instead of queueing
+//!   unboundedly.
+//! * [`server`] — the event loop (one thread owns every socket) plus a
+//!   small worker pool for the CPU-heavy requests.
+//! * [`client`] — a blocking reference client.
+//! * [`loadgen`] + [`json`] — the load generator behind
+//!   `plansample-loadgen` and the `BENCH_serving.json` artifact it
+//!   writes and validates.
+//!
+//! # Determinism contract
+//!
+//! For a given server configuration, the bytes of a reply are a pure
+//! function of the bytes of its request: plan identity comes from the
+//! deterministic optimizer, sampling randomness comes from the
+//! client-supplied seed, and floats travel as IEEE-754 bits. Two
+//! clients issuing the same request bytes get identical reply bytes —
+//! whether or not they share a cached artifact, and at any worker
+//! count.
+
+pub mod client;
+pub mod conn;
+pub mod json;
+pub mod loadgen;
+pub mod reactor;
+pub mod server;
+pub mod state;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use loadgen::{LoadReport, LoadgenConfig};
+pub use server::{ServerConfig, ServerHandle};
+pub use state::{AdmissionConfig, ServerState};
+pub use wire::{ErrorCode, Request, Response, StatsReply, WireError, Workload};

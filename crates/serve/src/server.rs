@@ -1,0 +1,516 @@
+//! The serving front-end: a poll(2) event loop plus a worker pool.
+//!
+//! One thread owns every socket and runs the readiness loop: it
+//! accepts, reads, frames, decodes, enforces the queue bound, and
+//! writes replies. Decoded requests are executed on a small worker
+//! pool (optimization and sampling must never block the loop); workers
+//! push encoded reply frames onto a completion queue and wake the loop
+//! through a socketpair. Connections are addressed by monotonically
+//! increasing tokens that are never reused, so a completion for a
+//! connection that died while its request was in flight is dropped on
+//! the floor instead of corrupting a newer connection.
+//!
+//! Fault handling follows the wire module's recoverability split:
+//! frames whose boundary is still trustworthy (unknown opcode,
+//! malformed body) get a typed error reply and the connection keeps
+//! serving; violations that poison the framing (oversized length
+//! prefix, wrong protocol version) get a final typed reply with
+//! request id 0 and the connection drains and closes. A partial frame
+//! that sits incomplete longer than [`ServerConfig::frame_timeout`]
+//! (however slowly it trickles) closes the connection — the
+//! slow-loris defense.
+
+use crate::conn::{Conn, ConnPhase};
+use crate::reactor::{Interest, Poller};
+use crate::state::{AdmissionConfig, ServerState};
+use crate::wire::{self, ErrorCode, Request, Response, WireError, CONNECTION_REQUEST_ID};
+use plansample_optimizer::OptimizerConfig;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// TPC-H service entry capacity.
+    pub cache_entries: usize,
+    /// TPC-H service byte budget (participates in admission control).
+    pub byte_budget: Option<usize>,
+    /// Queue/preparation shedding thresholds.
+    pub admission: AdmissionConfig,
+    /// Decoded-but-unanswered requests allowed per connection before
+    /// the loop stops reading from it (pipelining bound).
+    pub max_pipeline: usize,
+    /// How long a partial frame may sit incomplete before the
+    /// connection is closed (slow-loris defense).
+    pub frame_timeout: Duration,
+    /// Allow Cartesian products in served plan spaces.
+    pub cross_products: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            cache_entries: 64,
+            byte_budget: None,
+            admission: AdmissionConfig::default(),
+            max_pipeline: 128,
+            frame_timeout: Duration::from_secs(10),
+            cross_products: false,
+        }
+    }
+}
+
+/// A running server; dropping it shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    shutdown: Arc<AtomicBool>,
+    waker: Mutex<UnixStream>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared serving state (counters, services).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Signals shutdown and joins every thread.
+    pub fn stop(mut self) {
+        self.begin_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until the server exits (external shutdown only).
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Ok(mut w) = self.waker.lock() {
+            let _ = w.write(&[1]);
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// A request in flight to the worker pool.
+struct Job {
+    token: u64,
+    request_id: u64,
+    request: Request,
+}
+
+/// An encoded reply on its way back to the loop.
+struct Completion {
+    token: u64,
+    payload: Vec<u8>,
+}
+
+/// Binds the listener and spawns the event loop + workers.
+pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let optimizer = if config.cross_products {
+        OptimizerConfig::with_cross_products()
+    } else {
+        OptimizerConfig::default()
+    };
+    let state = Arc::new(ServerState::new(
+        optimizer,
+        config.cache_entries,
+        config.byte_budget,
+        config.admission,
+    ));
+
+    let (wake_tx, wake_rx) = UnixStream::pair()?;
+    wake_rx.set_nonblocking(true)?;
+    // The write side must never block a worker: a full wake buffer
+    // already guarantees the loop will wake, so WouldBlock is ignored.
+    // (O_NONBLOCK lives on the shared open file description, so the
+    // per-worker clones inherit it.)
+    wake_tx.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
+    let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+    let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let mut threads = Vec::new();
+    for i in 0..config.workers.max(1) {
+        let jobs_rx = Arc::clone(&jobs_rx);
+        let completions = Arc::clone(&completions);
+        let state = Arc::clone(&state);
+        let mut waker = wake_tx.try_clone()?;
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("plansample-serve-worker-{i}"))
+                .spawn(move || loop {
+                    // Hold the receiver lock only while dequeuing.
+                    let job = match jobs_rx.lock().expect("job queue poisoned").recv() {
+                        Ok(job) => job,
+                        Err(_) => return, // loop exited, channel closed
+                    };
+                    let response = state.handle(&job.request);
+                    let payload = response.encode(job.request_id);
+                    completions
+                        .lock()
+                        .expect("completion queue poisoned")
+                        .push(Completion {
+                            token: job.token,
+                            payload,
+                        });
+                    let _ = waker.write(&[1]);
+                })?,
+        );
+    }
+
+    let loop_state = Arc::clone(&state);
+    let loop_shutdown = Arc::clone(&shutdown);
+    let loop_completions = Arc::clone(&completions);
+    let frame_timeout = config.frame_timeout;
+    let max_pipeline = config.max_pipeline.max(1);
+    threads.insert(
+        0,
+        std::thread::Builder::new()
+            .name("plansample-serve-loop".into())
+            .spawn(move || {
+                EventLoop {
+                    listener,
+                    wake_rx,
+                    conns: HashMap::new(),
+                    next_token: 2,
+                    poller: Poller::new(),
+                    state: loop_state,
+                    jobs_tx,
+                    completions: loop_completions,
+                    inflight_total: 0,
+                    shutdown: loop_shutdown,
+                    frame_timeout,
+                    max_pipeline,
+                }
+                .run();
+            })?,
+    );
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        shutdown,
+        waker: Mutex::new(wake_tx),
+        threads,
+    })
+}
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+
+struct EventLoop {
+    listener: TcpListener,
+    wake_rx: UnixStream,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    poller: Poller,
+    state: Arc<ServerState>,
+    jobs_tx: mpsc::Sender<Job>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    /// Requests queued or executing across all connections (the queue
+    /// bound admission control enforces).
+    inflight_total: usize,
+    shutdown: Arc<AtomicBool>,
+    frame_timeout: Duration,
+    max_pipeline: usize,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            self.drain_completions();
+            self.reap();
+
+            self.poller.clear();
+            self.poller
+                .register(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ);
+            self.poller
+                .register(self.wake_rx.as_raw_fd(), TOKEN_WAKER, Interest::READ);
+            for (&token, conn) in &self.conns {
+                self.poller.register(
+                    conn.stream().as_raw_fd(),
+                    token,
+                    Interest {
+                        readable: conn.wants_read(self.max_pipeline),
+                        writable: conn.wants_write(),
+                    },
+                );
+            }
+
+            let timeout = self
+                .nearest_deadline()
+                .map(|deadline| deadline.saturating_duration_since(Instant::now()));
+            let events = match self.poller.wait(timeout) {
+                Ok(events) => events,
+                Err(_) => continue,
+            };
+
+            let now = Instant::now();
+            for event in events {
+                match event.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.drain_waker(),
+                    token => {
+                        if event.error {
+                            self.close(token);
+                            continue;
+                        }
+                        if event.writable {
+                            if let Some(conn) = self.conns.get_mut(&token) {
+                                if !conn.flush() {
+                                    self.close(token);
+                                    continue;
+                                }
+                            }
+                        }
+                        if event.readable {
+                            self.read_ready(token, now);
+                        }
+                    }
+                }
+            }
+            self.enforce_frame_deadlines(now);
+        }
+        // Dropping the sender closes the job channel; workers exit.
+    }
+
+    /// Moves finished replies into their connections' write buffers.
+    fn drain_completions(&mut self) {
+        let done: Vec<Completion> = {
+            let mut queue = self.completions.lock().expect("completion queue poisoned");
+            std::mem::take(&mut *queue)
+        };
+        for completion in done {
+            self.inflight_total -= 1;
+            if let Some(conn) = self.conns.get_mut(&completion.token) {
+                conn.inflight -= 1;
+                conn.queue_reply(&completion.payload);
+                // Opportunistic flush: most replies fit the socket
+                // buffer, so this saves a poll round trip per request.
+                if !conn.flush() {
+                    self.close(completion.token);
+                }
+            }
+            // else: the connection died with the request in flight; the
+            // reply is dropped, never delivered to a reused token.
+        }
+    }
+
+    /// Closes connections that finished draining.
+    fn reap(&mut self) {
+        let done: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.phase == ConnPhase::Closed || c.drained())
+            .map(|(&t, _)| t)
+            .collect();
+        for token in done {
+            self.close(token);
+        }
+    }
+
+    fn nearest_deadline(&self) -> Option<Instant> {
+        self.conns
+            .values()
+            .filter_map(|c| c.frame_deadline())
+            .map(|started| started + self.frame_timeout)
+            .min()
+    }
+
+    fn enforce_frame_deadlines(&mut self, now: Instant) {
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                c.frame_deadline().is_some_and(|started| {
+                    now.saturating_duration_since(started) >= self.frame_timeout
+                })
+            })
+            .map(|(&t, _)| t)
+            .collect();
+        for token in expired {
+            // Slow-loris: the partial frame never completed in time.
+            self.close(token);
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let Ok(conn) = Conn::new(stream) else {
+                        continue;
+                    };
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.conns.insert(token, conn);
+                    self.state.connections_total.fetch_add(1, Ordering::Relaxed);
+                    self.state.connections_open.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn drain_waker(&mut self) {
+        let mut sink = [0u8; 64];
+        while matches!(self.wake_rx.read(&mut sink), Ok(n) if n > 0) {}
+    }
+
+    fn read_ready(&mut self, token: u64, now: Instant) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let alive = conn.fill();
+        self.parse_frames(token, now);
+        if !alive {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                // EOF: serve what was buffered, flush, then close.
+                if conn.phase == ConnPhase::Open {
+                    conn.phase = ConnPhase::Draining;
+                }
+            }
+        }
+    }
+
+    /// Decodes every complete frame buffered on `token`, enforcing the
+    /// pipeline and queue bounds and the wire error policy.
+    fn parse_frames(&mut self, token: u64, now: Instant) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.phase != ConnPhase::Open || conn.inflight >= self.max_pipeline {
+                return;
+            }
+            let payload = match conn.next_frame(now) {
+                Ok(Some(payload)) => payload,
+                Ok(None) => return,
+                Err(e) => {
+                    // Framing poisoned: typed reply, then drain.
+                    self.state.wire_errors.fetch_add(1, Ordering::Relaxed);
+                    let reply = wire_error_reply(&e);
+                    conn.queue_reply(&reply.encode(CONNECTION_REQUEST_ID));
+                    conn.phase = ConnPhase::Draining;
+                    return;
+                }
+            };
+            self.handle_payload(token, &payload);
+        }
+    }
+
+    fn handle_payload(&mut self, token: u64, payload: &[u8]) {
+        let header = wire::decode_header(payload);
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let (_, request_id) = match header {
+            Ok(pair) => pair,
+            Err(e) => {
+                self.state.wire_errors.fetch_add(1, Ordering::Relaxed);
+                let recoverable = e.is_recoverable();
+                conn.queue_reply(&wire_error_reply(&e).encode(CONNECTION_REQUEST_ID));
+                if !recoverable {
+                    conn.phase = ConnPhase::Draining;
+                }
+                return;
+            }
+        };
+        match Request::decode(payload) {
+            Ok((request_id, request)) => {
+                if self.inflight_total >= self.state.max_inflight() {
+                    // Queue bound: shed instead of queueing unboundedly.
+                    self.state.shed_queue.fetch_add(1, Ordering::Relaxed);
+                    let reply = Response::Error {
+                        code: ErrorCode::Overloaded,
+                        message: format!(
+                            "request queue at its {} bound",
+                            self.state.max_inflight()
+                        ),
+                    };
+                    conn.queue_reply(&reply.encode(request_id));
+                    return;
+                }
+                conn.inflight += 1;
+                self.inflight_total += 1;
+                // The receiver outlives the loop (workers hold it);
+                // send cannot fail until shutdown, where replies are
+                // moot anyway.
+                let _ = self.jobs_tx.send(Job {
+                    token,
+                    request_id,
+                    request,
+                });
+            }
+            Err(e) => {
+                // The frame was well-delimited but the body was not a
+                // request: typed reply, connection keeps serving.
+                self.state.wire_errors.fetch_add(1, Ordering::Relaxed);
+                conn.queue_reply(&wire_error_reply(&e).encode(request_id));
+            }
+        }
+    }
+
+    fn close(&mut self, token: u64) {
+        if self.conns.remove(&token).is_some() {
+            self.state.connections_open.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The typed reply for a frame that failed to decode.
+fn wire_error_reply(e: &WireError) -> Response {
+    let code = match e {
+        WireError::Oversized(_) => ErrorCode::Oversized,
+        WireError::BadVersion(_) => ErrorCode::BadVersion,
+        WireError::UnknownOpcode(_) => ErrorCode::UnknownOpcode,
+        _ => ErrorCode::BadRequest,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}

@@ -1,0 +1,324 @@
+//! Shared server state: workload resolution, request execution, and
+//! admission control.
+//!
+//! The state is one [`PlanService`] over the TPC-H catalog (SQL
+//! workloads) plus a lazily-populated family of single-entry services
+//! for synthetic join-graph workloads, each over the catalog the spec
+//! deterministically materializes. Routing every preparation through a
+//! `PlanService` buys the serving layer the cache, the byte-budget
+//! eviction, and — critically for the network determinism contract —
+//! the singleflight: a thundering herd of connections asking for the
+//! same fresh query performs exactly one optimization in total.
+//!
+//! Admission control (the `Overloaded` reply) is two-layered:
+//!
+//! 1. the event loop bounds the *queue* — requests beyond
+//!    `max_inflight` are answered `Overloaded` immediately instead of
+//!    queueing unboundedly (`shed_queue`), and
+//! 2. this module bounds the *expensive work* — a request that would
+//!    have to optimize (its workload is not cached, probed with
+//!    [`PlanService::is_cached`]) is shed when the byte budget is
+//!    already saturated or too many first preparations are in flight
+//!    (`shed_prepare`). Cached workloads are always served: hits are
+//!    cheap no matter how hot the cache is.
+
+use crate::wire::{
+    ErrorCode, Request, Response, StatsReply, WirePlan, Workload, MAX_SAMPLE_BATCH,
+    MAX_SYNTH_RELATIONS,
+};
+use plansample_core::{Error, PlanService, PreparedQuery};
+use plansample_datagen::joingraph::{JoinGraphSpec, Topology};
+use plansample_memo::PlanNode;
+use plansample_optimizer::OptimizerConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Admission-control knobs (see module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Maximum requests queued or executing before new ones are shed.
+    pub max_inflight: usize,
+    /// Maximum concurrent first preparations before uncached requests
+    /// are shed.
+    pub max_prepares: usize,
+    /// Shed uncached requests once the TPC-H service's resident bytes
+    /// reach this fraction of its byte budget (when one is set).
+    pub byte_high_water: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_inflight: 1024,
+            max_prepares: 4,
+            byte_high_water: 1.0,
+        }
+    }
+}
+
+/// The serving state shared by the event loop and the worker pool.
+pub struct ServerState {
+    tpch: Arc<PlanService>,
+    synth: Mutex<HashMap<(Topology, u16, u64), Arc<PlanService>>>,
+    admission: AdmissionConfig,
+    byte_budget: Option<usize>,
+    /// Requests decoded and dispatched (including shed ones).
+    pub requests: AtomicU64,
+    /// Requests shed at the queue bound (incremented by the event loop).
+    pub shed_queue: AtomicU64,
+    /// Requests shed at the preparation bound.
+    pub shed_prepare: AtomicU64,
+    /// Frames that failed to decode (incremented by the event loop).
+    pub wire_errors: AtomicU64,
+    /// Connections currently open (maintained by the event loop).
+    pub connections_open: AtomicU64,
+    /// Connections accepted over the server's lifetime.
+    pub connections_total: AtomicU64,
+}
+
+impl ServerState {
+    /// Builds the state over the TPC-H catalog.
+    ///
+    /// `byte_budget` bounds the TPC-H service's resident artifact bytes
+    /// (and participates in admission); `None` leaves it entry-bounded
+    /// only.
+    pub fn new(
+        config: OptimizerConfig,
+        cache_entries: usize,
+        byte_budget: Option<usize>,
+        admission: AdmissionConfig,
+    ) -> Self {
+        let (catalog, _) = plansample_catalog::tpch::catalog();
+        let tpch = Arc::new(PlanService::bounded(
+            catalog,
+            config,
+            cache_entries,
+            byte_budget,
+        ));
+        ServerState {
+            tpch,
+            synth: Mutex::new(HashMap::new()),
+            admission,
+            byte_budget,
+            requests: AtomicU64::new(0),
+            shed_queue: AtomicU64::new(0),
+            shed_prepare: AtomicU64::new(0),
+            wire_errors: AtomicU64::new(0),
+            connections_open: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+        }
+    }
+
+    /// The queue bound the event loop enforces.
+    pub fn max_inflight(&self) -> usize {
+        self.admission.max_inflight
+    }
+
+    /// The TPC-H service (test observability).
+    pub fn tpch_service(&self) -> &PlanService {
+        &self.tpch
+    }
+
+    /// Executes one decoded request. Infallible at this layer: every
+    /// failure becomes a typed [`Response::Error`].
+    pub fn handle(&self, request: &Request) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match request {
+            Request::Prepare(wl) => self.with_prepared(wl, |p, cached| Response::Prepared {
+                total: p.total().clone(),
+                groups: p.memo().num_groups() as u32,
+                exprs: p.memo().num_physical() as u32,
+                size_bytes: p.size_bytes() as u64,
+                cached,
+            }),
+            Request::Count(wl) => self.with_prepared(wl, |p, _| Response::Count(p.total().clone())),
+            Request::Best(wl) => self.with_prepared(wl, |p, _| {
+                let (plan, cost) = p.best();
+                Response::Best(to_wire_plan(plan), cost)
+            }),
+            Request::Unrank(wl, rank) => self.with_prepared(wl, |p, _| match p.unrank(rank) {
+                Ok(plan) => Response::Plan(to_wire_plan(&plan), p.scaled_cost(&plan)),
+                Err(e) => error_response(&e),
+            }),
+            Request::SampleBatch(wl, seed, k) => {
+                if *k > MAX_SAMPLE_BATCH {
+                    return Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: format!("batch of {k} exceeds the {MAX_SAMPLE_BATCH} bound"),
+                    };
+                }
+                let (seed, k) = (*seed, *k);
+                self.with_prepared(wl, move |p, _| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let items = p
+                        .sample_batch(&mut rng, k as usize)
+                        .iter()
+                        .map(|plan| (to_wire_plan(plan), p.scaled_cost(plan)))
+                        .collect();
+                    Response::Samples(items)
+                })
+            }
+            Request::Stats => Response::Stats(self.stats()),
+        }
+    }
+
+    /// Resolves the workload through its service and applies `f`,
+    /// mapping every failure (shed, parse, optimize) to a typed error
+    /// reply. `f` receives whether the artifact was already cached.
+    fn with_prepared(
+        &self,
+        workload: &Workload,
+        f: impl FnOnce(&PreparedQuery, bool) -> Response,
+    ) -> Response {
+        let (service, query) = match self.resolve(workload) {
+            Ok(pair) => pair,
+            Err(resp) => return *resp,
+        };
+        let cached = service.is_cached(&query);
+        if !cached {
+            if let Some(denial) = self.deny_preparation(&service) {
+                self.shed_prepare.fetch_add(1, Ordering::Relaxed);
+                return denial;
+            }
+        }
+        match service.get_or_prepare(&query) {
+            Ok(prepared) => f(&prepared, cached),
+            Err(e) => error_response(&e),
+        }
+    }
+
+    /// Maps a workload to the service that caches it plus the concrete
+    /// query spec, without preparing anything.
+    fn resolve(
+        &self,
+        workload: &Workload,
+    ) -> Result<(Arc<PlanService>, plansample_query::QuerySpec), Box<Response>> {
+        match workload {
+            Workload::Sql(sql) => {
+                let parsed = plansample_sql::parse(self.tpch.catalog(), sql).map_err(|e| {
+                    Box::new(Response::Error {
+                        code: ErrorCode::Sql,
+                        message: e.render(sql),
+                    })
+                })?;
+                // The front door serves plan-space operations; execution
+                // hints (USEPLAN) have no meaning here.
+                Ok((Arc::clone(&self.tpch), parsed.spec))
+            }
+            Workload::Synthetic {
+                topology,
+                relations,
+                seed,
+            } => {
+                let min = if *topology == Topology::Cycle { 3 } else { 2 };
+                if *relations < min || *relations > MAX_SYNTH_RELATIONS {
+                    return Err(Box::new(Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: format!(
+                            "synthetic {} workload needs {min}..={MAX_SYNTH_RELATIONS} relations, got {relations}",
+                            topology.name()
+                        ),
+                    }));
+                }
+                let service = self.synth_service((*topology, *relations, *seed));
+                let spec = JoinGraphSpec::new(*topology, *relations as usize, *seed);
+                let (_, query) = spec.build();
+                Ok((service, query))
+            }
+        }
+    }
+
+    /// The (created-on-demand) service owning one synthetic spec.
+    /// Synthetic services hold a single entry — the spec *is* the
+    /// query — so their footprint is exactly one artifact.
+    fn synth_service(&self, key: (Topology, u16, u64)) -> Arc<PlanService> {
+        let mut synth = self.synth.lock().expect("synth map poisoned");
+        Arc::clone(synth.entry(key).or_insert_with(|| {
+            let spec = JoinGraphSpec::new(key.0, key.1 as usize, key.2);
+            let (catalog, _) = spec.build();
+            Arc::new(PlanService::new(catalog, self.tpch.config().clone(), 1))
+        }))
+    }
+
+    /// Whether an uncached request must be shed right now, and the
+    /// typed reply if so.
+    fn deny_preparation(&self, service: &Arc<PlanService>) -> Option<Response> {
+        let stats = service.stats();
+        if stats.inflight >= self.admission.max_prepares {
+            return Some(overloaded(format!(
+                "{} first preparations already in flight",
+                stats.inflight
+            )));
+        }
+        if let Some(budget) = self.byte_budget {
+            let high_water = (budget as f64 * self.admission.byte_high_water) as usize;
+            // The byte-budget tie-in applies to the TPC-H service (the
+            // one sharing `self.byte_budget`); synthetic services are
+            // single-entry and bounded by construction.
+            if Arc::ptr_eq(service, &self.tpch) && stats.resident_bytes >= high_water {
+                return Some(overloaded(format!(
+                    "artifact cache at {} of {} budgeted bytes",
+                    stats.resident_bytes, budget
+                )));
+            }
+        }
+        None
+    }
+
+    /// Snapshot of every counter, for [`Request::Stats`].
+    pub fn stats(&self) -> StatsReply {
+        let tpch = self.tpch.stats();
+        let (synth_services, synth_resident_bytes) = {
+            let synth = self.synth.lock().expect("synth map poisoned");
+            let bytes: usize = synth.values().map(|s| s.stats().resident_bytes).sum();
+            (synth.len() as u64, bytes as u64)
+        };
+        StatsReply {
+            requests: self.requests.load(Ordering::Relaxed),
+            shed_queue: self.shed_queue.load(Ordering::Relaxed),
+            shed_prepare: self.shed_prepare.load(Ordering::Relaxed),
+            wire_errors: self.wire_errors.load(Ordering::Relaxed),
+            connections_open: self.connections_open.load(Ordering::Relaxed),
+            connections_total: self.connections_total.load(Ordering::Relaxed),
+            hits: tpch.hits,
+            misses: tpch.misses,
+            coalesced: tpch.coalesced,
+            evictions: tpch.evictions,
+            entries: tpch.entries as u64,
+            resident_bytes: tpch.resident_bytes as u64,
+            byte_budget: tpch.byte_budget.unwrap_or(0) as u64,
+            inflight_prepares: tpch.inflight as u64,
+            synth_services,
+            synth_resident_bytes,
+        }
+    }
+}
+
+/// A plan's wire form: its preorder `(group, index)` listing.
+pub fn to_wire_plan(plan: &PlanNode) -> WirePlan {
+    plan.preorder_ids()
+        .iter()
+        .map(|id| (id.group.0, id.index as u32))
+        .collect()
+}
+
+fn overloaded(message: String) -> Response {
+    Response::Error {
+        code: ErrorCode::Overloaded,
+        message,
+    }
+}
+
+fn error_response(e: &Error) -> Response {
+    let code = match e {
+        Error::Opt(_) => ErrorCode::Optimize,
+        _ => ErrorCode::Space,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}

@@ -1,0 +1,282 @@
+//! Fuzz-style property tests for the SQL frontend.
+//!
+//! Two obligations:
+//!
+//! 1. **Totality** — the lexer and parser are fed arbitrary token soup
+//!    and arbitrary byte strings; they must return `Ok` or a positioned
+//!    `ParseError`, never panic.
+//! 2. **Normalization** — generated, *valid* select-project-join
+//!    queries must parse to the same normalized [`QuerySpec`] under the
+//!    transformations the language declares meaningless: permuted
+//!    `WHERE` conjuncts, keyword case, and whitespace shape. Join edges
+//!    and filters are compared as multisets with symmetric edge
+//!    endpoints, which is exactly the invariance the serving cache key
+//!    relies on upstream.
+
+use plansample_catalog::Catalog;
+use plansample_query::QuerySpec;
+use plansample_sql::{lex, parse};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn catalog() -> Catalog {
+    plansample_catalog::tpch::catalog().0
+}
+
+/// Vocabulary for token soup: every token class the grammar knows plus
+/// near-miss garbage.
+const VOCAB: &[&str] = &[
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "OPTION",
+    "USEPLAN",
+    "AND",
+    "AS",
+    "COUNT",
+    "SUM",
+    "MIN",
+    "MAX",
+    "AVG",
+    "*",
+    ",",
+    ".",
+    "(",
+    ")",
+    "=",
+    "<",
+    "<=",
+    ">",
+    ">=",
+    "<>",
+    ";",
+    "nation",
+    "region",
+    "lineitem",
+    "n_name",
+    "r_regionkey",
+    "l_quantity",
+    "n1",
+    "x",
+    "0",
+    "42",
+    "3.25",
+    "'ASIA'",
+    "'unterminated",
+    "18446744073709551616",
+    "@#$",
+    "世界",
+    "--",
+    "\u{0}",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn token_soup_never_panics(tokens in vec(0usize..VOCAB.len(), 0..40)) {
+        let sql: String = tokens
+            .iter()
+            .map(|&i| VOCAB[i])
+            .collect::<Vec<_>>()
+            .join(" ");
+        // Either outcome is fine; panicking is not.
+        let _ = parse(&catalog(), &sql);
+        let _ = lex(&sql);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in vec(any::<u8>(), 0..120)) {
+        let sql = String::from_utf8_lossy(&bytes).into_owned();
+        if let Err(e) = parse(&catalog(), &sql) {
+            // The diagnostic renderer must also hold up: offsets point
+            // into the original text even with multi-byte characters.
+            let _ = e.render(&sql);
+        }
+        let _ = lex(&sql);
+    }
+}
+
+/// One generated SPJ query: a connected join chain over TPC-H with
+/// optional filters.
+#[derive(Debug, Clone)]
+struct SpjQuery {
+    select: &'static str,
+    tables: Vec<&'static str>,
+    conjuncts: Vec<&'static str>,
+}
+
+/// Join chains over the TPC-H schema (each prefix of a chain is itself
+/// connected) plus per-chain filter pools.
+const CHAINS: &[(&[&str], &[&str], &[&str])] = &[
+    (
+        &["region r", "nation n", "supplier s"],
+        &[
+            "n.n_regionkey = r.r_regionkey",
+            "s.s_nationkey = n.n_nationkey",
+        ],
+        &[
+            "r.r_regionkey < 3",
+            "n.n_nationkey >= 5",
+            "s.s_acctbal > 100",
+        ],
+    ),
+    (
+        &["customer c", "orders o", "lineitem l"],
+        &["o.o_custkey = c.c_custkey", "l.l_orderkey = o.o_orderkey"],
+        &[
+            "c.c_acctbal > 10",
+            "o.o_totalprice < 100000",
+            "l.l_quantity < 24",
+        ],
+    ),
+];
+
+fn arb_spj() -> impl Strategy<Value = SpjQuery> {
+    (0usize..CHAINS.len(), 2usize..=3, any::<u8>(), 0usize..3).prop_map(
+        |(chain, len, filter_mask, select)| {
+            let (tables, joins, filters) = CHAINS[chain];
+            let tables: Vec<&'static str> = tables[..len].to_vec();
+            let mut conjuncts: Vec<&'static str> = joins[..len - 1].to_vec();
+            for (i, filter) in filters[..len].iter().enumerate() {
+                if filter_mask & (1 << i) != 0 {
+                    conjuncts.push(filter);
+                }
+            }
+            SpjQuery {
+                select: ["*", "COUNT(*)", "COUNT(*), SUM(l_quantity)"][select],
+                tables,
+                conjuncts,
+            }
+        },
+    )
+}
+
+impl SpjQuery {
+    /// Renders the query with a seed-driven conjunct order, keyword
+    /// case, and whitespace shape.
+    fn render(&self, seed: u64) -> String {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mangle = |kw: &str| -> String {
+            kw.chars()
+                .map(|c| {
+                    if rng.gen_range(0..2) == 0 {
+                        c.to_ascii_lowercase()
+                    } else {
+                        c.to_ascii_uppercase()
+                    }
+                })
+                .collect()
+        };
+        let select_kw = mangle("SELECT");
+        let from_kw = mangle("FROM");
+        let where_kw = mangle("WHERE");
+        let and_kw = mangle("AND");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let mut order: Vec<usize> = (0..self.conjuncts.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..i + 1));
+        }
+        let gap = |rng: &mut StdRng| [" ", "  ", "\n", " \t "][rng.gen_range(0..4)].to_string();
+        // `SUM(l_quantity)` only names a column when lineitem is in
+        // scope; fall back to `*` otherwise.
+        let select = if self.select.contains("l_quantity")
+            && !self.tables.iter().any(|t| t.starts_with("lineitem"))
+        {
+            "*"
+        } else {
+            self.select
+        };
+        let mut sql = format!(
+            "{select_kw}{}{select}{}{from_kw}{}{}",
+            gap(&mut rng),
+            gap(&mut rng),
+            gap(&mut rng),
+            self.tables.join(", "),
+        );
+        if !order.is_empty() {
+            sql.push_str(&gap(&mut rng));
+            sql.push_str(&where_kw);
+            for (pos, &c) in order.iter().enumerate() {
+                if pos > 0 {
+                    sql.push_str(&gap(&mut rng));
+                    sql.push_str(&and_kw);
+                }
+                sql.push_str(&gap(&mut rng));
+                sql.push_str(self.conjuncts[c]);
+            }
+        }
+        sql
+    }
+}
+
+/// Order-insensitive fingerprint of the spec parts the surface syntax
+/// is allowed to permute; the parts it is not (FROM order) stay
+/// positional.
+fn fingerprint(spec: &QuerySpec) -> (Vec<String>, Vec<String>, Vec<String>, String) {
+    let relations: Vec<String> = spec.relations.iter().map(|r| format!("{r:?}")).collect();
+    let mut edges: Vec<String> = spec
+        .join_edges
+        .iter()
+        .map(|e| {
+            // Symmetric: `a = b` and `b = a` are the same edge.
+            let a = format!("{:?}.{}", e.left.rel, e.left.col);
+            let b = format!("{:?}.{}", e.right.rel, e.right.col);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            format!("{lo}={hi}@{}", e.selectivity)
+        })
+        .collect();
+    edges.sort();
+    let mut filters: Vec<String> = spec
+        .filters
+        .iter()
+        .map(|f| {
+            format!(
+                "{:?}.{}{}{:?}@{}",
+                f.col.rel,
+                f.col.col,
+                f.op.symbol(),
+                f.value,
+                f.selectivity
+            )
+        })
+        .collect();
+    filters.sort();
+    (relations, edges, filters, format!("{:?}", spec.aggregate))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn generated_spj_queries_normalize_identically(
+        query in arb_spj(),
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        let (sql_a, sql_b) = (query.render(seed_a), query.render(seed_b));
+        let catalog = catalog();
+        let a = parse(&catalog, &sql_a)
+            .unwrap_or_else(|e| panic!("generated SQL failed:\n{}", e.render(&sql_a)));
+        let b = parse(&catalog, &sql_b)
+            .unwrap_or_else(|e| panic!("generated SQL failed:\n{}", e.render(&sql_b)));
+        prop_assert_eq!(a.spec.relations.len(), query.tables.len());
+        prop_assert_eq!(a.spec.join_edges.len(), query.tables.len() - 1);
+        prop_assert!(a.useplan.is_none());
+        // Permuted conjuncts, different casing, different whitespace:
+        // same normalized query.
+        prop_assert_eq!(fingerprint(&a.spec), fingerprint(&b.spec));
+    }
+
+    #[test]
+    fn useplan_numbers_round_trip(query in arb_spj(), n in any::<u64>(), seed in any::<u64>()) {
+        let sql = format!("{} OPTION (USEPLAN {n})", query.render(seed));
+        let parsed = parse(&catalog(), &sql)
+            .unwrap_or_else(|e| panic!("generated SQL failed:\n{}", e.render(&sql)));
+        prop_assert_eq!(parsed.useplan.expect("USEPLAN present").to_u64(), Some(n));
+    }
+}

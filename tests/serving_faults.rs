@@ -1,0 +1,267 @@
+//! Fault injection against the network front end: hostile and broken
+//! clients — truncated frames, oversized length prefixes, mid-frame
+//! disconnects, slow-loris trickles, unknown opcodes, bad protocol
+//! versions — must each produce a typed error reply or a clean close,
+//! and must never panic the server, wedge its event loop, or corrupt
+//! the replies of a well-behaved connection sharing it.
+//!
+//! Every scenario asserts the same invariant at the end: a fresh,
+//! well-formed request against the *same* server still gets a correct
+//! answer.
+
+use plansample_serve::server::{self, ServerConfig};
+use plansample_serve::wire::{self, ErrorCode, Request, Response, PROTOCOL_VERSION};
+use plansample_serve::{Client, ServerHandle, Workload};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A short slow-loris window so the test completes quickly; everything
+/// else at defaults.
+fn start_server() -> ServerHandle {
+    server::start(ServerConfig {
+        workers: 2,
+        frame_timeout: Duration::from_millis(250),
+        ..ServerConfig::default()
+    })
+    .expect("server starts on an ephemeral port")
+}
+
+const SQL: &str = "SELECT * FROM region WHERE region.r_regionkey < 3";
+
+/// The liveness probe every scenario ends with: the server still
+/// answers a fresh well-formed request correctly.
+fn assert_still_serving(handle: &ServerHandle) {
+    let mut client = Client::connect(handle.addr()).expect("fresh connection accepted");
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    match client.call(&Request::Count(Workload::Sql(SQL.into()))) {
+        Ok(Response::Count(total)) => assert!(!total.is_zero(), "plan space is non-empty"),
+        other => panic!("server no longer serving: {other:?}"),
+    }
+}
+
+/// Reads one `(request_id, response)` frame off a raw stream.
+fn read_reply(stream: &mut TcpStream) -> Option<(u64, Response)> {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut buf = Vec::new();
+    loop {
+        if let Some((payload, consumed)) = wire::split_frame(&buf).expect("reply frames are valid")
+        {
+            let reply = Response::decode(payload).expect("reply decodes");
+            buf.drain(..consumed);
+            return Some(reply);
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!("read failed: {e}"),
+        }
+    }
+}
+
+/// Reads until EOF, asserting it arrives (clean close).
+fn assert_closed(stream: &mut TcpStream) {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(_) => continue, // drain any buffered replies
+            Err(e) => panic!("expected clean close, got {e}"),
+        }
+    }
+}
+
+#[test]
+fn truncated_frame_then_disconnect_leaves_server_serving() {
+    let handle = start_server();
+    for cut in [1, 3, 4, 7] {
+        let full = wire::frame(&Request::Count(Workload::Sql(SQL.into())).encode(9));
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream.write_all(&full[..cut]).unwrap();
+        drop(stream); // mid-frame disconnect
+    }
+    assert_still_serving(&handle);
+    handle.stop();
+}
+
+#[test]
+fn oversized_length_prefix_gets_typed_error_then_close() {
+    let handle = start_server();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    // Claim a payload far beyond the bound, then supply a few bytes.
+    stream
+        .write_all(&(wire::MAX_FRAME_LEN + 1).to_le_bytes())
+        .unwrap();
+    stream.write_all(&[0u8; 32]).unwrap();
+    let (id, reply) = read_reply(&mut stream).expect("typed reply before close");
+    assert_eq!(
+        id,
+        wire::CONNECTION_REQUEST_ID,
+        "framing errors have no request id"
+    );
+    match reply {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Oversized),
+        other => panic!("expected Oversized error, got {other:?}"),
+    }
+    assert_closed(&mut stream);
+    assert_still_serving(&handle);
+    handle.stop();
+}
+
+#[test]
+fn bad_version_gets_typed_error_then_close() {
+    let handle = start_server();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    // Valid frame, unsupported version byte.
+    let mut payload = Request::Stats.encode(5);
+    payload[0] = PROTOCOL_VERSION + 41;
+    stream.write_all(&wire::frame(&payload)).unwrap();
+    let (id, reply) = read_reply(&mut stream).expect("typed reply before close");
+    assert_eq!(id, wire::CONNECTION_REQUEST_ID);
+    match reply {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadVersion),
+        other => panic!("expected BadVersion error, got {other:?}"),
+    }
+    assert_closed(&mut stream);
+    assert_still_serving(&handle);
+    handle.stop();
+}
+
+#[test]
+fn unknown_opcode_gets_typed_error_and_connection_survives() {
+    let handle = start_server();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    // Valid header shape, opcode the protocol does not define.
+    let mut payload = Request::Stats.encode(77);
+    payload[1] = 0x7E;
+    stream.write_all(&wire::frame(&payload)).unwrap();
+    let (id, reply) = read_reply(&mut stream).expect("typed reply");
+    assert_eq!(id, 77, "frame-delimited errors echo the request id");
+    match reply {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownOpcode),
+        other => panic!("expected UnknownOpcode error, got {other:?}"),
+    }
+    // The SAME connection keeps serving: opcode errors are recoverable.
+    stream
+        .write_all(&wire::frame(&Request::Stats.encode(78)))
+        .unwrap();
+    let (id, reply) = read_reply(&mut stream).expect("connection still serving");
+    assert_eq!(id, 78);
+    assert!(matches!(reply, Response::Stats(_)), "got {reply:?}");
+    assert_still_serving(&handle);
+    handle.stop();
+}
+
+#[test]
+fn malformed_body_gets_typed_error_and_connection_survives() {
+    let handle = start_server();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    // Valid header (version, Count opcode, id), body cut mid-workload.
+    let good = Request::Count(Workload::Sql(SQL.into())).encode(13);
+    stream.write_all(&wire::frame(&good[..12])).unwrap();
+    let (id, reply) = read_reply(&mut stream).expect("typed reply");
+    assert_eq!(id, 13);
+    match reply {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected BadRequest error, got {other:?}"),
+    }
+    stream.write_all(&wire::frame(&good)).unwrap();
+    let (id, reply) = read_reply(&mut stream).expect("connection still serving");
+    assert_eq!(id, 13);
+    assert!(matches!(reply, Response::Count(_)), "got {reply:?}");
+    handle.stop();
+}
+
+#[test]
+fn slow_loris_connection_is_closed_but_server_survives() {
+    let handle = start_server();
+    let full = wire::frame(&Request::Count(Workload::Sql(SQL.into())).encode(1));
+    // Trickle one byte at a time, never completing the frame within the
+    // 250ms window. Each byte must NOT reset the deadline.
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut closed = false;
+    for byte in full.iter().take(full.len() - 1) {
+        if stream.write_all(std::slice::from_ref(byte)).is_err() {
+            closed = true; // server already hung up mid-trickle
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    if !closed {
+        // The frame is still incomplete; the server must hang up rather
+        // than hold the half-frame forever.
+        let mut chunk = [0u8; 16];
+        match stream.read(&mut chunk) {
+            Ok(0) => {}
+            Ok(n) => panic!("unexpected {n} reply bytes for an incomplete frame"),
+            Err(e) => panic!("expected clean close, got {e}"),
+        }
+    }
+    assert_still_serving(&handle);
+    handle.stop();
+}
+
+#[test]
+fn concurrent_good_client_is_undisturbed_by_abuse() {
+    let handle = start_server();
+    let addr = handle.addr();
+    let abuse = std::thread::spawn(move || {
+        for round in 0u8..12 {
+            let Ok(mut stream) = TcpStream::connect(addr) else {
+                continue;
+            };
+            match round % 4 {
+                0 => {
+                    // Oversized prefix.
+                    let _ = stream.write_all(&(wire::MAX_FRAME_LEN + 7).to_le_bytes());
+                }
+                1 => {
+                    // Unknown opcode.
+                    let mut payload = Request::Stats.encode(round as u64);
+                    payload[1] = 0xEE;
+                    let _ = stream.write_all(&wire::frame(&payload));
+                }
+                2 => {
+                    // Mid-frame disconnect.
+                    let full = wire::frame(&Request::Stats.encode(round as u64));
+                    let _ = stream.write_all(&full[..5]);
+                }
+                _ => {
+                    // Random garbage.
+                    let _ = stream.write_all(&[round; 64]);
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    });
+
+    // Meanwhile the good client's replies must all be correct and
+    // correlated: same query, same total, every id echoed.
+    let mut client = Client::connect(addr).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut reference = None;
+    for _ in 0..30 {
+        match client.call(&Request::Count(Workload::Sql(SQL.into()))) {
+            Ok(Response::Count(total)) => {
+                let total = total.clone();
+                match &reference {
+                    None => reference = Some(total),
+                    Some(expected) => assert_eq!(&total, expected, "reply changed under abuse"),
+                }
+            }
+            other => panic!("good client disturbed: {other:?}"),
+        }
+    }
+    abuse.join().unwrap();
+    assert_still_serving(&handle);
+    handle.stop();
+}
