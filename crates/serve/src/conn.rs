@@ -19,6 +19,11 @@
 //!   currently-buffered *partial* frame started; trickling one byte at
 //!   a time never resets it, so the event loop can close any connection
 //!   whose frame has been incomplete longer than the configured window.
+//!   Complete frames merely waiting for a pipeline slot are not a
+//!   trickle and never arm the deadline;
+//! * half-close ([`Conn::eof`]) stops reads but is not a fault: every
+//!   request already buffered is still parsed (as pipeline slots free
+//!   up), answered, and flushed before the connection closes.
 
 use crate::wire;
 use std::io::{self, Read, Write};
@@ -32,10 +37,11 @@ const READ_CHUNK: usize = 64 * 1024;
 /// Lifecycle of a connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConnPhase {
-    /// Reading requests and writing replies.
+    /// Reading requests and writing replies (a half-close is tracked
+    /// separately by [`Conn::eof`] — buffered input is still served).
     Open,
-    /// Input is poisoned or the peer half-closed: flush output, then
-    /// close.
+    /// Input is poisoned by a fatal wire error: flush output, then
+    /// close — remaining input is discarded.
     Draining,
     /// To be dropped by the event loop.
     Closed,
@@ -57,6 +63,10 @@ pub struct Conn {
     pub inflight: usize,
     /// Lifecycle phase.
     pub phase: ConnPhase,
+    /// The peer half-closed (or the read side errored): no more input
+    /// arrives, but buffered requests are still served and replies
+    /// still flush before the connection closes.
+    pub eof: bool,
 }
 
 impl Conn {
@@ -71,6 +81,7 @@ impl Conn {
             frame_started: None,
             inflight: 0,
             phase: ConnPhase::Open,
+            eof: false,
         })
     }
 
@@ -89,7 +100,7 @@ impl Conn {
     /// queue unboundedly (`max_pipeline` bounds decoded-but-unanswered
     /// requests per connection; TCP backpressure does the rest).
     pub fn wants_read(&self, max_pipeline: usize) -> bool {
-        self.phase == ConnPhase::Open && self.inflight < max_pipeline
+        self.phase == ConnPhase::Open && !self.eof && self.inflight < max_pipeline
     }
 
     /// Deadline for the currently-incomplete frame, if one is pending.
@@ -99,6 +110,14 @@ impl Conn {
 
     /// Queues one encoded payload as a frame on the write buffer.
     pub fn queue_reply(&mut self, payload: &[u8]) {
+        // Every reply the server produces is bounded by construction
+        // (sample batches capped, error messages clamped); a violation
+        // here would make the client reject the server's own frame.
+        debug_assert!(
+            payload.len() <= wire::MAX_FRAME_LEN as usize,
+            "reply payload of {} bytes exceeds MAX_FRAME_LEN",
+            payload.len()
+        );
         // Compact the buffer opportunistically once everything queued
         // before has been flushed.
         if self.wpos == self.wbuf.len() {
@@ -143,10 +162,15 @@ impl Conn {
             Some((payload, consumed)) => {
                 let payload = payload.to_vec();
                 self.rbuf.drain(..consumed);
-                self.frame_started = if self.rbuf.is_empty() {
-                    None
-                } else {
+                // Only a genuinely incomplete remainder arms the
+                // slow-loris clock: complete frames left unparsed when
+                // the pipeline bound stops the parse loop are not a
+                // trickle, and timing them out would drop pipelined
+                // requests that are merely waiting for a slot.
+                self.frame_started = if self.head_is_partial() {
                     Some(now)
+                } else {
+                    None
                 };
                 Ok(Some(payload))
             }
@@ -159,6 +183,20 @@ impl Conn {
                 Ok(None)
             }
         }
+    }
+
+    /// Whether the head of the input buffer is a genuinely incomplete
+    /// frame — as opposed to empty, complete-but-unparsed (waiting for
+    /// a pipeline slot), or poisoned (the next parse raises the error).
+    fn head_is_partial(&self) -> bool {
+        !self.rbuf.is_empty() && matches!(wire::split_frame(&self.rbuf), Ok(None))
+    }
+
+    /// Whether the input buffer holds something the parse loop can act
+    /// on right now: a complete frame, or a poisoned prefix whose typed
+    /// error is still owed to the client.
+    fn has_parseable_input(&self) -> bool {
+        matches!(wire::split_frame(&self.rbuf), Ok(Some(_)) | Err(_))
     }
 
     /// Writes buffered replies until `WouldBlock` or the buffer drains.
@@ -180,9 +218,17 @@ impl Conn {
         true
     }
 
-    /// Whether the connection has fully shut down its work: draining
-    /// with nothing left to write and nothing in flight.
+    /// Whether the connection has fully shut down its work: nothing
+    /// left to write, nothing in flight, and — when the input side is
+    /// merely half-closed rather than poisoned — nothing parseable
+    /// still buffered (the half-close contract: every request received
+    /// before EOF is answered).
     pub fn drained(&self) -> bool {
-        self.phase == ConnPhase::Draining && !self.wants_write() && self.inflight == 0
+        let idle = !self.wants_write() && self.inflight == 0;
+        match self.phase {
+            ConnPhase::Draining => idle,
+            ConnPhase::Open => self.eof && idle && !self.has_parseable_input(),
+            ConnPhase::Closed => false, // reaped by phase, not by drained()
+        }
     }
 }

@@ -239,6 +239,14 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
 const TOKEN_LISTENER: u64 = 0;
 const TOKEN_WAKER: u64 = 1;
 
+/// Backoff after a failed `poll(2)` call, and how many consecutive
+/// failures are tolerated before the loop gives up: a persistent error
+/// (e.g. EINVAL from breaching the fd limit) must not spin the loop at
+/// 100% CPU, and if it never clears the server shuts down rather than
+/// hang unresponsively.
+const POLL_ERROR_BACKOFF: Duration = Duration::from_millis(10);
+const MAX_POLL_ERRORS: u32 = 100;
+
 struct EventLoop {
     listener: TcpListener,
     wake_rx: UnixStream,
@@ -258,6 +266,7 @@ struct EventLoop {
 
 impl EventLoop {
     fn run(mut self) {
+        let mut poll_errors: u32 = 0;
         while !self.shutdown.load(Ordering::SeqCst) {
             self.drain_completions();
             self.reap();
@@ -282,8 +291,23 @@ impl EventLoop {
                 .nearest_deadline()
                 .map(|deadline| deadline.saturating_duration_since(Instant::now()));
             let events = match self.poller.wait(timeout) {
-                Ok(events) => events,
-                Err(_) => continue,
+                Ok(events) => {
+                    poll_errors = 0;
+                    events
+                }
+                Err(e) => {
+                    poll_errors += 1;
+                    if poll_errors >= MAX_POLL_ERRORS {
+                        eprintln!(
+                            "plansample-serve: poll(2) failed {poll_errors} times in a row \
+                             ({e}); shutting down"
+                        );
+                        self.shutdown.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                    std::thread::sleep(POLL_ERROR_BACKOFF);
+                    continue;
+                }
             };
 
             let now = Instant::now();
@@ -321,19 +345,27 @@ impl EventLoop {
             let mut queue = self.completions.lock().expect("completion queue poisoned");
             std::mem::take(&mut *queue)
         };
+        let now = Instant::now();
         for completion in done {
             self.inflight_total -= 1;
-            if let Some(conn) = self.conns.get_mut(&completion.token) {
-                conn.inflight -= 1;
-                conn.queue_reply(&completion.payload);
-                // Opportunistic flush: most replies fit the socket
-                // buffer, so this saves a poll round trip per request.
-                if !conn.flush() {
-                    self.close(completion.token);
-                }
+            let Some(conn) = self.conns.get_mut(&completion.token) else {
+                // The connection died with the request in flight; the
+                // reply is dropped, never delivered to a reused token.
+                continue;
+            };
+            conn.inflight -= 1;
+            conn.queue_reply(&completion.payload);
+            // Opportunistic flush: most replies fit the socket
+            // buffer, so this saves a poll round trip per request.
+            if !conn.flush() {
+                self.close(completion.token);
+                continue;
             }
-            // else: the connection died with the request in flight; the
-            // reply is dropped, never delivered to a reused token.
+            // The freed pipeline slot may expose complete frames that
+            // are already buffered: a client that sent its whole burst
+            // (or half-closed) produces no further POLLIN, so this is
+            // the only place those frames can re-enter the parse loop.
+            self.parse_frames(completion.token, now);
         }
     }
 
@@ -405,15 +437,13 @@ impl EventLoop {
             return;
         };
         let alive = conn.fill();
-        self.parse_frames(token, now);
         if !alive {
-            if let Some(conn) = self.conns.get_mut(&token) {
-                // EOF: serve what was buffered, flush, then close.
-                if conn.phase == ConnPhase::Open {
-                    conn.phase = ConnPhase::Draining;
-                }
-            }
+            // EOF (or read error): no more input will arrive, but every
+            // request already buffered is still served and flushed
+            // before the connection closes (see `Conn::drained`).
+            conn.eof = true;
         }
+        self.parse_frames(token, now);
     }
 
     /// Decodes every complete frame buffered on `token`, enforcing the
@@ -464,13 +494,10 @@ impl EventLoop {
                 if self.inflight_total >= self.state.max_inflight() {
                     // Queue bound: shed instead of queueing unboundedly.
                     self.state.shed_queue.fetch_add(1, Ordering::Relaxed);
-                    let reply = Response::Error {
-                        code: ErrorCode::Overloaded,
-                        message: format!(
-                            "request queue at its {} bound",
-                            self.state.max_inflight()
-                        ),
-                    };
+                    let reply = Response::error(
+                        ErrorCode::Overloaded,
+                        format!("request queue at its {} bound", self.state.max_inflight()),
+                    );
                     conn.queue_reply(&reply.encode(request_id));
                     return;
                 }
@@ -509,8 +536,5 @@ fn wire_error_reply(e: &WireError) -> Response {
         WireError::UnknownOpcode(_) => ErrorCode::UnknownOpcode,
         _ => ErrorCode::BadRequest,
     };
-    Response::Error {
-        code,
-        message: e.to_string(),
-    }
+    Response::error(code, e.to_string())
 }

@@ -145,10 +145,10 @@ impl ServerState {
             }),
             Request::SampleBatch(wl, seed, k) => {
                 if *k > MAX_SAMPLE_BATCH {
-                    return Response::Error {
-                        code: ErrorCode::BadRequest,
-                        message: format!("batch of {k} exceeds the {MAX_SAMPLE_BATCH} bound"),
-                    };
+                    return Response::error(
+                        ErrorCode::BadRequest,
+                        format!("batch of {k} exceeds the {MAX_SAMPLE_BATCH} bound"),
+                    );
                 }
                 let (seed, k) = (*seed, *k);
                 self.with_prepared(wl, move |p, _| {
@@ -199,10 +199,9 @@ impl ServerState {
         match workload {
             Workload::Sql(sql) => {
                 let parsed = plansample_sql::parse(self.tpch.catalog(), sql).map_err(|e| {
-                    Box::new(Response::Error {
-                        code: ErrorCode::Sql,
-                        message: e.render(sql),
-                    })
+                    // `render` quotes the offending line; `error` clamps
+                    // it so the reply stays within the frame bound.
+                    Box::new(Response::error(ErrorCode::Sql, e.render(sql)))
                 })?;
                 // The front door serves plan-space operations; execution
                 // hints (USEPLAN) have no meaning here.
@@ -215,13 +214,13 @@ impl ServerState {
             } => {
                 let min = if *topology == Topology::Cycle { 3 } else { 2 };
                 if *relations < min || *relations > MAX_SYNTH_RELATIONS {
-                    return Err(Box::new(Response::Error {
-                        code: ErrorCode::BadRequest,
-                        message: format!(
+                    return Err(Box::new(Response::error(
+                        ErrorCode::BadRequest,
+                        format!(
                             "synthetic {} workload needs {min}..={MAX_SYNTH_RELATIONS} relations, got {relations}",
                             topology.name()
                         ),
-                    }));
+                    )));
                 }
                 let service = self.synth_service((*topology, *relations, *seed));
                 let spec = JoinGraphSpec::new(*topology, *relations as usize, *seed);
@@ -306,10 +305,7 @@ pub fn to_wire_plan(plan: &PlanNode) -> WirePlan {
 }
 
 fn overloaded(message: String) -> Response {
-    Response::Error {
-        code: ErrorCode::Overloaded,
-        message,
-    }
+    Response::error(ErrorCode::Overloaded, message)
 }
 
 fn error_response(e: &Error) -> Response {
@@ -317,8 +313,5 @@ fn error_response(e: &Error) -> Response {
         Error::Opt(_) => ErrorCode::Optimize,
         _ => ErrorCode::Space,
     };
-    Response::Error {
-        code,
-        message: e.to_string(),
-    }
+    Response::error(code, e.to_string())
 }

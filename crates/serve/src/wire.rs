@@ -44,6 +44,15 @@ pub const MAX_SAMPLE_BATCH: u32 = 4096;
 /// optimizer work a single `prepare` can demand.
 pub const MAX_SYNTH_RELATIONS: u16 = 10;
 
+/// Cap on the diagnostic `message` carried by [`Response::Error`].
+/// Error messages can embed client-controlled text — the SQL parser's
+/// diagnostic quotes the offending line — so without a cap a large
+/// request that is legal under [`MAX_FRAME_LEN`] could provoke a reply
+/// frame that violates it, and the client would then fail the
+/// connection on the server's own reply. Server-side error replies are
+/// built through [`Response::error`], which enforces this bound.
+pub const MAX_ERROR_MESSAGE_LEN: usize = 4096;
+
 /// Request id used by connection-level error replies, where the
 /// offending frame's id could not be read (bad version, oversized
 /// prefix). Ordinary requests may use any id; responses echo it.
@@ -601,6 +610,24 @@ impl Request {
 }
 
 impl Response {
+    /// Builds an error reply, clamping the message to
+    /// [`MAX_ERROR_MESSAGE_LEN`] (on a char boundary, marking the cut)
+    /// so the encoded reply always fits [`MAX_FRAME_LEN`] no matter how
+    /// much request text the diagnostic quotes.
+    pub fn error(code: ErrorCode, message: impl Into<String>) -> Response {
+        const MARKER: &str = "… [truncated]";
+        let mut message: String = message.into();
+        if message.len() > MAX_ERROR_MESSAGE_LEN {
+            let mut end = MAX_ERROR_MESSAGE_LEN - MARKER.len();
+            while !message.is_char_boundary(end) {
+                end -= 1;
+            }
+            message.truncate(end);
+            message.push_str(MARKER);
+        }
+        Response::Error { code, message }
+    }
+
     /// Encodes the response (header + body) as a frame payload.
     pub fn encode(&self, request_id: u64) -> Vec<u8> {
         let mut w = match self {
@@ -813,6 +840,38 @@ mod tests {
         let mut payload = Request::Stats.encode(1);
         payload.push(0);
         assert_eq!(Request::decode(&payload), Err(WireError::Trailing(1)));
+    }
+
+    #[test]
+    fn error_constructor_clamps_oversized_messages() {
+        // A diagnostic quoting a ~1MiB request line must still encode
+        // to a reply that fits the frame bound.
+        let huge = "x".repeat(2 * MAX_FRAME_LEN as usize);
+        let reply = Response::error(ErrorCode::Sql, huge);
+        let payload = reply.encode(1);
+        assert!(payload.len() <= MAX_FRAME_LEN as usize);
+        let (_, decoded) = Response::decode(&payload).unwrap();
+        match decoded {
+            Response::Error { code, message } => {
+                assert_eq!(code, ErrorCode::Sql);
+                assert!(message.len() <= MAX_ERROR_MESSAGE_LEN);
+                assert!(message.ends_with("[truncated]"));
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+
+        // The cut lands on a char boundary even mid-multibyte-sequence.
+        let multibyte = "é".repeat(MAX_ERROR_MESSAGE_LEN);
+        match Response::error(ErrorCode::Sql, multibyte) {
+            Response::Error { message, .. } => assert!(message.len() <= MAX_ERROR_MESSAGE_LEN),
+            other => panic!("expected Error, got {other:?}"),
+        }
+
+        // Short messages pass through untouched.
+        match Response::error(ErrorCode::BadRequest, "nope") {
+            Response::Error { message, .. } => assert_eq!(message, "nope"),
+            other => panic!("expected Error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -211,6 +211,116 @@ fn slow_loris_connection_is_closed_but_server_survives() {
 }
 
 #[test]
+fn pipelined_burst_beyond_pipeline_bound_is_fully_answered() {
+    // A burst larger than `max_pipeline` lands in the server's input
+    // buffer at once. The excess frames generate no further POLLIN, so
+    // they must be re-parsed as worker slots free up — and complete
+    // frames merely waiting for a slot must not trip the slow-loris
+    // deadline (250ms here, far shorter than the burst takes to drain
+    // through a pipeline of 4).
+    let handle = server::start(ServerConfig {
+        workers: 2,
+        max_pipeline: 4,
+        frame_timeout: Duration::from_millis(250),
+        ..ServerConfig::default()
+    })
+    .expect("server starts on an ephemeral port");
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut ids = std::collections::HashSet::new();
+    for _ in 0..32 {
+        let id = client
+            .send(&Request::Count(Workload::Sql(SQL.into())))
+            .expect("burst sends succeed");
+        ids.insert(id);
+    }
+    for _ in 0..ids.len() {
+        let (id, reply) = client.recv().expect("every pipelined request is answered");
+        assert!(ids.remove(&id), "unknown or duplicate reply id {id}");
+        assert!(matches!(reply, Response::Count(_)), "got {reply:?}");
+    }
+    assert!(ids.is_empty(), "unanswered requests: {ids:?}");
+    assert_still_serving(&handle);
+    handle.stop();
+}
+
+#[test]
+fn pipelined_burst_then_half_close_still_answers_everything() {
+    // Same burst, but the client half-closes right after sending: EOF
+    // must not discard the buffered requests — every one is answered,
+    // then the server closes cleanly.
+    let handle = server::start(ServerConfig {
+        workers: 2,
+        max_pipeline: 4,
+        frame_timeout: Duration::from_millis(250),
+        ..ServerConfig::default()
+    })
+    .expect("server starts on an ephemeral port");
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut expected = std::collections::HashSet::new();
+    for id in 1u64..=32 {
+        stream
+            .write_all(&wire::frame(&Request::Stats.encode(id)))
+            .unwrap();
+        expected.insert(id);
+    }
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    // Accumulate the whole reply stream until EOF, then parse: replies
+    // to a pipelined burst arrive many-per-read.
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!("read failed: {e}"),
+        }
+    }
+    while let Some((payload, consumed)) = wire::split_frame(&buf).expect("reply frames are valid") {
+        let (id, reply) = Response::decode(payload).expect("reply decodes");
+        assert!(expected.remove(&id), "unknown or duplicate reply id {id}");
+        assert!(matches!(reply, Response::Stats(_)), "got {reply:?}");
+        buf.drain(..consumed);
+    }
+    assert!(buf.is_empty(), "{} trailing reply bytes", buf.len());
+    assert!(
+        expected.is_empty(),
+        "requests dropped at half-close: {expected:?}"
+    );
+    assert_still_serving(&handle);
+    handle.stop();
+}
+
+#[test]
+fn huge_sql_error_reply_is_clamped_within_frame_bound() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    // A ~520KB single-line malformed query is legal under the request
+    // frame bound, but the parse diagnostic quotes the offending line
+    // (plus a caret line of equal width): unclamped, the reply would
+    // exceed MAX_FRAME_LEN and this very client would fail the
+    // connection on the server's own reply.
+    let sql = format!("SELECT * FROM {}", "x".repeat(520 * 1024));
+    match client.call(&Request::Count(Workload::Sql(sql))) {
+        Ok(Response::Error { code, message }) => {
+            assert_eq!(code, ErrorCode::Sql);
+            assert!(
+                message.len() <= wire::MAX_ERROR_MESSAGE_LEN,
+                "diagnostic not clamped: {} bytes",
+                message.len()
+            );
+        }
+        other => panic!("expected a typed SQL error, got {other:?}"),
+    }
+    assert_still_serving(&handle);
+    handle.stop();
+}
+
+#[test]
 fn concurrent_good_client_is_undisturbed_by_abuse() {
     let handle = start_server();
     let addr = handle.addr();
