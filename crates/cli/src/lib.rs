@@ -54,6 +54,9 @@ pub struct Cli {
     /// Worker threads for plan-space construction and batched sampling
     /// (`None`: `PLANSAMPLE_THREADS` or all cores).
     pub threads: Option<usize>,
+    /// Reactor (event-loop) threads for `serve`/`loadgen` servers
+    /// (`0`: one per available core).
+    pub reactors: usize,
 }
 
 /// CLI actions.
@@ -176,12 +179,14 @@ USAGE:
   counts, memo — the size the byte-budgeted cache charges).
 
   `serve` exposes the plan service over TCP (default 127.0.0.1:4141;
-  `--threads` sets the worker count) and blocks until killed. `loadgen`
-  drives a mixed TPC-H + synthetic workload — CONNS concurrent
-  connections, REQS requests each (default 100 x 50) — against ADDR,
-  or against a throwaway in-process server when ADDR is omitted. The
-  standalone `plansample-loadgen` binary adds report output and
-  validation (`--out` / `--validate`).
+  `--reactors` sets the event-loop count, `--threads` the worker pool
+  per reactor) and blocks until killed. `loadgen` drives a mixed TPC-H
+  + synthetic workload — CONNS concurrent connections, REQS requests
+  each (default 100 x 50) — against ADDR, or against a throwaway
+  in-process server when ADDR is omitted, and prints the per-reactor
+  counter breakdown from the server's stats. The standalone
+  `plansample-loadgen` binary adds report output and validation
+  (`--out` / `--validate` / `--prev` / `--scaling`).
 
 FLAGS:
   --cross-products   include Cartesian products in the space
@@ -190,6 +195,8 @@ FLAGS:
   --threads N        worker threads for plan-space construction and
                      batched sampling (default: PLANSAMPLE_THREADS,
                      else all cores)
+  --reactors N       event-loop threads for serve/loadgen servers
+                     (default: one per available core)
 
 Queries run against the TPC-H schema (region, nation, supplier,
 customer, part, partsupp, orders, lineitem) with SF-1 statistics and a
@@ -205,6 +212,7 @@ where
     let mut seed = 42u64;
     let mut orders = 120usize;
     let mut threads: Option<usize> = None;
+    let mut reactors = 0usize;
     let mut positional: Vec<String> = Vec::new();
 
     let mut iter = args.into_iter();
@@ -224,6 +232,15 @@ where
                     return Err(UsageError("--threads needs at least 1".into()));
                 }
                 threads = Some(n);
+            }
+            "--reactors" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| UsageError("--reactors needs a value".into()))?;
+                reactors = v
+                    .as_ref()
+                    .parse()
+                    .map_err(|_| UsageError(format!("bad --reactors value `{}`", v.as_ref())))?;
             }
             "--seed" => {
                 let v = iter
@@ -250,6 +267,7 @@ where
                     seed,
                     orders,
                     threads,
+                    reactors,
                 })
             }
             flag if flag.starts_with("--") => {
@@ -318,6 +336,7 @@ where
         seed,
         orders,
         threads,
+        reactors,
     })
 }
 
@@ -597,18 +616,24 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
 }
 
 /// The `serve` command: expose the plan service over TCP and block
-/// until the process is killed. Listens on `addr`; `--threads` sets the
-/// worker pool, `--cross-products` widens the plan spaces served.
+/// until the process is killed. Listens on `addr`; `--reactors` sets
+/// the event-loop count (0 = one per core), `--threads` the worker
+/// pool per reactor, `--cross-products` widens the plan spaces served.
 fn run_serve(cli: &Cli, addr: &str) -> Result<String, CliError> {
     let config = plansample_serve::ServerConfig {
         addr: addr.to_string(),
+        reactors: cli.reactors,
         workers: cli.threads.unwrap_or(4),
         cross_products: cli.cross_products,
         ..Default::default()
     };
     let handle = plansample_serve::server::start(config)
         .map_err(|e| CliError::Serve(format!("cannot listen on {addr}: {e}")))?;
-    eprintln!("plansample serving on {}", handle.addr());
+    eprintln!(
+        "plansample serving on {} with {} reactor(s)",
+        handle.addr(),
+        plansample_serve::server::resolve_reactors(cli.reactors)
+    );
     handle.join();
     Ok(String::new())
 }
@@ -629,6 +654,7 @@ fn run_loadgen(
             .map_err(|e| CliError::Serve(format!("bad address {addr:?}: {e}")))?,
         None => {
             let handle = plansample_serve::server::start(plansample_serve::ServerConfig {
+                reactors: cli.reactors,
                 workers: cli.threads.unwrap_or(4),
                 cross_products: cli.cross_products,
                 ..Default::default()
@@ -671,6 +697,23 @@ fn run_loadgen(
         report.latency_us(0.99),
         report.latency_us(0.999),
     );
+    if let Some(s) = &report.server {
+        let _ = writeln!(
+            out,
+            "server: requests {} (admitted {}, queue-shed {}) across {} reactor(s)",
+            s.requests,
+            s.requests_admitted,
+            s.shed_queue,
+            s.per_reactor.len()
+        );
+        for (i, r) in s.per_reactor.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  reactor {i}: requests {}  connections {}",
+                r.requests, r.connections
+            );
+        }
+    }
     if report.protocol_errors > 0 {
         return Err(CliError::Serve(format!(
             "{} protocol error(s) during the run:\n{out}",
@@ -838,6 +881,19 @@ mod tests {
     }
 
     #[test]
+    fn reactors_flag_parses_and_defaults_to_per_core() {
+        assert_eq!(parse_args(["serve", "127.0.0.1:0"]).unwrap().reactors, 0);
+        assert_eq!(
+            parse_args(["--reactors", "2", "serve", "127.0.0.1:0"])
+                .unwrap()
+                .reactors,
+            2
+        );
+        assert!(parse_args(["--reactors"]).is_err());
+        assert!(parse_args(["--reactors", "two", "serve", "127.0.0.1:0"]).is_err());
+    }
+
+    #[test]
     fn loadgen_command_runs_inline_cleanly() {
         let out = run(&cli(Command::Loadgen(3, 4, None))).unwrap();
         assert!(out.contains("sent 12  ok"), "{out}");
@@ -885,6 +941,7 @@ mod tests {
             seed: 42,
             orders: 60,
             threads: None,
+            reactors: 0,
         }
     }
 

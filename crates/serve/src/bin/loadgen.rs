@@ -10,7 +10,12 @@
 //!
 //! `--validate FILE` instead checks an existing report against the
 //! `BENCH_serving.json` schema and exits nonzero if it is malformed or
-//! records protocol errors.
+//! records protocol errors. `--prev FILE` additionally compares the
+//! fresh run against a committed previous artifact and fails on a >30%
+//! throughput regression at an equal reactor count (the CI
+//! perf-trajectory check). `--scaling` runs the inline workload at 1
+//! and 4 reactors and asserts >= 2x throughput on hosts with >= 4
+//! cores (skipped with a message on smaller hosts).
 
 use plansample_serve::loadgen::{self, LoadgenConfig};
 use plansample_serve::server::{self, ServerConfig};
@@ -23,6 +28,7 @@ plansample-loadgen: load-test a plan server
 USAGE:
     plansample-loadgen [OPTIONS]
     plansample-loadgen --validate FILE
+    plansample-loadgen --scaling [OPTIONS]
 
 OPTIONS:
     --inline              start a server in-process (default when --addr absent)
@@ -30,8 +36,13 @@ OPTIONS:
     --connections N       concurrent connections        [default: 100]
     --requests N          requests per connection       [default: 50]
     --seed S              workload seed                 [default: 42]
-    --workers N           inline server worker threads  [default: 4]
+    --reactors N          inline server reactor threads (0 = one per core)
+    --workers N           inline server worker threads per reactor [default: 4]
     --out FILE            write the JSON report here
+    --prev FILE           compare against a previous report (perf trajectory);
+                          fails on >30% throughput regression at equal reactors
+    --scaling             run inline at 1 and 4 reactors and check >=2x
+                          throughput (needs >=4 cores; skipped otherwise)
     --validate FILE       validate an existing report and exit
     --help                print this help
 ";
@@ -39,8 +50,11 @@ OPTIONS:
 struct Args {
     addr: Option<SocketAddr>,
     config: LoadgenConfig,
+    reactors: usize,
     workers: usize,
     out: Option<String>,
+    prev: Option<String>,
+    scaling: bool,
     validate: Option<String>,
 }
 
@@ -48,8 +62,11 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: None,
         config: LoadgenConfig::default(),
+        reactors: 0,
         workers: 4,
         out: None,
+        prev: None,
+        scaling: false,
         validate: None,
     };
     let mut it = std::env::args().skip(1);
@@ -77,11 +94,19 @@ fn parse_args() -> Result<Args, String> {
                 let v = value("--seed")?;
                 args.config.seed = v.parse().map_err(|e| format!("bad --seed {v:?}: {e}"))?;
             }
+            "--reactors" => {
+                let v = value("--reactors")?;
+                args.reactors = v
+                    .parse()
+                    .map_err(|e| format!("bad --reactors {v:?}: {e}"))?;
+            }
             "--workers" => {
                 let v = value("--workers")?;
                 args.workers = v.parse().map_err(|e| format!("bad --workers {v:?}: {e}"))?;
             }
             "--out" => args.out = Some(value("--out")?),
+            "--prev" => args.prev = Some(value("--prev")?),
+            "--scaling" => args.scaling = true,
             "--validate" => args.validate = Some(value("--validate")?),
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -93,7 +118,73 @@ fn parse_args() -> Result<Args, String> {
     if args.config.connections == 0 || args.config.requests_per_connection == 0 {
         return Err("--connections and --requests must be positive".into());
     }
+    if args.scaling && args.addr.is_some() {
+        return Err("--scaling starts its own inline servers; drop --addr".into());
+    }
     Ok(args)
+}
+
+fn inline_server(reactors: usize, workers: usize) -> Result<server::ServerHandle, ExitCode> {
+    server::start(ServerConfig {
+        reactors,
+        workers,
+        ..ServerConfig::default()
+    })
+    .map_err(|e| {
+        eprintln!("plansample-loadgen: failed to start inline server: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// `--scaling`: the multi-core acceptance check. Runs the same workload
+/// at 1 and 4 reactors; on a >=4-core host the 4-reactor run must
+/// sustain >= 2x the single-reactor throughput with zero protocol
+/// errors. On smaller hosts the assertion is skipped (with a message),
+/// because the reactors would just time-slice the same cores.
+fn run_scaling(args: &Args) -> ExitCode {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut throughput = Vec::new();
+    for reactors in [1usize, 4] {
+        let handle = match inline_server(reactors, args.workers) {
+            Ok(handle) => handle,
+            Err(code) => return code,
+        };
+        let report = loadgen::run(handle.addr(), &args.config);
+        handle.stop();
+        if report.protocol_errors > 0 {
+            eprintln!(
+                "scaling: run at {reactors} reactors recorded {} protocol errors",
+                report.protocol_errors
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "scaling: {reactors} reactors -> {:.0} req/s ({} replies in {:.3}s)",
+            report.throughput(),
+            report.replies(),
+            report.elapsed.as_secs_f64()
+        );
+        throughput.push(report.throughput());
+    }
+    if cores < 4 {
+        println!(
+            "scaling: SKIPPED the >=2x assertion — host has {cores} core(s), \
+             4 reactors cannot scale past the hardware"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let (single, quad) = (throughput[0], throughput[1]);
+    if quad < single * 2.0 {
+        eprintln!(
+            "scaling: FAILED — 4 reactors sustained {quad:.0} req/s, \
+             less than 2x the single-reactor {single:.0} req/s"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("scaling: OK — {quad:.0} req/s at 4 reactors vs {single:.0} at 1");
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -125,20 +216,31 @@ fn main() -> ExitCode {
         };
     }
 
+    if args.scaling {
+        return run_scaling(&args);
+    }
+
+    // The previous artifact is read *before* the run so `--out` over
+    // the same path (the CI pattern) cannot clobber the baseline first.
+    let prev = match &args.prev {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => Some(text),
+            Err(e) => {
+                eprintln!("plansample-loadgen: cannot read previous report {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
     // Resolve the target: an external server, or an inline one.
     let mut inline = None;
     let addr = match args.addr {
         Some(addr) => addr,
         None => {
-            let handle = match server::start(ServerConfig {
-                workers: args.workers,
-                ..ServerConfig::default()
-            }) {
+            let handle = match inline_server(args.reactors, args.workers) {
                 Ok(handle) => handle,
-                Err(e) => {
-                    eprintln!("plansample-loadgen: failed to start inline server: {e}");
-                    return ExitCode::FAILURE;
-                }
+                Err(code) => return code,
             };
             let addr = handle.addr();
             inline = Some(handle);
@@ -160,9 +262,10 @@ fn main() -> ExitCode {
         report.sent, report.ok, report.overloaded, report.app_errors, report.protocol_errors
     );
     println!(
-        "elapsed {:.3}s  throughput {:.0} req/s",
+        "elapsed {:.3}s  throughput {:.0} req/s  reactors {}",
         report.elapsed.as_secs_f64(),
-        report.throughput()
+        report.throughput(),
+        report.reactors
     );
     println!(
         "latency us  p50 {}  p90 {}  p99 {}  p999 {}  max {}",
@@ -177,6 +280,12 @@ fn main() -> ExitCode {
             "server      hits {}  misses {}  coalesced {}  shed_queue {}  shed_prepare {}  wire_errors {}",
             s.hits, s.misses, s.coalesced, s.shed_queue, s.shed_prepare, s.wire_errors
         );
+        for (i, r) in s.per_reactor.iter().enumerate() {
+            println!(
+                "reactor {i}   requests {}  connections {}",
+                r.requests, r.connections
+            );
+        }
     }
 
     let json = loadgen::report_json(&report);
@@ -186,6 +295,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("report written to {path}");
+    }
+
+    if let Some(prev) = prev {
+        match loadgen::compare_reports(&prev, &json) {
+            Ok(verdict) => println!("trajectory: {verdict}"),
+            Err(e) => {
+                eprintln!("plansample-loadgen: trajectory check failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     if report.protocol_errors > 0 || report.app_errors > 0 {

@@ -45,16 +45,31 @@ impl Json {
     }
 }
 
+/// What kind of scope is open (controls the closing bracket and
+/// whether members take keys).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScopeKind {
+    Obj,
+    Arr,
+}
+
+#[derive(Debug)]
+struct Scope {
+    kind: ScopeKind,
+    /// Whether the scope already has a member (comma control).
+    has_member: bool,
+}
+
 /// Incremental writer for one JSON object tree. Keys are written in
 /// insertion order, values must be pushed via the typed methods, and
 /// `finish` closes every open scope — so the output is well-formed by
-/// construction.
+/// construction. Inside an array scope (opened with [`ObjWriter::arr`])
+/// elements are pushed with the `elem_*` methods; everywhere else,
+/// members take keys.
 #[derive(Debug, Default)]
 pub struct ObjWriter {
     out: String,
-    /// Whether the current scope already has a member (comma control),
-    /// one per open scope.
-    has_member: Vec<bool>,
+    scopes: Vec<Scope>,
 }
 
 impl ObjWriter {
@@ -62,22 +77,40 @@ impl ObjWriter {
     pub fn new() -> Self {
         ObjWriter {
             out: "{".into(),
-            has_member: vec![false],
+            scopes: vec![Scope {
+                kind: ScopeKind::Obj,
+                has_member: false,
+            }],
         }
     }
 
     fn comma(&mut self) {
-        if let Some(last) = self.has_member.last_mut() {
-            if *last {
+        if let Some(last) = self.scopes.last_mut() {
+            if last.has_member {
                 self.out.push(',');
             }
-            *last = true;
+            last.has_member = true;
         }
     }
 
     fn key(&mut self, key: &str) {
+        debug_assert!(
+            !matches!(self.scopes.last(), Some(s) if s.kind == ScopeKind::Arr),
+            "keyed member inside an array scope"
+        );
         self.comma();
         let _ = write!(self.out, "{}:", quoted(key));
+    }
+
+    fn push_scope(&mut self, kind: ScopeKind) {
+        self.out.push(match kind {
+            ScopeKind::Obj => '{',
+            ScopeKind::Arr => '[',
+        });
+        self.scopes.push(Scope {
+            kind,
+            has_member: false,
+        });
     }
 
     /// Writes a string member.
@@ -108,22 +141,46 @@ impl ObjWriter {
     /// Opens a nested object member.
     pub fn obj(&mut self, key: &str) -> &mut Self {
         self.key(key);
-        self.out.push('{');
-        self.has_member.push(false);
+        self.push_scope(ScopeKind::Obj);
         self
     }
 
-    /// Closes the innermost nested object.
+    /// Opens a nested array member; fill it with the `elem_*` methods.
+    pub fn arr(&mut self, key: &str) -> &mut Self {
+        self.key(key);
+        self.push_scope(ScopeKind::Arr);
+        self
+    }
+
+    /// Opens an object as the next element of the enclosing array.
+    pub fn elem_obj(&mut self) -> &mut Self {
+        debug_assert!(
+            matches!(self.scopes.last(), Some(s) if s.kind == ScopeKind::Arr),
+            "array element outside an array scope"
+        );
+        self.comma();
+        self.push_scope(ScopeKind::Obj);
+        self
+    }
+
+    /// Closes the innermost nested scope.
     pub fn end(&mut self) -> &mut Self {
-        self.out.push('}');
-        self.has_member.pop();
+        if let Some(scope) = self.scopes.pop() {
+            self.out.push(match scope.kind {
+                ScopeKind::Obj => '}',
+                ScopeKind::Arr => ']',
+            });
+        }
         self
     }
 
     /// Closes every open scope and returns the document.
     pub fn finish(mut self) -> String {
-        while self.has_member.pop().is_some() {
-            self.out.push('}');
+        while let Some(scope) = self.scopes.pop() {
+            self.out.push(match scope.kind {
+                ScopeKind::Obj => '}',
+                ScopeKind::Arr => ']',
+            });
         }
         self.out
     }
@@ -319,6 +376,24 @@ mod tests {
             Some(1.25)
         );
         assert_eq!(parsed.get("name"), Some(&Json::Str("load \"test\"".into())));
+    }
+
+    #[test]
+    fn writer_arrays_reparse() {
+        let mut w = ObjWriter::new();
+        w.int("reactors", 2).arr("per_reactor");
+        for i in 0..2u64 {
+            w.elem_obj().int("index", i).int("requests", 10 * i).end();
+        }
+        w.end().int("after", 7);
+        let parsed = parse(&w.finish()).unwrap();
+        let arr = match parsed.get("per_reactor") {
+            Some(Json::Arr(items)) => items,
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[1].get("requests").and_then(Json::as_num), Some(10.0));
+        assert_eq!(parsed.get("after").and_then(Json::as_num), Some(7.0));
     }
 
     #[test]

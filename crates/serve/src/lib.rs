@@ -14,15 +14,17 @@
 //!   request ids, typed errors. Decoding is total (never panics) and
 //!   encoding is deterministic, which is what makes the network path
 //!   byte-for-byte reproducible.
-//! * [`reactor`] — a minimal readiness poller over `poll(2)`, vendored
-//!   so the event loop needs nothing beyond `std`.
+//! * [`reactor`] — a minimal readiness poller over `poll(2)` (vendored
+//!   so the event loops need nothing beyond `std`), and the
+//!   thread-per-core reactor built on it.
 //! * [`conn`] — the per-connection state machine: partial-frame
 //!   reassembly, partial-write buffering, slow-loris deadlines.
 //! * [`state`] — workload resolution (TPC-H SQL and synthetic join
 //!   graphs), request execution, and the two-layer admission control
 //!   that sheds with a typed `Overloaded` reply instead of queueing
-//!   unboundedly.
-//! * [`server`] — the event loop (one thread owns every socket) plus a
+//!   unboundedly — globally, across every reactor.
+//! * [`server`] — the acceptor (owns the listener, deals connections
+//!   round-robin to the reactors) plus N reactors, each with its own
 //!   small worker pool for the CPU-heavy requests.
 //! * [`client`] — a blocking reference client.
 //! * [`loadgen`] + [`json`] — the load generator behind
@@ -36,8 +38,9 @@
 //! deterministic optimizer, sampling randomness comes from the
 //! client-supplied seed, and floats travel as IEEE-754 bits. Two
 //! clients issuing the same request bytes get identical reply bytes —
-//! whether or not they share a cached artifact, and at any worker
-//! count.
+//! whether or not they share a cached artifact, and at any reactor or
+//! worker count: reactors shard *connections*, never workloads, and
+//! every preparation routes through the same singleflighted services.
 
 pub mod client;
 pub mod conn;
@@ -52,4 +55,4 @@ pub use client::{Client, ClientError};
 pub use loadgen::{LoadReport, LoadgenConfig};
 pub use server::{ServerConfig, ServerHandle};
 pub use state::{AdmissionConfig, ServerState};
-pub use wire::{ErrorCode, Request, Response, StatsReply, WireError, Workload};
+pub use wire::{ErrorCode, ReactorStats, Request, Response, StatsReply, WireError, Workload};

@@ -76,6 +76,9 @@ impl Default for LoadgenConfig {
 /// Aggregated outcome of a load run.
 #[derive(Debug, Clone, Default)]
 pub struct LoadReport {
+    /// Reactors the server ran, self-reported through the final stats
+    /// probe (`0` when the probe failed and the count is unknown).
+    pub reactors: usize,
     /// Connections that participated.
     pub connections: usize,
     /// Requests sent.
@@ -189,6 +192,11 @@ pub fn run(addr: SocketAddr, config: &LoadgenConfig) -> LoadReport {
             _ => None,
         }
     });
+    report.reactors = report
+        .server
+        .as_ref()
+        .map(|s| s.per_reactor.len())
+        .unwrap_or(0);
     report
 }
 
@@ -299,6 +307,7 @@ fn next_request(rng: &mut StdRng, totals: &HashMap<usize, Nat>) -> (Request, Opt
 pub fn report_json(report: &LoadReport) -> String {
     let mut w = ObjWriter::new();
     w.str("bench", "serving")
+        .int("reactors", report.reactors as u64)
         .int("connections", report.connections as u64)
         .int("requests_sent", report.sent)
         .int("replies", report.replies())
@@ -319,9 +328,11 @@ pub fn report_json(report: &LoadReport) -> String {
     if let Some(s) = &report.server {
         w.obj("server")
             .int("requests", s.requests)
+            .int("requests_admitted", s.requests_admitted)
             .int("shed_queue", s.shed_queue)
             .int("shed_prepare", s.shed_prepare)
             .int("wire_errors", s.wire_errors)
+            .int("accept_errors", s.accept_errors)
             .int("connections_total", s.connections_total)
             .int("hits", s.hits)
             .int("misses", s.misses)
@@ -330,7 +341,25 @@ pub fn report_json(report: &LoadReport) -> String {
             .int("entries", s.entries)
             .int("resident_bytes", s.resident_bytes)
             .int("synth_services", s.synth_services)
-            .end();
+            .int("synth_evictions", s.synth_evictions);
+        let secs = report.elapsed.as_secs_f64();
+        w.arr("per_reactor");
+        for (i, r) in s.per_reactor.iter().enumerate() {
+            w.elem_obj()
+                .int("index", i as u64)
+                .int("requests", r.requests)
+                .int("connections", r.connections)
+                .float(
+                    "reqs_per_sec",
+                    if secs > 0.0 {
+                        r.requests as f64 / secs
+                    } else {
+                        0.0
+                    },
+                )
+                .end();
+        }
+        w.end().end();
     }
     w.finish()
 }
@@ -345,6 +374,7 @@ pub fn validate_report(text: &str) -> Result<(), String> {
         return Err("missing or wrong \"bench\" marker".into());
     }
     for key in [
+        "reactors",
         "connections",
         "requests_sent",
         "replies",
@@ -383,7 +413,86 @@ pub fn validate_report(text: &str) -> Result<(), String> {
     if replies != sent {
         return Err(format!("{replies} replies for {sent} requests"));
     }
+    if let Some(server) = doc.get("server") {
+        let field = |key: &str| {
+            server
+                .get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("missing numeric field server.{key:?}"))
+        };
+        // The counter contract the reactors maintain: every decoded
+        // request is either admitted or queue-shed, never lost.
+        let (requests, admitted, shed) = (
+            field("requests")?,
+            field("requests_admitted")?,
+            field("shed_queue")?,
+        );
+        if requests != admitted + shed {
+            return Err(format!(
+                "counter invariant broken: {requests} requests != \
+                 {admitted} admitted + {shed} queue-shed"
+            ));
+        }
+        let per_reactor = match server.get("per_reactor") {
+            Some(Json::Arr(items)) => items,
+            _ => return Err("missing \"server.per_reactor\" array".into()),
+        };
+        let mut sum = 0.0;
+        for (i, r) in per_reactor.iter().enumerate() {
+            sum += r
+                .get("requests")
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("per_reactor[{i}] lacks numeric \"requests\""))?;
+        }
+        // Connections are pinned to one reactor for life, so the
+        // per-reactor shares must reproduce the global count exactly.
+        if sum != requests {
+            return Err(format!(
+                "per-reactor requests sum to {sum}, server counted {requests}"
+            ));
+        }
+    }
     Ok(())
+}
+
+/// Compares a fresh `BENCH_serving.json` against the committed previous
+/// run: the perf-trajectory check CI applies. Fails when the fresh
+/// throughput regressed more than 30% at an equal reactor count;
+/// reactor-count mismatches skip (different hardware shapes are not
+/// comparable). Returns a human-readable verdict on success.
+pub fn compare_reports(prev: &str, fresh: &str) -> Result<String, String> {
+    let prev = json::parse(prev).map_err(|e| format!("previous artifact: {e}"))?;
+    let fresh = json::parse(fresh).map_err(|e| format!("fresh artifact: {e}"))?;
+    let num = |doc: &Json, key: &str, which: &str| {
+        doc.get(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("{which} artifact lacks numeric {key:?}"))
+    };
+    // A previous artifact from before the schema carried reactor counts
+    // is a migration, not a regression: skip rather than fail.
+    let prev_reactors = match prev.get("reactors").and_then(Json::as_num) {
+        Some(n) => n,
+        None => return Ok("skipped: previous artifact predates reactor counts".into()),
+    };
+    let fresh_reactors = num(&fresh, "reactors", "fresh")?;
+    if prev_reactors != fresh_reactors {
+        return Ok(format!(
+            "skipped: reactor counts differ (previous {prev_reactors}, fresh {fresh_reactors})"
+        ));
+    }
+    let prev_rps = num(&prev, "throughput_rps", "previous")?;
+    let fresh_rps = num(&fresh, "throughput_rps", "fresh")?;
+    let floor = prev_rps * 0.7;
+    if fresh_rps < floor {
+        return Err(format!(
+            "throughput regressed more than 30% at {fresh_reactors} reactors: \
+             {fresh_rps:.0} req/s vs previous {prev_rps:.0} req/s (floor {floor:.0})"
+        ));
+    }
+    Ok(format!(
+        "throughput {fresh_rps:.0} req/s vs previous {prev_rps:.0} req/s \
+         at {fresh_reactors} reactors: within trajectory"
+    ))
 }
 
 #[cfg(test)]
@@ -421,6 +530,68 @@ mod tests {
         assert!(validate_report(&report_json(&dirty)).is_err());
         assert!(validate_report("{}").is_err());
         assert!(validate_report("not json").is_err());
+    }
+
+    #[test]
+    fn validation_enforces_counter_invariants() {
+        use crate::wire::ReactorStats;
+        let mut report = LoadReport {
+            reactors: 2,
+            connections: 4,
+            sent: 10,
+            ok: 10,
+            elapsed: Duration::from_millis(125),
+            latencies_us: vec![10, 20, 30],
+            server: Some(StatsReply {
+                requests: 10,
+                requests_admitted: 8,
+                shed_queue: 2,
+                per_reactor: vec![
+                    ReactorStats {
+                        requests: 6,
+                        connections: 2,
+                    },
+                    ReactorStats {
+                        requests: 4,
+                        connections: 2,
+                    },
+                ],
+                ..StatsReply::default()
+            }),
+            ..LoadReport::default()
+        };
+        validate_report(&report_json(&report)).unwrap();
+
+        // Break requests == admitted + shed_queue (the satellite-2 bug:
+        // queue-shed requests not counted).
+        report.server.as_mut().unwrap().requests = 8;
+        report.server.as_mut().unwrap().per_reactor[0].requests = 4;
+        let err = validate_report(&report_json(&report)).unwrap_err();
+        assert!(err.contains("counter invariant"), "got: {err}");
+
+        // Break the per-reactor decomposition.
+        report.server.as_mut().unwrap().requests = 10;
+        let err = validate_report(&report_json(&report)).unwrap_err();
+        assert!(err.contains("per-reactor"), "got: {err}");
+    }
+
+    #[test]
+    fn trajectory_compare_flags_regressions_at_equal_reactor_count() {
+        let artifact = |reactors: u64, rps: f64| {
+            format!("{{\"bench\":\"serving\",\"reactors\":{reactors},\"throughput_rps\":{rps}}}")
+        };
+        // Within 30%: passes.
+        compare_reports(&artifact(1, 1000.0), &artifact(1, 750.0)).unwrap();
+        // Beyond 30%: fails.
+        let err = compare_reports(&artifact(1, 1000.0), &artifact(1, 600.0)).unwrap_err();
+        assert!(err.contains("regressed"), "got: {err}");
+        // Different reactor counts: skipped, not failed.
+        let verdict = compare_reports(&artifact(1, 1000.0), &artifact(4, 100.0)).unwrap();
+        assert!(verdict.starts_with("skipped"), "got: {verdict}");
+        // Pre-reactor-schema previous artifact: a migration, skipped.
+        let old = "{\"bench\":\"serving\",\"throughput_rps\":1000}";
+        let verdict = compare_reports(old, &artifact(1, 100.0)).unwrap();
+        assert!(verdict.starts_with("skipped"), "got: {verdict}");
     }
 
     #[test]

@@ -1,14 +1,21 @@
-//! The serving front-end: a poll(2) event loop plus a worker pool.
+//! The serving front-end: an acceptor plus N thread-per-core reactors.
 //!
-//! One thread owns every socket and runs the readiness loop: it
-//! accepts, reads, frames, decodes, enforces the queue bound, and
-//! writes replies. Decoded requests are executed on a small worker
-//! pool (optimization and sampling must never block the loop); workers
-//! push encoded reply frames onto a completion queue and wake the loop
-//! through a socketpair. Connections are addressed by monotonically
-//! increasing tokens that are never reused, so a completion for a
-//! connection that died while its request was in flight is dropped on
-//! the floor instead of corrupting a newer connection.
+//! One acceptor thread owns the listener and nothing else: it accepts
+//! connections and deals them round-robin to the reactors through
+//! per-reactor mailboxes, waking the target reactor through its
+//! socketpair. Each reactor (see [`crate::reactor`]) owns its own
+//! `poll(2)` set, connection map, completion queue, and worker pool;
+//! a connection is pinned to its reactor for life, so no socket is
+//! ever shared between event loops. What *is* shared —
+//! [`ServerState`] — is shared through atomics and the singleflighted
+//! `PlanService`, which is exactly why the determinism contract (reply
+//! bytes are a pure function of request bytes) holds verbatim at every
+//! reactor count.
+//!
+//! Connections are addressed by per-reactor monotonically increasing
+//! tokens that are never reused, so a completion for a connection that
+//! died while its request was in flight is dropped on the floor
+//! instead of corrupting a newer connection.
 //!
 //! Fault handling follows the wire module's recoverability split:
 //! frames whose boundary is still trustworthy (unknown opcode,
@@ -19,15 +26,21 @@
 //! that sits incomplete longer than [`ServerConfig::frame_timeout`]
 //! (however slowly it trickles) closes the connection — the
 //! slow-loris defense.
+//!
+//! Persistent `accept(2)` failure (EMFILE/ENFILE during fd exhaustion)
+//! gets the same treatment as persistent `poll(2)` failure: the
+//! acceptor backs off instead of spinning on the level-triggered
+//! readable listener, counts the failure in `accept_errors`, and shuts
+//! the server down after `MAX_ACCEPT_ERRORS` consecutive failures.
 
-use crate::conn::{Conn, ConnPhase};
-use crate::reactor::{Interest, Poller};
+use crate::reactor::{
+    Completion, Interest, Job, Poller, Reactor, WakeSet, MAX_POLL_ERRORS, POLL_ERROR_BACKOFF,
+    TOKEN_WAKER,
+};
 use crate::state::{AdmissionConfig, ServerState};
-use crate::wire::{self, ErrorCode, Request, Response, WireError, CONNECTION_REQUEST_ID};
-use plansample_optimizer::OptimizerConfig;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -41,7 +54,9 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Listen address (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
-    /// Worker threads executing requests.
+    /// Reactor (event-loop) threads; `0` means one per available core.
+    pub reactors: usize,
+    /// Worker threads executing requests, *per reactor*.
     pub workers: usize,
     /// TPC-H service entry capacity.
     pub cache_entries: usize,
@@ -50,7 +65,7 @@ pub struct ServerConfig {
     /// Queue/preparation shedding thresholds.
     pub admission: AdmissionConfig,
     /// Decoded-but-unanswered requests allowed per connection before
-    /// the loop stops reading from it (pipelining bound).
+    /// the owning reactor stops reading from it (pipelining bound).
     pub max_pipeline: usize,
     /// How long a partial frame may sit incomplete before the
     /// connection is closed (slow-loris defense).
@@ -63,6 +78,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
+            reactors: 0,
             workers: 4,
             cache_entries: 64,
             byte_budget: None,
@@ -74,12 +90,22 @@ impl Default for ServerConfig {
     }
 }
 
+/// Resolves a `reactors` setting: `0` means one per available core.
+pub fn resolve_reactors(configured: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// A running server; dropping it shuts the server down.
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServerState>,
     shutdown: Arc<AtomicBool>,
-    waker: Mutex<UnixStream>,
+    wake_set: Arc<WakeSet>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -111,9 +137,7 @@ impl ServerHandle {
 
     fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        if let Ok(mut w) = self.waker.lock() {
-            let _ = w.write(&[1]);
-        }
+        self.wake_set.wake_all();
     }
 }
 
@@ -126,171 +150,83 @@ impl Drop for ServerHandle {
     }
 }
 
-/// A request in flight to the worker pool.
-struct Job {
-    token: u64,
-    request_id: u64,
-    request: Request,
+/// Sleep after a failed `accept(2)` call (the listener stays readable
+/// under level-triggered polling, so returning without this backoff
+/// spins the acceptor at 100% CPU for as long as the failure — fd
+/// exhaustion, typically — persists).
+const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(10);
+
+/// Consecutive `accept(2)` failures tolerated before the acceptor
+/// declares server-wide shutdown (mirrors [`MAX_POLL_ERRORS`]).
+const MAX_ACCEPT_ERRORS: u32 = 100;
+
+/// What to do after an `accept(2)` failure.
+#[derive(Debug, PartialEq, Eq)]
+enum AcceptVerdict {
+    /// Transient (so far): sleep [`ACCEPT_ERROR_BACKOFF`], then poll
+    /// again.
+    Backoff,
+    /// Persistent: shut the server down rather than hang half-alive.
+    GiveUp,
 }
 
-/// An encoded reply on its way back to the loop.
-struct Completion {
-    token: u64,
-    payload: Vec<u8>,
+/// The consecutive-failure policy for `accept(2)`, separated from the
+/// acceptor so the verdict sequence is unit-testable without forcing
+/// real fd exhaustion.
+#[derive(Debug, Default)]
+struct AcceptBackoff {
+    consecutive: u32,
 }
 
-/// Binds the listener and spawns the event loop + workers.
-pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
-    let listener = TcpListener::bind(&config.addr)?;
-    listener.set_nonblocking(true)?;
-    let addr = listener.local_addr()?;
-
-    let optimizer = if config.cross_products {
-        OptimizerConfig::with_cross_products()
-    } else {
-        OptimizerConfig::default()
-    };
-    let state = Arc::new(ServerState::new(
-        optimizer,
-        config.cache_entries,
-        config.byte_budget,
-        config.admission,
-    ));
-
-    let (wake_tx, wake_rx) = UnixStream::pair()?;
-    wake_rx.set_nonblocking(true)?;
-    // The write side must never block a worker: a full wake buffer
-    // already guarantees the loop will wake, so WouldBlock is ignored.
-    // (O_NONBLOCK lives on the shared open file description, so the
-    // per-worker clones inherit it.)
-    wake_tx.set_nonblocking(true)?;
-    let shutdown = Arc::new(AtomicBool::new(false));
-
-    let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
-    let jobs_rx = Arc::new(Mutex::new(jobs_rx));
-    let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
-
-    let mut threads = Vec::new();
-    for i in 0..config.workers.max(1) {
-        let jobs_rx = Arc::clone(&jobs_rx);
-        let completions = Arc::clone(&completions);
-        let state = Arc::clone(&state);
-        let mut waker = wake_tx.try_clone()?;
-        threads.push(
-            std::thread::Builder::new()
-                .name(format!("plansample-serve-worker-{i}"))
-                .spawn(move || loop {
-                    // Hold the receiver lock only while dequeuing.
-                    let job = match jobs_rx.lock().expect("job queue poisoned").recv() {
-                        Ok(job) => job,
-                        Err(_) => return, // loop exited, channel closed
-                    };
-                    let response = state.handle(&job.request);
-                    let payload = response.encode(job.request_id);
-                    completions
-                        .lock()
-                        .expect("completion queue poisoned")
-                        .push(Completion {
-                            token: job.token,
-                            payload,
-                        });
-                    let _ = waker.write(&[1]);
-                })?,
-        );
+impl AcceptBackoff {
+    fn on_success(&mut self) {
+        self.consecutive = 0;
     }
 
-    let loop_state = Arc::clone(&state);
-    let loop_shutdown = Arc::clone(&shutdown);
-    let loop_completions = Arc::clone(&completions);
-    let frame_timeout = config.frame_timeout;
-    let max_pipeline = config.max_pipeline.max(1);
-    threads.insert(
-        0,
-        std::thread::Builder::new()
-            .name("plansample-serve-loop".into())
-            .spawn(move || {
-                EventLoop {
-                    listener,
-                    wake_rx,
-                    conns: HashMap::new(),
-                    next_token: 2,
-                    poller: Poller::new(),
-                    state: loop_state,
-                    jobs_tx,
-                    completions: loop_completions,
-                    inflight_total: 0,
-                    shutdown: loop_shutdown,
-                    frame_timeout,
-                    max_pipeline,
-                }
-                .run();
-            })?,
-    );
-
-    Ok(ServerHandle {
-        addr,
-        state,
-        shutdown,
-        waker: Mutex::new(wake_tx),
-        threads,
-    })
+    fn on_error(&mut self) -> AcceptVerdict {
+        self.consecutive += 1;
+        if self.consecutive >= MAX_ACCEPT_ERRORS {
+            AcceptVerdict::GiveUp
+        } else {
+            AcceptVerdict::Backoff
+        }
+    }
 }
 
+/// One reactor's intake, as the acceptor sees it: push the stream,
+/// poke the waker.
+struct ReactorMailbox {
+    streams: Arc<Mutex<Vec<TcpStream>>>,
+    waker: Mutex<UnixStream>,
+}
+
+/// Token the acceptor's listener is registered under (its waker reuses
+/// the reactor-side [`TOKEN_WAKER`]).
 const TOKEN_LISTENER: u64 = 0;
-const TOKEN_WAKER: u64 = 1;
 
-/// Backoff after a failed `poll(2)` call, and how many consecutive
-/// failures are tolerated before the loop gives up: a persistent error
-/// (e.g. EINVAL from breaching the fd limit) must not spin the loop at
-/// 100% CPU, and if it never clears the server shuts down rather than
-/// hang unresponsively.
-const POLL_ERROR_BACKOFF: Duration = Duration::from_millis(10);
-const MAX_POLL_ERRORS: u32 = 100;
-
-struct EventLoop {
+/// The listener-owning thread: accepts and deals connections
+/// round-robin to the reactors.
+struct Acceptor {
     listener: TcpListener,
     wake_rx: UnixStream,
-    conns: HashMap<u64, Conn>,
-    next_token: u64,
-    poller: Poller,
+    mailboxes: Vec<ReactorMailbox>,
+    /// Round-robin cursor over `mailboxes`.
+    next: usize,
     state: Arc<ServerState>,
-    jobs_tx: mpsc::Sender<Job>,
-    completions: Arc<Mutex<Vec<Completion>>>,
-    /// Requests queued or executing across all connections (the queue
-    /// bound admission control enforces).
-    inflight_total: usize,
     shutdown: Arc<AtomicBool>,
-    frame_timeout: Duration,
-    max_pipeline: usize,
+    wake_set: Arc<WakeSet>,
+    backoff: AcceptBackoff,
 }
 
-impl EventLoop {
+impl Acceptor {
     fn run(mut self) {
+        let mut poller = Poller::new();
         let mut poll_errors: u32 = 0;
         while !self.shutdown.load(Ordering::SeqCst) {
-            self.drain_completions();
-            self.reap();
-
-            self.poller.clear();
-            self.poller
-                .register(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ);
-            self.poller
-                .register(self.wake_rx.as_raw_fd(), TOKEN_WAKER, Interest::READ);
-            for (&token, conn) in &self.conns {
-                self.poller.register(
-                    conn.stream().as_raw_fd(),
-                    token,
-                    Interest {
-                        readable: conn.wants_read(self.max_pipeline),
-                        writable: conn.wants_write(),
-                    },
-                );
-            }
-
-            let timeout = self
-                .nearest_deadline()
-                .map(|deadline| deadline.saturating_duration_since(Instant::now()));
-            let events = match self.poller.wait(timeout) {
+            poller.clear();
+            poller.register(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ);
+            poller.register(self.wake_rx.as_raw_fd(), TOKEN_WAKER, Interest::READ);
+            let events = match poller.wait(None) {
                 Ok(events) => {
                     poll_errors = 0;
                     events
@@ -299,131 +235,77 @@ impl EventLoop {
                     poll_errors += 1;
                     if poll_errors >= MAX_POLL_ERRORS {
                         eprintln!(
-                            "plansample-serve: poll(2) failed {poll_errors} times in a row \
-                             ({e}); shutting down"
+                            "plansample-serve: acceptor poll(2) failed {poll_errors} times \
+                             in a row ({e}); shutting down"
                         );
-                        self.shutdown.store(true, Ordering::SeqCst);
-                        break;
+                        self.give_up();
+                        return;
                     }
                     std::thread::sleep(POLL_ERROR_BACKOFF);
                     continue;
                 }
             };
-
-            let now = Instant::now();
             for event in events {
                 match event.token {
-                    TOKEN_LISTENER => self.accept_ready(),
-                    TOKEN_WAKER => self.drain_waker(),
-                    token => {
-                        if event.error {
-                            self.close(token);
-                            continue;
+                    TOKEN_LISTENER => {
+                        if !self.accept_burst() {
+                            return;
                         }
-                        if event.writable {
-                            if let Some(conn) = self.conns.get_mut(&token) {
-                                if !conn.flush() {
-                                    self.close(token);
-                                    continue;
-                                }
-                            }
+                    }
+                    _ => self.drain_waker(),
+                }
+            }
+        }
+    }
+
+    /// Accepts until `WouldBlock`. Returns `false` when persistent
+    /// accept failure forced server-wide shutdown.
+    fn accept_burst(&mut self) -> bool {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.backoff.on_success();
+                    self.dispatch(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    // EMFILE/ENFILE and friends: the listener stays
+                    // readable, so without a backoff this would spin.
+                    self.state.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    match self.backoff.on_error() {
+                        AcceptVerdict::Backoff => {
+                            std::thread::sleep(ACCEPT_ERROR_BACKOFF);
+                            return true;
                         }
-                        if event.readable {
-                            self.read_ready(token, now);
+                        AcceptVerdict::GiveUp => {
+                            eprintln!(
+                                "plansample-serve: accept(2) failed {} times in a row \
+                                 ({e}); shutting down",
+                                self.backoff.consecutive
+                            );
+                            self.give_up();
+                            return false;
                         }
                     }
                 }
             }
-            self.enforce_frame_deadlines(now);
-        }
-        // Dropping the sender closes the job channel; workers exit.
-    }
-
-    /// Moves finished replies into their connections' write buffers.
-    fn drain_completions(&mut self) {
-        let done: Vec<Completion> = {
-            let mut queue = self.completions.lock().expect("completion queue poisoned");
-            std::mem::take(&mut *queue)
-        };
-        let now = Instant::now();
-        for completion in done {
-            self.inflight_total -= 1;
-            let Some(conn) = self.conns.get_mut(&completion.token) else {
-                // The connection died with the request in flight; the
-                // reply is dropped, never delivered to a reused token.
-                continue;
-            };
-            conn.inflight -= 1;
-            conn.queue_reply(&completion.payload);
-            // Opportunistic flush: most replies fit the socket
-            // buffer, so this saves a poll round trip per request.
-            if !conn.flush() {
-                self.close(completion.token);
-                continue;
-            }
-            // The freed pipeline slot may expose complete frames that
-            // are already buffered: a client that sent its whole burst
-            // (or half-closed) produces no further POLLIN, so this is
-            // the only place those frames can re-enter the parse loop.
-            self.parse_frames(completion.token, now);
         }
     }
 
-    /// Closes connections that finished draining.
-    fn reap(&mut self) {
-        let done: Vec<u64> = self
-            .conns
-            .iter()
-            .filter(|(_, c)| c.phase == ConnPhase::Closed || c.drained())
-            .map(|(&t, _)| t)
-            .collect();
-        for token in done {
-            self.close(token);
-        }
-    }
-
-    fn nearest_deadline(&self) -> Option<Instant> {
-        self.conns
-            .values()
-            .filter_map(|c| c.frame_deadline())
-            .map(|started| started + self.frame_timeout)
-            .min()
-    }
-
-    fn enforce_frame_deadlines(&mut self, now: Instant) {
-        let expired: Vec<u64> = self
-            .conns
-            .iter()
-            .filter(|(_, c)| {
-                c.frame_deadline().is_some_and(|started| {
-                    now.saturating_duration_since(started) >= self.frame_timeout
-                })
-            })
-            .map(|(&t, _)| t)
-            .collect();
-        for token in expired {
-            // Slow-loris: the partial frame never completed in time.
-            self.close(token);
-        }
-    }
-
-    fn accept_ready(&mut self) {
-        loop {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    let Ok(conn) = Conn::new(stream) else {
-                        continue;
-                    };
-                    let token = self.next_token;
-                    self.next_token += 1;
-                    self.conns.insert(token, conn);
-                    self.state.connections_total.fetch_add(1, Ordering::Relaxed);
-                    self.state.connections_open.fetch_add(1, Ordering::Relaxed);
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => return,
-            }
+    /// Hands a fresh connection to the next reactor in rotation.
+    fn dispatch(&mut self, stream: TcpStream) {
+        let mailbox = &self.mailboxes[self.next % self.mailboxes.len()];
+        self.next = self.next.wrapping_add(1);
+        mailbox
+            .streams
+            .lock()
+            .expect("mailbox poisoned")
+            .push(stream);
+        if let Ok(mut w) = mailbox.waker.lock() {
+            // WouldBlock is ignored: a full pipe already guarantees
+            // the reactor will wake.
+            let _ = w.write(&[1]);
         }
     }
 
@@ -432,109 +314,209 @@ impl EventLoop {
         while matches!(self.wake_rx.read(&mut sink), Ok(n) if n > 0) {}
     }
 
-    fn read_ready(&mut self, token: u64, now: Instant) {
-        let Some(conn) = self.conns.get_mut(&token) else {
-            return;
-        };
-        let alive = conn.fill();
-        if !alive {
-            // EOF (or read error): no more input will arrive, but every
-            // request already buffered is still served and flushed
-            // before the connection closes (see `Conn::drained`).
-            conn.eof = true;
-        }
-        self.parse_frames(token, now);
-    }
-
-    /// Decodes every complete frame buffered on `token`, enforcing the
-    /// pipeline and queue bounds and the wire error policy.
-    fn parse_frames(&mut self, token: u64, now: Instant) {
-        loop {
-            let Some(conn) = self.conns.get_mut(&token) else {
-                return;
-            };
-            if conn.phase != ConnPhase::Open || conn.inflight >= self.max_pipeline {
-                return;
-            }
-            let payload = match conn.next_frame(now) {
-                Ok(Some(payload)) => payload,
-                Ok(None) => return,
-                Err(e) => {
-                    // Framing poisoned: typed reply, then drain.
-                    self.state.wire_errors.fetch_add(1, Ordering::Relaxed);
-                    let reply = wire_error_reply(&e);
-                    conn.queue_reply(&reply.encode(CONNECTION_REQUEST_ID));
-                    conn.phase = ConnPhase::Draining;
-                    return;
-                }
-            };
-            self.handle_payload(token, &payload);
-        }
-    }
-
-    fn handle_payload(&mut self, token: u64, payload: &[u8]) {
-        let header = wire::decode_header(payload);
-        let Some(conn) = self.conns.get_mut(&token) else {
-            return;
-        };
-        let (_, request_id) = match header {
-            Ok(pair) => pair,
-            Err(e) => {
-                self.state.wire_errors.fetch_add(1, Ordering::Relaxed);
-                let recoverable = e.is_recoverable();
-                conn.queue_reply(&wire_error_reply(&e).encode(CONNECTION_REQUEST_ID));
-                if !recoverable {
-                    conn.phase = ConnPhase::Draining;
-                }
-                return;
-            }
-        };
-        match Request::decode(payload) {
-            Ok((request_id, request)) => {
-                if self.inflight_total >= self.state.max_inflight() {
-                    // Queue bound: shed instead of queueing unboundedly.
-                    self.state.shed_queue.fetch_add(1, Ordering::Relaxed);
-                    let reply = Response::error(
-                        ErrorCode::Overloaded,
-                        format!("request queue at its {} bound", self.state.max_inflight()),
-                    );
-                    conn.queue_reply(&reply.encode(request_id));
-                    return;
-                }
-                conn.inflight += 1;
-                self.inflight_total += 1;
-                // The receiver outlives the loop (workers hold it);
-                // send cannot fail until shutdown, where replies are
-                // moot anyway.
-                let _ = self.jobs_tx.send(Job {
-                    token,
-                    request_id,
-                    request,
-                });
-            }
-            Err(e) => {
-                // The frame was well-delimited but the body was not a
-                // request: typed reply, connection keeps serving.
-                self.state.wire_errors.fetch_add(1, Ordering::Relaxed);
-                conn.queue_reply(&wire_error_reply(&e).encode(request_id));
-            }
-        }
-    }
-
-    fn close(&mut self, token: u64) {
-        if self.conns.remove(&token).is_some() {
-            self.state.connections_open.fetch_sub(1, Ordering::Relaxed);
-        }
+    fn give_up(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.wake_set.wake_all();
     }
 }
 
-/// The typed reply for a frame that failed to decode.
-fn wire_error_reply(e: &WireError) -> Response {
-    let code = match e {
-        WireError::Oversized(_) => ErrorCode::Oversized,
-        WireError::BadVersion(_) => ErrorCode::BadVersion,
-        WireError::UnknownOpcode(_) => ErrorCode::UnknownOpcode,
-        _ => ErrorCode::BadRequest,
+/// Binds the listener and spawns the acceptor, the reactors, and each
+/// reactor's worker pool.
+pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let optimizer = if config.cross_products {
+        plansample_optimizer::OptimizerConfig::with_cross_products()
+    } else {
+        plansample_optimizer::OptimizerConfig::default()
     };
-    Response::error(code, e.to_string())
+    let reactors = resolve_reactors(config.reactors);
+    let state = Arc::new(ServerState::new(
+        optimizer,
+        config.cache_entries,
+        config.byte_budget,
+        config.admission,
+        reactors,
+    ));
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    // One socketpair per event-loop thread (acceptor first). Both ends
+    // nonblocking: the read side so draining never stalls the loop,
+    // the write side so a full wake buffer never blocks a sender
+    // (O_NONBLOCK lives on the shared open file description, so
+    // per-sender clones inherit it).
+    let wake_pair = || -> io::Result<(UnixStream, UnixStream)> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok((tx, rx))
+    };
+    let (acceptor_wake_tx, acceptor_wake_rx) = wake_pair()?;
+    let mut reactor_wake = Vec::with_capacity(reactors);
+    for _ in 0..reactors {
+        reactor_wake.push(wake_pair()?);
+    }
+
+    // The acceptor needs each reactor's waker (for dispatch) and so do
+    // that reactor's workers (for completions) — clone before the
+    // originals move into the WakeSet.
+    let mut mailboxes = Vec::with_capacity(reactors);
+    let mut worker_wakers = Vec::with_capacity(reactors);
+    let mut mailbox_handles = Vec::with_capacity(reactors);
+    for (tx, _) in &reactor_wake {
+        let streams: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        mailbox_handles.push(Arc::clone(&streams));
+        mailboxes.push(ReactorMailbox {
+            streams,
+            waker: Mutex::new(tx.try_clone()?),
+        });
+        worker_wakers.push(tx.try_clone()?);
+    }
+    let mut wakers = vec![Mutex::new(acceptor_wake_tx)];
+    let mut wake_rxs = Vec::with_capacity(reactors);
+    for (tx, rx) in reactor_wake {
+        wakers.push(Mutex::new(tx));
+        wake_rxs.push(rx);
+    }
+    let wake_set = Arc::new(WakeSet(wakers));
+
+    let mut threads = Vec::new();
+    threads.push(
+        std::thread::Builder::new()
+            .name("plansample-serve-acceptor".into())
+            .spawn({
+                let state = Arc::clone(&state);
+                let shutdown = Arc::clone(&shutdown);
+                let wake_set = Arc::clone(&wake_set);
+                move || {
+                    Acceptor {
+                        listener,
+                        wake_rx: acceptor_wake_rx,
+                        mailboxes,
+                        next: 0,
+                        state,
+                        shutdown,
+                        wake_set,
+                        backoff: AcceptBackoff::default(),
+                    }
+                    .run();
+                }
+            })?,
+    );
+
+    let frame_timeout = config.frame_timeout;
+    let max_pipeline = config.max_pipeline.max(1);
+    for (index, wake_rx) in wake_rxs.into_iter().enumerate() {
+        let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
+        let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+        let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+
+        for w in 0..config.workers.max(1) {
+            let jobs_rx = Arc::clone(&jobs_rx);
+            let completions = Arc::clone(&completions);
+            let state = Arc::clone(&state);
+            let mut waker = worker_wakers[index].try_clone()?;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("plansample-serve-worker-{index}-{w}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only while dequeuing.
+                        let job = match jobs_rx.lock().expect("job queue poisoned").recv() {
+                            Ok(job) => job,
+                            Err(_) => return, // reactor exited, channel closed
+                        };
+                        let response = state.handle(&job.request);
+                        let payload = response.encode(job.request_id);
+                        completions
+                            .lock()
+                            .expect("completion queue poisoned")
+                            .push(Completion {
+                                token: job.token,
+                                payload,
+                            });
+                        let _ = waker.write(&[1]);
+                    })?,
+            );
+        }
+
+        let mailbox = Arc::clone(&mailbox_handles[index]);
+        let state = Arc::clone(&state);
+        let shutdown = Arc::clone(&shutdown);
+        let wake_set = Arc::clone(&wake_set);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("plansample-serve-reactor-{index}"))
+                .spawn(move || {
+                    Reactor {
+                        index,
+                        wake_rx,
+                        mailbox,
+                        conns: HashMap::new(),
+                        next_token: crate::reactor::FIRST_CONN_TOKEN,
+                        poller: Poller::new(),
+                        state,
+                        jobs_tx,
+                        completions,
+                        shutdown,
+                        wake_set,
+                        frame_timeout,
+                        max_pipeline,
+                        clock: Instant::now,
+                    }
+                    .run();
+                })?,
+        );
+    }
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        shutdown,
+        wake_set,
+        threads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_backoff_gives_up_only_after_the_bound() {
+        let mut backoff = AcceptBackoff::default();
+        for i in 1..MAX_ACCEPT_ERRORS {
+            assert_eq!(
+                backoff.on_error(),
+                AcceptVerdict::Backoff,
+                "failure #{i} must back off, not give up"
+            );
+        }
+        assert_eq!(
+            backoff.on_error(),
+            AcceptVerdict::GiveUp,
+            "failure #{MAX_ACCEPT_ERRORS} exhausts the tolerance"
+        );
+    }
+
+    #[test]
+    fn accept_backoff_resets_on_success() {
+        let mut backoff = AcceptBackoff::default();
+        for _ in 0..MAX_ACCEPT_ERRORS - 1 {
+            backoff.on_error();
+        }
+        backoff.on_success();
+        assert_eq!(
+            backoff.on_error(),
+            AcceptVerdict::Backoff,
+            "one success forgives the whole streak"
+        );
+    }
+
+    #[test]
+    fn resolve_reactors_zero_means_per_core() {
+        assert_eq!(resolve_reactors(3), 3);
+        assert!(resolve_reactors(0) >= 1);
+    }
 }

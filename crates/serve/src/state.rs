@@ -12,9 +12,10 @@
 //!
 //! Admission control (the `Overloaded` reply) is two-layered:
 //!
-//! 1. the event loop bounds the *queue* — requests beyond
-//!    `max_inflight` are answered `Overloaded` immediately instead of
-//!    queueing unboundedly (`shed_queue`), and
+//! 1. the reactors bound the *queue* — requests beyond `max_inflight`
+//!    (a single bound shared by every reactor, claimed through
+//!    [`ServerState::try_admit`]) are answered `Overloaded` immediately
+//!    instead of queueing unboundedly (`shed_queue`), and
 //! 2. this module bounds the *expensive work* — a request that would
 //!    have to optimize (its workload is not cached, probed with
 //!    [`PlanService::is_cached`]) is shed when the byte budget is
@@ -23,7 +24,7 @@
 //!    cheap no matter how hot the cache is.
 
 use crate::wire::{
-    ErrorCode, Request, Response, StatsReply, WirePlan, Workload, MAX_SAMPLE_BATCH,
+    ErrorCode, ReactorStats, Request, Response, StatsReply, WirePlan, Workload, MAX_SAMPLE_BATCH,
     MAX_SYNTH_RELATIONS,
 };
 use plansample_core::{Error, PlanService, PreparedQuery};
@@ -39,7 +40,8 @@ use std::sync::{Arc, Mutex};
 /// Admission-control knobs (see module docs).
 #[derive(Debug, Clone, Copy)]
 pub struct AdmissionConfig {
-    /// Maximum requests queued or executing before new ones are shed.
+    /// Maximum requests queued or executing — across every reactor —
+    /// before new ones are shed.
     pub max_inflight: usize,
     /// Maximum concurrent first preparations before uncached requests
     /// are shed.
@@ -47,6 +49,11 @@ pub struct AdmissionConfig {
     /// Shed uncached requests once the TPC-H service's resident bytes
     /// reach this fraction of its byte budget (when one is set).
     pub byte_high_water: f64,
+    /// Maximum synthetic services resident at once; the least recently
+    /// used is evicted past this bound, so a client cycling
+    /// `(topology, relations, seed)` triples cannot grow server memory
+    /// without limit.
+    pub max_synth_services: usize,
 }
 
 impl Default for AdmissionConfig {
@@ -55,28 +62,69 @@ impl Default for AdmissionConfig {
             max_inflight: 1024,
             max_prepares: 4,
             byte_high_water: 1.0,
+            max_synth_services: 32,
         }
     }
 }
 
-/// The serving state shared by the event loop and the worker pool.
+/// One reactor's slice of the request/connection counters, owned by
+/// [`ServerState`] so a stats snapshot can read every reactor's share
+/// without touching the reactor threads.
+#[derive(Debug, Default)]
+pub struct ReactorCounters {
+    /// Requests this reactor decoded (admitted or queue-shed).
+    pub requests: AtomicU64,
+    /// Connections handed to this reactor over the server's lifetime.
+    pub connections: AtomicU64,
+}
+
+/// The synthetic-service table behind [`ServerState::synth_service`]:
+/// an LRU-capped map of single-entry services keyed by spec. `tick`
+/// orders recency; it is bumped under the map's lock, so it needs no
+/// atomicity of its own.
+#[derive(Default)]
+struct SynthServices {
+    map: HashMap<(Topology, u16, u64), SynthEntry>,
+    tick: u64,
+}
+
+struct SynthEntry {
+    service: Arc<PlanService>,
+    last_used: u64,
+}
+
+/// The serving state shared by the reactors and the worker pools.
 pub struct ServerState {
     tpch: Arc<PlanService>,
-    synth: Mutex<HashMap<(Topology, u16, u64), Arc<PlanService>>>,
+    synth: Mutex<SynthServices>,
     admission: AdmissionConfig,
     byte_budget: Option<usize>,
-    /// Requests decoded and dispatched (including shed ones).
+    /// Requests decoded by the reactors, whether admitted or shed at
+    /// the queue bound; `requests == requests_admitted + shed_queue`
+    /// once the server is quiescent.
     pub requests: AtomicU64,
-    /// Requests shed at the queue bound (incremented by the event loop).
+    /// Requests that passed the queue bound and reached
+    /// [`ServerState::handle`].
+    pub requests_admitted: AtomicU64,
+    /// Requests shed at the queue bound (incremented by the reactors).
     pub shed_queue: AtomicU64,
     /// Requests shed at the preparation bound.
     pub shed_prepare: AtomicU64,
-    /// Frames that failed to decode (incremented by the event loop).
+    /// Frames that failed to decode (incremented by the reactors).
     pub wire_errors: AtomicU64,
-    /// Connections currently open (maintained by the event loop).
+    /// `accept(2)` failures other than `WouldBlock`/`EINTR`.
+    pub accept_errors: AtomicU64,
+    /// Connections currently open (maintained by the reactors).
     pub connections_open: AtomicU64,
     /// Connections accepted over the server's lifetime.
     pub connections_total: AtomicU64,
+    /// Synthetic services evicted to stay under the LRU cap.
+    pub synth_evictions: AtomicU64,
+    /// Requests queued or executing across all reactors — the count the
+    /// queue bound admits against (see [`ServerState::try_admit`]).
+    inflight: AtomicU64,
+    /// Per-reactor counter slices, indexed by reactor.
+    pub per_reactor: Vec<ReactorCounters>,
 }
 
 impl ServerState {
@@ -84,12 +132,13 @@ impl ServerState {
     ///
     /// `byte_budget` bounds the TPC-H service's resident artifact bytes
     /// (and participates in admission); `None` leaves it entry-bounded
-    /// only.
+    /// only. `reactors` sizes the per-reactor counter slices.
     pub fn new(
         config: OptimizerConfig,
         cache_entries: usize,
         byte_budget: Option<usize>,
         admission: AdmissionConfig,
+        reactors: usize,
     ) -> Self {
         let (catalog, _) = plansample_catalog::tpch::catalog();
         let tpch = Arc::new(PlanService::bounded(
@@ -100,21 +149,47 @@ impl ServerState {
         ));
         ServerState {
             tpch,
-            synth: Mutex::new(HashMap::new()),
+            synth: Mutex::new(SynthServices::default()),
             admission,
             byte_budget,
             requests: AtomicU64::new(0),
+            requests_admitted: AtomicU64::new(0),
             shed_queue: AtomicU64::new(0),
             shed_prepare: AtomicU64::new(0),
             wire_errors: AtomicU64::new(0),
+            accept_errors: AtomicU64::new(0),
             connections_open: AtomicU64::new(0),
             connections_total: AtomicU64::new(0),
+            synth_evictions: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            per_reactor: (0..reactors.max(1))
+                .map(|_| ReactorCounters::default())
+                .collect(),
         }
     }
 
-    /// The queue bound the event loop enforces.
+    /// The queue bound the reactors enforce.
     pub fn max_inflight(&self) -> usize {
         self.admission.max_inflight
+    }
+
+    /// Claims one slot of the global queue bound. Returns `false` (and
+    /// leaves the count unchanged) when the bound is already reached —
+    /// the caller sheds the request. Shared by every reactor, so the
+    /// bound holds across the whole server, not per event loop.
+    pub fn try_admit(&self) -> bool {
+        let prev = self.inflight.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.admission.max_inflight as u64 {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            return false;
+        }
+        true
+    }
+
+    /// Releases a slot claimed by [`ServerState::try_admit`] (called
+    /// when the reply drains back to its reactor).
+    pub fn release_inflight(&self) {
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
     }
 
     /// The TPC-H service (test observability).
@@ -123,9 +198,12 @@ impl ServerState {
     }
 
     /// Executes one decoded request. Infallible at this layer: every
-    /// failure becomes a typed [`Response::Error`].
+    /// failure becomes a typed [`Response::Error`]. Only requests that
+    /// passed the queue bound reach this point — queue-shed requests
+    /// are answered inside the reactor and counted in `shed_queue` (and
+    /// `requests`), never here.
     pub fn handle(&self, request: &Request) -> Response {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests_admitted.fetch_add(1, Ordering::Relaxed);
         match request {
             Request::Prepare(wl) => self.with_prepared(wl, |p, cached| Response::Prepared {
                 total: p.total().clone(),
@@ -232,14 +310,40 @@ impl ServerState {
 
     /// The (created-on-demand) service owning one synthetic spec.
     /// Synthetic services hold a single entry — the spec *is* the
-    /// query — so their footprint is exactly one artifact.
+    /// query — so their footprint is exactly one artifact, and the map
+    /// as a whole is LRU-bounded by `max_synth_services`: past the cap,
+    /// the least recently used spec's service is dropped (in-flight
+    /// preparations keep their `Arc` alive; only the cache slot goes).
     fn synth_service(&self, key: (Topology, u16, u64)) -> Arc<PlanService> {
         let mut synth = self.synth.lock().expect("synth map poisoned");
-        Arc::clone(synth.entry(key).or_insert_with(|| {
-            let spec = JoinGraphSpec::new(key.0, key.1 as usize, key.2);
-            let (catalog, _) = spec.build();
-            Arc::new(PlanService::new(catalog, self.tpch.config().clone(), 1))
-        }))
+        synth.tick += 1;
+        let tick = synth.tick;
+        if let Some(entry) = synth.map.get_mut(&key) {
+            entry.last_used = tick;
+            return Arc::clone(&entry.service);
+        }
+        let cap = self.admission.max_synth_services.max(1);
+        while synth.map.len() >= cap {
+            let oldest = synth
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+                .expect("map at cap is non-empty");
+            synth.map.remove(&oldest);
+            self.synth_evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        let spec = JoinGraphSpec::new(key.0, key.1 as usize, key.2);
+        let (catalog, _) = spec.build();
+        let service = Arc::new(PlanService::new(catalog, self.tpch.config().clone(), 1));
+        synth.map.insert(
+            key,
+            SynthEntry {
+                service: Arc::clone(&service),
+                last_used: tick,
+            },
+        );
+        service
     }
 
     /// Whether an uncached request must be shed right now, and the
@@ -272,14 +376,20 @@ impl ServerState {
         let tpch = self.tpch.stats();
         let (synth_services, synth_resident_bytes) = {
             let synth = self.synth.lock().expect("synth map poisoned");
-            let bytes: usize = synth.values().map(|s| s.stats().resident_bytes).sum();
-            (synth.len() as u64, bytes as u64)
+            let bytes: usize = synth
+                .map
+                .values()
+                .map(|e| e.service.stats().resident_bytes)
+                .sum();
+            (synth.map.len() as u64, bytes as u64)
         };
         StatsReply {
             requests: self.requests.load(Ordering::Relaxed),
+            requests_admitted: self.requests_admitted.load(Ordering::Relaxed),
             shed_queue: self.shed_queue.load(Ordering::Relaxed),
             shed_prepare: self.shed_prepare.load(Ordering::Relaxed),
             wire_errors: self.wire_errors.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
             connections_open: self.connections_open.load(Ordering::Relaxed),
             connections_total: self.connections_total.load(Ordering::Relaxed),
             hits: tpch.hits,
@@ -292,6 +402,15 @@ impl ServerState {
             inflight_prepares: tpch.inflight as u64,
             synth_services,
             synth_resident_bytes,
+            synth_evictions: self.synth_evictions.load(Ordering::Relaxed),
+            per_reactor: self
+                .per_reactor
+                .iter()
+                .map(|r| ReactorStats {
+                    requests: r.requests.load(Ordering::Relaxed),
+                    connections: r.connections.load(Ordering::Relaxed),
+                })
+                .collect(),
         }
     }
 }
@@ -314,4 +433,84 @@ fn error_response(e: &Error) -> Response {
         _ => ErrorCode::Space,
     };
     Response::error(code, e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(max_synth_services: usize) -> ServerState {
+        ServerState::new(
+            OptimizerConfig::default(),
+            4,
+            None,
+            AdmissionConfig {
+                max_synth_services,
+                ..AdmissionConfig::default()
+            },
+            2,
+        )
+    }
+
+    /// Cheap synthetic workload (2-relation chain) where only the seed
+    /// varies — the exact shape of the unbounded-growth attack.
+    fn chain(seed: u64) -> Request {
+        Request::Count(Workload::Synthetic {
+            topology: Topology::Chain,
+            relations: 2,
+            seed,
+        })
+    }
+
+    #[test]
+    fn synth_map_is_bounded_under_seed_cycling() {
+        let state = state(2);
+        for seed in 0..5 {
+            let reply = state.handle(&chain(seed));
+            assert!(matches!(reply, Response::Count(_)), "got {reply:?}");
+        }
+        let stats = state.stats();
+        assert_eq!(
+            stats.synth_services, 2,
+            "seed cycling must not grow the map past the cap"
+        );
+        assert_eq!(stats.synth_evictions, 3);
+        assert_eq!(stats.requests_admitted, 5);
+    }
+
+    #[test]
+    fn synth_eviction_order_is_least_recently_used() {
+        let state = state(2);
+        let evictions = || state.synth_evictions.load(Ordering::Relaxed);
+        state.handle(&chain(1));
+        state.handle(&chain(2));
+        state.handle(&chain(1)); // refresh 1: seed 2 is now the LRU
+        state.handle(&chain(3)); // evicts seed 2
+        assert_eq!(evictions(), 1);
+        state.handle(&chain(1)); // still resident: a hit, no eviction
+        assert_eq!(evictions(), 1);
+        state.handle(&chain(2)); // re-materializes: evicts seed 3
+        assert_eq!(evictions(), 2);
+        state.handle(&chain(1)); // the refreshed entry survived both
+        assert_eq!(evictions(), 2);
+    }
+
+    #[test]
+    fn global_queue_bound_admits_then_sheds() {
+        let tight = ServerState::new(
+            OptimizerConfig::default(),
+            4,
+            None,
+            AdmissionConfig {
+                max_inflight: 2,
+                ..AdmissionConfig::default()
+            },
+            1,
+        );
+        assert!(tight.try_admit());
+        assert!(tight.try_admit());
+        assert!(!tight.try_admit(), "third request exceeds the bound");
+        tight.release_inflight();
+        assert!(tight.try_admit(), "released slot is reusable");
+    }
 }

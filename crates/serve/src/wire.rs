@@ -27,8 +27,11 @@
 use plansample_bignum::Nat;
 use plansample_datagen::joingraph::Topology;
 
-/// Protocol version carried in every frame header.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Protocol version carried in every frame header. Version 2 widened
+/// [`StatsReply`] with admission/accept counters and the per-reactor
+/// breakdown; version 1 peers are rejected with a typed
+/// [`WireError::BadVersion`] reply rather than misdecoded.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Upper bound on a frame's payload length. Large enough for any
 /// response the server produces (plans are small trees; sample batches
@@ -222,19 +225,39 @@ impl ErrorCode {
     }
 }
 
-/// Counter snapshot carried by [`Response::Stats`]: the server's own
-/// counters plus its TPC-H [`plansample_core::ServiceStats`] and the
-/// synthetic-service aggregate.
+/// One reactor's share of the serving counters, carried inside
+/// [`StatsReply::per_reactor`]. Connections are pinned to a reactor for
+/// life, so summing these across reactors reproduces the global
+/// `requests` and `connections_total` counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct StatsReply {
-    /// Requests decoded and dispatched (including shed ones).
+pub struct ReactorStats {
+    /// Requests this reactor decoded (admitted or queue-shed).
     pub requests: u64,
+    /// Connections handed to this reactor over the server's lifetime.
+    pub connections: u64,
+}
+
+/// Counter snapshot carried by [`Response::Stats`]: the server's own
+/// counters plus its TPC-H [`plansample_core::ServiceStats`], the
+/// synthetic-service aggregate, and the per-reactor breakdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Requests decoded by the reactors — the sum of
+    /// [`StatsReply::requests_admitted`] and [`StatsReply::shed_queue`]
+    /// once the server is quiescent.
+    pub requests: u64,
+    /// Requests that passed the queue bound and reached the execution
+    /// layer.
+    pub requests_admitted: u64,
     /// Requests answered `Overloaded` because the queue was full.
     pub shed_queue: u64,
     /// Requests answered `Overloaded` because preparing was inadmissible.
     pub shed_prepare: u64,
     /// Frames that failed to decode (recoverable or fatal).
     pub wire_errors: u64,
+    /// `accept(2)` failures other than `WouldBlock`/`EINTR` (fd
+    /// exhaustion and kin); the acceptor backs off instead of spinning.
+    pub accept_errors: u64,
     /// Currently open connections.
     pub connections_open: u64,
     /// Connections accepted over the server's lifetime.
@@ -255,10 +278,14 @@ pub struct StatsReply {
     pub byte_budget: u64,
     /// TPC-H service: first preparations in flight.
     pub inflight_prepares: u64,
-    /// Synthetic services materialized.
+    /// Synthetic services currently resident (bounded by the LRU cap).
     pub synth_services: u64,
     /// Bytes resident across the synthetic services.
     pub synth_resident_bytes: u64,
+    /// Synthetic services evicted to stay under the LRU cap.
+    pub synth_evictions: u64,
+    /// Per-reactor counter breakdown, indexed by reactor.
+    pub per_reactor: Vec<ReactorStats>,
 }
 
 /// A server→client message. Every response echoes the request id of the
@@ -676,9 +703,11 @@ impl Response {
                 let mut w = header(0x86, request_id);
                 for v in [
                     s.requests,
+                    s.requests_admitted,
                     s.shed_queue,
                     s.shed_prepare,
                     s.wire_errors,
+                    s.accept_errors,
                     s.connections_open,
                     s.connections_total,
                     s.hits,
@@ -691,8 +720,14 @@ impl Response {
                     s.inflight_prepares,
                     s.synth_services,
                     s.synth_resident_bytes,
+                    s.synth_evictions,
                 ] {
                     w.u64(v);
+                }
+                w.u32(s.per_reactor.len() as u32);
+                for r in &s.per_reactor {
+                    w.u64(r.requests);
+                    w.u64(r.connections);
                 }
                 w
             }
@@ -752,25 +787,41 @@ impl Response {
                 Response::Samples(items)
             }
             0x86 => {
-                let mut next = || r.u64();
-                let s = StatsReply {
-                    requests: next()?,
-                    shed_queue: next()?,
-                    shed_prepare: next()?,
-                    wire_errors: next()?,
-                    connections_open: next()?,
-                    connections_total: next()?,
-                    hits: next()?,
-                    misses: next()?,
-                    coalesced: next()?,
-                    evictions: next()?,
-                    entries: next()?,
-                    resident_bytes: next()?,
-                    byte_budget: next()?,
-                    inflight_prepares: next()?,
-                    synth_services: next()?,
-                    synth_resident_bytes: next()?,
+                let mut s = {
+                    let mut next = || r.u64();
+                    StatsReply {
+                        requests: next()?,
+                        requests_admitted: next()?,
+                        shed_queue: next()?,
+                        shed_prepare: next()?,
+                        wire_errors: next()?,
+                        accept_errors: next()?,
+                        connections_open: next()?,
+                        connections_total: next()?,
+                        hits: next()?,
+                        misses: next()?,
+                        coalesced: next()?,
+                        evictions: next()?,
+                        entries: next()?,
+                        resident_bytes: next()?,
+                        byte_budget: next()?,
+                        inflight_prepares: next()?,
+                        synth_services: next()?,
+                        synth_resident_bytes: next()?,
+                        synth_evictions: next()?,
+                        per_reactor: Vec::new(),
+                    }
                 };
+                let n = r.count("reactor", 16)?;
+                s.per_reactor.reserve(n);
+                for _ in 0..n {
+                    let requests = r.u64()?;
+                    let connections = r.u64()?;
+                    s.per_reactor.push(ReactorStats {
+                        requests,
+                        connections,
+                    });
+                }
                 Response::Stats(s)
             }
             0xFF => {

@@ -65,24 +65,37 @@ fn arb_f64() -> impl Strategy<Value = f64> {
     any::<u64>().prop_map(f64::from_bits)
 }
 
+fn arb_reactor_stats() -> impl Strategy<Value = wire::ReactorStats> {
+    (any::<u64>(), any::<u64>()).prop_map(|(requests, connections)| wire::ReactorStats {
+        requests,
+        connections,
+    })
+}
+
 fn arb_stats() -> impl Strategy<Value = StatsReply> {
-    vec(any::<u64>(), 16).prop_map(|v| StatsReply {
-        requests: v[0],
-        shed_queue: v[1],
-        shed_prepare: v[2],
-        wire_errors: v[3],
-        connections_open: v[4],
-        connections_total: v[5],
-        hits: v[6],
-        misses: v[7],
-        coalesced: v[8],
-        evictions: v[9],
-        entries: v[10],
-        resident_bytes: v[11],
-        byte_budget: v[12],
-        inflight_prepares: v[13],
-        synth_services: v[14],
-        synth_resident_bytes: v[15],
+    (vec(any::<u64>(), 19), vec(arb_reactor_stats(), 0..6)).prop_map(|(v, per_reactor)| {
+        StatsReply {
+            requests: v[0],
+            requests_admitted: v[1],
+            shed_queue: v[2],
+            shed_prepare: v[3],
+            wire_errors: v[4],
+            accept_errors: v[5],
+            connections_open: v[6],
+            connections_total: v[7],
+            hits: v[8],
+            misses: v[9],
+            coalesced: v[10],
+            evictions: v[11],
+            entries: v[12],
+            resident_bytes: v[13],
+            byte_budget: v[14],
+            inflight_prepares: v[15],
+            synth_services: v[16],
+            synth_resident_bytes: v[17],
+            synth_evictions: v[18],
+            per_reactor,
+        }
     })
 }
 

@@ -6,6 +6,11 @@
 //! server-side cache counters then pin the singleflight property across
 //! the network: one optimization per distinct query, no matter how many
 //! connections raced for it.
+//!
+//! The whole herd runs at 1, 2, and 4 reactors: reactors shard
+//! connections, never workloads, so the reply bytes must be identical
+//! at every count, the singleflight counters must not move, and the
+//! per-reactor counters must sum exactly to the globals.
 
 use plansample::PlanService;
 use plansample_bignum::Nat;
@@ -21,6 +26,7 @@ use std::sync::{Barrier, Mutex};
 use std::time::Duration;
 
 const THREADS: usize = 8;
+const REACTOR_COUNTS: &[usize] = &[1, 2, 4];
 const SAMPLE_SEED: u64 = 0xDEAD_BEEF;
 const SAMPLE_K: u32 = 8;
 
@@ -114,13 +120,17 @@ fn expected_replies() -> HashMap<Vec<u8>, Vec<u8>> {
     expected
 }
 
-#[test]
-fn herd_of_clients_matches_in_process_api_bit_for_bit() {
-    let expected = expected_replies();
+/// Runs the full herd against a fresh server with `reactors` event
+/// loops and returns (request bytes -> deduplicated reply bytes). Every
+/// per-run invariant — reply correctness, singleflight, counter
+/// accounting — is asserted in here; the caller only compares the maps
+/// across reactor counts.
+fn run_herd(reactors: usize, expected: &HashMap<Vec<u8>, Vec<u8>>) -> HashMap<Vec<u8>, Vec<u8>> {
     // Admission raised so the herd's simultaneous *distinct* first
     // preparations are not shed — this test is about correctness and
     // coalescing, not shedding (serving_faults covers that).
     let handle = server::start(ServerConfig {
+        reactors,
         workers: 4,
         admission: AdmissionConfig {
             max_prepares: 64,
@@ -175,19 +185,23 @@ fn herd_of_clients_matches_in_process_api_bit_for_bit() {
         let want = expected.get(request).expect("request came from the op set");
         assert_eq!(replies.len(), THREADS);
         for got in replies {
-            assert_eq!(got, want, "network reply diverged from the in-process API");
+            assert_eq!(
+                got, want,
+                "network reply diverged from the in-process API at {reactors} reactors"
+            );
         }
     }
 
     // Singleflight through the network: the TPC-H service optimized
     // each distinct SQL query exactly once — every other preparation
-    // was a hit or coalesced onto the flight. Synthetic workloads get
-    // one single-entry service each.
+    // was a hit or coalesced onto the flight — no matter how many
+    // reactors the connections were sharded over. Synthetic workloads
+    // get one single-entry service each.
     let tpch = handle.state().tpch_service().stats();
     assert_eq!(
         tpch.misses,
         SQL_WORKLOADS.len() as u64,
-        "one optimization per distinct query, got {tpch:?}"
+        "one optimization per distinct query at {reactors} reactors, got {tpch:?}"
     );
     let stats = handle.state().stats();
     assert_eq!(stats.synth_services, SYNTH_WORKLOADS.len() as u64);
@@ -197,7 +211,54 @@ fn herd_of_clients_matches_in_process_api_bit_for_bit() {
     assert_eq!(
         stats.requests,
         (THREADS * workloads().len() * 4) as u64,
-        "every request reached the execution layer"
+        "every request was decoded"
+    );
+    // The admission ledger: everything decoded was either admitted or
+    // queue-shed, nothing fell between the counters.
+    assert_eq!(
+        stats.requests,
+        stats.requests_admitted + stats.shed_queue,
+        "admission ledger out of balance at {reactors} reactors: {stats:?}"
+    );
+    // Connections pin to one reactor for life, so the per-reactor
+    // breakdown sums exactly to the globals — no double counting, no
+    // leaks across the handoff.
+    assert_eq!(stats.per_reactor.len(), reactors);
+    let (req_sum, conn_sum) = stats.per_reactor.iter().fold((0u64, 0u64), |(r, c), s| {
+        (r + s.requests, c + s.connections)
+    });
+    assert_eq!(req_sum, stats.requests, "per-reactor requests don't sum");
+    assert_eq!(
+        conn_sum, stats.connections_total,
+        "per-reactor connections don't sum"
     );
     handle.stop();
+
+    observed
+        .into_iter()
+        .map(|(request, mut replies)| {
+            replies.dedup();
+            assert_eq!(replies.len(), 1, "replies diverged within one run");
+            (request, replies.pop().unwrap())
+        })
+        .collect()
+}
+
+#[test]
+fn herd_of_clients_matches_in_process_api_bit_for_bit_at_every_reactor_count() {
+    let expected = expected_replies();
+    let mut baseline: Option<HashMap<Vec<u8>, Vec<u8>>> = None;
+    for &reactors in REACTOR_COUNTS {
+        let observed = run_herd(reactors, &expected);
+        // Bit-for-bit across reactor counts: sharding connections over
+        // more event loops changes scheduling, never bytes.
+        match &baseline {
+            None => baseline = Some(observed),
+            Some(first) => assert_eq!(
+                first, &observed,
+                "reply bytes changed between {} and {reactors} reactors",
+                REACTOR_COUNTS[0]
+            ),
+        }
+    }
 }
