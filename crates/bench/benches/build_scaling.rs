@@ -14,7 +14,7 @@
 //!   plan-enumeration literature treats as interesting — where counts
 //!   need multiple `u64` limbs.
 //!
-//! Four acceptance checks are **asserted** so layout regressions fail CI
+//! Five acceptance checks are **asserted** so layout regressions fail CI
 //! (the `bench-smoke` job runs this bench in release, at both
 //! `PLANSAMPLE_THREADS=1` and `=4`):
 //!
@@ -27,7 +27,10 @@
 //!    multi-limb total, and round-trips ranks at its boundaries;
 //! 4. on machines with ≥ 4 cores, the parallel build is ≥ 2× faster at
 //!    4 threads than at 1 thread on that clique-10 memo (skipped — with
-//!    a notice — where the hardware cannot exhibit a speedup).
+//!    a notice — where the hardware cannot exhibit a speedup);
+//! 5. loading the clique-10 plan space from a persistent artifact
+//!    (`plansample-artifact`) is ≥ 20× faster than cold preparation and
+//!    answers `total`/`best`/`unrank` bit-identically.
 //!
 //! Measured numbers are recorded in `docs/EXPERIMENTS.md` §E10.
 
@@ -370,6 +373,82 @@ fn bench_build_scaling(c: &mut Criterion) {
         space.total(),
         space.total().limbs().len(),
         space.size_bytes() as f64 / space.memo().num_physical() as f64,
+    );
+
+    // --- Acceptance assertion 5: artifact load >= 20x cold prepare. -----
+    // A serve-fleet restart used to pay the cold path — synthesize the
+    // memo and rebuild the plan space — for every resident query. With
+    // persistent artifacts it pays one disk read + checksum + decode.
+    // This measures both on clique-10 and pins the artifact's whole
+    // reason to exist: load must be at least 20x faster than cold
+    // preparation, and the loaded space must answer identically.
+    let prepared = {
+        let s = PlanSpace::build_shared(Arc::clone(&memo), Arc::clone(&query)).unwrap();
+        let best = s.unrank(&Nat::zero()).unwrap();
+        let cost = best.total_cost(s.memo());
+        plansample::PreparedQuery::from_parts(
+            s,
+            best,
+            cost,
+            plansample_optimizer::OptimizerConfig::default(),
+        )
+        .unwrap()
+    };
+    let artifact_path = std::env::temp_dir().join(format!(
+        "plansample-bench-clique10-{}.plan",
+        std::process::id()
+    ));
+    let artifact_bytes =
+        plansample_artifact::save(&prepared, &artifact_path).expect("artifact saves");
+    let cold_secs = median_secs(
+        (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                let (_, query, memo) = spec.build_memo();
+                let s = PlanSpace::build_shared(Arc::new(memo), Arc::new(query)).unwrap();
+                std::hint::black_box(s.total().clone());
+                t.elapsed().as_secs_f64()
+            })
+            .collect(),
+    );
+    let load_secs = median_secs(
+        (0..7)
+            .map(|_| {
+                let t = Instant::now();
+                let p = plansample_artifact::load(&artifact_path).expect("artifact loads");
+                std::hint::black_box(p.total().clone());
+                t.elapsed().as_secs_f64()
+            })
+            .collect(),
+    );
+    let loaded = plansample_artifact::load(&artifact_path).expect("artifact loads");
+    let _ = std::fs::remove_file(&artifact_path);
+    assert_eq!(
+        loaded.total(),
+        space.total(),
+        "loaded artifact counts identically"
+    );
+    assert_eq!(
+        loaded.best().1.to_bits(),
+        prepared.best().1.to_bits(),
+        "loaded best cost diverged"
+    );
+    assert_eq!(
+        format!("{:?}", loaded.unrank(&Nat::zero()).unwrap()),
+        format!("{:?}", prepared.unrank(&Nat::zero()).unwrap()),
+        "loaded unrank(0) diverged"
+    );
+    let load_speedup = cold_secs / load_secs.max(1e-12);
+    println!(
+        "build_scaling/clique-10: cold prepare {:.0} ms vs artifact load {:.1} ms \
+         ({load_speedup:.0}x, {artifact_bytes} bytes on disk)",
+        cold_secs * 1e3,
+        load_secs * 1e3,
+    );
+    assert!(
+        load_speedup >= 20.0,
+        "loading a clique-10 artifact must be >= 20x faster than cold preparation; \
+         measured {load_speedup:.1}x ({cold_secs:.3}s cold, {load_secs:.4}s load)"
     );
 
     // --- Acceptance assertion 4: parallel build speedup on clique-10. ---

@@ -5,17 +5,23 @@
 //! — this binary optimizes the query against SF-1 TPC-H statistics,
 //! counts the exact plan space, draws 10 000 uniform plans, and reports
 //! min/mean/max scaled cost plus the fractions within 2× and 10× of the
-//! optimum.
+//! optimum. A second table attaches seeded-bootstrap 95% confidence
+//! intervals to the q01/q50/q99 scaled-cost quantiles — the sampling
+//! noise the headline numbers carry (999 resamples per row,
+//! deterministic in `EXPERIMENT_SEED`, recorded in
+//! `docs/EXPERIMENTS.md` §E1).
 //!
 //! ```text
 //! cargo run --release -p plansample-bench --bin table1
 //! ```
 
 use plansample_bench::{fmt_cost, join_queries, prepare, sample_scaled_costs, EXPERIMENT_SEED};
-use plansample_stats::Summary;
+use plansample_stats::{bootstrap_quantile_cis, Summary};
 use std::time::Instant;
 
 const SAMPLES: usize = 10_000;
+const CI_LEVELS: [f64; 3] = [0.01, 0.5, 0.99];
+const CI_REPLICATES: usize = 999;
 
 fn main() {
     let (catalog, _) = plansample_catalog::tpch::catalog();
@@ -28,6 +34,7 @@ fn main() {
         "Query", "#Plans", "Min", "Mean", "Max", "costs<=2", "costs<=10"
     );
 
+    let mut ci_rows: Vec<String> = Vec::new();
     for cross_products in [false, true] {
         for (name, query) in join_queries(&catalog) {
             let t0 = Instant::now();
@@ -47,6 +54,26 @@ fn main() {
                 100.0 * s.fraction_below(10.0),
                 t0.elapsed(),
             );
+            let cis =
+                bootstrap_quantile_cis(&costs, &CI_LEVELS, CI_REPLICATES, 0.95, EXPERIMENT_SEED)
+                    .expect("cost sample is non-empty");
+            let label = if cross_products {
+                format!("{name}+CP")
+            } else {
+                name.to_string()
+            };
+            ci_rows.push(format!(
+                "{label:<6} {}",
+                cis.iter()
+                    .map(|ci| format!(
+                        "{:>8} [{:>8}, {:>8}]",
+                        fmt_cost(ci.point),
+                        fmt_cost(ci.lo),
+                        fmt_cost(ci.hi)
+                    ))
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            ));
         }
         if !cross_products {
             println!("{:-<90}", "");
@@ -54,4 +81,16 @@ fn main() {
     }
     println!();
     println!("rows 1-4: no Cartesian products; rows 5-8: including Cartesian products");
+    println!();
+    println!(
+        "Scaled-cost quantiles with seeded-bootstrap 95% CIs \
+         ({CI_REPLICATES} resamples, percentile method):"
+    );
+    println!(
+        "{:<6} {:>28} {:>30} {:>30}",
+        "Query", "q01 [95% CI]", "q50 [95% CI]", "q99 [95% CI]"
+    );
+    for row in &ci_rows {
+        println!("{row}");
+    }
 }

@@ -57,6 +57,45 @@ pub struct Cli {
     /// Reactor (event-loop) threads for `serve`/`loadgen` servers
     /// (`0`: one per available core).
     pub reactors: usize,
+    /// Persistent artifact store directory for `serve` (write-through
+    /// persistence of every TPC-H preparation).
+    pub artifact_dir: Option<String>,
+    /// Warm the serving cache from `--artifact-dir` at startup.
+    pub warm: bool,
+    /// Per-reactor `SO_REUSEPORT` listeners for `serve` (falls back to
+    /// the round-robin acceptor with a logged message).
+    pub reuseport: bool,
+}
+
+/// The `artifact` subcommands: move prepared plan spaces on and off
+/// disk and examine the on-disk format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArtifactAction {
+    /// Prepare the query and publish it into a store directory.
+    Save {
+        /// Store directory (created if missing).
+        dir: String,
+        /// The query to prepare.
+        sql: String,
+    },
+    /// Load the query's artifact from a store and prove it serves.
+    Load {
+        /// Store directory.
+        dir: String,
+        /// The query whose artifact to look up.
+        sql: String,
+    },
+    /// Print one artifact file's section-level byte breakdown.
+    Inspect {
+        /// The `.plan` file to inspect.
+        file: String,
+    },
+    /// Fully decode one artifact file, reporting the typed error on
+    /// any corruption.
+    Verify {
+        /// The `.plan` file to verify.
+        file: String,
+    },
 }
 
 /// CLI actions.
@@ -83,6 +122,8 @@ pub enum Command {
     /// Load-test a server: connections, requests per connection, and
     /// the target address (`None` starts a throwaway in-process server).
     Loadgen(usize, usize, Option<String>),
+    /// Persist, load, inspect, or verify on-disk plan-space artifacts.
+    Artifact(ArtifactAction),
     /// Print usage.
     Help,
 }
@@ -111,6 +152,8 @@ pub enum CliError {
     Run(plansample::Error),
     /// The network server or load generator failed.
     Serve(String),
+    /// An artifact operation failed; the typed error says how.
+    Artifact(plansample_artifact::ArtifactError),
 }
 
 impl std::fmt::Display for CliError {
@@ -120,6 +163,7 @@ impl std::fmt::Display for CliError {
             CliError::Plan(msg) => write!(f, "invalid plan specification: {msg}"),
             CliError::Run(e) => write!(f, "{e}"),
             CliError::Serve(msg) => write!(f, "{msg}"),
+            CliError::Artifact(e) => write!(f, "{e}"),
         }
     }
 }
@@ -129,7 +173,14 @@ impl std::error::Error for CliError {
         match self {
             CliError::Sql(_) | CliError::Plan(_) | CliError::Serve(_) => None,
             CliError::Run(e) => e.source(),
+            CliError::Artifact(e) => e.source(),
         }
+    }
+}
+
+impl From<plansample_artifact::ArtifactError> for CliError {
+    fn from(e: plansample_artifact::ArtifactError) -> Self {
+        CliError::Artifact(e)
     }
 }
 
@@ -167,6 +218,10 @@ USAGE:
   plansample-cli [FLAGS] stats           \"SQL\"
   plansample-cli [FLAGS] serve           [ADDR]
   plansample-cli [FLAGS] loadgen         [CONNS REQS [ADDR]]
+  plansample-cli [FLAGS] artifact save    DIR  \"SQL\"
+  plansample-cli [FLAGS] artifact load    DIR  \"SQL\"
+  plansample-cli [FLAGS] artifact inspect FILE
+  plansample-cli [FLAGS] artifact verify  FILE
 
   PLAN is a plan tree in preorder as space-separated expression ids
   (`group.expr`, as printed by `memo` and `enumerate`), e.g.
@@ -188,6 +243,14 @@ USAGE:
   `plansample-loadgen` binary adds report output and validation
   (`--out` / `--validate` / `--prev` / `--scaling`).
 
+  `artifact save` prepares a query once and publishes the plan space
+  into a store directory; `load` proves the artifact round-trips;
+  `inspect` prints the file's section-level byte breakdown; `verify`
+  fully decodes it and reports the typed error on any corruption.
+  `serve --artifact-dir DIR` write-through-persists every TPC-H
+  preparation there, and `--warm` preloads the cache from the store at
+  startup, so restarts skip re-optimization entirely.
+
 FLAGS:
   --cross-products   include Cartesian products in the space
   --seed N           RNG seed (default 42)
@@ -197,6 +260,12 @@ FLAGS:
                      else all cores)
   --reactors N       event-loop threads for serve/loadgen servers
                      (default: one per available core)
+  --artifact-dir DIR persistent artifact store for `serve`
+                     (write-through persistence of preparations)
+  --warm             preload the serving cache from --artifact-dir
+  --reuseport        per-reactor SO_REUSEPORT listeners for `serve`
+                     (falls back to the round-robin acceptor where
+                     unsupported)
 
 Queries run against the TPC-H schema (region, nation, supplier,
 customer, part, partsupp, orders, lineitem) with SF-1 statistics and a
@@ -213,6 +282,9 @@ where
     let mut orders = 120usize;
     let mut threads: Option<usize> = None;
     let mut reactors = 0usize;
+    let mut artifact_dir: Option<String> = None;
+    let mut warm = false;
+    let mut reuseport = false;
     let mut positional: Vec<String> = Vec::new();
 
     let mut iter = args.into_iter();
@@ -220,6 +292,14 @@ where
         let arg = arg.as_ref();
         match arg {
             "--cross-products" => cross_products = true,
+            "--warm" => warm = true,
+            "--reuseport" => reuseport = true,
+            "--artifact-dir" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| UsageError("--artifact-dir needs a directory".into()))?;
+                artifact_dir = Some(v.as_ref().to_string());
+            }
             "--threads" => {
                 let v = iter
                     .next()
@@ -268,6 +348,9 @@ where
                     orders,
                     threads,
                     reactors,
+                    artifact_dir,
+                    warm,
+                    reuseport,
                 })
             }
             flag if flag.starts_with("--") => {
@@ -328,6 +411,33 @@ where
                 ))
             }
         },
+        Some("artifact") => {
+            let rest: Vec<&str> = positional[1..].iter().map(String::as_str).collect();
+            let action = match rest.as_slice() {
+                ["save", dir, sql] => ArtifactAction::Save {
+                    dir: dir.to_string(),
+                    sql: sql.to_string(),
+                },
+                ["load", dir, sql] => ArtifactAction::Load {
+                    dir: dir.to_string(),
+                    sql: sql.to_string(),
+                },
+                ["inspect", file] => ArtifactAction::Inspect {
+                    file: file.to_string(),
+                },
+                ["verify", file] => ArtifactAction::Verify {
+                    file: file.to_string(),
+                },
+                _ => {
+                    return Err(UsageError(
+                        "`artifact` takes `save DIR SQL`, `load DIR SQL`, \
+                         `inspect FILE`, or `verify FILE`"
+                            .into(),
+                    ))
+                }
+            };
+            Command::Artifact(action)
+        }
         Some(other) => return Err(UsageError(format!("unknown command `{other}`"))),
     };
     Ok(Cli {
@@ -337,6 +447,9 @@ where
         orders,
         threads,
         reactors,
+        artifact_dir,
+        warm,
+        reuseport,
     })
 }
 
@@ -436,12 +549,14 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
     if let Some(n) = cli.threads {
         threadpool::set_num_threads(n);
     }
-    // The network commands take no SQL; they branch before the parse.
+    // The network and artifact commands parse their own input (or
+    // none); they branch before the shared SQL parse.
     match &cli.command {
         Command::Serve(addr) => return run_serve(cli, addr),
         Command::Loadgen(conns, reqs, addr) => {
             return run_loadgen(cli, *conns, *reqs, addr.as_deref())
         }
+        Command::Artifact(action) => return run_artifact(cli, action),
         _ => {}
     }
     let (catalog, tables) = plansample_catalog::tpch::catalog();
@@ -460,7 +575,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
         | Command::Rank(_, s)
         | Command::Memo(s)
         | Command::Stats(s) => s.clone(),
-        Command::Help | Command::Serve(_) | Command::Loadgen(..) => {
+        Command::Help | Command::Serve(_) | Command::Loadgen(..) | Command::Artifact(_) => {
             unreachable!("handled above")
         }
     };
@@ -485,7 +600,11 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
     let mut out = String::new();
 
     match &cli.command {
-        Command::Help | Command::Stats(_) | Command::Serve(_) | Command::Loadgen(..) => {
+        Command::Help
+        | Command::Stats(_)
+        | Command::Serve(_)
+        | Command::Loadgen(..)
+        | Command::Artifact(_) => {
             unreachable!("handled above")
         }
         Command::Count(_) => {
@@ -517,6 +636,21 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
                 }
             }
             let _ = writeln!(out, "{}", outcome.plan_text);
+            if !parsed.order_by.is_empty() {
+                // Reconstruct the executed plan (the outcome carries only
+                // its text) and check the delivered order against the
+                // requested one.
+                let plan = match &outcome.rank {
+                    Some(rank) => prepared.unrank(rank)?,
+                    None => prepared.best().0.clone(),
+                };
+                let verdict = if prepared.satisfies_order(&plan, &parsed.order_by) {
+                    "delivered"
+                } else {
+                    "NOT delivered (an explicit sort would be required)"
+                };
+                let _ = writeln!(out, "requested order: {verdict}");
+            }
             let _ = write!(out, "{}", render_table(&outcome.table, 20));
         }
         Command::Sample(k, _) => {
@@ -625,6 +759,9 @@ fn run_serve(cli: &Cli, addr: &str) -> Result<String, CliError> {
         reactors: cli.reactors,
         workers: cli.threads.unwrap_or(4),
         cross_products: cli.cross_products,
+        artifact_dir: cli.artifact_dir.clone().map(Into::into),
+        warm: cli.warm,
+        reuseport: cli.reuseport,
         ..Default::default()
     };
     let handle = plansample_serve::server::start(config)
@@ -799,6 +936,106 @@ fn run_stats(
     Ok(out)
 }
 
+/// The `artifact` command family: publish a prepared plan space into a
+/// store directory, load it back, and examine the on-disk format —
+/// the operational workflow behind `serve --artifact-dir --warm`.
+fn run_artifact(cli: &Cli, action: &ArtifactAction) -> Result<String, CliError> {
+    use plansample_artifact::{ArtifactError, ArtifactStore};
+
+    let prepare = |sql: &str| -> Result<
+        (plansample_query::QuerySpec, OptimizerConfig, PreparedQuery),
+        CliError,
+    > {
+        let (catalog, _) = plansample_catalog::tpch::catalog();
+        let config = if cli.cross_products {
+            OptimizerConfig::with_cross_products()
+        } else {
+            OptimizerConfig::default()
+        };
+        let parsed =
+            plansample_sql::parse(&catalog, sql).map_err(|e| CliError::Sql(e.render(sql)))?;
+        let prepared = PreparedQuery::prepare(&catalog, &parsed.spec, &config)?;
+        Ok((parsed.spec, config, prepared))
+    };
+
+    let mut out = String::new();
+    match action {
+        ArtifactAction::Save { dir, sql } => {
+            let (_, _, prepared) = prepare(sql)?;
+            let store = ArtifactStore::open(dir)?;
+            let path = store.save(&prepared)?;
+            let bytes = std::fs::metadata(&path)
+                .map(|m| m.len())
+                .map_err(ArtifactError::from)?;
+            let _ = writeln!(
+                out,
+                "published {} ({bytes} bytes, {} plans over {} groups / {} physical expressions)",
+                path.display(),
+                prepared.total(),
+                prepared.memo().num_groups(),
+                prepared.memo().num_physical()
+            );
+        }
+        ArtifactAction::Load { dir, sql } => {
+            // Preparing here would defeat the point; only the parse and
+            // the load run, so a hit proves the artifact alone serves.
+            let (catalog, _) = plansample_catalog::tpch::catalog();
+            let config = if cli.cross_products {
+                OptimizerConfig::with_cross_products()
+            } else {
+                OptimizerConfig::default()
+            };
+            let parsed =
+                plansample_sql::parse(&catalog, sql).map_err(|e| CliError::Sql(e.render(sql)))?;
+            let store = ArtifactStore::open(dir)?;
+            let loaded = store.load(&parsed.spec, &config)?.ok_or_else(|| {
+                CliError::Artifact(ArtifactError::Io(std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    format!("no artifact for this query + config under {dir}"),
+                )))
+            })?;
+            let (_, best_cost) = loaded.best();
+            let _ = writeln!(
+                out,
+                "loaded {} plans over {} groups / {} physical expressions \
+                 (best cost {best_cost:.0}) without re-optimizing",
+                loaded.total(),
+                loaded.memo().num_groups(),
+                loaded.memo().num_physical()
+            );
+        }
+        ArtifactAction::Inspect { file } => {
+            let bytes = std::fs::read(file).map_err(ArtifactError::from)?;
+            let info = plansample_artifact::inspect(&bytes)?;
+            let _ = writeln!(
+                out,
+                "{file}: format v{}, {} bytes, fingerprint {}",
+                info.version, info.total_bytes, info.fingerprint
+            );
+            let _ = writeln!(out, "\n  section    offset        bytes      checksum");
+            for s in &info.sections {
+                let _ = writeln!(
+                    out,
+                    "  {:<8} {:>8} {:>12}  {:016x}",
+                    s.name, s.offset, s.len, s.checksum
+                );
+            }
+        }
+        ArtifactAction::Verify { file } => {
+            let bytes = std::fs::read(file).map_err(ArtifactError::from)?;
+            let prepared = plansample_artifact::decode(&bytes)?;
+            let _ = writeln!(
+                out,
+                "OK: {file} decodes to {} plans over {} groups / {} physical expressions",
+                prepared.total(),
+                prepared.memo().num_groups(),
+                prepared.memo().num_physical()
+            );
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -894,6 +1131,113 @@ mod tests {
     }
 
     #[test]
+    fn parses_artifact_commands_and_serve_flags() {
+        assert_eq!(
+            parse_args(["artifact", "save", "/tmp/store", "SELECT * FROM nation"])
+                .unwrap()
+                .command,
+            Command::Artifact(ArtifactAction::Save {
+                dir: "/tmp/store".into(),
+                sql: "SELECT * FROM nation".into()
+            })
+        );
+        assert_eq!(
+            parse_args(["artifact", "inspect", "f.plan"])
+                .unwrap()
+                .command,
+            Command::Artifact(ArtifactAction::Inspect {
+                file: "f.plan".into()
+            })
+        );
+        assert_eq!(
+            parse_args(["artifact", "verify", "f.plan"])
+                .unwrap()
+                .command,
+            Command::Artifact(ArtifactAction::Verify {
+                file: "f.plan".into()
+            })
+        );
+        let cli = parse_args([
+            "--artifact-dir",
+            "/tmp/store",
+            "--warm",
+            "--reuseport",
+            "serve",
+            "127.0.0.1:0",
+        ])
+        .unwrap();
+        assert_eq!(cli.artifact_dir.as_deref(), Some("/tmp/store"));
+        assert!(cli.warm);
+        assert!(cli.reuseport);
+        assert!(parse_args(["artifact"]).is_err());
+        assert!(parse_args(["artifact", "save", "/tmp/x"]).is_err());
+        assert!(parse_args(["artifact", "frobnicate", "f"]).is_err());
+        assert!(parse_args(["--artifact-dir"]).is_err());
+    }
+
+    #[test]
+    fn artifact_save_load_inspect_verify_workflow() {
+        let dir =
+            std::env::temp_dir().join(format!("plansample-cli-artifact-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap().to_string();
+
+        // A load before any save is a clean, typed miss.
+        let err = run(&cli(Command::Artifact(ArtifactAction::Load {
+            dir: dir_s.clone(),
+            sql: TWO_WAY.into(),
+        })))
+        .unwrap_err();
+        assert!(err.to_string().contains("no artifact"), "{err}");
+
+        let out = run(&cli(Command::Artifact(ArtifactAction::Save {
+            dir: dir_s.clone(),
+            sql: TWO_WAY.into(),
+        })))
+        .unwrap();
+        assert!(out.contains("published"), "{out}");
+        let path = out
+            .split_whitespace()
+            .nth(1)
+            .expect("published <path> ...")
+            .to_string();
+
+        let out = run(&cli(Command::Artifact(ArtifactAction::Load {
+            dir: dir_s.clone(),
+            sql: TWO_WAY.into(),
+        })))
+        .unwrap();
+        assert!(out.contains("without re-optimizing"), "{out}");
+
+        let out = run(&cli(Command::Artifact(ArtifactAction::Inspect {
+            file: path.clone(),
+        })))
+        .unwrap();
+        for section in ["meta", "query", "config", "memo", "links", "counts", "best"] {
+            assert!(out.contains(section), "missing `{section}` in:\n{out}");
+        }
+
+        let out = run(&cli(Command::Artifact(ArtifactAction::Verify {
+            file: path.clone(),
+        })))
+        .unwrap();
+        assert!(out.starts_with("OK:"), "{out}");
+
+        // Corrupt the file: verify must fail with the typed checksum
+        // error, surfaced through the CLI error chain.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = run(&cli(Command::Artifact(ArtifactAction::Verify {
+            file: path,
+        })))
+        .unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn loadgen_command_runs_inline_cleanly() {
         let out = run(&cli(Command::Loadgen(3, 4, None))).unwrap();
         assert!(out.contains("sent 12  ok"), "{out}");
@@ -942,6 +1286,9 @@ mod tests {
             orders: 60,
             threads: None,
             reactors: 0,
+            artifact_dir: None,
+            warm: false,
+            reuseport: false,
         }
     }
 
@@ -958,6 +1305,22 @@ mod tests {
         let out = run(&cli(Command::Run(format!("{TWO_WAY} OPTION (USEPLAN 5)")))).unwrap();
         assert!(out.contains("plan 5 of"));
         assert!(out.contains("rows)"));
+    }
+
+    #[test]
+    fn run_command_reports_order_by_satisfaction() {
+        // Whether the chosen plan happens to deliver the order varies by
+        // plan; the report line must appear either way, and only when an
+        // ORDER BY is present.
+        let out = run(&cli(Command::Run(format!("{TWO_WAY} ORDER BY n_name")))).unwrap();
+        assert!(out.contains("requested order: "), "missing verdict:\n{out}");
+        let out = run(&cli(Command::Run(format!(
+            "{TWO_WAY} ORDER BY n_name OPTION (USEPLAN 2)"
+        ))))
+        .unwrap();
+        assert!(out.contains("requested order: "), "missing verdict:\n{out}");
+        let out = run(&cli(Command::Run(TWO_WAY.into()))).unwrap();
+        assert!(!out.contains("requested order"));
     }
 
     #[test]

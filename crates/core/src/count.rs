@@ -24,7 +24,7 @@
 //! paper's linear-time claim, benchmarked in `plansample-bench`
 //! (`build_scaling`).
 
-use crate::{links::ListId, Links};
+use crate::{links::ListId, Links, SpaceError};
 use plansample_bignum::Nat;
 use plansample_memo::DenseId;
 
@@ -144,6 +144,46 @@ impl Counts {
             list_totals,
             total,
         }
+    }
+
+    /// Reassembles counts from raw vectors (the artifact load path).
+    /// Validates the shapes against `links` and re-derives the space
+    /// total from the root list so the three fields cannot disagree.
+    /// Numeric *values* are vouched for by the artifact checksum, not
+    /// re-counted here — that is the whole point of loading.
+    pub fn from_parts(
+        links: &Links,
+        per_expr: Vec<Nat>,
+        list_totals: Vec<Nat>,
+    ) -> Result<Counts, SpaceError> {
+        if per_expr.len() != links.num_exprs() {
+            return Err(SpaceError::MalformedParts {
+                reason: "per-expression counts must cover every expression".to_string(),
+            });
+        }
+        if list_totals.len() != links.num_lists() {
+            return Err(SpaceError::MalformedParts {
+                reason: "list totals must cover every interned list".to_string(),
+            });
+        }
+        let total = list_totals[links.root_list().idx()].clone();
+        Ok(Counts {
+            per_expr,
+            list_totals,
+            total,
+        })
+    }
+
+    /// `N(v)` for every expression, dense-indexed — the serialization
+    /// view (see `plansample-artifact`).
+    pub fn per_expr(&self) -> &[Nat] {
+        &self.per_expr
+    }
+
+    /// `b` of every interned list, list-indexed — the serialization
+    /// view.
+    pub fn list_totals(&self) -> &[Nat] {
+        &self.list_totals
     }
 
     /// `N(v)`: plans rooted in expression `d`.

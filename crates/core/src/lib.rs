@@ -68,9 +68,9 @@ pub mod validate;
 
 pub use count::Counts;
 pub use enumerate::PlanCursor;
-pub use links::{Links, ListId};
+pub use links::{Links, LinksParts, ListId};
 pub use prepared::PreparedQuery;
-pub use service::{PlanService, ServiceStats};
+pub use service::{cache_key, PlanService, ServiceStats};
 
 use plansample_bignum::Nat;
 use plansample_exec::ExecError;
@@ -101,6 +101,15 @@ pub enum SpaceError {
         /// The first node that failed to resolve.
         at: PhysId,
     },
+    /// Raw parts handed to [`Links::from_parts`] /
+    /// [`Counts::from_parts`] / [`PlanSpace::from_parts`] failed
+    /// structural validation — an artifact loader fed tables that do not
+    /// describe a plan space (wrong lengths, non-monotonic bounds,
+    /// out-of-range ids).
+    MalformedParts {
+        /// The first violated invariant.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SpaceError {
@@ -114,6 +123,9 @@ impl fmt::Display for SpaceError {
             }
             SpaceError::ForeignPlan { at } => {
                 write!(f, "plan node {at} is not a member of this plan space")
+            }
+            SpaceError::MalformedParts { reason } => {
+                write!(f, "malformed plan-space parts: {reason}")
             }
         }
     }
@@ -239,6 +251,43 @@ impl PlanSpace {
     pub fn build_shared(memo: Arc<Memo>, query: Arc<QuerySpec>) -> Result<Self, SpaceError> {
         let links = Links::build(&memo, &query)?;
         let counts = Counts::compute(&links);
+        Ok(PlanSpace {
+            memo,
+            query,
+            links,
+            counts,
+        })
+    }
+
+    /// Reassembles a plan space from already-validated components — the
+    /// artifact loader's path, which deserializes the flat link and
+    /// count buffers instead of re-running link materialization and
+    /// counting. The caller obtains `links` via [`Links::from_parts`]
+    /// and `counts` via [`Counts::from_parts`], both of which validate
+    /// their tables against `memo`; this constructor only re-checks the
+    /// cross-component size agreement.
+    pub fn from_parts(
+        memo: Arc<Memo>,
+        query: Arc<QuerySpec>,
+        links: Links,
+        counts: Counts,
+    ) -> Result<Self, SpaceError> {
+        if links.num_exprs() != memo.num_physical() {
+            return Err(SpaceError::MalformedParts {
+                reason: format!(
+                    "links cover {} expressions but the memo holds {}",
+                    links.num_exprs(),
+                    memo.num_physical()
+                ),
+            });
+        }
+        if counts.per_expr().len() != links.num_exprs()
+            || counts.list_totals().len() != links.num_lists()
+        {
+            return Err(SpaceError::MalformedParts {
+                reason: "count tables do not match the links".into(),
+            });
+        }
         Ok(PlanSpace {
             memo,
             query,

@@ -62,6 +62,27 @@ impl ListId {
     }
 }
 
+/// The flat CSR buffers of a [`Links`] as raw `u32` tables — the
+/// serialization view a plan-space artifact stores and reloads
+/// byte-for-byte (see `plansample-artifact`). Produced by
+/// [`Links::to_parts`], consumed (and validated) by
+/// [`Links::from_parts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinksParts {
+    /// All interned alternative lists, concatenated ([`DenseId`] raws).
+    pub pool: Vec<u32>,
+    /// List `l` = `pool[list_bounds[l] .. list_bounds[l+1]]`.
+    pub list_bounds: Vec<u32>,
+    /// Per-expression slot → interned list ([`ListId`] raws).
+    pub slot_lists: Vec<u32>,
+    /// Expr `d`'s slots = `slot_lists[slot_bounds[d] .. slot_bounds[d+1]]`.
+    pub slot_bounds: Vec<u32>,
+    /// Every expression, children before parents ([`DenseId`] raws).
+    pub topo: Vec<u32>,
+    /// The root group's interned alternative list.
+    pub root_list: u32,
+}
+
 /// Materialized parent→child links for every physical expression, in the
 /// flat CSR layout described in the module docs above.
 #[derive(Debug, Clone)]
@@ -188,6 +209,106 @@ impl Links {
         };
         links.topo = links.topo_sort()?;
         Ok(links)
+    }
+
+    /// Copies the flat CSR buffers out as raw `u32` tables for
+    /// serialization. The dense-id table is *not* part of the view: it
+    /// is a pure function of the memo and is rebuilt by
+    /// [`from_parts`](Self::from_parts).
+    pub fn to_parts(&self) -> LinksParts {
+        LinksParts {
+            pool: self.pool.iter().map(|d| d.0).collect(),
+            list_bounds: self.list_bounds.clone(),
+            slot_lists: self.slot_lists.iter().map(|l| l.0).collect(),
+            slot_bounds: self.slot_bounds.clone(),
+            topo: self.topo.iter().map(|d| d.0).collect(),
+            root_list: self.root_list.0,
+        }
+    }
+
+    /// Reassembles links from raw parts (the artifact load path),
+    /// validating every structural invariant the accessors rely on in
+    /// one O(n) pass — bounds tables monotonic and covering, every
+    /// index in range, the topo order a permutation — so corrupt or
+    /// adversarial bytes surface as [`SpaceError::MalformedParts`]
+    /// instead of a panic. It does *not* re-verify that the topo order
+    /// is children-before-parents or that list contents match an
+    /// `eligible_children` scan; the artifact layer's whole-file
+    /// checksum owns byte integrity, and this constructor owns memory
+    /// safety of the indices.
+    pub fn from_parts(memo: &Memo, parts: LinksParts) -> Result<Links, SpaceError> {
+        let malformed = |reason: &str| SpaceError::MalformedParts {
+            reason: reason.to_string(),
+        };
+        let ids = DenseIdMap::build(memo);
+        let n = ids.len();
+        let LinksParts {
+            pool,
+            list_bounds,
+            slot_lists,
+            slot_bounds,
+            topo,
+            root_list,
+        } = parts;
+
+        // Bounds tables: non-empty, start at 0, monotonic, end at the
+        // length of the buffer they index.
+        let check_bounds = |bounds: &[u32], covered: usize, what: &str| {
+            if bounds.first() != Some(&0) {
+                return Err(SpaceError::MalformedParts {
+                    reason: format!("{what} bounds must start at 0"),
+                });
+            }
+            if bounds.windows(2).any(|w| w[0] > w[1]) {
+                return Err(SpaceError::MalformedParts {
+                    reason: format!("{what} bounds must be monotonic"),
+                });
+            }
+            if *bounds.last().unwrap() as usize != covered {
+                return Err(SpaceError::MalformedParts {
+                    reason: format!("{what} bounds must end at the buffer length"),
+                });
+            }
+            Ok(())
+        };
+        check_bounds(&list_bounds, pool.len(), "list")?;
+        let num_lists = list_bounds.len() - 1;
+        if slot_bounds.len() != n + 1 {
+            return Err(malformed("slot bounds must have one entry per expression"));
+        }
+        check_bounds(&slot_bounds, slot_lists.len(), "slot")?;
+
+        // Index ranges.
+        if pool.iter().any(|&d| d as usize >= n) {
+            return Err(malformed("pool entry out of range"));
+        }
+        if slot_lists.iter().any(|&l| l as usize >= num_lists) {
+            return Err(malformed("slot list id out of range"));
+        }
+        if (root_list as usize) >= num_lists {
+            return Err(malformed("root list id out of range"));
+        }
+
+        // The topo order must be a permutation of the expressions.
+        if topo.len() != n {
+            return Err(malformed("topo order must cover every expression"));
+        }
+        let mut seen = vec![false; n];
+        for &d in &topo {
+            if d as usize >= n || std::mem::replace(&mut seen[d as usize], true) {
+                return Err(malformed("topo order must be a permutation"));
+            }
+        }
+
+        Ok(Links {
+            ids,
+            pool: pool.into_iter().map(DenseId).collect(),
+            list_bounds,
+            slot_lists: slot_lists.into_iter().map(ListId).collect(),
+            slot_bounds,
+            topo: topo.into_iter().map(DenseId).collect(),
+            root_list: ListId(root_list),
+        })
     }
 
     /// The dense-id table shared by everything built on these links.

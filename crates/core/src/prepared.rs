@@ -10,12 +10,12 @@
 //! can count, unrank, page, and sample concurrently with zero
 //! re-optimization and zero locking.
 
-use crate::{Error, PlanCursor, PlanSpace};
+use crate::{Error, PlanCursor, PlanSpace, SpaceError};
 use plansample_bignum::Nat;
 use plansample_catalog::Catalog;
-use plansample_memo::{Memo, PhysId, PlanNode};
+use plansample_memo::{satisfies_cols, Memo, PhysId, PlanNode, SortOrder};
 use plansample_optimizer::{optimize, Optimized, OptimizerConfig};
-use plansample_query::QuerySpec;
+use plansample_query::{ColRef, QuerySpec};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -90,6 +90,69 @@ impl PreparedQuery {
             best_cost,
             config,
         })
+    }
+
+    /// Reassembles the artifact from an already-validated plan space
+    /// plus the optimizer's best plan and cost — the artifact load
+    /// path (see `plansample-artifact`). The best plan is checked
+    /// structurally against the memo (every node resolves, every
+    /// node's child count matches its operator's arity) so a corrupt
+    /// plan section cannot smuggle out-of-range indices past the
+    /// panicking accessors.
+    pub fn from_parts(
+        space: PlanSpace,
+        best_plan: PlanNode,
+        best_cost: f64,
+        config: OptimizerConfig,
+    ) -> Result<Self, SpaceError> {
+        let malformed = |reason: &str| SpaceError::MalformedParts {
+            reason: reason.to_string(),
+        };
+        if !best_cost.is_finite() || best_cost <= 0.0 {
+            return Err(malformed("best cost must be finite and positive"));
+        }
+        let memo = space.memo();
+        let mut stack = vec![&best_plan];
+        while let Some(node) = stack.pop() {
+            if node.id.group.0 as usize >= memo.num_groups() {
+                return Err(malformed("best plan references a group out of range"));
+            }
+            let group = memo.group(node.id.group);
+            if node.id.index >= group.phys_iter().count() {
+                return Err(malformed("best plan references an expression out of range"));
+            }
+            if node.children.len() != memo.phys(node.id).arity() {
+                return Err(malformed("best plan child count must match operator arity"));
+            }
+            stack.extend(&node.children);
+        }
+        Ok(PreparedQuery {
+            space,
+            best_plan,
+            best_cost,
+            config,
+        })
+    }
+
+    /// Whether `plan`'s root operator delivers rows in the order
+    /// `cols` demands — the `ORDER BY` validation used by the SQL
+    /// front end. Empty `cols` is trivially satisfied; otherwise the
+    /// plan root's delivered columns are checked against the
+    /// requirement under the query's whole-scope column equivalences
+    /// (a `MergeJoin` on `a.x = b.y` delivering `a.x` satisfies
+    /// `ORDER BY b.y`).
+    pub fn satisfies_order(&self, plan: &PlanNode, cols: &[ColRef]) -> bool {
+        if cols.is_empty() {
+            return true;
+        }
+        let query = self.query();
+        let delivered = self.memo().phys(plan.id).delivered_cols();
+        satisfies_cols(
+            query,
+            query.all_rels(),
+            delivered,
+            &SortOrder::on(cols.to_vec()),
+        )
     }
 
     /// `N`: the exact number of complete execution plans.

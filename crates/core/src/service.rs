@@ -154,7 +154,15 @@ pub struct PlanService {
     hits: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
+    /// Write-through persistence hook: called with every freshly
+    /// prepared artifact, outside all cache locks (see
+    /// [`set_persist`](Self::set_persist)).
+    persist: Mutex<Option<PersistHook>>,
 }
+
+/// Shape of the write-through persistence hook installed by
+/// [`PlanService::set_persist`].
+pub type PersistHook = Arc<dyn Fn(&Arc<PreparedQuery>) + Send + Sync>;
 
 impl std::fmt::Debug for PlanService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -207,7 +215,55 @@ impl PlanService {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            persist: Mutex::new(None),
         }
+    }
+
+    /// Installs a write-through persistence hook (e.g. an
+    /// `ArtifactStore` save). The hook runs on the flight *leader*
+    /// after each successful first preparation — once per prepared
+    /// artifact, never for cache hits or coalesced waiters — after the
+    /// artifact is published to the cache and with no service lock
+    /// held, so a slow disk stalls only the one request that paid for
+    /// the optimization anyway. Errors are the hook's own business
+    /// (log and carry on); serving never depends on persistence.
+    pub fn set_persist(&self, hook: PersistHook) {
+        *self.persist.lock().expect("persist hook poisoned") = Some(hook);
+    }
+
+    /// Seeds the cache with an externally prepared artifact (startup
+    /// warming from an artifact store). Returns `true` if the artifact
+    /// was admitted: it must have been prepared under this service's
+    /// exact optimizer configuration (checked via the same normalized
+    /// key `get_or_prepare` uses — a stale artifact from an old config
+    /// is silently refused rather than served wrong), and a key that is
+    /// already cached or in flight keeps its existing artifact.
+    /// Admission charges the byte budget and may evict LRU entries,
+    /// like any other insert.
+    pub fn warm(&self, prepared: Arc<PreparedQuery>) -> bool {
+        if cache_key(prepared.query(), prepared.config())
+            != cache_key(prepared.query(), &self.config)
+        {
+            return false;
+        }
+        let key = cache_key(prepared.query(), &self.config);
+        let mut state = self.state.lock().expect("service cache poisoned");
+        if state.entries.contains_key(&key) || state.inflight.contains_key(&key) {
+            return false;
+        }
+        let tick = state.next_tick();
+        let size_bytes = prepared.size_bytes();
+        state.entries.insert(
+            key,
+            CacheEntry {
+                prepared,
+                size_bytes,
+                last_used: tick,
+            },
+        );
+        state.resident_bytes += size_bytes;
+        state.enforce_bounds(self.capacity, self.byte_budget);
+        true
     }
 
     /// The service's catalog.
@@ -347,6 +403,14 @@ impl PlanService {
         let result = PreparedQuery::prepare(&self.catalog, query, &self.config).map(Arc::new);
         guard.result = Some(result.clone());
         drop(guard); // publish + wake before returning
+        if let Ok(prepared) = &result {
+            // Write-through persistence: after publication, outside
+            // every cache lock, on the leader only.
+            let hook = self.persist.lock().expect("persist hook poisoned").clone();
+            if let Some(hook) = hook {
+                hook(prepared);
+            }
+        }
         result
     }
 
@@ -380,7 +444,11 @@ impl PlanService {
 /// join predicates or filters were written hash to the same prepared
 /// artifact; the optimizer configuration participates because it changes
 /// the memo (and therefore every count and rank).
-fn cache_key(query: &QuerySpec, config: &OptimizerConfig) -> String {
+///
+/// Public because the artifact store fingerprints its entries with the
+/// same normalization, so a store key and a cache key agree byte for
+/// byte (see `plansample-artifact`).
+pub fn cache_key(query: &QuerySpec, config: &OptimizerConfig) -> String {
     let mut edges: Vec<String> = query.join_edges.iter().map(|e| format!("{e:?}")).collect();
     edges.sort_unstable();
     let mut filters: Vec<String> = query.filters.iter().map(|f| format!("{f:?}")).collect();

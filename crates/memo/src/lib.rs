@@ -232,6 +232,87 @@ impl Memo {
         self.groups.iter().map(|g| g.physical.len()).sum()
     }
 
+    /// Reassembles a memo from serialized group tables in one pass — the
+    /// artifact loader's bulk path, equivalent to replaying `add_group` /
+    /// `add_logical` / `add_physical` / `set_root` in creation order but
+    /// without the per-insert duplicate scans (which are quadratic in
+    /// group size and would dominate a 700k-expression reload).
+    ///
+    /// The incremental builders' invariants are still *checked*, in
+    /// O(total expressions): group keys must be distinct, expressions
+    /// structurally deduplicated within their group, every child group
+    /// reference in range, and `root` one of the groups. A violation
+    /// returns a description of the first broken invariant instead of
+    /// producing a memo other code would misindex.
+    pub fn from_parts(
+        parts: Vec<(GroupKey, Vec<LogicalOp>, Vec<PhysicalExpr>)>,
+        root: u32,
+    ) -> Result<Memo, String> {
+        if (root as usize) >= parts.len() {
+            return Err(format!(
+                "root group {root} out of range ({} groups)",
+                parts.len()
+            ));
+        }
+        let num_groups = parts.len();
+        let in_range = |g: &GroupId| (g.0 as usize) < num_groups;
+        let mut by_key = HashMap::with_capacity(num_groups);
+        for (i, (key, logical, physical)) in parts.iter().enumerate() {
+            if by_key.insert(*key, GroupId(i as u32)).is_some() {
+                return Err(format!("duplicate group key {key:?}"));
+            }
+            let mut seen = std::collections::HashSet::with_capacity(physical.len());
+            for expr in physical {
+                if !seen.insert(&expr.op) {
+                    return Err(format!("duplicate physical operator in group {i}"));
+                }
+                let children_ok = match &expr.op {
+                    PhysicalOp::TableScan { .. }
+                    | PhysicalOp::SortedIdxScan { .. }
+                    | PhysicalOp::Sort { .. } => true,
+                    PhysicalOp::NestedLoopJoin { left, right }
+                    | PhysicalOp::HashJoin { left, right }
+                    | PhysicalOp::MergeJoin { left, right, .. } => {
+                        in_range(left) && in_range(right)
+                    }
+                    PhysicalOp::HashAgg { input } | PhysicalOp::StreamAgg { input, .. } => {
+                        in_range(input)
+                    }
+                };
+                if !children_ok {
+                    return Err(format!("group {i} references a group out of range"));
+                }
+            }
+            for op in logical {
+                let children_ok = match op {
+                    LogicalOp::Scan { .. } => true,
+                    LogicalOp::Join { left, right } => in_range(left) && in_range(right),
+                    LogicalOp::Agg { input } => in_range(input),
+                };
+                if !children_ok {
+                    return Err(format!(
+                        "group {i} logical op references a group out of range"
+                    ));
+                }
+            }
+        }
+        let groups = parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, (key, logical, physical))| Group {
+                id: GroupId(i as u32),
+                key,
+                logical,
+                physical,
+            })
+            .collect();
+        Ok(Memo {
+            groups,
+            by_key,
+            root: Some(GroupId(root)),
+        })
+    }
+
     /// Releases the spare capacity `add_group`/`add_physical`'s amortized
     /// growth left behind in every per-group vector.
     ///
@@ -368,6 +449,97 @@ mod tests {
     fn foreign_root_rejected() {
         let mut memo = Memo::new();
         memo.set_root(GroupId(3));
+    }
+
+    #[test]
+    fn from_parts_replays_incremental_building() {
+        let mut memo = Memo::new();
+        let g0 = memo.add_group(GroupKey::Rels(rs(&[0])));
+        memo.add_physical(
+            g0,
+            PhysicalExpr::new(PhysicalOp::TableScan { rel: RelId(0) }, 1.0, 10.0),
+        )
+        .unwrap();
+        let g1 = memo.add_group(GroupKey::Rels(rs(&[1])));
+        memo.add_physical(
+            g1,
+            PhysicalExpr::new(PhysicalOp::TableScan { rel: RelId(1) }, 2.0, 20.0),
+        )
+        .unwrap();
+        let g2 = memo.add_group(GroupKey::Rels(rs(&[0, 1])));
+        memo.add_logical(
+            g2,
+            LogicalOp::Join {
+                left: g0,
+                right: g1,
+            },
+        );
+        memo.add_physical(
+            g2,
+            PhysicalExpr::new(
+                PhysicalOp::HashJoin {
+                    left: g0,
+                    right: g1,
+                },
+                3.0,
+                5.0,
+            ),
+        )
+        .unwrap();
+        memo.set_root(g2);
+
+        let parts: Vec<_> = memo
+            .groups()
+            .map(|g| (g.key, g.logical.clone(), g.physical.clone()))
+            .collect();
+        let rebuilt = Memo::from_parts(parts, memo.root().0).unwrap();
+        assert_eq!(rebuilt.num_groups(), memo.num_groups());
+        assert_eq!(rebuilt.num_physical(), memo.num_physical());
+        assert_eq!(rebuilt.num_logical(), memo.num_logical());
+        assert_eq!(rebuilt.root(), memo.root());
+        assert_eq!(rebuilt.find_group(GroupKey::Rels(rs(&[0, 1]))), Some(g2));
+        assert_eq!(
+            format!("{:?}", rebuilt.group(g2)),
+            format!("{:?}", memo.group(g2))
+        );
+    }
+
+    #[test]
+    fn from_parts_rejects_broken_invariants() {
+        let scan = |r: u32| PhysicalExpr::new(PhysicalOp::TableScan { rel: RelId(r) }, 1.0, 1.0);
+        // Root out of range.
+        let err = Memo::from_parts(vec![(GroupKey::Rels(rs(&[0])), vec![], vec![scan(0)])], 5)
+            .unwrap_err();
+        assert!(err.contains("root"), "{err}");
+        // Duplicate group keys.
+        let err = Memo::from_parts(
+            vec![
+                (GroupKey::Rels(rs(&[0])), vec![], vec![scan(0)]),
+                (GroupKey::Rels(rs(&[0])), vec![], vec![scan(0)]),
+            ],
+            0,
+        )
+        .unwrap_err();
+        assert!(err.contains("duplicate group key"), "{err}");
+        // Duplicate operator inside one group.
+        let err = Memo::from_parts(
+            vec![(GroupKey::Rels(rs(&[0])), vec![], vec![scan(0), scan(0)])],
+            0,
+        )
+        .unwrap_err();
+        assert!(err.contains("duplicate physical"), "{err}");
+        // Child group reference past the table.
+        let join = PhysicalExpr::new(
+            PhysicalOp::HashJoin {
+                left: GroupId(0),
+                right: GroupId(9),
+            },
+            1.0,
+            1.0,
+        );
+        let err =
+            Memo::from_parts(vec![(GroupKey::Rels(rs(&[0])), vec![], vec![join])], 0).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
     }
 
     #[test]

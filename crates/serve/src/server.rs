@@ -35,7 +35,7 @@
 
 use crate::reactor::{
     Completion, Interest, Job, Poller, Reactor, WakeSet, MAX_POLL_ERRORS, POLL_ERROR_BACKOFF,
-    TOKEN_WAKER,
+    TOKEN_LISTENER, TOKEN_WAKER,
 };
 use crate::state::{AdmissionConfig, ServerState};
 use std::collections::HashMap;
@@ -43,6 +43,7 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -72,6 +73,18 @@ pub struct ServerConfig {
     pub frame_timeout: Duration,
     /// Allow Cartesian products in served plan spaces.
     pub cross_products: bool,
+    /// Directory of persistent plan-space artifacts. When set, every
+    /// TPC-H preparation is written through to the store, so the plan
+    /// space survives the process.
+    pub artifact_dir: Option<PathBuf>,
+    /// Load every artifact in `artifact_dir` into the service cache at
+    /// startup (no-op without `artifact_dir`).
+    pub warm: bool,
+    /// Give each reactor its own `SO_REUSEPORT` listener — the kernel
+    /// load-balances accepts across them and the acceptor thread
+    /// disappears. Falls back to the round-robin acceptor (with a
+    /// logged message) where unsupported.
+    pub reuseport: bool,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +99,9 @@ impl Default for ServerConfig {
             max_pipeline: 128,
             frame_timeout: Duration::from_secs(10),
             cross_products: false,
+            artifact_dir: None,
+            warm: false,
+            reuseport: false,
         }
     }
 }
@@ -154,15 +170,15 @@ impl Drop for ServerHandle {
 /// under level-triggered polling, so returning without this backoff
 /// spins the acceptor at 100% CPU for as long as the failure — fd
 /// exhaustion, typically — persists).
-const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(10);
+pub(crate) const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(10);
 
 /// Consecutive `accept(2)` failures tolerated before the acceptor
 /// declares server-wide shutdown (mirrors [`MAX_POLL_ERRORS`]).
-const MAX_ACCEPT_ERRORS: u32 = 100;
+pub(crate) const MAX_ACCEPT_ERRORS: u32 = 100;
 
 /// What to do after an `accept(2)` failure.
 #[derive(Debug, PartialEq, Eq)]
-enum AcceptVerdict {
+pub(crate) enum AcceptVerdict {
     /// Transient (so far): sleep [`ACCEPT_ERROR_BACKOFF`], then poll
     /// again.
     Backoff,
@@ -171,19 +187,20 @@ enum AcceptVerdict {
 }
 
 /// The consecutive-failure policy for `accept(2)`, separated from the
-/// acceptor so the verdict sequence is unit-testable without forcing
-/// real fd exhaustion.
+/// accepting loops (the dedicated acceptor thread, or each reactor in
+/// `SO_REUSEPORT` mode) so the verdict sequence is unit-testable
+/// without forcing real fd exhaustion.
 #[derive(Debug, Default)]
-struct AcceptBackoff {
-    consecutive: u32,
+pub(crate) struct AcceptBackoff {
+    pub(crate) consecutive: u32,
 }
 
 impl AcceptBackoff {
-    fn on_success(&mut self) {
+    pub(crate) fn on_success(&mut self) {
         self.consecutive = 0;
     }
 
-    fn on_error(&mut self) -> AcceptVerdict {
+    pub(crate) fn on_error(&mut self) -> AcceptVerdict {
         self.consecutive += 1;
         if self.consecutive >= MAX_ACCEPT_ERRORS {
             AcceptVerdict::GiveUp
@@ -199,10 +216,6 @@ struct ReactorMailbox {
     streams: Arc<Mutex<Vec<TcpStream>>>,
     waker: Mutex<UnixStream>,
 }
-
-/// Token the acceptor's listener is registered under (its waker reuses
-/// the reactor-side [`TOKEN_WAKER`]).
-const TOKEN_LISTENER: u64 = 0;
 
 /// The listener-owning thread: accepts and deals connections
 /// round-robin to the reactors.
@@ -320,19 +333,196 @@ impl Acceptor {
     }
 }
 
-/// Binds the listener and spawns the acceptor, the reactors, and each
-/// reactor's worker pool.
+/// `SO_REUSEPORT` listener creation. The build has no libc crate, so
+/// this declares the four socket-layer entry points it needs (std
+/// already links libc) and builds each listener by hand: the option
+/// must be set *between* `socket(2)` and `bind(2)`, which
+/// `TcpListener::bind` gives no hook for.
+#[cfg(target_os = "linux")]
+mod reuseport {
+    use std::io;
+    use std::net::{SocketAddr, TcpListener};
+    use std::os::fd::FromRawFd;
+    use std::os::raw::{c_int, c_uint};
+
+    /// `struct sockaddr_in` (IPv4 only; v6 addresses take the
+    /// acceptor fallback).
+    #[repr(C)]
+    struct SockAddrIn {
+        sin_family: u16,
+        /// Big-endian port.
+        sin_port: u16,
+        /// Big-endian address.
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *const c_int,
+            optlen: c_uint,
+        ) -> c_int;
+        fn bind(fd: c_int, addr: *const SockAddrIn, len: c_uint) -> c_int;
+        fn listen(fd: c_int, backlog: c_int) -> c_int;
+    }
+
+    const AF_INET: c_int = 2;
+    const SOCK_STREAM: c_int = 1;
+    const SOCK_CLOEXEC: c_int = 0o2000000;
+    const SOL_SOCKET: c_int = 1;
+    const SO_REUSEPORT: c_int = 15;
+    const BACKLOG: c_int = 1024;
+
+    /// One listening socket with `SO_REUSEPORT` set, bound to `addr`.
+    pub(super) fn listener(addr: SocketAddr) -> io::Result<TcpListener> {
+        let SocketAddr::V4(v4) = addr else {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "SO_REUSEPORT mode supports IPv4 listen addresses only",
+            ));
+        };
+        let fd = unsafe { socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // From here the fd has an owner: any failure drops (closes) it.
+        let sock = unsafe { TcpListener::from_raw_fd(fd) };
+        let one: c_int = 1;
+        let rc = unsafe {
+            setsockopt(
+                fd,
+                SOL_SOCKET,
+                SO_REUSEPORT,
+                &one,
+                std::mem::size_of::<c_int>() as c_uint,
+            )
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let sa = SockAddrIn {
+            sin_family: AF_INET as u16,
+            sin_port: v4.port().to_be(),
+            sin_addr: u32::from_be_bytes(v4.ip().octets()).to_be(),
+            sin_zero: [0; 8],
+        };
+        let rc = unsafe { bind(fd, &sa, std::mem::size_of::<SockAddrIn>() as c_uint) };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if unsafe { listen(fd, BACKLOG) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        sock.set_nonblocking(true)?;
+        Ok(sock)
+    }
+}
+
+/// Binds one `SO_REUSEPORT` listener per reactor. The first bind
+/// resolves an ephemeral port request; its siblings bind the concrete
+/// port so the kernel groups all of them into one balancing set.
+fn bind_reuseport(addr: &str, reactors: usize) -> io::Result<Vec<TcpListener>> {
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = (addr, reactors);
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "SO_REUSEPORT listener groups are Linux-only on this build",
+        ))
+    }
+    #[cfg(target_os = "linux")]
+    {
+        use std::net::ToSocketAddrs;
+        let requested = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolves to nothing")
+        })?;
+        let first = reuseport::listener(requested)?;
+        let concrete = first.local_addr()?;
+        let mut listeners = vec![first];
+        for _ in 1..reactors {
+            listeners.push(reuseport::listener(concrete)?);
+        }
+        Ok(listeners)
+    }
+}
+
+/// How connections reach the reactors: one shared listener drained by
+/// a dedicated acceptor thread, or a per-reactor `SO_REUSEPORT` group
+/// balanced by the kernel.
+enum Intake {
+    Shared(TcpListener),
+    PerReactor(Vec<TcpListener>),
+}
+
+/// Wires the artifact store to the serving state: every TPC-H
+/// preparation writes through to disk, and (optionally) the store's
+/// current contents warm the cache before the first byte is served.
+fn attach_store(config: &ServerConfig, state: &ServerState) -> io::Result<()> {
+    let Some(dir) = &config.artifact_dir else {
+        return Ok(());
+    };
+    let store = plansample_artifact::ArtifactStore::open(dir)
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    if config.warm {
+        match store.warm(state.tpch_service()) {
+            Ok(report) => eprintln!(
+                "plansample-serve: warmed {} artifact(s) from {} \
+                 ({} refused, {} quarantined)",
+                report.loaded,
+                store.dir().display(),
+                report.refused,
+                report.quarantined
+            ),
+            // Warming is an optimization: a failed pass (e.g. the
+            // directory vanished) must not keep the server down.
+            Err(e) => eprintln!("plansample-serve: cache warming failed: {e}"),
+        }
+    }
+    state.tpch_service().set_persist(Arc::new(move |prepared| {
+        if let Err(e) = store.save(prepared) {
+            eprintln!("plansample-serve: artifact save failed: {e}");
+        }
+    }));
+    Ok(())
+}
+
+/// Binds the listener(s) and spawns the reactors, each reactor's
+/// worker pool, and (unless every reactor accepts for itself via
+/// `SO_REUSEPORT`) the acceptor.
 pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
-    let listener = TcpListener::bind(&config.addr)?;
-    listener.set_nonblocking(true)?;
-    let addr = listener.local_addr()?;
+    let reactors = resolve_reactors(config.reactors);
+    let intake = if config.reuseport {
+        match bind_reuseport(&config.addr, reactors) {
+            Ok(listeners) => Intake::PerReactor(listeners),
+            Err(e) => {
+                eprintln!(
+                    "plansample-serve: SO_REUSEPORT unavailable ({e}); \
+                     falling back to the round-robin acceptor"
+                );
+                let listener = TcpListener::bind(&config.addr)?;
+                listener.set_nonblocking(true)?;
+                Intake::Shared(listener)
+            }
+        }
+    } else {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        Intake::Shared(listener)
+    };
+    let addr = match &intake {
+        Intake::Shared(l) => l.local_addr()?,
+        Intake::PerReactor(ls) => ls[0].local_addr()?,
+    };
 
     let optimizer = if config.cross_products {
         plansample_optimizer::OptimizerConfig::with_cross_products()
     } else {
         plansample_optimizer::OptimizerConfig::default()
     };
-    let reactors = resolve_reactors(config.reactors);
     let state = Arc::new(ServerState::new(
         optimizer,
         config.cache_entries,
@@ -340,6 +530,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         config.admission,
         reactors,
     ));
+    attach_store(&config, &state)?;
     let shutdown = Arc::new(AtomicBool::new(false));
 
     // One socketpair per event-loop thread (acceptor first). Both ends
@@ -353,7 +544,17 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         rx.set_nonblocking(true)?;
         Ok((tx, rx))
     };
-    let (acceptor_wake_tx, acceptor_wake_rx) = wake_pair()?;
+    // In SO_REUSEPORT mode each reactor accepts for itself: no shared
+    // listener, no acceptor thread, no acceptor waker.
+    let (shared_listener, mut reactor_listeners): (Option<TcpListener>, Vec<Option<TcpListener>>) =
+        match intake {
+            Intake::Shared(l) => (Some(l), (0..reactors).map(|_| None).collect()),
+            Intake::PerReactor(ls) => (None, ls.into_iter().map(Some).collect()),
+        };
+    let acceptor_wake = match &shared_listener {
+        Some(_) => Some(wake_pair()?),
+        None => None,
+    };
     let mut reactor_wake = Vec::with_capacity(reactors);
     for _ in 0..reactors {
         reactor_wake.push(wake_pair()?);
@@ -374,7 +575,11 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         });
         worker_wakers.push(tx.try_clone()?);
     }
-    let mut wakers = vec![Mutex::new(acceptor_wake_tx)];
+    let mut wakers = Vec::with_capacity(reactors + 1);
+    let acceptor_wake_rx = acceptor_wake.map(|(tx, rx)| {
+        wakers.push(Mutex::new(tx));
+        rx
+    });
     let mut wake_rxs = Vec::with_capacity(reactors);
     for (tx, rx) in reactor_wake {
         wakers.push(Mutex::new(tx));
@@ -383,28 +588,30 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
     let wake_set = Arc::new(WakeSet(wakers));
 
     let mut threads = Vec::new();
-    threads.push(
-        std::thread::Builder::new()
-            .name("plansample-serve-acceptor".into())
-            .spawn({
-                let state = Arc::clone(&state);
-                let shutdown = Arc::clone(&shutdown);
-                let wake_set = Arc::clone(&wake_set);
-                move || {
-                    Acceptor {
-                        listener,
-                        wake_rx: acceptor_wake_rx,
-                        mailboxes,
-                        next: 0,
-                        state,
-                        shutdown,
-                        wake_set,
-                        backoff: AcceptBackoff::default(),
+    if let (Some(listener), Some(wake_rx)) = (shared_listener, acceptor_wake_rx) {
+        threads.push(
+            std::thread::Builder::new()
+                .name("plansample-serve-acceptor".into())
+                .spawn({
+                    let state = Arc::clone(&state);
+                    let shutdown = Arc::clone(&shutdown);
+                    let wake_set = Arc::clone(&wake_set);
+                    move || {
+                        Acceptor {
+                            listener,
+                            wake_rx,
+                            mailboxes,
+                            next: 0,
+                            state,
+                            shutdown,
+                            wake_set,
+                            backoff: AcceptBackoff::default(),
+                        }
+                        .run();
                     }
-                    .run();
-                }
-            })?,
-    );
+                })?,
+        );
+    }
 
     let frame_timeout = config.frame_timeout;
     let max_pipeline = config.max_pipeline.max(1);
@@ -442,6 +649,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         }
 
         let mailbox = Arc::clone(&mailbox_handles[index]);
+        let listener = reactor_listeners[index].take();
         let state = Arc::clone(&state);
         let shutdown = Arc::clone(&shutdown);
         let wake_set = Arc::clone(&wake_set);
@@ -453,6 +661,8 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
                         index,
                         wake_rx,
                         mailbox,
+                        listener,
+                        accept_backoff: AcceptBackoff::default(),
                         conns: HashMap::new(),
                         next_token: crate::reactor::FIRST_CONN_TOKEN,
                         poller: Poller::new(),
@@ -518,5 +728,55 @@ mod tests {
     fn resolve_reactors_zero_means_per_core() {
         assert_eq!(resolve_reactors(3), 3);
         assert!(resolve_reactors(0) >= 1);
+    }
+
+    /// `--reuseport` end to end: per-reactor listeners (Linux) or the
+    /// logged acceptor fallback (elsewhere) — either way every
+    /// connection must be served and counted.
+    #[test]
+    fn reuseport_mode_serves_requests() {
+        let handle = start(ServerConfig {
+            reactors: 2,
+            workers: 1,
+            reuseport: true,
+            ..Default::default()
+        })
+        .expect("reuseport mode (or its fallback) starts");
+        let addr = handle.addr();
+        let conns = 8;
+        for _ in 0..conns {
+            let mut client = crate::client::Client::connect(addr).unwrap();
+            let response = client.call(&crate::wire::Request::Stats).unwrap();
+            assert!(
+                matches!(response, crate::wire::Response::Stats(_)),
+                "got {response:?}"
+            );
+        }
+        let state = Arc::clone(handle.state());
+        handle.stop();
+        assert_eq!(
+            state.connections_total.load(Ordering::Relaxed),
+            conns as u64
+        );
+        let per_reactor: u64 = state
+            .per_reactor
+            .iter()
+            .map(|r| r.connections.load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(per_reactor, conns as u64, "every accept lands on a reactor");
+    }
+
+    /// On Linux the SO_REUSEPORT bind itself must work, including
+    /// ephemeral-port resolution shared across the group.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn reuseport_group_shares_one_ephemeral_port() {
+        let listeners = bind_reuseport("127.0.0.1:0", 3).expect("reuseport binds on linux");
+        assert_eq!(listeners.len(), 3);
+        let port = listeners[0].local_addr().unwrap().port();
+        assert_ne!(port, 0);
+        for l in &listeners {
+            assert_eq!(l.local_addr().unwrap().port(), port);
+        }
     }
 }

@@ -15,8 +15,17 @@
 //! This crate parses a single-block SQL subset — `SELECT` with
 //! projections or aggregates, comma-separated `FROM` with aliases,
 //! conjunctive `WHERE` mixing equality joins and literal filters,
-//! `GROUP BY`, and the `OPTION (USEPLAN n)` clause with arbitrarily
-//! large plan numbers — into a [`QuerySpec`] ready for the optimizer.
+//! `GROUP BY`, `ORDER BY`, and the `OPTION (USEPLAN n)` clause with
+//! arbitrarily large plan numbers — into a [`QuerySpec`] ready for the
+//! optimizer.
+//!
+//! `ORDER BY` does not change the plan *space* (sort enforcers are
+//! already part of it); it is a requirement on the plan that runs. The
+//! parser resolves the columns into [`ParsedQuery::order_by`], and
+//! callers check a chosen plan against it with
+//! `PreparedQuery::satisfies_order` — which consults the delivered
+//! orders the optimizer tracked, including column equivalences from
+//! join predicates.
 //!
 //! Aggregate queries normalize their output column order to
 //! `group-by columns ++ aggregates` (the SELECT order is not preserved);
@@ -48,7 +57,7 @@ pub use lexer::{lex, LexError, Token, TokenKind};
 pub use parser::parse;
 
 use plansample_bignum::Nat;
-use plansample_query::QuerySpec;
+use plansample_query::{ColRef, QuerySpec};
 use std::fmt;
 
 /// A parsed statement: the query plus the optional plan number.
@@ -58,6 +67,11 @@ pub struct ParsedQuery {
     pub spec: QuerySpec,
     /// Plan number from `OPTION (USEPLAN n)`, if present.
     pub useplan: Option<Nat>,
+    /// Resolved `ORDER BY` columns, in requirement order (empty when
+    /// the statement has no `ORDER BY`). A delivered-order requirement
+    /// on whichever plan runs, not a change to the plan space; check a
+    /// plan with `PreparedQuery::satisfies_order`.
+    pub order_by: Vec<ColRef>,
 }
 
 /// A parse failure with its source position.
@@ -259,6 +273,45 @@ mod tests {
         let agg = parsed.spec.aggregate.unwrap();
         assert_eq!(agg.group_by.len(), 1);
         assert!(agg.aggs.is_empty());
+    }
+
+    #[test]
+    fn order_by_resolves_to_colrefs() {
+        let catalog = cat();
+        let parsed = parse(
+            &catalog,
+            "SELECT * FROM nation n, region r WHERE n.n_regionkey = r.r_regionkey \
+             ORDER BY r.r_name, n_nationkey OPTION (USEPLAN 3)",
+        )
+        .unwrap();
+        // r.r_name: relation 1, column 1 (r_regionkey, r_name, r_comment).
+        // n_nationkey resolves unqualified to nation (relation 0), column 0.
+        assert_eq!(parsed.order_by.len(), 2);
+        assert_eq!(parsed.order_by[0].rel.0, 1);
+        assert_eq!(parsed.order_by[1].rel.0, 0);
+        assert_eq!(parsed.order_by[1].col, 0);
+        assert_eq!(parsed.useplan.unwrap().to_u64(), Some(3));
+
+        let none = parse(&catalog, "SELECT * FROM nation").unwrap();
+        assert!(none.order_by.is_empty());
+    }
+
+    #[test]
+    fn order_by_rejects_unknown_columns_and_misplacement() {
+        let catalog = cat();
+        // Qualified reference to a column the aliased table lacks.
+        let err = parse(&catalog, "SELECT * FROM nation n ORDER BY n.bogus").unwrap_err();
+        assert!(err.message.contains("no column"), "{err}");
+        // Unknown alias.
+        assert!(parse(&catalog, "SELECT * FROM nation ORDER BY x.n_name").is_err());
+        // ORDER BY must precede OPTION.
+        assert!(parse(
+            &catalog,
+            "SELECT * FROM nation OPTION (USEPLAN 1) ORDER BY nation.n_name"
+        )
+        .is_err());
+        // Dangling BY.
+        assert!(parse(&catalog, "SELECT * FROM nation ORDER n_name").is_err());
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! query   := SELECT select FROM tables [WHERE conj]
-//!            [GROUP BY cols] [OPTION '(' USEPLAN number ')'] [';']
+//!            [GROUP BY cols] [ORDER BY cols]
+//!            [OPTION '(' USEPLAN number ')'] [';']
 //! select  := '*' | item (',' item)*
 //! item    := colref
 //!          | (SUM|MIN|MAX|AVG) '(' colref ')'
@@ -26,7 +27,7 @@ use crate::lexer::{lex, Token, TokenKind};
 use crate::{ParseError, ParsedQuery};
 use plansample_bignum::Nat;
 use plansample_catalog::{Catalog, Datum};
-use plansample_query::{AggFunc, CmpOp, QueryBuilder};
+use plansample_query::{AggFunc, CmpOp, ColRef, QueryBuilder, RelId};
 
 struct Parser<'a> {
     catalog: &'a Catalog,
@@ -192,6 +193,24 @@ impl Parser<'_> {
             }
         }
 
+        // ORDER BY: resolved to (alias, column) here, to ColRefs after
+        // `build()` (which fixes the relation numbering).
+        let mut order_cols: Vec<(String, String, usize)> = Vec::new();
+        if self.at_keyword("ORDER") {
+            self.pos += 1;
+            self.keyword("BY")?;
+            loop {
+                let (alias, col, offset) = self.colref()?;
+                let (alias, col) = self.resolve(alias, col, offset, &rels)?;
+                order_cols.push((alias, col, offset));
+                if matches!(self.peek(), Some(TokenKind::Comma)) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
         let useplan = self.option_clause()?;
         if matches!(self.peek(), Some(TokenKind::Semi)) {
             self.pos += 1;
@@ -205,7 +224,29 @@ impl Parser<'_> {
             message: e.to_string(),
             offset: 0,
         })?;
-        Ok(ParsedQuery { spec, useplan })
+
+        let mut order_by = Vec::with_capacity(order_cols.len());
+        for (alias, col, offset) in order_cols {
+            let rel = spec
+                .relations
+                .iter()
+                .position(|r| r.alias == alias)
+                .expect("resolve() only returns FROM-list aliases");
+            let table = self.catalog.table(spec.relations[rel].table);
+            let idx = table.column_index(&col).ok_or_else(|| ParseError {
+                message: format!("relation `{alias}` has no column `{col}`"),
+                offset,
+            })?;
+            order_by.push(ColRef {
+                rel: RelId(rel as u32),
+                col: idx as u32,
+            });
+        }
+        Ok(ParsedQuery {
+            spec,
+            useplan,
+            order_by,
+        })
     }
 
     fn select_list(&mut self) -> Result<Vec<SelectItem>, ParseError> {

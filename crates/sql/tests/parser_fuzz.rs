@@ -32,6 +32,7 @@ const VOCAB: &[&str] = &[
     "FROM",
     "WHERE",
     "GROUP",
+    "ORDER",
     "BY",
     "OPTION",
     "USEPLAN",
@@ -267,6 +268,7 @@ proptest! {
         prop_assert_eq!(a.spec.relations.len(), query.tables.len());
         prop_assert_eq!(a.spec.join_edges.len(), query.tables.len() - 1);
         prop_assert!(a.useplan.is_none());
+        prop_assert!(a.order_by.is_empty());
         // Permuted conjuncts, different casing, different whitespace:
         // same normalized query.
         prop_assert_eq!(fingerprint(&a.spec), fingerprint(&b.spec));
@@ -278,5 +280,25 @@ proptest! {
         let parsed = parse(&catalog(), &sql)
             .unwrap_or_else(|e| panic!("generated SQL failed:\n{}", e.render(&sql)));
         prop_assert_eq!(parsed.useplan.expect("USEPLAN present").to_u64(), Some(n));
+    }
+
+    /// ORDER BY on a generated SPJ block: the clause must slot between
+    /// WHERE and OPTION, resolve to the first FROM relation (always
+    /// `RelId(0)` — the parser keeps FROM order positional), and be
+    /// insensitive to the same render mangling as the rest.
+    #[test]
+    fn order_by_on_generated_queries_resolves(query in arb_spj(), seed in any::<u64>()) {
+        // A known column of each chain's first table.
+        let col = match query.tables[0] {
+            "region r" => "r.r_name",
+            "customer c" => "c.c_name",
+            other => panic!("unexpected head table {other}"),
+        };
+        let sql = format!("{} ORDER BY {col} OPTION (USEPLAN 1)", query.render(seed));
+        let parsed = parse(&catalog(), &sql)
+            .unwrap_or_else(|e| panic!("generated SQL failed:\n{}", e.render(&sql)));
+        prop_assert_eq!(parsed.order_by.len(), 1);
+        prop_assert_eq!(parsed.order_by[0].rel.0, 0);
+        prop_assert_eq!(parsed.useplan.expect("USEPLAN present").to_u64(), Some(1));
     }
 }

@@ -23,9 +23,93 @@
 //! Everything is deterministic in the caller's seed, so the statistical
 //! CI job reproduces bit-identical p-values run-to-run.
 
-use crate::{fit_exponential, fit_gamma, ks_statistic, StatsError};
+use crate::{fit_exponential, fit_gamma, ks_statistic, StatsError, Summary};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// A bootstrap confidence interval on one sample quantile, as reported
+/// by [`bootstrap_quantile_cis`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantileCi {
+    /// Quantile level in `[0, 1]` (0.5 = median).
+    pub level: f64,
+    /// The sample quantile itself (the point estimate).
+    pub point: f64,
+    /// Lower confidence bound (percentile method).
+    pub lo: f64,
+    /// Upper confidence bound (percentile method).
+    pub hi: f64,
+}
+
+impl std::fmt::Display for QuantileCi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "q{:02.0} {:.4} [{:.4}, {:.4}]",
+            self.level * 100.0,
+            self.point,
+            self.lo,
+            self.hi
+        )
+    }
+}
+
+/// Seeded nonparametric-bootstrap confidence intervals on sample
+/// quantiles (percentile method): resample `data` with replacement
+/// `replicates` times, compute every requested quantile on each
+/// resample, and report the `(1±confidence)/2` percentiles of the
+/// replicate distribution around the full-sample point estimate.
+///
+/// The single-sample Table-1 quantiles ("min sampled cost", "mean",
+/// the ≤2×/≤10× fractions) say nothing about their own sampling noise;
+/// these intervals do — a paper-comparison claim like "the 1% quantile
+/// of scaled cost is ≈ 2" is only meaningful with its CI attached
+/// (docs/EXPERIMENTS.md §E1). Deterministic in `seed`, so recorded
+/// intervals reproduce bit-identically run-to-run.
+pub fn bootstrap_quantile_cis(
+    data: &[f64],
+    levels: &[f64],
+    replicates: usize,
+    confidence: f64,
+    seed: u64,
+) -> Result<Vec<QuantileCi>, StatsError> {
+    let clean: Vec<f64> = data.iter().copied().filter(|v| !v.is_nan()).collect();
+    if clean.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    assert!(replicates > 0, "bootstrap needs at least one replicate");
+    assert!(confidence > 0.0 && confidence < 1.0, "confidence in (0,1)");
+    for &p in levels {
+        assert!((0.0..=1.0).contains(&p), "quantile level outside [0,1]");
+    }
+    let full = Summary::of(&clean);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // replicate_quantiles[j][b] = level j's quantile in resample b.
+    let mut replicate_quantiles: Vec<Vec<f64>> = vec![Vec::with_capacity(replicates); levels.len()];
+    let mut resample = Vec::with_capacity(clean.len());
+    for _ in 0..replicates {
+        resample.clear();
+        resample.extend((0..clean.len()).map(|_| clean[rng.gen_range(0..clean.len())]));
+        let s = Summary::of(&resample);
+        for (j, &p) in levels.iter().enumerate() {
+            replicate_quantiles[j].push(s.quantile(p));
+        }
+    }
+    let alpha = 1.0 - confidence;
+    Ok(levels
+        .iter()
+        .zip(&mut replicate_quantiles)
+        .map(|(&p, reps)| {
+            let s = Summary::of(reps);
+            QuantileCi {
+                level: p,
+                point: full.quantile(p),
+                lo: s.quantile(alpha / 2.0),
+                hi: s.quantile(1.0 - alpha / 2.0),
+            }
+        })
+        .collect())
+}
 
 /// Outcome of a parametric-bootstrap goodness-of-fit test.
 ///
@@ -216,7 +300,6 @@ pub fn ks_exponential_fit(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Summary;
 
     fn gamma_sample(shape: f64, scale: f64, n: usize, seed: u64) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -299,6 +382,61 @@ mod tests {
         assert_eq!(a.null_statistics, b.null_statistics);
         let c = ks_gamma_fit(&data, 99, 5678).unwrap();
         assert!((a.p_value - c.p_value).abs() < 0.2, "seeds agree loosely");
+    }
+
+    #[test]
+    fn quantile_cis_bracket_the_truth_and_tighten_with_n() {
+        // Uniform(0,1): the true median is 0.5 and the true q90 is 0.9;
+        // a 95% bootstrap CI from a large sample must bracket them, and
+        // the interval must shrink as the sample grows.
+        let sample = |n: usize, seed: u64| -> Vec<f64> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..n).map(|_| rng.gen::<f64>()).collect()
+        };
+        let widths: Vec<f64> = [400usize, 6400]
+            .iter()
+            .map(|&n| {
+                let cis =
+                    bootstrap_quantile_cis(&sample(n, 9), &[0.5, 0.9], 999, 0.95, 42).unwrap();
+                for (ci, truth) in cis.iter().zip([0.5, 0.9]) {
+                    assert!(
+                        ci.lo <= truth && truth <= ci.hi,
+                        "n={n}: true q{} = {truth} outside [{}, {}]",
+                        ci.level * 100.0,
+                        ci.lo,
+                        ci.hi
+                    );
+                    assert!(ci.lo <= ci.point && ci.point <= ci.hi, "{ci}");
+                }
+                cis[0].hi - cis[0].lo
+            })
+            .collect();
+        assert!(
+            widths[1] < widths[0] / 2.0,
+            "16x the data must shrink the median CI well past half: {widths:?}"
+        );
+    }
+
+    #[test]
+    fn quantile_cis_are_deterministic_in_the_seed() {
+        let data = gamma_sample(2.0, 1.5, 500, 3);
+        let a = bootstrap_quantile_cis(&data, &[0.01, 0.5, 0.99], 499, 0.95, 7).unwrap();
+        let b = bootstrap_quantile_cis(&data, &[0.01, 0.5, 0.99], 499, 0.95, 7).unwrap();
+        assert_eq!(a, b, "same seed, same intervals, bit for bit");
+        assert!(a[0].point <= a[1].point && a[1].point <= a[2].point);
+        assert!(a.iter().all(|ci| ci.to_string().starts_with('q')));
+    }
+
+    #[test]
+    fn quantile_cis_reject_empty_samples() {
+        assert!(matches!(
+            bootstrap_quantile_cis(&[], &[0.5], 99, 0.95, 1),
+            Err(StatsError::EmptySample)
+        ));
+        assert!(matches!(
+            bootstrap_quantile_cis(&[f64::NAN], &[0.5], 99, 0.95, 1),
+            Err(StatsError::EmptySample)
+        ));
     }
 
     #[test]

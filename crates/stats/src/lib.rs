@@ -29,7 +29,9 @@ mod bootstrap;
 mod hypothesis;
 mod special;
 
-pub use bootstrap::{ks_exponential_fit, ks_gamma_fit, BootstrapOutcome};
+pub use bootstrap::{
+    bootstrap_quantile_cis, ks_exponential_fit, ks_gamma_fit, BootstrapOutcome, QuantileCi,
+};
 pub use hypothesis::{NullDistribution, StatsError, TestOutcome};
 pub use special::{digamma, gamma_p, gamma_q, kolmogorov_q, ln_gamma, trigamma};
 
