@@ -14,7 +14,7 @@
 //! ```
 //!
 //! Sections are self-describing slices; every payload starts on an
-//! 8-byte *file* offset, so in-section alignment (see [`crate::codec`])
+//! 8-byte *file* offset, so in-section alignment (see `crate::codec`)
 //! is file alignment and the flat `u32`/`u64`/limb tables reload with
 //! one allocation and a straight chunked copy each.
 //!

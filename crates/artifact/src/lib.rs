@@ -10,7 +10,7 @@
 //! state durable:
 //!
 //! * [`encode`] / [`decode`] turn a [`PreparedQuery`] into a
-//!   self-contained byte image and back. The format (see [`format`] and
+//!   self-contained byte image and back. The format (see [`mod@format`] and
 //!   docs/DESIGN.md §10) is sectioned — query, optimizer config, memo
 //!   tables, CSR link arrays, count limbs, best plan — with per-section
 //!   and whole-file checksums and 8-byte alignment so the flat

@@ -17,7 +17,7 @@ impl Nat {
     pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &Nat) -> Nat {
         assert!(!bound.is_zero(), "random_below: empty range");
         if let Some(b) = bound.to_u64() {
-            return Nat::from(rng.gen_range(0..b));
+            return Nat::from(Self::random_below_u64(rng, b));
         }
         let bound_limbs = bound.limbs();
         let limbs = bound_limbs.len();
@@ -39,6 +39,20 @@ impl Nat {
                 return candidate;
             }
         }
+    }
+
+    /// Single-limb specialization of [`random_below`](Self::random_below):
+    /// a uniform `u64` in `[0, bound)` with **exactly** the RNG
+    /// consumption of `random_below` on the same single-limb bound — one
+    /// `gen_range` call. The allocation-free sampling fast path draws
+    /// ranks through this and stays bit-identical to the `Nat` path on
+    /// the same seed.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero (the range is empty).
+    pub fn random_below_u64<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+        assert!(bound > 0, "random_below: empty range");
+        rng.gen_range(0..bound)
     }
 }
 

@@ -655,10 +655,13 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
         }
         Command::Sample(k, _) => {
             let mut rng = StdRng::seed_from_u64(cli.seed);
-            let costs: Vec<f64> = prepared
-                .sample_batch(&mut rng, *k)
+            // The flat batch path: u64 unranking on single-limb spaces
+            // (Nat fallback otherwise), no per-plan tree allocation.
+            let mut batch = plansample::PlanBatch::new();
+            prepared.sample_batch_flat(&mut rng, *k, &mut batch);
+            let costs: Vec<f64> = batch
                 .iter()
-                .map(|plan| prepared.scaled_cost(plan))
+                .map(|ids| prepared.scaled_cost_ids(ids))
                 .collect();
             let s = Summary::of(&costs);
             let _ = writeln!(out, "{k} uniform samples from {} plans", prepared.total());

@@ -1,0 +1,197 @@
+//! Reusable flat plan batches — the allocation-free sampling surface.
+//!
+//! A [`PlanBatch`] holds `k` sampled plans as one contiguous buffer of
+//! preorder [`PhysId`]s plus a bounds table, CSR-style, mirroring the
+//! flat layout philosophy of [`crate::Links`]: after the first batch
+//! warms its capacity, refilling it allocates nothing. The serving
+//! layer's `SampleBatch` path and the throughput benchmark both sample
+//! through this type; callers that want trees keep using
+//! [`crate::PlanSpace::sample_batch`], which returns [`PlanNode`]s.
+//!
+//! A preorder id sequence determines the plan tree uniquely (each
+//! operator's arity is known from the memo), so the flat form loses no
+//! information — [`PlanNode::preorder_ids`] is the inverse direction,
+//! and the differential tests compare the two representations directly.
+
+use crate::links::ListId;
+use plansample_memo::{PhysId, PlanNode};
+
+/// A resizable, reusable batch of flat plans.
+///
+/// Obtain one with [`PlanBatch::new`], pass it to
+/// [`crate::PlanSpace::sample_batch_flat`] (or the
+/// [`crate::PreparedQuery`] delegation) as many times as needed; each
+/// fill clears the previous content but keeps the capacity.
+#[derive(Debug, Default, Clone)]
+pub struct PlanBatch {
+    /// Preorder operator ids of every plan, concatenated.
+    ids: Vec<PhysId>,
+    /// Plan `p` = `ids[bounds[p] as usize .. bounds[p+1] as usize]`;
+    /// always starts with 0.
+    bounds: Vec<u32>,
+    /// Unrank scratch: the explicit recursion stack of the `u64` fast
+    /// path, kept here so its capacity survives across draws.
+    pub(crate) stack: Vec<(ListId, u64)>,
+}
+
+impl PlanBatch {
+    /// An empty batch; buffers grow on first use and are kept thereafter.
+    pub fn new() -> PlanBatch {
+        PlanBatch::default()
+    }
+
+    /// Number of plans currently held.
+    pub fn len(&self) -> usize {
+        self.bounds.len().saturating_sub(1)
+    }
+
+    /// Whether the batch holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `p`-th plan as its preorder id sequence.
+    ///
+    /// # Panics
+    /// Panics when `p >= len()`.
+    #[inline]
+    pub fn plan(&self, p: usize) -> &[PhysId] {
+        &self.ids[self.bounds[p] as usize..self.bounds[p + 1] as usize]
+    }
+
+    /// Iterates the plans in draw order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[PhysId]> + '_ {
+        (0..self.len()).map(|p| self.plan(p))
+    }
+
+    /// Drops the plans, keeping every buffer's capacity.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.bounds.clear();
+    }
+
+    /// Total preorder ids across all plans (the buffer payload size).
+    pub fn total_nodes(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Begins a fill: ensures the leading 0 bound is in place.
+    pub(crate) fn start_fill(&mut self) {
+        self.clear();
+        self.bounds.push(0);
+    }
+
+    /// Direct access to the id buffer for the unrank fast path; the
+    /// caller appends one plan's preorder ids then calls
+    /// [`finish_plan`](Self::finish_plan).
+    pub(crate) fn ids_mut(&mut self) -> &mut Vec<PhysId> {
+        &mut self.ids
+    }
+
+    /// Seals the ids appended since the previous seal as one plan.
+    pub(crate) fn finish_plan(&mut self) {
+        debug_assert!(!self.bounds.is_empty(), "start_fill must come first");
+        self.bounds.push(self.ids.len() as u32);
+    }
+
+    /// Appends a tree-form plan (the multi-limb fallback path).
+    pub(crate) fn push_tree(&mut self, plan: &PlanNode) {
+        fn rec(node: &PlanNode, ids: &mut Vec<PhysId>) {
+            ids.push(node.id);
+            for child in &node.children {
+                rec(child, ids);
+            }
+        }
+        rec(plan, &mut self.ids);
+        self.finish_plan();
+    }
+
+    /// Appends every plan of `other` (the parallel-fill merge step).
+    pub(crate) fn append_flat(&mut self, other: &PlanBatch) {
+        let offset = self.ids.len() as u32;
+        self.ids.extend_from_slice(&other.ids);
+        self.bounds
+            .extend(other.bounds[1..].iter().map(|&b| b + offset));
+    }
+
+    /// Bytes of memory held by the buffers, capacity-accurate.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.ids.capacity() * std::mem::size_of::<PhysId>()
+            + self.bounds.capacity() * std::mem::size_of::<u32>()
+            + self.stack.capacity() * std::mem::size_of::<(ListId, u64)>()
+    }
+}
+
+impl<'a> IntoIterator for &'a PlanBatch {
+    type Item = &'a [PhysId];
+    type IntoIter = Box<dyn ExactSizeIterator<Item = &'a [PhysId]> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+    use crate::PlanSpace;
+    use plansample_bignum::Nat;
+
+    #[test]
+    fn push_tree_matches_preorder_ids() {
+        let ex = paper_example::build();
+        let space = PlanSpace::build(&ex.memo, &ex.query).unwrap();
+        let mut batch = PlanBatch::new();
+        batch.start_fill();
+        for r in [0u64, 13, 31] {
+            batch.push_tree(&space.unrank(&Nat::from(r)).unwrap());
+        }
+        assert_eq!(batch.len(), 3);
+        for (p, r) in [0u64, 13, 31].iter().enumerate() {
+            let tree = space.unrank(&Nat::from(*r)).unwrap();
+            assert_eq!(batch.plan(p), tree.preorder_ids().as_slice());
+        }
+        assert_eq!(
+            batch.total_nodes(),
+            batch.iter().map(<[PhysId]>::len).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn append_flat_offsets_bounds() {
+        let ex = paper_example::build();
+        let space = PlanSpace::build(&ex.memo, &ex.query).unwrap();
+        let mut a = PlanBatch::new();
+        a.start_fill();
+        a.push_tree(&space.unrank(&Nat::from(1u64)).unwrap());
+        let mut b = PlanBatch::new();
+        b.start_fill();
+        b.push_tree(&space.unrank(&Nat::from(2u64)).unwrap());
+        b.push_tree(&space.unrank(&Nat::from(3u64)).unwrap());
+        a.append_flat(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(
+            a.plan(2),
+            space
+                .unrank(&Nat::from(3u64))
+                .unwrap()
+                .preorder_ids()
+                .as_slice()
+        );
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let ex = paper_example::build();
+        let space = PlanSpace::build(&ex.memo, &ex.query).unwrap();
+        let mut batch = PlanBatch::new();
+        batch.start_fill();
+        batch.push_tree(&space.unrank(&Nat::zero()).unwrap());
+        let cap = batch.ids.capacity();
+        assert!(cap > 0);
+        batch.clear();
+        assert!(batch.is_empty());
+        assert_eq!(batch.ids.capacity(), cap);
+    }
+}

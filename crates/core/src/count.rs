@@ -38,6 +38,51 @@ pub struct Counts {
     list_totals: Vec<Nat>,
     /// `N`: the whole-space total.
     total: Nat,
+    /// Single-limb sidecar for the allocation-free unrank fast path;
+    /// present iff every count in the space fits one `u64` limb.
+    fast: Option<FastCounts>,
+}
+
+/// Flat `u64` copies of every count — the operands of the fast-path
+/// mixed-radix decomposition, which replaces per-step `Nat` borrows and
+/// comparisons with plain integer arithmetic.
+///
+/// The sidecar is built only when **all** per-expression counts and
+/// **all** list totals fit `u64`. Per-value gating would be wrong in
+/// both directions: a space whose total fits can still be probed at any
+/// expression via the rooted sub-space API, and (because a sibling slot
+/// with an *empty* list zeroes a parent product) an individual `N(v)`
+/// can exceed the space total, so "total fits" does not imply "all
+/// values fit". All-or-nothing keeps the criterion one branch on the
+/// hot path. Cost: 8 bytes per expression + 8 per interned list,
+/// charged to [`Counts::size_bytes`].
+#[derive(Debug, Clone)]
+pub(crate) struct FastCounts {
+    /// `N(v)` by dense id.
+    per_expr: Vec<u64>,
+    /// `b` of each interned list.
+    list_totals: Vec<u64>,
+}
+
+impl FastCounts {
+    /// `N(v)` as a single limb.
+    #[inline]
+    pub(crate) fn rooted(&self, d: DenseId) -> u64 {
+        self.per_expr[d.idx()]
+    }
+
+    /// `b_v(i)` of one interned list as a single limb.
+    #[inline]
+    pub(crate) fn list_total(&self, l: ListId) -> u64 {
+        self.list_totals[l.idx()]
+    }
+
+    /// Heap bytes of the sidecar buffers (the inline struct is already
+    /// part of `size_of::<Counts>()`).
+    fn size_bytes(&self) -> usize {
+        self.per_expr.capacity() * std::mem::size_of::<u64>()
+            + self.list_totals.capacity() * std::mem::size_of::<u64>()
+    }
 }
 
 impl Counts {
@@ -139,11 +184,26 @@ impl Counts {
         }
 
         let total = list_totals[root.idx()].clone();
+        let fast = Self::fast_sidecar(&per_expr, &list_totals);
         Counts {
             per_expr,
             list_totals,
             total,
+            fast,
         }
+    }
+
+    /// Builds the single-limb sidecar when every count fits `u64`
+    /// (shared by [`compute`](Self::compute) and
+    /// [`from_parts`](Self::from_parts) so loaded artifacts get the fast
+    /// path too).
+    fn fast_sidecar(per_expr: &[Nat], list_totals: &[Nat]) -> Option<FastCounts> {
+        let per_expr: Option<Vec<u64>> = per_expr.iter().map(Nat::to_u64).collect();
+        let list_totals: Option<Vec<u64>> = list_totals.iter().map(Nat::to_u64).collect();
+        Some(FastCounts {
+            per_expr: per_expr?,
+            list_totals: list_totals?,
+        })
     }
 
     /// Reassembles counts from raw vectors (the artifact load path).
@@ -167,10 +227,12 @@ impl Counts {
             });
         }
         let total = list_totals[links.root_list().idx()].clone();
+        let fast = Self::fast_sidecar(&per_expr, &list_totals);
         Ok(Counts {
             per_expr,
             list_totals,
             total,
+            fast,
         })
     }
 
@@ -206,8 +268,22 @@ impl Counts {
         &self.total
     }
 
+    /// Whether the single-limb fast path applies to this space: every
+    /// per-expression count and list total fits one `u64` limb. Spaces
+    /// past ~1.8·10^19 plans (clique-9 and up in the synthetic suite)
+    /// fall back to the exact [`Nat`] path.
+    pub fn has_fast_path(&self) -> bool {
+        self.fast.is_some()
+    }
+
+    /// The single-limb sidecar, when the space qualifies.
+    #[inline]
+    pub(crate) fn fast(&self) -> Option<&FastCounts> {
+        self.fast.as_ref()
+    }
+
     /// Bytes of memory held by the count buffers, including every limb
-    /// allocation, capacity-accurate.
+    /// allocation and the single-limb sidecar, capacity-accurate.
     pub fn size_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.per_expr.iter().map(Nat::size_bytes).sum::<usize>()
@@ -215,6 +291,7 @@ impl Counts {
             + (self.per_expr.capacity() - self.per_expr.len()) * std::mem::size_of::<Nat>()
             + (self.list_totals.capacity() - self.list_totals.len()) * std::mem::size_of::<Nat>()
             + self.total.size_bytes()
+            + self.fast.as_ref().map_or(0, FastCounts::size_bytes)
     }
 }
 

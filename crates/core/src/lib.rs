@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+mod batch;
 mod count;
 mod enumerate;
 mod links;
@@ -66,6 +67,7 @@ mod subspace;
 mod unrank;
 pub mod validate;
 
+pub use batch::PlanBatch;
 pub use count::Counts;
 pub use enumerate::PlanCursor;
 pub use links::{Links, LinksParts, ListId};

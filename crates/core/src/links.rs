@@ -400,97 +400,158 @@ impl Links {
             + self.topo.capacity() * std::mem::size_of::<DenseId>()
     }
 
-    /// Iterative three-colour DFS producing the children-before-parents
-    /// post-order; a grey hit is a cycle.
+    /// Smallest per-round frontier worth fanning out: each frontier
+    /// expression costs a few atomic decrements.
+    const PAR_MIN_TOPO: usize = 64;
+
+    /// Level-synchronous Kahn elimination producing a
+    /// children-before-parents order; leftovers after the frontier runs
+    /// dry are a cycle.
     ///
     /// The walk runs over the *condensed bipartite graph* — an expression
     /// points at its interned lists, a list at its member expressions —
     /// so the edge count is `slots + pooled entries`, not the full
     /// (interning-free) link count the naive link graph would force it
     /// to visit. On Q8+CP that is ~80k edges instead of several million.
+    ///
+    /// Unlike the DFS it replaced, each round's frontier is processed in
+    /// parallel: a frontier expression retires its membership edges with
+    /// an atomic `fetch_sub`, the worker that takes a counter to zero
+    /// (exactly one, by atomicity) collects the newly-ready node, and the
+    /// round's collected successors are merged and **sorted by dense id**
+    /// before becoming the next frontier. Sorting is what keeps the
+    /// output bit-identical at every thread count: the set of nodes per
+    /// level is a property of the graph, and the order within a level is
+    /// pinned by the sort rather than by scheduling. (The order differs
+    /// from the old DFS post-order — only the children-before-parents
+    /// property is contractual, and `from_parts` validates topo only as
+    /// a permutation, so persisted artifacts remain loadable.)
     fn topo_sort(&self) -> Result<Vec<DenseId>, SpaceError> {
-        const WHITE: u8 = 0;
-        const GREY: u8 = 1;
-        const BLACK: u8 = 2;
-        /// Tag bit distinguishing list nodes from expression nodes.
-        const LIST: u32 = 1 << 31;
+        use std::sync::atomic::{AtomicU32, Ordering};
         let n = self.num_exprs();
-        let mut expr_colour = vec![WHITE; n];
-        let mut list_colour = vec![WHITE; self.num_lists()];
-        let mut topo = Vec::with_capacity(n);
-        // Frame: (tagged node, cursor) — the cursor is an absolute index
-        // into `slot_lists` for expression nodes and into `pool` for list
-        // nodes.
-        let mut stack: Vec<(u32, u32)> = Vec::new();
-        for start in 0..n as u32 {
-            if expr_colour[start as usize] != WHITE {
-                continue;
+        let num_lists = self.num_lists();
+
+        // Reverse CSRs by counting sort. Forward edges are "expr needs
+        // its slot lists, list needs its members"; elimination flows the
+        // other way, so we need membership (expr → lists it appears in)
+        // and consumption (list → exprs with a slot on it).
+        let mut member_bounds = vec![0u32; n + 1];
+        for d in &self.pool {
+            member_bounds[d.idx() + 1] += 1;
+        }
+        for i in 0..n {
+            member_bounds[i + 1] += member_bounds[i];
+        }
+        let mut member_lists = vec![0u32; self.pool.len()];
+        let mut cursor: Vec<u32> = member_bounds[..n].to_vec();
+        for l in 0..num_lists {
+            for p in self.list_bounds[l] as usize..self.list_bounds[l + 1] as usize {
+                let d = self.pool[p].idx();
+                member_lists[cursor[d] as usize] = l as u32;
+                cursor[d] += 1;
             }
-            expr_colour[start as usize] = GREY;
-            stack.push((start, self.slot_bounds[start as usize]));
-            while let Some(&mut (node, ref mut cursor)) = stack.last_mut() {
-                // The next successor: a list for expressions, a member
-                // expression for lists. `None` once the node is done.
-                let next = if node & LIST == 0 {
-                    if *cursor == self.slot_bounds[(node + 1) as usize] {
-                        expr_colour[node as usize] = BLACK;
-                        topo.push(DenseId(node));
-                        stack.pop();
-                        continue;
+        }
+        let mut consumer_bounds = vec![0u32; num_lists + 1];
+        for l in &self.slot_lists {
+            consumer_bounds[l.idx() + 1] += 1;
+        }
+        for i in 0..num_lists {
+            consumer_bounds[i + 1] += consumer_bounds[i];
+        }
+        let mut consumers = vec![0u32; self.slot_lists.len()];
+        let mut cursor: Vec<u32> = consumer_bounds[..num_lists].to_vec();
+        for e in 0..n {
+            for s in self.slot_bounds[e] as usize..self.slot_bounds[e + 1] as usize {
+                let l = self.slot_lists[s].idx();
+                consumers[cursor[l] as usize] = e as u32;
+                cursor[l] += 1;
+            }
+        }
+
+        // Outstanding dependencies. An expression is ready when all its
+        // slot lists are finished; a list when all its members retired.
+        let pending_expr: Vec<AtomicU32> = (0..n)
+            .map(|e| AtomicU32::new(self.slot_bounds[e + 1] - self.slot_bounds[e]))
+            .collect();
+        let pending_list: Vec<AtomicU32> = (0..num_lists)
+            .map(|l| AtomicU32::new(self.list_bounds[l + 1] - self.list_bounds[l]))
+            .collect();
+
+        // Round 0: leaves are born ready; empty lists (a slot that
+        // filtered to no alternatives) finish immediately and may ready
+        // their consumers before any expression retires.
+        let mut frontier: Vec<u32> = (0..n as u32)
+            .filter(|&e| pending_expr[e as usize].load(Ordering::Relaxed) == 0)
+            .collect();
+        for l in 0..num_lists {
+            if pending_list[l].load(Ordering::Relaxed) == 0 {
+                for &e in &consumers[consumer_bounds[l] as usize..consumer_bounds[l + 1] as usize] {
+                    if pending_expr[e as usize].fetch_sub(1, Ordering::Relaxed) == 1 {
+                        frontier.push(e);
                     }
-                    let l = self.slot_lists[*cursor as usize];
-                    *cursor += 1;
-                    (l.0 | LIST, self.list_bounds[l.idx()], list_colour[l.idx()])
-                } else {
-                    let l = (node & !LIST) as usize;
-                    if *cursor == self.list_bounds[l + 1] {
-                        list_colour[l] = BLACK;
-                        stack.pop();
-                        continue;
-                    }
-                    let child = self.pool[*cursor as usize];
-                    *cursor += 1;
-                    (
-                        child.0,
-                        self.slot_bounds[child.idx()],
-                        expr_colour[child.idx()],
-                    )
-                };
-                let (succ, succ_cursor, succ_colour) = next;
-                match succ_colour {
-                    WHITE => {
-                        if succ & LIST == 0 {
-                            expr_colour[succ as usize] = GREY;
-                        } else {
-                            list_colour[(succ & !LIST) as usize] = GREY;
-                        }
-                        stack.push((succ, succ_cursor));
-                    }
-                    GREY => {
-                        // A grey list means the cycle runs through one of
-                        // its member expressions; report the nearest
-                        // expression on the stack for a nominal id.
-                        let at = if succ & LIST == 0 {
-                            DenseId(succ)
-                        } else {
-                            DenseId(
-                                stack
-                                    .iter()
-                                    .rev()
-                                    .map(|&(n, _)| n)
-                                    .find(|&n| n & LIST == 0)
-                                    .expect("a grey list implies an expression beneath it"),
-                            )
-                        };
-                        return Err(SpaceError::CyclicMemo {
-                            at: self.ids.phys(at),
-                        });
-                    }
-                    _ => {}
                 }
             }
         }
-        Ok(topo)
+        frontier.sort_unstable();
+
+        let mut topo: Vec<DenseId> = Vec::with_capacity(n);
+        while !frontier.is_empty() {
+            topo.extend(frontier.iter().map(|&e| DenseId(e)));
+            let ready_per_expr: Vec<Vec<u32>> =
+                threadpool::parallel_map(frontier.len(), Self::PAR_MIN_TOPO, |i| {
+                    let e = frontier[i] as usize;
+                    let mut ready = Vec::new();
+                    for &l in
+                        &member_lists[member_bounds[e] as usize..member_bounds[e + 1] as usize]
+                    {
+                        if pending_list[l as usize].fetch_sub(1, Ordering::AcqRel) != 1 {
+                            continue;
+                        }
+                        let c = consumer_bounds[l as usize] as usize
+                            ..consumer_bounds[l as usize + 1] as usize;
+                        for &p in &consumers[c] {
+                            if pending_expr[p as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                ready.push(p);
+                            }
+                        }
+                    }
+                    ready
+                });
+            let mut next: Vec<u32> = ready_per_expr.into_iter().flatten().collect();
+            next.sort_unstable();
+            frontier = next;
+        }
+
+        if topo.len() == n {
+            return Ok(topo);
+        }
+        // Leftovers: walk unfinished dependencies until a node repeats —
+        // the walk can only converge into a cycle, and the first repeat
+        // is on it. Every unprocessed expression has an unfinished slot
+        // list, and every unfinished list an unprocessed member.
+        let unprocessed = |e: &AtomicU32| e.load(Ordering::Relaxed) > 0;
+        let mut seen = vec![false; n];
+        let mut e = (0..n)
+            .find(|&e| unprocessed(&pending_expr[e]))
+            .expect("topo shortfall implies an unprocessed expression");
+        loop {
+            if std::mem::replace(&mut seen[e], true) {
+                return Err(SpaceError::CyclicMemo {
+                    at: self.ids.phys(DenseId(e as u32)),
+                });
+            }
+            let l = self
+                .slot_lists(DenseId(e as u32))
+                .iter()
+                .find(|l| pending_list[l.idx()].load(Ordering::Relaxed) > 0)
+                .expect("an unprocessed expression has an unfinished list");
+            e = self
+                .list(*l)
+                .iter()
+                .find(|d| unprocessed(&pending_expr[d.idx()]))
+                .expect("an unfinished list has an unprocessed member")
+                .idx();
+        }
     }
 }
 

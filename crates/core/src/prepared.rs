@@ -10,7 +10,7 @@
 //! can count, unrank, page, and sample concurrently with zero
 //! re-optimization and zero locking.
 
-use crate::{Error, PlanCursor, PlanSpace, SpaceError};
+use crate::{Error, PlanBatch, PlanCursor, PlanSpace, SpaceError};
 use plansample_bignum::Nat;
 use plansample_catalog::Catalog;
 use plansample_memo::{satisfies_cols, Memo, PhysId, PlanNode, SortOrder};
@@ -219,6 +219,41 @@ impl PreparedQuery {
     /// Panics if `k > 0` and the space is empty.
     pub fn sample_batch<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<PlanNode> {
         self.space.sample_batch(rng, k)
+    }
+
+    /// Draws `k` plans uniformly into a reusable flat batch — the
+    /// zero-allocation serving path (see
+    /// [`PlanSpace::sample_batch_flat`]). Bit-identical content to
+    /// [`sample_batch`](Self::sample_batch) on the same seed.
+    ///
+    /// # Panics
+    /// Panics if `k > 0` and the space is empty.
+    pub fn sample_batch_flat<R: Rng + ?Sized>(&self, rng: &mut R, k: usize, out: &mut PlanBatch) {
+        self.space.sample_batch_flat(rng, k, out);
+    }
+
+    /// [`scaled_cost`](Self::scaled_cost) for a flat preorder id
+    /// sequence (a [`PlanBatch`] entry): a plan's total cost is the sum
+    /// of its operators' local costs, so no tree needs rebuilding.
+    ///
+    /// The sum is evaluated bottom-up with the exact association of
+    /// [`PlanNode::total_cost`](plansample_memo::PlanNode::total_cost)
+    /// — local cost plus the left-to-right sum of child subtree totals
+    /// — so the result is bit-identical to the tree path, not merely
+    /// within a ULP (the serve crate asserts reply byte-identity).
+    pub fn scaled_cost_ids(&self, ids: &[PhysId]) -> f64 {
+        let memo = self.memo();
+        let mut totals: Vec<f64> = Vec::with_capacity(ids.len().min(64));
+        for &id in ids.iter().rev() {
+            let expr = memo.phys(id);
+            // Reverse preorder pushes the leftmost child's total last,
+            // so draining back-to-front restores left-to-right order.
+            let start = totals.len() - expr.arity();
+            let children: f64 = totals.drain(start..).rev().sum();
+            totals.push(expr.local_cost + children);
+        }
+        debug_assert_eq!(totals.len(), 1, "preorder did not form one tree");
+        totals[0] / self.best_cost
     }
 
     /// Uniform sample from the sub-space rooted at `v`.

@@ -15,7 +15,7 @@
 //! accepts the unranking sampler and rejects the naive walk — the reason
 //! the paper needs the counting machinery at all.
 
-use crate::PlanSpace;
+use crate::{PlanBatch, PlanSpace};
 use plansample_bignum::Nat;
 use plansample_memo::{DenseId, PlanNode};
 use rand::Rng;
@@ -62,6 +62,78 @@ impl PlanSpace {
         threadpool::parallel_map(k, Self::PAR_MIN_DRAWS, |i| {
             self.unrank(&ranks[i]).expect("rank drawn below the total")
         })
+    }
+
+    /// Draws `k` plans uniformly into a reusable flat batch — the
+    /// zero-allocation serving path.
+    ///
+    /// On spaces whose counts all fit one limb (see
+    /// [`crate::Counts::has_fast_path`]) each draw is one
+    /// `gen_range` plus the `u64` mixed-radix unrank appended straight
+    /// into `out`'s buffers: once those are at capacity, a steady-state
+    /// fill performs **zero heap allocations per draw** (asserted by
+    /// `tests/alloc_counting.rs`). Multi-limb spaces transparently fall
+    /// back to the exact [`Nat`] path and flatten its trees.
+    ///
+    /// The RNG is consumed exactly as [`sample_batch`](Self::sample_batch)
+    /// consumes it ([`Nat::random_below`] on a single-limb bound is one
+    /// `gen_range` — see [`Nat::random_below_u64`]), and large batches
+    /// fan the unranking out in fixed-size chunks merged in draw order,
+    /// so the batch content is bit-identical to `sample_batch`'s at
+    /// every thread count.
+    ///
+    /// # Panics
+    /// Panics if `k > 0` and the space is empty.
+    pub fn sample_batch_flat<R: Rng + ?Sized>(&self, rng: &mut R, k: usize, out: &mut PlanBatch) {
+        assert!(
+            k == 0 || !self.total().is_zero(),
+            "cannot sample from an empty plan space"
+        );
+        out.start_fill();
+        let Some(fast) = self.counts.fast() else {
+            for plan in self.sample_batch(rng, k) {
+                out.push_tree(&plan);
+            }
+            return;
+        };
+        let total = self
+            .total()
+            .to_u64()
+            .expect("the fast sidecar implies a single-limb total");
+
+        if threadpool::num_threads() == 1 || k < 2 * Self::PAR_MIN_DRAWS {
+            // Inline fill: draw and unrank per plan, nothing but `out`'s
+            // own (reused) buffers touched.
+            let mut stack = std::mem::take(&mut out.stack);
+            for _ in 0..k {
+                let rank = Nat::random_below_u64(rng, total);
+                self.unrank_flat_u64(fast, rank, out.ids_mut(), &mut stack);
+                out.finish_plan();
+            }
+            out.stack = stack;
+            return;
+        }
+
+        // Parallel fill: ranks up front (same RNG order as above), then
+        // fixed-size chunks unranked concurrently into local batches and
+        // merged in draw order. The chunk size is independent of the
+        // worker count, so the merged content never depends on it.
+        let ranks: Vec<u64> = (0..k).map(|_| Nat::random_below_u64(rng, total)).collect();
+        let chunks = k.div_ceil(Self::PAR_MIN_DRAWS);
+        let parts: Vec<PlanBatch> = threadpool::parallel_map(chunks, 1, |c| {
+            let mut part = PlanBatch::new();
+            part.start_fill();
+            let mut stack = std::mem::take(&mut part.stack);
+            let lo = c * Self::PAR_MIN_DRAWS;
+            for &rank in &ranks[lo..(lo + Self::PAR_MIN_DRAWS).min(k)] {
+                self.unrank_flat_u64(fast, rank, part.ids_mut(), &mut stack);
+                part.finish_plan();
+            }
+            part
+        });
+        for part in &parts {
+            out.append_flat(part);
+        }
     }
 
     /// Alias of [`sample_batch`](Self::sample_batch), kept for the
@@ -170,6 +242,28 @@ mod tests {
             })
             .sum();
         assert!(chi2 > 61.1, "naive walk unexpectedly uniform: chi2={chi2}");
+    }
+
+    #[test]
+    fn flat_batch_matches_tree_batch_at_every_thread_count() {
+        let ex = paper_example::build();
+        let space = PlanSpace::build(&ex.memo, &ex.query).unwrap();
+        assert!(space.counts().has_fast_path());
+        let trees = {
+            let mut rng = StdRng::seed_from_u64(11);
+            space.sample_batch(&mut rng, 600)
+        };
+        for threads in [1, 2, 4] {
+            let mut batch = crate::PlanBatch::new();
+            let mut rng = StdRng::seed_from_u64(11);
+            threadpool::with_threads(threads, || {
+                space.sample_batch_flat(&mut rng, 600, &mut batch)
+            });
+            assert_eq!(batch.len(), 600);
+            for (flat, tree) in batch.iter().zip(&trees) {
+                assert_eq!(flat, tree.preorder_ids().as_slice(), "{threads} threads");
+            }
+        }
     }
 
     #[test]

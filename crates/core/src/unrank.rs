@@ -22,9 +22,11 @@
 //! alternative list ([`crate::Counts::list_total`]), so no step re-sums
 //! alternative counts.
 
+use crate::count::FastCounts;
+use crate::links::ListId;
 use crate::{PlanSpace, SpaceError};
 use plansample_bignum::Nat;
-use plansample_memo::{DenseId, PlanNode};
+use plansample_memo::{DenseId, PhysId, PlanNode};
 
 impl PlanSpace {
     /// Builds plan number `rank` (0-based, `rank < total()`).
@@ -65,6 +67,58 @@ impl PlanSpace {
         PlanNode {
             id: self.links.ids().phys(v),
             children,
+        }
+    }
+
+    /// The `u64` specialization: same three steps, but every count the
+    /// decomposition touches is a single limb ([`FastCounts`]), the
+    /// recursion is an explicit stack, and the plan is emitted as a flat
+    /// **preorder id sequence** appended to `ids` — no `PlanNode`
+    /// allocation per node, no `Nat` borrow per comparison. With `ids`
+    /// and `stack` at capacity this performs zero heap allocations
+    /// (asserted by `tests/alloc_counting.rs`).
+    ///
+    /// Bit-identical to [`unrank_expr`](Self::unrank_expr) by
+    /// construction: the operator scan and the mixed-radix digits use
+    /// the same values in the same order, only in `u64` arithmetic —
+    /// differential-tested in `tests/unrank_fast_path.rs`.
+    ///
+    /// The caller guarantees `rank` is below the space total.
+    pub(crate) fn unrank_flat_u64(
+        &self,
+        fast: &FastCounts,
+        rank: u64,
+        ids: &mut Vec<PhysId>,
+        stack: &mut Vec<(ListId, u64)>,
+    ) {
+        stack.clear();
+        stack.push((self.links.root_list(), rank));
+        while let Some((list, mut rank)) = stack.pop() {
+            // Step 1: operator selection by prefix sums.
+            let mut chosen = None;
+            for &v in self.links.list(list) {
+                let n = fast.rooted(v);
+                if rank < n {
+                    chosen = Some(v);
+                    break;
+                }
+                rank -= n;
+            }
+            let v = chosen.expect("rank below the alternative total by construction");
+            ids.push(self.links.ids().phys(v));
+            // Step 2: mixed-radix digits, one div/mod per slot. Children
+            // are emitted depth-first in slot order, so the (list, digit)
+            // frames go on the stack reversed — slot 0 pops first and
+            // its whole subtree lands before slot 1's.
+            let base = stack.len();
+            let mut rest = rank;
+            for &l in self.links.slot_lists(v) {
+                let b = fast.list_total(l);
+                stack.push((l, rest % b));
+                rest /= b;
+            }
+            debug_assert_eq!(rest, 0, "local rank exceeded B_v(|v|)");
+            stack[base..].reverse();
         }
     }
 }

@@ -109,6 +109,21 @@ impl CmpOp {
             CmpOp::Ge => ">=",
         }
     }
+
+    /// The operator with its operands swapped: `a op b` ⇔
+    /// `b op.reversed() a`. The SQL parser uses this to normalize
+    /// literal-first predicates (`5 < col`) onto the canonical
+    /// `col op literal` filter shape.
+    pub fn reversed(&self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
 }
 
 /// A single-relation predicate `col op literal`.

@@ -341,7 +341,8 @@ pub fn report_json(report: &LoadReport) -> String {
             .int("entries", s.entries)
             .int("resident_bytes", s.resident_bytes)
             .int("synth_services", s.synth_services)
-            .int("synth_evictions", s.synth_evictions);
+            .int("synth_evictions", s.synth_evictions)
+            .int("batch_peak_bytes", s.batch_peak_bytes);
         let secs = report.elapsed.as_secs_f64();
         w.arr("per_reactor");
         for (i, r) in s.per_reactor.iter().enumerate() {

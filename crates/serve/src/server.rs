@@ -634,8 +634,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
                             Ok(job) => job,
                             Err(_) => return, // reactor exited, channel closed
                         };
-                        let response = state.handle(&job.request);
-                        let payload = response.encode(job.request_id);
+                        let payload = state.handle_encoded(&job.request, job.request_id);
                         completions
                             .lock()
                             .expect("completion queue poisoned")

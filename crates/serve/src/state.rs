@@ -24,10 +24,10 @@
 //!    cheap no matter how hot the cache is.
 
 use crate::wire::{
-    ErrorCode, ReactorStats, Request, Response, StatsReply, WirePlan, Workload, MAX_SAMPLE_BATCH,
-    MAX_SYNTH_RELATIONS,
+    ErrorCode, ReactorStats, Request, Response, SamplesEncoder, StatsReply, WirePlan, Workload,
+    MAX_SAMPLE_BATCH, MAX_SYNTH_RELATIONS,
 };
-use plansample_core::{Error, PlanService, PreparedQuery};
+use plansample_core::{Error, PlanBatch, PlanService, PreparedQuery};
 use plansample_datagen::joingraph::{JoinGraphSpec, Topology};
 use plansample_memo::PlanNode;
 use plansample_optimizer::OptimizerConfig;
@@ -120,6 +120,10 @@ pub struct ServerState {
     pub connections_total: AtomicU64,
     /// Synthetic services evicted to stay under the LRU cap.
     pub synth_evictions: AtomicU64,
+    /// High-water mark of per-request sampling memory: flat batch plus
+    /// reply buffer of the largest `SampleBatch` stream-encoded so far
+    /// (maintained by [`ServerState::handle_encoded`] via `fetch_max`).
+    pub batch_peak_bytes: AtomicU64,
     /// Requests queued or executing across all reactors — the count the
     /// queue bound admits against (see [`ServerState::try_admit`]).
     inflight: AtomicU64,
@@ -161,6 +165,7 @@ impl ServerState {
             connections_open: AtomicU64::new(0),
             connections_total: AtomicU64::new(0),
             synth_evictions: AtomicU64::new(0),
+            batch_peak_bytes: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
             per_reactor: (0..reactors.max(1))
                 .map(|_| ReactorCounters::default())
@@ -243,6 +248,57 @@ impl ServerState {
         }
     }
 
+    /// Executes one decoded request straight to reply *bytes* — the
+    /// path the worker pools and reactors use. For `SampleBatch` within
+    /// bounds this streams: plans are drawn into a reusable flat
+    /// [`PlanBatch`] (the `u64` fast path; zero steady-state
+    /// allocations per draw) and encoded into the reply buffer one at a
+    /// time via [`SamplesEncoder`], so a 4096-plan batch never
+    /// materializes a tree or a `WirePlan` per plan — peak memory is
+    /// the reply plus the flat ids, tracked in
+    /// [`ServerState::batch_peak_bytes`]. The produced bytes are
+    /// identical to `self.handle(request).encode(request_id)` (the
+    /// encoder is byte-compatible and the flat sampler is bit-identical
+    /// to the tree sampler), which `tests/serving_stats.rs` asserts.
+    /// Every other request defers to [`handle`](Self::handle).
+    pub fn handle_encoded(&self, request: &Request, request_id: u64) -> Vec<u8> {
+        if let Request::SampleBatch(wl, seed, k) = request {
+            if *k <= MAX_SAMPLE_BATCH {
+                self.requests_admitted.fetch_add(1, Ordering::Relaxed);
+                return self.stream_samples(wl, *seed, *k, request_id);
+            }
+        }
+        self.handle(request).encode(request_id)
+    }
+
+    /// The streaming `SampleBatch` body behind
+    /// [`handle_encoded`](Self::handle_encoded).
+    fn stream_samples(&self, workload: &Workload, seed: u64, k: u32, request_id: u64) -> Vec<u8> {
+        let prepared = match self.prepared_for(workload) {
+            Ok((prepared, _)) => prepared,
+            Err(resp) => return resp.encode(request_id),
+        };
+        thread_local! {
+            /// Per-worker sampling scratch; capacity persists across
+            /// requests, so steady-state fills allocate nothing.
+            static SCRATCH: std::cell::RefCell<PlanBatch> =
+                std::cell::RefCell::new(PlanBatch::new());
+        }
+        SCRATCH.with(|cell| {
+            let mut batch = cell.borrow_mut();
+            let mut rng = StdRng::seed_from_u64(seed);
+            prepared.sample_batch_flat(&mut rng, k as usize, &mut batch);
+            let mut enc = SamplesEncoder::new(request_id);
+            for ids in batch.iter() {
+                let cost = prepared.scaled_cost_ids(ids);
+                enc.push(ids.iter().map(|id| (id.group.0, id.index as u32)), cost);
+            }
+            let peak = (batch.size_bytes() + enc.len_bytes()) as u64;
+            self.batch_peak_bytes.fetch_max(peak, Ordering::Relaxed);
+            enc.finish()
+        })
+    }
+
     /// Resolves the workload through its service and applies `f`,
     /// mapping every failure (shed, parse, optimize) to a typed error
     /// reply. `f` receives whether the artifact was already cached.
@@ -251,21 +307,31 @@ impl ServerState {
         workload: &Workload,
         f: impl FnOnce(&PreparedQuery, bool) -> Response,
     ) -> Response {
-        let (service, query) = match self.resolve(workload) {
-            Ok(pair) => pair,
-            Err(resp) => return *resp,
-        };
+        match self.prepared_for(workload) {
+            Ok((prepared, cached)) => f(&prepared, cached),
+            Err(resp) => *resp,
+        }
+    }
+
+    /// Resolves and prepares a workload, applying admission control:
+    /// the shared front half of [`with_prepared`](Self::with_prepared)
+    /// and the streaming sample path.
+    fn prepared_for(
+        &self,
+        workload: &Workload,
+    ) -> Result<(Arc<PreparedQuery>, bool), Box<Response>> {
+        let (service, query) = self.resolve(workload)?;
         let cached = service.is_cached(&query);
         if !cached {
             if let Some(denial) = self.deny_preparation(&service) {
                 self.shed_prepare.fetch_add(1, Ordering::Relaxed);
-                return denial;
+                return Err(Box::new(denial));
             }
         }
-        match service.get_or_prepare(&query) {
-            Ok(prepared) => f(&prepared, cached),
-            Err(e) => error_response(&e),
-        }
+        service
+            .get_or_prepare(&query)
+            .map(|prepared| (prepared, cached))
+            .map_err(|e| Box::new(error_response(&e)))
     }
 
     /// Maps a workload to the service that caches it plus the concrete
@@ -403,6 +469,7 @@ impl ServerState {
             synth_services,
             synth_resident_bytes,
             synth_evictions: self.synth_evictions.load(Ordering::Relaxed),
+            batch_peak_bytes: self.batch_peak_bytes.load(Ordering::Relaxed),
             per_reactor: self
                 .per_reactor
                 .iter()
@@ -493,6 +560,56 @@ mod tests {
         assert_eq!(evictions(), 2);
         state.handle(&chain(1)); // the refreshed entry survived both
         assert_eq!(evictions(), 2);
+    }
+
+    #[test]
+    fn streamed_sample_batch_bytes_match_the_tree_path() {
+        let state = state(4);
+        let wl = Workload::Synthetic {
+            topology: Topology::Chain,
+            relations: 5,
+            seed: 9,
+        };
+        for k in [0u32, 1, 7, 64] {
+            let request = Request::SampleBatch(wl.clone(), 123, k);
+            let streamed = state.handle_encoded(&request, 42);
+            let tree = state.handle(&request).encode(42);
+            assert_eq!(streamed, tree, "k={k}");
+        }
+        // Oversized batches fall through to the ordinary error path.
+        let too_big = Request::SampleBatch(wl, 1, MAX_SAMPLE_BATCH + 1);
+        assert_eq!(
+            state.handle_encoded(&too_big, 7),
+            state.handle(&too_big).encode(7)
+        );
+    }
+
+    #[test]
+    fn sampling_peak_bytes_is_tracked_and_bounded() {
+        let state = state(4);
+        let wl = Workload::Synthetic {
+            topology: Topology::Chain,
+            relations: 6,
+            seed: 2,
+        };
+        assert_eq!(state.stats().batch_peak_bytes, 0);
+        state.handle_encoded(&Request::SampleBatch(wl.clone(), 5, 64), 1);
+        let small = state.stats().batch_peak_bytes;
+        assert!(small > 0, "peak counter never moved");
+        state.handle_encoded(&Request::SampleBatch(wl.clone(), 5, 4096), 2);
+        let large = state.stats().batch_peak_bytes;
+        assert!(large >= small, "fetch_max is monotone");
+        // Streaming keeps the peak at flat-ids + reply: for a 6-relation
+        // chain every plan is ≤ a few dozen nodes, so 4096 plans must
+        // stay well under a megabyte per node-u32 — no per-plan tree or
+        // WirePlan materialization.
+        assert!(
+            large < 16 << 20,
+            "peak {large} bytes suggests the batch was materialized"
+        );
+        // A later smaller batch never lowers the high-water mark.
+        state.handle_encoded(&Request::SampleBatch(wl, 5, 1), 3);
+        assert_eq!(state.stats().batch_peak_bytes, large);
     }
 
     #[test]

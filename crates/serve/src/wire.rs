@@ -27,11 +27,12 @@
 use plansample_bignum::Nat;
 use plansample_datagen::joingraph::Topology;
 
-/// Protocol version carried in every frame header. Version 2 widened
-/// [`StatsReply`] with admission/accept counters and the per-reactor
-/// breakdown; version 1 peers are rejected with a typed
-/// [`WireError::BadVersion`] reply rather than misdecoded.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// Protocol version carried in every frame header. Version 3 added
+/// [`StatsReply::batch_peak_bytes`]; version 2 widened [`StatsReply`]
+/// with admission/accept counters and the per-reactor breakdown. Older
+/// peers are rejected with a typed [`WireError::BadVersion`] reply
+/// rather than misdecoded.
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Upper bound on a frame's payload length. Large enough for any
 /// response the server produces (plans are small trees; sample batches
@@ -284,6 +285,12 @@ pub struct StatsReply {
     pub synth_resident_bytes: u64,
     /// Synthetic services evicted to stay under the LRU cap.
     pub synth_evictions: u64,
+    /// High-water mark of per-request sampling memory: the flat plan
+    /// batch plus the reply buffer of the largest `SampleBatch` served
+    /// so far. Stream encoding keeps this bounded by the reply size
+    /// instead of growing with a tree per sampled plan (see
+    /// `tests/serving_stats.rs`).
+    pub batch_peak_bytes: u64,
     /// Per-reactor counter breakdown, indexed by reactor.
     pub per_reactor: Vec<ReactorStats>,
 }
@@ -721,6 +728,7 @@ impl Response {
                     s.synth_services,
                     s.synth_resident_bytes,
                     s.synth_evictions,
+                    s.batch_peak_bytes,
                 ] {
                     w.u64(v);
                 }
@@ -809,6 +817,7 @@ impl Response {
                         synth_services: next()?,
                         synth_resident_bytes: next()?,
                         synth_evictions: next()?,
+                        batch_peak_bytes: next()?,
                         per_reactor: Vec::new(),
                     }
                 };
@@ -836,9 +845,84 @@ impl Response {
     }
 }
 
+/// Incremental encoder for a [`Response::Samples`] payload: plans are
+/// appended one at a time, each encoded straight into the reply buffer
+/// as it is unranked, so serving a 4096-plan batch never materializes a
+/// tree (or a `WirePlan`) per plan. [`finish`](Self::finish) patches
+/// the item count and yields bytes **identical** to
+/// `Response::Samples(items).encode(request_id)` for the same plans and
+/// costs — asserted by `samples_encoder_matches_batch_encoding` below,
+/// which is what lets the server switch paths without clients noticing.
+pub struct SamplesEncoder {
+    w: Writer,
+    /// Offset of the u32 item count, patched at finish.
+    count_pos: usize,
+    count: u32,
+}
+
+impl SamplesEncoder {
+    /// Starts a samples reply for `request_id`.
+    pub fn new(request_id: u64) -> SamplesEncoder {
+        let mut w = header(0x85, request_id);
+        let count_pos = w.0.len();
+        w.u32(0);
+        SamplesEncoder {
+            w,
+            count_pos,
+            count: 0,
+        }
+    }
+
+    /// Appends one plan — its preorder `(group, index)` pairs — and its
+    /// scaled cost.
+    pub fn push(&mut self, plan: impl ExactSizeIterator<Item = (u32, u32)>, cost: f64) {
+        self.w.u32(plan.len() as u32);
+        for (g, i) in plan {
+            self.w.u32(g);
+            self.w.u32(i);
+        }
+        self.w.f64(cost);
+        self.count += 1;
+    }
+
+    /// Bytes buffered so far (header + encoded plans) — the reply's
+    /// contribution to the peak-memory counter.
+    pub fn len_bytes(&self) -> usize {
+        self.w.0.len()
+    }
+
+    /// Seals the payload: patches the item count and returns the frame
+    /// payload.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.w.0[self.count_pos..self.count_pos + 4].copy_from_slice(&self.count.to_le_bytes());
+        std::mem::take(&mut self.w.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn samples_encoder_matches_batch_encoding() {
+        let items: Vec<(WirePlan, f64)> = vec![
+            (vec![(0, 1), (2, 3), (4, 5)], 1.25),
+            (vec![], 0.5),
+            (vec![(9, 9)], 3.75),
+        ];
+        let batch = Response::Samples(items.clone()).encode(77);
+        let mut enc = SamplesEncoder::new(77);
+        for (plan, cost) in &items {
+            enc.push(plan.iter().copied(), *cost);
+        }
+        assert_eq!(enc.finish(), batch, "stream path must be byte-identical");
+
+        // Empty replies too.
+        assert_eq!(
+            SamplesEncoder::new(3).finish(),
+            Response::Samples(Vec::new()).encode(3)
+        );
+    }
 
     #[test]
     fn request_frames_round_trip() {

@@ -227,6 +227,55 @@ mod tests {
     }
 
     #[test]
+    fn literal_first_filters_normalize_by_flipping() {
+        let catalog = cat();
+        // `24 > l_quantity` ⇔ `l_quantity < 24`, etc.
+        let parsed = parse(
+            &catalog,
+            "SELECT * FROM lineitem l WHERE 24 > l.l_quantity AND 5 <= l.l_discount \
+             AND 100 <> l.l_shipdate AND 10 >= l.l_suppkey AND 3 < l.l_partkey \
+             AND 7 = l.l_orderkey",
+        )
+        .unwrap();
+        let ops: Vec<CmpOp> = parsed.spec.filters.iter().map(|f| f.op).collect();
+        assert_eq!(
+            ops,
+            vec![
+                CmpOp::Lt,
+                CmpOp::Ge,
+                CmpOp::Ne,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Eq
+            ]
+        );
+        assert_eq!(parsed.spec.filters[0].value, Datum::Int(24));
+
+        // Both spellings lower to the identical filter.
+        let canonical = parse(&catalog, "SELECT * FROM lineitem WHERE l_quantity < 24").unwrap();
+        let reversed = parse(&catalog, "SELECT * FROM lineitem WHERE 24 > l_quantity").unwrap();
+        assert_eq!(
+            format!("{:?}", canonical.spec.filters),
+            format!("{:?}", reversed.spec.filters)
+        );
+    }
+
+    #[test]
+    fn literal_first_string_filters_parse() {
+        let catalog = cat();
+        let parsed = parse(&catalog, "SELECT * FROM nation WHERE 'ASIA' = n_name").unwrap();
+        assert_eq!(parsed.spec.filters[0].op, CmpOp::Eq);
+        assert_eq!(parsed.spec.filters[0].value, Datum::Str("ASIA".into()));
+    }
+
+    #[test]
+    fn literal_op_literal_is_rejected() {
+        let catalog = cat();
+        let err = parse(&catalog, "SELECT * FROM nation WHERE 1 < 2").unwrap_err();
+        assert!(err.message.contains("column"), "{err}");
+    }
+
+    #[test]
     fn non_equality_column_join_rejected() {
         let catalog = cat();
         let err = parse(

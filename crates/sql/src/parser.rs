@@ -15,6 +15,8 @@
 //! conj    := pred (AND pred)*
 //! pred    := colref '=' colref          -- join edge
 //!          | colref op literal          -- filter
+//!          | literal op colref          -- filter, normalized by
+//!                                          flipping op
 //! colref  := [alias '.'] column
 //! ```
 //!
@@ -347,29 +349,25 @@ impl Parser<'_> {
         qb: &mut QueryBuilder<'_>,
         rels: &[(String, String)],
     ) -> Result<(), ParseError> {
+        // Literal-first filter (`5 < col`): parse the literal, the
+        // operator, then require a column and normalize by flipping the
+        // operator onto the canonical `col op literal` shape.
+        if matches!(self.peek(), Some(TokenKind::Number(_) | TokenKind::Str(_))) {
+            let value = self.literal()?;
+            let op = self.comparison_op()?;
+            let (ralias, rcol, roffset) = self.colref()?;
+            let (ra, rc) = self.resolve(ralias, rcol, roffset, rels)?;
+            return qb
+                .filter((&ra, &rc), op.reversed(), value)
+                .map_err(|e| ParseError {
+                    message: e.to_string(),
+                    offset: roffset,
+                });
+        }
         let (lalias, lcol, loffset) = self.colref()?;
         let (la, lc) = self.resolve(lalias, lcol, loffset, rels)?;
         let op_offset = self.offset();
-        let op = match self.next() {
-            Some(TokenKind::Eq) => CmpOp::Eq,
-            Some(TokenKind::Ne) => CmpOp::Ne,
-            Some(TokenKind::Lt) => CmpOp::Lt,
-            Some(TokenKind::Le) => CmpOp::Le,
-            Some(TokenKind::Gt) => CmpOp::Gt,
-            Some(TokenKind::Ge) => CmpOp::Ge,
-            Some(other) => {
-                return Err(ParseError {
-                    message: format!("expected a comparison operator, found {other}"),
-                    offset: op_offset,
-                })
-            }
-            None => {
-                return Err(ParseError {
-                    message: "expected a comparison operator, found end of input".into(),
-                    offset: op_offset,
-                })
-            }
-        };
+        let op = self.comparison_op()?;
         match self.peek() {
             Some(TokenKind::Ident(_)) => {
                 // column-to-column: join edge (equality only)
@@ -394,6 +392,26 @@ impl Parser<'_> {
                     offset,
                 })
             }
+        }
+    }
+
+    fn comparison_op(&mut self) -> Result<CmpOp, ParseError> {
+        let op_offset = self.offset();
+        match self.next() {
+            Some(TokenKind::Eq) => Ok(CmpOp::Eq),
+            Some(TokenKind::Ne) => Ok(CmpOp::Ne),
+            Some(TokenKind::Lt) => Ok(CmpOp::Lt),
+            Some(TokenKind::Le) => Ok(CmpOp::Le),
+            Some(TokenKind::Gt) => Ok(CmpOp::Gt),
+            Some(TokenKind::Ge) => Ok(CmpOp::Ge),
+            Some(other) => Err(ParseError {
+                message: format!("expected a comparison operator, found {other}"),
+                offset: op_offset,
+            }),
+            None => Err(ParseError {
+                message: "expected a comparison operator, found end of input".into(),
+                offset: op_offset,
+            }),
         }
     }
 

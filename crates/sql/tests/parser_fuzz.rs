@@ -8,10 +8,11 @@
 //! 2. **Normalization** — generated, *valid* select-project-join
 //!    queries must parse to the same normalized [`QuerySpec`] under the
 //!    transformations the language declares meaningless: permuted
-//!    `WHERE` conjuncts, keyword case, and whitespace shape. Join edges
-//!    and filters are compared as multisets with symmetric edge
-//!    endpoints, which is exactly the invariance the serving cache key
-//!    relies on upstream.
+//!    `WHERE` conjuncts, keyword case, whitespace shape, and mirrored
+//!    comparisons (`24 > col` for `col < 24`, flipped join-edge
+//!    operands). Join edges and filters are compared as multisets with
+//!    symmetric edge endpoints, which is exactly the invariance the
+//!    serving cache key relies on upstream.
 
 use plansample_catalog::Catalog;
 use plansample_query::QuerySpec;
@@ -157,9 +158,30 @@ fn arb_spj() -> impl Strategy<Value = SpjQuery> {
     )
 }
 
+/// Mirrors a rendered conjunct `a op b` to `b op' a`. The parser
+/// normalizes literal-first filters by flipping the operator and treats
+/// join edges symmetrically, so both spellings must produce the same
+/// spec.
+fn flip_conjunct(conjunct: &str) -> String {
+    let parts: Vec<&str> = conjunct.split_whitespace().collect();
+    let [lhs, op, rhs] = parts[..] else {
+        panic!("conjunct {conjunct:?} is not `lhs op rhs`")
+    };
+    let mirrored = match op {
+        "<" => ">",
+        "<=" => ">=",
+        ">" => "<",
+        ">=" => "<=",
+        "=" => "=",
+        "<>" => "<>",
+        other => panic!("unknown operator {other:?}"),
+    };
+    format!("{rhs} {mirrored} {lhs}")
+}
+
 impl SpjQuery {
     /// Renders the query with a seed-driven conjunct order, keyword
-    /// case, and whitespace shape.
+    /// case, whitespace shape, and per-conjunct operand mirroring.
     fn render(&self, seed: u64) -> String {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut mangle = |kw: &str| -> String {
@@ -208,7 +230,11 @@ impl SpjQuery {
                     sql.push_str(&and_kw);
                 }
                 sql.push_str(&gap(&mut rng));
-                sql.push_str(self.conjuncts[c]);
+                if rng.gen_range(0..2) == 0 {
+                    sql.push_str(&flip_conjunct(self.conjuncts[c]));
+                } else {
+                    sql.push_str(self.conjuncts[c]);
+                }
             }
         }
         sql
@@ -271,6 +297,33 @@ proptest! {
         prop_assert!(a.order_by.is_empty());
         // Permuted conjuncts, different casing, different whitespace:
         // same normalized query.
+        prop_assert_eq!(fingerprint(&a.spec), fingerprint(&b.spec));
+    }
+
+    /// Every filter in the pools, spelled canonically and mirrored,
+    /// over its full chain: identical fingerprints, and the flipped
+    /// spelling still counts as a filter (not a join edge).
+    #[test]
+    fn mirrored_filters_normalize_to_their_canonical_spelling(
+        chain in 0usize..CHAINS.len(),
+        idx in 0usize..3,
+    ) {
+        let (tables, joins, filters) = CHAINS[chain];
+        let base = format!(
+            "SELECT * FROM {} WHERE {}",
+            tables.join(", "),
+            joins.join(" AND ")
+        );
+        let canonical = format!("{base} AND {}", filters[idx]);
+        let mirrored = format!("{base} AND {}", flip_conjunct(filters[idx]));
+        let catalog = catalog();
+        let a = parse(&catalog, &canonical)
+            .unwrap_or_else(|e| panic!("canonical failed:\n{}", e.render(&canonical)));
+        let b = parse(&catalog, &mirrored)
+            .unwrap_or_else(|e| panic!("mirrored failed:\n{}", e.render(&mirrored)));
+        prop_assert_eq!(a.spec.filters.len(), 1);
+        prop_assert_eq!(b.spec.filters.len(), 1);
+        prop_assert_eq!(b.spec.join_edges.len(), joins.len());
         prop_assert_eq!(fingerprint(&a.spec), fingerprint(&b.spec));
     }
 

@@ -1,13 +1,42 @@
-//! Workspace-internal data-parallelism shim: scoped spawn plus
+//! Workspace-internal data parallelism: a persistent worker pool with
 //! parallel-for/parallel-map over index ranges.
 //!
 //! The build environment for this repository has no crates.io access, so
 //! — following the `rand`/`proptest`/`criterion` pattern — this crate
-//! vendors the tiny slice of `rayon`-style functionality the plan-space
-//! construction actually uses: fork-join over a contiguous index range,
-//! with worker threads borrowed from [`std::thread::scope`] (no
-//! persistent pool, no work stealing). Swapping to real `rayon` would be
-//! a localized change in `plansample-core`'s three call sites.
+//! vendors the slice of `rayon`-style functionality the plan-space
+//! construction and batched sampling actually use: fork-join over a
+//! contiguous index range. Workers are **persistent**: the first
+//! parallel section lazily starts the global [`Pool`], and subsequent
+//! sections reuse its parked threads instead of paying a spawn per fork
+//! (tens of microseconds per thread under the old scoped-spawn shim —
+//! larger than an entire 64-draw sample batch).
+//!
+//! # Architecture
+//!
+//! One global chunked **injector queue** of jobs. A job is a
+//! lifetime-erased closure over `0..len` plus an atomic chunk cursor;
+//! workers (and the submitting caller itself) repeatedly claim the next
+//! chunk with a `fetch_add` until the range is exhausted. Dynamic
+//! chunk claiming is what provides the load balancing a work-stealing
+//! deque would — without per-worker queues, which nothing here needs:
+//! jobs are index ranges, not recursive task graphs. Idle workers park
+//! on a condvar and are woken per job submission; the caller blocks
+//! until every chunk of *its* job has finished, so borrowed closures
+//! are sound (the job cannot outlive the call). Panics inside a body
+//! are caught per chunk, stop further chunks of that job, and are
+//! re-thrown on the caller — the pool itself and unrelated concurrent
+//! jobs are unaffected.
+//!
+//! # Determinism
+//!
+//! All entry points are sequential-consistent by construction: every
+//! index is processed exactly once and results are committed in index
+//! order ([`parallel_map`] writes result `i` into slot `i` of the
+//! output, whichever worker produced it), so parallel and
+//! single-threaded runs are bit-identical for deterministic bodies —
+//! the contract `Links::build`, `Counts::compute`, and `sample_batch`
+//! build on. Which worker runs which chunk is *not* deterministic; the
+//! committed output is.
 //!
 //! # Thread-count resolution
 //!
@@ -18,45 +47,46 @@
 //!    races between concurrently running tests);
 //! 2. the process-wide override set by [`set_num_threads`] (the CLI's
 //!    `--threads N` flag lands here);
-//! 3. the `PLANSAMPLE_THREADS` environment variable (read once, at first
-//!    use);
+//! 3. the `PLANSAMPLE_THREADS` environment variable, re-read on every
+//!    resolution — *not* cached at first use, so a test or harness that
+//!    sets the variable after some earlier parallel section still gets
+//!    the count it asked for;
 //! 4. [`std::thread::available_parallelism`].
 //!
-//! # Granularity
-//!
-//! Workers are spawned per call, so each fork costs a few tens of
-//! microseconds per thread. Callers pass `min_chunk`, the smallest
-//! amount of work worth a thread; ranges smaller than two chunks run
-//! inline on the caller. All entry points are sequential-consistent by
-//! construction: every index is processed exactly once and results are
-//! returned in index order, so parallel and single-threaded runs are
-//! bit-identical for deterministic bodies.
+//! The resolved count is a *target*: the global pool grows on demand to
+//! one thread below it (the caller is the remaining worker) and keeps
+//! the high-water mark parked for later sections. Ranges smaller than
+//! two `min_chunk`s, and 1-thread configurations, run entirely inline
+//! on the caller — no queue traffic, no wakeups.
 
 #![warn(missing_docs)]
 
+use std::any::Any;
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Process-wide override; 0 = unset.
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
-
-/// `PLANSAMPLE_THREADS`, parsed once.
-static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
 
 thread_local! {
     /// Thread-local override; 0 = unset.
     static LOCAL_THREADS: Cell<usize> = const { Cell::new(0) };
 }
 
+/// `PLANSAMPLE_THREADS`, parsed fresh on every call. The previous shim
+/// cached the first read in a `OnceLock`, which made later env changes
+/// silently inert (see the `env_var_changes_are_observed` regression
+/// test); one `getenv` per *parallel section* (not per chunk) is cheap
+/// enough not to cache.
 fn env_threads() -> Option<usize> {
-    *ENV_THREADS.get_or_init(|| {
-        std::env::var("PLANSAMPLE_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-    })
+    std::env::var("PLANSAMPLE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
 }
 
 /// The number of worker threads parallel sections will use, resolved as
@@ -107,13 +137,270 @@ pub fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
 
 /// Scoped spawn, re-exported so callers needing raw fork-join (rather
 /// than an index range) depend on this crate instead of spelling
-/// [`std::thread::scope`] — the single place to swap in a real pool.
+/// [`std::thread::scope`]. Raw scopes spawn real threads per call; the
+/// index-range entry points below go through the persistent pool.
 pub fn scope<'env, F, T>(f: F) -> T
 where
     F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
 {
     std::thread::scope(f)
 }
+
+// ---------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------
+
+/// A lifetime-erased parallel section queued on a pool.
+///
+/// `run` processes one chunk of `0..len` through `data`, which points at
+/// a stack frame of the submitting caller. Soundness: the caller blocks
+/// in [`Pool::run_job`] until `pending` reaches zero, and chunks are
+/// only executed between a successful claim and the matching
+/// `finish_chunk`, so `data` strictly outlives every dereference.
+struct Job {
+    /// Executes chunk `i` (of `chunks` total). Called at most once per
+    /// chunk index.
+    run: unsafe fn(*const (), usize),
+    /// Borrowed closure context on the caller's stack.
+    data: *const (),
+    /// Next chunk to claim.
+    cursor: AtomicUsize,
+    /// Total chunks.
+    chunks: usize,
+    /// Chunks not yet finished (claimed-and-run, skipped, or abandoned).
+    pending: AtomicUsize,
+    /// Set once a chunk panicked: remaining chunks are skipped so the
+    /// caller re-throws promptly instead of finishing a doomed section.
+    poisoned: AtomicBool,
+    /// First panic payload, re-thrown by the caller.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Completion signal: the last finished chunk notifies the caller.
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `data` is only dereferenced through `run` while the submitting
+// caller is blocked in `run_job`, and the erased closure is `Sync` (the
+// public entry points bound it). The raw pointer itself is what strips
+// the automatic impls.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and runs chunks until the job is exhausted or poisoned.
+    /// Returns how many chunks this thread finished.
+    fn work(&self) -> usize {
+        let mut finished = 0;
+        loop {
+            let c = self.cursor.fetch_add(1, Ordering::AcqRel);
+            if c >= self.chunks {
+                return finished;
+            }
+            if !self.poisoned.load(Ordering::Acquire) {
+                // SAFETY: chunk `c` was claimed exactly once above, and
+                // the caller keeps `data` alive until `pending` drains.
+                let result = catch_unwind(AssertUnwindSafe(|| unsafe { (self.run)(self.data, c) }));
+                if let Err(payload) = result {
+                    self.poisoned.store(true, Ordering::Release);
+                    let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+                    slot.get_or_insert(payload);
+                }
+            }
+            finished += 1;
+            self.finish_chunk();
+        }
+    }
+
+    fn finish_chunk(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+            *done = true;
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.cursor.load(Ordering::Acquire) >= self.chunks
+    }
+}
+
+// ---------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------
+
+/// The injector queue shared by a pool's workers.
+struct Injector {
+    /// Jobs with unclaimed chunks. Workers lazily drop exhausted fronts.
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    /// Wakes parked workers on submission (and on shutdown).
+    available: Condvar,
+    /// Set by [`Pool::drop`]; workers exit their loop.
+    shutdown: AtomicBool,
+    /// Live worker threads (observability for the leak tests).
+    live: AtomicUsize,
+}
+
+/// A persistent worker pool.
+///
+/// The module-level entry points ([`parallel_for`], [`parallel_map`])
+/// use a lazily-started global instance that lives for the process (its
+/// idle workers park on a condvar and cost nothing; process exit tears
+/// them down). Separate instances exist for tests of the pool's own
+/// lifecycle: dropping a `Pool` signals shutdown and **joins** every
+/// worker, so no threads outlive it.
+pub struct Pool {
+    injector: Arc<Injector>,
+    /// Join handles of spawned workers, behind a mutex so `ensure_workers`
+    /// can grow the pool from any thread.
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Pool {
+    /// Creates an empty pool; workers are spawned on demand by the
+    /// parallel sections submitted to it.
+    pub fn new() -> Pool {
+        Pool {
+            injector: Arc::new(Injector {
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                live: AtomicUsize::new(0),
+            }),
+            workers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Worker threads currently spawned (the high-water mark of demanded
+    /// parallelism, not the number currently busy).
+    pub fn spawned_workers(&self) -> usize {
+        self.workers.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Worker threads currently running their loop — drains to zero
+    /// after [`Pool`] is dropped (test observability; the handle can be
+    /// cloned out before the drop).
+    pub fn live_workers(&self) -> usize {
+        self.injector.live.load(Ordering::Acquire)
+    }
+
+    /// Grows the pool to at least `target` workers.
+    fn ensure_workers(&self, target: usize) {
+        let mut workers = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        while workers.len() < target {
+            let injector = Arc::clone(&self.injector);
+            injector.live.fetch_add(1, Ordering::AcqRel);
+            let handle = std::thread::Builder::new()
+                .name(format!("plansample-worker-{}", workers.len()))
+                .spawn(move || worker_loop(&injector))
+                .expect("spawning a pool worker");
+            workers.push(handle);
+        }
+    }
+
+    /// Runs a prepared job to completion: queues it, participates in the
+    /// chunk claiming, then blocks until every chunk finished. Re-throws
+    /// the first body panic.
+    ///
+    /// # Safety
+    /// `job.data` must stay valid until this returns (guaranteed when it
+    /// points into the caller's own stack frame).
+    unsafe fn run_job(&self, job: Arc<Job>, helpers: usize) {
+        self.ensure_workers(helpers);
+        {
+            let mut queue = self
+                .injector
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            queue.push_back(Arc::clone(&job));
+        }
+        // One wakeup per helper the job can actually use; surplus parked
+        // workers stay parked.
+        for _ in 0..helpers {
+            self.injector.available.notify_one();
+        }
+
+        // The caller is a full participant — this is what makes nested
+        // sections deadlock-free: even with every worker busy, the
+        // submitting thread drives its own job to completion.
+        job.work();
+
+        // Wait for chunks claimed by workers that are still running.
+        let mut done = job.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = job.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+        drop(done);
+
+        let payload = job.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::new()
+    }
+}
+
+impl Drop for Pool {
+    /// Clean shutdown: signals every worker and joins them, so a dropped
+    /// pool leaks no threads (asserted by the lifecycle tests). The
+    /// global pool is never dropped; its parked workers die with the
+    /// process.
+    fn drop(&mut self) {
+        self.injector.shutdown.store(true, Ordering::Release);
+        self.injector.available.notify_all();
+        let workers = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|e| e.into_inner()));
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The worker body: pull a job with unclaimed chunks, drain it, park
+/// when the queue is empty. Body panics are contained inside
+/// [`Job::work`], so a worker survives arbitrary caller bugs.
+fn worker_loop(injector: &Injector) {
+    loop {
+        let job: Option<Arc<Job>> = {
+            let mut queue = injector.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if injector.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                // Drop exhausted fronts; claim the first live job.
+                while queue.front().is_some_and(|j| j.exhausted()) {
+                    queue.pop_front();
+                }
+                if let Some(job) = queue.front() {
+                    break Some(Arc::clone(job));
+                }
+                queue = injector
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(job) = job else {
+            injector.live.fetch_sub(1, Ordering::AcqRel);
+            return;
+        };
+        job.work();
+    }
+}
+
+/// The process-global pool behind the module-level entry points.
+fn global() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(Pool::new)
+}
+
+// ---------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------
 
 /// How many workers a range of `len` items deserves, given the smallest
 /// chunk worth a thread.
@@ -122,12 +409,28 @@ fn workers_for(len: usize, min_chunk: usize) -> usize {
     num_threads().min(by_work).max(1)
 }
 
-/// Runs `body` over `0..len` split into one contiguous sub-range per
-/// worker. `body` may run concurrently on multiple threads; the caller's
-/// thread processes the first sub-range itself. Ranges shorter than two
-/// `min_chunk`s (or a 1-thread configuration) run entirely inline.
+/// Chunk layout of a parallel section: more chunks than workers (up to
+/// 4× — dynamic claiming then load-balances uneven bodies) but never
+/// chunks smaller than `min_chunk`.
+fn chunk_size(len: usize, min_chunk: usize, workers: usize) -> usize {
+    len.div_ceil(workers * 4).max(min_chunk.max(1))
+}
+
+/// Erased context of one `parallel_for` section.
+struct ForCtx<'a, F> {
+    body: &'a F,
+    len: usize,
+    chunk: usize,
+}
+
+/// Runs `body` over `0..len`, split into contiguous chunks claimed
+/// dynamically by the pool's workers (the caller's thread participates).
+/// Chunks are at least `min_chunk` long; ranges shorter than two
+/// `min_chunk`s (or a 1-thread configuration) run entirely inline as the
+/// single range `0..len`.
 ///
-/// Panics in `body` propagate to the caller after all workers finish.
+/// Panics in `body` propagate to the caller after the section quiesces;
+/// chunks not yet started by then are skipped.
 pub fn parallel_for<F>(len: usize, min_chunk: usize, body: F)
 where
     F: Fn(Range<usize>) + Sync,
@@ -139,29 +442,42 @@ where
         }
         return;
     }
-    let chunk = len.div_ceil(workers);
-    let body = &body;
-    scope(|s| {
-        let handles: Vec<_> = (1..workers)
-            .map(|w| {
-                let range = (w * chunk).min(len)..((w + 1) * chunk).min(len);
-                s.spawn(move || body(range))
-            })
-            .collect();
-        body(0..chunk.min(len));
-        for h in handles {
-            // Propagate worker panics (join returns Err on panic).
-            if let Err(payload) = h.join() {
-                std::panic::resume_unwind(payload);
-            }
-        }
+    let chunk = chunk_size(len, min_chunk, workers);
+    let chunks = len.div_ceil(chunk);
+    let ctx = ForCtx {
+        body: &body,
+        len,
+        chunk,
+    };
+    unsafe fn run_chunk<F: Fn(Range<usize>) + Sync>(data: *const (), c: usize) {
+        // SAFETY: `data` points at the `ForCtx` on the submitting
+        // caller's stack, alive for the whole section (see `run_job`).
+        let ctx = unsafe { &*(data as *const ForCtx<'_, F>) };
+        let start = c * ctx.chunk;
+        (ctx.body)(start..(start + ctx.chunk).min(ctx.len));
+    }
+    let job = Arc::new(Job {
+        run: run_chunk::<F>,
+        data: &ctx as *const ForCtx<'_, F> as *const (),
+        cursor: AtomicUsize::new(0),
+        chunks,
+        pending: AtomicUsize::new(chunks),
+        poisoned: AtomicBool::new(false),
+        panic: Mutex::new(None),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
     });
+    // SAFETY: `ctx` outlives `run_job`, which blocks until every chunk
+    // has finished.
+    unsafe { global().run_job(job, workers - 1) };
 }
 
 /// Maps `f` over `0..len` in parallel, returning results in index order
 /// — the deterministic fork-join primitive the plan-space construction
 /// and batched sampling are built on. Chunking and inlining behave like
-/// [`parallel_for`].
+/// [`parallel_for`]; each result is written directly into its output
+/// slot (no per-worker buffers), so the committed vector is identical
+/// at every thread count.
 pub fn parallel_map<R, F>(len: usize, min_chunk: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -171,29 +487,78 @@ where
     if workers == 1 {
         return (0..len).map(f).collect();
     }
-    let chunk = len.div_ceil(workers);
-    let f = &f;
-    let mut parts: Vec<Vec<R>> = Vec::with_capacity(workers);
-    scope(|s| {
-        let handles: Vec<_> = (1..workers)
-            .map(|w| {
-                let range = (w * chunk).min(len)..((w + 1) * chunk).min(len);
-                s.spawn(move || range.map(f).collect::<Vec<R>>())
-            })
-            .collect();
-        parts.push((0..chunk.min(len)).map(f).collect());
-        for h in handles {
-            match h.join() {
-                Ok(part) => parts.push(part),
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        }
-    });
-    let mut out = Vec::with_capacity(len);
-    for part in parts {
-        out.extend(part);
+    let mut out: Vec<R> = Vec::with_capacity(len);
+    let chunk = chunk_size(len, min_chunk, workers);
+    let chunks = len.div_ceil(chunk);
+    // Per-chunk count of slots initialized so far: the panic path must
+    // drop exactly the elements that were written and no others.
+    let progress: Vec<AtomicUsize> = (0..chunks).map(|_| AtomicUsize::new(0)).collect();
+
+    struct MapCtx<'a, R, F> {
+        f: &'a F,
+        out: *mut R,
+        len: usize,
+        chunk: usize,
+        progress: &'a [AtomicUsize],
     }
-    out
+    unsafe impl<R: Send, F: Sync> Sync for MapCtx<'_, R, F> {}
+
+    unsafe fn run_chunk<R: Send, F: Fn(usize) -> R + Sync>(data: *const (), c: usize) {
+        // SAFETY: `data` points at the `MapCtx` on the submitting
+        // caller's stack; chunk `c` owns the disjoint output slice
+        // `[c*chunk, min((c+1)*chunk, len))`, claimed exactly once.
+        let ctx = unsafe { &*(data as *const MapCtx<'_, R, F>) };
+        let start = c * ctx.chunk;
+        let end = (start + ctx.chunk).min(ctx.len);
+        for i in start..end {
+            let value = (ctx.f)(i);
+            unsafe { ctx.out.add(i).write(value) };
+            ctx.progress[c].store(i - start + 1, Ordering::Release);
+        }
+    }
+
+    let ctx = MapCtx {
+        f: &f,
+        out: out.as_mut_ptr(),
+        len,
+        chunk,
+        progress: &progress,
+    };
+    let job = Arc::new(Job {
+        run: run_chunk::<R, F>,
+        data: &ctx as *const MapCtx<'_, R, F> as *const (),
+        cursor: AtomicUsize::new(0),
+        chunks,
+        pending: AtomicUsize::new(chunks),
+        poisoned: AtomicBool::new(false),
+        panic: Mutex::new(None),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    });
+    // SAFETY: `ctx` (and `out`'s buffer) outlive `run_job`, which blocks
+    // until every chunk has finished; afterwards either every slot is
+    // initialized (normal path) or `progress` bounds what was.
+    let result = catch_unwind(AssertUnwindSafe(|| unsafe {
+        global().run_job(job, workers - 1)
+    }));
+    match result {
+        Ok(()) => {
+            // Every chunk ran to completion: all `len` slots initialized.
+            unsafe { out.set_len(len) };
+            out
+        }
+        Err(payload) => {
+            // Drop exactly the initialized prefix of each chunk, leave
+            // `out`'s length at 0 so the vec frees only raw capacity.
+            for (c, written) in progress.iter().enumerate() {
+                let start = c * chunk;
+                for i in start..start + written.load(Ordering::Acquire) {
+                    unsafe { std::ptr::drop_in_place(out.as_mut_ptr().add(i)) };
+                }
+            }
+            resume_unwind(payload);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -253,9 +618,20 @@ mod tests {
     }
 
     #[test]
+    fn parallel_map_handles_drop_types_and_reuse() {
+        // Heap-owning results exercise the in-place commit path; run
+        // repeatedly so pooled workers see many jobs back to back.
+        for round in 0..20u64 {
+            let got = with_threads(4, || parallel_map(403, 1, |i| vec![round, i as u64]));
+            assert_eq!(got.len(), 403);
+            assert!(got.iter().enumerate().all(|(i, v)| v == &[round, i as u64]));
+        }
+    }
+
+    #[test]
     fn small_ranges_run_inline() {
-        // min_chunk larger than the range: must not spawn (observable via
-        // thread identity).
+        // min_chunk larger than the range: must not dispatch (observable
+        // via thread identity).
         let caller = std::thread::current().id();
         with_threads(8, || {
             parallel_for(10, 100, |range| {
@@ -283,6 +659,129 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn panicking_body_poisons_neither_pool_nor_later_callers() {
+        // A panic in one section must leave the persistent workers alive
+        // and subsequent (and concurrent) sections fully functional.
+        for round in 0..5 {
+            let result = std::panic::catch_unwind(|| {
+                with_threads(4, || {
+                    parallel_map(500, 1, |i| {
+                        if i == 250 {
+                            panic!("poisoned round {round}");
+                        }
+                        i
+                    })
+                })
+            });
+            assert!(result.is_err(), "round {round} must re-throw");
+            // The very next section on the same pool behaves normally.
+            let ok = with_threads(4, || parallel_map(500, 1, |i| i * 2));
+            assert_eq!(ok.len(), 500);
+            assert!(ok.iter().enumerate().all(|(i, &v)| v == i * 2));
+        }
+    }
+
+    #[test]
+    fn parallel_map_panic_drops_only_initialized_results() {
+        // Drop-tracking payloads: after a panicking map, the number of
+        // live payloads must return to zero (nothing leaked*, nothing
+        // double-dropped — a double drop would underflow and wrap).
+        // *The element that panicked mid-construction never existed.
+        static LIVE: AtomicU64 = AtomicU64::new(0);
+        struct Tracked;
+        impl Tracked {
+            fn new() -> Tracked {
+                LIVE.fetch_add(1, Ordering::SeqCst);
+                Tracked
+            }
+        }
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                parallel_map(800, 1, |i| {
+                    if i == 400 {
+                        panic!("mid-section");
+                    }
+                    Tracked::new()
+                })
+            })
+        });
+        assert!(result.is_err());
+        assert_eq!(
+            LIVE.load(Ordering::SeqCst),
+            0,
+            "every constructed result must be dropped exactly once"
+        );
+    }
+
+    #[test]
+    fn dropping_a_private_pool_joins_its_workers() {
+        // The no-thread-leak contract: Drop signals shutdown and joins,
+        // so after drop the workers' liveness count (read through a
+        // handle that outlives the pool) is zero.
+        let pool = Pool::new();
+        pool.ensure_workers(3);
+        assert_eq!(pool.spawned_workers(), 3);
+        // Give the workers a beat to enter their loop, then grab the
+        // observability handle and drop the pool.
+        let injector = Arc::clone(&pool.injector);
+        drop(pool);
+        assert_eq!(
+            injector.live.load(Ordering::Acquire),
+            0,
+            "drop must join every worker before returning"
+        );
+    }
+
+    #[test]
+    fn env_var_changes_are_observed() {
+        // Regression for the read-once staleness bug: the env variable
+        // must be re-resolved per call, even after earlier pool use.
+        // Serialized against itself only; other tests in this binary use
+        // `with_threads`, whose thread-local override shadows the env.
+        // (Asserting on `env_threads` rather than `num_threads` keeps
+        // this immune to the global-override test running in parallel.)
+        let _pin = with_threads(2, num_threads); // touch the resolver first
+        std::env::set_var("PLANSAMPLE_THREADS", "3");
+        assert_eq!(env_threads(), Some(3), "first read sees the variable");
+        std::env::set_var("PLANSAMPLE_THREADS", "5");
+        assert_eq!(
+            env_threads(),
+            Some(5),
+            "a later change must be observed, not served from a cache"
+        );
+        std::env::remove_var("PLANSAMPLE_THREADS");
+        assert_eq!(env_threads(), None);
+        // Overrides still take precedence over the environment.
+        std::env::set_var("PLANSAMPLE_THREADS", "7");
+        assert_eq!(with_threads(2, num_threads), 2);
+        std::env::remove_var("PLANSAMPLE_THREADS");
+    }
+
+    #[test]
+    fn concurrent_sections_share_the_pool() {
+        // Several caller threads submit jobs at once; every job commits
+        // its own results correctly.
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    with_threads(3, || {
+                        let got = parallel_map(301, 1, move |i| i as u64 + t);
+                        assert!(got.iter().enumerate().all(|(i, &v)| v == i as u64 + t));
+                    })
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 
     #[test]

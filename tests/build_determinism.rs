@@ -96,7 +96,30 @@ proptest! {
                 space.sample_batch(&mut rng, 300)
             })
         };
-        prop_assert_eq!(draw(&sequential, 1), draw(&parallel, 4));
+        let trees = draw(&sequential, 1);
+        prop_assert_eq!(&trees, &draw(&parallel, 4));
+
+        // The flat u64 fast path consumes the RNG identically to the
+        // Nat path (`random_below` on a single-limb bound is one
+        // `gen_range`), so its batches are bit-identical to the tree
+        // sampler's at every thread count too.
+        let draw_flat = |space: &PlanSpace, threads: usize| {
+            threadpool::with_threads(threads, || {
+                let mut out = plansample::PlanBatch::new();
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xD00D);
+                space.sample_batch_flat(&mut rng, 300, &mut out);
+                out
+            })
+        };
+        for threads in [1usize, 4] {
+            let flat = draw_flat(&sequential, threads);
+            prop_assert_eq!(flat.len(), trees.len());
+            for (ids, tree) in flat.iter().zip(&trees) {
+                let expected = tree.preorder_ids();
+                prop_assert_eq!(ids, expected.as_slice(),
+                    "flat batch diverged at {} threads", threads);
+            }
+        }
     }
 }
 

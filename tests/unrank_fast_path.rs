@@ -1,0 +1,126 @@
+//! Differential tests of the `u64` fast-path unranker (DESIGN.md §11).
+//!
+//! `sample_batch_flat` specializes the mixed-radix decomposition to one
+//! machine word when every count in the space fits `u64`, and falls
+//! back to the exact `Nat` path otherwise. Correctness here is entirely
+//! differential: on the *same seed*, the flat batch must reproduce the
+//! tree sampler's plans bit for bit —
+//!
+//! * on random optimizer-built join-graph topologies (all single-limb
+//!   at these sizes, so the fast path is what's exercised);
+//! * on directly synthesized spaces chosen to straddle the single-limb
+//!   boundary: chain/cycle graphs large enough that their totals need
+//!   two limbs (forcing the `Nat` fallback) and clique-9, the smallest
+//!   clique past the boundary;
+//! * and the criterion itself is pinned: `has_fast_path()` must be
+//!   false exactly when some count exceeds `u64`.
+//!
+//! clique-10 (the bench's fallback regime) is covered when
+//! `PLANSAMPLE_STATISTICAL=1` — its debug-mode memo synthesis is too
+//! slow for the fast test tier.
+
+use plansample::{PlanBatch, PlanSpace};
+use plansample_datagen::joingraph::{JoinGraphSpec, Topology};
+use plansample_optimizer::{optimize, OptimizerConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Draws `k` plans through both samplers on the same seed and asserts
+/// the flat batch equals the tree batch's preorder listings.
+fn assert_flat_matches_tree(space: &PlanSpace, seed: u64, k: usize) {
+    let trees = {
+        let mut rng = StdRng::seed_from_u64(seed);
+        space.sample_batch(&mut rng, k)
+    };
+    let mut flat = PlanBatch::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    space.sample_batch_flat(&mut rng, k, &mut flat);
+    assert_eq!(flat.len(), trees.len());
+    for (i, (ids, tree)) in flat.iter().zip(&trees).enumerate() {
+        assert_eq!(
+            ids,
+            tree.preorder_ids().as_slice(),
+            "draw {i} diverged (fast_path={})",
+            space.counts().has_fast_path()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random topology × size × seed over optimizer-built memos: the
+    /// flat sampler is indistinguishable from the tree sampler.
+    #[test]
+    fn fast_path_matches_nat_path_on_random_topologies(
+        topo_sel in 0usize..4,
+        rels in 3usize..6,
+        seed in 0u64..1000,
+    ) {
+        let spec = JoinGraphSpec::new(Topology::ALL[topo_sel], rels, seed);
+        let (catalog, query) = spec.build();
+        let optimized = optimize(&catalog, &query, &OptimizerConfig::default())
+            .expect("synthetic queries optimize");
+        let space = PlanSpace::build_shared(Arc::new(optimized.memo), Arc::new(query))
+            .expect("acyclic memo");
+        prop_assert!(
+            space.counts().has_fast_path(),
+            "spaces this small must stay single-limb"
+        );
+        assert_flat_matches_tree(&space, seed ^ 0xFA57, 128);
+    }
+
+    /// Directly synthesized chains and cycles across the single-limb
+    /// boundary: small ones take the fast path, large ones fall back,
+    /// and both produce identical batches.
+    #[test]
+    fn fallback_boundary_is_exact_and_differential(
+        cycle in any::<bool>(),
+        rels in 5usize..15,
+        seed in 0u64..100,
+    ) {
+        let topo = if cycle { Topology::Cycle } else { Topology::Chain };
+        let (_, query, memo) = JoinGraphSpec::new(topo, rels, 20000 + seed).build_memo();
+        let space = PlanSpace::build_shared(Arc::new(memo), Arc::new(query))
+            .expect("synthetic memo is acyclic");
+        // The criterion is the space's own counts, nothing heuristic:
+        // the sidecar exists iff every count fits u64.
+        let all_fit = space.links().all_ids().all(|id|
+            space.count_rooted(id).to_u64().is_some())
+            && space.total().to_u64().is_some();
+        prop_assert_eq!(space.counts().has_fast_path(), all_fit);
+        assert_flat_matches_tree(&space, seed ^ 0xB0B, 64);
+    }
+}
+
+/// clique-9: the smallest clique whose total overflows one limb — the
+/// forced multi-limb fallback named by the bench — must still match
+/// the tree sampler draw for draw.
+#[test]
+fn clique9_forces_the_nat_fallback_and_matches() {
+    let (_, query, memo) = JoinGraphSpec::new(Topology::Clique, 9, 20000).build_memo();
+    let space = PlanSpace::build_shared(Arc::new(memo), Arc::new(query)).expect("clique-9 builds");
+    assert!(
+        !space.counts().has_fast_path(),
+        "clique-9 total {} must not fit one limb",
+        space.total()
+    );
+    assert!(space.total().limbs().len() >= 2);
+    assert_flat_matches_tree(&space, 0x911, 48);
+}
+
+/// clique-10 (the sampling bench's fallback regime), in the slow tier
+/// only.
+#[test]
+fn clique10_fallback_matches_in_the_statistical_tier() {
+    if std::env::var("PLANSAMPLE_STATISTICAL").is_err() {
+        eprintln!("skipping clique-10 fallback check (set PLANSAMPLE_STATISTICAL=1)");
+        return;
+    }
+    let (_, query, memo) = JoinGraphSpec::new(Topology::Clique, 10, 20000).build_memo();
+    let space = PlanSpace::build_shared(Arc::new(memo), Arc::new(query)).expect("clique-10 builds");
+    assert!(!space.counts().has_fast_path());
+    assert_flat_matches_tree(&space, 0x1010, 32);
+}
