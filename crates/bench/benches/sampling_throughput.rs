@@ -2,30 +2,36 @@
 //!
 //! The paper's sampler is only useful if drawing 10 000 plans is cheap
 //! next to preparing the space. This bench pins the serving-path
-//! throughput (`sample_batch_flat`: the allocation-free `u64` unranking
-//! of DESIGN.md §11) in plans-per-second on two regimes:
+//! throughput (`sample_batch_flat`: the fixed-width unranking tiers of
+//! DESIGN.md §11) in plans-per-second on the ladder's regimes:
 //!
 //! * **Q8 + cross products** — the paper's largest memo, whose total
-//!   (~1.76 × 10¹⁸) fits a single limb, so every draw runs the `u64`
-//!   fast path;
-//! * **clique-10** — a ~700k-expression synthetic space with a
-//!   multi-limb total, exercising the exact-`Nat` fallback.
+//!   (~1.76 × 10¹⁸) fits a single limb: the `u64` tier;
+//! * **clique-10** — a ~700k-expression synthetic space with a two-limb
+//!   total (~5.6 × 10²³): the `u128` tier, measured both natively and
+//!   *forced* onto the exact-`Nat` rung (`PlanSpace::force_tier`) so the
+//!   artifact keeps a live fallback baseline.
 //!
 //! Each regime is measured at 1 and 4 pool threads and batch sizes
 //! 1 / 64 / 4096, and the numbers are written to `BENCH_sampling.json`
-//! (the same hand-rolled schema family as `BENCH_serving.json`). Two
-//! acceptance checks are **asserted** so a sampling regression fails CI:
+//! (the same hand-rolled schema family as `BENCH_serving.json`; each
+//! workload row carries its `tier`). Three acceptance checks are
+//! **asserted** so a sampling regression fails CI:
 //!
 //! 1. the batched single-limb fast path is ≥ 3× faster than the
 //!    tree-building `Nat` path on Q8+CP, single-threaded;
-//! 2. on machines with ≥ 4 cores, the 4-thread batched fast path is
+//! 2. the `u128` tier samples clique-10 ≥ 20× faster than the
+//!    exact-`Nat` fallback on the same space, single-threaded;
+//! 3. on machines with ≥ 4 cores, the 4-thread batched fast path is
 //!    ≥ 2× faster than 1-thread (skipped with a notice where the
 //!    hardware cannot exhibit a speedup).
 //!
 //! When `--prev BENCH_sampling.json` names the committed artifact, each
 //! fresh samples/sec figure is compared against the stored one at the
-//! same (workload, threads, batch) coordinate, and a > 30% drop fails
-//! the run — the sampling-perf trajectory only ratchets forward.
+//! same (workload, tier, threads, batch) coordinate, and a > 30% drop
+//! fails the run — the sampling-perf trajectory only ratchets forward.
+//! Stored workloads from before the `tier` field are skipped, the same
+//! one-round migration earlier artifact schema changes used.
 //! `--validate <path>` parses an artifact and checks its schema instead
 //! of measuring (used by CI after the measuring run rewrites the file).
 //!
@@ -34,7 +40,7 @@
 //! both thread counts (via `with_threads`, which overrides the env
 //! var), asserts the scaling bar, and owns the JSON artifact.
 
-use plansample::{PlanBatch, PlanSpace};
+use plansample::{CountTier, PlanBatch, PlanSpace};
 use plansample_bench::{prepare, EXPERIMENT_SEED};
 use plansample_datagen::joingraph::{JoinGraphSpec, Topology};
 use plansample_serve::json::{self, Json, ObjWriter};
@@ -50,12 +56,16 @@ struct Sample {
     per_sec: f64,
 }
 
-/// One workload's measurements plus its space metadata.
+/// One workload's measurements plus its space metadata. The same
+/// workload name may appear once per unranking tier (clique-10 is
+/// measured natively on `u128` and forced onto `nat`), so (name, tier)
+/// is the row key.
 struct WorkloadReport {
     name: &'static str,
     exprs: usize,
     limbs: usize,
     fast_path: bool,
+    tier: &'static str,
     results: Vec<Sample>,
 }
 
@@ -136,6 +146,7 @@ fn measure_workload(
         exprs: space.memo().num_physical(),
         limbs: space.total().limbs().len(),
         fast_path: space.counts().has_fast_path(),
+        tier: space.counts().tier().as_str(),
         results,
     }
 }
@@ -151,6 +162,7 @@ fn render(reports: &[WorkloadReport], tree_per_sec: f64, flat_speedup: f64) -> S
             .int("exprs", r.exprs as u64)
             .int("limbs", r.limbs as u64)
             .int("fast_path", u64::from(r.fast_path))
+            .str("tier", r.tier)
             .arr("results");
         for s in &r.results {
             w.elem_obj()
@@ -192,6 +204,14 @@ fn validate(doc: &Json) -> Result<(), String> {
                 return Err(format!("workload {name}: `{key}` missing"));
             }
         }
+        match wl.get("tier") {
+            Some(Json::Str(t)) if ["u64", "u128", "nat"].contains(&t.as_str()) => {}
+            _ => {
+                return Err(format!(
+                    "workload {name}: `tier` missing or not one of u64/u128/nat"
+                ))
+            }
+        }
         let results = match wl.get("results") {
             Some(Json::Arr(items)) if !items.is_empty() => items,
             _ => return Err(format!("workload {name}: `results` missing or empty")),
@@ -216,19 +236,24 @@ fn validate(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
-/// Trajectory compare: every (workload, threads, batch) coordinate
-/// present in both runs must stay within 30% of the stored
-/// samples/sec.
+/// Trajectory compare: every (workload, tier, threads, batch)
+/// coordinate present in both runs must stay within 30% of the stored
+/// samples/sec. Rows are matched by tier as well as name because the
+/// same workload legitimately appears once per tier — comparing a
+/// `u128` row against a stored `nat` row would make a 300× improvement
+/// look like a schema-level identity and a future `nat` regression
+/// invisible. Stored workloads without a `tier` (pre-tier artifacts)
+/// are skipped for one migration round.
 fn compare_prev(prev: &Json, reports: &[WorkloadReport]) -> Result<(), String> {
     let Some(Json::Arr(prev_workloads)) = prev.get("workloads") else {
         return Err("previous artifact has no `workloads`".into());
     };
     for r in reports {
-        let Some(prev_wl) = prev_workloads
-            .iter()
-            .find(|wl| wl.get("name") == Some(&Json::Str(r.name.into())))
-        else {
-            continue; // new workload: no trajectory yet
+        let Some(prev_wl) = prev_workloads.iter().find(|wl| {
+            wl.get("name") == Some(&Json::Str(r.name.into()))
+                && wl.get("tier") == Some(&Json::Str(r.tier.into()))
+        }) else {
+            continue; // new workload/tier or pre-tier artifact: no trajectory yet
         };
         let Some(Json::Arr(prev_results)) = prev_wl.get("results") else {
             continue;
@@ -313,6 +338,7 @@ fn main() {
         "Q8+CP total {} must stay single-limb for the fast-path regime",
         q8_space.total()
     );
+    assert_eq!(q8_space.counts().tier(), CountTier::U64);
 
     let sequential_only = std::env::var("PLANSAMPLE_THREADS").as_deref() == Ok("1");
     let thread_counts: &[usize] = if sequential_only { &[1] } else { &[1, 4] };
@@ -333,18 +359,77 @@ fn main() {
 
     let mut reports = vec![measure_workload("Q8_CP", q8_space, thread_counts)];
 
-    // --- clique-10: the multi-limb Nat-fallback regime. -----------------
+    // --- clique-10: the two-limb u128-tier regime. ----------------------
     let spec = JoinGraphSpec::new(Topology::Clique, 10, 20000);
     let (_, query, memo) = spec.build_memo();
-    let clique10 =
+    let mut clique10 =
         PlanSpace::build_shared(Arc::new(memo), Arc::new(query)).expect("clique-10 builds");
     assert!(
         !clique10.counts().has_fast_path(),
-        "clique-10 must exercise the multi-limb fallback"
+        "clique-10 must overflow the u64 tier"
+    );
+    assert_eq!(
+        clique10.counts().tier(),
+        CountTier::U128,
+        "clique-10 total {} must land on the u128 tier",
+        clique10.total()
     );
     reports.push(measure_workload("clique-10", &clique10, thread_counts));
+    // Peak single-thread throughput: both tiers unrank identically per
+    // draw, but clique-10's ~4096-plan batches are large enough that the
+    // biggest batch size measures cache pressure on the output CSR, not
+    // the unranker. Comparing each tier's best single-thread coordinate
+    // keeps the assertion about the arithmetic.
+    let u128_per_sec = reports
+        .last()
+        .unwrap()
+        .results
+        .iter()
+        .filter(|s| s.threads == 1)
+        .map(|s| s.per_sec)
+        .fold(0.0f64, f64::max);
 
-    // --- Acceptance assertion 2: parallel scaling (>= 4 cores only). ----
+    // --- Acceptance assertion 2: u128 tier >= 20x the exact fallback. ---
+    // The same space forced onto the Nat rung: the pre-tier regime, kept
+    // as a measured artifact row and as this assertion's live baseline.
+    clique10.force_tier(CountTier::Nat);
+    assert_eq!(clique10.counts().tier(), CountTier::Nat);
+    let nat_samples: Vec<Sample> = [64usize, 4096]
+        .iter()
+        .map(|&batch| {
+            let per_sec = measure_flat(&clique10, 1, batch);
+            println!(
+                "sampling_throughput/clique-10: forced-nat threads=1 batch={batch}: \
+                 {per_sec:.0} samples/sec"
+            );
+            Sample {
+                threads: 1,
+                batch,
+                per_sec,
+            }
+        })
+        .collect();
+    let nat_per_sec = nat_samples.iter().map(|s| s.per_sec).fold(0.0f64, f64::max);
+    reports.push(WorkloadReport {
+        name: "clique-10",
+        exprs: clique10.memo().num_physical(),
+        limbs: clique10.total().limbs().len(),
+        fast_path: false,
+        tier: clique10.counts().tier().as_str(),
+        results: nat_samples,
+    });
+    let tier_speedup = u128_per_sec / nat_per_sec.max(1e-12);
+    println!(
+        "sampling_throughput/clique-10: u128 tier {u128_per_sec:.0} vs exact-Nat \
+         {nat_per_sec:.0} samples/sec, peak single-thread ({tier_speedup:.1}x)"
+    );
+    assert!(
+        tier_speedup >= 20.0,
+        "the u128 tier must sample clique-10 >= 20x faster than the exact-Nat \
+         fallback; measured {tier_speedup:.1}x"
+    );
+
+    // --- Acceptance assertion 3: parallel scaling (>= 4 cores only). ----
     if sequential_only {
         println!(
             "sampling_throughput: PLANSAMPLE_THREADS=1 — sequential-pool job; \

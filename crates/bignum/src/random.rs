@@ -22,20 +22,58 @@ impl Nat {
         let bound_limbs = bound.limbs();
         let limbs = bound_limbs.len();
         let top = bound_limbs[limbs - 1];
-        // Mask covering the significant bits of the top limb.
-        let mask = if top.leading_zeros() == 0 {
-            u64::MAX
+        let mask = top_limb_mask(top);
+        // Rejection attempts refill one reusable buffer in place — a
+        // stack array for bounds up to 8 limbs, one up-front heap
+        // allocation beyond that — so a retry never touches the
+        // allocator. Only the accepted draw is materialized as a `Nat`.
+        let mut stack_buf = [0u64; 8];
+        let mut heap_buf;
+        let buf: &mut [u64] = if limbs <= stack_buf.len() {
+            &mut stack_buf[..limbs]
         } else {
-            (1u64 << (64 - top.leading_zeros())) - 1
+            heap_buf = vec![0u64; limbs];
+            &mut heap_buf
         };
         loop {
-            let mut draw = Vec::with_capacity(limbs);
-            for _ in 0..limbs - 1 {
-                draw.push(rng.gen::<u64>());
+            for slot in buf[..limbs - 1].iter_mut() {
+                *slot = rng.gen::<u64>();
             }
-            draw.push(rng.gen::<u64>() & mask);
-            let candidate = Nat::from_limbs(draw);
-            if &candidate < bound {
+            buf[limbs - 1] = rng.gen::<u64>() & mask;
+            if limbs_below(buf, bound_limbs) {
+                return Nat::from_limbs(buf.to_vec());
+            }
+        }
+    }
+
+    /// Two-limb specialization of [`random_below`](Self::random_below):
+    /// a uniform `u128` in `[0, bound)` with **exactly** the RNG
+    /// consumption of `random_below` on the same bound. Single-limb
+    /// bounds delegate to [`random_below_u64`](Self::random_below_u64)
+    /// (one `gen_range`, matching `random_below`'s single-limb branch);
+    /// two-limb bounds run the same rejection loop — low limb first,
+    /// masked top limb — in plain `u128` arithmetic. The `u128`
+    /// unranking tier draws ranks through this and stays bit-identical
+    /// to the exact-`Nat` path on the same seed.
+    ///
+    /// Note the limb order: `random_below` pushes the *low* limb before
+    /// the masked top limb, which is the opposite of the word order the
+    /// vendored `rng.gen::<u128>()` uses — composing from two explicit
+    /// `u64` draws is what keeps the streams interchangeable.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero (the range is empty).
+    pub fn random_below_u128<R: Rng + ?Sized>(rng: &mut R, bound: u128) -> u128 {
+        assert!(bound > 0, "random_below: empty range");
+        if bound <= u64::MAX as u128 {
+            return Self::random_below_u64(rng, bound as u64) as u128;
+        }
+        let mask = top_limb_mask((bound >> 64) as u64);
+        loop {
+            let lo = rng.gen::<u64>();
+            let hi = rng.gen::<u64>() & mask;
+            let candidate = ((hi as u128) << 64) | lo as u128;
+            if candidate < bound {
                 return candidate;
             }
         }
@@ -54,6 +92,30 @@ impl Nat {
         assert!(bound > 0, "random_below: empty range");
         rng.gen_range(0..bound)
     }
+}
+
+/// Mask covering the significant bits of a bound's top limb.
+#[inline]
+fn top_limb_mask(top: u64) -> u64 {
+    if top.leading_zeros() == 0 {
+        u64::MAX
+    } else {
+        (1u64 << (64 - top.leading_zeros())) - 1
+    }
+}
+
+/// `candidate < bound` over equal-length little-endian limb slices
+/// (the in-place comparison the rejection loop runs instead of
+/// materializing a `Nat` per attempt).
+#[inline]
+fn limbs_below(candidate: &[u64], bound: &[u64]) -> bool {
+    debug_assert_eq!(candidate.len(), bound.len());
+    for i in (0..bound.len()).rev() {
+        if candidate[i] != bound[i] {
+            return candidate[i] < bound[i];
+        }
+    }
+    false
 }
 
 #[cfg(test)]
@@ -120,5 +182,66 @@ mod tests {
     fn zero_bound_panics() {
         let mut rng = StdRng::seed_from_u64(0);
         Nat::random_below(&mut rng, &Nat::zero());
+    }
+
+    /// The `u128` specialization consumes the RNG exactly as the `Nat`
+    /// path does: on the same seed, every draw (and therefore the whole
+    /// stream) is identical — including bounds that force rejections
+    /// (tight top limbs) and bounds whose top limb saturates the mask.
+    #[test]
+    fn u128_draws_are_bit_identical_to_the_nat_path() {
+        for bound in [
+            (1u128 << 64) + 1,                     // almost always rejects the first try
+            (1u128 << 67) - 3,                     // saturated 3-bit top limb
+            u128::MAX,                             // full-width mask
+            5_600_000_000_000_000_000_000_000u128, // clique-10 scale
+            u64::MAX as u128,                      // delegates to the u64 branch
+            17,                                    // small single-limb
+        ] {
+            let nat_bound = Nat::from(bound);
+            let mut a = StdRng::seed_from_u64(0xD1CE);
+            let mut b = StdRng::seed_from_u64(0xD1CE);
+            for i in 0..200 {
+                let exact = Nat::random_below(&mut a, &nat_bound);
+                let fast = Nat::random_below_u128(&mut b, bound);
+                assert_eq!(
+                    exact.to_u128(),
+                    Some(fast),
+                    "draw {i} diverged at bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn u128_draws_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let bound = (1u128 << 127) + 12345;
+        for _ in 0..500 {
+            assert!(Nat::random_below_u128(&mut rng, bound) < bound);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn u128_zero_bound_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        Nat::random_below_u128(&mut rng, 0);
+    }
+
+    /// The multi-limb rejection loop past the 8-limb stack buffer (the
+    /// heap fallback) still draws correctly and in the same stream.
+    #[test]
+    fn many_limb_bounds_use_the_heap_fallback_correctly() {
+        // 10 limbs: top limb 1 → mask 1 → ~50% rejection rate.
+        let mut limbs = vec![0u64; 10];
+        limbs[9] = 1;
+        limbs[0] = 7;
+        let bound = Nat::from_limbs(limbs);
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..200 {
+            let d = Nat::random_below(&mut rng, &bound);
+            assert!(d < bound);
+        }
     }
 }

@@ -655,8 +655,9 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
         }
         Command::Sample(k, _) => {
             let mut rng = StdRng::seed_from_u64(cli.seed);
-            // The flat batch path: u64 unranking on single-limb spaces
-            // (Nat fallback otherwise), no per-plan tree allocation.
+            // The flat batch path: unranking on the fastest fixed-width
+            // tier the space qualifies for (u64 → u128 → exact Nat), no
+            // per-plan tree allocation.
             let mut batch = plansample::PlanBatch::new();
             prepared.sample_batch_flat(&mut rng, *k, &mut batch);
             let costs: Vec<f64> = batch
@@ -664,7 +665,12 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
                 .map(|ids| prepared.scaled_cost_ids(ids))
                 .collect();
             let s = Summary::of(&costs);
-            let _ = writeln!(out, "{k} uniform samples from {} plans", prepared.total());
+            let _ = writeln!(
+                out,
+                "{k} uniform samples from {} plans ({} unranking tier)",
+                prepared.total(),
+                prepared.tier()
+            );
             let _ = writeln!(
                 out,
                 "scaled costs: min {:.2}  mean {:.1}  max {:.1}",

@@ -32,6 +32,17 @@ pub struct PlanBatch {
     /// Unrank scratch: the explicit recursion stack of the `u64` fast
     /// path, kept here so its capacity survives across draws.
     pub(crate) stack: Vec<(ListId, u64)>,
+    /// Unrank scratch for the `u128` tier (same role as `stack`).
+    pub(crate) stack_wide: Vec<(ListId, u128)>,
+    /// Pre-drawn ranks of a parallel `u64`-tier fill, kept so the
+    /// parallel path's per-fill draw buffer survives across fills.
+    pub(crate) ranks: Vec<u64>,
+    /// Pre-drawn ranks of a parallel `u128`-tier fill.
+    pub(crate) ranks_wide: Vec<u128>,
+    /// Per-shard sub-batches of the parallel fill — one per fixed-size
+    /// rank chunk, merged in chunk order after the workers finish. Kept
+    /// so shard capacities, too, survive across fills.
+    pub(crate) shards: Vec<PlanBatch>,
 }
 
 impl PlanBatch {
@@ -114,12 +125,18 @@ impl PlanBatch {
             .extend(other.bounds[1..].iter().map(|&b| b + offset));
     }
 
-    /// Bytes of memory held by the buffers, capacity-accurate.
+    /// Bytes of memory held by the buffers, capacity-accurate,
+    /// including every parallel-fill shard.
     pub fn size_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.ids.capacity() * std::mem::size_of::<PhysId>()
             + self.bounds.capacity() * std::mem::size_of::<u32>()
             + self.stack.capacity() * std::mem::size_of::<(ListId, u64)>()
+            + self.stack_wide.capacity() * std::mem::size_of::<(ListId, u128)>()
+            + self.ranks.capacity() * std::mem::size_of::<u64>()
+            + self.ranks_wide.capacity() * std::mem::size_of::<u128>()
+            + self.shards.iter().map(PlanBatch::size_bytes).sum::<usize>()
+            + (self.shards.capacity() - self.shards.len()) * std::mem::size_of::<PlanBatch>()
     }
 }
 

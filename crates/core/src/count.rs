@@ -41,6 +41,47 @@ pub struct Counts {
     /// Single-limb sidecar for the allocation-free unrank fast path;
     /// present iff every count in the space fits one `u64` limb.
     fast: Option<FastCounts>,
+    /// Two-limb sidecar, the middle rung of the tier ladder; built iff
+    /// the single-limb sidecar does not apply but every count fits
+    /// `u128`.
+    wide: Option<WideCounts>,
+}
+
+/// Which fixed-width arithmetic the flat unranking hot path can run in
+/// on a given space — the tier ladder `u64` → `u128` → exact [`Nat`].
+///
+/// The tier is a property of the counts alone: [`CountTier::U64`] iff
+/// every count fits one limb, [`CountTier::U128`] iff some count needs
+/// two limbs but none needs three, [`CountTier::Nat`] otherwise. In
+/// the synthetic suite: everything through Q8+CP is `U64`, clique-9
+/// and clique-10 are `U128`, and only spaces past ~3.4·10³⁸ plans pay
+/// the exact-arithmetic fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CountTier {
+    /// Every count fits one machine word: the fastest unranking path.
+    U64,
+    /// Every count fits two limbs; unranking runs in `u128`.
+    U128,
+    /// Some count needs three or more limbs; unranking is exact-`Nat`.
+    Nat,
+}
+
+impl CountTier {
+    /// Stable lower-case label (`"u64"` / `"u128"` / `"nat"`) — the
+    /// value the benchmark artifacts and CLI output print.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CountTier::U64 => "u64",
+            CountTier::U128 => "u128",
+            CountTier::Nat => "nat",
+        }
+    }
+}
+
+impl std::fmt::Display for CountTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// Flat `u64` copies of every count — the operands of the fast-path
@@ -54,21 +95,31 @@ pub struct Counts {
 /// with an *empty* list zeroes a parent product) an individual `N(v)`
 /// can exceed the space total, so "total fits" does not imply "all
 /// values fit". All-or-nothing keeps the criterion one branch on the
-/// hot path. Cost: 8 bytes per expression + 8 per interned list,
-/// charged to [`Counts::size_bytes`].
+/// hot path.
+///
+/// # Layout
+///
+/// The per-alternative counts are **pool-aligned**: `pool[i]` is the
+/// count of the expression at position `i` of the links' concatenated
+/// list pool, so the operator-selection scan over list `l` reads the
+/// contiguous slice at [`Links::list_range`] — the layout the chunked
+/// prefix scan in `unrank.rs` requires (a dense-id-indexed mirror would
+/// force a gather per element). Cost: 8 bytes per *pooled link* + 8 per
+/// interned list, charged to [`Counts::size_bytes`].
 #[derive(Debug, Clone)]
 pub(crate) struct FastCounts {
-    /// `N(v)` by dense id.
-    per_expr: Vec<u64>,
+    /// `N(w)` of each pooled list member, aligned with the links pool.
+    pool: Vec<u64>,
     /// `b` of each interned list.
     list_totals: Vec<u64>,
 }
 
 impl FastCounts {
-    /// `N(v)` as a single limb.
+    /// The member counts of one interned list as a contiguous slice;
+    /// `range` must come from [`Links::list_range`].
     #[inline]
-    pub(crate) fn rooted(&self, d: DenseId) -> u64 {
-        self.per_expr[d.idx()]
+    pub(crate) fn pool_counts(&self, range: std::ops::Range<usize>) -> &[u64] {
+        &self.pool[range]
     }
 
     /// `b_v(i)` of one interned list as a single limb.
@@ -80,8 +131,41 @@ impl FastCounts {
     /// Heap bytes of the sidecar buffers (the inline struct is already
     /// part of `size_of::<Counts>()`).
     fn size_bytes(&self) -> usize {
-        self.per_expr.capacity() * std::mem::size_of::<u64>()
+        self.pool.capacity() * std::mem::size_of::<u64>()
             + self.list_totals.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Two-limb (`u128`) mirror of [`FastCounts`] — same all-or-nothing
+/// criterion one rung up the ladder, same pool-aligned layout, double
+/// the bytes per entry. Present only when the `u64` sidecar is not
+/// (the ladder never stores both).
+#[derive(Debug, Clone)]
+pub(crate) struct WideCounts {
+    /// `N(w)` of each pooled list member, aligned with the links pool.
+    pool: Vec<u128>,
+    /// `b` of each interned list.
+    list_totals: Vec<u128>,
+}
+
+impl WideCounts {
+    /// The member counts of one interned list as a contiguous slice;
+    /// `range` must come from [`Links::list_range`].
+    #[inline]
+    pub(crate) fn pool_counts(&self, range: std::ops::Range<usize>) -> &[u128] {
+        &self.pool[range]
+    }
+
+    /// `b_v(i)` of one interned list in two limbs.
+    #[inline]
+    pub(crate) fn list_total(&self, l: ListId) -> u128 {
+        self.list_totals[l.idx()]
+    }
+
+    /// Heap bytes of the sidecar buffers.
+    fn size_bytes(&self) -> usize {
+        self.pool.capacity() * std::mem::size_of::<u128>()
+            + self.list_totals.capacity() * std::mem::size_of::<u128>()
     }
 }
 
@@ -184,24 +268,64 @@ impl Counts {
         }
 
         let total = list_totals[root.idx()].clone();
-        let fast = Self::fast_sidecar(&per_expr, &list_totals);
+        let (fast, wide) = Self::sidecars(links, &per_expr, &list_totals);
         Counts {
             per_expr,
             list_totals,
             total,
             fast,
+            wide,
         }
     }
 
-    /// Builds the single-limb sidecar when every count fits `u64`
-    /// (shared by [`compute`](Self::compute) and
-    /// [`from_parts`](Self::from_parts) so loaded artifacts get the fast
-    /// path too).
-    fn fast_sidecar(per_expr: &[Nat], list_totals: &[Nat]) -> Option<FastCounts> {
+    /// Builds the fixed-width sidecar ladder: the single-limb sidecar
+    /// when every count fits `u64`, else the two-limb sidecar when every
+    /// count fits `u128`, else neither (shared by
+    /// [`compute`](Self::compute) and [`from_parts`](Self::from_parts)
+    /// so loaded artifacts get the fast paths too). At most one rung is
+    /// ever stored.
+    fn sidecars(
+        links: &Links,
+        per_expr: &[Nat],
+        list_totals: &[Nat],
+    ) -> (Option<FastCounts>, Option<WideCounts>) {
+        if let Some(fast) = Self::fast_sidecar(links, per_expr, list_totals) {
+            (Some(fast), None)
+        } else {
+            (None, Self::wide_sidecar(links, per_expr, list_totals))
+        }
+    }
+
+    /// The `u64` rung: all-or-nothing over **every** count (not just the
+    /// pooled ones — the rooted sub-space API can probe any expression),
+    /// then a pool-aligned mirror of the per-alternative counts.
+    fn fast_sidecar(links: &Links, per_expr: &[Nat], list_totals: &[Nat]) -> Option<FastCounts> {
         let per_expr: Option<Vec<u64>> = per_expr.iter().map(Nat::to_u64).collect();
+        let per_expr = per_expr?;
         let list_totals: Option<Vec<u64>> = list_totals.iter().map(Nat::to_u64).collect();
+        let pool = links
+            .pool_exprs()
+            .iter()
+            .map(|&w| per_expr[w.idx()])
+            .collect();
         Some(FastCounts {
-            per_expr: per_expr?,
+            pool,
+            list_totals: list_totals?,
+        })
+    }
+
+    /// The `u128` rung, same shape two limbs up.
+    fn wide_sidecar(links: &Links, per_expr: &[Nat], list_totals: &[Nat]) -> Option<WideCounts> {
+        let per_expr: Option<Vec<u128>> = per_expr.iter().map(Nat::to_u128).collect();
+        let per_expr = per_expr?;
+        let list_totals: Option<Vec<u128>> = list_totals.iter().map(Nat::to_u128).collect();
+        let pool = links
+            .pool_exprs()
+            .iter()
+            .map(|&w| per_expr[w.idx()])
+            .collect();
+        Some(WideCounts {
+            pool,
             list_totals: list_totals?,
         })
     }
@@ -227,12 +351,13 @@ impl Counts {
             });
         }
         let total = list_totals[links.root_list().idx()].clone();
-        let fast = Self::fast_sidecar(&per_expr, &list_totals);
+        let (fast, wide) = Self::sidecars(links, &per_expr, &list_totals);
         Ok(Counts {
             per_expr,
             list_totals,
             total,
             fast,
+            wide,
         })
     }
 
@@ -271,9 +396,28 @@ impl Counts {
     /// Whether the single-limb fast path applies to this space: every
     /// per-expression count and list total fits one `u64` limb. Spaces
     /// past ~1.8·10^19 plans (clique-9 and up in the synthetic suite)
-    /// fall back to the exact [`Nat`] path.
+    /// step down the tier ladder instead.
     pub fn has_fast_path(&self) -> bool {
         self.fast.is_some()
+    }
+
+    /// Whether the two-limb (`u128`) tier applies: the `u64` sidecar
+    /// does not, but every count fits `u128`. Clique-9 and clique-10
+    /// land here; only spaces past ~3.4·10^38 plans pay the exact-`Nat`
+    /// fallback.
+    pub fn has_wide_path(&self) -> bool {
+        self.wide.is_some()
+    }
+
+    /// Which rung of the tier ladder this space's flat sampler runs on.
+    pub fn tier(&self) -> CountTier {
+        if self.fast.is_some() {
+            CountTier::U64
+        } else if self.wide.is_some() {
+            CountTier::U128
+        } else {
+            CountTier::Nat
+        }
     }
 
     /// The single-limb sidecar, when the space qualifies.
@@ -282,8 +426,35 @@ impl Counts {
         self.fast.as_ref()
     }
 
+    /// The two-limb sidecar, when the space sits on that rung.
+    #[inline]
+    pub(crate) fn wide(&self) -> Option<&WideCounts> {
+        self.wide.as_ref()
+    }
+
+    /// Caps the tier ladder at `tier`, dropping (or rebuilding) sidecars
+    /// as needed — a benchmarking/testing seam for exercising the slower
+    /// rungs on spaces that qualify for a faster one. Forcing `U64` is a
+    /// no-op (a space that lacks the sidecar cannot gain it); forcing
+    /// `U128` drops the `u64` sidecar and builds the two-limb one if all
+    /// counts fit; forcing `Nat` drops both.
+    pub(crate) fn force_tier(&mut self, links: &Links, tier: CountTier) {
+        match tier {
+            CountTier::U64 => {}
+            CountTier::U128 => {
+                if self.fast.take().is_some() && self.wide.is_none() {
+                    self.wide = Self::wide_sidecar(links, &self.per_expr, &self.list_totals);
+                }
+            }
+            CountTier::Nat => {
+                self.fast = None;
+                self.wide = None;
+            }
+        }
+    }
+
     /// Bytes of memory held by the count buffers, including every limb
-    /// allocation and the single-limb sidecar, capacity-accurate.
+    /// allocation and the fixed-width sidecars, capacity-accurate.
     pub fn size_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.per_expr.iter().map(Nat::size_bytes).sum::<usize>()
@@ -292,6 +463,7 @@ impl Counts {
             + (self.list_totals.capacity() - self.list_totals.len()) * std::mem::size_of::<Nat>()
             + self.total.size_bytes()
             + self.fast.as_ref().map_or(0, FastCounts::size_bytes)
+            + self.wide.as_ref().map_or(0, WideCounts::size_bytes)
     }
 }
 
@@ -337,6 +509,39 @@ mod tests {
                 assert_eq!(&fresh, counts.list_total(l));
             }
         }
+    }
+
+    #[test]
+    fn tier_ladder_and_force_tier() {
+        let ex = paper_example::build();
+        let links = Links::build(&ex.memo, &ex.query).unwrap();
+        let mut counts = Counts::compute(&links);
+        assert_eq!(counts.tier(), CountTier::U64);
+        assert!(counts.has_fast_path() && !counts.has_wide_path());
+
+        // The pool mirror is aligned with the links pool: each list's
+        // contiguous slice holds exactly its members' rooted counts.
+        let fast = counts.fast().unwrap().clone();
+        for (d, _) in links.ids().iter() {
+            for &l in links.slot_lists(d) {
+                let mirror = fast.pool_counts(links.list_range(l));
+                for (&w, &n) in links.list(l).iter().zip(mirror) {
+                    assert_eq!(counts.rooted(w).to_u64(), Some(n));
+                }
+            }
+        }
+
+        // Forcing down the ladder rebuilds the wide rung from the exact
+        // counts; forcing to Nat drops every sidecar.
+        counts.force_tier(&links, CountTier::U128);
+        assert_eq!(counts.tier(), CountTier::U128);
+        let wide = counts.wide().unwrap();
+        let root = links.root_list();
+        assert_eq!(wide.list_total(root), counts.total().to_u128().unwrap());
+        counts.force_tier(&links, CountTier::Nat);
+        assert_eq!(counts.tier(), CountTier::Nat);
+        assert_eq!(counts.tier().as_str(), "nat");
+        assert_eq!(counts.tier().to_string(), "nat");
     }
 
     #[test]

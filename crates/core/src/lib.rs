@@ -68,7 +68,7 @@ mod unrank;
 pub mod validate;
 
 pub use batch::PlanBatch;
-pub use count::Counts;
+pub use count::{CountTier, Counts};
 pub use enumerate::PlanCursor;
 pub use links::{Links, LinksParts, ListId};
 pub use prepared::PreparedQuery;
@@ -353,6 +353,17 @@ impl PlanSpace {
     /// totals).
     pub fn counts(&self) -> &Counts {
         &self.counts
+    }
+
+    /// Caps the unranking tier ladder at `tier`, dropping (or
+    /// rebuilding) the fixed-width count sidecars as needed — a
+    /// benchmarking and differential-testing seam for forcing a space
+    /// onto a slower rung than it qualifies for (forcing a *faster*
+    /// rung is a no-op; sidecars are only ever built from the exact
+    /// counts). Sampling stays bit-identical across rungs, so forcing
+    /// changes throughput, never results.
+    pub fn force_tier(&mut self, tier: CountTier) {
+        self.counts.force_tier(&self.links, tier);
     }
 }
 

@@ -222,14 +222,23 @@ impl PreparedQuery {
     }
 
     /// Draws `k` plans uniformly into a reusable flat batch — the
-    /// zero-allocation serving path (see
-    /// [`PlanSpace::sample_batch_flat`]). Bit-identical content to
-    /// [`sample_batch`](Self::sample_batch) on the same seed.
+    /// zero-allocation serving path, running on the fastest unranking
+    /// tier the space qualifies for (see
+    /// [`PlanSpace::sample_batch_flat`] and [`tier`](Self::tier)).
+    /// Bit-identical content to [`sample_batch`](Self::sample_batch) on
+    /// the same seed, at every tier and thread count.
     ///
     /// # Panics
     /// Panics if `k > 0` and the space is empty.
     pub fn sample_batch_flat<R: Rng + ?Sized>(&self, rng: &mut R, k: usize, out: &mut PlanBatch) {
         self.space.sample_batch_flat(rng, k, out);
+    }
+
+    /// Which rung of the fixed-width tier ladder (`u64` → `u128` →
+    /// exact `Nat`) this query's flat sampler runs on — a throughput
+    /// property only; sampled content is tier-independent.
+    pub fn tier(&self) -> crate::CountTier {
+        self.space.counts().tier()
     }
 
     /// [`scaled_cost`](Self::scaled_cost) for a flat preorder id

@@ -67,20 +67,25 @@ impl PlanSpace {
     /// Draws `k` plans uniformly into a reusable flat batch — the
     /// zero-allocation serving path.
     ///
-    /// On spaces whose counts all fit one limb (see
-    /// [`crate::Counts::has_fast_path`]) each draw is one
-    /// `gen_range` plus the `u64` mixed-radix unrank appended straight
-    /// into `out`'s buffers: once those are at capacity, a steady-state
-    /// fill performs **zero heap allocations per draw** (asserted by
-    /// `tests/alloc_counting.rs`). Multi-limb spaces transparently fall
-    /// back to the exact [`Nat`] path and flatten its trees.
+    /// The fill runs on the fastest rung of the tier ladder the space
+    /// qualifies for (see [`crate::Counts::tier`]): single-limb spaces
+    /// unrank in `u64`, two-limb spaces (clique-9/10 scale) in `u128`,
+    /// and only wider spaces pay the exact [`Nat`] fallback with its
+    /// tree flattening. On both fixed-width tiers each draw is a
+    /// rejection-sampled rank plus the mixed-radix unrank appended
+    /// straight into `out`'s buffers: once those are at capacity, a
+    /// steady-state fill performs **zero heap allocations per draw**
+    /// (asserted by `tests/alloc_counting.rs`).
     ///
     /// The RNG is consumed exactly as [`sample_batch`](Self::sample_batch)
-    /// consumes it ([`Nat::random_below`] on a single-limb bound is one
-    /// `gen_range` — see [`Nat::random_below_u64`]), and large batches
-    /// fan the unranking out in fixed-size chunks merged in draw order,
+    /// consumes it ([`Nat::random_below_u64`] and
+    /// [`Nat::random_below_u128`] replay `random_below`'s draw sequence
+    /// limb for limb), and large batches fan the unranking out in
+    /// fixed-size chunks over the persistent worker pool — written into
+    /// `out`'s own per-chunk shard batches and merged in draw order —
     /// so the batch content is bit-identical to `sample_batch`'s at
-    /// every thread count.
+    /// every thread count, and parallel fills stay allocation-free in
+    /// steady state too.
     ///
     /// # Panics
     /// Panics if `k > 0` and the space is empty.
@@ -90,50 +95,124 @@ impl PlanSpace {
             "cannot sample from an empty plan space"
         );
         out.start_fill();
-        let Some(fast) = self.counts.fast() else {
+        let inline = threadpool::num_threads() == 1 || k < 2 * Self::PAR_MIN_DRAWS;
+        if let Some(fast) = self.counts.fast() {
+            let total = self
+                .total()
+                .to_u64()
+                .expect("the fast sidecar implies a single-limb total");
+            if inline {
+                // Inline fill: draw and unrank per plan, nothing but
+                // `out`'s own (reused) buffers touched.
+                let mut stack = std::mem::take(&mut out.stack);
+                for _ in 0..k {
+                    let rank = Nat::random_below_u64(rng, total);
+                    self.unrank_flat_u64(fast, rank, out.ids_mut(), &mut stack);
+                    out.finish_plan();
+                }
+                out.stack = stack;
+                return;
+            }
+            // Parallel fill: ranks up front (same RNG order as above),
+            // then fixed-size chunks unranked concurrently into `out`'s
+            // persistent shards and merged in draw order. The chunk size
+            // is independent of the worker count, so the merged content
+            // never depends on it.
+            let mut ranks = std::mem::take(&mut out.ranks);
+            ranks.clear();
+            ranks.extend((0..k).map(|_| Nat::random_below_u64(rng, total)));
+            Self::fill_shards(k, out, |part, c| {
+                part.start_fill();
+                let mut stack = std::mem::take(&mut part.stack);
+                let lo = c * Self::PAR_MIN_DRAWS;
+                for &rank in &ranks[lo..(lo + Self::PAR_MIN_DRAWS).min(k)] {
+                    self.unrank_flat_u64(fast, rank, part.ids_mut(), &mut stack);
+                    part.finish_plan();
+                }
+                part.stack = stack;
+            });
+            out.ranks = ranks;
+        } else if let Some(wide) = self.counts.wide() {
+            // The u128 tier: same structure two limbs up.
+            let total = self
+                .total()
+                .to_u128()
+                .expect("the wide sidecar implies a two-limb total");
+            if inline {
+                let mut stack = std::mem::take(&mut out.stack_wide);
+                for _ in 0..k {
+                    let rank = Nat::random_below_u128(rng, total);
+                    self.unrank_flat_u128(wide, rank, out.ids_mut(), &mut stack);
+                    out.finish_plan();
+                }
+                out.stack_wide = stack;
+                return;
+            }
+            let mut ranks = std::mem::take(&mut out.ranks_wide);
+            ranks.clear();
+            ranks.extend((0..k).map(|_| Nat::random_below_u128(rng, total)));
+            Self::fill_shards(k, out, |part, c| {
+                part.start_fill();
+                let mut stack = std::mem::take(&mut part.stack_wide);
+                let lo = c * Self::PAR_MIN_DRAWS;
+                for &rank in &ranks[lo..(lo + Self::PAR_MIN_DRAWS).min(k)] {
+                    self.unrank_flat_u128(wide, rank, part.ids_mut(), &mut stack);
+                    part.finish_plan();
+                }
+                part.stack_wide = stack;
+            });
+            out.ranks_wide = ranks;
+        } else {
             for plan in self.sample_batch(rng, k) {
                 out.push_tree(&plan);
             }
-            return;
-        };
-        let total = self
-            .total()
-            .to_u64()
-            .expect("the fast sidecar implies a single-limb total");
-
-        if threadpool::num_threads() == 1 || k < 2 * Self::PAR_MIN_DRAWS {
-            // Inline fill: draw and unrank per plan, nothing but `out`'s
-            // own (reused) buffers touched.
-            let mut stack = std::mem::take(&mut out.stack);
-            for _ in 0..k {
-                let rank = Nat::random_below_u64(rng, total);
-                self.unrank_flat_u64(fast, rank, out.ids_mut(), &mut stack);
-                out.finish_plan();
-            }
-            out.stack = stack;
-            return;
         }
+    }
 
-        // Parallel fill: ranks up front (same RNG order as above), then
-        // fixed-size chunks unranked concurrently into local batches and
-        // merged in draw order. The chunk size is independent of the
-        // worker count, so the merged content never depends on it.
-        let ranks: Vec<u64> = (0..k).map(|_| Nat::random_below_u64(rng, total)).collect();
+    /// Fans a parallel flat fill out over `out`'s persistent shard
+    /// batches. Chunk `c` always covers draws
+    /// `[c·PAR_MIN_DRAWS, (c+1)·PAR_MIN_DRAWS)` — a fixed mapping
+    /// independent of how the pool splits the chunk range across
+    /// workers — and the shards merge into `out` in chunk order, so the
+    /// result is identical at every thread count. Shards (and their
+    /// unrank scratch) live in `out` and keep their capacity across
+    /// fills, which is what makes the *parallel* steady state
+    /// allocation-free, not just the inline one.
+    fn fill_shards<F: Fn(&mut PlanBatch, usize) + Sync>(
+        k: usize,
+        out: &mut PlanBatch,
+        fill_chunk: F,
+    ) {
         let chunks = k.div_ceil(Self::PAR_MIN_DRAWS);
-        let parts: Vec<PlanBatch> = threadpool::parallel_map(chunks, 1, |c| {
-            let mut part = PlanBatch::new();
-            part.start_fill();
-            let mut stack = std::mem::take(&mut part.stack);
-            let lo = c * Self::PAR_MIN_DRAWS;
-            for &rank in &ranks[lo..(lo + Self::PAR_MIN_DRAWS).min(k)] {
-                self.unrank_flat_u64(fast, rank, part.ids_mut(), &mut stack);
-                part.finish_plan();
+        let mut shards = std::mem::take(&mut out.shards);
+        if shards.len() < chunks {
+            shards.resize_with(chunks, PlanBatch::new);
+        }
+        struct Shards(*mut PlanBatch);
+        unsafe impl Sync for Shards {}
+        impl Shards {
+            /// SAFETY: the caller must hold the only live access to
+            /// shard `c` (here: `parallel_for` hands each index to
+            /// exactly one worker) and `c` must be in bounds.
+            #[allow(clippy::mut_from_ref)]
+            unsafe fn shard(&self, c: usize) -> &mut PlanBatch {
+                &mut *self.0.add(c)
             }
-            part
+        }
+        let base = Shards(shards.as_mut_ptr());
+        threadpool::parallel_for(chunks, 1, |range| {
+            for c in range {
+                // SAFETY: `c < chunks ≤ shards.len()`, and `parallel_for`
+                // hands each index to exactly one worker, so every shard
+                // borrow is in bounds and exclusive.
+                let part = unsafe { base.shard(c) };
+                fill_chunk(part, c);
+            }
         });
-        for part in &parts {
+        for part in &shards[..chunks] {
             out.append_flat(part);
         }
+        out.shards = shards;
     }
 
     /// Alias of [`sample_batch`](Self::sample_batch), kept for the

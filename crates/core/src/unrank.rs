@@ -22,11 +22,66 @@
 //! alternative list ([`crate::Counts::list_total`]), so no step re-sums
 //! alternative counts.
 
-use crate::count::FastCounts;
+use crate::count::{FastCounts, WideCounts};
 use crate::links::ListId;
 use crate::{PlanSpace, SpaceError};
 use plansample_bignum::Nat;
 use plansample_memo::{DenseId, PhysId, PlanNode};
+
+/// Operator selection over one list's contiguous pool-aligned counts:
+/// returns the chosen index and the residual rank within it.
+///
+/// Instead of the naive per-element `if rank < n {break} rank -= n`
+/// (one unpredictable branch per alternative), the scan works in
+/// chunks of 8: an unrolled pairwise sum decides in one predictable
+/// branch whether the chosen element lies in the chunk; misses skip 8
+/// elements with a single subtraction, and the hit chunk resolves its
+/// element **branch-free** — `take = (rank >= prefix) as int` arithmetic
+/// with no data-dependent jumps, so wide lists stop paying a
+/// mispredict per element. Chunk sums cannot overflow: every partial
+/// sum is bounded by the list total, which fits the tier's width by
+/// construction. A scalar tail handles the last `len % 8` elements.
+///
+/// Callers guarantee `rank < Σ counts`. Zero-count (dead) alternatives
+/// are skipped exactly as the scalar scan skips them, so the chosen
+/// index is identical — differential-tested below against the scalar
+/// reference.
+macro_rules! chunked_select {
+    ($name:ident, $t:ty) => {
+        #[inline]
+        fn $name(counts: &[$t], mut rank: $t) -> (usize, $t) {
+            let mut base = 0usize;
+            let mut chunks = counts.chunks_exact(8);
+            for c in &mut chunks {
+                let sum = ((c[0] + c[1]) + (c[2] + c[3])) + ((c[4] + c[5]) + (c[6] + c[7]));
+                if rank < sum {
+                    let mut acc: $t = 0;
+                    let mut idx = 0usize;
+                    let mut below: $t = 0;
+                    for &n in c {
+                        acc += n;
+                        let take = (rank >= acc) as usize;
+                        idx += take;
+                        below += n * (take as $t);
+                    }
+                    return (base + idx, rank - below);
+                }
+                rank -= sum;
+                base += 8;
+            }
+            let tail = chunks.remainder();
+            let mut i = 0usize;
+            while rank >= tail[i] {
+                rank -= tail[i];
+                i += 1;
+            }
+            (base + i, rank)
+        }
+    };
+}
+
+chunked_select!(select_in_list_u64, u64);
+chunked_select!(select_in_list_u128, u128);
 
 impl PlanSpace {
     /// Builds plan number `rank` (0-based, `rank < total()`).
@@ -93,18 +148,12 @@ impl PlanSpace {
     ) {
         stack.clear();
         stack.push((self.links.root_list(), rank));
-        while let Some((list, mut rank)) = stack.pop() {
-            // Step 1: operator selection by prefix sums.
-            let mut chosen = None;
-            for &v in self.links.list(list) {
-                let n = fast.rooted(v);
-                if rank < n {
-                    chosen = Some(v);
-                    break;
-                }
-                rank -= n;
-            }
-            let v = chosen.expect("rank below the alternative total by construction");
+        while let Some((list, rank)) = stack.pop() {
+            // Step 1: operator selection by chunked prefix scan over the
+            // list's contiguous pool-aligned counts.
+            let (idx, rank) =
+                select_in_list_u64(fast.pool_counts(self.links.list_range(list)), rank);
+            let v = self.links.list(list)[idx];
             ids.push(self.links.ids().phys(v));
             // Step 2: mixed-radix digits, one div/mod per slot. Children
             // are emitted depth-first in slot order, so the (list, digit)
@@ -114,6 +163,41 @@ impl PlanSpace {
             let mut rest = rank;
             for &l in self.links.slot_lists(v) {
                 let b = fast.list_total(l);
+                stack.push((l, rest % b));
+                rest /= b;
+            }
+            debug_assert_eq!(rest, 0, "local rank exceeded B_v(|v|)");
+            stack[base..].reverse();
+        }
+    }
+
+    /// The `u128` specialization: identical structure to
+    /// [`unrank_flat_u64`](Self::unrank_flat_u64) one rung up the tier
+    /// ladder — two-limb counts ([`WideCounts`]), `u128` ranks and
+    /// digits, the same chunked operator scan, the same explicit stack,
+    /// zero heap allocations at capacity. Bit-identical to the exact
+    /// [`Nat`] path by the same argument, differential-tested in
+    /// `tests/unrank_fast_path.rs`.
+    ///
+    /// The caller guarantees `rank` is below the space total.
+    pub(crate) fn unrank_flat_u128(
+        &self,
+        wide: &WideCounts,
+        rank: u128,
+        ids: &mut Vec<PhysId>,
+        stack: &mut Vec<(ListId, u128)>,
+    ) {
+        stack.clear();
+        stack.push((self.links.root_list(), rank));
+        while let Some((list, rank)) = stack.pop() {
+            let (idx, rank) =
+                select_in_list_u128(wide.pool_counts(self.links.list_range(list)), rank);
+            let v = self.links.list(list)[idx];
+            ids.push(self.links.ids().phys(v));
+            let base = stack.len();
+            let mut rest = rank;
+            for &l in self.links.slot_lists(v) {
+                let b = wide.list_total(l);
                 stack.push((l, rest % b));
                 rest /= b;
             }
@@ -200,6 +284,82 @@ mod tests {
         let err = space.unrank(&Nat::from(32u64)).unwrap_err();
         assert!(matches!(err, SpaceError::RankOutOfRange { .. }));
         assert!(space.unrank(&Nat::from(31u64)).is_ok());
+    }
+
+    /// The scalar branch-and-subtract reference the chunked scan must
+    /// reproduce index-for-index.
+    fn select_scalar(counts: &[u128], mut rank: u128) -> (usize, u128) {
+        for (i, &n) in counts.iter().enumerate() {
+            if rank < n {
+                return (i, rank);
+            }
+            rank -= n;
+        }
+        unreachable!("rank below the list total by construction")
+    }
+
+    #[test]
+    fn chunked_select_matches_the_scalar_reference() {
+        // Deterministic xorshift so the shapes cover chunk boundaries,
+        // zero runs, and tails without a dev-dependency on `rand`.
+        let mut s = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for len in [1usize, 2, 7, 8, 9, 15, 16, 17, 40, 101] {
+            for _case in 0..50 {
+                let counts: Vec<u64> = (0..len)
+                    .map(|_| {
+                        let r = next();
+                        // ~1 in 4 alternatives dead, rest small so every
+                        // index is reachable across cases.
+                        if r % 4 == 0 {
+                            0
+                        } else {
+                            r % 1000 + 1
+                        }
+                    })
+                    .collect();
+                let total: u64 = counts.iter().sum();
+                if total == 0 {
+                    continue;
+                }
+                let wide: Vec<u128> = counts.iter().map(|&n| n as u128).collect();
+                for probe in 0..total.min(64) {
+                    // Stride ranks across the whole range, hitting both
+                    // boundaries of every alternative.
+                    let rank = (probe * (total / total.clamp(1, 64))).min(total - 1);
+                    let expect = select_scalar(&wide, rank as u128);
+                    assert_eq!(
+                        select_in_list_u64(&counts, rank),
+                        (expect.0, expect.1 as u64),
+                        "u64 diverged on {counts:?} rank {rank}"
+                    );
+                    assert_eq!(
+                        select_in_list_u128(&wide, rank as u128),
+                        expect,
+                        "u128 diverged on {counts:?} rank {rank}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_select_handles_two_limb_counts() {
+        let big = u64::MAX as u128 + 5;
+        let counts = [0u128, big, 3, 0, big, 1, 0, 0, big, 2];
+        let total: u128 = counts.iter().sum();
+        for rank in [0u128, 1, big - 1, big, big + 2, big + 3, total - 1] {
+            assert_eq!(
+                select_in_list_u128(&counts, rank),
+                select_scalar(&counts, rank),
+                "diverged at rank {rank}"
+            );
+        }
     }
 
     #[test]

@@ -251,7 +251,8 @@ impl ServerState {
     /// Executes one decoded request straight to reply *bytes* — the
     /// path the worker pools and reactors use. For `SampleBatch` within
     /// bounds this streams: plans are drawn into a reusable flat
-    /// [`PlanBatch`] (the `u64` fast path; zero steady-state
+    /// [`PlanBatch`] (the fixed-width `u64`/`u128` unranking tiers,
+    /// exact-`Nat` beyond them; zero steady-state
     /// allocations per draw) and encoded into the reply buffer one at a
     /// time via [`SamplesEncoder`], so a 4096-plan batch never
     /// materializes a tree or a `WirePlan` per plan — peak memory is

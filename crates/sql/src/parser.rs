@@ -12,7 +12,9 @@
 //!          | (SUM|MIN|MAX|AVG) '(' colref ')'
 //!          | COUNT '(' '*' ')'
 //! tables  := table [AS? alias] (',' table [AS? alias])*
-//! conj    := pred (AND pred)*
+//! conj    := group (AND group)*
+//! group   := pred | '(' conj ')'        -- grouping only; nested ANDs
+//!                                          flatten into one conjunction
 //! pred    := colref '=' colref          -- join edge
 //!          | colref op literal          -- filter
 //!          | literal op colref          -- filter, normalized by
@@ -170,14 +172,7 @@ impl Parser<'_> {
 
         if self.at_keyword("WHERE") {
             self.pos += 1;
-            loop {
-                self.predicate(&mut qb, &rels)?;
-                if self.at_keyword("AND") {
-                    self.pos += 1;
-                } else {
-                    break;
-                }
-            }
+            self.conjunct(&mut qb, &rels)?;
         }
 
         let mut group_by: Vec<(String, String)> = Vec::new();
@@ -342,6 +337,35 @@ impl Parser<'_> {
                 offset,
             }),
         }
+    }
+
+    /// `conj := group (AND group)*` — a flat AND chain of groups, each
+    /// a bare predicate or a parenthesized sub-conjunction. WHERE is
+    /// purely conjunctive, so nested groups flatten: every predicate
+    /// lands in the same builder regardless of grouping, and
+    /// `(a AND b) AND c` means exactly `a AND b AND c`. A `(` is
+    /// unambiguous here — no predicate starts with one (both sides of
+    /// an operator are a column reference or a literal).
+    fn conjunct(
+        &mut self,
+        qb: &mut QueryBuilder<'_>,
+        rels: &[(String, String)],
+    ) -> Result<(), ParseError> {
+        loop {
+            if matches!(self.peek(), Some(TokenKind::LParen)) {
+                self.pos += 1;
+                self.conjunct(qb, rels)?;
+                self.expect(&TokenKind::RParen)?;
+            } else {
+                self.predicate(qb, rels)?;
+            }
+            if self.at_keyword("AND") {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(())
     }
 
     fn predicate(

@@ -224,17 +224,34 @@ impl SpjQuery {
         if !order.is_empty() {
             sql.push_str(&gap(&mut rng));
             sql.push_str(&where_kw);
+            // Conjunct grouping is meaningless in a pure conjunction, so
+            // it joins the declared-meaningless transformations: random
+            // conjuncts get wrapped in (possibly doubled) parentheses,
+            // and sometimes the whole chain gets one outer group — the
+            // parser must flatten every spelling to the same spec.
+            let outer = rng.gen_range(0..4) == 0;
+            let mut body = String::new();
             for (pos, &c) in order.iter().enumerate() {
                 if pos > 0 {
-                    sql.push_str(&gap(&mut rng));
-                    sql.push_str(&and_kw);
+                    body.push_str(&gap(&mut rng));
+                    body.push_str(&and_kw);
                 }
-                sql.push_str(&gap(&mut rng));
-                if rng.gen_range(0..2) == 0 {
-                    sql.push_str(&flip_conjunct(self.conjuncts[c]));
+                body.push_str(&gap(&mut rng));
+                let conjunct = if rng.gen_range(0..2) == 0 {
+                    flip_conjunct(self.conjuncts[c])
                 } else {
-                    sql.push_str(self.conjuncts[c]);
+                    self.conjuncts[c].to_string()
+                };
+                match rng.gen_range(0..4) {
+                    0 => body.push_str(&format!("({conjunct})")),
+                    1 => body.push_str(&format!("(( {conjunct} ))")),
+                    _ => body.push_str(&conjunct),
                 }
+            }
+            if outer {
+                sql.push_str(&format!(" ({body} )"));
+            } else {
+                sql.push_str(&body);
             }
         }
         sql
@@ -325,6 +342,49 @@ proptest! {
         prop_assert_eq!(b.spec.filters.len(), 1);
         prop_assert_eq!(b.spec.join_edges.len(), joins.len());
         prop_assert_eq!(fingerprint(&a.spec), fingerprint(&b.spec));
+    }
+
+    /// Directed grouping cases on top of the render fuzzing: a
+    /// multi-conjunct group, nested groups, and a group spanning the
+    /// whole WHERE all flatten to the ungrouped spelling, and join
+    /// edges inside groups are still recognized as join edges.
+    #[test]
+    fn parenthesized_conjunct_groups_flatten(chain in 0usize..CHAINS.len()) {
+        let (tables, joins, filters) = CHAINS[chain];
+        let from = tables.join(", ");
+        let flat = format!(
+            "SELECT * FROM {from} WHERE {} AND {}",
+            joins.join(" AND "),
+            filters[0],
+        );
+        let catalog = catalog();
+        let reference = parse(&catalog, &flat)
+            .unwrap_or_else(|e| panic!("flat failed:\n{}", e.render(&flat)));
+        for grouped in [
+            format!("SELECT * FROM {from} WHERE ({}) AND ({})", joins.join(" AND "), filters[0]),
+            format!("SELECT * FROM {from} WHERE (({} AND {}))", joins.join(" AND "), filters[0]),
+            format!(
+                "SELECT * FROM {from} WHERE ({}) AND (({}))",
+                joins.join(") AND ("),
+                filters[0],
+            ),
+        ] {
+            let parsed = parse(&catalog, &grouped)
+                .unwrap_or_else(|e| panic!("grouped failed:\n{}", e.render(&grouped)));
+            prop_assert_eq!(parsed.spec.join_edges.len(), joins.len());
+            prop_assert_eq!(parsed.spec.filters.len(), 1);
+            prop_assert_eq!(fingerprint(&parsed.spec), fingerprint(&reference.spec));
+        }
+        // Malformed groupings stay errors, positioned, not panics.
+        for bad in [
+            format!("SELECT * FROM {from} WHERE ({}", joins[0]),
+            format!("SELECT * FROM {from} WHERE {})", joins[0]),
+            format!("SELECT * FROM {from} WHERE ()"),
+            format!("SELECT * FROM {from} WHERE ({} AND) {}", joins[0], filters[0]),
+        ] {
+            let err = parse(&catalog, &bad).expect_err("malformed grouping must not parse");
+            let _ = err.render(&bad);
+        }
     }
 
     #[test]

@@ -2,9 +2,11 @@
 //!
 //! The flat sampler's contract (DESIGN.md §11): once a reused
 //! [`PlanBatch`]'s buffers have grown to the batch's size, a
-//! steady-state `sample_batch_flat` fill on a single-limb space touches
-//! no allocator at all — every draw is one `gen_range` plus `u64`
-//! arithmetic into already-owned memory. This test swaps in a
+//! steady-state `sample_batch_flat` fill on either fixed-width tier —
+//! `u64` for single-limb spaces, `u128` for two-limb ones — touches no
+//! allocator at all: every draw is a rejection-sampled rank plus
+//! fixed-width arithmetic into already-owned memory. These tests swap
+//! in a
 //! `#[global_allocator]` that counts every `alloc`/`realloc`/
 //! `alloc_zeroed` and asserts the count is **exactly zero** across a
 //! warmed 512-plan fill.
@@ -88,6 +90,47 @@ fn steady_state_flat_sampling_allocates_nothing() {
             0,
             "steady-state sample_batch_flat must not allocate (counted {} allocations \
              across 512 draws)",
+            after - before
+        );
+    });
+}
+
+#[test]
+fn steady_state_u128_tier_sampling_allocates_nothing() {
+    // The smallest chain past the single-limb boundary: a genuine
+    // two-limb space (not a forced one), scanned for rather than
+    // hard-coded so the test tracks the boundary itself.
+    let space = (10..24)
+        .find_map(|rels| {
+            let (_, query, memo) = JoinGraphSpec::new(Topology::Chain, rels, 20000).build_memo();
+            let space =
+                PlanSpace::build_shared(Arc::new(memo), Arc::new(query)).expect("chain builds");
+            (!space.counts().has_fast_path() && space.counts().has_wide_path()).then_some(space)
+        })
+        .expect("some chain under 24 relations needs exactly two limbs");
+
+    threadpool::with_threads(1, || {
+        let mut out = PlanBatch::new();
+        let mut rng = StdRng::seed_from_u64(78);
+        space.sample_batch_flat(&mut rng, 512, &mut out);
+        let warm_nodes = out.total_nodes();
+
+        let mut rng = StdRng::seed_from_u64(78);
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        space.sample_batch_flat(&mut rng, 512, &mut out);
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+        assert_eq!(out.len(), 512);
+        assert_eq!(
+            out.total_nodes(),
+            warm_nodes,
+            "reseeded fill must repeat itself"
+        );
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state u128-tier sample_batch_flat must not allocate (counted {} \
+             allocations across 512 draws)",
             after - before
         );
     });

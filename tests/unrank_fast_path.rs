@@ -1,25 +1,32 @@
-//! Differential tests of the `u64` fast-path unranker (DESIGN.md §11).
+//! Differential tests of the fixed-width flat unrankers (DESIGN.md
+//! §11).
 //!
-//! `sample_batch_flat` specializes the mixed-radix decomposition to one
-//! machine word when every count in the space fits `u64`, and falls
-//! back to the exact `Nat` path otherwise. Correctness here is entirely
-//! differential: on the *same seed*, the flat batch must reproduce the
-//! tree sampler's plans bit for bit —
+//! `sample_batch_flat` runs the mixed-radix decomposition on the
+//! fastest rung of the tier ladder the space qualifies for — `u64` when
+//! every count fits one limb, `u128` when every count fits two, exact
+//! `Nat` beyond that. Correctness here is entirely differential: on the
+//! *same seed*, the flat batch must reproduce the tree sampler's plans
+//! bit for bit —
 //!
 //! * on random optimizer-built join-graph topologies (all single-limb
-//!   at these sizes, so the fast path is what's exercised);
-//! * on directly synthesized spaces chosen to straddle the single-limb
-//!   boundary: chain/cycle graphs large enough that their totals need
-//!   two limbs (forcing the `Nat` fallback) and clique-9, the smallest
-//!   clique past the boundary;
-//! * and the criterion itself is pinned: `has_fast_path()` must be
-//!   false exactly when some count exceeds `u64`.
+//!   at these sizes, so the `u64` tier is what's exercised);
+//! * on the same spaces *forced* down the ladder with
+//!   [`PlanSpace::force_tier`] — the `u128` rung and the `Nat` rung
+//!   must emit the identical batches, across 1/2/4 threads;
+//! * on directly synthesized spaces straddling the tier boundaries:
+//!   chain/cycle graphs around the single-limb edge, clique-9 (the
+//!   smallest clique past one limb, now served by the `u128` tier), and
+//!   a chain long enough that its total genuinely needs three limbs
+//!   (the remaining `Nat` regime);
+//! * and the criteria themselves are pinned: `has_fast_path()` /
+//!   `has_wide_path()` must reflect exactly whether every count fits
+//!   one / two limbs.
 //!
-//! clique-10 (the bench's fallback regime) is covered when
+//! clique-10 (the bench's u128 regime) is covered when
 //! `PLANSAMPLE_STATISTICAL=1` — its debug-mode memo synthesis is too
 //! slow for the fast test tier.
 
-use plansample::{PlanBatch, PlanSpace};
+use plansample::{CountTier, PlanBatch, PlanSpace};
 use plansample_datagen::joingraph::{JoinGraphSpec, Topology};
 use plansample_optimizer::{optimize, OptimizerConfig};
 use proptest::prelude::*;
@@ -42,9 +49,40 @@ fn assert_flat_matches_tree(space: &PlanSpace, seed: u64, k: usize) {
         assert_eq!(
             ids,
             tree.preorder_ids().as_slice(),
-            "draw {i} diverged (fast_path={})",
-            space.counts().has_fast_path()
+            "draw {i} diverged (tier={})",
+            space.counts().tier()
         );
+    }
+}
+
+/// `assert_flat_matches_tree` at every tier the space can be forced
+/// onto, at 1, 2, and 4 worker threads — `k` is chosen large enough
+/// (≥ 512) that multi-thread runs take the parallel shard path. The
+/// reference trees are drawn once from the untouched space; every
+/// (tier, threads) combination must reproduce them.
+fn assert_tiers_and_threads_agree(space: &PlanSpace, seed: u64, k: usize) {
+    let trees = {
+        let mut rng = StdRng::seed_from_u64(seed);
+        space.sample_batch(&mut rng, k)
+    };
+    for tier in [CountTier::U64, CountTier::U128, CountTier::Nat] {
+        let mut forced = space.clone();
+        forced.force_tier(tier);
+        for threads in [1usize, 2, 4] {
+            let mut flat = PlanBatch::new();
+            let mut rng = StdRng::seed_from_u64(seed);
+            threadpool::with_threads(threads, || forced.sample_batch_flat(&mut rng, k, &mut flat));
+            assert_eq!(flat.len(), trees.len());
+            for (i, (ids, tree)) in flat.iter().zip(&trees).enumerate() {
+                assert_eq!(
+                    ids,
+                    tree.preorder_ids().as_slice(),
+                    "draw {i} diverged (forced tier={}, actual={}, {threads} threads)",
+                    tier,
+                    forced.counts().tier()
+                );
+            }
+        }
     }
 }
 
@@ -73,8 +111,8 @@ proptest! {
     }
 
     /// Directly synthesized chains and cycles across the single-limb
-    /// boundary: small ones take the fast path, large ones fall back,
-    /// and both produce identical batches.
+    /// boundary: small ones take the fast path, large ones step down
+    /// the ladder, and every tier produces identical batches.
     #[test]
     fn fallback_boundary_is_exact_and_differential(
         cycle in any::<bool>(),
@@ -85,21 +123,46 @@ proptest! {
         let (_, query, memo) = JoinGraphSpec::new(topo, rels, 20000 + seed).build_memo();
         let space = PlanSpace::build_shared(Arc::new(memo), Arc::new(query))
             .expect("synthetic memo is acyclic");
-        // The criterion is the space's own counts, nothing heuristic:
-        // the sidecar exists iff every count fits u64.
-        let all_fit = space.links().all_ids().all(|id|
+        // The criteria are the space's own counts, nothing heuristic:
+        // each sidecar exists iff every count fits its width (and the
+        // ladder keeps at most one).
+        let all_fit_u64 = space.links().all_ids().all(|id|
             space.count_rooted(id).to_u64().is_some())
             && space.total().to_u64().is_some();
-        prop_assert_eq!(space.counts().has_fast_path(), all_fit);
+        let all_fit_u128 = space.links().all_ids().all(|id|
+            space.count_rooted(id).to_u128().is_some())
+            && space.total().to_u128().is_some();
+        prop_assert_eq!(space.counts().has_fast_path(), all_fit_u64);
+        prop_assert_eq!(space.counts().has_wide_path(), all_fit_u128 && !all_fit_u64);
         assert_flat_matches_tree(&space, seed ^ 0xB0B, 64);
+    }
+
+    /// Forced-tier sweep on small optimizer-built spaces: the `u64`,
+    /// `u128`, and exact-`Nat` unrankers emit bit-identical batches at
+    /// 1, 2, and 4 threads, with a batch size that exercises the
+    /// parallel shard fill.
+    #[test]
+    fn forced_tiers_match_across_thread_counts(
+        topo_sel in 0usize..4,
+        seed in 0u64..100,
+    ) {
+        let spec = JoinGraphSpec::new(Topology::ALL[topo_sel], 5, seed);
+        let (catalog, query) = spec.build();
+        let optimized = optimize(&catalog, &query, &OptimizerConfig::default())
+            .expect("synthetic queries optimize");
+        let space = PlanSpace::build_shared(Arc::new(optimized.memo), Arc::new(query))
+            .expect("acyclic memo");
+        prop_assert!(space.counts().has_fast_path());
+        assert_tiers_and_threads_agree(&space, seed ^ 0x7143, 600);
     }
 }
 
-/// clique-9: the smallest clique whose total overflows one limb — the
-/// forced multi-limb fallback named by the bench — must still match
-/// the tree sampler draw for draw.
+/// clique-9: the smallest clique whose total overflows one limb — it
+/// must land on the `u128` tier (not the exact fallback) and still
+/// match the tree sampler draw for draw, including when forced down to
+/// `Nat` and across thread counts.
 #[test]
-fn clique9_forces_the_nat_fallback_and_matches() {
+fn clique9_takes_the_u128_tier_and_matches() {
     let (_, query, memo) = JoinGraphSpec::new(Topology::Clique, 9, 20000).build_memo();
     let space = PlanSpace::build_shared(Arc::new(memo), Arc::new(query)).expect("clique-9 builds");
     assert!(
@@ -107,20 +170,63 @@ fn clique9_forces_the_nat_fallback_and_matches() {
         "clique-9 total {} must not fit one limb",
         space.total()
     );
+    assert!(
+        space.counts().has_wide_path(),
+        "clique-9 total {} must fit two limbs",
+        space.total()
+    );
+    assert_eq!(space.counts().tier(), CountTier::U128);
     assert!(space.total().limbs().len() >= 2);
     assert_flat_matches_tree(&space, 0x911, 48);
+
+    // Past the tier boundary on the same space: forcing the exact path
+    // changes throughput only, never content.
+    let mut nat = space.clone();
+    nat.force_tier(CountTier::Nat);
+    assert_eq!(nat.counts().tier(), CountTier::Nat);
+    let mut a = PlanBatch::new();
+    let mut b = PlanBatch::new();
+    let mut rng = StdRng::seed_from_u64(0x911);
+    space.sample_batch_flat(&mut rng, 48, &mut a);
+    let mut rng = StdRng::seed_from_u64(0x911);
+    nat.sample_batch_flat(&mut rng, 48, &mut b);
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x, y, "u128 tier diverged from forced-Nat");
+    }
 }
 
-/// clique-10 (the sampling bench's fallback regime), in the slow tier
+/// A genuinely 3-limb space — a chain long enough that its total
+/// overflows `u128` — exercises the remaining exact-`Nat` regime of
+/// `sample_batch_flat` with no forcing involved.
+#[test]
+fn three_limb_chains_use_the_exact_fallback_and_match() {
+    // Chain plan spaces grow fast; scan upward to the first 3-limb one
+    // so the test stays pinned to the boundary rather than a magic size.
+    for rels in 15..40 {
+        let (_, query, memo) = JoinGraphSpec::new(Topology::Chain, rels, 20000).build_memo();
+        let space = PlanSpace::build_shared(Arc::new(memo), Arc::new(query)).expect("chain builds");
+        if space.total().limbs().len() < 3 {
+            continue;
+        }
+        assert_eq!(space.counts().tier(), CountTier::Nat);
+        assert!(!space.counts().has_fast_path() && !space.counts().has_wide_path());
+        assert_flat_matches_tree(&space, 0x3113, 32);
+        return;
+    }
+    panic!("no chain under 40 relations needed three limbs");
+}
+
+/// clique-10 (the sampling bench's u128 regime), in the slow tier
 /// only.
 #[test]
-fn clique10_fallback_matches_in_the_statistical_tier() {
+fn clique10_u128_tier_matches_in_the_statistical_tier() {
     if std::env::var("PLANSAMPLE_STATISTICAL").is_err() {
-        eprintln!("skipping clique-10 fallback check (set PLANSAMPLE_STATISTICAL=1)");
+        eprintln!("skipping clique-10 tier check (set PLANSAMPLE_STATISTICAL=1)");
         return;
     }
     let (_, query, memo) = JoinGraphSpec::new(Topology::Clique, 10, 20000).build_memo();
     let space = PlanSpace::build_shared(Arc::new(memo), Arc::new(query)).expect("clique-10 builds");
     assert!(!space.counts().has_fast_path());
+    assert_eq!(space.counts().tier(), CountTier::U128);
     assert_flat_matches_tree(&space, 0x1010, 32);
 }
